@@ -1,0 +1,125 @@
+//! Criterion ablation benchmarks for the design choices called out in
+//! DESIGN.md: bipartite pruning, MIS compensation, and session grouping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppd_core::{ground_query, session_probabilities_for_plan, ConjunctiveQuery, EvalConfig, Term as T};
+use ppd_datagen::{
+    benchmark_c, crowdrank_database, BenchmarkCConfig, CrowdRankConfig,
+};
+use ppd_solvers::{ApproxSolver, BipartiteSolver, ExactSolver, MisAmpLite};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group
+}
+
+fn bench_bipartite_pruning(c: &mut Criterion) {
+    let mut group = configure(c);
+    let inst = benchmark_c(
+        &BenchmarkCConfig {
+            num_items: 10,
+            patterns_per_union: 2,
+            labels_per_pattern: 3,
+            items_per_label: 3,
+            instances: 1,
+            phi: 0.1,
+        },
+        5,
+    )
+    .remove(0);
+    let rim = inst.model.to_rim();
+    group.bench_function("bipartite_pruned", |b| {
+        b.iter(|| {
+            BipartiteSolver::new()
+                .solve(&rim, &inst.labeling, &inst.union)
+                .unwrap()
+        })
+    });
+    group.bench_function("bipartite_basic_no_pruning", |b| {
+        b.iter(|| {
+            BipartiteSolver::basic()
+                .solve(&rim, &inst.labeling, &inst.union)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_compensation(c: &mut Criterion) {
+    let mut group = configure(c);
+    let inst = benchmark_c(
+        &BenchmarkCConfig {
+            num_items: 12,
+            patterns_per_union: 2,
+            labels_per_pattern: 3,
+            items_per_label: 3,
+            instances: 1,
+            phi: 0.1,
+        },
+        6,
+    )
+    .remove(0);
+    group.bench_function("mis_lite_with_compensation", |b| {
+        let lite = MisAmpLite::new(3, 200);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            lite.estimate(&inst.model, &inst.labeling, &inst.union, &mut rng)
+                .unwrap()
+        })
+    });
+    group.bench_function("mis_lite_without_compensation", |b| {
+        let lite = MisAmpLite::new(3, 200).without_compensation();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            lite.estimate(&inst.model, &inst.labeling, &inst.union, &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_session_grouping(c: &mut Criterion) {
+    let mut group = configure(c);
+    let db = crowdrank_database(&CrowdRankConfig {
+        num_movies: 12,
+        num_models: 5,
+        num_workers: 300,
+        phi: 0.4,
+        seed: 9,
+    });
+    let q = ConjunctiveQuery::new("grouping")
+        .prefer("HitRankings", vec![T::var("v")], T::var("m1"), T::var("m2"))
+        .atom("Workers", vec![T::var("v"), T::var("sex"), T::any()])
+        .atom(
+            "Movies",
+            vec![T::var("m1"), T::any(), T::var("sex"), T::any(), T::any()],
+        )
+        .atom(
+            "Movies",
+            vec![T::var("m2"), T::val("Thriller"), T::any(), T::any(), T::any()],
+        );
+    let plan = ground_query(&db, &q).unwrap();
+    group.bench_function("evaluation_grouped", |b| {
+        let config = EvalConfig::approximate(100);
+        b.iter(|| session_probabilities_for_plan(&db, &plan, &config).unwrap())
+    });
+    group.bench_function("evaluation_naive", |b| {
+        let config = EvalConfig::approximate(100).without_grouping();
+        b.iter(|| session_probabilities_for_plan(&db, &plan, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bipartite_pruning,
+    bench_compensation,
+    bench_session_grouping
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the solver kernels on small fixed instances.
+//!
+//! These complement the figure harnesses (`src/bin/figNN.rs`): the harnesses
+//! sweep the paper's parameter ranges, while these benches give quick,
+//! statistically robust numbers for the inner loops (one solve each).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppd_datagen::{benchmark_a, benchmark_c, benchmark_d, BenchmarkCConfig, BenchmarkDConfig};
+use ppd_solvers::{
+    ApproxSolver, BipartiteSolver, BruteForceSolver, ExactSolver, GeneralSolver, MisAmpLite,
+    RejectionSampler, TwoLabelSolver,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("solver_kernels");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group
+}
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let mut group = configure(c);
+
+    // Two-label union, m = 20 (a Benchmark-D cell).
+    let d = benchmark_d(
+        &BenchmarkDConfig {
+            num_items: 20,
+            patterns_per_union: 2,
+            items_per_label: 3,
+            instances: 1,
+            phi: 0.5,
+        },
+        1,
+    )
+    .remove(0);
+    let d_rim = d.model.to_rim();
+    group.bench_function("two_label_m20_z2", |b| {
+        b.iter(|| {
+            TwoLabelSolver::new()
+                .solve(&d_rim, &d.labeling, &d.union)
+                .unwrap()
+        })
+    });
+    group.bench_function("bipartite_on_two_label_m20_z2", |b| {
+        b.iter(|| {
+            BipartiteSolver::new()
+                .solve(&d_rim, &d.labeling, &d.union)
+                .unwrap()
+        })
+    });
+
+    // Bipartite union, m = 10 (a Benchmark-C cell).
+    let cinst = benchmark_c(
+        &BenchmarkCConfig {
+            num_items: 10,
+            patterns_per_union: 2,
+            labels_per_pattern: 3,
+            items_per_label: 3,
+            instances: 1,
+            phi: 0.1,
+        },
+        2,
+    )
+    .remove(0);
+    let c_rim = cinst.model.to_rim();
+    group.bench_function("bipartite_m10_q3_z2", |b| {
+        b.iter(|| {
+            BipartiteSolver::new()
+                .solve(&c_rim, &cinst.labeling, &cinst.union)
+                .unwrap()
+        })
+    });
+    group.bench_function("general_m10_q3_z2", |b| {
+        b.iter(|| {
+            GeneralSolver::new()
+                .solve(&c_rim, &cinst.labeling, &cinst.union)
+                .unwrap()
+        })
+    });
+
+    // Brute force reference on a tiny instance, for context.
+    let tiny = benchmark_c(
+        &BenchmarkCConfig {
+            num_items: 7,
+            patterns_per_union: 1,
+            labels_per_pattern: 2,
+            items_per_label: 2,
+            instances: 1,
+            phi: 0.5,
+        },
+        3,
+    )
+    .remove(0);
+    let tiny_rim = tiny.model.to_rim();
+    group.bench_function("brute_force_m7", |b| {
+        b.iter(|| {
+            BruteForceSolver::new()
+                .solve(&tiny_rim, &tiny.labeling, &tiny.union)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_approx_solvers(c: &mut Criterion) {
+    let mut group = configure(c);
+    let a = benchmark_a(1, 99).remove(0);
+    group.bench_function("mis_amp_lite_d5_benchmark_a", |b| {
+        let lite = MisAmpLite::new(5, 200);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            lite.estimate(&a.model, &a.labeling, &a.union, &mut rng)
+                .unwrap()
+        })
+    });
+    group.bench_function("rejection_2000_samples_benchmark_a", |b| {
+        let rs = RejectionSampler::new(2_000);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            rs.estimate(&a.model, &a.labeling, &a.union, &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_solvers, bench_approx_solvers);
+criterion_main!(benches);

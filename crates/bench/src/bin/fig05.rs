@@ -1,0 +1,57 @@
+//! Figure 5: running time of the general solver's exact pattern subroutine as
+//! a function of the number of patterns in a conjunction, over Benchmark-A.
+
+use ppd_bench::{median_duration, print_table, timed, write_results, Scale};
+use ppd_solvers::{Budget, GeneralSolver};
+use serde_json::json;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    let instances = ppd_datagen::benchmark_a(scale.pick(3, 33), 99);
+    let max_conjunction = scale.pick(2, 3);
+    let time_limit = scale.pick(Duration::from_secs(20), Duration::from_secs(3600));
+    println!("Figure 5 — exact conjunction cost over Benchmark-A");
+    println!(
+        "scale: {scale:?}, {} unions, conjunction sizes 1..={max_conjunction}, per-conjunction budget {time_limit:?}\n",
+        instances.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for size in 1..=max_conjunction {
+        let mut times = Vec::new();
+        let mut timeouts = 0usize;
+        for inst in &instances {
+            let indices: Vec<usize> = (0..size).collect();
+            let solver = GeneralSolver::new().with_budget(Budget::with_time_limit(time_limit));
+            let rim = inst.model.to_rim();
+            let (result, elapsed) = timed(|| {
+                solver.conjunction_probability(&rim, &inst.labeling, &inst.union, &indices)
+            });
+            match result {
+                Ok(_) => times.push(elapsed),
+                Err(_) => timeouts += 1,
+            }
+        }
+        let median = median_duration(&times);
+        rows.push(vec![
+            size.to_string(),
+            format!("{:.3}", median.as_secs_f64()),
+            times.len().to_string(),
+            timeouts.to_string(),
+        ]);
+        records.push(json!({
+            "patterns_in_conjunction": size,
+            "median_seconds": median.as_secs_f64(),
+            "finished": times.len(),
+            "timeouts": timeouts,
+        }));
+    }
+    print_table(
+        &["#patterns in conjunction", "median time (s)", "finished", "timeouts"],
+        &rows,
+    );
+    println!("\nExpected shape (paper): roughly exponential growth with the conjunction size.");
+    write_results("fig05", &json!({ "series": records }));
+}

@@ -1,0 +1,88 @@
+//! Figure 9: rejection sampling vs. MIS-AMP-lite on the rare event
+//! `σ_m ≻ σ_1` under `MAL(⟨σ_1…σ_m⟩, 0.1)`.
+
+use ppd_bench::{print_table, timed, write_results, Scale};
+use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
+use ppd_rim::{MallowsModel, Ranking};
+use ppd_solvers::{ApproxSolver, ExactSolver, MisAmpLite, RejectionSampler, TwoLabelSolver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ms: Vec<usize> = scale.pick((5..=8).collect(), (5..=10).collect());
+    let max_samples = scale.pick(300_000, 20_000_000);
+    println!("Figure 9 — rejection sampling vs MIS-AMP-lite on a rare event");
+    println!("scale: {scale:?}, m ∈ {ms:?}\n");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for &m in &ms {
+        let model = MallowsModel::new(Ranking::identity(m), 0.1).unwrap();
+        let mut labeling = Labeling::new();
+        for item in 0..m as u32 {
+            labeling.add_item(item);
+        }
+        labeling.add((m - 1) as u32, 0); // label 0: the last item of σ
+        labeling.add(0, 1); // label 1: the first item of σ
+        let union = PatternUnion::singleton(Pattern::two_label(
+            NodeSelector::single(0),
+            NodeSelector::single(1),
+        ))
+        .unwrap();
+        let truth = TwoLabelSolver::new()
+            .solve(&model.to_rim(), &labeling, &union)
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(9 + m as u64);
+        let rs = RejectionSampler::new(1);
+        let (needed, rs_time) = timed(|| {
+            rs.samples_until_relative_error(
+                &model,
+                &labeling,
+                &union,
+                truth,
+                0.01,
+                max_samples,
+                &mut rng,
+            )
+        });
+        let rs_note = match needed {
+            Some(n) => format!("{n} samples"),
+            None => format!(">{max_samples} samples (gave up)"),
+        };
+
+        let mut rng = StdRng::seed_from_u64(90 + m as u64);
+        let lite = MisAmpLite::new(1, scale.pick(2_000, 10_000));
+        let (estimate, lite_time) =
+            timed(|| lite.estimate(&model, &labeling, &union, &mut rng).unwrap());
+        let rel_err = ppd_bench::relative_error(truth, estimate);
+
+        rows.push(vec![
+            m.to_string(),
+            format!("{truth:.2e}"),
+            format!("{:.3}", rs_time.as_secs_f64()),
+            rs_note.clone(),
+            format!("{:.3}", lite_time.as_secs_f64()),
+            format!("{rel_err:.3}"),
+        ]);
+        records.push(json!({
+            "m": m,
+            "true_probability": truth,
+            "rejection_seconds": rs_time.as_secs_f64(),
+            "rejection_converged": needed,
+            "mis_lite_seconds": lite_time.as_secs_f64(),
+            "mis_lite_relative_error": rel_err,
+        }));
+    }
+    print_table(
+        &["m", "Pr(σm≻σ1)", "RS time (s)", "RS outcome", "MIS-lite time (s)", "MIS-lite rel.err"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): rejection sampling cost explodes exponentially with m while \
+         MIS-AMP-lite stays fast and accurate."
+    );
+    write_results("fig09", &json!({ "series": records }));
+}

@@ -1,0 +1,76 @@
+//! Figure 11: per-instance behaviour of MIS-AMP-lite — a typical Benchmark-A
+//! instance, an atypical one, and the effect of disabling compensation.
+
+use ppd_bench::{print_table, relative_error, write_results, Scale};
+use ppd_datagen::benchmark_a;
+use ppd_solvers::{ApproxSolver, BipartiteSolver, ExactSolver, MisAmpLite};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_env();
+    let instances = benchmark_a(scale.pick(4, 33), 99);
+    let proposal_counts = [1usize, 5, 10, 20];
+    let samples = scale.pick(500, 2000);
+    println!("Figure 11 — per-instance accuracy of MIS-AMP-lite on Benchmark-A");
+    println!("scale: {scale:?}\n");
+
+    // Ground truths; keep the two instances with the largest / smallest
+    // probability as "typical" and "atypical" stand-ins.
+    let mut solved: Vec<(usize, f64)> = Vec::new();
+    for (idx, inst) in instances.iter().enumerate() {
+        if let Ok(truth) =
+            BipartiteSolver::new().solve(&inst.model.to_rim(), &inst.labeling, &inst.union)
+        {
+            solved.push((idx, truth));
+        }
+    }
+    solved.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let atypical = solved.first().copied().expect("at least one instance");
+    let typical = solved.last().copied().expect("at least one instance");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (panel, (idx, truth), compensation) in [
+        ("a: typical", typical, true),
+        ("b: atypical", atypical, true),
+        ("c: atypical, no compensation", atypical, false),
+    ] {
+        let inst = &instances[idx];
+        for &d in &proposal_counts {
+            let lite = if compensation {
+                MisAmpLite::new(d, samples)
+            } else {
+                MisAmpLite::new(d, samples).without_compensation()
+            };
+            let mut rng = StdRng::seed_from_u64(1100 + d as u64);
+            let estimate = lite
+                .estimate(&inst.model, &inst.labeling, &inst.union, &mut rng)
+                .unwrap();
+            let err = relative_error(truth, estimate);
+            rows.push(vec![
+                panel.to_string(),
+                d.to_string(),
+                format!("{truth:.3e}"),
+                format!("{err:.4}"),
+            ]);
+            records.push(json!({
+                "panel": panel,
+                "proposal_distributions": d,
+                "exact": truth,
+                "relative_error": err,
+            }));
+        }
+    }
+    print_table(
+        &["panel", "#proposals", "exact probability", "relative error"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): more proposal distributions improve accuracy; for the \
+         atypical instance most of the improvement comes from compensation, and with \
+         compensation disabled the error decreases with the number of proposals again."
+    );
+    write_results("fig11", &json!({ "series": records }));
+}

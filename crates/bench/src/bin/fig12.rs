@@ -1,0 +1,71 @@
+//! Figure 12: effect of the compensation factors of MIS-AMP-lite on
+//! Benchmark-C — relative error with vs. without compensation, one proposal
+//! distribution per instance.
+
+use ppd_bench::{print_table, relative_error, write_results, Scale};
+use ppd_datagen::{benchmark_c, BenchmarkCConfig};
+use ppd_solvers::{ApproxSolver, BipartiteSolver, ExactSolver, MisAmpLite};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = BenchmarkCConfig {
+        num_items: scale.pick(10, 14),
+        patterns_per_union: 2,
+        labels_per_pattern: 3,
+        items_per_label: 3,
+        instances: scale.pick(8, 30),
+        phi: 0.1,
+    };
+    let samples = scale.pick(500, 2000);
+    let instances = benchmark_c(&config, 12);
+    println!("Figure 12 — compensation ablation of MIS-AMP-lite over Benchmark-C");
+    println!("scale: {scale:?}, {} instances, 1 proposal distribution\n", instances.len());
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    for (idx, inst) in instances.iter().enumerate() {
+        let Ok(truth) =
+            BipartiteSolver::new().solve(&inst.model.to_rim(), &inst.labeling, &inst.union)
+        else {
+            continue;
+        };
+        let with = MisAmpLite::new(1, samples);
+        let without = MisAmpLite::new(1, samples).without_compensation();
+        let mut rng_a = StdRng::seed_from_u64(1200 + idx as u64);
+        let mut rng_b = StdRng::seed_from_u64(1200 + idx as u64);
+        let est_with = with
+            .estimate(&inst.model, &inst.labeling, &inst.union, &mut rng_a)
+            .unwrap();
+        let est_without = without
+            .estimate(&inst.model, &inst.labeling, &inst.union, &mut rng_b)
+            .unwrap();
+        let err_with = relative_error(truth, est_with);
+        let err_without = relative_error(truth, est_without);
+        total += 1;
+        if err_with <= err_without + 1e-9 {
+            improved += 1;
+        }
+        rows.push(vec![
+            idx.to_string(),
+            format!("{err_without:.4}"),
+            format!("{err_with:.4}"),
+        ]);
+        records.push(json!({
+            "instance": idx,
+            "relative_error_without_compensation": err_without,
+            "relative_error_with_compensation": err_with,
+        }));
+    }
+    print_table(&["instance", "rel. error w/o comp.", "rel. error w/ comp."], &rows);
+    println!(
+        "\n{improved}/{total} instances improved (or unchanged) with compensation.\n\
+         Expected shape (paper): most points fall below the diagonal — compensation reduces the \
+         error, dramatically so for instances that were nearly 100% off without it."
+    );
+    write_results("fig12", &json!({ "series": records, "improved": improved, "total": total }));
+}

@@ -1,0 +1,291 @@
+//! The probabilistic preference database (RIM-PPD).
+
+use crate::relation::Relation;
+use crate::session::PreferenceRelation;
+use crate::value::Value;
+use crate::{PpdError, Result};
+use ppd_patterns::{LabelId, LabelInterner, Labeling};
+use ppd_rim::Item;
+use std::collections::HashMap;
+
+/// A probabilistic preference database: o-relations, one item relation whose
+/// attribute values become item labels, and p-relations whose sessions carry
+/// Mallows models over the items.
+#[derive(Debug, Clone)]
+pub struct PpdDatabase {
+    item_relation: Relation,
+    item_key_column: usize,
+    item_names: Vec<String>,
+    item_ids: HashMap<String, Item>,
+    relations: HashMap<String, Relation>,
+    preference_relations: HashMap<String, PreferenceRelation>,
+    interner: LabelInterner,
+    labeling: Labeling,
+}
+
+impl PpdDatabase {
+    /// Starts a [`DatabaseBuilder`].
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::new()
+    }
+
+    /// Number of items described by the item relation.
+    pub fn num_items(&self) -> usize {
+        self.item_names.len()
+    }
+
+    /// All item identifiers, in item-relation order.
+    pub fn items(&self) -> Vec<Item> {
+        (0..self.num_items() as Item).collect()
+    }
+
+    /// The id of an item given its key value, if it exists.
+    pub fn item_id(&self, name: &str) -> Option<Item> {
+        self.item_ids.get(name).copied()
+    }
+
+    /// The key value (name) of an item.
+    pub fn item_name(&self, item: Item) -> Option<&str> {
+        self.item_names.get(item as usize).map(|s| s.as_str())
+    }
+
+    /// The item relation (e.g. `Candidates` or `Movies`).
+    pub fn item_relation(&self) -> &Relation {
+        &self.item_relation
+    }
+
+    /// Index of the item relation's key column.
+    pub fn item_key_column(&self) -> usize {
+        self.item_key_column
+    }
+
+    /// An attribute value of an item, by column name.
+    pub fn item_attribute(&self, item: Item, column: &str) -> Option<&Value> {
+        let col = self.item_relation.column_index(column)?;
+        self.item_relation.tuples().get(item as usize).map(|t| &t[col])
+    }
+
+    /// A non-item o-relation by name (the item relation is also reachable by
+    /// its own name).
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        if name == self.item_relation.name() {
+            Some(&self.item_relation)
+        } else {
+            self.relations.get(name)
+        }
+    }
+
+    /// A p-relation by name.
+    pub fn preference_relation(&self, name: &str) -> Option<&PreferenceRelation> {
+        self.preference_relations.get(name)
+    }
+
+    /// Names of all p-relations.
+    pub fn preference_relation_names(&self) -> Vec<&str> {
+        self.preference_relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// The label interner (labels are `column=value` strings plus an
+    /// `@item=key` identity label per item).
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// The labeling function `λ` derived from the item relation.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The label for `column=value`, if any item carries it.
+    pub fn attribute_label(&self, column: &str, value: &Value) -> Option<LabelId> {
+        self.interner.get(&format!("{column}={}", value.render()))
+    }
+
+    /// The identity label of an item (`@item=<key>`), used to express
+    /// preferences over item constants.
+    pub fn identity_label(&self, item: Item) -> Option<LabelId> {
+        let name = self.item_name(item)?;
+        self.interner.get(&format!("@item={name}"))
+    }
+}
+
+/// Builder for [`PpdDatabase`].
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    item_relation: Option<(Relation, String)>,
+    relations: Vec<Relation>,
+    preference_relations: Vec<PreferenceRelation>,
+}
+
+impl DatabaseBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DatabaseBuilder::default()
+    }
+
+    /// Sets the item relation and the name of its key column. Every item of
+    /// every preference model must correspond to a tuple of this relation.
+    pub fn item_relation(mut self, relation: Relation, key_column: &str) -> Self {
+        self.item_relation = Some((relation, key_column.to_string()));
+        self
+    }
+
+    /// Adds an ordinary relation.
+    pub fn relation(mut self, relation: Relation) -> Self {
+        self.relations.push(relation);
+        self
+    }
+
+    /// Adds a preference relation.
+    pub fn preference_relation(mut self, prel: PreferenceRelation) -> Self {
+        self.preference_relations.push(prel);
+        self
+    }
+
+    /// Builds the database: assigns item ids in item-relation order, derives
+    /// the labeling from item attributes, and validates that preference
+    /// models only rank known items.
+    pub fn build(self) -> Result<PpdDatabase> {
+        let (item_relation, key_column) = self
+            .item_relation
+            .ok_or_else(|| PpdError::Malformed("an item relation is required".into()))?;
+        let item_key_column = item_relation
+            .column_index(&key_column)
+            .ok_or_else(|| PpdError::UnknownName(format!("key column {key_column}")))?;
+
+        let mut item_names = Vec::with_capacity(item_relation.len());
+        let mut item_ids = HashMap::with_capacity(item_relation.len());
+        let mut interner = LabelInterner::new();
+        let mut labeling = Labeling::new();
+        for (idx, tuple) in item_relation.tuples().iter().enumerate() {
+            let name = tuple[item_key_column].render();
+            if item_ids.insert(name.clone(), idx as Item).is_some() {
+                return Err(PpdError::Malformed(format!(
+                    "duplicate item key {name} in relation {}",
+                    item_relation.name()
+                )));
+            }
+            item_names.push(name.clone());
+            let item = idx as Item;
+            labeling.add_item(item);
+            labeling.add(item, interner.intern(&format!("@item={name}")));
+            for (col, value) in item_relation.columns().iter().zip(tuple) {
+                if col == &key_column || value.is_null() {
+                    continue;
+                }
+                labeling.add(item, interner.intern(&format!("{col}={}", value.render())));
+            }
+        }
+
+        let mut relations = HashMap::new();
+        for r in self.relations {
+            if relations.insert(r.name().to_string(), r).is_some() {
+                return Err(PpdError::Malformed("duplicate relation name".into()));
+            }
+        }
+        let mut preference_relations = HashMap::new();
+        for p in self.preference_relations {
+            for (si, session) in p.sessions().iter().enumerate() {
+                for &item in session.model().sigma().items() {
+                    if item as usize >= item_names.len() {
+                        return Err(PpdError::Malformed(format!(
+                            "p-relation {} session {si} ranks unknown item {item}",
+                            p.name()
+                        )));
+                    }
+                }
+            }
+            if preference_relations.insert(p.name().to_string(), p).is_some() {
+                return Err(PpdError::Malformed("duplicate p-relation name".into()));
+            }
+        }
+
+        Ok(PpdDatabase {
+            item_relation,
+            item_key_column,
+            item_names,
+            item_ids,
+            relations,
+            preference_relations,
+            interner,
+            labeling,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdb::polling_database;
+    use ppd_rim::{MallowsModel, Ranking};
+
+    #[test]
+    fn labels_are_derived_from_item_attributes() {
+        let db = polling_database();
+        assert_eq!(db.num_items(), 4);
+        assert_eq!(db.item_id("Clinton"), Some(1));
+        assert_eq!(db.item_name(3), Some("Rubio"));
+        assert_eq!(db.item_name(99), None);
+        let f = db.attribute_label("sex", &Value::from("F")).unwrap();
+        let m = db.attribute_label("sex", &Value::from("M")).unwrap();
+        assert!(db.labeling().has_label(1, f));
+        assert!(db.labeling().has_label(0, m));
+        assert!(!db.labeling().has_label(0, f));
+        assert!(db.attribute_label("sex", &Value::from("X")).is_none());
+        // Identity labels exist and are unique to their item.
+        let id_label = db.identity_label(2).unwrap();
+        assert!(db.labeling().has_label(2, id_label));
+        assert!(!db.labeling().has_label(1, id_label));
+        assert_eq!(
+            db.item_attribute(1, "party").cloned(),
+            Some(Value::from("D"))
+        );
+        assert_eq!(db.item_attribute(1, "nope"), None);
+    }
+
+    #[test]
+    fn build_rejects_unknown_items_and_duplicates() {
+        let items = Relation::new(
+            "Items",
+            vec!["id", "kind"],
+            vec![
+                vec![Value::from("a"), Value::from("x")],
+                vec![Value::from("b"), Value::from("y")],
+            ],
+        )
+        .unwrap();
+        // A session ranking an item id that does not exist in the catalogue.
+        let bad_session = crate::session::Session::new(
+            vec![Value::from("s1")],
+            MallowsModel::new(Ranking::new(vec![0, 7]).unwrap(), 0.5).unwrap(),
+        );
+        let prel =
+            PreferenceRelation::new("P", vec!["sid"], vec![bad_session]).unwrap();
+        let err = DatabaseBuilder::new()
+            .item_relation(items.clone(), "id")
+            .preference_relation(prel)
+            .build();
+        assert!(err.is_err());
+
+        // Duplicate item keys are rejected.
+        let dup = Relation::new(
+            "Items",
+            vec!["id", "kind"],
+            vec![
+                vec![Value::from("a"), Value::from("x")],
+                vec![Value::from("a"), Value::from("y")],
+            ],
+        )
+        .unwrap();
+        assert!(DatabaseBuilder::new()
+            .item_relation(dup, "id")
+            .build()
+            .is_err());
+
+        // Missing key column.
+        assert!(DatabaseBuilder::new()
+            .item_relation(items, "nope")
+            .build()
+            .is_err());
+    }
+}

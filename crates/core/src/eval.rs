@@ -1,0 +1,328 @@
+//! Evaluation of Boolean conjunctive queries: per-session inference, grouping
+//! of identical requests, and aggregation across sessions.
+
+use crate::database::PpdDatabase;
+use crate::query::ConjunctiveQuery;
+use crate::translate::{ground_query, GroundedSessionQuery};
+use crate::Result;
+use ppd_patterns::Pattern;
+use ppd_solvers::{choose_exact_solver, ApproxSolver, ExactSolver, GeneralSolver, MisAmpAdaptive};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Which inference engine to use for the per-session marginal probabilities.
+#[derive(Debug, Clone)]
+pub enum SolverChoice {
+    /// Pick the cheapest exact solver matching each union's class
+    /// (two-label / bipartite / general).
+    ExactAuto,
+    /// Always use the inclusion–exclusion general solver (the paper's
+    /// baseline; mostly useful for experiments).
+    GeneralExact,
+    /// Use the MIS-AMP-adaptive approximate solver with the given number of
+    /// samples per proposal distribution.
+    Approximate {
+        /// Samples drawn from each proposal distribution per round.
+        samples_per_proposal: usize,
+    },
+}
+
+/// Configuration of query evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// The inference engine.
+    pub solver: SolverChoice,
+    /// Whether sessions sharing the same (model, pattern union) are solved
+    /// once and the result reused (Section 6.4).
+    pub group_identical: bool,
+    /// Seed for the approximate solvers' random number generator.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            solver: SolverChoice::ExactAuto,
+            group_identical: true,
+            seed: 42,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Exact evaluation with automatic solver selection and grouping.
+    pub fn exact() -> Self {
+        EvalConfig::default()
+    }
+
+    /// Approximate evaluation with MIS-AMP-adaptive.
+    pub fn approximate(samples_per_proposal: usize) -> Self {
+        EvalConfig {
+            solver: SolverChoice::Approximate {
+                samples_per_proposal,
+            },
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Disables grouping of identical (model, union) requests.
+    pub fn without_grouping(mut self) -> Self {
+        self.group_identical = false;
+        self
+    }
+}
+
+/// Computes, for every qualifying session, the probability that the query
+/// holds in that session. Sessions that cannot satisfy the query are omitted
+/// (their probability is zero).
+pub fn session_probabilities(
+    db: &PpdDatabase,
+    query: &ConjunctiveQuery,
+    config: &EvalConfig,
+) -> Result<Vec<(usize, f64)>> {
+    let plan = ground_query(db, query)?;
+    session_probabilities_for_plan(db, &plan, config)
+}
+
+/// Like [`session_probabilities`] but starting from an already-grounded plan
+/// (lets experiment harnesses time grounding and inference separately).
+pub fn session_probabilities_for_plan(
+    db: &PpdDatabase,
+    plan: &GroundedSessionQuery,
+    config: &EvalConfig,
+) -> Result<Vec<(usize, f64)>> {
+    let prel = db
+        .preference_relation(&plan.prelation)
+        .ok_or_else(|| crate::PpdError::UnknownName(plan.prelation.clone()))?;
+    let mut results = Vec::with_capacity(plan.sessions.len());
+    // Cache keyed by (model content, union content).
+    type GroupKey = ((Vec<u32>, u64), Vec<Pattern>);
+    let mut cache: HashMap<GroupKey, f64> = HashMap::new();
+    for (order, squery) in plan.sessions.iter().enumerate() {
+        let session = &prel.sessions()[squery.session_index];
+        let key: GroupKey = (
+            session.model_key(),
+            squery.union.patterns().to_vec(),
+        );
+        let cached = if config.group_identical {
+            cache.get(&key).copied()
+        } else {
+            None
+        };
+        let probability = match cached {
+            Some(p) => p,
+            None => {
+                let p = solve_one(
+                    session.model(),
+                    &plan.labeling,
+                    &squery.union,
+                    config,
+                    order as u64,
+                )?;
+                if config.group_identical {
+                    cache.insert(key, p);
+                }
+                p
+            }
+        };
+        results.push((squery.session_index, probability));
+    }
+    Ok(results)
+}
+
+fn solve_one(
+    model: &ppd_rim::MallowsModel,
+    labeling: &ppd_patterns::Labeling,
+    union: &ppd_patterns::PatternUnion,
+    config: &EvalConfig,
+    salt: u64,
+) -> Result<f64> {
+    let p = match &config.solver {
+        SolverChoice::ExactAuto => {
+            let solver = choose_exact_solver(union);
+            solver.solve(&model.to_rim(), labeling, union)?
+        }
+        SolverChoice::GeneralExact => {
+            GeneralSolver::new().solve(&model.to_rim(), labeling, union)?
+        }
+        SolverChoice::Approximate {
+            samples_per_proposal,
+        } => {
+            let solver = MisAmpAdaptive::new(*samples_per_proposal);
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(salt));
+            solver.estimate(model, labeling, union, &mut rng)?
+        }
+    };
+    Ok(p.clamp(0.0, 1.0))
+}
+
+/// Evaluates a Boolean query: the probability that *some* session satisfies
+/// it, assuming session independence: `1 − Π_i (1 − Pr(Q | s_i))`.
+pub fn evaluate_boolean(
+    db: &PpdDatabase,
+    query: &ConjunctiveQuery,
+    config: &EvalConfig,
+) -> Result<f64> {
+    let per_session = session_probabilities(db, query, config)?;
+    let mut miss = 1.0;
+    for (_, p) in per_session {
+        miss *= 1.0 - p;
+    }
+    Ok(1.0 - miss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{CompareOp, ConjunctiveQuery, Term as T};
+    use crate::testdb::polling_database;
+    use ppd_patterns::satisfies_union;
+    use ppd_rim::Ranking;
+
+    fn q1() -> ConjunctiveQuery {
+        ConjunctiveQuery::new("Q1")
+            .prefer("Polls", vec![T::any(), T::any()], T::var("c1"), T::var("c2"))
+            .atom(
+                "Candidates",
+                vec![T::var("c1"), T::any(), T::val("F"), T::any(), T::any(), T::any()],
+            )
+            .atom(
+                "Candidates",
+                vec![T::var("c2"), T::any(), T::val("M"), T::any(), T::any(), T::any()],
+            )
+    }
+
+    /// Brute-force a session probability straight from the definition.
+    fn brute_session_probability(
+        db: &PpdDatabase,
+        query: &ConjunctiveQuery,
+        session_index: usize,
+    ) -> f64 {
+        let plan = ground_query(db, query).unwrap();
+        let squery = plan
+            .sessions
+            .iter()
+            .find(|s| s.session_index == session_index)
+            .unwrap();
+        let prel = db.preference_relation("Polls").unwrap();
+        let model = prel.sessions()[session_index].model();
+        Ranking::enumerate_all(model.sigma().items())
+            .iter()
+            .filter(|t| satisfies_union(t, &plan.labeling, &squery.union))
+            .map(|t| model.prob_of(t))
+            .sum()
+    }
+
+    #[test]
+    fn per_session_probabilities_match_brute_force() {
+        let db = polling_database();
+        let q = q1();
+        let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+        assert_eq!(per_session.len(), 3);
+        for &(sidx, p) in &per_session {
+            let expected = brute_session_probability(&db, &q, sidx);
+            assert!((p - expected).abs() < 1e-9, "session {sidx}");
+        }
+    }
+
+    #[test]
+    fn boolean_aggregation_uses_independence() {
+        let db = polling_database();
+        let q = q1();
+        let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+        let expected = 1.0
+            - per_session
+                .iter()
+                .map(|&(_, p)| 1.0 - p)
+                .product::<f64>();
+        let got = evaluate_boolean(&db, &q, &EvalConfig::exact()).unwrap();
+        assert!((expected - got).abs() < 1e-12);
+        assert!(got > 0.0 && got <= 1.0);
+    }
+
+    #[test]
+    fn grouping_does_not_change_results() {
+        let db = polling_database();
+        let q = q1();
+        let grouped = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+        let ungrouped =
+            session_probabilities(&db, &q, &EvalConfig::exact().without_grouping()).unwrap();
+        assert_eq!(grouped.len(), ungrouped.len());
+        for (a, b) in grouped.iter().zip(&ungrouped) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn general_solver_choice_agrees_with_auto() {
+        let db = polling_database();
+        let q = q1();
+        let auto = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+        let config = EvalConfig {
+            solver: SolverChoice::GeneralExact,
+            ..EvalConfig::default()
+        };
+        let general = session_probabilities(&db, &q, &config).unwrap();
+        for (a, b) in auto.iter().zip(&general) {
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn approximate_evaluation_is_close_to_exact() {
+        let db = polling_database();
+        let q = q1();
+        let exact = evaluate_boolean(&db, &q, &EvalConfig::exact()).unwrap();
+        let approx = evaluate_boolean(&db, &q, &EvalConfig::approximate(1_500)).unwrap();
+        assert!(
+            (exact - approx).abs() < 0.05,
+            "exact {exact}, approximate {approx}"
+        );
+    }
+
+    #[test]
+    fn non_itemwise_query_evaluates() {
+        // Q2 of the paper (Democrat preferred to Republican with same edu).
+        let db = polling_database();
+        let q = ConjunctiveQuery::new("Q2")
+            .prefer("Polls", vec![T::any(), T::any()], T::var("c1"), T::var("c2"))
+            .atom(
+                "Candidates",
+                vec![T::var("c1"), T::val("D"), T::any(), T::any(), T::var("e"), T::any()],
+            )
+            .atom(
+                "Candidates",
+                vec![T::var("c2"), T::val("R"), T::any(), T::any(), T::var("e"), T::any()],
+            );
+        let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+        assert_eq!(per_session.len(), 3);
+        for &(sidx, p) in &per_session {
+            let expected = brute_session_probability(&db, &q, sidx);
+            assert!((p - expected).abs() < 1e-9, "session {sidx}");
+            assert!(p > 0.0 && p < 1.0);
+        }
+        // Ann and Dave share the same centre ranking (Clinton first), so the
+        // query is very likely for them and less likely for Bob.
+        let p_of = |i: usize| per_session.iter().find(|&&(s, _)| s == i).unwrap().1;
+        assert!(p_of(0) > p_of(1));
+        assert!(p_of(2) > p_of(1));
+    }
+
+    #[test]
+    fn session_filter_with_comparison() {
+        let db = polling_database();
+        let q = ConjunctiveQuery::new("dated")
+            .prefer(
+                "Polls",
+                vec![T::any(), T::var("d")],
+                T::val("Clinton"),
+                T::val("Trump"),
+            )
+            .compare("d", CompareOp::Eq, "6/5");
+        let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+        assert_eq!(per_session.len(), 1);
+        assert_eq!(per_session[0].0, 2);
+    }
+}

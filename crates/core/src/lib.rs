@@ -1,0 +1,190 @@
+//! # ppd-core
+//!
+//! RIM-PPD: a probabilistic preference database and the evaluation of hard
+//! queries over it, as introduced in *"Supporting Hard Queries over
+//! Probabilistic Preferences"* (VLDB 2020).
+//!
+//! A [`PpdDatabase`] combines:
+//!
+//! * ordinary relations (*o-relations*) such as `Candidates` or `Voters`;
+//! * an **item relation** describing the items rankings are over; every
+//!   attribute value of an item becomes a label of that item, which is how
+//!   queries over item attributes reduce to label patterns;
+//! * preference relations (*p-relations*) whose tuples are *sessions*, each
+//!   carrying session attributes (voter, poll date, …) and a Mallows model
+//!   describing that session's uncertain ranking.
+//!
+//! Queries are conjunctive queries ([`ConjunctiveQuery`]) mixing preference
+//! atoms `P(session…; a; b)` with relation atoms and comparisons. Evaluation
+//! proceeds per session:
+//!
+//! 1. session attributes are bound and session-level selections applied;
+//! 2. remaining join variables (`V⁺(Q)`) are grounded over their active
+//!    domains (Algorithm 2), turning a non-itemwise CQ into a union of
+//!    itemwise CQs;
+//! 3. the union is translated into a [`ppd_patterns::PatternUnion`] and its
+//!    marginal probability over the session's model is computed with the
+//!    solvers of `ppd-solvers`;
+//! 4. per-session probabilities are aggregated: Boolean queries use
+//!    `1 − Π(1 − pᵢ)`, [`count_sessions`] sums them, and
+//!    [`most_probable_sessions`] ranks sessions (optionally with the
+//!    upper-bound top-k optimization of Section 3.2).
+//!
+//! Identical `(model, pattern union)` pairs across sessions are grouped and
+//! solved once (Section 6.4), which is what makes evaluation over hundreds of
+//! thousands of sessions practical.
+
+pub mod count;
+pub mod database;
+pub mod eval;
+pub mod query;
+pub mod relation;
+pub mod session;
+pub mod topk;
+pub mod translate;
+pub mod value;
+
+pub use count::count_sessions;
+pub use database::{DatabaseBuilder, PpdDatabase};
+pub use eval::{
+    evaluate_boolean, session_probabilities, session_probabilities_for_plan, EvalConfig,
+    SolverChoice,
+};
+pub use query::{CompareOp, Comparison, ConjunctiveQuery, PreferenceAtom, RelationAtom, Term};
+pub use relation::Relation;
+pub use session::{PreferenceRelation, Session};
+pub use topk::{most_probable_sessions, SessionScore, TopKStats, TopKStrategy};
+pub use translate::{ground_query, GroundedSessionQuery, QueryShape, SessionQuery};
+pub use value::Value;
+
+use ppd_patterns::PatternError;
+use ppd_rim::RimError;
+use ppd_solvers::SolverError;
+
+/// Errors produced by the database and query-evaluation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PpdError {
+    /// A relation, column, or item referenced by a query or builder call does
+    /// not exist.
+    UnknownName(String),
+    /// A relation tuple or schema is malformed (wrong arity, duplicate key…).
+    Malformed(String),
+    /// The query is outside the supported fragment (e.g. preference atoms
+    /// over two different p-relations).
+    UnsupportedQuery(String),
+    /// Propagated pattern error.
+    Pattern(PatternError),
+    /// Propagated ranking-model error.
+    Rim(RimError),
+    /// Propagated solver error.
+    Solver(SolverError),
+}
+
+impl std::fmt::Display for PpdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpdError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            PpdError::Malformed(m) => write!(f, "malformed input: {m}"),
+            PpdError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
+            PpdError::Pattern(e) => write!(f, "pattern error: {e}"),
+            PpdError::Rim(e) => write!(f, "ranking-model error: {e}"),
+            PpdError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PpdError {}
+
+impl From<PatternError> for PpdError {
+    fn from(e: PatternError) -> Self {
+        PpdError::Pattern(e)
+    }
+}
+
+impl From<RimError> for PpdError {
+    fn from(e: RimError) -> Self {
+        PpdError::Rim(e)
+    }
+}
+
+impl From<SolverError> for PpdError {
+    fn from(e: SolverError) -> Self {
+        PpdError::Solver(e)
+    }
+}
+
+/// Convenience result alias for the database layer.
+pub type Result<T> = std::result::Result<T, PpdError>;
+
+#[cfg(test)]
+pub(crate) mod testdb {
+    //! The running example of the paper (Figure 1): a small polling database.
+
+    use crate::database::{DatabaseBuilder, PpdDatabase};
+    use crate::relation::Relation;
+    use crate::session::{PreferenceRelation, Session};
+    use crate::value::Value;
+    use ppd_rim::{MallowsModel, Ranking};
+
+    /// Items: 0 = Trump, 1 = Clinton, 2 = Sanders, 3 = Rubio.
+    pub fn polling_database() -> PpdDatabase {
+        let candidates = Relation::new(
+            "Candidates",
+            vec!["candidate", "party", "sex", "age", "edu", "reg"],
+            vec![
+                vec!["Trump", "R", "M", "70", "BS", "NE"],
+                vec!["Clinton", "D", "F", "69", "JD", "NE"],
+                vec!["Sanders", "D", "M", "75", "BS", "NE"],
+                vec!["Rubio", "R", "M", "45", "JD", "S"],
+            ]
+            .into_iter()
+            .map(|row| row.into_iter().map(Value::from).collect())
+            .collect(),
+        )
+        .unwrap();
+        let voters = Relation::new(
+            "Voters",
+            vec!["voter", "sex", "age", "edu"],
+            vec![
+                vec!["Ann", "F", "20", "BS"],
+                vec!["Bob", "M", "30", "BS"],
+                vec!["Dave", "M", "50", "MS"],
+            ]
+            .into_iter()
+            .map(|row| row.into_iter().map(Value::from).collect())
+            .collect(),
+        )
+        .unwrap();
+        // Sessions of the Polls p-relation (Figure 1): item ids follow the
+        // order of the Candidates relation.
+        let ann = Session::new(
+            vec![Value::from("Ann"), Value::from("5/5")],
+            MallowsModel::new(Ranking::new(vec![1, 2, 3, 0]).unwrap(), 0.3).unwrap(),
+        );
+        let bob = Session::new(
+            vec![Value::from("Bob"), Value::from("5/5")],
+            MallowsModel::new(Ranking::new(vec![0, 3, 2, 1]).unwrap(), 0.3).unwrap(),
+        );
+        let dave = Session::new(
+            vec![Value::from("Dave"), Value::from("6/5")],
+            MallowsModel::new(Ranking::new(vec![1, 2, 3, 0]).unwrap(), 0.5).unwrap(),
+        );
+        let polls = PreferenceRelation::new("Polls", vec!["voter", "date"], vec![ann, bob, dave])
+            .unwrap();
+        DatabaseBuilder::new()
+            .item_relation(candidates, "candidate")
+            .relation(voters)
+            .preference_relation(polls)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn polling_database_builds() {
+        let db = polling_database();
+        assert_eq!(db.num_items(), 4);
+        assert_eq!(db.preference_relation("Polls").unwrap().sessions().len(), 3);
+        assert!(db.relation("Voters").is_some());
+        assert!(db.relation("Nope").is_none());
+    }
+}

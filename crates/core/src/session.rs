@@ -1,0 +1,160 @@
+//! Preference relations (*p-relations*) and their sessions.
+
+use crate::value::Value;
+use crate::{PpdError, Result};
+use ppd_rim::MallowsModel;
+
+/// One session of a preference relation: the session attributes (e.g. voter
+/// and poll date in Figure 1) together with the ranking model that describes
+/// this session's uncertain preferences.
+#[derive(Debug, Clone)]
+pub struct Session {
+    attrs: Vec<Value>,
+    model: MallowsModel,
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(attrs: Vec<Value>, model: MallowsModel) -> Self {
+        Session { attrs, model }
+    }
+
+    /// The session-attribute values, aligned with the p-relation's session
+    /// columns.
+    pub fn attrs(&self) -> &[Value] {
+        &self.attrs
+    }
+
+    /// The session's Mallows model.
+    pub fn model(&self) -> &MallowsModel {
+        &self.model
+    }
+
+    /// A key identifying the model's content, used to group sessions that
+    /// share the same model (Section 6.4). Two sessions with equal centre
+    /// rankings and dispersions share a key.
+    pub fn model_key(&self) -> (Vec<u32>, u64) {
+        (
+            self.model.sigma().items().to_vec(),
+            self.model.phi().to_bits(),
+        )
+    }
+}
+
+/// A preference relation: a session schema plus one [`Session`] per tuple.
+///
+/// Conceptually each session tuple expands into pairwise preference facts
+/// `(session; a; b)` for a random ranking drawn from the session's model; the
+/// p-relation stores the model rather than materialising those facts.
+#[derive(Debug, Clone)]
+pub struct PreferenceRelation {
+    name: String,
+    session_columns: Vec<String>,
+    sessions: Vec<Session>,
+}
+
+impl PreferenceRelation {
+    /// Builds a p-relation, validating session-attribute arities.
+    pub fn new(
+        name: impl Into<String>,
+        session_columns: Vec<impl Into<String>>,
+        sessions: Vec<Session>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let session_columns: Vec<String> = session_columns.into_iter().map(Into::into).collect();
+        for (i, c) in session_columns.iter().enumerate() {
+            if session_columns[..i].contains(c) {
+                return Err(PpdError::Malformed(format!(
+                    "p-relation {name}: duplicate session column {c}"
+                )));
+            }
+        }
+        for (idx, s) in sessions.iter().enumerate() {
+            if s.attrs().len() != session_columns.len() {
+                return Err(PpdError::Malformed(format!(
+                    "p-relation {name}: session {idx} has {} attributes but the schema has {}",
+                    s.attrs().len(),
+                    session_columns.len()
+                )));
+            }
+        }
+        Ok(PreferenceRelation {
+            name,
+            session_columns,
+            sessions,
+        })
+    }
+
+    /// The p-relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The session-attribute column names.
+    pub fn session_columns(&self) -> &[String] {
+        &self.session_columns
+    }
+
+    /// Index of a session column by name.
+    pub fn session_column_index(&self, column: &str) -> Option<usize> {
+        self.session_columns.iter().position(|c| c == column)
+    }
+
+    /// The sessions.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Appends a session (arity-checked).
+    pub fn push(&mut self, session: Session) -> Result<()> {
+        if session.attrs().len() != self.session_columns.len() {
+            return Err(PpdError::Malformed(format!(
+                "p-relation {}: session arity mismatch",
+                self.name
+            )));
+        }
+        self.sessions.push(session);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_rim::Ranking;
+
+    fn model(phi: f64) -> MallowsModel {
+        MallowsModel::new(Ranking::identity(4), phi).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let s = Session::new(vec![Value::from("Ann")], model(0.3));
+        assert!(PreferenceRelation::new("P", vec!["voter", "voter"], vec![]).is_err());
+        assert!(PreferenceRelation::new("P", vec!["voter", "date"], vec![s.clone()]).is_err());
+        let mut p = PreferenceRelation::new("P", vec!["voter"], vec![s]).unwrap();
+        assert_eq!(p.num_sessions(), 1);
+        assert!(p
+            .push(Session::new(vec![Value::from("Bob")], model(0.5)))
+            .is_ok());
+        assert!(p
+            .push(Session::new(vec![Value::from("Bob"), Value::Null], model(0.5)))
+            .is_err());
+        assert_eq!(p.session_column_index("voter"), Some(0));
+        assert_eq!(p.session_column_index("date"), None);
+    }
+
+    #[test]
+    fn model_keys_group_identical_models() {
+        let a = Session::new(vec![Value::from("Ann")], model(0.3));
+        let b = Session::new(vec![Value::from("Bob")], model(0.3));
+        let c = Session::new(vec![Value::from("Cat")], model(0.5));
+        assert_eq!(a.model_key(), b.model_key());
+        assert_ne!(a.model_key(), c.model_key());
+    }
+}

@@ -1,0 +1,267 @@
+//! Most-Probable-Session queries (Section 3.2): the `k` sessions most likely
+//! to satisfy a query, with the upper-bound-driven top-k optimization.
+
+use crate::database::PpdDatabase;
+use crate::eval::{EvalConfig, SolverChoice};
+use crate::query::ConjunctiveQuery;
+use crate::translate::ground_query;
+use crate::{PpdError, Result};
+use ppd_patterns::relaxed_upper_bound_union;
+use ppd_solvers::{choose_exact_solver, ApproxSolver, ExactSolver, GeneralSolver, MisAmpAdaptive};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluation strategy for `top(Q, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopKStrategy {
+    /// Compute the exact probability of every session, then sort ("full" in
+    /// Figure 8).
+    Naive,
+    /// First compute cheap upper bounds from a relaxed union that keeps only
+    /// the hardest `edges_per_pattern` transitive-closure edges per pattern
+    /// ("1-edge" / "2-edge" in Figure 8), then evaluate sessions exactly in
+    /// decreasing upper-bound order until the answer is certain.
+    UpperBound {
+        /// Number of edges kept per pattern when building the relaxation.
+        edges_per_pattern: usize,
+    },
+}
+
+/// One entry of a top-k answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionScore {
+    /// Index of the session within its p-relation.
+    pub session_index: usize,
+    /// Exact (or approximate, per the configuration) probability that the
+    /// session satisfies the query.
+    pub probability: f64,
+}
+
+/// Bookkeeping about a top-k evaluation, used by the Figure 8 harness.
+#[derive(Debug, Clone, Default)]
+pub struct TopKStats {
+    /// Number of sessions whose probability was evaluated with the full
+    /// (non-relaxed) union.
+    pub exact_evaluations: usize,
+    /// Number of sessions whose upper bound was computed.
+    pub upper_bounds_computed: usize,
+}
+
+/// Evaluates `top(Q, k)`: the `k` sessions with the highest probability of
+/// satisfying `Q`, together with evaluation statistics.
+pub fn most_probable_sessions(
+    db: &PpdDatabase,
+    query: &ConjunctiveQuery,
+    k: usize,
+    strategy: TopKStrategy,
+    config: &EvalConfig,
+) -> Result<(Vec<SessionScore>, TopKStats)> {
+    let plan = ground_query(db, query)?;
+    let prel = db
+        .preference_relation(&plan.prelation)
+        .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?;
+    let mut stats = TopKStats::default();
+
+    let solve_full = |session_index: usize,
+                      union: &ppd_patterns::PatternUnion,
+                      salt: u64|
+     -> Result<f64> {
+        let model = prel.sessions()[session_index].model();
+        let p = match &config.solver {
+            SolverChoice::ExactAuto => {
+                choose_exact_solver(union).solve(&model.to_rim(), &plan.labeling, union)?
+            }
+            SolverChoice::GeneralExact => {
+                GeneralSolver::new().solve(&model.to_rim(), &plan.labeling, union)?
+            }
+            SolverChoice::Approximate {
+                samples_per_proposal,
+            } => {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(salt));
+                MisAmpAdaptive::new(*samples_per_proposal).estimate(
+                    model,
+                    &plan.labeling,
+                    union,
+                    &mut rng,
+                )?
+            }
+        };
+        Ok(p.clamp(0.0, 1.0))
+    };
+
+    let mut scores: Vec<SessionScore> = Vec::new();
+    match strategy {
+        TopKStrategy::Naive => {
+            for (order, squery) in plan.sessions.iter().enumerate() {
+                let p = solve_full(squery.session_index, &squery.union, order as u64)?;
+                stats.exact_evaluations += 1;
+                scores.push(SessionScore {
+                    session_index: squery.session_index,
+                    probability: p,
+                });
+            }
+        }
+        TopKStrategy::UpperBound { edges_per_pattern } => {
+            // Stage 1: cheap upper bounds from the relaxed unions.
+            let mut bounded: Vec<(usize, f64)> = Vec::with_capacity(plan.sessions.len());
+            for squery in &plan.sessions {
+                let model = prel.sessions()[squery.session_index].model();
+                let relaxed = relaxed_upper_bound_union(
+                    &squery.union,
+                    model.sigma(),
+                    &plan.labeling,
+                    edges_per_pattern,
+                )?;
+                let ub = choose_exact_solver(&relaxed)
+                    .solve(&model.to_rim(), &plan.labeling, &relaxed)?
+                    .clamp(0.0, 1.0);
+                stats.upper_bounds_computed += 1;
+                bounded.push((squery.session_index, ub));
+            }
+            // Stage 2: exact evaluation in decreasing upper-bound order.
+            bounded.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let union_of = |session_index: usize| {
+                plan.sessions
+                    .iter()
+                    .find(|s| s.session_index == session_index)
+                    .map(|s| &s.union)
+                    .expect("bounded sessions come from the plan")
+            };
+            for (pos, &(session_index, _ub)) in bounded.iter().enumerate() {
+                let p = solve_full(session_index, union_of(session_index), pos as u64)?;
+                stats.exact_evaluations += 1;
+                scores.push(SessionScore {
+                    session_index,
+                    probability: p,
+                });
+                // Termination test: the k-th best exact probability found so
+                // far dominates every remaining upper bound.
+                if scores.len() >= k {
+                    let mut exact_so_far: Vec<f64> =
+                        scores.iter().map(|s| s.probability).collect();
+                    exact_so_far
+                        .sort_by(|a, b| b.partial_cmp(a).unwrap());
+                    let kth = exact_so_far[k - 1];
+                    let next_ub = bounded.get(pos + 1).map(|&(_, ub)| ub).unwrap_or(0.0);
+                    if kth >= next_ub - 1e-12 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    scores.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .unwrap()
+            .then(a.session_index.cmp(&b.session_index))
+    });
+    scores.truncate(k);
+    Ok((scores, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Term as T;
+    use crate::testdb::polling_database;
+
+    fn query_f_over_m() -> ConjunctiveQuery {
+        ConjunctiveQuery::new("topk-f-over-m")
+            .prefer("Polls", vec![T::any(), T::any()], T::var("c1"), T::var("c2"))
+            .atom(
+                "Candidates",
+                vec![T::var("c1"), T::any(), T::val("F"), T::any(), T::any(), T::any()],
+            )
+            .atom(
+                "Candidates",
+                vec![T::var("c2"), T::any(), T::val("M"), T::any(), T::any(), T::any()],
+            )
+    }
+
+    #[test]
+    fn naive_and_upper_bound_strategies_agree() {
+        let db = polling_database();
+        let q = query_f_over_m();
+        for k in 1..=3 {
+            let (naive, _) = most_probable_sessions(
+                &db,
+                &q,
+                k,
+                TopKStrategy::Naive,
+                &EvalConfig::exact(),
+            )
+            .unwrap();
+            for edges in 1..=2 {
+                let (optimized, stats) = most_probable_sessions(
+                    &db,
+                    &q,
+                    k,
+                    TopKStrategy::UpperBound {
+                        edges_per_pattern: edges,
+                    },
+                    &EvalConfig::exact(),
+                )
+                .unwrap();
+                assert_eq!(naive.len(), optimized.len());
+                for (a, b) in naive.iter().zip(&optimized) {
+                    assert_eq!(a.session_index, b.session_index);
+                    assert!((a.probability - b.probability).abs() < 1e-9);
+                }
+                assert!(stats.upper_bounds_computed == 3);
+                assert!(stats.exact_evaluations >= k);
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_strategy_can_skip_exact_evaluations() {
+        let db = polling_database();
+        // Ann and Dave strongly prefer Clinton; Bob does not. With k = 1 the
+        // optimizer should not need to evaluate every session exactly.
+        let q = ConjunctiveQuery::new("clinton-first")
+            .prefer(
+                "Polls",
+                vec![T::any(), T::any()],
+                T::val("Clinton"),
+                T::val("Trump"),
+            )
+            .prefer(
+                "Polls",
+                vec![T::any(), T::any()],
+                T::val("Clinton"),
+                T::val("Rubio"),
+            );
+        let (top, stats) = most_probable_sessions(
+            &db,
+            &q,
+            1,
+            TopKStrategy::UpperBound {
+                edges_per_pattern: 2,
+            },
+            &EvalConfig::exact(),
+        )
+        .unwrap();
+        assert_eq!(top.len(), 1);
+        assert!(top[0].session_index == 0 || top[0].session_index == 2);
+        assert!(stats.exact_evaluations <= 3);
+        let (naive, naive_stats) =
+            most_probable_sessions(&db, &q, 1, TopKStrategy::Naive, &EvalConfig::exact()).unwrap();
+        assert_eq!(naive_stats.exact_evaluations, 3);
+        assert!((naive[0].probability - top[0].probability).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_session_count_returns_everything() {
+        let db = polling_database();
+        let q = query_f_over_m();
+        let (top, _) =
+            most_probable_sessions(&db, &q, 10, TopKStrategy::Naive, &EvalConfig::exact())
+                .unwrap();
+        assert_eq!(top.len(), 3);
+        // Scores are sorted in decreasing order.
+        for w in top.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+    }
+}

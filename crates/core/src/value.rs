@@ -1,0 +1,135 @@
+//! Attribute values stored in relations and compared by queries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database value: a string, an integer, or NULL.
+///
+/// Values are deliberately simple — the paper's datasets only need
+/// categorical attributes (party, sex, genre, education) and small integers
+/// (age, year). Integers and numeric strings compare numerically so that
+/// conditions such as `year >= 1990` behave as expected regardless of how the
+/// generator stored the attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A string value.
+    Str(String),
+    /// An integer value.
+    Int(i64),
+    /// An absent value.
+    Null,
+}
+
+impl Value {
+    /// The value as an integer, if it is an integer or a numeric string.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(s) => s.trim().parse().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// The value rendered as a string (used to derive labels).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Null => "NULL".to_string(),
+        }
+    }
+
+    /// `true` when this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Semantic equality: integers and numeric strings representing the same
+    /// number are equal, otherwise the rendered strings are compared.
+    pub fn semantically_equals(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        match (self.as_int(), other.as_int()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.render() == other.render(),
+        }
+    }
+
+    /// Numeric comparison used by inequality predicates; `None` when either
+    /// side is not numeric.
+    pub fn compare_numeric(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        Some(self.as_int()?.cmp(&other.as_int()?))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+    }
+
+    #[test]
+    fn numeric_semantics() {
+        assert_eq!(Value::from("42").as_int(), Some(42));
+        assert_eq!(Value::from("4a").as_int(), None);
+        assert!(Value::from(42i64).semantically_equals(&Value::from("42")));
+        assert!(!Value::from("abc").semantically_equals(&Value::from("abd")));
+        assert!(!Value::Null.semantically_equals(&Value::Null));
+        assert_eq!(
+            Value::from(1990i64).compare_numeric(&Value::from("2001")),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(Value::from("x").compare_numeric(&Value::from(1i64)), None);
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(Value::from("F").render(), "F");
+        assert_eq!(Value::from(7i64).to_string(), "7");
+        assert_eq!(Value::Null.render(), "NULL");
+        assert!(Value::Null.is_null());
+    }
+}

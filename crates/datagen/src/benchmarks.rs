@@ -1,0 +1,414 @@
+//! Benchmark-A, -B, -C, -D: synthetic pattern-union workloads over labeled
+//! Mallows models (Section 6.1 of the paper).
+
+use crate::SolverInstance;
+use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
+use ppd_rim::{Item, MallowsModel, Ranking};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Samples `count` distinct items, item `σ_i` (1-based) drawn with
+/// probability ∝ `weight(i)`.
+fn weighted_distinct_items<R: Rng + ?Sized>(
+    m: usize,
+    count: usize,
+    weight: impl Fn(usize) -> f64,
+    rng: &mut R,
+) -> Vec<Item> {
+    let mut chosen: Vec<Item> = Vec::with_capacity(count);
+    let mut available: Vec<usize> = (1..=m).collect();
+    for _ in 0..count.min(m) {
+        let weights: Vec<f64> = available.iter().map(|&i| weight(i)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut u = rng.gen::<f64>() * total;
+        let mut pick = available.len() - 1;
+        for (idx, w) in weights.iter().enumerate() {
+            if u < *w {
+                pick = idx;
+                break;
+            }
+            u -= w;
+        }
+        chosen.push((available.remove(pick) - 1) as Item);
+        if available.is_empty() {
+            break;
+        }
+    }
+    chosen
+}
+
+/// Benchmark-A: `count` pattern unions over `MAL(⟨σ_1…σ_15⟩, 0.1)`. Every
+/// union has three bipartite patterns `{A ≻ C, A ≻ D, B ≻ D}`; the three
+/// patterns share the items of labels `B` and `D`; labels `A`/`B` prefer
+/// high-rank items (`p_i ∝ i^1.5`) while `C`/`D` prefer low-rank items
+/// (`p_i ∝ (16 − i)^1.5`), producing unions with low probabilities that
+/// stress the accuracy of the approximate solvers. The paper uses 33 unions;
+/// `count` makes the family size configurable.
+pub fn benchmark_a(count: usize, seed: u64) -> Vec<SolverInstance> {
+    let m = 15usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for idx in 0..count {
+        let model = MallowsModel::new(Ranking::identity(m), 0.1).unwrap();
+        let mut labeling = Labeling::new();
+        for item in 0..m as Item {
+            labeling.add_item(item);
+        }
+        let mut next_label = 0u32;
+        let mut fresh = || {
+            next_label += 1;
+            next_label - 1
+        };
+        // Shared labels B and D.
+        let top_weight = |i: usize| (i as f64).powf(1.5);
+        let bottom_weight = |i: usize| ((16 - i) as f64).powf(1.5);
+        let label_b = fresh();
+        let label_d = fresh();
+        for item in weighted_distinct_items(m, 3, top_weight, &mut rng) {
+            labeling.add(item, label_b);
+        }
+        for item in weighted_distinct_items(m, 3, bottom_weight, &mut rng) {
+            labeling.add(item, label_d);
+        }
+        let mut patterns = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let label_a = fresh();
+            let label_c = fresh();
+            for item in weighted_distinct_items(m, 3, top_weight, &mut rng) {
+                labeling.add(item, label_a);
+            }
+            for item in weighted_distinct_items(m, 3, bottom_weight, &mut rng) {
+                labeling.add(item, label_c);
+            }
+            let pattern = Pattern::new(
+                vec![
+                    NodeSelector::single(label_a),
+                    NodeSelector::single(label_b),
+                    NodeSelector::single(label_c),
+                    NodeSelector::single(label_d),
+                ],
+                vec![(0, 2), (0, 3), (1, 3)],
+            )
+            .unwrap();
+            patterns.push(pattern);
+        }
+        out.push(SolverInstance {
+            description: format!("benchmark-a #{idx} (m=15, phi=0.1)"),
+            model,
+            labeling,
+            union: PatternUnion::new(patterns).unwrap(),
+        });
+    }
+    out
+}
+
+/// Parameters of one Benchmark-B cell.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkBConfig {
+    /// Number of items in the Mallows model.
+    pub num_items: usize,
+    /// Mallows dispersion.
+    pub phi: f64,
+    /// Number of patterns per union.
+    pub patterns_per_union: usize,
+    /// Number of labels per pattern.
+    pub labels_per_pattern: usize,
+    /// Number of items per label.
+    pub items_per_label: usize,
+    /// Number of instances to generate.
+    pub instances: usize,
+}
+
+impl Default for BenchmarkBConfig {
+    fn default() -> Self {
+        BenchmarkBConfig {
+            num_items: 20,
+            phi: 0.1,
+            patterns_per_union: 2,
+            labels_per_pattern: 3,
+            items_per_label: 3,
+            instances: 10,
+        }
+    }
+}
+
+/// Benchmark-B: unions of general patterns over a random partial order of
+/// labels. All patterns of a union share the same edge structure (the same
+/// random partial order of label *slots*) but use different labels, i.e.
+/// different candidate item sets.
+pub fn benchmark_b(config: &BenchmarkBConfig, seed: u64) -> Vec<SolverInstance> {
+    generate_random_union_family(config, seed, EdgeStyle::RandomPartialOrder, "benchmark-b")
+}
+
+/// Parameters of one Benchmark-C cell.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkCConfig {
+    /// Number of items in the Mallows model.
+    pub num_items: usize,
+    /// Mallows dispersion.
+    pub phi: f64,
+    /// Number of patterns per union.
+    pub patterns_per_union: usize,
+    /// Number of labels per pattern.
+    pub labels_per_pattern: usize,
+    /// Number of items per label.
+    pub items_per_label: usize,
+    /// Number of instances to generate.
+    pub instances: usize,
+}
+
+impl Default for BenchmarkCConfig {
+    fn default() -> Self {
+        BenchmarkCConfig {
+            num_items: 12,
+            phi: 0.1,
+            patterns_per_union: 2,
+            labels_per_pattern: 3,
+            items_per_label: 3,
+            instances: 10,
+        }
+    }
+}
+
+/// Benchmark-C: unions of bipartite patterns whose edges form a random
+/// bipartite DAG over the label slots; smaller models than Benchmark-B.
+pub fn benchmark_c(config: &BenchmarkCConfig, seed: u64) -> Vec<SolverInstance> {
+    let b = BenchmarkBConfig {
+        num_items: config.num_items,
+        phi: config.phi,
+        patterns_per_union: config.patterns_per_union,
+        labels_per_pattern: config.labels_per_pattern,
+        items_per_label: config.items_per_label,
+        instances: config.instances,
+    };
+    generate_random_union_family(&b, seed, EdgeStyle::RandomBipartite, "benchmark-c")
+}
+
+/// Parameters of one Benchmark-D cell.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkDConfig {
+    /// Number of items in the Mallows model.
+    pub num_items: usize,
+    /// Mallows dispersion.
+    pub phi: f64,
+    /// Number of two-label patterns per union.
+    pub patterns_per_union: usize,
+    /// Number of items per label.
+    pub items_per_label: usize,
+    /// Number of instances to generate.
+    pub instances: usize,
+}
+
+impl Default for BenchmarkDConfig {
+    fn default() -> Self {
+        BenchmarkDConfig {
+            num_items: 20,
+            phi: 0.5,
+            patterns_per_union: 2,
+            items_per_label: 3,
+            instances: 10,
+        }
+    }
+}
+
+/// Benchmark-D: randomly generated unions of two-label patterns, used to map
+/// out the two-label solver's scalability (Figure 6).
+pub fn benchmark_d(config: &BenchmarkDConfig, seed: u64) -> Vec<SolverInstance> {
+    let b = BenchmarkBConfig {
+        num_items: config.num_items,
+        phi: config.phi,
+        patterns_per_union: config.patterns_per_union,
+        labels_per_pattern: 2,
+        items_per_label: config.items_per_label,
+        instances: config.instances,
+    };
+    generate_random_union_family(&b, seed, EdgeStyle::SingleEdge, "benchmark-d")
+}
+
+enum EdgeStyle {
+    RandomPartialOrder,
+    RandomBipartite,
+    SingleEdge,
+}
+
+fn generate_random_union_family(
+    config: &BenchmarkBConfig,
+    seed: u64,
+    style: EdgeStyle,
+    family: &str,
+) -> Vec<SolverInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(config.instances);
+    for idx in 0..config.instances {
+        let m = config.num_items;
+        let q = config.labels_per_pattern.max(2);
+        let model = MallowsModel::new(Ranking::identity(m), config.phi).unwrap();
+        // Shared edge structure over label slots 0..q.
+        let edges: Vec<(usize, usize)> = match style {
+            EdgeStyle::SingleEdge => vec![(0, 1)],
+            EdgeStyle::RandomPartialOrder => {
+                let mut e = Vec::new();
+                for a in 0..q {
+                    for b in (a + 1)..q {
+                        if rng.gen_bool(0.5) {
+                            e.push((a, b));
+                        }
+                    }
+                }
+                if e.is_empty() {
+                    e.push((0, q - 1));
+                }
+                e
+            }
+            EdgeStyle::RandomBipartite => {
+                // Split the slots into a left and right part and connect them
+                // randomly (each right slot gets at least one incoming edge).
+                let split = (q / 2).max(1);
+                let mut e = Vec::new();
+                for b in split..q {
+                    let a = rng.gen_range(0..split);
+                    e.push((a, b));
+                }
+                for a in 0..split {
+                    for b in split..q {
+                        if !e.contains(&(a, b)) && rng.gen_bool(0.3) {
+                            e.push((a, b));
+                        }
+                    }
+                }
+                // Every left slot needs at least one edge, otherwise the
+                // pattern would contain an isolated node and no longer count
+                // as bipartite.
+                for a in 0..split {
+                    if !e.iter().any(|&(x, _)| x == a) {
+                        let b = rng.gen_range(split..q);
+                        e.push((a, b));
+                    }
+                }
+                e
+            }
+        };
+        // One pattern per union member: fresh labels, random item sets.
+        let mut labeling = Labeling::new();
+        for item in 0..m as Item {
+            labeling.add_item(item);
+        }
+        let mut next_label = 0u32;
+        let mut patterns = Vec::with_capacity(config.patterns_per_union);
+        let all_items: Vec<Item> = (0..m as Item).collect();
+        for _ in 0..config.patterns_per_union {
+            let mut selectors = Vec::with_capacity(q);
+            for _ in 0..q {
+                let label = next_label;
+                next_label += 1;
+                let chosen: Vec<Item> = all_items
+                    .choose_multiple(&mut rng, config.items_per_label.min(m))
+                    .copied()
+                    .collect();
+                for item in chosen {
+                    labeling.add(item, label);
+                }
+                selectors.push(NodeSelector::single(label));
+            }
+            patterns.push(Pattern::new(selectors, edges.clone()).unwrap());
+        }
+        out.push(SolverInstance {
+            description: format!(
+                "{family} #{idx} (m={m}, phi={}, z={}, q={q}, items/label={})",
+                config.phi, config.patterns_per_union, config.items_per_label
+            ),
+            model,
+            labeling,
+            union: PatternUnion::new(patterns).unwrap(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_patterns::UnionClass;
+
+    #[test]
+    fn benchmark_b_respects_configuration() {
+        let config = BenchmarkBConfig {
+            num_items: 20,
+            phi: 0.1,
+            patterns_per_union: 3,
+            labels_per_pattern: 4,
+            items_per_label: 5,
+            instances: 5,
+        };
+        let instances = benchmark_b(&config, 7);
+        assert_eq!(instances.len(), 5);
+        for inst in &instances {
+            assert_eq!(inst.model.num_items(), 20);
+            assert_eq!(inst.union.num_patterns(), 3);
+            for p in inst.union.patterns() {
+                assert_eq!(p.num_nodes(), 4);
+                assert!(p.num_edges() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_c_is_bipartite() {
+        let config = BenchmarkCConfig {
+            num_items: 12,
+            patterns_per_union: 2,
+            labels_per_pattern: 4,
+            items_per_label: 3,
+            instances: 6,
+            phi: 0.1,
+        };
+        for inst in benchmark_c(&config, 11) {
+            assert!(matches!(
+                inst.union.classify(),
+                UnionClass::Bipartite | UnionClass::TwoLabel
+            ));
+        }
+    }
+
+    #[test]
+    fn benchmark_d_is_two_label() {
+        let config = BenchmarkDConfig {
+            num_items: 20,
+            patterns_per_union: 4,
+            items_per_label: 3,
+            instances: 6,
+            phi: 0.5,
+        };
+        for inst in benchmark_d(&config, 13) {
+            assert_eq!(inst.union.classify(), UnionClass::TwoLabel);
+            assert_eq!(inst.union.num_patterns(), 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = benchmark_a(3, 5);
+        let b = benchmark_a(3, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.union, y.union);
+            assert_eq!(x.labeling, y.labeling);
+        }
+        let c = benchmark_a(3, 6);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.union != y.union || x.labeling != y.labeling));
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_items() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut top_hits = 0;
+        for _ in 0..200 {
+            let items = weighted_distinct_items(15, 3, |i| (i as f64).powf(3.0), &mut rng);
+            assert_eq!(items.len(), 3);
+            if items.iter().any(|&it| it >= 12) {
+                top_hits += 1;
+            }
+        }
+        assert!(top_hits > 150);
+    }
+}

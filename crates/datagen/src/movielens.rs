@@ -1,0 +1,163 @@
+//! A synthetic stand-in for the MovieLens dataset (Section 6.1).
+//!
+//! The paper selects the 200 most-rated movies, learns a 16-component Mallows
+//! mixture from the ratings of ~6000 users, and stores movie metadata in a
+//! relation `M(id, title, year, genre)`. The raw ratings are not
+//! redistributable here, so this generator produces a movie catalogue with
+//! the same attribute structure (plus the runtime and lead-actor attributes
+//! used by the Section 6.4 query) and user sessions whose models are drawn
+//! from a synthetic 16-component mixture with genre/era-correlated centres.
+
+use ppd_core::{DatabaseBuilder, PpdDatabase, PreferenceRelation, Relation, Session, Value};
+use ppd_rim::{Item, MallowsModel, Ranking};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the MovieLens-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct MovieLensConfig {
+    /// Number of movies in the catalogue (the paper uses 200).
+    pub num_movies: usize,
+    /// Number of mixture components (the paper learns 16).
+    pub num_components: usize,
+    /// Number of user sessions to materialise.
+    pub num_users: usize,
+    /// Mallows dispersion of each component.
+    pub phi: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MovieLensConfig {
+    fn default() -> Self {
+        MovieLensConfig {
+            num_movies: 200,
+            num_components: 16,
+            num_users: 64,
+            phi: 0.3,
+            seed: 1997,
+        }
+    }
+}
+
+const GENRES: [&str; 8] = [
+    "Drama", "Comedy", "Thriller", "Action", "Romance", "SciFi", "Horror", "Animation",
+];
+
+/// Generates the MovieLens-like database: item relation
+/// `Movies(id, title, year, genre, runtime, lead_sex, lead_age)` and a
+/// p-relation `Ratings(user)` with one session per user.
+pub fn movielens_database(config: &MovieLensConfig) -> PpdDatabase {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let m = config.num_movies.max(2);
+
+    let mut movie_tuples = Vec::with_capacity(m);
+    for i in 0..m {
+        let year = 1960 + rng.gen_range(0..46) as i64;
+        let genre = GENRES[rng.gen_range(0..GENRES.len())];
+        let runtime = if rng.gen_bool(0.3) { "short" } else { "long" };
+        let lead_sex = if rng.gen_bool(0.5) { "F" } else { "M" };
+        let lead_age = 20 + 10 * rng.gen_range(0..5) as i64;
+        movie_tuples.push(vec![
+            Value::from(i as i64),
+            Value::from(format!("movie{i}")),
+            Value::from(year),
+            Value::from(genre),
+            Value::from(runtime),
+            Value::from(lead_sex),
+            Value::from(lead_age),
+        ]);
+    }
+    let movies = Relation::new(
+        "Movies",
+        vec!["id", "title", "year", "genre", "runtime", "lead_sex", "lead_age"],
+        movie_tuples.clone(),
+    )
+    .expect("well-formed movie tuples");
+
+    // Mixture components: each centre mildly prefers one genre/era slice by
+    // sorting with a per-component random affinity plus noise.
+    let mut components: Vec<MallowsModel> = Vec::with_capacity(config.num_components);
+    for _ in 0..config.num_components.max(1) {
+        let favourite_genre = rng.gen_range(0..GENRES.len());
+        let era_split = 1960 + rng.gen_range(0..46) as i64;
+        let mut scored: Vec<(f64, Item)> = (0..m)
+            .map(|i| {
+                let genre = movie_tuples[i][3].render();
+                let year = movie_tuples[i][2].as_int().unwrap_or(1980);
+                let mut score = rng.gen::<f64>();
+                if genre == GENRES[favourite_genre] {
+                    score -= 0.8;
+                }
+                if year >= era_split {
+                    score -= 0.4;
+                }
+                (score, i as Item)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let sigma = Ranking::new(scored.into_iter().map(|(_, it)| it).collect())
+            .expect("permutation of movie ids");
+        components.push(MallowsModel::new(sigma, config.phi).expect("valid phi"));
+    }
+
+    let mut sessions = Vec::with_capacity(config.num_users);
+    for u in 0..config.num_users {
+        let model = components
+            .choose(&mut rng)
+            .expect("at least one component")
+            .clone();
+        sessions.push(Session::new(vec![Value::from(format!("user{u}"))], model));
+    }
+    let ratings =
+        PreferenceRelation::new("Ratings", vec!["user"], sessions).expect("valid sessions");
+
+    DatabaseBuilder::new()
+        .item_relation(movies, "id")
+        .preference_relation(ratings)
+        .build()
+        .expect("movielens database is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let db = movielens_database(&MovieLensConfig {
+            num_movies: 40,
+            num_components: 4,
+            num_users: 10,
+            phi: 0.3,
+            seed: 2,
+        });
+        assert_eq!(db.num_items(), 40);
+        assert_eq!(db.preference_relation("Ratings").unwrap().num_sessions(), 10);
+        // Year and genre labels exist.
+        assert!(db
+            .item_attribute(0, "year")
+            .and_then(|v| v.as_int())
+            .is_some());
+        assert!(GENRES.contains(&db.item_attribute(0, "genre").unwrap().render().as_str()));
+    }
+
+    #[test]
+    fn sessions_reuse_the_mixture_components() {
+        let db = movielens_database(&MovieLensConfig {
+            num_movies: 30,
+            num_components: 3,
+            num_users: 40,
+            phi: 0.2,
+            seed: 9,
+        });
+        let sessions = db.preference_relation("Ratings").unwrap().sessions();
+        let distinct: std::collections::HashSet<Vec<u32>> = sessions
+            .iter()
+            .map(|s| s.model().sigma().items().to_vec())
+            .collect();
+        assert!(distinct.len() <= 3);
+        assert!(distinct.len() >= 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Pattern nodes: label selectors.
+
+use crate::label::{LabelId, Labeling};
+use ppd_rim::Item;
+use std::collections::BTreeSet;
+
+/// A pattern node: a conjunction of labels that a matching item must carry.
+///
+/// The paper writes nodes either as atomic labels (`F`, `M`) or as sets of
+/// labels (`{M, JD}`); both are instances of a selector. A selector with an
+/// empty label set matches every item.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeSelector {
+    labels: BTreeSet<LabelId>,
+}
+
+impl NodeSelector {
+    /// A selector requiring a single label.
+    pub fn single(label: LabelId) -> Self {
+        NodeSelector {
+            labels: [label].into_iter().collect(),
+        }
+    }
+
+    /// A selector requiring all of the given labels.
+    pub fn all_of(labels: impl IntoIterator<Item = LabelId>) -> Self {
+        NodeSelector {
+            labels: labels.into_iter().collect(),
+        }
+    }
+
+    /// A selector that matches every item.
+    pub fn any() -> Self {
+        NodeSelector::default()
+    }
+
+    /// The labels required by this selector.
+    pub fn labels(&self) -> &BTreeSet<LabelId> {
+        &self.labels
+    }
+
+    /// `true` when `item` matches this selector under `labeling`.
+    pub fn matches(&self, item: Item, labeling: &Labeling) -> bool {
+        labeling.has_all_labels(item, &self.labels)
+    }
+
+    /// The candidate items of this selector within `universe`.
+    pub fn candidates(&self, universe: &[Item], labeling: &Labeling) -> Vec<Item> {
+        labeling.matching_items(universe, &self.labels)
+    }
+
+    /// A short human-readable rendering, e.g. `{3,7}`.
+    pub fn describe(&self) -> String {
+        let inner: Vec<String> = self.labels.iter().map(|l| l.to_string()).collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_and_candidates() {
+        let mut lab = Labeling::new();
+        lab.add_all(0, [1, 2]);
+        lab.add_all(1, [2]);
+        lab.add_item(2);
+        let universe = [0, 1, 2];
+
+        let single = NodeSelector::single(2);
+        assert!(single.matches(0, &lab));
+        assert!(single.matches(1, &lab));
+        assert!(!single.matches(2, &lab));
+        assert_eq!(single.candidates(&universe, &lab), vec![0, 1]);
+
+        let both = NodeSelector::all_of([1, 2]);
+        assert_eq!(both.candidates(&universe, &lab), vec![0]);
+
+        let any = NodeSelector::any();
+        assert_eq!(any.candidates(&universe, &lab), vec![0, 1, 2]);
+        assert!(any.matches(42, &lab));
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        let sel = NodeSelector::all_of([7, 3]);
+        assert_eq!(sel.describe(), "{3,7}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Satisfaction semantics: does a ranking (with a labeling) match a pattern?
+//!
+//! This module is the single source of truth for the embedding semantics of
+//! Section 2.3: every solver in `ppd-solvers` (brute force, exact DPs,
+//! samplers) is validated against, or directly uses, these functions.
+
+use crate::label::Labeling;
+use crate::pattern::Pattern;
+use crate::union::PatternUnion;
+use ppd_rim::Ranking;
+
+/// Finds an embedding of `pattern` into `ranking` (with respect to
+/// `labeling`), returning for each pattern node the 0-based position of the
+/// item it is matched to, or `None` if no embedding exists.
+///
+/// The embedding returned is the *earliest* one: processing nodes in
+/// topological order, each node is matched to the earliest position that
+/// carries its labels and lies strictly below all of its parents' matched
+/// positions. Because making a node's position smaller never invalidates its
+/// descendants, this greedy least fixpoint succeeds whenever any embedding
+/// exists, so the check is both sound and complete.
+pub fn find_embedding(
+    ranking: &Ranking,
+    labeling: &Labeling,
+    pattern: &Pattern,
+) -> Option<Vec<usize>> {
+    let order = pattern.topological_order().ok()?;
+    let m = ranking.len();
+    let mut positions: Vec<Option<usize>> = vec![None; pattern.num_nodes()];
+    for &u in &order {
+        // The earliest admissible position is one past the latest parent.
+        let mut lower = 0usize;
+        for p in pattern.parents(u) {
+            match positions[p] {
+                Some(pos) => lower = lower.max(pos + 1),
+                // Parents precede u in topological order; None means the
+                // parent could not be matched, hence neither can u.
+                None => return None,
+            }
+        }
+        let selector = &pattern.nodes()[u];
+        let mut found = None;
+        for pos in lower..m {
+            if selector.matches(ranking.item_at(pos), labeling) {
+                found = Some(pos);
+                break;
+            }
+        }
+        positions[u] = found;
+        positions[u]?;
+    }
+    Some(positions.into_iter().map(|p| p.expect("checked")).collect())
+}
+
+/// `true` when the ranking satisfies the pattern (`(τ, λ) |= g`).
+pub fn satisfies_pattern(ranking: &Ranking, labeling: &Labeling, pattern: &Pattern) -> bool {
+    find_embedding(ranking, labeling, pattern).is_some()
+}
+
+/// `true` when the ranking satisfies at least one member of the union
+/// (`(τ, λ) |= G`).
+pub fn satisfies_union(ranking: &Ranking, labeling: &Labeling, union: &PatternUnion) -> bool {
+    union
+        .patterns()
+        .iter()
+        .any(|g| satisfies_pattern(ranking, labeling, g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSelector;
+
+    fn sel(l: u32) -> NodeSelector {
+        NodeSelector::single(l)
+    }
+
+    /// The polling example of the paper (Figures 1 and 2, Example 2.3):
+    /// items 0=Trump, 1=Clinton, 2=Sanders, 3=Rubio; labels 0=F, 1=M.
+    fn polling_labeling() -> Labeling {
+        let mut lab = Labeling::new();
+        lab.add(0, 1);
+        lab.add(1, 0);
+        lab.add(2, 1);
+        lab.add(3, 1);
+        lab
+    }
+
+    #[test]
+    fn example_2_3_embedding() {
+        let lab = polling_labeling();
+        let g = Pattern::two_label(sel(0), sel(1)); // F ≻ M
+        let tau = Ranking::new(vec![0, 1, 2, 3]).unwrap(); // Trump, Clinton, Sanders, Rubio
+        let emb = find_embedding(&tau, &lab, &g).unwrap();
+        // F matches Clinton at position 1, M matches Sanders at position 2
+        // (the earliest M after Clinton).
+        assert_eq!(emb, vec![1, 2]);
+        assert!(satisfies_pattern(&tau, &lab, &g));
+    }
+
+    #[test]
+    fn pattern_violated_when_no_order_exists() {
+        let lab = polling_labeling();
+        let g = Pattern::two_label(sel(0), sel(1)); // F ≻ M
+        // Clinton last: no male candidate after her.
+        let tau = Ranking::new(vec![0, 2, 3, 1]).unwrap();
+        assert!(!satisfies_pattern(&tau, &lab, &g));
+    }
+
+    #[test]
+    fn chain_needs_intermediate_item() {
+        // Pattern l0 ≻ l1 ≻ l2 over items 0:{l0}, 1:{l1}, 2:{l2}.
+        let mut lab = Labeling::new();
+        lab.add(0, 0);
+        lab.add(1, 1);
+        lab.add(2, 2);
+        let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
+        assert!(satisfies_pattern(
+            &Ranking::new(vec![0, 1, 2]).unwrap(),
+            &lab,
+            &chain
+        ));
+        assert!(!satisfies_pattern(
+            &Ranking::new(vec![1, 0, 2]).unwrap(),
+            &lab,
+            &chain
+        ));
+        assert!(!satisfies_pattern(
+            &Ranking::new(vec![0, 2, 1]).unwrap(),
+            &lab,
+            &chain
+        ));
+    }
+
+    #[test]
+    fn example_4_4_upper_bound_gap() {
+        // Example 4.4: τ = ⟨b1, a, c, b2⟩ with λ = {a:la, b1:lb, b2:lb, c:lc}
+        // does NOT satisfy the chain la ≻ lb ≻ lc even though every pairwise
+        // min/max constraint holds.
+        let mut lab = Labeling::new();
+        lab.add(0, 1); // b1 : lb
+        lab.add(1, 0); // a  : la
+        lab.add(2, 2); // c  : lc
+        lab.add(3, 1); // b2 : lb
+        let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
+        let tau = Ranking::new(vec![0, 1, 2, 3]).unwrap();
+        assert!(!satisfies_pattern(&tau, &lab, &chain));
+        // But the two-edge relaxation {la ≻ lb} ∪-conjunction {lb ≻ lc} holds.
+        let e1 = Pattern::two_label(sel(0), sel(1));
+        let e2 = Pattern::two_label(sel(1), sel(2));
+        assert!(satisfies_pattern(&tau, &lab, &e1));
+        assert!(satisfies_pattern(&tau, &lab, &e2));
+    }
+
+    #[test]
+    fn non_injective_embeddings_allowed() {
+        // Two incomparable nodes may match the same position.
+        let mut lab = Labeling::new();
+        lab.add_all(0, [0, 1]);
+        lab.add(1, 2);
+        let g = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 2), (1, 2)]).unwrap();
+        let tau = Ranking::new(vec![0, 1]).unwrap();
+        let emb = find_embedding(&tau, &lab, &g).unwrap();
+        assert_eq!(emb, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn union_satisfaction() {
+        let lab = polling_labeling();
+        let f_over_m = Pattern::two_label(sel(0), sel(1));
+        let m_over_f = Pattern::two_label(sel(1), sel(0));
+        let union = PatternUnion::new(vec![f_over_m, m_over_f]).unwrap();
+        // Any ranking with both a male and a female candidate satisfies one
+        // direction or the other.
+        for tau in Ranking::enumerate_all(&[0, 1, 2, 3]) {
+            assert!(satisfies_union(&tau, &lab, &union));
+        }
+    }
+
+    #[test]
+    fn selector_with_no_matching_item_fails() {
+        let lab = polling_labeling();
+        let g = Pattern::two_label(sel(0), sel(7));
+        let tau = Ranking::new(vec![1, 0, 2, 3]).unwrap();
+        assert!(!satisfies_pattern(&tau, &lab, &g));
+    }
+
+    #[test]
+    fn exhaustive_embedding_consistency() {
+        // The greedy embedding exists iff an exhaustive search over node→item
+        // assignments finds one (cross-validation of the least-fixpoint
+        // argument) on a small universe with overlapping labels.
+        let mut lab = Labeling::new();
+        lab.add_all(0, [0, 1]);
+        lab.add_all(1, [1]);
+        lab.add_all(2, [0, 2]);
+        lab.add_all(3, [2]);
+        let patterns = vec![
+            Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap(),
+            Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (0, 2)]).unwrap(),
+            Pattern::new(vec![sel(2), sel(1), sel(0)], vec![(0, 1), (1, 2)]).unwrap(),
+        ];
+        for pattern in &patterns {
+            for tau in Ranking::enumerate_all(&[0, 1, 2, 3]) {
+                let greedy = satisfies_pattern(&tau, &lab, pattern);
+                let exhaustive = exhaustive_satisfies(&tau, &lab, pattern);
+                assert_eq!(greedy, exhaustive, "pattern {pattern:?}, ranking {tau}");
+            }
+        }
+    }
+
+    /// Brute-force embedding search over all node→position assignments.
+    fn exhaustive_satisfies(tau: &Ranking, lab: &Labeling, pattern: &Pattern) -> bool {
+        let m = tau.len();
+        let q = pattern.num_nodes();
+        let mut assignment = vec![0usize; q];
+        loop {
+            let ok_labels = (0..q)
+                .all(|u| pattern.nodes()[u].matches(tau.item_at(assignment[u]), lab));
+            let ok_edges = pattern
+                .edges()
+                .iter()
+                .all(|&(a, b)| assignment[a] < assignment[b]);
+            if ok_labels && ok_edges {
+                return true;
+            }
+            // Increment the mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == q {
+                    return false;
+                }
+                assignment[i] += 1;
+                if assignment[i] < m {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! AMP: the Approximate Mallows Posterior sampler (Lu & Boutilier 2014),
+//! used here both as a conditioned sampler and as an importance-sampling
+//! proposal distribution.
+
+use crate::mallows::pow_phi;
+use crate::{Item, MallowsModel, PartialOrder, Ranking, Result, RimError, SubRanking};
+use rand::Rng;
+
+/// `AMP(σ, φ, υ)`: a sampler over rankings consistent with a partial order
+/// `υ`, obtained by running the Mallows repeated-insertion procedure while
+/// restricting each insertion to positions that do not violate `υ`
+/// (Section 2.2, Example 2.2 of the paper).
+///
+/// Besides sampling, the type evaluates the probability `q(τ)` with which it
+/// would generate a given ranking — the quantity needed to re-weight samples
+/// in the importance-sampling estimators of Section 5.
+#[derive(Debug, Clone)]
+pub struct AmpSampler {
+    center: Ranking,
+    phi: f64,
+    /// Transitively-closed constraint.
+    constraint: PartialOrder,
+}
+
+impl AmpSampler {
+    /// Builds an AMP sampler for `MAL(center, phi)` conditioned on the partial
+    /// order `constraint`. Every item mentioned by the constraint must be
+    /// ranked by the model.
+    pub fn new(center: Ranking, phi: f64, constraint: &PartialOrder) -> Result<Self> {
+        if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
+            return Err(RimError::InvalidPhi(phi));
+        }
+        for item in constraint.items() {
+            if !center.contains(item) {
+                return Err(RimError::IncompatibleConstraint(format!(
+                    "constraint item {item} is not ranked by the model"
+                )));
+            }
+        }
+        let closed = constraint.transitive_closure()?;
+        Ok(AmpSampler {
+            center,
+            phi,
+            constraint: closed,
+        })
+    }
+
+    /// Convenience constructor conditioning on a sub-ranking (a chain).
+    pub fn for_subranking(center: Ranking, phi: f64, psi: &SubRanking) -> Result<Self> {
+        let chain = PartialOrder::from_subranking(psi);
+        AmpSampler::new(center, phi, &chain)
+    }
+
+    /// Convenience constructor from a [`MallowsModel`].
+    pub fn from_model(model: &MallowsModel, constraint: &PartialOrder) -> Result<Self> {
+        AmpSampler::new(model.sigma().clone(), model.phi(), constraint)
+    }
+
+    /// The centre ranking of the underlying Mallows model.
+    pub fn center(&self) -> &Ranking {
+        &self.center
+    }
+
+    /// The dispersion parameter of the underlying Mallows model.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Draws a ranking consistent with the constraint and returns it together
+    /// with the probability with which this sampler generated it.
+    pub fn sample_with_prob<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ranking, f64) {
+        let m = self.center.len();
+        let mut items: Vec<Item> = Vec::with_capacity(m);
+        let mut prob = 1.0;
+        for i in 0..m {
+            let item = self.center.item_at(i);
+            let (lo, hi) = self.feasible_range(&items, item, i);
+            let weights: Vec<f64> = (lo..=hi).map(|j| pow_phi(self.phi, i - j)).collect();
+            let total: f64 = weights.iter().sum();
+            let idx = crate::rim::sample_index(&weights, rng);
+            let j = lo + idx;
+            prob *= weights[idx] / total;
+            items.insert(j, item);
+        }
+        (
+            Ranking::new(items).expect("AMP inserts distinct items"),
+            prob,
+        )
+    }
+
+    /// Draws a ranking consistent with the constraint.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Ranking {
+        self.sample_with_prob(rng).0
+    }
+
+    /// The probability `q(τ)` that this sampler generates the complete ranking
+    /// `τ`; 0 when `τ` is not over the model's items or is inconsistent with
+    /// the constraint.
+    pub fn prob_of(&self, tau: &Ranking) -> f64 {
+        let m = self.center.len();
+        if tau.len() != m {
+            return 0.0;
+        }
+        let mut items: Vec<Item> = Vec::with_capacity(m);
+        let mut prob = 1.0;
+        for i in 0..m {
+            let item = self.center.item_at(i);
+            let pos_final = match tau.position_of(item) {
+                Some(p) => p,
+                None => return 0.0,
+            };
+            // Position of `item` among the already-inserted items, in τ.
+            let j = items
+                .iter()
+                .filter(|&&other| {
+                    tau.position_of(other)
+                        .map(|p| p < pos_final)
+                        .unwrap_or(false)
+                })
+                .count();
+            let (lo, hi) = self.feasible_range(&items, item, i);
+            if j < lo || j > hi {
+                return 0.0;
+            }
+            let total: f64 = (lo..=hi).map(|jj| pow_phi(self.phi, i - jj)).sum();
+            prob *= pow_phi(self.phi, i - j) / total;
+            items.insert(j, item);
+        }
+        prob
+    }
+
+    /// Feasible insertion range `[lo, hi]` (inclusive, 0-based) for inserting
+    /// `item` into the current partial ranking `items` at step `i`
+    /// (so the partial ranking currently holds `i` items).
+    fn feasible_range(&self, items: &[Item], item: Item, i: usize) -> (usize, usize) {
+        let mut lo = 0usize;
+        let mut hi = i;
+        for (pos, &other) in items.iter().enumerate() {
+            if self.constraint.implies(other, item) {
+                // `other` must stay before `item`.
+                lo = lo.max(pos + 1);
+            }
+            if self.constraint.implies(item, other) {
+                // `item` must be placed before `other`.
+                hi = hi.min(pos);
+            }
+        }
+        debug_assert!(lo <= hi, "transitively closed constraint keeps range valid");
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unconstrained_amp_equals_mallows() {
+        let sigma = Ranking::identity(4);
+        let phi = 0.3;
+        let amp = AmpSampler::new(sigma.clone(), phi, &PartialOrder::new()).unwrap();
+        let mal = MallowsModel::new(sigma, phi).unwrap();
+        for tau in Ranking::enumerate_all(&[0, 1, 2, 3]) {
+            assert!((amp.prob_of(&tau) - mal.prob_of(&tau)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_respect_constraint() {
+        let sigma = Ranking::identity(5);
+        let constraint = PartialOrder::from_pairs(&[(4, 0), (3, 1)]).unwrap();
+        let amp = AmpSampler::new(sigma, 0.5, &constraint).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let tau = amp.sample(&mut rng);
+            assert!(constraint.is_consistent(&tau));
+        }
+    }
+
+    #[test]
+    fn proposal_probabilities_sum_to_one_over_consistent_rankings() {
+        let sigma = Ranking::identity(4);
+        let constraint = PartialOrder::from_pairs(&[(3, 0), (2, 1)]).unwrap();
+        let amp = AmpSampler::new(sigma, 0.4, &constraint).unwrap();
+        let mut total = 0.0;
+        for tau in Ranking::enumerate_all(&[0, 1, 2, 3]) {
+            let q = amp.prob_of(&tau);
+            if !constraint.is_consistent(&tau) {
+                assert_eq!(q, 0.0, "inconsistent ranking must have zero proposal mass");
+            }
+            total += q;
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example_2_2_probability() {
+        // Example 2.2: AMP(⟨a,b,c⟩, φ, {c ≻ a}) generates ⟨b, c, a⟩ with
+        // probability φ/(1+φ)².
+        let phi = 0.3;
+        let sigma = Ranking::new(vec![0, 1, 2]).unwrap(); // a=0, b=1, c=2
+        let constraint = PartialOrder::from_pairs(&[(2, 0)]).unwrap();
+        let amp = AmpSampler::new(sigma, phi, &constraint).unwrap();
+        let tau = Ranking::new(vec![1, 2, 0]).unwrap();
+        let expected = phi / ((1.0 + phi) * (1.0 + phi));
+        assert!((amp.prob_of(&tau) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_with_prob_matches_prob_of() {
+        let sigma = Ranking::identity(5);
+        let constraint = PartialOrder::from_pairs(&[(4, 1), (3, 2)]).unwrap();
+        let amp = AmpSampler::new(sigma, 0.6, &constraint).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let (tau, p) = amp.sample_with_prob(&mut rng);
+            assert!((amp.prob_of(&tau) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constraint_item_outside_model_rejected() {
+        let sigma = Ranking::identity(3);
+        let constraint = PartialOrder::from_pairs(&[(0, 7)]).unwrap();
+        assert!(AmpSampler::new(sigma, 0.5, &constraint).is_err());
+    }
+
+    #[test]
+    fn subranking_constructor_constrains_chain() {
+        let sigma = Ranking::identity(4);
+        let psi = SubRanking::new(vec![3, 0]).unwrap();
+        let amp = AmpSampler::for_subranking(sigma, 0.2, &psi).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let tau = amp.sample(&mut rng);
+            assert!(psi.is_consistent(&tau));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Kendall-tau distances between rankings.
+
+use crate::{Item, Ranking};
+use std::collections::HashMap;
+
+/// Kendall-tau distance between two complete rankings over the same item set:
+/// the number of item pairs ordered one way by `a` and the other way by `b`.
+///
+/// Items present in only one of the rankings are ignored (the distance is
+/// computed over the common items), which matches the paper's use of the
+/// distance between rankings over a shared universe.
+pub fn kendall_tau(a: &Ranking, b: &Ranking) -> usize {
+    let common: Vec<Item> = a
+        .items()
+        .iter()
+        .copied()
+        .filter(|&it| b.contains(it))
+        .collect();
+    kendall_tau_between_sets(&common, a, b)
+}
+
+/// Kendall-tau distance restricted to the given items (each must appear in
+/// both rankings to be counted).
+pub fn kendall_tau_between_sets(items: &[Item], a: &Ranking, b: &Ranking) -> usize {
+    let pa: HashMap<Item, usize> = items
+        .iter()
+        .filter_map(|&it| a.position_of(it).map(|p| (it, p)))
+        .collect();
+    let pb: HashMap<Item, usize> = items
+        .iter()
+        .filter_map(|&it| b.position_of(it).map(|p| (it, p)))
+        .collect();
+    let mut count = 0;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let (x, y) = (items[i], items[j]);
+            if let (Some(&ax), Some(&ay), Some(&bx), Some(&by)) =
+                (pa.get(&x), pa.get(&y), pb.get(&x), pb.get(&y))
+            {
+                if (ax < ay) != (bx < by) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Kendall-tau distance normalised by the maximum possible number of
+/// discordant pairs, yielding a value in `[0, 1]`. Returns 0 for rankings
+/// with fewer than two common items.
+pub fn normalized_kendall_tau(a: &Ranking, b: &Ranking) -> f64 {
+    let common: Vec<Item> = a
+        .items()
+        .iter()
+        .copied()
+        .filter(|&it| b.contains(it))
+        .collect();
+    let n = common.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let max_pairs = n * (n - 1) / 2;
+    kendall_tau_between_sets(&common, a, b) as f64 / max_pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_have_zero_distance() {
+        let a = Ranking::new(vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(kendall_tau(&a, &a), 0);
+        assert_eq!(normalized_kendall_tau(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn reversed_ranking_has_max_distance() {
+        let a = Ranking::new(vec![1, 2, 3, 4]).unwrap();
+        let b = Ranking::new(vec![4, 3, 2, 1]).unwrap();
+        assert_eq!(kendall_tau(&a, &b), 6);
+        assert!((normalized_kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_swap_distance_one() {
+        let a = Ranking::new(vec![1, 2, 3]).unwrap();
+        let b = Ranking::new(vec![2, 1, 3]).unwrap();
+        assert_eq!(kendall_tau(&a, &b), 1);
+    }
+
+    #[test]
+    fn distance_over_common_items_only() {
+        let a = Ranking::new(vec![1, 2, 3]).unwrap();
+        let b = Ranking::new(vec![3, 1, 99]).unwrap();
+        // Common items {1, 3}: a says 1 ≻ 3, b says 3 ≻ 1 → distance 1.
+        assert_eq!(kendall_tau(&a, &b), 1);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = Ranking::new(vec![5, 1, 4, 2, 3]).unwrap();
+        let b = Ranking::new(vec![1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(kendall_tau(&a, &b), kendall_tau(&b, &a));
+    }
+}

@@ -1,0 +1,170 @@
+//! Greedy search for the modes ("modals") of a Mallows posterior conditioned
+//! on a sub-ranking — Algorithms 5 and 6 of the paper.
+
+use crate::{Ranking, SubRanking};
+
+/// Distance `dist(ψ, σ)` between a sub-ranking and a reference ranking, used
+/// while greedily growing sub-rankings in Algorithms 5 and 6: the number of
+/// item pairs within `ψ` whose order disagrees with `σ`.
+pub fn subranking_distance_to_center(psi: &SubRanking, sigma: &Ranking) -> usize {
+    psi.discordant_pairs_with(sigma)
+}
+
+/// Algorithm 5 (`GreedyModals`): given a sub-ranking `ψ` and a Mallows centre
+/// `σ`, greedily completes `ψ` into full rankings by inserting every missing
+/// item of `σ` (in `σ` order) at all positions that minimise the distance to
+/// `σ`, keeping every minimiser.
+///
+/// The completions approximate the modes of the Mallows posterior conditioned
+/// on `ψ` — the rankings consistent with `ψ` that are closest to `σ`. The set
+/// of minimisers can grow combinatorially, so the search is capped at `cap`
+/// candidates (the paper keeps all of them; a cap of a few dozen preserves the
+/// behaviour on the benchmark workloads and is configurable by callers).
+pub fn greedy_modals(psi: &SubRanking, sigma: &Ranking, cap: usize) -> Vec<Ranking> {
+    let cap = cap.max(1);
+    let mut frontier: Vec<SubRanking> = vec![psi.clone()];
+    for i in 0..sigma.len() {
+        let item = sigma.item_at(i);
+        if psi.contains(item) {
+            continue;
+        }
+        let mut next: Vec<SubRanking> = Vec::new();
+        for candidate in &frontier {
+            let mut best = usize::MAX;
+            let mut best_insertions: Vec<SubRanking> = Vec::new();
+            for j in 0..=candidate.len() {
+                let inserted = candidate
+                    .insert_at(item, j)
+                    .expect("item not yet in sub-ranking");
+                let d = subranking_distance_to_center(&inserted, sigma);
+                if d < best {
+                    best = d;
+                    best_insertions.clear();
+                    best_insertions.push(inserted);
+                } else if d == best {
+                    best_insertions.push(inserted);
+                }
+            }
+            next.extend(best_insertions);
+        }
+        next.sort_by(|a, b| a.items().cmp(b.items()));
+        next.dedup();
+        if next.len() > cap {
+            // Keep the candidates closest to σ so the surviving completions
+            // remain the best modes found so far.
+            next.sort_by_key(|s| subranking_distance_to_center(s, sigma));
+            next.truncate(cap);
+        }
+        frontier = next;
+    }
+    frontier
+        .into_iter()
+        .map(|s| s.to_ranking())
+        .collect()
+}
+
+/// Algorithm 6 (`ApproximateDistance`): estimates the Kendall-tau distance
+/// between the Mallows centre `σ` and the *closest* completion of the
+/// sub-ranking `ψ`, by greedily inserting each missing item at one
+/// distance-minimising position. (Finding the true closest completion is
+/// NP-hard, per the paper's reference to Brandenburg et al.)
+pub fn approximate_distance(psi: &SubRanking, sigma: &Ranking) -> usize {
+    let mut tau = psi.clone();
+    for i in 0..sigma.len() {
+        let item = sigma.item_at(i);
+        if tau.contains(item) {
+            continue;
+        }
+        let mut best = usize::MAX;
+        let mut best_tau = None;
+        for j in 0..=tau.len() {
+            let inserted = tau.insert_at(item, j).expect("item not yet present");
+            let d = subranking_distance_to_center(&inserted, sigma);
+            if d < best {
+                best = d;
+                best_tau = Some(inserted);
+            }
+        }
+        tau = best_tau.expect("at least one insertion position exists");
+    }
+    crate::kendall_tau(&tau.to_ranking(), sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MallowsModel;
+
+    #[test]
+    fn empty_subranking_completes_to_center() {
+        let sigma = Ranking::identity(5);
+        let modals = greedy_modals(&SubRanking::empty(), &sigma, 16);
+        assert_eq!(modals, vec![sigma.clone()]);
+        assert_eq!(approximate_distance(&SubRanking::empty(), &sigma), 0);
+    }
+
+    #[test]
+    fn example_5_2_finds_both_modals() {
+        // Example 5.1/5.2 of the paper: ψ = ⟨σ3, σ1⟩ over σ = ⟨σ1, σ2, σ3⟩
+        // has two modals ⟨σ3, σ1, σ2⟩ and ⟨σ2, σ3, σ1⟩.
+        let sigma = Ranking::new(vec![1, 2, 3]).unwrap();
+        let psi = SubRanking::new(vec![3, 1]).unwrap();
+        let mut modals = greedy_modals(&psi, &sigma, 16);
+        modals.sort_by(|a, b| a.items().cmp(b.items()));
+        assert_eq!(modals.len(), 2);
+        assert_eq!(modals[0].items(), &[2, 3, 1]);
+        assert_eq!(modals[1].items(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn modals_are_consistent_and_minimal_distance() {
+        let sigma = Ranking::identity(6);
+        let psi = SubRanking::new(vec![5, 2, 0]).unwrap();
+        let modals = greedy_modals(&psi, &sigma, 64);
+        assert!(!modals.is_empty());
+        // Every modal must be consistent with ψ.
+        for modal in &modals {
+            assert!(psi.is_consistent(modal));
+        }
+        // The greedy distance estimate should match the modal distances.
+        let est = approximate_distance(&psi, &sigma);
+        let mal = MallowsModel::new(sigma.clone(), 0.5).unwrap();
+        for modal in &modals {
+            assert_eq!(mal.distance_from_center(modal), est);
+        }
+        // Exhaustively verify no consistent completion is strictly closer.
+        let best_exhaustive = Ranking::enumerate_all(sigma.items())
+            .into_iter()
+            .filter(|t| psi.is_consistent(t))
+            .map(|t| mal.distance_from_center(&t))
+            .min()
+            .unwrap();
+        assert!(est >= best_exhaustive);
+        assert_eq!(est, best_exhaustive, "greedy is exact on this instance");
+    }
+
+    #[test]
+    fn cap_limits_frontier() {
+        let sigma = Ranking::identity(7);
+        // A reversed pair far from σ generates several ties while completing.
+        let psi = SubRanking::new(vec![6, 0]).unwrap();
+        let capped = greedy_modals(&psi, &sigma, 2);
+        assert!(capped.len() <= 2);
+    }
+
+    #[test]
+    fn approximate_distance_of_reversed_pair() {
+        let sigma = Ranking::identity(4);
+        // ψ = ⟨3, 0⟩: the closest completion needs at least 3 inversions
+        // (3 must pass 1 and 2 or 0 must drop below them).
+        let psi = SubRanking::new(vec![3, 0]).unwrap();
+        let est = approximate_distance(&psi, &sigma);
+        let best = Ranking::enumerate_all(sigma.items())
+            .into_iter()
+            .filter(|t| psi.is_consistent(t))
+            .map(|t| crate::kendall_tau(&t, &sigma))
+            .min()
+            .unwrap();
+        assert_eq!(est, best);
+    }
+}

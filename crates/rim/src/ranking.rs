@@ -1,0 +1,252 @@
+//! Complete rankings (linear orders / permutations) over a set of items.
+
+use crate::{Item, Result, RimError};
+use std::collections::HashMap;
+
+/// A complete ranking (linear order) over a finite set of items.
+///
+/// `τ = ⟨τ_1, …, τ_m⟩` places item `τ_i` at rank `i`. Internally positions are
+/// 0-based: `items()[0]` is the most-preferred item. The type maintains an
+/// inverse index so that [`Ranking::position_of`] is O(1).
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    items: Vec<Item>,
+    positions: HashMap<Item, usize>,
+}
+
+impl PartialEq for Ranking {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl Eq for Ranking {}
+
+impl std::hash::Hash for Ranking {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.items.hash(state);
+    }
+}
+
+impl serde::Serialize for Ranking {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        self.items.serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Ranking {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        let items = Vec::<Item>::deserialize(deserializer)?;
+        Ranking::new(items).map_err(serde::de::Error::custom)
+    }
+}
+
+impl Ranking {
+    /// Builds a ranking from a sequence of items, validating that no item is
+    /// repeated.
+    pub fn new(items: Vec<Item>) -> Result<Self> {
+        let mut positions = HashMap::with_capacity(items.len());
+        for (pos, &item) in items.iter().enumerate() {
+            if positions.insert(item, pos).is_some() {
+                return Err(RimError::DuplicateItem(item));
+            }
+        }
+        Ok(Ranking { items, positions })
+    }
+
+    /// Builds the identity ranking `⟨0, 1, …, m-1⟩` over `m` items.
+    pub fn identity(m: usize) -> Self {
+        let items: Vec<Item> = (0..m as Item).collect();
+        Ranking::new(items).expect("identity ranking has no duplicates")
+    }
+
+    /// Number of items in the ranking.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the ranking contains no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items in rank order (most preferred first).
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The item at 0-based position `pos` (the paper's `τ(i)` with `i = pos+1`).
+    pub fn item_at(&self, pos: usize) -> Item {
+        self.items[pos]
+    }
+
+    /// The 0-based position of `item` (the paper's `τ⁻¹(item) − 1`), or `None`
+    /// if the item does not appear in the ranking.
+    pub fn position_of(&self, item: Item) -> Option<usize> {
+        self.positions.get(&item).copied()
+    }
+
+    /// `true` when the ranking contains `item`.
+    pub fn contains(&self, item: Item) -> bool {
+        self.positions.contains_key(&item)
+    }
+
+    /// `true` when `a` is (strictly) preferred to `b` in this ranking.
+    /// Returns `false` when either item is missing.
+    pub fn prefers(&self, a: Item, b: Item) -> bool {
+        match (self.position_of(a), self.position_of(b)) {
+            (Some(pa), Some(pb)) => pa < pb,
+            _ => false,
+        }
+    }
+
+    /// The truncated ranking `τ^k` containing only the first `k` items.
+    pub fn truncate(&self, k: usize) -> Ranking {
+        Ranking::new(self.items[..k.min(self.items.len())].to_vec())
+            .expect("prefix of a valid ranking is valid")
+    }
+
+    /// Restricts the ranking to the given items, preserving their relative
+    /// order. Items not present in the ranking are ignored.
+    pub fn project(&self, subset: &[Item]) -> Vec<Item> {
+        let wanted: std::collections::HashSet<Item> = subset.iter().copied().collect();
+        self.items
+            .iter()
+            .copied()
+            .filter(|it| wanted.contains(it))
+            .collect()
+    }
+
+    /// Inserts `item` at 0-based position `pos`, shifting later items down by
+    /// one rank. This is the elementary step of the repeated insertion model.
+    pub fn insert_at(&self, item: Item, pos: usize) -> Result<Ranking> {
+        if self.contains(item) {
+            return Err(RimError::DuplicateItem(item));
+        }
+        let mut items = Vec::with_capacity(self.items.len() + 1);
+        items.extend_from_slice(&self.items[..pos]);
+        items.push(item);
+        items.extend_from_slice(&self.items[pos..]);
+        Ranking::new(items)
+    }
+
+    /// Removes `item` from the ranking (if present), preserving the order of
+    /// the remaining items.
+    pub fn remove(&self, item: Item) -> Ranking {
+        let items: Vec<Item> = self.items.iter().copied().filter(|&i| i != item).collect();
+        Ranking::new(items).expect("removing an item cannot create duplicates")
+    }
+
+    /// Enumerates all `m!` rankings over the given items. Intended for tests
+    /// and the brute-force reference solver; panics if `items.len() > 10`
+    /// to guard against accidental combinatorial explosions.
+    pub fn enumerate_all(items: &[Item]) -> Vec<Ranking> {
+        assert!(
+            items.len() <= 10,
+            "refusing to enumerate {}! rankings",
+            items.len()
+        );
+        let mut result = Vec::new();
+        let mut current: Vec<Item> = Vec::with_capacity(items.len());
+        let mut remaining: Vec<Item> = items.to_vec();
+        fn recurse(current: &mut Vec<Item>, remaining: &mut Vec<Item>, out: &mut Vec<Ranking>) {
+            if remaining.is_empty() {
+                out.push(Ranking::new(current.clone()).expect("permutation is valid"));
+                return;
+            }
+            for idx in 0..remaining.len() {
+                let item = remaining.remove(idx);
+                current.push(item);
+                recurse(current, remaining, out);
+                current.pop();
+                remaining.insert(idx, item);
+            }
+        }
+        recurse(&mut current, &mut remaining, &mut result);
+        result
+    }
+}
+
+impl std::fmt::Display for Ranking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, it) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{it}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_duplicates() {
+        assert_eq!(
+            Ranking::new(vec![1, 2, 1]).unwrap_err(),
+            RimError::DuplicateItem(1)
+        );
+    }
+
+    #[test]
+    fn identity_positions() {
+        let r = Ranking::identity(4);
+        assert_eq!(r.len(), 4);
+        for i in 0..4u32 {
+            assert_eq!(r.position_of(i), Some(i as usize));
+            assert_eq!(r.item_at(i as usize), i);
+        }
+        assert_eq!(r.position_of(99), None);
+    }
+
+    #[test]
+    fn prefers_and_contains() {
+        let r = Ranking::new(vec![3, 1, 2]).unwrap();
+        assert!(r.prefers(3, 2));
+        assert!(r.prefers(1, 2));
+        assert!(!r.prefers(2, 3));
+        assert!(!r.prefers(3, 99));
+        assert!(r.contains(1));
+        assert!(!r.contains(0));
+    }
+
+    #[test]
+    fn truncate_and_project() {
+        let r = Ranking::new(vec![5, 3, 8, 1]).unwrap();
+        assert_eq!(r.truncate(2).items(), &[5, 3]);
+        assert_eq!(r.truncate(10).items(), &[5, 3, 8, 1]);
+        assert_eq!(r.project(&[1, 8, 42]), vec![8, 1]);
+        assert_eq!(r.project(&[]), Vec::<Item>::new());
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let r = Ranking::new(vec![1, 2]).unwrap();
+        let r2 = r.insert_at(7, 1).unwrap();
+        assert_eq!(r2.items(), &[1, 7, 2]);
+        assert!(r.insert_at(1, 0).is_err());
+        let r3 = r2.remove(7);
+        assert_eq!(r3.items(), r.items());
+        let r4 = r2.remove(99);
+        assert_eq!(r4.items(), r2.items());
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        let all = Ranking::enumerate_all(&[1, 2, 3, 4]);
+        assert_eq!(all.len(), 24);
+        let unique: std::collections::HashSet<Vec<Item>> =
+            all.iter().map(|r| r.items().to_vec()).collect();
+        assert_eq!(unique.len(), 24);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Ranking::new(vec![2, 0, 1]).unwrap();
+        assert_eq!(format!("{r}"), "⟨2, 0, 1⟩");
+    }
+}

@@ -1,0 +1,115 @@
+//! Resource budgets for exact solvers.
+//!
+//! The paper's scalability experiments (e.g. Figure 6) report the fraction of
+//! instances an exact solver finishes within a wall-clock budget. Rust cannot
+//! interrupt a running DP from the outside, so the solvers periodically check
+//! a [`Budget`] and abort with [`crate::SolverError::BudgetExceeded`].
+
+use std::time::{Duration, Instant};
+
+/// A state-count and wall-clock budget checked by the exact DP solvers once
+/// per insertion step.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    max_states: Option<usize>,
+    time_limit: Option<Duration>,
+    started: Instant,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never triggers.
+    pub fn unlimited() -> Self {
+        Budget {
+            max_states: None,
+            time_limit: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// Limits the number of simultaneously tracked DP states.
+    pub fn with_max_states(max_states: usize) -> Self {
+        Budget {
+            max_states: Some(max_states),
+            time_limit: None,
+            started: Instant::now(),
+        }
+    }
+
+    /// Limits wall-clock time; the clock starts when the budget is created.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Budget {
+            max_states: None,
+            time_limit: Some(limit),
+            started: Instant::now(),
+        }
+    }
+
+    /// Combines a state cap and a time limit.
+    pub fn new(max_states: Option<usize>, time_limit: Option<Duration>) -> Self {
+        Budget {
+            max_states,
+            time_limit,
+            started: Instant::now(),
+        }
+    }
+
+    /// Restarts the wall clock (call right before a solve if the budget was
+    /// constructed earlier).
+    pub fn restart(&mut self) {
+        self.started = Instant::now();
+    }
+
+    /// Checks the budget against the current number of tracked states.
+    pub fn check(&self, current_states: usize) -> crate::Result<()> {
+        if let Some(max) = self.max_states {
+            if current_states > max {
+                return Err(crate::SolverError::BudgetExceeded(format!(
+                    "{current_states} states exceed the cap of {max}"
+                )));
+            }
+        }
+        if let Some(limit) = self.time_limit {
+            let elapsed = self.started.elapsed();
+            if elapsed > limit {
+                return Err(crate::SolverError::BudgetExceeded(format!(
+                    "elapsed {elapsed:?} exceeds the limit of {limit:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_triggers() {
+        let b = Budget::unlimited();
+        assert!(b.check(usize::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn state_cap_triggers() {
+        let b = Budget::with_max_states(10);
+        assert!(b.check(10).is_ok());
+        assert!(b.check(11).is_err());
+    }
+
+    #[test]
+    fn time_limit_triggers() {
+        let b = Budget::with_time_limit(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.check(0).is_err());
+        let mut b2 = Budget::with_time_limit(Duration::from_secs(60));
+        b2.restart();
+        assert!(b2.check(0).is_ok());
+    }
+}

@@ -1,0 +1,560 @@
+//! The bipartite solver (Algorithm 4 of the paper).
+//!
+//! Handles unions of *bipartite patterns*: patterns whose nodes are used
+//! either only as the preferred side (L-type) or only as the less-preferred
+//! side (R-type) of edges. A ranking satisfies such a pattern iff every edge
+//! `(l, r)` satisfies `α(l) < β(r)`, where `α` is the minimum position of an
+//! item matching `l` and `β` the maximum position of an item matching `r` —
+//! the earliest L-witness and the latest R-witness can serve every edge
+//! simultaneously.
+//!
+//! The solver is a dynamic program over the RIM insertion process whose
+//! states track these min/max positions. The *sophisticated* variant
+//! (default) additionally prunes bookkeeping that can no longer influence the
+//! outcome: satisfied edges, violated patterns, and the positions of
+//! selectors that no longer appear in any uncertain edge. The *basic*
+//! variant keeps everything and classifies states only after the last
+//! insertion; it exists for the ablation benchmarks.
+
+use crate::budget::Budget;
+use crate::traits::ExactSolver;
+use crate::{Result, SolverError};
+use ppd_patterns::{Labeling, NodeSelector, PatternUnion, UnionClass};
+use ppd_rim::RimModel;
+use std::collections::HashMap;
+
+/// Exact solver for unions of bipartite patterns (Algorithm 4).
+///
+/// Complexity: `O(m^{Σ_g q_g})` states in the worst case (`q_g` = number of
+/// nodes of member `g`), with substantial practical savings from pruning.
+#[derive(Debug, Clone)]
+pub struct BipartiteSolver {
+    budget: Option<Budget>,
+    prune: bool,
+}
+
+impl Default for BipartiteSolver {
+    fn default() -> Self {
+        BipartiteSolver {
+            budget: None,
+            prune: true,
+        }
+    }
+}
+
+impl BipartiteSolver {
+    /// The default, pruning solver.
+    pub fn new() -> Self {
+        BipartiteSolver::default()
+    }
+
+    /// The "basic" variant without pruning (Section 4.3.1's first algorithm),
+    /// kept for ablation benchmarks.
+    pub fn basic() -> Self {
+        BipartiteSolver {
+            budget: None,
+            prune: false,
+        }
+    }
+
+    /// Attaches a resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// `true` when this instance prunes satisfied/violated bookkeeping.
+    pub fn prunes(&self) -> bool {
+        self.prune
+    }
+}
+
+/// Compiled form of the union: deduplicated (selector, role) entries and the
+/// per-pattern edges expressed over entry indices.
+struct Compiled {
+    l_selectors: Vec<NodeSelector>,
+    r_selectors: Vec<NodeSelector>,
+    /// For each member pattern, its edges as (l-entry, r-entry) pairs.
+    pattern_edges: Vec<Vec<(usize, usize)>>,
+    /// Per reference-item step: which L/R entries the inserted item matches.
+    match_l: Vec<Vec<bool>>,
+    match_r: Vec<Vec<bool>>,
+    /// Last insertion step at which a candidate of the entry appears.
+    last_l: Vec<usize>,
+    last_r: Vec<usize>,
+}
+
+fn compile(
+    rim: &RimModel,
+    labeling: &Labeling,
+    union: &PatternUnion,
+) -> Result<Compiled> {
+    let m = rim.num_items();
+    let mut l_selectors: Vec<NodeSelector> = Vec::new();
+    let mut r_selectors: Vec<NodeSelector> = Vec::new();
+    let mut pattern_edges: Vec<Vec<(usize, usize)>> = Vec::new();
+    for pattern in union.patterns() {
+        let mut edges = Vec::with_capacity(pattern.num_edges());
+        for &(a, b) in pattern.edges() {
+            let left = pattern.nodes()[a].clone();
+            let right = pattern.nodes()[b].clone();
+            let li = match l_selectors.iter().position(|s| *s == left) {
+                Some(i) => i,
+                None => {
+                    l_selectors.push(left);
+                    l_selectors.len() - 1
+                }
+            };
+            let ri = match r_selectors.iter().position(|s| *s == right) {
+                Some(i) => i,
+                None => {
+                    r_selectors.push(right);
+                    r_selectors.len() - 1
+                }
+            };
+            if !edges.contains(&(li, ri)) {
+                edges.push((li, ri));
+            }
+        }
+        pattern_edges.push(edges);
+    }
+    let match_l: Vec<Vec<bool>> = (0..m)
+        .map(|i| {
+            let item = rim.sigma().item_at(i);
+            l_selectors
+                .iter()
+                .map(|s| s.matches(item, labeling))
+                .collect()
+        })
+        .collect();
+    let match_r: Vec<Vec<bool>> = (0..m)
+        .map(|i| {
+            let item = rim.sigma().item_at(i);
+            r_selectors
+                .iter()
+                .map(|s| s.matches(item, labeling))
+                .collect()
+        })
+        .collect();
+    let last_step = |matches: &Vec<Vec<bool>>, e: usize| -> usize {
+        (0..m).rev().find(|&i| matches[i][e]).unwrap_or(0)
+    };
+    let last_l = (0..l_selectors.len())
+        .map(|e| last_step(&match_l, e))
+        .collect();
+    let last_r = (0..r_selectors.len())
+        .map(|e| last_step(&match_r, e))
+        .collect();
+    Ok(Compiled {
+        l_selectors,
+        r_selectors,
+        pattern_edges,
+        match_l,
+        match_r,
+        last_l,
+        last_r,
+    })
+}
+
+/// Min/max positions of the tracked entries (`None` = no witness inserted
+/// yet, or the entry is no longer tracked by this state).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Positions {
+    alpha: Vec<Option<u32>>,
+    beta: Vec<Option<u32>>,
+}
+
+impl Positions {
+    fn empty(num_l: usize, num_r: usize) -> Self {
+        Positions {
+            alpha: vec![None; num_l],
+            beta: vec![None; num_r],
+        }
+    }
+
+    /// Shift-then-update insertion at position `j`; only the entries selected
+    /// by `track_l` / `track_r` are maintained.
+    fn insert(
+        &self,
+        j: u32,
+        matches_l: &[bool],
+        matches_r: &[bool],
+        track_l: &[bool],
+        track_r: &[bool],
+    ) -> Positions {
+        let mut next = self.clone();
+        for (e, slot) in next.alpha.iter_mut().enumerate() {
+            if !track_l[e] {
+                *slot = None;
+                continue;
+            }
+            if let Some(p) = slot {
+                if *p >= j {
+                    *p += 1;
+                }
+            }
+            if matches_l[e] {
+                *slot = Some(match *slot {
+                    Some(p) => p.min(j),
+                    None => j,
+                });
+            }
+        }
+        for (e, slot) in next.beta.iter_mut().enumerate() {
+            if !track_r[e] {
+                *slot = None;
+                continue;
+            }
+            if let Some(p) = slot {
+                if *p >= j {
+                    *p += 1;
+                }
+            }
+            if matches_r[e] {
+                *slot = Some(match *slot {
+                    Some(p) => p.max(j),
+                    None => j,
+                });
+            }
+        }
+        next
+    }
+
+    fn edge_satisfied(&self, l: usize, r: usize) -> bool {
+        matches!((self.alpha[l], self.beta[r]), (Some(a), Some(b)) if a < b)
+    }
+}
+
+/// State of the pruning DP: positions plus the per-pattern sets of still
+/// uncertain edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PrunedState {
+    positions: Positions,
+    /// `(pattern index, indices into that pattern's edge list)` for patterns
+    /// that are neither satisfied nor violated yet.
+    uncertain: Vec<(u16, Vec<u8>)>,
+}
+
+impl ExactSolver for BipartiteSolver {
+    fn name(&self) -> &'static str {
+        if self.prune {
+            "bipartite"
+        } else {
+            "bipartite-basic"
+        }
+    }
+
+    fn solve(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<f64> {
+        match union.classify() {
+            UnionClass::TwoLabel | UnionClass::Bipartite => {}
+            UnionClass::General => {
+                return Err(SolverError::Unsupported(
+                    "the bipartite solver requires a union of bipartite patterns".into(),
+                ))
+            }
+        }
+        let m = rim.num_items();
+        if m == 0 {
+            return Err(SolverError::InvalidInstance("empty item universe".into()));
+        }
+        let union = match union.prune_unsatisfiable(rim.sigma().items(), labeling) {
+            Some(u) => u,
+            None => return Ok(0.0),
+        };
+        let compiled = compile(rim, labeling, &union)?;
+        if self.prune {
+            self.solve_pruned(rim, &compiled)
+        } else {
+            self.solve_basic(rim, &compiled)
+        }
+    }
+}
+
+impl BipartiteSolver {
+    fn solve_pruned(&self, rim: &RimModel, c: &Compiled) -> Result<f64> {
+        let m = rim.num_items();
+        let initial_uncertain: Vec<(u16, Vec<u8>)> = c
+            .pattern_edges
+            .iter()
+            .enumerate()
+            .map(|(p, edges)| (p as u16, (0..edges.len() as u8).collect()))
+            .collect();
+        let mut states: HashMap<PrunedState, f64> = HashMap::new();
+        states.insert(
+            PrunedState {
+                positions: Positions::empty(c.l_selectors.len(), c.r_selectors.len()),
+                uncertain: initial_uncertain,
+            },
+            1.0,
+        );
+        let mut satisfied_mass = 0.0;
+
+        for i in 0..m {
+            let mut next: HashMap<PrunedState, f64> = HashMap::with_capacity(states.len());
+            for (state, prob) in &states {
+                // Entries needed by this state's uncertain edges.
+                let mut track_l = vec![false; c.l_selectors.len()];
+                let mut track_r = vec![false; c.r_selectors.len()];
+                for (p, edges) in &state.uncertain {
+                    for &e in edges {
+                        let (l, r) = c.pattern_edges[*p as usize][e as usize];
+                        track_l[l] = true;
+                        track_r[r] = true;
+                    }
+                }
+                for j in 0..=i {
+                    let p_new = prob * rim.insertion_prob(i, j);
+                    let positions = state.positions.insert(
+                        j as u32,
+                        &c.match_l[i],
+                        &c.match_r[i],
+                        &track_l,
+                        &track_r,
+                    );
+                    // Re-evaluate the uncertain edges of every pattern.
+                    let mut new_uncertain: Vec<(u16, Vec<u8>)> = Vec::new();
+                    let mut union_satisfied = false;
+                    for (p, edges) in &state.uncertain {
+                        let mut remaining: Vec<u8> = Vec::with_capacity(edges.len());
+                        let mut violated = false;
+                        for &e in edges {
+                            let (l, r) = c.pattern_edges[*p as usize][e as usize];
+                            if positions.edge_satisfied(l, r) {
+                                continue;
+                            }
+                            if i >= c.last_l[l] && i >= c.last_r[r] {
+                                // All witnesses are in and the edge still does
+                                // not hold: it never will.
+                                violated = true;
+                                break;
+                            }
+                            remaining.push(e);
+                        }
+                        if violated {
+                            continue;
+                        }
+                        if remaining.is_empty() {
+                            union_satisfied = true;
+                            break;
+                        }
+                        new_uncertain.push((*p, remaining));
+                    }
+                    if union_satisfied {
+                        satisfied_mass += p_new;
+                        continue;
+                    }
+                    if new_uncertain.is_empty() {
+                        // Every pattern is violated; this state can never
+                        // satisfy the union.
+                        continue;
+                    }
+                    // Drop positions of entries no longer referenced so that
+                    // behaviourally identical states merge.
+                    let mut keep_l = vec![false; c.l_selectors.len()];
+                    let mut keep_r = vec![false; c.r_selectors.len()];
+                    for (p, edges) in &new_uncertain {
+                        for &e in edges {
+                            let (l, r) = c.pattern_edges[*p as usize][e as usize];
+                            keep_l[l] = true;
+                            keep_r[r] = true;
+                        }
+                    }
+                    let mut positions = positions;
+                    for (e, slot) in positions.alpha.iter_mut().enumerate() {
+                        if !keep_l[e] {
+                            *slot = None;
+                        }
+                    }
+                    for (e, slot) in positions.beta.iter_mut().enumerate() {
+                        if !keep_r[e] {
+                            *slot = None;
+                        }
+                    }
+                    *next
+                        .entry(PrunedState {
+                            positions,
+                            uncertain: new_uncertain,
+                        })
+                        .or_insert(0.0) += p_new;
+                }
+            }
+            if let Some(budget) = &self.budget {
+                budget.check(next.len())?;
+            }
+            states = next;
+        }
+        Ok(satisfied_mass.clamp(0.0, 1.0))
+    }
+
+    fn solve_basic(&self, rim: &RimModel, c: &Compiled) -> Result<f64> {
+        let m = rim.num_items();
+        let all_l = vec![true; c.l_selectors.len()];
+        let all_r = vec![true; c.r_selectors.len()];
+        let mut states: HashMap<Positions, f64> = HashMap::new();
+        states.insert(Positions::empty(c.l_selectors.len(), c.r_selectors.len()), 1.0);
+        for i in 0..m {
+            let mut next: HashMap<Positions, f64> = HashMap::with_capacity(states.len());
+            for (state, prob) in &states {
+                for j in 0..=i {
+                    let new_state =
+                        state.insert(j as u32, &c.match_l[i], &c.match_r[i], &all_l, &all_r);
+                    *next.entry(new_state).or_insert(0.0) += prob * rim.insertion_prob(i, j);
+                }
+            }
+            if let Some(budget) = &self.budget {
+                budget.check(next.len())?;
+            }
+            states = next;
+        }
+        let mut total = 0.0;
+        for (state, prob) in &states {
+            let satisfied = c
+                .pattern_edges
+                .iter()
+                .any(|edges| edges.iter().all(|&(l, r)| state.edge_satisfied(l, r)));
+            if satisfied {
+                total += prob;
+            }
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute::BruteForceSolver;
+    use crate::exact::two_label::TwoLabelSolver;
+    use crate::testutil::{cyclic_labeling, rim, sel};
+    use ppd_patterns::{Pattern, PatternUnion};
+
+    fn bipartite_unions() -> Vec<PatternUnion> {
+        let two = Pattern::two_label(sel(0), sel(1));
+        let vee = Pattern::new(vec![sel(2), sel(0), sel(1)], vec![(0, 1), (0, 2)]).unwrap();
+        let benchmark_a_shape = Pattern::new(
+            vec![sel(0), sel(1), sel(2), sel(3)],
+            vec![(0, 2), (0, 3), (1, 3)],
+        )
+        .unwrap();
+        vec![
+            PatternUnion::singleton(two.clone()).unwrap(),
+            PatternUnion::singleton(vee.clone()).unwrap(),
+            PatternUnion::singleton(benchmark_a_shape.clone()).unwrap(),
+            PatternUnion::new(vec![two.clone(), vee]).unwrap(),
+            PatternUnion::new(vec![benchmark_a_shape, two]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn rejects_general_unions() {
+        let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
+        let union = PatternUnion::singleton(chain).unwrap();
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        assert!(matches!(
+            BipartiteSolver::new().solve(&model, &lab, &union),
+            Err(SolverError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_pruned_and_basic() {
+        let brute = BruteForceSolver::new();
+        for &m in &[4usize, 5, 6] {
+            for &phi in &[0.0, 0.2, 0.7, 1.0] {
+                let model = rim(m, phi);
+                for &labels in &[3u32, 4] {
+                    let lab = cyclic_labeling(m, labels);
+                    for union in bipartite_unions() {
+                        let expected = brute.solve(&model, &lab, &union).unwrap();
+                        let pruned = BipartiteSolver::new().solve(&model, &lab, &union).unwrap();
+                        let basic = BipartiteSolver::basic().solve(&model, &lab, &union).unwrap();
+                        assert!(
+                            (expected - pruned).abs() < 1e-9,
+                            "pruned m={m} phi={phi} labels={labels}: {expected} vs {pruned}"
+                        );
+                        assert!(
+                            (expected - basic).abs() < 1e-9,
+                            "basic m={m} phi={phi} labels={labels}: {expected} vs {basic}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_label_unions_also_supported() {
+        // The bipartite solver must handle two-label unions as a special case
+        // and agree with the dedicated two-label solver.
+        let model = rim(7, 0.4);
+        let lab = cyclic_labeling(7, 3);
+        let union = PatternUnion::new(vec![
+            Pattern::two_label(sel(2), sel(0)),
+            Pattern::two_label(sel(1), sel(0)),
+        ])
+        .unwrap();
+        let a = TwoLabelSolver::new().solve(&model, &lab, &union).unwrap();
+        let b = BipartiteSolver::new().solve(&model, &lab, &union).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsatisfiable_members_do_not_crash() {
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        let good = Pattern::two_label(sel(1), sel(0));
+        let bad = Pattern::new(vec![sel(9), sel(0), sel(1)], vec![(0, 1), (0, 2)]).unwrap();
+        let union = PatternUnion::new(vec![good.clone(), bad]).unwrap();
+        let expected = BruteForceSolver::new().solve(&model, &lab, &union).unwrap();
+        let got = BipartiteSolver::new().solve(&model, &lab, &union).unwrap();
+        assert!((expected - got).abs() < 1e-9);
+        // A union in which nothing is satisfiable has probability zero.
+        let bad2 = Pattern::two_label(sel(9), sel(8));
+        let empty = PatternUnion::singleton(bad2).unwrap();
+        assert_eq!(BipartiteSolver::new().solve(&model, &lab, &empty).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn budget_abort_is_reported() {
+        let model = rim(10, 0.5);
+        let lab = cyclic_labeling(10, 4);
+        let union = PatternUnion::singleton(
+            Pattern::new(
+                vec![sel(0), sel(1), sel(2), sel(3)],
+                vec![(0, 2), (0, 3), (1, 3)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let solver = BipartiteSolver::new().with_budget(Budget::with_max_states(2));
+        assert!(matches!(
+            solver.solve(&model, &lab, &union),
+            Err(SolverError::BudgetExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn pruned_is_not_larger_than_basic_state_space() {
+        // Smoke test on a mid-sized instance: both agree and stay in [0, 1].
+        let model = rim(12, 0.3);
+        let lab = cyclic_labeling(12, 4);
+        let union = PatternUnion::singleton(
+            Pattern::new(
+                vec![sel(0), sel(1), sel(2), sel(3)],
+                vec![(0, 2), (0, 3), (1, 3)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let pruned = BipartiteSolver::new().solve(&model, &lab, &union).unwrap();
+        let basic = BipartiteSolver::basic().solve(&model, &lab, &union).unwrap();
+        assert!((pruned - basic).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&pruned));
+    }
+}

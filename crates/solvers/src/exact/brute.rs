@@ -1,0 +1,127 @@
+//! Brute-force reference solver: enumerate all `m!` rankings.
+
+use crate::traits::ExactSolver;
+use crate::{Result, SolverError};
+use ppd_patterns::{satisfies_union, Labeling, PatternUnion};
+use ppd_rim::{Ranking, RimModel};
+
+/// Enumerates every ranking of the model's items and sums the probabilities
+/// of those that satisfy the union. Exponential in `m`, but it implements
+/// Eq. 2 literally and therefore serves as the correctness oracle for every
+/// other solver (unit tests, property tests, and the accuracy experiments on
+/// small instances).
+#[derive(Debug, Clone, Default)]
+pub struct BruteForceSolver {
+    /// Largest `m` the solver will accept (guards against accidental
+    /// factorial blow-ups in experiments); defaults to 9.
+    max_items: Option<usize>,
+}
+
+impl BruteForceSolver {
+    /// Creates a brute-force solver with the default item cap (9).
+    pub fn new() -> Self {
+        BruteForceSolver::default()
+    }
+
+    /// Overrides the item cap.
+    pub fn with_max_items(max_items: usize) -> Self {
+        BruteForceSolver {
+            max_items: Some(max_items),
+        }
+    }
+
+    fn cap(&self) -> usize {
+        self.max_items.unwrap_or(9)
+    }
+}
+
+impl ExactSolver for BruteForceSolver {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn solve(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<f64> {
+        let m = rim.num_items();
+        if m == 0 {
+            return Err(SolverError::InvalidInstance("empty item universe".into()));
+        }
+        if m > self.cap() {
+            return Err(SolverError::Unsupported(format!(
+                "brute force refuses m = {m} > {}",
+                self.cap()
+            )));
+        }
+        let mut total = 0.0;
+        for tau in Ranking::enumerate_all(rim.sigma().items()) {
+            if satisfies_union(&tau, labeling, union) {
+                total += rim.prob_of(&tau);
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{cyclic_labeling, rim, sel};
+    use ppd_patterns::{Pattern, PatternUnion};
+
+    #[test]
+    fn refuses_large_instances() {
+        let solver = BruteForceSolver::new();
+        let model = rim(12, 0.5);
+        let lab = cyclic_labeling(12, 3);
+        let union = PatternUnion::singleton(Pattern::two_label(sel(0), sel(1))).unwrap();
+        assert!(matches!(
+            solver.solve(&model, &lab, &union),
+            Err(SolverError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_two_label_probability_is_analytic() {
+        // Under the uniform distribution (φ = 1) with exactly one item per
+        // label, Pr(l0-item before l1-item) = 1/2.
+        let model = rim(4, 1.0);
+        let lab = cyclic_labeling(4, 4);
+        let union = PatternUnion::singleton(Pattern::two_label(sel(0), sel(1))).unwrap();
+        let p = BruteForceSolver::new().solve(&model, &lab, &union).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_zero_probability_is_indicator_on_center() {
+        // With φ = 0 the only possible world is σ itself, so the probability
+        // of a pattern is 1 or 0 depending on whether σ satisfies it.
+        let model = rim(5, 0.0);
+        let lab = cyclic_labeling(5, 5);
+        let forward = PatternUnion::singleton(Pattern::two_label(sel(0), sel(4))).unwrap();
+        let backward = PatternUnion::singleton(Pattern::two_label(sel(4), sel(0))).unwrap();
+        let solver = BruteForceSolver::new();
+        assert!((solver.solve(&model, &lab, &forward).unwrap() - 1.0).abs() < 1e-12);
+        assert!(solver.solve(&model, &lab, &backward).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_probability_is_monotone_in_members() {
+        let model = rim(5, 0.3);
+        let lab = cyclic_labeling(5, 3);
+        let g1 = Pattern::two_label(sel(2), sel(0));
+        let g2 = Pattern::two_label(sel(1), sel(0));
+        let solver = BruteForceSolver::new();
+        let p1 = solver
+            .solve(&model, &lab, &PatternUnion::singleton(g1.clone()).unwrap())
+            .unwrap();
+        let p12 = solver
+            .solve(&model, &lab, &PatternUnion::new(vec![g1, g2]).unwrap())
+            .unwrap();
+        assert!(p12 >= p1 - 1e-12);
+        assert!(p12 <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! The general solver (Section 4.1): inclusion–exclusion over the members of
+//! a pattern union, with every conjunction evaluated by the exact
+//! single-pattern solver.
+//!
+//! `Pr(g₁ ∪ … ∪ g_z) = Σ_i Pr(g_i) − Σ_{i<j} Pr(g_i ∧ g_j) + …` where the
+//! conjunction of patterns is the pattern containing all of their nodes and
+//! edges. The solver is exponential in `z` (it evaluates `2^z − 1`
+//! conjunctions) *and* each conjunction is itself costly, which is exactly why
+//! the paper treats it as the non-scalable baseline; the specialised
+//! two-label and bipartite solvers and the MIS-AMP family exist to avoid it.
+
+use crate::budget::Budget;
+use crate::exact::pattern::PatternSolver;
+use crate::traits::ExactSolver;
+use crate::{Result, SolverError};
+use ppd_patterns::{Labeling, PatternUnion};
+use ppd_rim::RimModel;
+
+/// Exact solver for arbitrary pattern unions via inclusion–exclusion.
+#[derive(Debug, Clone, Default)]
+pub struct GeneralSolver {
+    budget: Option<Budget>,
+    max_union_size: Option<usize>,
+}
+
+impl GeneralSolver {
+    /// Creates a solver with the default union-size cap (16 members, i.e. at
+    /// most 65 535 conjunctions).
+    pub fn new() -> Self {
+        GeneralSolver::default()
+    }
+
+    /// Attaches a resource budget, forwarded to every conjunction evaluation.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Overrides the maximum number of union members accepted.
+    pub fn with_max_union_size(mut self, max: usize) -> Self {
+        self.max_union_size = Some(max);
+        self
+    }
+
+    fn cap(&self) -> usize {
+        self.max_union_size.unwrap_or(16)
+    }
+
+    /// Evaluates one conjunction of members; exposed so that experiment
+    /// harnesses (Figure 5) can time individual conjunction evaluations.
+    pub fn conjunction_probability(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+        member_indices: &[usize],
+    ) -> Result<f64> {
+        let conjunction = union.conjunction_of(member_indices)?;
+        let solver = match &self.budget {
+            Some(b) => PatternSolver::with_budget(b.clone()),
+            None => PatternSolver::new(),
+        };
+        solver.solve_pattern(rim, labeling, &conjunction)
+    }
+}
+
+impl ExactSolver for GeneralSolver {
+    fn name(&self) -> &'static str {
+        "general"
+    }
+
+    fn solve(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<f64> {
+        if rim.num_items() == 0 {
+            return Err(SolverError::InvalidInstance("empty item universe".into()));
+        }
+        // Members that cannot be satisfied contribute nothing, and removing
+        // them shrinks the inclusion–exclusion expansion.
+        let union = match union.prune_unsatisfiable(rim.sigma().items(), labeling) {
+            Some(u) => u,
+            None => return Ok(0.0),
+        };
+        let z = union.num_patterns();
+        if z > self.cap() {
+            return Err(SolverError::Unsupported(format!(
+                "inclusion–exclusion over {z} members exceeds the cap of {}",
+                self.cap()
+            )));
+        }
+        let mut total = 0.0;
+        // Iterate over all non-empty subsets of members.
+        for mask in 1u64..(1u64 << z) {
+            let members: Vec<usize> = (0..z).filter(|&i| mask & (1 << i) != 0).collect();
+            let p = self.conjunction_probability(rim, labeling, &union, &members)?;
+            if members.len() % 2 == 1 {
+                total += p;
+            } else {
+                total -= p;
+            }
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::bipartite::BipartiteSolver;
+    use crate::exact::brute::BruteForceSolver;
+    use crate::exact::two_label::TwoLabelSolver;
+    use crate::testutil::{cyclic_labeling, rim, sample_unions, sel};
+    use ppd_patterns::{Pattern, PatternUnion, UnionClass};
+
+    #[test]
+    fn example_4_1_inclusion_exclusion() {
+        // G = {l1 ≻ l2} ∪ {l3 ≻ l4}: Pr(G) = Pr(g1) + Pr(g2) − Pr(g1 ∧ g2).
+        let model = rim(6, 0.5);
+        let lab = cyclic_labeling(6, 4);
+        let g1 = Pattern::two_label(sel(1), sel(2));
+        let g2 = Pattern::two_label(sel(3), sel(0));
+        let union = PatternUnion::new(vec![g1.clone(), g2.clone()]).unwrap();
+        let solver = GeneralSolver::new();
+        let p1 = solver
+            .conjunction_probability(&model, &lab, &union, &[0])
+            .unwrap();
+        let p2 = solver
+            .conjunction_probability(&model, &lab, &union, &[1])
+            .unwrap();
+        let p12 = solver
+            .conjunction_probability(&model, &lab, &union, &[0, 1])
+            .unwrap();
+        let total = solver.solve(&model, &lab, &union).unwrap();
+        assert!((total - (p1 + p2 - p12)).abs() < 1e-9);
+        // The members are not mutually exclusive: Pr(G) < Pr(g1) + Pr(g2).
+        assert!(total < p1 + p2);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_all_sample_unions() {
+        let brute = BruteForceSolver::new();
+        let solver = GeneralSolver::new();
+        for &m in &[5usize, 6] {
+            for &phi in &[0.2, 0.8] {
+                let model = rim(m, phi);
+                let lab = cyclic_labeling(m, 4);
+                for union in sample_unions() {
+                    let expected = brute.solve(&model, &lab, &union).unwrap();
+                    let got = solver.solve(&model, &lab, &union).unwrap();
+                    assert!(
+                        (expected - got).abs() < 1e-9,
+                        "m={m} phi={phi} union={union:?}: {expected} vs {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_specialised_solvers_on_their_fragments() {
+        let model = rim(7, 0.4);
+        let lab = cyclic_labeling(7, 4);
+        let general = GeneralSolver::new();
+        for union in sample_unions() {
+            let p = general.solve(&model, &lab, &union).unwrap();
+            match union.classify() {
+                UnionClass::TwoLabel => {
+                    let q = TwoLabelSolver::new().solve(&model, &lab, &union).unwrap();
+                    assert!((p - q).abs() < 1e-9);
+                }
+                UnionClass::Bipartite => {
+                    let q = BipartiteSolver::new().solve(&model, &lab, &union).unwrap();
+                    assert!((p - q).abs() < 1e-9);
+                }
+                UnionClass::General => {}
+            }
+        }
+    }
+
+    #[test]
+    fn union_size_cap_enforced() {
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        let members: Vec<Pattern> = (0..5)
+            .map(|_| Pattern::two_label(sel(1), sel(0)))
+            .collect();
+        let union = PatternUnion::new(members).unwrap();
+        let solver = GeneralSolver::new().with_max_union_size(3);
+        assert!(matches!(
+            solver.solve(&model, &lab, &union),
+            Err(SolverError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn wholly_unsatisfiable_union_is_zero() {
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        let union = PatternUnion::singleton(Pattern::two_label(sel(9), sel(8))).unwrap();
+        assert_eq!(GeneralSolver::new().solve(&model, &lab, &union).unwrap(), 0.0);
+    }
+}

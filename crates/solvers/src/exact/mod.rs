@@ -1,0 +1,7 @@
+//! Exact solvers (Section 4 of the paper).
+
+pub mod bipartite;
+pub mod brute;
+pub mod general;
+pub mod pattern;
+pub mod two_label;

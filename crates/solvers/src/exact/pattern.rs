@@ -1,0 +1,260 @@
+//! Exact marginal probability of a *single* label pattern over a labeled RIM
+//! model — the subroutine the general inclusion–exclusion solver needs for
+//! every conjunction of union members.
+//!
+//! The paper delegates this step to the LTM solver of Cohen et al.
+//! (SIGMOD'18). We substitute two exact strategies (see DESIGN.md):
+//!
+//! * bipartite (including two-label) patterns are dispatched to the
+//!   min/max-position DP of [`crate::BipartiteSolver`];
+//! * general DAG patterns are solved by a *relevant-item-position* DP over
+//!   the RIM insertion process: the state records the absolute positions of
+//!   the inserted items that can participate in an embedding (items matching
+//!   at least one pattern node). A state whose placed items already satisfy
+//!   the pattern is absorbed into the answer immediately — inserting more
+//!   items never invalidates an embedding — which keeps the reachable state
+//!   space far below its worst-case size.
+//!
+//! Both strategies are exact; the general one is exponential in the number of
+//! relevant items, matching the role of the general solver as a provably
+//! correct but non-scalable baseline.
+
+use crate::budget::Budget;
+use crate::exact::bipartite::BipartiteSolver;
+use crate::traits::ExactSolver;
+use crate::{Result, SolverError};
+use ppd_patterns::{satisfies_pattern, Labeling, Pattern, PatternError, PatternUnion};
+use ppd_rim::{Item, Ranking, RimModel};
+use std::collections::HashMap;
+
+/// Exact single-pattern solver (the LTM substitute).
+#[derive(Debug, Clone, Default)]
+pub struct PatternSolver {
+    budget: Option<Budget>,
+}
+
+impl PatternSolver {
+    /// Creates a solver without resource limits.
+    pub fn new() -> Self {
+        PatternSolver::default()
+    }
+
+    /// Attaches a resource budget (checked once per insertion step).
+    pub fn with_budget(budget: Budget) -> Self {
+        PatternSolver {
+            budget: Some(budget),
+        }
+    }
+
+    /// Computes `Pr(g | σ, Π, λ)` for a single pattern.
+    pub fn solve_pattern(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        pattern: &Pattern,
+    ) -> Result<f64> {
+        let m = rim.num_items();
+        if m == 0 {
+            return Err(SolverError::InvalidInstance("empty item universe".into()));
+        }
+        // A pattern with an unmatched selector can never be satisfied.
+        let candidates = match pattern.candidate_sets(rim.sigma().items(), labeling) {
+            Ok(c) => c,
+            Err(PatternError::EmptySelector(_)) => return Ok(0.0),
+            Err(e) => return Err(e.into()),
+        };
+        if pattern.is_bipartite() {
+            let solver = match &self.budget {
+                Some(b) => BipartiteSolver::new().with_budget(b.clone()),
+                None => BipartiteSolver::new(),
+            };
+            return solver.solve(rim, labeling, &PatternUnion::singleton(pattern.clone())?);
+        }
+        if pattern.num_edges() == 0 {
+            // Every selector matches some item, and with no edges any ranking
+            // over the full universe satisfies the pattern.
+            return Ok(1.0);
+        }
+        self.solve_general(rim, labeling, pattern, &candidates)
+    }
+
+    /// Relevant-item-position DP for general DAG patterns.
+    fn solve_general(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        pattern: &Pattern,
+        candidates: &[Vec<Item>],
+    ) -> Result<f64> {
+        let m = rim.num_items();
+        // Relevant items: anything that matches at least one pattern node.
+        let mut relevant: Vec<Item> = candidates.iter().flatten().copied().collect();
+        relevant.sort_unstable();
+        relevant.dedup();
+        let is_relevant: Vec<bool> = (0..m)
+            .map(|i| relevant.binary_search(&rim.sigma().item_at(i)).is_ok())
+            .collect();
+
+        // A state is the sequence of placed relevant items with their current
+        // absolute positions, ordered by position.
+        type State = Vec<(Item, u32)>;
+        let mut states: HashMap<State, f64> = HashMap::new();
+        states.insert(Vec::new(), 1.0);
+        let mut satisfied_mass = 0.0;
+
+        let placed_satisfies = |placed: &State| -> bool {
+            let ranking = Ranking::new(placed.iter().map(|&(it, _)| it).collect())
+                .expect("placed items are distinct");
+            satisfies_pattern(&ranking, labeling, pattern)
+        };
+
+        for i in 0..m {
+            let item = rim.sigma().item_at(i);
+            let mut next: HashMap<State, f64> = HashMap::with_capacity(states.len());
+            for (state, prob) in &states {
+                for j in 0..=i {
+                    let p_new = prob * rim.insertion_prob(i, j);
+                    // Shift the placed items at or below the insertion point.
+                    let mut placed: State = state
+                        .iter()
+                        .map(|&(it, pos)| (it, if pos >= j as u32 { pos + 1 } else { pos }))
+                        .collect();
+                    if is_relevant[i] {
+                        let insert_at = placed.partition_point(|&(_, pos)| pos < j as u32);
+                        placed.insert(insert_at, (item, j as u32));
+                        if placed_satisfies(&placed) {
+                            satisfied_mass += p_new;
+                            continue;
+                        }
+                    }
+                    *next.entry(placed).or_insert(0.0) += p_new;
+                }
+            }
+            if let Some(budget) = &self.budget {
+                budget.check(next.len())?;
+            }
+            states = next;
+        }
+        // States that survive to the end never satisfied the pattern: the
+        // relative order of all relevant items is fully determined and the
+        // satisfaction check already ran when the last relevant item was
+        // placed.
+        Ok(satisfied_mass.clamp(0.0, 1.0))
+    }
+}
+
+impl ExactSolver for PatternSolver {
+    fn name(&self) -> &'static str {
+        "pattern-exact"
+    }
+
+    /// Treats a singleton union as its member pattern; larger unions are the
+    /// job of [`crate::GeneralSolver`].
+    fn solve(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<f64> {
+        if union.num_patterns() != 1 {
+            return Err(SolverError::Unsupported(
+                "PatternSolver handles a single pattern; use GeneralSolver for unions".into(),
+            ));
+        }
+        self.solve_pattern(rim, labeling, &union.patterns()[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute::BruteForceSolver;
+    use crate::testutil::{cyclic_labeling, rim, sel};
+    use ppd_patterns::Pattern;
+
+    #[test]
+    fn chain_patterns_agree_with_brute_force() {
+        let brute = BruteForceSolver::new();
+        let solver = PatternSolver::new();
+        let chain3 =
+            Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let diamond = Pattern::new(
+            vec![sel(0), sel(1), sel(2), sel(0)],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        for &m in &[4usize, 5, 6] {
+            for &phi in &[0.1, 0.6, 1.0] {
+                let model = rim(m, phi);
+                let lab = cyclic_labeling(m, 3);
+                for pattern in [&chain3, &diamond] {
+                    let expected = brute
+                        .solve(&model, &lab, &PatternUnion::singleton(pattern.clone()).unwrap())
+                        .unwrap();
+                    let got = solver.solve_pattern(&model, &lab, pattern).unwrap();
+                    assert!(
+                        (expected - got).abs() < 1e-9,
+                        "m={m} phi={phi} pattern={pattern:?}: {expected} vs {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_dispatch_agrees_with_brute_force() {
+        let model = rim(6, 0.3);
+        let lab = cyclic_labeling(6, 3);
+        let vee = Pattern::new(vec![sel(2), sel(0), sel(1)], vec![(0, 1), (0, 2)]).unwrap();
+        let expected = BruteForceSolver::new()
+            .solve(&model, &lab, &PatternUnion::singleton(vee.clone()).unwrap())
+            .unwrap();
+        let got = PatternSolver::new().solve_pattern(&model, &lab, &vee).unwrap();
+        assert!((expected - got).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsatisfiable_pattern_is_zero() {
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        let p = Pattern::new(vec![sel(0), sel(9), sel(1)], vec![(0, 1), (1, 2)]).unwrap();
+        assert_eq!(PatternSolver::new().solve_pattern(&model, &lab, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn edgeless_pattern_is_one_when_selectors_match() {
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        let p = Pattern::new(vec![sel(0), sel(1)], vec![]).unwrap();
+        assert_eq!(PatternSolver::new().solve_pattern(&model, &lab, &p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn non_singleton_union_rejected_via_trait() {
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        let union = PatternUnion::new(vec![
+            Pattern::two_label(sel(0), sel(1)),
+            Pattern::two_label(sel(1), sel(2)),
+        ])
+        .unwrap();
+        assert!(matches!(
+            PatternSolver::new().solve(&model, &lab, &union),
+            Err(SolverError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn crowdrank_style_chain_on_moderate_m() {
+        // A 3-node chain over m = 8 with overlapping candidate sets stays
+        // exact and within [0, 1].
+        let model = rim(8, 0.5);
+        let lab = cyclic_labeling(8, 3);
+        let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
+        let p = PatternSolver::new().solve_pattern(&model, &lab, &chain).unwrap();
+        let expected = BruteForceSolver::new()
+            .solve(&model, &lab, &PatternUnion::singleton(chain).unwrap())
+            .unwrap();
+        assert!((expected - p).abs() < 1e-9);
+    }
+}

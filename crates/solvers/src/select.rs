@@ -1,0 +1,45 @@
+//! Automatic selection of the cheapest applicable exact solver.
+
+use crate::exact::bipartite::BipartiteSolver;
+use crate::exact::general::GeneralSolver;
+use crate::exact::two_label::TwoLabelSolver;
+use crate::traits::ExactSolver;
+use ppd_patterns::{PatternUnion, UnionClass};
+
+/// Picks the specialised exact solver matching the union's class: the
+/// two-label DP for unions of single-edge patterns, the bipartite DP for
+/// unions of bipartite patterns, and the inclusion–exclusion general solver
+/// otherwise. This is the policy `ppd-core` uses when evaluating queries with
+/// exact inference.
+pub fn choose_exact_solver(union: &PatternUnion) -> Box<dyn ExactSolver> {
+    match union.classify() {
+        UnionClass::TwoLabel => Box::new(TwoLabelSolver::new()),
+        UnionClass::Bipartite => Box::new(BipartiteSolver::new()),
+        UnionClass::General => Box::new(GeneralSolver::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::sel;
+    use ppd_patterns::Pattern;
+
+    #[test]
+    fn selection_follows_classification() {
+        let two = PatternUnion::singleton(Pattern::two_label(sel(0), sel(1))).unwrap();
+        assert_eq!(choose_exact_solver(&two).name(), "two-label");
+
+        let bip = PatternUnion::singleton(
+            Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (0, 2)]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(choose_exact_solver(&bip).name(), "bipartite");
+
+        let chain = PatternUnion::singleton(
+            Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(choose_exact_solver(&chain).name(), "general");
+    }
+}

@@ -1,0 +1,54 @@
+//! Solver traits shared by the exact and approximate implementations.
+
+use crate::Result;
+use ppd_patterns::{Labeling, PatternUnion};
+use ppd_rim::{MallowsModel, RimModel};
+use rand::RngCore;
+
+/// An exact solver for the marginal probability of a pattern union over a
+/// labeled RIM model (Eq. 2 of the paper).
+pub trait ExactSolver {
+    /// A short, stable identifier used in logs and experiment outputs.
+    fn name(&self) -> &'static str;
+
+    /// Computes `Pr(G | σ, Π, λ)` exactly.
+    fn solve(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<f64>;
+}
+
+/// An approximate solver for the marginal probability of a pattern union over
+/// a labeled *Mallows* model. (The importance-sampling machinery of Section 5
+/// exploits Mallows structure — distance-based probabilities and the AMP
+/// posterior sampler — so the approximate interface takes a Mallows model
+/// rather than a general RIM.)
+pub trait ApproxSolver {
+    /// A short, stable identifier used in logs and experiment outputs.
+    fn name(&self) -> &'static str;
+
+    /// Estimates `Pr(G | σ, φ, λ)`.
+    fn estimate(
+        &self,
+        mallows: &MallowsModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForceSolver, RejectionSampler};
+
+    #[test]
+    fn traits_are_object_safe() {
+        let exact: Box<dyn ExactSolver> = Box::new(BruteForceSolver::default());
+        let approx: Box<dyn ApproxSolver> = Box::new(RejectionSampler::new(10));
+        assert_eq!(exact.name(), "brute-force");
+        assert_eq!(approx.name(), "rejection-sampling");
+    }
+}

@@ -1,0 +1,257 @@
+//! Cross-crate integration tests: database construction → query grounding →
+//! solver inference → aggregation, validated against brute-force enumeration
+//! of possible worlds.
+
+use ppd::prelude::*;
+use ppd_core::{ground_query, QueryShape};
+use ppd_patterns::satisfies_union;
+
+/// A small polling database (Figure 1 of the paper) whose possible worlds can
+/// be enumerated exhaustively.
+fn small_db() -> PpdDatabase {
+    let candidates = Relation::new(
+        "Candidates",
+        vec!["candidate", "party", "sex", "age", "edu", "reg"],
+        vec![
+            vec!["Trump", "R", "M", "70", "BS", "NE"],
+            vec!["Clinton", "D", "F", "69", "JD", "NE"],
+            vec!["Sanders", "D", "M", "75", "BS", "NE"],
+            vec!["Rubio", "R", "M", "45", "JD", "S"],
+        ]
+        .into_iter()
+        .map(|row| row.into_iter().map(Value::from).collect())
+        .collect(),
+    )
+    .unwrap();
+    let voters = Relation::new(
+        "Voters",
+        vec!["voter", "sex", "age", "edu"],
+        vec![
+            vec!["Ann", "F", "20", "BS"],
+            vec!["Bob", "M", "30", "BS"],
+            vec!["Dave", "M", "50", "MS"],
+        ]
+        .into_iter()
+        .map(|row| row.into_iter().map(Value::from).collect())
+        .collect(),
+    )
+    .unwrap();
+    let polls = PreferenceRelation::new(
+        "Polls",
+        vec!["voter", "date"],
+        vec![
+            Session::new(
+                vec![Value::from("Ann"), Value::from("5/5")],
+                MallowsModel::new(Ranking::new(vec![1, 2, 3, 0]).unwrap(), 0.3).unwrap(),
+            ),
+            Session::new(
+                vec![Value::from("Bob"), Value::from("5/5")],
+                MallowsModel::new(Ranking::new(vec![0, 3, 2, 1]).unwrap(), 0.3).unwrap(),
+            ),
+            Session::new(
+                vec![Value::from("Dave"), Value::from("6/5")],
+                MallowsModel::new(Ranking::new(vec![1, 2, 3, 0]).unwrap(), 0.5).unwrap(),
+            ),
+        ],
+    )
+    .unwrap();
+    DatabaseBuilder::new()
+        .item_relation(candidates, "candidate")
+        .relation(voters)
+        .preference_relation(polls)
+        .build()
+        .unwrap()
+}
+
+/// Per-session ground truth by enumerating all rankings of the session model.
+fn brute_force_session_probability(
+    db: &PpdDatabase,
+    query: &ConjunctiveQuery,
+    session_index: usize,
+) -> f64 {
+    let plan = ground_query(db, query).unwrap();
+    let Some(squery) = plan
+        .sessions
+        .iter()
+        .find(|s| s.session_index == session_index)
+    else {
+        return 0.0;
+    };
+    let model = db.preference_relation("Polls").unwrap().sessions()[session_index].model();
+    Ranking::enumerate_all(model.sigma().items())
+        .iter()
+        .filter(|t| satisfies_union(t, &plan.labeling, &squery.union))
+        .map(|t| model.prob_of(t))
+        .sum()
+}
+
+fn q2() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("Q2")
+        .prefer("Polls", vec![Term::any(), Term::any()], Term::var("c1"), Term::var("c2"))
+        .atom(
+            "Candidates",
+            vec![
+                Term::var("c1"),
+                Term::val("D"),
+                Term::any(),
+                Term::any(),
+                Term::var("e"),
+                Term::any(),
+            ],
+        )
+        .atom(
+            "Candidates",
+            vec![
+                Term::var("c2"),
+                Term::val("R"),
+                Term::any(),
+                Term::any(),
+                Term::var("e"),
+                Term::any(),
+            ],
+        )
+}
+
+#[test]
+fn q0_constant_query_matches_brute_force() {
+    let db = small_db();
+    let q0 = ConjunctiveQuery::new("Q0")
+        .prefer(
+            "Polls",
+            vec![Term::val("Ann"), Term::val("5/5")],
+            Term::val("Trump"),
+            Term::val("Clinton"),
+        )
+        .prefer(
+            "Polls",
+            vec![Term::val("Ann"), Term::val("5/5")],
+            Term::val("Trump"),
+            Term::val("Rubio"),
+        );
+    let exact = evaluate_boolean(&db, &q0, &EvalConfig::exact()).unwrap();
+    let expected = brute_force_session_probability(&db, &q0, 0);
+    assert!((exact - expected).abs() < 1e-9);
+    // Ann's model is centred on Clinton ≻ Sanders ≻ Rubio ≻ Trump with a small
+    // dispersion, so Trump beating both Clinton and Rubio is unlikely.
+    assert!(exact < 0.1);
+}
+
+#[test]
+fn q2_hard_query_full_pipeline_matches_brute_force() {
+    let db = small_db();
+    let q = q2();
+    let plan = ground_query(&db, &q).unwrap();
+    assert!(matches!(plan.shape, QueryShape::NonItemwise { .. }));
+
+    let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+    assert_eq!(per_session.len(), 3);
+    let mut product = 1.0;
+    for &(sidx, p) in &per_session {
+        let expected = brute_force_session_probability(&db, &q, sidx);
+        assert!((p - expected).abs() < 1e-9, "session {sidx}");
+        product *= 1.0 - p;
+    }
+    let boolean = evaluate_boolean(&db, &q, &EvalConfig::exact()).unwrap();
+    assert!((boolean - (1.0 - product)).abs() < 1e-12);
+
+    let count = count_sessions(&db, &q, &EvalConfig::exact()).unwrap();
+    let expected_count: f64 = per_session.iter().map(|&(_, p)| p).sum();
+    assert!((count - expected_count).abs() < 1e-12);
+}
+
+#[test]
+fn exact_and_approximate_evaluation_agree() {
+    let db = small_db();
+    let q = q2();
+    let exact = evaluate_boolean(&db, &q, &EvalConfig::exact()).unwrap();
+    let approx = evaluate_boolean(&db, &q, &EvalConfig::approximate(2_000)).unwrap();
+    assert!(
+        (exact - approx).abs() < 0.05,
+        "exact {exact} vs approximate {approx}"
+    );
+}
+
+#[test]
+fn top_k_strategies_agree_end_to_end() {
+    let db = small_db();
+    let q = q2();
+    let (naive, _) =
+        most_probable_sessions(&db, &q, 2, TopKStrategy::Naive, &EvalConfig::exact()).unwrap();
+    for edges in 1..=2 {
+        let (optimized, _) = most_probable_sessions(
+            &db,
+            &q,
+            2,
+            TopKStrategy::UpperBound { edges_per_pattern: edges },
+            &EvalConfig::exact(),
+        )
+        .unwrap();
+        assert_eq!(naive.len(), optimized.len());
+        for (a, b) in naive.iter().zip(&optimized) {
+            assert_eq!(a.session_index, b.session_index);
+            assert!((a.probability - b.probability).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn solvers_cross_validate_on_generated_workloads() {
+    use ppd::datagen::{benchmark_c, BenchmarkCConfig};
+    use ppd_solvers::BruteForceSolver;
+    // Small Benchmark-C instances: brute force vs bipartite vs general.
+    let instances = benchmark_c(
+        &BenchmarkCConfig {
+            num_items: 6,
+            patterns_per_union: 2,
+            labels_per_pattern: 3,
+            items_per_label: 2,
+            instances: 5,
+            phi: 0.4,
+        },
+        321,
+    );
+    for inst in &instances {
+        let rim = inst.model.to_rim();
+        let expected = BruteForceSolver::new()
+            .solve(&rim, &inst.labeling, &inst.union)
+            .unwrap();
+        let bipartite = BipartiteSolver::new()
+            .solve(&rim, &inst.labeling, &inst.union)
+            .unwrap();
+        let general = GeneralSolver::new()
+            .solve(&rim, &inst.labeling, &inst.union)
+            .unwrap();
+        assert!((expected - bipartite).abs() < 1e-9);
+        assert!((expected - general).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn grouping_matches_naive_on_crowdrank_subset() {
+    use ppd::datagen::{crowdrank_database, CrowdRankConfig};
+    let db = crowdrank_database(&CrowdRankConfig {
+        num_movies: 8,
+        num_models: 3,
+        num_workers: 40,
+        phi: 0.4,
+        seed: 5,
+    });
+    let q = ConjunctiveQuery::new("personalised")
+        .prefer("HitRankings", vec![Term::var("w")], Term::var("m1"), Term::var("m2"))
+        .atom("Workers", vec![Term::var("w"), Term::var("sex"), Term::any()])
+        .atom(
+            "Movies",
+            vec![Term::var("m1"), Term::any(), Term::var("sex"), Term::any(), Term::any()],
+        )
+        .atom(
+            "Movies",
+            vec![Term::var("m2"), Term::val("Thriller"), Term::any(), Term::any(), Term::any()],
+        );
+    let grouped = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+    let naive = session_probabilities(&db, &q, &EvalConfig::exact().without_grouping()).unwrap();
+    assert_eq!(grouped.len(), naive.len());
+    for (a, b) in grouped.iter().zip(&naive) {
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() < 1e-9);
+    }
+}
