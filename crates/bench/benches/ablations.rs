@@ -2,10 +2,10 @@
 //! DESIGN.md: bipartite pruning, MIS compensation, and session grouping.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ppd_core::{ground_query, session_probabilities_for_plan, ConjunctiveQuery, EvalConfig, Term as T};
-use ppd_datagen::{
-    benchmark_c, crowdrank_database, BenchmarkCConfig, CrowdRankConfig,
+use ppd_core::{
+    ground_query, session_probabilities_for_plan, ConjunctiveQuery, EvalConfig, Term as T,
 };
+use ppd_datagen::{benchmark_c, crowdrank_database, BenchmarkCConfig, CrowdRankConfig};
 use ppd_solvers::{ApproxSolver, BipartiteSolver, ExactSolver, MisAmpLite};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,7 +102,13 @@ fn bench_session_grouping(c: &mut Criterion) {
         )
         .atom(
             "Movies",
-            vec![T::var("m2"), T::val("Thriller"), T::any(), T::any(), T::any()],
+            vec![
+                T::var("m2"),
+                T::val("Thriller"),
+                T::any(),
+                T::any(),
+                T::any(),
+            ],
         );
     let plan = ground_query(&db, &q).unwrap();
     group.bench_function("evaluation_grouped", |b| {

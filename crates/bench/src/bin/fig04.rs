@@ -20,11 +20,25 @@ fn fig4_query() -> ConjunctiveQuery {
         .prefer("Polls", vec![T::any(), T::any()], T::var("l"), T::var("r"))
         .atom(
             "Candidates",
-            vec![T::var("l"), T::var("p"), T::val("M"), T::any(), T::any(), T::any()],
+            vec![
+                T::var("l"),
+                T::var("p"),
+                T::val("M"),
+                T::any(),
+                T::any(),
+                T::any(),
+            ],
         )
         .atom(
             "Candidates",
-            vec![T::var("r"), T::var("p"), T::val("F"), T::any(), T::any(), T::any()],
+            vec![
+                T::var("r"),
+                T::var("p"),
+                T::val("F"),
+                T::any(),
+                T::any(),
+                T::any(),
+            ],
         )
 }
 

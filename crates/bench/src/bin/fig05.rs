@@ -49,7 +49,12 @@ fn main() {
         }));
     }
     print_table(
-        &["#patterns in conjunction", "median time (s)", "finished", "timeouts"],
+        &[
+            "#patterns in conjunction",
+            "median time (s)",
+            "finished",
+            "timeouts",
+        ],
         &rows,
     );
     println!("\nExpected shape (paper): roughly exponential growth with the conjunction size.");

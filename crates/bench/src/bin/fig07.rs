@@ -60,7 +60,10 @@ fn main() {
         }
     }
     println!("(a) 3 patterns/union, 3 items/label");
-    print_table(&["m", "#labels/pattern", "median time (s)", "finished"], &rows_a);
+    print_table(
+        &["m", "#labels/pattern", "median time (s)", "finished"],
+        &rows_a,
+    );
 
     // (b) 3 labels/pattern, 3 items/label; vary #patterns per union.
     let mut rows_b = Vec::new();
@@ -90,7 +93,10 @@ fn main() {
         }
     }
     println!("\n(b) 3 labels/pattern, 3 items/label");
-    print_table(&["m", "#patterns/union", "median time (s)", "finished"], &rows_b);
+    print_table(
+        &["m", "#patterns/union", "median time (s)", "finished"],
+        &rows_b,
+    );
     println!(
         "\nExpected shape (paper): runtime grows quickly with both the number of items and \
          the total number of labels, but stays practical for small m."

@@ -31,19 +31,47 @@ fn fig8_query() -> ConjunctiveQuery {
         )
         .atom(
             "Candidates",
-            vec![T::var("c1"), T::var("p"), T::any(), T::any(), T::any(), T::val("NE")],
+            vec![
+                T::var("c1"),
+                T::var("p"),
+                T::any(),
+                T::any(),
+                T::any(),
+                T::val("NE"),
+            ],
         )
         .atom(
             "Candidates",
-            vec![T::var("c2"), T::var("p"), T::any(), T::any(), T::any(), T::val("MW")],
+            vec![
+                T::var("c2"),
+                T::var("p"),
+                T::any(),
+                T::any(),
+                T::any(),
+                T::val("MW"),
+            ],
         )
         .atom(
             "Candidates",
-            vec![T::var("c3"), T::any(), T::any(), T::var("age"), T::any(), T::val("NE")],
+            vec![
+                T::var("c3"),
+                T::any(),
+                T::any(),
+                T::var("age"),
+                T::any(),
+                T::val("NE"),
+            ],
         )
         .atom(
             "Candidates",
-            vec![T::var("c4"), T::any(), T::val("M"), T::any(), T::val("BA"), T::any()],
+            vec![
+                T::var("c4"),
+                T::any(),
+                T::val("M"),
+                T::any(),
+                T::val("BA"),
+                T::any(),
+            ],
         )
         .compare("date", CompareOp::Eq, "5/5")
         .compare("age", CompareOp::Eq, 50)
@@ -67,8 +95,18 @@ fn main() {
     let q = fig8_query();
     let strategies = [
         ("full", TopKStrategy::Naive),
-        ("1-edge", TopKStrategy::UpperBound { edges_per_pattern: 1 }),
-        ("2-edge", TopKStrategy::UpperBound { edges_per_pattern: 2 }),
+        (
+            "1-edge",
+            TopKStrategy::UpperBound {
+                edges_per_pattern: 1,
+            },
+        ),
+        (
+            "2-edge",
+            TopKStrategy::UpperBound {
+                edges_per_pattern: 2,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     let mut records = Vec::new();

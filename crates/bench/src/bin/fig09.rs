@@ -77,7 +77,14 @@ fn main() {
         }));
     }
     print_table(
-        &["m", "Pr(σm≻σ1)", "RS time (s)", "RS outcome", "MIS-lite time (s)", "MIS-lite rel.err"],
+        &[
+            "m",
+            "Pr(σm≻σ1)",
+            "RS time (s)",
+            "RS outcome",
+            "MIS-lite time (s)",
+            "MIS-lite rel.err",
+        ],
         &rows,
     );
     println!(

@@ -22,7 +22,10 @@ fn main() {
     let samples = scale.pick(500, 2000);
     let instances = benchmark_c(&config, 12);
     println!("Figure 12 — compensation ablation of MIS-AMP-lite over Benchmark-C");
-    println!("scale: {scale:?}, {} instances, 1 proposal distribution\n", instances.len());
+    println!(
+        "scale: {scale:?}, {} instances, 1 proposal distribution\n",
+        instances.len()
+    );
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -61,11 +64,17 @@ fn main() {
             "relative_error_with_compensation": err_with,
         }));
     }
-    print_table(&["instance", "rel. error w/o comp.", "rel. error w/ comp."], &rows);
+    print_table(
+        &["instance", "rel. error w/o comp.", "rel. error w/ comp."],
+        &rows,
+    );
     println!(
         "\n{improved}/{total} instances improved (or unchanged) with compensation.\n\
          Expected shape (paper): most points fall below the diagonal — compensation reduces the \
          error, dramatically so for instances that were nearly 100% off without it."
     );
-    write_results("fig12", &json!({ "series": records, "improved": improved, "total": total }));
+    write_results(
+        "fig12",
+        &json!({ "series": records, "improved": improved, "total": total }),
+    );
 }

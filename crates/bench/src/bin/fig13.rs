@@ -54,7 +54,10 @@ fn main() {
         }
     }
     println!("(a) proposal-construction overhead, m = {m_a}, 3 patterns/union");
-    print_table(&["#labels/pattern", "#items/label", "median overhead (s)"], &rows_a);
+    print_table(
+        &["#labels/pattern", "#items/label", "median overhead (s)"],
+        &rows_a,
+    );
 
     // (b) sampling time: 2 patterns/union, 5 items/label, vary m and labels.
     let mut rows_b = Vec::new();

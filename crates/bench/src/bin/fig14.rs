@@ -14,7 +14,12 @@ use serde_json::json;
 /// and to the second fixed movie.
 fn fig14_query(favourite: i64, baseline: i64) -> ConjunctiveQuery {
     ConjunctiveQuery::new("fig14")
-        .prefer("Ratings", vec![T::any()], T::val(favourite), T::val(baseline))
+        .prefer(
+            "Ratings",
+            vec![T::any()],
+            T::val(favourite),
+            T::val(baseline),
+        )
         .prefer("Ratings", vec![T::any()], T::var("x"), T::val(baseline))
         .prefer("Ratings", vec![T::any()], T::var("x"), T::var("y"))
         .atom(
@@ -86,7 +91,10 @@ fn main() {
             "seconds": elapsed.as_secs_f64(),
         }));
     }
-    print_table(&["m", "#patterns/union", "sessions", "total time (s)"], &rows);
+    print_table(
+        &["m", "#patterns/union", "sessions", "total time (s)"],
+        &rows,
+    );
     println!(
         "\nExpected shape (paper): runtime grows with the number of movies, mostly because more \
          genres survive into the grounded union (more patterns per union)."

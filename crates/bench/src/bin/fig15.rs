@@ -18,15 +18,33 @@ fn fig15_query() -> ConjunctiveQuery {
         .atom("Workers", vec![T::var("v"), T::var("sex"), T::var("age")])
         .atom(
             "Movies",
-            vec![T::var("m1"), T::any(), T::var("sex"), T::any(), T::val("short")],
+            vec![
+                T::var("m1"),
+                T::any(),
+                T::var("sex"),
+                T::any(),
+                T::val("short"),
+            ],
         )
         .atom(
             "Movies",
-            vec![T::var("m2"), T::any(), T::any(), T::var("age"), T::val("short")],
+            vec![
+                T::var("m2"),
+                T::any(),
+                T::any(),
+                T::var("age"),
+                T::val("short"),
+            ],
         )
         .atom(
             "Movies",
-            vec![T::var("m3"), T::val("Thriller"), T::any(), T::any(), T::any()],
+            vec![
+                T::var("m3"),
+                T::val("Thriller"),
+                T::any(),
+                T::any(),
+                T::any(),
+            ],
         )
 }
 
@@ -86,7 +104,13 @@ fn main() {
         }));
     }
     print_table(
-        &["#sessions", "evaluated", "grounding (s)", "grouped inference (s)", "naive inference (s)"],
+        &[
+            "#sessions",
+            "evaluated",
+            "grounding (s)",
+            "grouped inference (s)",
+            "naive inference (s)",
+        ],
         &rows,
     );
     println!(

@@ -26,14 +26,33 @@ mod tests {
 
     fn query_f_over_m() -> ConjunctiveQuery {
         ConjunctiveQuery::new("count-f-over-m")
-            .prefer("Polls", vec![T::any(), T::any()], T::var("c1"), T::var("c2"))
-            .atom(
-                "Candidates",
-                vec![T::var("c1"), T::any(), T::val("F"), T::any(), T::any(), T::any()],
+            .prefer(
+                "Polls",
+                vec![T::any(), T::any()],
+                T::var("c1"),
+                T::var("c2"),
             )
             .atom(
                 "Candidates",
-                vec![T::var("c2"), T::any(), T::val("M"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("c1"),
+                    T::any(),
+                    T::val("F"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
+            )
+            .atom(
+                "Candidates",
+                vec![
+                    T::var("c2"),
+                    T::any(),
+                    T::val("M"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             )
     }
 

@@ -62,7 +62,10 @@ impl PpdDatabase {
     /// An attribute value of an item, by column name.
     pub fn item_attribute(&self, item: Item, column: &str) -> Option<&Value> {
         let col = self.item_relation.column_index(column)?;
-        self.item_relation.tuples().get(item as usize).map(|t| &t[col])
+        self.item_relation
+            .tuples()
+            .get(item as usize)
+            .map(|t| &t[col])
     }
 
     /// A non-item o-relation by name (the item relation is also reachable by
@@ -82,7 +85,10 @@ impl PpdDatabase {
 
     /// Names of all p-relations.
     pub fn preference_relation_names(&self) -> Vec<&str> {
-        self.preference_relations.keys().map(|s| s.as_str()).collect()
+        self.preference_relations
+            .keys()
+            .map(|s| s.as_str())
+            .collect()
     }
 
     /// The label interner (labels are `column=value` strings plus an
@@ -195,7 +201,10 @@ impl DatabaseBuilder {
                     }
                 }
             }
-            if preference_relations.insert(p.name().to_string(), p).is_some() {
+            if preference_relations
+                .insert(p.name().to_string(), p)
+                .is_some()
+            {
                 return Err(PpdError::Malformed("duplicate p-relation name".into()));
             }
         }
@@ -259,8 +268,7 @@ mod tests {
             vec![Value::from("s1")],
             MallowsModel::new(Ranking::new(vec![0, 7]).unwrap(), 0.5).unwrap(),
         );
-        let prel =
-            PreferenceRelation::new("P", vec!["sid"], vec![bad_session]).unwrap();
+        let prel = PreferenceRelation::new("P", vec!["sid"], vec![bad_session]).unwrap();
         let err = DatabaseBuilder::new()
             .item_relation(items.clone(), "id")
             .preference_relation(prel)

@@ -101,10 +101,7 @@ pub fn session_probabilities_for_plan(
     let mut cache: HashMap<GroupKey, f64> = HashMap::new();
     for (order, squery) in plan.sessions.iter().enumerate() {
         let session = &prel.sessions()[squery.session_index];
-        let key: GroupKey = (
-            session.model_key(),
-            squery.union.patterns().to_vec(),
-        );
+        let key: GroupKey = (session.model_key(), squery.union.patterns().to_vec());
         let cached = if config.group_identical {
             cache.get(&key).copied()
         } else {
@@ -182,14 +179,33 @@ mod tests {
 
     fn q1() -> ConjunctiveQuery {
         ConjunctiveQuery::new("Q1")
-            .prefer("Polls", vec![T::any(), T::any()], T::var("c1"), T::var("c2"))
-            .atom(
-                "Candidates",
-                vec![T::var("c1"), T::any(), T::val("F"), T::any(), T::any(), T::any()],
+            .prefer(
+                "Polls",
+                vec![T::any(), T::any()],
+                T::var("c1"),
+                T::var("c2"),
             )
             .atom(
                 "Candidates",
-                vec![T::var("c2"), T::any(), T::val("M"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("c1"),
+                    T::any(),
+                    T::val("F"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
+            )
+            .atom(
+                "Candidates",
+                vec![
+                    T::var("c2"),
+                    T::any(),
+                    T::val("M"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             )
     }
 
@@ -231,11 +247,7 @@ mod tests {
         let db = polling_database();
         let q = q1();
         let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
-        let expected = 1.0
-            - per_session
-                .iter()
-                .map(|&(_, p)| 1.0 - p)
-                .product::<f64>();
+        let expected = 1.0 - per_session.iter().map(|&(_, p)| 1.0 - p).product::<f64>();
         let got = evaluate_boolean(&db, &q, &EvalConfig::exact()).unwrap();
         assert!((expected - got).abs() < 1e-12);
         assert!(got > 0.0 && got <= 1.0);
@@ -287,14 +299,33 @@ mod tests {
         // Q2 of the paper (Democrat preferred to Republican with same edu).
         let db = polling_database();
         let q = ConjunctiveQuery::new("Q2")
-            .prefer("Polls", vec![T::any(), T::any()], T::var("c1"), T::var("c2"))
-            .atom(
-                "Candidates",
-                vec![T::var("c1"), T::val("D"), T::any(), T::any(), T::var("e"), T::any()],
+            .prefer(
+                "Polls",
+                vec![T::any(), T::any()],
+                T::var("c1"),
+                T::var("c2"),
             )
             .atom(
                 "Candidates",
-                vec![T::var("c2"), T::val("R"), T::any(), T::any(), T::var("e"), T::any()],
+                vec![
+                    T::var("c1"),
+                    T::val("D"),
+                    T::any(),
+                    T::any(),
+                    T::var("e"),
+                    T::any(),
+                ],
+            )
+            .atom(
+                "Candidates",
+                vec![
+                    T::var("c2"),
+                    T::val("R"),
+                    T::any(),
+                    T::any(),
+                    T::var("e"),
+                    T::any(),
+                ],
             );
         let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
         assert_eq!(per_session.len(), 3);

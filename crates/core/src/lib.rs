@@ -169,8 +169,8 @@ pub(crate) mod testdb {
             vec![Value::from("Dave"), Value::from("6/5")],
             MallowsModel::new(Ranking::new(vec![1, 2, 3, 0]).unwrap(), 0.5).unwrap(),
         );
-        let polls = PreferenceRelation::new("Polls", vec!["voter", "date"], vec![ann, bob, dave])
-            .unwrap();
+        let polls =
+            PreferenceRelation::new("Polls", vec!["voter", "date"], vec![ann, bob, dave]).unwrap();
         DatabaseBuilder::new()
             .item_relation(candidates, "candidate")
             .relation(voters)

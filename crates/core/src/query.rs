@@ -200,7 +200,12 @@ impl ConjunctiveQuery {
     }
 
     /// Adds a comparison.
-    pub fn compare(mut self, var: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+    pub fn compare(
+        mut self,
+        var: impl Into<String>,
+        op: CompareOp,
+        value: impl Into<Value>,
+    ) -> Self {
         self.comparisons.push(Comparison {
             var: var.into(),
             op,

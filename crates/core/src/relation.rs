@@ -154,10 +154,7 @@ mod tests {
         assert_eq!(r.column_index("sex"), Some(1));
         assert_eq!(r.column_index("nope"), None);
         assert!(!r.is_empty());
-        assert_eq!(
-            r.active_domain(1),
-            vec![Value::from("F"), Value::from("M")]
-        );
+        assert_eq!(r.active_domain(1), vec![Value::from("F"), Value::from("M")]);
         assert_eq!(r.select_eq(2, &Value::from(30)).len(), 2);
         assert_eq!(r.select_eq(0, &Value::from("Ann")).len(), 1);
     }

@@ -143,7 +143,10 @@ mod tests {
             .push(Session::new(vec![Value::from("Bob")], model(0.5)))
             .is_ok());
         assert!(p
-            .push(Session::new(vec![Value::from("Bob"), Value::Null], model(0.5)))
+            .push(Session::new(
+                vec![Value::from("Bob"), Value::Null],
+                model(0.5)
+            ))
             .is_err());
         assert_eq!(p.session_column_index("voter"), Some(0));
         assert_eq!(p.session_column_index("date"), None);

@@ -62,32 +62,30 @@ pub fn most_probable_sessions(
         .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?;
     let mut stats = TopKStats::default();
 
-    let solve_full = |session_index: usize,
-                      union: &ppd_patterns::PatternUnion,
-                      salt: u64|
-     -> Result<f64> {
-        let model = prel.sessions()[session_index].model();
-        let p = match &config.solver {
-            SolverChoice::ExactAuto => {
-                choose_exact_solver(union).solve(&model.to_rim(), &plan.labeling, union)?
-            }
-            SolverChoice::GeneralExact => {
-                GeneralSolver::new().solve(&model.to_rim(), &plan.labeling, union)?
-            }
-            SolverChoice::Approximate {
-                samples_per_proposal,
-            } => {
-                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(salt));
-                MisAmpAdaptive::new(*samples_per_proposal).estimate(
-                    model,
-                    &plan.labeling,
-                    union,
-                    &mut rng,
-                )?
-            }
+    let solve_full =
+        |session_index: usize, union: &ppd_patterns::PatternUnion, salt: u64| -> Result<f64> {
+            let model = prel.sessions()[session_index].model();
+            let p = match &config.solver {
+                SolverChoice::ExactAuto => {
+                    choose_exact_solver(union).solve(&model.to_rim(), &plan.labeling, union)?
+                }
+                SolverChoice::GeneralExact => {
+                    GeneralSolver::new().solve(&model.to_rim(), &plan.labeling, union)?
+                }
+                SolverChoice::Approximate {
+                    samples_per_proposal,
+                } => {
+                    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(salt));
+                    MisAmpAdaptive::new(*samples_per_proposal).estimate(
+                        model,
+                        &plan.labeling,
+                        union,
+                        &mut rng,
+                    )?
+                }
+            };
+            Ok(p.clamp(0.0, 1.0))
         };
-        Ok(p.clamp(0.0, 1.0))
-    };
 
     let mut scores: Vec<SessionScore> = Vec::new();
     match strategy {
@@ -137,10 +135,8 @@ pub fn most_probable_sessions(
                 // Termination test: the k-th best exact probability found so
                 // far dominates every remaining upper bound.
                 if scores.len() >= k {
-                    let mut exact_so_far: Vec<f64> =
-                        scores.iter().map(|s| s.probability).collect();
-                    exact_so_far
-                        .sort_by(|a, b| b.partial_cmp(a).unwrap());
+                    let mut exact_so_far: Vec<f64> = scores.iter().map(|s| s.probability).collect();
+                    exact_so_far.sort_by(|a, b| b.partial_cmp(a).unwrap());
                     let kth = exact_so_far[k - 1];
                     let next_ub = bounded.get(pos + 1).map(|&(_, ub)| ub).unwrap_or(0.0);
                     if kth >= next_ub - 1e-12 {
@@ -168,14 +164,33 @@ mod tests {
 
     fn query_f_over_m() -> ConjunctiveQuery {
         ConjunctiveQuery::new("topk-f-over-m")
-            .prefer("Polls", vec![T::any(), T::any()], T::var("c1"), T::var("c2"))
-            .atom(
-                "Candidates",
-                vec![T::var("c1"), T::any(), T::val("F"), T::any(), T::any(), T::any()],
+            .prefer(
+                "Polls",
+                vec![T::any(), T::any()],
+                T::var("c1"),
+                T::var("c2"),
             )
             .atom(
                 "Candidates",
-                vec![T::var("c2"), T::any(), T::val("M"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("c1"),
+                    T::any(),
+                    T::val("F"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
+            )
+            .atom(
+                "Candidates",
+                vec![
+                    T::var("c2"),
+                    T::any(),
+                    T::val("M"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             )
     }
 
@@ -184,14 +199,9 @@ mod tests {
         let db = polling_database();
         let q = query_f_over_m();
         for k in 1..=3 {
-            let (naive, _) = most_probable_sessions(
-                &db,
-                &q,
-                k,
-                TopKStrategy::Naive,
-                &EvalConfig::exact(),
-            )
-            .unwrap();
+            let (naive, _) =
+                most_probable_sessions(&db, &q, k, TopKStrategy::Naive, &EvalConfig::exact())
+                    .unwrap();
             for edges in 1..=2 {
                 let (optimized, stats) = most_probable_sessions(
                     &db,
@@ -256,8 +266,7 @@ mod tests {
         let db = polling_database();
         let q = query_f_over_m();
         let (top, _) =
-            most_probable_sessions(&db, &q, 10, TopKStrategy::Naive, &EvalConfig::exact())
-                .unwrap();
+            most_probable_sessions(&db, &q, 10, TopKStrategy::Naive, &EvalConfig::exact()).unwrap();
         assert_eq!(top.len(), 3);
         // Scores are sorted in decreasing order.
         for w in top.windows(2) {

@@ -60,10 +60,10 @@ pub struct GroundedSessionQuery {
     pub sessions: Vec<SessionQuery>,
 }
 
-/// Occurrence of an attribute variable inside an item atom.
+/// Occurrence of an attribute variable inside an item atom, recorded by the
+/// item-relation column it appears in.
 #[derive(Debug, Clone, Copy)]
 struct Occurrence {
-    atom: usize,
     column: usize,
 }
 
@@ -194,7 +194,8 @@ pub fn ground_query(db: &PpdDatabase, query: &ConjunctiveQuery) -> Result<Ground
             }
             None => {
                 return Err(PpdError::UnsupportedQuery(format!(
-                    "relation atom over {} constrains neither an item variable nor a session variable",
+                    "relation atom over {} constrains neither an item variable nor a session \
+                     variable",
                     atom.relation
                 )))
             }
@@ -207,7 +208,7 @@ pub fn ground_query(db: &PpdDatabase, query: &ConjunctiveQuery) -> Result<Ground
         .flat_map(|j| j.bindings.iter().map(|(v, _)| v.clone()))
         .collect();
     let mut occurrences: BTreeMap<String, Vec<Occurrence>> = BTreeMap::new();
-    for (ai, (_, terms)) in item_atoms.iter().enumerate() {
+    for (_, terms) in item_atoms.iter() {
         for (col, term) in terms.iter().enumerate() {
             if col == key_col {
                 continue;
@@ -219,13 +220,13 @@ pub fn ground_query(db: &PpdDatabase, query: &ConjunctiveQuery) -> Result<Ground
                 occurrences
                     .entry(v.to_string())
                     .or_default()
-                    .push(Occurrence { atom: ai, column: col });
+                    .push(Occurrence { column: col });
             }
         }
     }
     // Constant propagation: variables fixed by an equality comparison.
     let mut propagated: BTreeMap<String, Value> = BTreeMap::new();
-    for (var, _) in &occurrences {
+    for var in occurrences.keys() {
         if session_bound.contains(var) {
             continue;
         }
@@ -430,9 +431,7 @@ fn build_pattern(
                         let column = &item_rel.columns()[col];
                         match t {
                             Term::Const(v) => {
-                                labels.insert(
-                                    interner.intern(&format!("{column}={}", v.render())),
-                                );
+                                labels.insert(interner.intern(&format!("{column}={}", v.render())));
                             }
                             Term::Var(a) => {
                                 if let Some(v) = nu.get(a).or_else(|| theta.get(a)) {
@@ -511,11 +510,25 @@ mod tests {
             )
             .atom(
                 "Candidates",
-                vec![T::var("c1"), T::any(), T::val("F"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("c1"),
+                    T::any(),
+                    T::val("F"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             )
             .atom(
                 "Candidates",
-                vec![T::var("c2"), T::any(), T::val("M"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("c2"),
+                    T::any(),
+                    T::val("M"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             );
         let plan = ground_query(&db, &q).unwrap();
         assert_eq!(plan.shape, QueryShape::Itemwise);
@@ -540,11 +553,25 @@ mod tests {
             )
             .atom(
                 "Candidates",
-                vec![T::var("c1"), T::val("D"), T::any(), T::any(), T::var("e"), T::any()],
+                vec![
+                    T::var("c1"),
+                    T::val("D"),
+                    T::any(),
+                    T::any(),
+                    T::var("e"),
+                    T::any(),
+                ],
             )
             .atom(
                 "Candidates",
-                vec![T::var("c2"), T::val("R"), T::any(), T::any(), T::var("e"), T::any()],
+                vec![
+                    T::var("c2"),
+                    T::val("R"),
+                    T::any(),
+                    T::any(),
+                    T::var("e"),
+                    T::any(),
+                ],
             );
         let plan = ground_query(&db, &q).unwrap();
         assert_eq!(
@@ -592,10 +619,20 @@ mod tests {
                 T::var("c"),
                 T::val("Clinton"),
             )
-            .atom("Voters", vec![T::var("v"), T::var("sex"), T::any(), T::any()])
+            .atom(
+                "Voters",
+                vec![T::var("v"), T::var("sex"), T::any(), T::any()],
+            )
             .atom(
                 "Candidates",
-                vec![T::var("c"), T::any(), T::var("sex"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("c"),
+                    T::any(),
+                    T::var("sex"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             );
         let plan = ground_query(&db, &q).unwrap();
         assert_eq!(plan.shape, QueryShape::Itemwise);
@@ -619,11 +656,25 @@ mod tests {
             .prefer("Polls", vec![T::any(), T::any()], T::var("x"), T::var("y"))
             .atom(
                 "Candidates",
-                vec![T::var("x"), T::any(), T::any(), T::var("ax"), T::any(), T::any()],
+                vec![
+                    T::var("x"),
+                    T::any(),
+                    T::any(),
+                    T::var("ax"),
+                    T::any(),
+                    T::any(),
+                ],
             )
             .atom(
                 "Candidates",
-                vec![T::var("y"), T::any(), T::any(), T::var("ay"), T::any(), T::any()],
+                vec![
+                    T::var("y"),
+                    T::any(),
+                    T::any(),
+                    T::var("ay"),
+                    T::any(),
+                    T::any(),
+                ],
             )
             .compare("ax", CompareOp::Gt, 69)
             .compare("ay", CompareOp::Lt, 50);
@@ -680,18 +731,8 @@ mod tests {
     fn contradictory_preferences_yield_no_sessions() {
         let db = polling_database();
         let q = ConjunctiveQuery::new("contradiction")
-            .prefer(
-                "Polls",
-                vec![T::any(), T::any()],
-                T::var("x"),
-                T::var("y"),
-            )
-            .prefer(
-                "Polls",
-                vec![T::any(), T::any()],
-                T::var("y"),
-                T::var("x"),
-            );
+            .prefer("Polls", vec![T::any(), T::any()], T::var("x"), T::var("y"))
+            .prefer("Polls", vec![T::any(), T::any()], T::var("y"), T::var("x"));
         let plan = ground_query(&db, &q).unwrap();
         assert!(plan.sessions.is_empty());
     }

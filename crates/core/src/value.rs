@@ -1,6 +1,5 @@
 //! Attribute values stored in relations and compared by queries.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A database value: a string, an integer, or NULL.
@@ -10,7 +9,7 @@ use std::fmt;
 /// (age, year). Integers and numeric strings compare numerically so that
 /// conditions such as `year >= 1990` behave as expected regardless of how the
 /// generator stored the attribute.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// A string value.
     Str(String),
@@ -18,6 +17,46 @@ pub enum Value {
     Int(i64),
     /// An absent value.
     Null,
+}
+
+// Hand-written instead of derived: the offline serde stand-in (see
+// vendor/serde) provides the traits but no derive macro. Strings and
+// integers serialize natively; NULL maps to unit.
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Str(s) => serializer.serialize_str(s),
+            Value::Int(i) => serializer.serialize_i64(*i),
+            Value::Null => serializer.serialize_unit(),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = Value;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a string, an integer, or null")
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<Value, E> {
+                Ok(Value::Str(v.to_string()))
+            }
+            fn visit_i64<E: serde::de::Error>(self, v: i64) -> Result<Value, E> {
+                Ok(Value::Int(v))
+            }
+            fn visit_u64<E: serde::de::Error>(self, v: u64) -> Result<Value, E> {
+                i64::try_from(v)
+                    .map(Value::Int)
+                    .map_err(|_| E::custom("integer out of range"))
+            }
+            fn visit_unit<E: serde::de::Error>(self) -> Result<Value, E> {
+                Ok(Value::Null)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
 }
 
 impl Value {

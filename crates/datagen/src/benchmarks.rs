@@ -395,7 +395,10 @@ mod tests {
             assert_eq!(x.labeling, y.labeling);
         }
         let c = benchmark_a(3, 6);
-        assert!(a.iter().zip(&c).any(|(x, y)| x.union != y.union || x.labeling != y.labeling));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.union != y.union || x.labeling != y.labeling));
     }
 
     #[test]

@@ -97,8 +97,8 @@ pub fn crowdrank_database(config: &CrowdRankConfig) -> PpdDatabase {
     }
     let workers = Relation::new("Workers", vec!["worker", "sex", "age"], worker_tuples)
         .expect("well-formed worker tuples");
-    let rankings = PreferenceRelation::new("HitRankings", vec!["worker"], sessions)
-        .expect("valid sessions");
+    let rankings =
+        PreferenceRelation::new("HitRankings", vec!["worker"], sessions).expect("valid sessions");
 
     DatabaseBuilder::new()
         .item_relation(movies, "id")
@@ -124,7 +124,9 @@ mod tests {
         assert_eq!(db.num_items(), 20);
         assert_eq!(db.relation("Workers").unwrap().len(), 500);
         assert_eq!(
-            db.preference_relation("HitRankings").unwrap().num_sessions(),
+            db.preference_relation("HitRankings")
+                .unwrap()
+                .num_sessions(),
             500
         );
         // At most 7 distinct models are in use.

@@ -42,7 +42,14 @@ impl Default for MovieLensConfig {
 }
 
 const GENRES: [&str; 8] = [
-    "Drama", "Comedy", "Thriller", "Action", "Romance", "SciFi", "Horror", "Animation",
+    "Drama",
+    "Comedy",
+    "Thriller",
+    "Action",
+    "Romance",
+    "SciFi",
+    "Horror",
+    "Animation",
 ];
 
 /// Generates the MovieLens-like database: item relation
@@ -71,7 +78,9 @@ pub fn movielens_database(config: &MovieLensConfig) -> PpdDatabase {
     }
     let movies = Relation::new(
         "Movies",
-        vec!["id", "title", "year", "genre", "runtime", "lead_sex", "lead_age"],
+        vec![
+            "id", "title", "year", "genre", "runtime", "lead_sex", "lead_age",
+        ],
         movie_tuples.clone(),
     )
     .expect("well-formed movie tuples");
@@ -134,7 +143,10 @@ mod tests {
             seed: 2,
         });
         assert_eq!(db.num_items(), 40);
-        assert_eq!(db.preference_relation("Ratings").unwrap().num_sessions(), 10);
+        assert_eq!(
+            db.preference_relation("Ratings").unwrap().num_sessions(),
+            10
+        );
         // Year and genre labels exist.
         assert!(db
             .item_attribute(0, "year")

@@ -174,11 +174,25 @@ mod tests {
             .prefer("Polls", vec![T::any(), T::any()], T::var("l"), T::var("r"))
             .atom(
                 "Candidates",
-                vec![T::var("l"), T::var("p"), T::val("M"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("l"),
+                    T::var("p"),
+                    T::val("M"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             )
             .atom(
                 "Candidates",
-                vec![T::var("r"), T::var("p"), T::val("F"), T::any(), T::any(), T::any()],
+                vec![
+                    T::var("r"),
+                    T::var("p"),
+                    T::val("F"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
             );
         let p = evaluate_boolean(&db, &q, &EvalConfig::exact()).unwrap();
         assert!((0.0..=1.0).contains(&p));

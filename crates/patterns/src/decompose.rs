@@ -146,12 +146,12 @@ pub fn decompose_union(
             if !seen_po.insert(key) {
                 continue;
             }
-            let extensions = po
-                .linear_extensions(limits.max_subrankings)
-                .ok_or(PatternError::DecompositionTooLarge {
+            let extensions = po.linear_extensions(limits.max_subrankings).ok_or(
+                PatternError::DecompositionTooLarge {
                     produced: limits.max_subrankings,
                     cap: limits.max_subrankings,
-                })?;
+                },
+            )?;
             for ext in extensions {
                 if seen_sub.insert(ext.items().to_vec()) {
                     subrankings.push(ext);
@@ -204,8 +204,7 @@ mod tests {
         let lab = labeling();
         let g = Pattern::two_label(sel(0), sel(1));
         let pos =
-            decompose_pattern(&g, &[0, 1, 2, 3, 4], &lab, &DecompositionLimits::default())
-                .unwrap();
+            decompose_pattern(&g, &[0, 1, 2, 3, 4], &lab, &DecompositionLimits::default()).unwrap();
         // 2 candidates for each side → 4 distinct pairs.
         assert_eq!(pos.len(), 4);
         for po in &pos {
@@ -253,11 +252,7 @@ mod tests {
         // consistent with at least one decomposed sub-ranking.
         let lab = labeling();
         let universe = [0u32, 1, 2, 3, 4];
-        let g1 = Pattern::new(
-            vec![sel(0), sel(1), sel(2)],
-            vec![(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let g1 = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
         let g2 = Pattern::two_label(sel(2), sel(0));
         let union = PatternUnion::new(vec![g1, g2]).unwrap();
         let dec =
@@ -283,8 +278,8 @@ mod tests {
         lab.add(2, 2);
         let g = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 2), (1, 2)]).unwrap();
         let union = PatternUnion::singleton(g).unwrap();
-        let dec = decompose_union(&union, &[0, 1, 2], &lab, &DecompositionLimits::default())
-            .unwrap();
+        let dec =
+            decompose_union(&union, &[0, 1, 2], &lab, &DecompositionLimits::default()).unwrap();
         assert_eq!(dec.partial_orders.len(), 1);
         assert_eq!(dec.subrankings.len(), 2);
     }

@@ -263,11 +263,7 @@ mod tests {
     fn validation_catches_bad_edges_and_cycles() {
         assert!(Pattern::new(vec![sel(0)], vec![(0, 1)]).is_err());
         assert!(Pattern::new(vec![sel(0), sel(1)], vec![(0, 0)]).is_err());
-        assert!(Pattern::new(
-            vec![sel(0), sel(1), sel(2)],
-            vec![(0, 1), (1, 2), (2, 0)]
-        )
-        .is_err());
+        assert!(Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2), (2, 0)]).is_err());
         assert!(Pattern::new(vec![sel(0), sel(1)], vec![(0, 1)]).is_ok());
     }
 
@@ -289,8 +285,7 @@ mod tests {
         assert_eq!(bip.r_nodes(), vec![2, 3]);
 
         // Chain l0 ≻ l1 ≻ l2 : not bipartite (node 1 is both source and target).
-        let chain =
-            Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
+        let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
         assert!(!chain.is_bipartite());
         assert!(!chain.is_two_label());
 
@@ -301,11 +296,7 @@ mod tests {
 
     #[test]
     fn parents_children_topo() {
-        let p = Pattern::new(
-            vec![sel(0), sel(1), sel(2)],
-            vec![(0, 1), (1, 2), (0, 2)],
-        )
-        .unwrap();
+        let p = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2), (0, 2)]).unwrap();
         assert_eq!(p.parents(2), vec![1, 0]);
         assert_eq!(p.children(0), vec![1, 2]);
         let order = p.topological_order().unwrap();

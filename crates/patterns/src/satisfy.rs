@@ -102,7 +102,7 @@ mod tests {
     fn pattern_violated_when_no_order_exists() {
         let lab = polling_labeling();
         let g = Pattern::two_label(sel(0), sel(1)); // F ≻ M
-        // Clinton last: no male candidate after her.
+                                                    // Clinton last: no male candidate after her.
         let tau = Ranking::new(vec![0, 2, 3, 1]).unwrap();
         assert!(!satisfies_pattern(&tau, &lab, &g));
     }
@@ -215,8 +215,8 @@ mod tests {
         let q = pattern.num_nodes();
         let mut assignment = vec![0usize; q];
         loop {
-            let ok_labels = (0..q)
-                .all(|u| pattern.nodes()[u].matches(tau.item_at(assignment[u]), lab));
+            let ok_labels =
+                (0..q).all(|u| pattern.nodes()[u].matches(tau.item_at(assignment[u]), lab));
             let ok_edges = pattern
                 .edges()
                 .iter()

@@ -95,7 +95,11 @@ impl PatternUnion {
     /// Drops member patterns that cannot be satisfied because some selector
     /// has no candidate item in the universe. Returns `None` when no member
     /// survives (the union has probability 0).
-    pub fn prune_unsatisfiable(&self, universe: &[Item], labeling: &Labeling) -> Option<PatternUnion> {
+    pub fn prune_unsatisfiable(
+        &self,
+        universe: &[Item],
+        labeling: &Labeling,
+    ) -> Option<PatternUnion> {
         let surviving: Vec<Pattern> = self
             .patterns
             .iter()

@@ -221,6 +221,32 @@ mod tests {
     }
 
     #[test]
+    fn sampled_rankings_have_valid_proposal_probability() {
+        // Proposal-probability consistency: for every sampled ranking the
+        // reported probability is strictly positive, at most 1, and agrees
+        // with an independent `prob_of` evaluation — across dispersions and
+        // constraint shapes (unconstrained, partial order, chain).
+        let sigma = Ranking::identity(6);
+        let constraints = [
+            PartialOrder::new(),
+            PartialOrder::from_pairs(&[(5, 0), (4, 1)]).unwrap(),
+            PartialOrder::from_subranking(&SubRanking::new(vec![3, 1, 0]).unwrap()),
+        ];
+        for (ci, constraint) in constraints.iter().enumerate() {
+            for (pi, phi) in [0.1, 0.5, 1.0].into_iter().enumerate() {
+                let amp = AmpSampler::new(sigma.clone(), phi, constraint).unwrap();
+                let mut rng = StdRng::seed_from_u64(100 + (ci * 10 + pi) as u64);
+                for _ in 0..50 {
+                    let (tau, q) = amp.sample_with_prob(&mut rng);
+                    assert!(q > 0.0, "constraint {ci}, phi {phi}: q = {q}");
+                    assert!(q <= 1.0 + 1e-12, "constraint {ci}, phi {phi}: q = {q}");
+                    assert!((amp.prob_of(&tau) - q).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn constraint_item_outside_model_rejected() {
         let sigma = Ranking::identity(3);
         let constraint = PartialOrder::from_pairs(&[(0, 7)]).unwrap();

@@ -104,4 +104,52 @@ mod tests {
         let b = Ranking::new(vec![1, 2, 3, 4, 5]).unwrap();
         assert_eq!(kendall_tau(&a, &b), kendall_tau(&b, &a));
     }
+
+    #[test]
+    fn reversal_distance_is_m_choose_2_for_every_m() {
+        for m in 2..=9usize {
+            let forward = Ranking::identity(m);
+            let reversed = Ranking::new((0..m as Item).rev().collect()).unwrap();
+            assert_eq!(kendall_tau(&forward, &reversed), m * (m - 1) / 2, "m = {m}");
+            assert!((normalized_kendall_tau(&forward, &reversed) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_distance_lies_in_unit_interval() {
+        // Deterministic pseudo-random permutations via a small LCG.
+        let mut state: u64 = 0xBEEF;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for m in 2..=8usize {
+            for _ in 0..20 {
+                let mut items: Vec<Item> = (0..m as Item).collect();
+                for i in (1..items.len()).rev() {
+                    items.swap(i, next() % (i + 1));
+                }
+                let tau = Ranking::new(items).unwrap();
+                let sigma = Ranking::identity(m);
+                let norm = normalized_kendall_tau(&tau, &sigma);
+                assert!((0.0..=1.0).contains(&norm), "m = {m}: {norm}");
+                // Symmetry holds for the normalised distance too.
+                assert_eq!(norm, normalized_kendall_tau(&sigma, &tau));
+                // Consistency with the raw count.
+                let raw = kendall_tau(&tau, &sigma) as f64;
+                assert!((norm - raw / (m * (m - 1) / 2) as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_two_common_items_normalizes_to_zero() {
+        let a = Ranking::new(vec![1, 2]).unwrap();
+        let b = Ranking::new(vec![2, 3]).unwrap();
+        assert_eq!(normalized_kendall_tau(&a, &b), 0.0);
+        let c = Ranking::new(vec![8, 9]).unwrap();
+        assert_eq!(normalized_kendall_tau(&a, &c), 0.0);
+    }
 }

@@ -77,9 +77,7 @@ impl MallowsModel {
     /// The exact probability of a complete ranking `τ` over the model's items:
     /// `φ^{dist(σ, τ)} / Z`. Returns 0 for rankings over a different item set.
     pub fn prob_of(&self, tau: &Ranking) -> f64 {
-        if tau.len() != self.num_items()
-            || !tau.items().iter().all(|&it| self.sigma.contains(it))
-        {
+        if tau.len() != self.num_items() || !tau.items().iter().all(|&it| self.sigma.contains(it)) {
             return 0.0;
         }
         let d = kendall_tau(&self.sigma, tau);

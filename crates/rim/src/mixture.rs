@@ -161,7 +161,7 @@ impl MallowsMixture {
                 assignment[ri] = best;
             }
             // Update step.
-            for ci in 0..centers.len() {
+            for (ci, center) in centers.iter_mut().enumerate() {
                 let cluster: Vec<&Ranking> = rankings
                     .iter()
                     .zip(&assignment)
@@ -171,7 +171,7 @@ impl MallowsMixture {
                 if cluster.is_empty() {
                     continue;
                 }
-                centers[ci] = borda_center(&cluster);
+                *center = borda_center(&cluster);
             }
         }
 
@@ -274,13 +274,25 @@ mod tests {
         let m2 = MallowsModel::new(Ranking::identity(4), 0.2).unwrap();
         assert!(MallowsMixture::new(vec![]).is_err());
         assert!(MallowsMixture::new(vec![
-            MixtureComponent { weight: 0.7, model: m1.clone() },
-            MixtureComponent { weight: 0.7, model: m1.clone() },
+            MixtureComponent {
+                weight: 0.7,
+                model: m1.clone()
+            },
+            MixtureComponent {
+                weight: 0.7,
+                model: m1.clone()
+            },
         ])
         .is_err());
         assert!(MallowsMixture::new(vec![
-            MixtureComponent { weight: 0.5, model: m1.clone() },
-            MixtureComponent { weight: 0.5, model: m2 },
+            MixtureComponent {
+                weight: 0.5,
+                model: m1.clone()
+            },
+            MixtureComponent {
+                weight: 0.5,
+                model: m2
+            },
         ])
         .is_err());
         assert!(MallowsMixture::uniform(vec![m1.clone(), m1]).is_ok());
@@ -291,8 +303,14 @@ mod tests {
         let m1 = MallowsModel::new(Ranking::identity(4), 0.2).unwrap();
         let m2 = MallowsModel::new(Ranking::new(vec![3, 2, 1, 0]).unwrap(), 0.6).unwrap();
         let mix = MallowsMixture::new(vec![
-            MixtureComponent { weight: 0.3, model: m1 },
-            MixtureComponent { weight: 0.7, model: m2 },
+            MixtureComponent {
+                weight: 0.3,
+                model: m1,
+            },
+            MixtureComponent {
+                weight: 0.7,
+                model: m2,
+            },
         ])
         .unwrap();
         let total: f64 = Ranking::enumerate_all(&[0, 1, 2, 3])
@@ -316,8 +334,7 @@ mod tests {
     fn fit_recovers_two_well_separated_clusters() {
         let mut rng = StdRng::seed_from_u64(17);
         let c1 = MallowsModel::new(Ranking::identity(6), 0.2).unwrap();
-        let c2 =
-            MallowsModel::new(Ranking::new(vec![5, 4, 3, 2, 1, 0]).unwrap(), 0.2).unwrap();
+        let c2 = MallowsModel::new(Ranking::new(vec![5, 4, 3, 2, 1, 0]).unwrap(), 0.2).unwrap();
         let mut data = c1.sample_many(150, &mut rng);
         data.extend(c2.sample_many(150, &mut rng));
         let mix = MallowsMixture::fit(&data, 2, 5, &mut rng).unwrap();

@@ -57,10 +57,7 @@ pub fn greedy_modals(psi: &SubRanking, sigma: &Ranking, cap: usize) -> Vec<Ranki
         }
         frontier = next;
     }
-    frontier
-        .into_iter()
-        .map(|s| s.to_ranking())
-        .collect()
+    frontier.into_iter().map(|s| s.to_ranking()).collect()
 }
 
 /// Algorithm 6 (`ApproximateDistance`): estimates the Kendall-tau distance

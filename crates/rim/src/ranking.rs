@@ -29,13 +29,18 @@ impl std::hash::Hash for Ranking {
 }
 
 impl serde::Serialize for Ranking {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
         self.items.serialize(serializer)
     }
 }
 
 impl<'de> serde::Deserialize<'de> for Ranking {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
         let items = Vec::<Item>::deserialize(deserializer)?;
         Ranking::new(items).map_err(serde::de::Error::custom)
     }

@@ -111,10 +111,7 @@ impl RimModel {
         }
         let mut logp = 0.0;
         for i in 0..m {
-            let j = match insertion_position(&self.sigma, tau, i) {
-                Some(j) => j,
-                None => return None,
-            };
+            let j = insertion_position(&self.sigma, tau, i)?;
             let p = self.pi[i][j];
             if p <= 0.0 {
                 return None;
@@ -244,8 +241,7 @@ mod tests {
         }
         for tau in Ranking::enumerate_all(&[10, 20, 30]) {
             let expected = rim.prob_of(&tau);
-            let observed =
-                *counts.get(&tau.items().to_vec()).unwrap_or(&0) as f64 / n as f64;
+            let observed = *counts.get(tau.items()).unwrap_or(&0) as f64 / n as f64;
             assert!(
                 (expected - observed).abs() < 0.02,
                 "ranking {tau}: expected {expected}, observed {observed}"

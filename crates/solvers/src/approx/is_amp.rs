@@ -81,8 +81,7 @@ mod tests {
         let model = MallowsModel::new(Ranking::new(vec![1, 2, 3]).unwrap(), 0.01).unwrap();
         let psi = SubRanking::new(vec![3, 1]).unwrap();
         let sampler =
-            ppd_rim::AmpSampler::for_subranking(model.sigma().clone(), model.phi(), &psi)
-                .unwrap();
+            ppd_rim::AmpSampler::for_subranking(model.sigma().clone(), model.phi(), &psi).unwrap();
         let mode_a = Ranking::new(vec![3, 1, 2]).unwrap();
         let mode_b = Ranking::new(vec![2, 3, 1]).unwrap();
         // The two modes carry (essentially) equal posterior mass…

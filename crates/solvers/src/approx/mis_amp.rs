@@ -33,8 +33,7 @@ pub fn mis_amp_estimate(
             let (tau, _) = proposal.sample_with_prob(rng);
             let p = mallows.prob_of(&tau);
             // Balance-heuristic denominator: the average proposal density.
-            let mix: f64 =
-                proposals.iter().map(|q| q.prob_of(&tau)).sum::<f64>() / d as f64;
+            let mix: f64 = proposals.iter().map(|q| q.prob_of(&tau)).sum::<f64>() / d as f64;
             if mix > 0.0 {
                 total += p / mix;
             }

@@ -14,8 +14,7 @@ use crate::traits::ApproxSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{decompose_union, DecompositionLimits, Labeling, PatternError, PatternUnion};
 use ppd_rim::{
-    approximate_distance, greedy_modals, kendall_tau, AmpSampler, MallowsModel, Ranking,
-    SubRanking,
+    approximate_distance, greedy_modals, kendall_tau, AmpSampler, MallowsModel, Ranking, SubRanking,
 };
 use rand::RngCore;
 

@@ -31,6 +31,7 @@ impl RejectionSampler {
     /// used, or `None` if `max_samples` was reached first. This mirrors the
     /// (optimistic) stopping rule the paper uses to cost rejection sampling
     /// in the Figure 9 experiment.
+    #[allow(clippy::too_many_arguments)]
     pub fn samples_until_relative_error(
         &self,
         mallows: &MallowsModel,
@@ -143,18 +144,16 @@ mod tests {
             .unwrap();
         assert!(truth < 1e-4);
         let sampler = RejectionSampler::new(1);
-        let needed = sampler.samples_until_relative_error(
-            &model, &lab, &union, truth, 0.01, 2_000, &mut rng,
-        );
+        let needed = sampler
+            .samples_until_relative_error(&model, &lab, &union, truth, 0.01, 2_000, &mut rng);
         assert!(needed.is_none());
         // An easy event converges quickly.
         let easy = PatternUnion::singleton(Pattern::two_label(sel(0), sel(7))).unwrap();
         let easy_truth = BruteForceSolver::new()
             .solve(&model.to_rim(), &lab, &easy)
             .unwrap();
-        let needed = sampler.samples_until_relative_error(
-            &model, &lab, &easy, easy_truth, 0.01, 50_000, &mut rng,
-        );
+        let needed = sampler
+            .samples_until_relative_error(&model, &lab, &easy, easy_truth, 0.01, 50_000, &mut rng);
         assert!(needed.is_some());
     }
 }

@@ -84,11 +84,7 @@ struct Compiled {
     last_r: Vec<usize>,
 }
 
-fn compile(
-    rim: &RimModel,
-    labeling: &Labeling,
-    union: &PatternUnion,
-) -> Result<Compiled> {
+fn compile(rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<Compiled> {
     let m = rim.num_items();
     let mut l_selectors: Vec<NodeSelector> = Vec::new();
     let mut r_selectors: Vec<NodeSelector> = Vec::new();
@@ -244,12 +240,7 @@ impl ExactSolver for BipartiteSolver {
         }
     }
 
-    fn solve(
-        &self,
-        rim: &RimModel,
-        labeling: &Labeling,
-        union: &PatternUnion,
-    ) -> Result<f64> {
+    fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64> {
         match union.classify() {
             UnionClass::TwoLabel | UnionClass::Bipartite => {}
             UnionClass::General => {
@@ -396,7 +387,10 @@ impl BipartiteSolver {
         let all_l = vec![true; c.l_selectors.len()];
         let all_r = vec![true; c.r_selectors.len()];
         let mut states: HashMap<Positions, f64> = HashMap::new();
-        states.insert(Positions::empty(c.l_selectors.len(), c.r_selectors.len()), 1.0);
+        states.insert(
+            Positions::empty(c.l_selectors.len(), c.r_selectors.len()),
+            1.0,
+        );
         for i in 0..m {
             let mut next: HashMap<Positions, f64> = HashMap::with_capacity(states.len());
             for (state, prob) in &states {
@@ -473,7 +467,9 @@ mod tests {
                     for union in bipartite_unions() {
                         let expected = brute.solve(&model, &lab, &union).unwrap();
                         let pruned = BipartiteSolver::new().solve(&model, &lab, &union).unwrap();
-                        let basic = BipartiteSolver::basic().solve(&model, &lab, &union).unwrap();
+                        let basic = BipartiteSolver::basic()
+                            .solve(&model, &lab, &union)
+                            .unwrap();
                         assert!(
                             (expected - pruned).abs() < 1e-9,
                             "pruned m={m} phi={phi} labels={labels}: {expected} vs {pruned}"
@@ -517,7 +513,10 @@ mod tests {
         // A union in which nothing is satisfiable has probability zero.
         let bad2 = Pattern::two_label(sel(9), sel(8));
         let empty = PatternUnion::singleton(bad2).unwrap();
-        assert_eq!(BipartiteSolver::new().solve(&model, &lab, &empty).unwrap(), 0.0);
+        assert_eq!(
+            BipartiteSolver::new().solve(&model, &lab, &empty).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -553,7 +552,9 @@ mod tests {
         )
         .unwrap();
         let pruned = BipartiteSolver::new().solve(&model, &lab, &union).unwrap();
-        let basic = BipartiteSolver::basic().solve(&model, &lab, &union).unwrap();
+        let basic = BipartiteSolver::basic()
+            .solve(&model, &lab, &union)
+            .unwrap();
         assert!((pruned - basic).abs() < 1e-9);
         assert!((0.0..=1.0).contains(&pruned));
     }

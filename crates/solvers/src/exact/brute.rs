@@ -40,12 +40,7 @@ impl ExactSolver for BruteForceSolver {
         "brute-force"
     }
 
-    fn solve(
-        &self,
-        rim: &RimModel,
-        labeling: &Labeling,
-        union: &PatternUnion,
-    ) -> Result<f64> {
+    fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64> {
         let m = rim.num_items();
         if m == 0 {
             return Err(SolverError::InvalidInstance("empty item universe".into()));

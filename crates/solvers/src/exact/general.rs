@@ -69,12 +69,7 @@ impl ExactSolver for GeneralSolver {
         "general"
     }
 
-    fn solve(
-        &self,
-        rim: &RimModel,
-        labeling: &Labeling,
-        union: &PatternUnion,
-    ) -> Result<f64> {
+    fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64> {
         if rim.num_items() == 0 {
             return Err(SolverError::InvalidInstance("empty item universe".into()));
         }
@@ -184,9 +179,7 @@ mod tests {
     fn union_size_cap_enforced() {
         let model = rim(5, 0.5);
         let lab = cyclic_labeling(5, 3);
-        let members: Vec<Pattern> = (0..5)
-            .map(|_| Pattern::two_label(sel(1), sel(0)))
-            .collect();
+        let members: Vec<Pattern> = (0..5).map(|_| Pattern::two_label(sel(1), sel(0))).collect();
         let union = PatternUnion::new(members).unwrap();
         let solver = GeneralSolver::new().with_max_union_size(3);
         assert!(matches!(
@@ -200,6 +193,9 @@ mod tests {
         let model = rim(5, 0.5);
         let lab = cyclic_labeling(5, 3);
         let union = PatternUnion::singleton(Pattern::two_label(sel(9), sel(8))).unwrap();
-        assert_eq!(GeneralSolver::new().solve(&model, &lab, &union).unwrap(), 0.0);
+        assert_eq!(
+            GeneralSolver::new().solve(&model, &lab, &union).unwrap(),
+            0.0
+        );
     }
 }

@@ -108,6 +108,9 @@ impl PatternSolver {
             satisfies_pattern(&ranking, labeling, pattern)
         };
 
+        // `i` is the RIM insertion step, used for `item_at`, `insertion_prob`
+        // and the position range — not merely an index into `is_relevant`.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..m {
             let item = rim.sigma().item_at(i);
             let mut next: HashMap<State, f64> = HashMap::with_capacity(states.len());
@@ -150,12 +153,7 @@ impl ExactSolver for PatternSolver {
 
     /// Treats a singleton union as its member pattern; larger unions are the
     /// job of [`crate::GeneralSolver`].
-    fn solve(
-        &self,
-        rim: &RimModel,
-        labeling: &Labeling,
-        union: &PatternUnion,
-    ) -> Result<f64> {
+    fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64> {
         if union.num_patterns() != 1 {
             return Err(SolverError::Unsupported(
                 "PatternSolver handles a single pattern; use GeneralSolver for unions".into(),
@@ -176,8 +174,7 @@ mod tests {
     fn chain_patterns_agree_with_brute_force() {
         let brute = BruteForceSolver::new();
         let solver = PatternSolver::new();
-        let chain3 =
-            Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let chain3 = Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
         let diamond = Pattern::new(
             vec![sel(0), sel(1), sel(2), sel(0)],
             vec![(0, 1), (0, 2), (1, 3), (2, 3)],
@@ -189,7 +186,11 @@ mod tests {
                 let lab = cyclic_labeling(m, 3);
                 for pattern in [&chain3, &diamond] {
                     let expected = brute
-                        .solve(&model, &lab, &PatternUnion::singleton(pattern.clone()).unwrap())
+                        .solve(
+                            &model,
+                            &lab,
+                            &PatternUnion::singleton(pattern.clone()).unwrap(),
+                        )
                         .unwrap();
                     let got = solver.solve_pattern(&model, &lab, pattern).unwrap();
                     assert!(
@@ -209,7 +210,9 @@ mod tests {
         let expected = BruteForceSolver::new()
             .solve(&model, &lab, &PatternUnion::singleton(vee.clone()).unwrap())
             .unwrap();
-        let got = PatternSolver::new().solve_pattern(&model, &lab, &vee).unwrap();
+        let got = PatternSolver::new()
+            .solve_pattern(&model, &lab, &vee)
+            .unwrap();
         assert!((expected - got).abs() < 1e-9);
     }
 
@@ -218,7 +221,12 @@ mod tests {
         let model = rim(5, 0.5);
         let lab = cyclic_labeling(5, 3);
         let p = Pattern::new(vec![sel(0), sel(9), sel(1)], vec![(0, 1), (1, 2)]).unwrap();
-        assert_eq!(PatternSolver::new().solve_pattern(&model, &lab, &p).unwrap(), 0.0);
+        assert_eq!(
+            PatternSolver::new()
+                .solve_pattern(&model, &lab, &p)
+                .unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -226,7 +234,12 @@ mod tests {
         let model = rim(5, 0.5);
         let lab = cyclic_labeling(5, 3);
         let p = Pattern::new(vec![sel(0), sel(1)], vec![]).unwrap();
-        assert_eq!(PatternSolver::new().solve_pattern(&model, &lab, &p).unwrap(), 1.0);
+        assert_eq!(
+            PatternSolver::new()
+                .solve_pattern(&model, &lab, &p)
+                .unwrap(),
+            1.0
+        );
     }
 
     #[test]
@@ -251,7 +264,9 @@ mod tests {
         let model = rim(8, 0.5);
         let lab = cyclic_labeling(8, 3);
         let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
-        let p = PatternSolver::new().solve_pattern(&model, &lab, &chain).unwrap();
+        let p = PatternSolver::new()
+            .solve_pattern(&model, &lab, &chain)
+            .unwrap();
         let expected = BruteForceSolver::new()
             .solve(&model, &lab, &PatternUnion::singleton(chain).unwrap())
             .unwrap();

@@ -103,10 +103,12 @@ impl State {
     /// satisfied, so these rankings can never contribute to the violating
     /// mass.
     fn satisfies_some_edge(&self, edges: &[(usize, usize)]) -> bool {
-        edges.iter().any(|&(l, r)| match (self.alpha[l], self.beta[r]) {
-            (Some(a), Some(b)) => a < b,
-            _ => false,
-        })
+        edges
+            .iter()
+            .any(|&(l, r)| match (self.alpha[l], self.beta[r]) {
+                (Some(a), Some(b)) => a < b,
+                _ => false,
+            })
     }
 }
 
@@ -115,12 +117,7 @@ impl ExactSolver for TwoLabelSolver {
         "two-label"
     }
 
-    fn solve(
-        &self,
-        rim: &RimModel,
-        labeling: &Labeling,
-        union: &PatternUnion,
-    ) -> Result<f64> {
+    fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64> {
         if union.classify() != UnionClass::TwoLabel {
             return Err(SolverError::Unsupported(
                 "the two-label solver requires a union of single-edge patterns".into(),
@@ -273,7 +270,10 @@ mod tests {
         let model = rim(5, 0.5);
         let lab = cyclic_labeling(5, 3);
         let union = PatternUnion::singleton(Pattern::two_label(sel(7), sel(8))).unwrap();
-        assert_eq!(TwoLabelSolver::new().solve(&model, &lab, &union).unwrap(), 0.0);
+        assert_eq!(
+            TwoLabelSolver::new().solve(&model, &lab, &union).unwrap(),
+            0.0
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod select;
 pub mod traits;
 
 pub use approx::is_amp::is_amp_estimate;
-pub use approx::mis_amp::mis_amp_estimate;
 pub use approx::mis_adaptive::{AdaptiveOutcome, MisAmpAdaptive};
+pub use approx::mis_amp::mis_amp_estimate;
 pub use approx::mis_lite::{MisAmpLite, PreparedProposals};
 pub use approx::rejection::RejectionSampler;
 pub use budget::Budget;
@@ -107,10 +107,11 @@ impl From<RimError> for SolverError {
 /// Convenience result alias for the solver layer.
 pub type Result<T> = std::result::Result<T, SolverError>;
 
-#[cfg(test)]
-pub(crate) mod testutil {
+pub mod testutil {
     //! Shared fixtures for solver tests: small labeled Mallows instances whose
-    //! exact answers can be brute-forced.
+    //! exact answers can be brute-forced. Public (not `cfg(test)`) so that
+    //! integration tests and downstream crates can cross-validate solvers on
+    //! the same menagerie.
 
     use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     use ppd_rim::{MallowsModel, Ranking, RimModel};
@@ -156,6 +157,7 @@ pub(crate) mod testutil {
         ]
     }
 
+    #[cfg(test)]
     #[test]
     fn fixtures_are_well_formed() {
         assert_eq!(sample_unions().len(), 6);

@@ -12,12 +12,7 @@ pub trait ExactSolver {
     fn name(&self) -> &'static str;
 
     /// Computes `Pr(G | σ, Π, λ)` exactly.
-    fn solve(
-        &self,
-        rim: &RimModel,
-        labeling: &Labeling,
-        union: &PatternUnion,
-    ) -> Result<f64>;
+    fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64>;
 }
 
 /// An approximate solver for the marginal probability of a pattern union over

@@ -8,10 +8,15 @@ use ppd::datagen::{movielens_database, MovieLensConfig};
 use ppd::prelude::*;
 
 fn main() {
+    // Catalogue size is chosen so the example stays interactive: the adaptive
+    // MIS-AMP solver costs O(d²·n·m²) per session and non-itemwise queries
+    // over the genre join decompose into many sub-rankings, so m = 24 keeps
+    // each approximate evaluation to a few hundred milliseconds. The figure
+    // harnesses (fig06, fig07) sweep the larger catalogues.
     let db = movielens_database(&MovieLensConfig {
-        num_movies: 60,
-        num_components: 8,
-        num_users: 24,
+        num_movies: 24,
+        num_components: 4,
+        num_users: 12,
         phi: 0.3,
         seed: 7,
     });
@@ -51,8 +56,8 @@ fn main() {
         )
         .compare("y1", CompareOp::Ge, 1990)
         .compare("y2", CompareOp::Lt, 1990);
-    let p = evaluate_boolean(&db, &q_era, &EvalConfig::approximate(300)).unwrap();
-    let expected = count_sessions(&db, &q_era, &EvalConfig::approximate(300)).unwrap();
+    let p = evaluate_boolean(&db, &q_era, &EvalConfig::approximate(150)).unwrap();
+    let expected = count_sessions(&db, &q_era, &EvalConfig::approximate(150)).unwrap();
     println!("\n[boolean] some user prefers a 90s+ movie to an older same-genre movie: {p:.4}");
     println!("[count]   expected number of such users: {expected:.1}");
 
@@ -85,7 +90,7 @@ fn main() {
             ],
         );
     let exact = count_sessions(&db, &q_thriller, &EvalConfig::exact()).unwrap();
-    let approx = count_sessions(&db, &q_thriller, &EvalConfig::approximate(400)).unwrap();
+    let approx = count_sessions(&db, &q_thriller, &EvalConfig::approximate(200)).unwrap();
     println!("\n[count]   users preferring a short thriller to a long drama:");
     println!("            exact   = {exact:.2}");
     println!("            MIS-AMP = {approx:.2}");
@@ -118,14 +123,8 @@ fn main() {
                 Term::any(),
             ],
         );
-    let (top, _) = most_probable_sessions(
-        &db,
-        &q_lead,
-        3,
-        TopKStrategy::Naive,
-        &EvalConfig::exact(),
-    )
-    .unwrap();
+    let (top, _) =
+        most_probable_sessions(&db, &q_lead, 3, TopKStrategy::Naive, &EvalConfig::exact()).unwrap();
     println!("\n[top-k] users most likely to rank some female-led movie above a male-led one:");
     for score in top {
         println!(

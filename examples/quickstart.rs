@@ -56,7 +56,12 @@ fn main() {
     //         query non-itemwise (provably hard), so the engine grounds it
     //         into a union of itemwise queries behind the scenes.
     let q2 = ConjunctiveQuery::new("Q2")
-        .prefer("Polls", vec![Term::any(), Term::any()], Term::var("c1"), Term::var("c2"))
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::var("c1"),
+            Term::var("c2"),
+        )
         .atom(
             "Candidates",
             vec![
@@ -101,7 +106,9 @@ fn main() {
         &db,
         &q2,
         2,
-        TopKStrategy::UpperBound { edges_per_pattern: 1 },
+        TopKStrategy::UpperBound {
+            edges_per_pattern: 1,
+        },
         &EvalConfig::exact(),
     )
     .expect("top-k evaluation");

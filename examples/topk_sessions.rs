@@ -19,7 +19,9 @@ fn main() {
     println!(
         "CrowdRank-like database: {} movies, {} worker sessions",
         db.num_items(),
-        db.preference_relation("HitRankings").unwrap().num_sessions()
+        db.preference_relation("HitRankings")
+            .unwrap()
+            .num_sessions()
     );
 
     // "The worker prefers a short movie whose lead matches their own sex to
@@ -27,15 +29,35 @@ fn main() {
     //  Workers join, yet only a handful of distinct (model, pattern-union)
     //  groups exist, so grouped evaluation is fast.
     let query = ConjunctiveQuery::new("personalised")
-        .prefer("HitRankings", vec![Term::var("w")], Term::var("m1"), Term::var("m2"))
-        .atom("Workers", vec![Term::var("w"), Term::var("sex"), Term::any()])
+        .prefer(
+            "HitRankings",
+            vec![Term::var("w")],
+            Term::var("m1"),
+            Term::var("m2"),
+        )
         .atom(
-            "Movies",
-            vec![Term::var("m1"), Term::any(), Term::var("sex"), Term::any(), Term::val("short")],
+            "Workers",
+            vec![Term::var("w"), Term::var("sex"), Term::any()],
         )
         .atom(
             "Movies",
-            vec![Term::var("m2"), Term::val("Thriller"), Term::any(), Term::any(), Term::any()],
+            vec![
+                Term::var("m1"),
+                Term::any(),
+                Term::var("sex"),
+                Term::any(),
+                Term::val("short"),
+            ],
+        )
+        .atom(
+            "Movies",
+            vec![
+                Term::var("m2"),
+                Term::val("Thriller"),
+                Term::any(),
+                Term::any(),
+                Term::any(),
+            ],
         );
 
     // Expected number of workers for whom the statement holds.
@@ -59,9 +81,7 @@ fn main() {
     let start = Instant::now();
     let _ = count_sessions(&small_db, &query, &EvalConfig::exact().without_grouping()).unwrap();
     let naive_elapsed = start.elapsed();
-    println!(
-        "[count] naive (ungrouped) evaluation over just 500 workers took {naive_elapsed:.2?}"
-    );
+    println!("[count] naive (ungrouped) evaluation over just 500 workers took {naive_elapsed:.2?}");
 
     // Top-5 workers most likely to satisfy the query, with the upper-bound
     // optimization.
@@ -69,14 +89,18 @@ fn main() {
         &db,
         &query,
         5,
-        TopKStrategy::UpperBound { edges_per_pattern: 1 },
+        TopKStrategy::UpperBound {
+            edges_per_pattern: 1,
+        },
         &EvalConfig::exact(),
     )
     .unwrap();
     println!(
         "\n[top-k] most supportive workers (exact evaluations performed: {} of {}):",
         stats.exact_evaluations,
-        db.preference_relation("HitRankings").unwrap().num_sessions()
+        db.preference_relation("HitRankings")
+            .unwrap()
+            .num_sessions()
     );
     let workers = db.relation("Workers").unwrap();
     for score in top {

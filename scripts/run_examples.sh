@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Smoke-runs every example in release mode, failing on the first error.
+# Used by CI and handy locally: `scripts/run_examples.sh`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for example in quickstart polls_election movie_analytics topk_sessions; do
+    echo "=== example: ${example} ==="
+    cargo run --release -q --example "${example}"
+    echo
+done
+echo "all examples completed"

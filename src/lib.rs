@@ -30,9 +30,9 @@ pub use ppd_solvers as solvers;
 /// Commonly used types, re-exported flat for convenience.
 pub mod prelude {
     pub use ppd_core::{
-        count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities,
-        CompareOp, ConjunctiveQuery, DatabaseBuilder, EvalConfig, PpdDatabase,
-        PreferenceRelation, Relation, Session, SolverChoice, Term, TopKStrategy, Value,
+        count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities, CompareOp,
+        ConjunctiveQuery, DatabaseBuilder, EvalConfig, PpdDatabase, PreferenceRelation, Relation,
+        Session, SolverChoice, Term, TopKStrategy, Value,
     };
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};

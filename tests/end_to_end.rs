@@ -87,7 +87,12 @@ fn brute_force_session_probability(
 
 fn q2() -> ConjunctiveQuery {
     ConjunctiveQuery::new("Q2")
-        .prefer("Polls", vec![Term::any(), Term::any()], Term::var("c1"), Term::var("c2"))
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::var("c1"),
+            Term::var("c2"),
+        )
         .atom(
             "Candidates",
             vec![
@@ -182,7 +187,9 @@ fn top_k_strategies_agree_end_to_end() {
             &db,
             &q,
             2,
-            TopKStrategy::UpperBound { edges_per_pattern: edges },
+            TopKStrategy::UpperBound {
+                edges_per_pattern: edges,
+            },
             &EvalConfig::exact(),
         )
         .unwrap();
@@ -226,6 +233,89 @@ fn solvers_cross_validate_on_generated_workloads() {
     }
 }
 
+/// Regression: Boolean, count and top-k evaluators agree on a two-candidate
+/// database whose per-session answers follow from the m = 2 Mallows closed
+/// form — `Pr(center order) = 1/(1+φ)`, `Pr(reversed) = φ/(1+φ)`:
+///
+/// * session 0: center ⟨A,B⟩, φ = 0.5 → Pr(A ≻ B) = 1/1.5      = 2/3
+/// * session 1: center ⟨B,A⟩, φ = 1.0 → Pr(A ≻ B) = uniform    = 1/2
+/// * session 2: center ⟨B,A⟩, φ = 0.5 → Pr(A ≻ B) = 0.5/1.5    = 1/3
+///
+/// Boolean = 1 − (1/3)(1/2)(2/3) = 8/9, count = 2/3 + 1/2 + 1/3 = 3/2, and
+/// the top-2 sessions are 0 then 1 under every strategy.
+#[test]
+fn evaluators_agree_on_hand_computed_two_candidate_database() {
+    let candidates = Relation::new(
+        "Candidates",
+        vec!["candidate", "party"],
+        vec![
+            vec![Value::from("A"), Value::from("D")],
+            vec![Value::from("B"), Value::from("R")],
+        ],
+    )
+    .unwrap();
+    let sessions = vec![
+        Session::new(
+            vec![Value::from("v0")],
+            MallowsModel::new(Ranking::new(vec![0, 1]).unwrap(), 0.5).unwrap(),
+        ),
+        Session::new(
+            vec![Value::from("v1")],
+            MallowsModel::new(Ranking::new(vec![1, 0]).unwrap(), 1.0).unwrap(),
+        ),
+        Session::new(
+            vec![Value::from("v2")],
+            MallowsModel::new(Ranking::new(vec![1, 0]).unwrap(), 0.5).unwrap(),
+        ),
+    ];
+    let polls = PreferenceRelation::new("Polls", vec!["voter"], sessions).unwrap();
+    let db = DatabaseBuilder::new()
+        .item_relation(candidates, "candidate")
+        .preference_relation(polls)
+        .build()
+        .unwrap();
+    let q = ConjunctiveQuery::new("a-over-b").prefer(
+        "Polls",
+        vec![Term::any()],
+        Term::val("A"),
+        Term::val("B"),
+    );
+
+    let expected = [2.0 / 3.0, 0.5, 1.0 / 3.0];
+    let per_session = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+    assert_eq!(per_session.len(), 3);
+    for &(sidx, p) in &per_session {
+        assert!(
+            (p - expected[sidx]).abs() < 1e-12,
+            "session {sidx}: {p} vs {}",
+            expected[sidx]
+        );
+    }
+
+    let boolean = evaluate_boolean(&db, &q, &EvalConfig::exact()).unwrap();
+    assert!((boolean - 8.0 / 9.0).abs() < 1e-12, "boolean = {boolean}");
+
+    let count = count_sessions(&db, &q, &EvalConfig::exact()).unwrap();
+    assert!((count - 1.5).abs() < 1e-12, "count = {count}");
+
+    for strategy in [
+        TopKStrategy::Naive,
+        TopKStrategy::UpperBound {
+            edges_per_pattern: 1,
+        },
+        TopKStrategy::UpperBound {
+            edges_per_pattern: 2,
+        },
+    ] {
+        let (top, _) = most_probable_sessions(&db, &q, 2, strategy, &EvalConfig::exact()).unwrap();
+        assert_eq!(top.len(), 2, "{strategy:?}");
+        assert_eq!(top[0].session_index, 0);
+        assert_eq!(top[1].session_index, 1);
+        assert!((top[0].probability - 2.0 / 3.0).abs() < 1e-12);
+        assert!((top[1].probability - 0.5).abs() < 1e-12);
+    }
+}
+
 #[test]
 fn grouping_matches_naive_on_crowdrank_subset() {
     use ppd::datagen::{crowdrank_database, CrowdRankConfig};
@@ -237,15 +327,35 @@ fn grouping_matches_naive_on_crowdrank_subset() {
         seed: 5,
     });
     let q = ConjunctiveQuery::new("personalised")
-        .prefer("HitRankings", vec![Term::var("w")], Term::var("m1"), Term::var("m2"))
-        .atom("Workers", vec![Term::var("w"), Term::var("sex"), Term::any()])
+        .prefer(
+            "HitRankings",
+            vec![Term::var("w")],
+            Term::var("m1"),
+            Term::var("m2"),
+        )
         .atom(
-            "Movies",
-            vec![Term::var("m1"), Term::any(), Term::var("sex"), Term::any(), Term::any()],
+            "Workers",
+            vec![Term::var("w"), Term::var("sex"), Term::any()],
         )
         .atom(
             "Movies",
-            vec![Term::var("m2"), Term::val("Thriller"), Term::any(), Term::any(), Term::any()],
+            vec![
+                Term::var("m1"),
+                Term::any(),
+                Term::var("sex"),
+                Term::any(),
+                Term::any(),
+            ],
+        )
+        .atom(
+            "Movies",
+            vec![
+                Term::var("m2"),
+                Term::val("Thriller"),
+                Term::any(),
+                Term::any(),
+                Term::any(),
+            ],
         );
     let grouped = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
     let naive = session_probabilities(&db, &q, &EvalConfig::exact().without_grouping()).unwrap();

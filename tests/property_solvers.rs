@@ -2,6 +2,12 @@
 //! stack: solver agreement, probability bounds, decomposition equivalence,
 //! and upper-bound monotonicity — over randomly generated labeled Mallows
 //! instances and pattern unions.
+//!
+//! Determinism and bounds: the offline proptest stand-in (vendor/proptest)
+//! derives its RNG seed from each test's module path and name, so every run
+//! (locally and in CI) explores the same cases — the suite cannot flake.
+//! The case count is tuned so the whole file finishes in seconds in debug
+//! mode (the < 60 s budget in ISSUE 1 has an order of magnitude of slack).
 
 use ppd::prelude::*;
 use ppd_patterns::{
@@ -21,7 +27,9 @@ fn arb_instance() -> impl Strategy<Value = (MallowsModel, Labeling)> {
         let mut labeling = Labeling::new();
         let mut state = seed;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for item in 0..m as u32 {
@@ -63,7 +71,7 @@ fn arb_union() -> impl Strategy<Value = PatternUnion> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Every solver that supports the union agrees with brute force, and the
     /// result is a probability.

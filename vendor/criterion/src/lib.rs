@@ -1,0 +1,152 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the subset the `ppd_bench` benches use:
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! measurement_time, warm_up_time, bench_function}`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each bench function is run `sample_size` times after one warm-up call and
+//! the mean wall-clock time is printed. There is no statistical analysis,
+//! outlier detection, plotting, or command-line filtering — this exists so
+//! `cargo bench` compiles and produces indicative numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Wall-clock measurement marker (the only measurement provided).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Prevents the optimizer from discarding a value. Weaker than the real
+/// crate's intrinsic-based version but adequate for these benches.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark manager handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            _measurement: measurement::WallTime,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    _measurement: M,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API parity; the stub ignores target measurement time and
+    /// always runs exactly `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub always runs one warm-up iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` and prints the mean duration of the samples.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        // Warm-up run, not counted.
+        f(&mut bencher);
+        bencher.total = Duration::ZERO;
+        bencher.iterations = 0;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mean = if bencher.iterations > 0 {
+            bencher.total / bencher.iterations
+        } else {
+            Duration::ZERO
+        };
+        println!("  {id}: {mean:?} (mean of {} samples)", self.sample_size);
+        self
+    }
+
+    /// Ends the group (no-op, for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures passed to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    total: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Runs `f` once, timing it; results are kept alive via
+    /// [`black_box`] so the call is not optimized away.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.total += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Declares a group of bench functions, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring the real macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("test");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        // One warm-up call plus three samples.
+        assert_eq!(runs, 4);
+    }
+}

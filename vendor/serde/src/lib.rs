@@ -1,0 +1,293 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! It mirrors the *shape* of serde's public API for the subset this
+//! workspace touches — `Serialize`, `Deserialize`, `Serializer`,
+//! `Deserializer`, `ser::Error`, `de::Error`, and impls for the primitive
+//! types and `Vec<T>`/`String` — so that hand-written trait impls (e.g. on
+//! `ppd_rim::Ranking`) compile unchanged and keep working when the real
+//! crate is substituted. The `derive` feature exists but is a no-op: derive
+//! macros are not provided, so types in this workspace implement the traits
+//! by hand.
+//!
+//! There is deliberately no bundled serializer backend; the traits are a
+//! contract for later PRs (a real `serde_json` swap-in), not a working
+//! serialization stack.
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can serialize values (sequence-level subset).
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+
+        /// Serializes an iterator as a sequence.
+        fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+        where
+            I: IntoIterator,
+            I::Item: super::Serialize,
+        {
+            let iter = iter.into_iter();
+            let (lo, hi) = iter.size_hint();
+            let mut seq = self.serialize_seq(hi.filter(|&h| h == lo))?;
+            for element in iter {
+                seq.serialize_element(&element)?;
+            }
+            seq.end()
+        }
+    }
+
+    /// Returned by `Serializer::serialize_seq` to emit sequence elements.
+    pub trait SerializeSeq {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Access to the elements of a sequence being deserialized.
+    pub trait SeqAccess<'de> {
+        type Error: Error;
+        fn next_element<T: super::Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+
+    /// Drives deserialization of a single value (miniature data model: the
+    /// self-describing subset — a visitor receives whichever shape the input
+    /// holds).
+    pub trait Visitor<'de>: Sized {
+        type Value;
+
+        fn expecting(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result;
+
+        fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+        fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+        fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+        fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+        fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+        fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::custom(Expected(self)))
+        }
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(<A::Error as Error>::custom("unexpected sequence"))
+        }
+    }
+
+    struct Expected<V>(V);
+
+    impl<'de, V: Visitor<'de>> Display for Expected<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid type, expected ")?;
+            self.0.expecting(f)
+        }
+    }
+
+    /// A data format that can deserialize values.
+    pub trait Deserializer<'de>: Sized {
+        type Error: Error;
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    }
+}
+
+pub use de::{Deserializer, Visitor};
+pub use ser::Serializer;
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_primitive {
+    ($($t:ty => $method:ident as $as:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as $as)
+            }
+        }
+    )*};
+}
+
+impl_serialize_primitive!(
+    bool => serialize_bool as bool,
+    i8 => serialize_i64 as i64,
+    i16 => serialize_i64 as i64,
+    i32 => serialize_i64 as i64,
+    i64 => serialize_i64 as i64,
+    u8 => serialize_u64 as u64,
+    u16 => serialize_u64 as u64,
+    u32 => serialize_u32 as u32,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+    f32 => serialize_f64 as f64,
+    f64 => serialize_f64 as f64
+);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> de::Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        write!(f, "an integer")
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = f64;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a number")
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a boolean")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_string())
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(std::marker::PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> de::Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a sequence")
+            }
+            fn visit_seq<A: de::SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::new();
+                while let Some(element) = seq.next_element()? {
+                    out.push(element);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_any(V(std::marker::PhantomData))
+    }
+}
