@@ -1,0 +1,181 @@
+//! Engine scaling: wall-clock speedup of the parallel evaluation engine as a
+//! function of worker-thread count, on a Polls workload with hundreds of
+//! sessions.
+//!
+//! For each solver family the harness grounds one query, then evaluates the
+//! plan with `threads ∈ {1, 2, 4, 0 (= all hardware threads)}` on a cold
+//! engine per run, verifying that every thread count produces bit-identical
+//! probabilities. It reports per-run wall-clock, speedup over the serial
+//! engine, and the work-unit deduplication factor, and writes
+//! `bench_results/engine_scaling.json`.
+//!
+//! Environment:
+//! * `PPD_SCALE`  — `small` (default, 240 voters) or `paper` (2000 voters);
+//! * `PPD_VOTERS` / `PPD_CANDIDATES` — explicit overrides (the CI smoke run
+//!   uses a tiny instance this way).
+
+use ppd_bench::{timed, write_results, Scale};
+use ppd_core::{ground_query, ConjunctiveQuery, Engine, EvalConfig, SolverChoice, Term as T};
+use ppd_datagen::{polls_database, PollsConfig};
+use std::time::Duration;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+fn query() -> ConjunctiveQuery {
+    // Q1 of the paper: a female candidate preferred to a male candidate.
+    ConjunctiveQuery::new("Q1")
+        .prefer(
+            "Polls",
+            vec![T::any(), T::any()],
+            T::var("c1"),
+            T::var("c2"),
+        )
+        .atom(
+            "Candidates",
+            vec![
+                T::var("c1"),
+                T::any(),
+                T::val("F"),
+                T::any(),
+                T::any(),
+                T::any(),
+            ],
+        )
+        .atom(
+            "Candidates",
+            vec![
+                T::var("c2"),
+                T::any(),
+                T::val("M"),
+                T::any(),
+                T::any(),
+                T::any(),
+            ],
+        )
+}
+
+struct Run {
+    threads: usize,
+    elapsed: Duration,
+    speedup_vs_serial: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_voters = env_usize("PPD_VOTERS").unwrap_or_else(|| scale.pick(240, 2000));
+    let num_candidates = env_usize("PPD_CANDIDATES").unwrap_or_else(|| scale.pick(16, 20));
+    let db = polls_database(&PollsConfig {
+        num_candidates,
+        num_voters,
+        seed: 2016,
+    });
+    let q = query();
+    let plan = ground_query(&db, &q).expect("query grounds");
+    let sessions = plan.sessions.len();
+
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "engine_scaling: {num_voters} voters × {num_candidates} candidates, \
+         {sessions} qualifying sessions, {hardware} hardware threads\n"
+    );
+
+    let solvers: Vec<(&str, SolverChoice)> = vec![
+        ("exact-auto", SolverChoice::ExactAuto),
+        (
+            "approximate",
+            SolverChoice::Approximate {
+                samples_per_proposal: 200,
+            },
+        ),
+    ];
+    let thread_counts = [1usize, 2, 4, 0];
+
+    let mut records = Vec::new();
+    for (name, solver) in &solvers {
+        // Unit statistics from a throwaway engine: how much the plan dedups.
+        let probe = Engine::new(EvalConfig {
+            solver: solver.clone(),
+            ..EvalConfig::default()
+        });
+        let units = probe.plan_units(&db, &q).expect("plan units").len();
+
+        let mut reference: Option<Vec<(usize, f64)>> = None;
+        let mut serial = Duration::ZERO;
+        let mut runs: Vec<Run> = Vec::new();
+        for &threads in &thread_counts {
+            // A cold engine per run: measure solving, not cache hits.
+            let engine = Engine::new(
+                EvalConfig {
+                    solver: solver.clone(),
+                    ..EvalConfig::default()
+                }
+                .with_threads(threads),
+            );
+            let (result, elapsed) = timed(|| engine.session_probabilities_for_plan(&db, &plan));
+            let result = result.expect("evaluation succeeds");
+            match &reference {
+                None => {
+                    serial = elapsed;
+                    reference = Some(result);
+                }
+                Some(expected) => assert_eq!(
+                    expected, &result,
+                    "{name}: threads={threads} is not bit-identical to threads=1"
+                ),
+            }
+            runs.push(Run {
+                threads,
+                elapsed,
+                speedup_vs_serial: serial.as_secs_f64() / elapsed.as_secs_f64().max(1e-12),
+            });
+        }
+
+        println!("solver: {name} ({sessions} sessions → {units} work units)");
+        ppd_bench::print_table(
+            &["threads", "wall-clock", "speedup vs 1"],
+            &runs
+                .iter()
+                .map(|r| {
+                    vec![
+                        if r.threads == 0 {
+                            format!("0 (auto={hardware})")
+                        } else {
+                            r.threads.to_string()
+                        },
+                        format!("{:.1?}", r.elapsed),
+                        format!("{:.2}x", r.speedup_vs_serial),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        println!();
+
+        records.push(serde_json::json!({
+            "solver": name,
+            "sessions": sessions,
+            "work_units": units,
+            "dedup_factor": sessions as f64 / units.max(1) as f64,
+            "runs": runs.iter().map(|r| serde_json::json!({
+                "threads": r.threads,
+                "effective_threads": if r.threads == 0 { hardware } else { r.threads },
+                "wall_clock_ms": r.elapsed.as_secs_f64() * 1e3,
+                "speedup_vs_serial": r.speedup_vs_serial,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+
+    write_results(
+        "engine_scaling",
+        &serde_json::json!({
+            "experiment": "engine_scaling",
+            "num_voters": num_voters,
+            "num_candidates": num_candidates,
+            "hardware_threads": hardware,
+            "workloads": records,
+        }),
+    );
+}

@@ -2,25 +2,29 @@
 //! satisfying a query.
 
 use crate::database::PpdDatabase;
-use crate::eval::{session_probabilities, EvalConfig};
+use crate::engine::Engine;
+use crate::eval::EvalConfig;
 use crate::query::ConjunctiveQuery;
 use crate::Result;
 
 /// Evaluates `count(Q)`: under the possible-world semantics the count of
 /// sessions satisfying `Q` is a random variable whose expectation is the sum
 /// of the per-session probabilities, `Σ_i Pr(Q | s_i)`.
+///
+/// Constructs a transient [`Engine`] per call; hold an [`Engine`] and use
+/// [`Engine::count_sessions`] to reuse caches across queries.
 pub fn count_sessions(
     db: &PpdDatabase,
     query: &ConjunctiveQuery,
     config: &EvalConfig,
 ) -> Result<f64> {
-    let per_session = session_probabilities(db, query, config)?;
-    Ok(per_session.iter().map(|&(_, p)| p).sum())
+    Engine::new(config.clone()).count_sessions(db, query)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::session_probabilities;
     use crate::query::Term as T;
     use crate::testdb::polling_database;
 

@@ -1,0 +1,255 @@
+//! Cross-query caches: solved marginals and prepared per-model state.
+//!
+//! Both caches are engine-lifetime (not per-call, as the pre-engine
+//! evaluator's grouping map was), so a long-lived [`Engine`] amortizes work
+//! across every query it serves:
+//!
+//! * the [`MarginalCache`] maps a work-unit key (plus the solver family that
+//!   produced the number) to its marginal probability, so repeated and
+//!   overlapping queries skip inference entirely;
+//! * the [`ModelCache`] holds one [`PreparedModel`] per distinct Mallows
+//!   model, so the `to_rim()` insertion-probability expansion is computed
+//!   once per model instead of once per session.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use crate::engine::unit::UnitKey;
+use crate::session::Session;
+use ppd_rim::{MallowsModel, RimModel};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which solver algorithm produced a cached marginal. Numbers from
+/// different algorithms for the same instance must not alias: approximate
+/// estimates differ from exact answers outright, and even two exact solvers
+/// (auto-selected DP vs. inclusion–exclusion) differ in low-order float
+/// bits — serving one for the other would break the engine's bit-identity
+/// contract (e.g. the top-k optimizer's auto-exact upper bounds landing in
+/// the cache of a `GeneralExact` engine whose relaxed unions equal the full
+/// ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SolverFingerprint {
+    /// The auto-selected exact solver. Deterministic per unit content: the
+    /// selection depends only on the union's class.
+    ExactAuto,
+    /// The inclusion–exclusion general solver.
+    GeneralExact,
+    /// The approximate solver with the given sampling budget.
+    Approx {
+        /// Samples per proposal distribution.
+        samples_per_proposal: usize,
+    },
+}
+
+/// A Mallows model with lazily prepared derived state, shared by every work
+/// unit over that model.
+#[derive(Debug)]
+pub struct PreparedModel {
+    mallows: MallowsModel,
+    rim: OnceLock<RimModel>,
+}
+
+impl PreparedModel {
+    /// Wraps a model; derived state is built on first use.
+    pub fn new(mallows: MallowsModel) -> Self {
+        PreparedModel {
+            mallows,
+            rim: OnceLock::new(),
+        }
+    }
+
+    /// The Mallows parameters (what approximate solvers consume).
+    pub fn mallows(&self) -> &MallowsModel {
+        &self.mallows
+    }
+
+    /// The RIM insertion-probability form (what exact solvers consume),
+    /// built once per model and reused by every unit and query thereafter.
+    pub fn rim(&self) -> &RimModel {
+        self.rim.get_or_init(|| self.mallows.to_rim())
+    }
+}
+
+/// Snapshot of an engine's cache activity (used by tests and benches, and
+/// handy when sizing a deployment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Work units answered straight from the marginal cache.
+    pub marginal_hits: u64,
+    /// Work units that had to be solved.
+    pub marginal_misses: u64,
+    /// Distinct models for which prepared state was built.
+    pub models_prepared: u64,
+}
+
+/// Engine-lifetime map from work-unit content to solved marginals. An
+/// engine rarely produces more than two fingerprints (its configured solver
+/// plus auto-exact upper bounds), so the per-key entries are a small vector
+/// — which also lets lookups borrow the key instead of deep-cloning it into
+/// a tuple.
+#[derive(Debug, Default)]
+pub(crate) struct MarginalCache {
+    map: Mutex<HashMap<UnitKey, Vec<(SolverFingerprint, f64)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MarginalCache {
+    pub(crate) fn get(&self, key: &UnitKey, fingerprint: SolverFingerprint) -> Option<f64> {
+        let found = self
+            .map
+            .lock()
+            .expect("marginal cache poisoned")
+            .get(key)
+            .and_then(|entries| {
+                entries
+                    .iter()
+                    .find(|&&(f, _)| f == fingerprint)
+                    .map(|&(_, p)| p)
+            });
+        match found {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&self, key: UnitKey, fingerprint: SolverFingerprint, probability: f64) {
+        let mut map = self.map.lock().expect("marginal cache poisoned");
+        let entries = map.entry(key).or_default();
+        match entries.iter_mut().find(|&&mut (f, _)| f == fingerprint) {
+            Some(entry) => entry.1 = probability,
+            None => entries.push((fingerprint, probability)),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("marginal cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock().expect("marginal cache poisoned").clear();
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// The model-content key of [`ModelCache`]: [`Session::model_key`].
+type ModelKey = (Vec<u32>, u64);
+
+/// Engine-lifetime map from model content to shared prepared state.
+#[derive(Debug, Default)]
+pub(crate) struct ModelCache {
+    map: Mutex<HashMap<ModelKey, Arc<PreparedModel>>>,
+}
+
+impl ModelCache {
+    /// Returns the prepared state for the session's model, creating it on
+    /// first sight of the model content.
+    pub(crate) fn get_or_insert(&self, session: &Session) -> Arc<PreparedModel> {
+        let mut map = self.map.lock().expect("model cache poisoned");
+        map.entry(session.model_key())
+            .or_insert_with(|| Arc::new(PreparedModel::new(session.model().clone())))
+            .clone()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().expect("model cache poisoned").len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock().expect("model cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use ppd_rim::{MallowsModel, Ranking};
+
+    fn session(phi: f64) -> Session {
+        Session::new(
+            vec![Value::from("s")],
+            MallowsModel::new(Ranking::identity(3), phi).unwrap(),
+        )
+    }
+
+    #[test]
+    fn prepared_rim_is_built_once_and_correct() {
+        let model = MallowsModel::new(Ranking::identity(4), 0.4).unwrap();
+        let prepared = PreparedModel::new(model.clone());
+        let direct = model.to_rim();
+        let a = prepared.rim() as *const RimModel;
+        let b = prepared.rim() as *const RimModel;
+        assert_eq!(a, b, "rim must be built once and shared");
+        assert_eq!(prepared.rim().pi(), direct.pi());
+    }
+
+    #[test]
+    fn model_cache_shares_by_content() {
+        let cache = ModelCache::default();
+        let a = cache.get_or_insert(&session(0.4));
+        let b = cache.get_or_insert(&session(0.4));
+        let c = cache.get_or_insert(&session(0.7));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn solver_fingerprints_do_not_alias() {
+        use crate::engine::unit::UnitKey;
+        use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
+        let mut lab = Labeling::new();
+        for i in 0..3u32 {
+            lab.add(i, i);
+        }
+        let union = PatternUnion::singleton(Pattern::two_label(
+            NodeSelector::single(0),
+            NodeSelector::single(1),
+        ))
+        .unwrap();
+        let (key, _) = UnitKey::new(&session(0.4), &union, &lab);
+        let cache = MarginalCache::default();
+        cache.insert(key.clone(), SolverFingerprint::ExactAuto, 0.25);
+        assert_eq!(cache.get(&key, SolverFingerprint::ExactAuto), Some(0.25));
+        // Neither a different exact algorithm nor an approximate budget may
+        // be served from the auto-exact entry.
+        assert_eq!(cache.get(&key, SolverFingerprint::GeneralExact), None);
+        assert_eq!(
+            cache.get(
+                &key,
+                SolverFingerprint::Approx {
+                    samples_per_proposal: 100
+                }
+            ),
+            None
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        cache.insert(key.clone(), SolverFingerprint::GeneralExact, 0.26);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key, SolverFingerprint::ExactAuto), Some(0.25));
+        assert_eq!(cache.get(&key, SolverFingerprint::GeneralExact), Some(0.26));
+    }
+}

@@ -1,0 +1,580 @@
+//! The parallel evaluation engine: work units → scheduler → cache →
+//! aggregation.
+//!
+//! [`Engine`] is the reusable, thread-safe heart of query evaluation. Where
+//! the original evaluator solved sessions one by one inside each call, the
+//! engine:
+//!
+//! 1. **deduplicates** a grounded plan into [`WorkUnit`]s keyed by the
+//!    *content* of each `(model, pattern union)` instance (Section 6.4 of
+//!    the paper, generalized to be query- and label-interning-independent);
+//! 2. consults a **cross-query marginal cache** so units solved by any
+//!    earlier query served by this engine are never solved again;
+//! 3. **fans the remaining units out** over a scoped worker pool
+//!    ([`EvalConfig::threads`]: `0` = one worker per hardware thread, `1` =
+//!    the serial path) with per-unit RNG seeds derived from the unit key, so
+//!    results are bit-identical regardless of thread count, session order,
+//!    or grouping;
+//! 4. shares **prepared per-model state** ([`PreparedModel`]): the
+//!    `to_rim()` insertion-probability expansion is built once per distinct
+//!    model, not once per session;
+//! 5. **aggregates** per-session probabilities into Boolean, Count-Session,
+//!    Most-Probable-Session, and batch answers.
+//!
+//! The free functions in [`crate::eval`], [`crate::count`], and
+//! [`crate::topk`] construct a transient engine per call; long-running
+//! services should hold one [`Engine`] and feed it queries (or batches via
+//! [`Engine::evaluate_batch`]) to benefit from the caches.
+
+mod cache;
+mod scheduler;
+mod unit;
+
+pub use cache::{CacheStats, PreparedModel};
+pub use unit::{UnitKey, WorkUnit};
+
+use crate::database::PpdDatabase;
+use crate::eval::{EvalConfig, SolverChoice};
+use crate::query::ConjunctiveQuery;
+use crate::session::Session;
+use crate::topk::{self, SessionScore, TopKStats, TopKStrategy};
+use crate::translate::{ground_query, GroundedSessionQuery};
+use crate::{PpdError, Result};
+use cache::{MarginalCache, ModelCache, SolverFingerprint};
+use ppd_patterns::{Labeling, PatternUnion};
+use ppd_solvers::{GeneralSolver, MisAmpAdaptive, SolverKind};
+use std::collections::{HashMap, HashSet};
+
+/// A request to solve one session's pattern union under a plan's labeling.
+/// Requests from different plans (hence different labelings) can be mixed in
+/// one scheduling wave — identity is content-based via [`UnitKey`].
+pub(crate) struct UnitRequest<'a> {
+    pub(crate) session: &'a Session,
+    pub(crate) labeling: &'a Labeling,
+    pub(crate) union: &'a PatternUnion,
+}
+
+/// The answers [`Engine::evaluate_batch`] produces for one query.
+#[derive(Debug, Clone)]
+pub struct BatchAnswer {
+    /// Per qualifying session, the probability that the query holds in it.
+    pub session_probabilities: Vec<(usize, f64)>,
+    /// `Pr(Q)`: the probability that *some* session satisfies the query.
+    pub boolean: f64,
+    /// `count(Q)`: the expected number of satisfying sessions.
+    pub expected_count: f64,
+}
+
+/// A reusable, thread-safe query-evaluation engine with cross-query caches.
+///
+/// See the [module documentation](self) for the pipeline. All methods take
+/// `&self`; the engine may be shared behind an `Arc` and queried from many
+/// threads concurrently.
+#[derive(Debug)]
+pub struct Engine {
+    config: EvalConfig,
+    marginals: MarginalCache,
+    models: ModelCache,
+}
+
+impl Engine {
+    /// Creates an engine. The configuration (solver choice, seed, grouping,
+    /// thread count) is fixed for the engine's lifetime, which is what keeps
+    /// its caches coherent.
+    pub fn new(config: EvalConfig) -> Self {
+        Engine {
+            config,
+            marginals: MarginalCache::default(),
+            models: ModelCache::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Snapshot of cache activity since construction (or the last
+    /// [`Engine::clear_caches`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            marginal_hits: self.marginals.hits(),
+            marginal_misses: self.marginals.misses(),
+            models_prepared: self.models.len() as u64,
+        }
+    }
+
+    /// Number of distinct marginals currently cached.
+    pub fn cached_marginals(&self) -> usize {
+        self.marginals.len()
+    }
+
+    /// Drops all cached marginals and prepared models (e.g. after swapping
+    /// the underlying database for one with different content).
+    pub fn clear_caches(&self) {
+        self.marginals.clear();
+        self.models.clear();
+    }
+
+    /// The work units a query reduces to, without solving them — the
+    /// engine's introspection hook, used by benchmarks and capacity
+    /// planning to report deduplication factors.
+    pub fn plan_units(&self, db: &PpdDatabase, query: &ConjunctiveQuery) -> Result<Vec<WorkUnit>> {
+        let plan = ground_query(db, query)?;
+        let prel = db
+            .preference_relation(&plan.prelation)
+            .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?;
+        // First-seen-wins over unit keys — the same identity rule
+        // `solve_requests` applies (both sides reduce to `UnitKey::new`, so
+        // the reported units are exactly the ones a grouped evaluation
+        // would solve).
+        let mut seen: HashSet<UnitKey> = HashSet::new();
+        let mut units = Vec::new();
+        for squery in &plan.sessions {
+            let session = &prel.sessions()[squery.session_index];
+            let (key, order) = UnitKey::new(session, &squery.union, &plan.labeling);
+            if seen.insert(key.clone()) {
+                units.push(WorkUnit {
+                    union: UnitKey::ordered_union(&squery.union, &order),
+                    session_index: squery.session_index,
+                    key,
+                });
+            }
+        }
+        Ok(units)
+    }
+
+    /// Computes, for every qualifying session, the probability that the
+    /// query holds in that session.
+    pub fn session_probabilities(
+        &self,
+        db: &PpdDatabase,
+        query: &ConjunctiveQuery,
+    ) -> Result<Vec<(usize, f64)>> {
+        let plan = ground_query(db, query)?;
+        self.session_probabilities_for_plan(db, &plan)
+    }
+
+    /// Like [`Engine::session_probabilities`] but starting from an
+    /// already-grounded plan.
+    pub fn session_probabilities_for_plan(
+        &self,
+        db: &PpdDatabase,
+        plan: &GroundedSessionQuery,
+    ) -> Result<Vec<(usize, f64)>> {
+        let prel = db
+            .preference_relation(&plan.prelation)
+            .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?;
+        let requests: Vec<UnitRequest<'_>> = plan
+            .sessions
+            .iter()
+            .map(|squery| UnitRequest {
+                session: &prel.sessions()[squery.session_index],
+                labeling: &plan.labeling,
+                union: &squery.union,
+            })
+            .collect();
+        let probabilities = self.solve_requests(&requests, false)?;
+        Ok(plan
+            .sessions
+            .iter()
+            .map(|squery| squery.session_index)
+            .zip(probabilities)
+            .collect())
+    }
+
+    /// Evaluates a Boolean query: the probability that *some* session
+    /// satisfies it, assuming session independence: `1 − Π_i (1 − Pr(Q | s_i))`.
+    pub fn evaluate_boolean(&self, db: &PpdDatabase, query: &ConjunctiveQuery) -> Result<f64> {
+        let per_session = self.session_probabilities(db, query)?;
+        Ok(boolean_from(&per_session))
+    }
+
+    /// Evaluates `count(Q)`: the expected number of satisfying sessions,
+    /// `Σ_i Pr(Q | s_i)`.
+    pub fn count_sessions(&self, db: &PpdDatabase, query: &ConjunctiveQuery) -> Result<f64> {
+        let per_session = self.session_probabilities(db, query)?;
+        Ok(count_from(&per_session))
+    }
+
+    /// Evaluates `top(Q, k)`: the `k` sessions with the highest probability
+    /// of satisfying `Q`, with the strategy's statistics.
+    pub fn most_probable_sessions(
+        &self,
+        db: &PpdDatabase,
+        query: &ConjunctiveQuery,
+        k: usize,
+        strategy: TopKStrategy,
+    ) -> Result<(Vec<SessionScore>, TopKStats)> {
+        topk::most_probable_with_engine(self, db, query, k, strategy)
+    }
+
+    /// Evaluates a batch of queries in **one scheduling wave**: every query
+    /// is grounded, the union of all their work units is deduplicated
+    /// globally (and against the engine's cache), solved across the worker
+    /// pool, and the per-query answers are assembled.
+    ///
+    /// Compared to evaluating the queries one by one, a batch overlaps the
+    /// units of cheap and expensive queries on the pool and shares marginals
+    /// between queries within the same wave.
+    pub fn evaluate_batch(
+        &self,
+        db: &PpdDatabase,
+        queries: &[ConjunctiveQuery],
+    ) -> Result<Vec<BatchAnswer>> {
+        let plans: Vec<GroundedSessionQuery> = queries
+            .iter()
+            .map(|q| ground_query(db, q))
+            .collect::<Result<_>>()?;
+        let mut prels = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            prels.push(
+                db.preference_relation(&plan.prelation)
+                    .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?,
+            );
+        }
+        let mut requests: Vec<UnitRequest<'_>> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(plans.len());
+        for (plan, prel) in plans.iter().zip(&prels) {
+            let start = requests.len();
+            for squery in &plan.sessions {
+                requests.push(UnitRequest {
+                    session: &prel.sessions()[squery.session_index],
+                    labeling: &plan.labeling,
+                    union: &squery.union,
+                });
+            }
+            spans.push((start, requests.len()));
+        }
+        let probabilities = self.solve_requests(&requests, false)?;
+        Ok(plans
+            .iter()
+            .zip(spans)
+            .map(|(plan, (start, end))| {
+                let session_probabilities: Vec<(usize, f64)> = plan
+                    .sessions
+                    .iter()
+                    .map(|s| s.session_index)
+                    .zip(probabilities[start..end].iter().copied())
+                    .collect();
+                BatchAnswer {
+                    boolean: boolean_from(&session_probabilities),
+                    expected_count: count_from(&session_probabilities),
+                    session_probabilities,
+                }
+            })
+            .collect())
+    }
+
+    /// Solves a slice of unit requests: content-based deduplication, cache
+    /// lookup, one parallel wave over the remaining units, cache fill, and
+    /// reassembly into request order.
+    ///
+    /// With `force_exact` the engine uses the automatically selected exact
+    /// solver regardless of its configured [`SolverChoice`] — the top-k
+    /// optimizer's upper bounds must be sound, so they are never estimated.
+    ///
+    /// When [`EvalConfig::group_identical`] is off, every request becomes
+    /// its own unit and the cache is bypassed; seeds still derive from unit
+    /// keys, so the answers are identical either way (a property the test
+    /// suite pins).
+    pub(crate) fn solve_requests(
+        &self,
+        requests: &[UnitRequest<'_>],
+        force_exact: bool,
+    ) -> Result<Vec<f64>> {
+        struct Pending<'a> {
+            key: UnitKey,
+            union: PatternUnion,
+            session: &'a Session,
+            labeling: &'a Labeling,
+        }
+
+        let fingerprint = self.fingerprint(force_exact);
+        let grouping = self.config.group_identical;
+        // Request index → where its probability comes from.
+        enum Source {
+            Cached(f64),
+            Unit(usize),
+        }
+        let mut unit_of_key: HashMap<UnitKey, usize> = HashMap::new();
+        let mut pending: Vec<Pending<'_>> = Vec::new();
+        let mut sources: Vec<Source> = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (key, order) = UnitKey::new(request.session, request.union, request.labeling);
+            if grouping {
+                if let Some(&unit) = unit_of_key.get(&key) {
+                    sources.push(Source::Unit(unit));
+                    continue;
+                }
+                if let Some(p) = self.marginals.get(&key, fingerprint) {
+                    sources.push(Source::Cached(p));
+                    continue;
+                }
+            }
+            // Only actual cache misses pay for materializing the canonical
+            // union (pattern clones); duplicates and hits stop above.
+            let unit = pending.len();
+            if grouping {
+                unit_of_key.insert(key.clone(), unit);
+            }
+            pending.push(Pending {
+                union: UnitKey::ordered_union(request.union, &order),
+                key,
+                session: request.session,
+                labeling: request.labeling,
+            });
+            sources.push(Source::Unit(unit));
+        }
+
+        let solved: Vec<Result<f64>> =
+            scheduler::run_indexed(pending.len(), self.config.threads, |i| {
+                let unit = &pending[i];
+                let prepared = self.models.get_or_insert(unit.session);
+                let kind = self.solver_kind(&unit.union, force_exact);
+                let seed = unit.key.seed(self.config.seed);
+                kind.solve_seeded(
+                    prepared.mallows(),
+                    || prepared.rim(),
+                    unit.labeling,
+                    &unit.union,
+                    seed,
+                )
+                .map_err(PpdError::from)
+            });
+        let mut values = Vec::with_capacity(pending.len());
+        for (unit, outcome) in pending.iter().zip(solved) {
+            let p = outcome?;
+            if grouping {
+                self.marginals.insert(unit.key.clone(), fingerprint, p);
+            }
+            values.push(p);
+        }
+        Ok(sources
+            .into_iter()
+            .map(|source| match source {
+                Source::Cached(p) => p,
+                Source::Unit(unit) => values[unit],
+            })
+            .collect())
+    }
+
+    /// The solver handle for one unit, honouring `force_exact`.
+    fn solver_kind(&self, union: &PatternUnion, force_exact: bool) -> SolverKind {
+        if force_exact {
+            return SolverKind::exact_auto(union);
+        }
+        match &self.config.solver {
+            SolverChoice::ExactAuto => SolverKind::exact_auto(union),
+            SolverChoice::GeneralExact => SolverKind::exact(Box::new(GeneralSolver::new())),
+            SolverChoice::Approximate {
+                samples_per_proposal,
+            } => SolverKind::approx(Box::new(MisAmpAdaptive::new(*samples_per_proposal))),
+        }
+    }
+
+    /// The cache discriminant for the algorithm producing the numbers.
+    /// `force_exact` always means the auto-selected exact solver (that is
+    /// what [`Engine::solver_kind`] dispatches), which matches the
+    /// `ExactAuto` configuration but must *not* alias with `GeneralExact`:
+    /// the two exact algorithms differ in low-order float bits, and a
+    /// relaxed upper-bound union can be content-identical to the full union.
+    fn fingerprint(&self, force_exact: bool) -> SolverFingerprint {
+        if force_exact {
+            return SolverFingerprint::ExactAuto;
+        }
+        match &self.config.solver {
+            SolverChoice::ExactAuto => SolverFingerprint::ExactAuto,
+            SolverChoice::GeneralExact => SolverFingerprint::GeneralExact,
+            SolverChoice::Approximate {
+                samples_per_proposal,
+            } => SolverFingerprint::Approx {
+                samples_per_proposal: *samples_per_proposal,
+            },
+        }
+    }
+}
+
+/// `1 − Π_i (1 − pᵢ)` over per-session probabilities.
+fn boolean_from(per_session: &[(usize, f64)]) -> f64 {
+    1.0 - per_session.iter().map(|&(_, p)| 1.0 - p).product::<f64>()
+}
+
+/// `Σ_i pᵢ` over per-session probabilities.
+fn count_from(per_session: &[(usize, f64)]) -> f64 {
+    per_session.iter().map(|&(_, p)| p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalConfig;
+    use crate::query::Term as T;
+    use crate::testdb::polling_database;
+
+    fn q1() -> ConjunctiveQuery {
+        ConjunctiveQuery::new("Q1")
+            .prefer(
+                "Polls",
+                vec![T::any(), T::any()],
+                T::var("c1"),
+                T::var("c2"),
+            )
+            .atom(
+                "Candidates",
+                vec![
+                    T::var("c1"),
+                    T::any(),
+                    T::val("F"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
+            )
+            .atom(
+                "Candidates",
+                vec![
+                    T::var("c2"),
+                    T::any(),
+                    T::val("M"),
+                    T::any(),
+                    T::any(),
+                    T::any(),
+                ],
+            )
+    }
+
+    #[test]
+    fn engine_matches_free_function_evaluation() {
+        let db = polling_database();
+        let engine = Engine::new(EvalConfig::exact());
+        let from_engine = engine.session_probabilities(&db, &q1()).unwrap();
+        let from_free =
+            crate::eval::session_probabilities(&db, &q1(), &EvalConfig::exact()).unwrap();
+        assert_eq!(from_engine, from_free);
+    }
+
+    #[test]
+    fn marginal_cache_persists_across_queries() {
+        let db = polling_database();
+        let engine = Engine::new(EvalConfig::exact());
+        let first = engine.session_probabilities(&db, &q1()).unwrap();
+        let stats_after_first = engine.cache_stats();
+        assert_eq!(stats_after_first.marginal_hits, 0);
+        assert!(stats_after_first.marginal_misses > 0);
+        let second = engine.session_probabilities(&db, &q1()).unwrap();
+        assert_eq!(first, second);
+        let stats_after_second = engine.cache_stats();
+        // The repeat run is answered entirely from the cache.
+        assert_eq!(
+            stats_after_second.marginal_misses,
+            stats_after_first.marginal_misses
+        );
+        assert!(stats_after_second.marginal_hits >= first.len() as u64);
+        engine.clear_caches();
+        assert_eq!(engine.cached_marginals(), 0);
+    }
+
+    #[test]
+    fn prepared_models_are_shared_across_sessions() {
+        let db = polling_database();
+        let engine = Engine::new(EvalConfig::exact());
+        engine.session_probabilities(&db, &q1()).unwrap();
+        // Ann, Bob, and Dave have three distinct models in the testdb.
+        assert_eq!(engine.cache_stats().models_prepared, 3);
+    }
+
+    #[test]
+    fn plan_units_deduplicate_by_content() {
+        let db = polling_database();
+        let engine = Engine::new(EvalConfig::exact());
+        let units = engine.plan_units(&db, &q1()).unwrap();
+        // Three sessions with three distinct models: three units.
+        assert_eq!(units.len(), 3);
+        let seeds: Vec<u64> = units.iter().map(|u| u.key.seed(42)).collect();
+        assert!(seeds.iter().collect::<std::collections::HashSet<_>>().len() == 3);
+    }
+
+    #[test]
+    fn batch_matches_sequential_evaluation_and_shares_work() {
+        let db = polling_database();
+        let q2 = ConjunctiveQuery::new("clinton-trump").prefer(
+            "Polls",
+            vec![T::any(), T::any()],
+            T::val("Clinton"),
+            T::val("Trump"),
+        );
+        let batch_engine = Engine::new(EvalConfig::exact());
+        let answers = batch_engine
+            .evaluate_batch(&db, &[q1(), q2.clone(), q1()])
+            .unwrap();
+        assert_eq!(answers.len(), 3);
+        let solo = Engine::new(EvalConfig::exact());
+        assert_eq!(
+            answers[0].session_probabilities,
+            solo.session_probabilities(&db, &q1()).unwrap()
+        );
+        assert_eq!(
+            answers[1].session_probabilities,
+            solo.session_probabilities(&db, &q2).unwrap()
+        );
+        // The duplicated query contributes no extra work units.
+        assert_eq!(
+            answers[0].session_probabilities,
+            answers[2].session_probabilities
+        );
+        let stats = batch_engine.cache_stats();
+        assert_eq!(
+            stats.marginal_misses as usize,
+            batch_engine.cached_marginals()
+        );
+        for answer in &answers {
+            let expected_count: f64 = answer.session_probabilities.iter().map(|&(_, p)| p).sum();
+            assert!((answer.expected_count - expected_count).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&answer.boolean));
+        }
+    }
+
+    #[test]
+    fn general_exact_upper_bound_topk_is_not_served_auto_exact_bits() {
+        // Two-label unions relax to themselves, so the top-k optimizer's
+        // stage-1 upper bounds (always auto-exact) share unit content with
+        // its stage-2 full solves. Under a GeneralExact engine the cache
+        // must keep the two exact algorithms apart — otherwise stage 2 would
+        // be served the two-label DP's bits when grouping is on and the
+        // inclusion–exclusion solver's bits when it is off.
+        let db = polling_database();
+        let q = q1();
+        let config = EvalConfig {
+            solver: SolverChoice::GeneralExact,
+            ..EvalConfig::default()
+        };
+        let strategy = TopKStrategy::UpperBound {
+            edges_per_pattern: 2,
+        };
+        let (grouped, _) = Engine::new(config.clone())
+            .most_probable_sessions(&db, &q, 3, strategy)
+            .unwrap();
+        let (ungrouped, _) = Engine::new(config.without_grouping())
+            .most_probable_sessions(&db, &q, 3, strategy)
+            .unwrap();
+        assert_eq!(grouped, ungrouped);
+    }
+
+    #[test]
+    fn threads_do_not_change_exact_results() {
+        let db = polling_database();
+        let serial = Engine::new(EvalConfig {
+            threads: 1,
+            ..EvalConfig::exact()
+        });
+        let parallel = Engine::new(EvalConfig {
+            threads: 4,
+            ..EvalConfig::exact()
+        });
+        assert_eq!(
+            serial.session_probabilities(&db, &q1()).unwrap(),
+            parallel.session_probabilities(&db, &q1()).unwrap()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! The work-unit scheduler: a scoped worker pool over an index space.
+//!
+//! Work units are embarrassingly parallel (per-unit marginal inference
+//! dominates query cost, as both the consensus-answers and the
+//! probabilistic-database dichotomy lines of work observe), so the scheduler
+//! is deliberately simple: `threads` scoped workers pull unit indices from a
+//! shared atomic counter and record `(index, result)` pairs locally, which
+//! the caller merges back into index order. Dynamic (counter-based) pulling
+//! balances load when unit costs are skewed — one hard union does not idle
+//! the rest of the pool the way static chunking would.
+//!
+//! Determinism: the scheduler imposes no ordering on *execution*, so
+//! everything order-dependent (RNG seeds, cache keys) must be a pure
+//! function of the unit itself — which [`UnitKey`](crate::engine::UnitKey)
+//! guarantees. Results are returned in index order regardless of which
+//! thread solved what.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a configured thread count: `0` means one worker per available
+/// hardware thread, and the pool never exceeds the number of units.
+pub(crate) fn effective_threads(configured: usize, num_units: usize) -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let requested = if configured == 0 { hw() } else { configured };
+    requested.min(num_units).max(1)
+}
+
+/// Runs `f` over the index space `0..n` on `threads` workers (after
+/// [`effective_threads`] resolution) and returns the results in index order.
+///
+/// With one effective worker the closure runs on the caller's thread with no
+/// synchronization — the engine's `threads = 1` mode therefore *is* the
+/// serial evaluation path, not a degenerate pool.
+pub(crate) fn run_indexed<T, F>(n: usize, configured_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(configured_threads, n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, value) in worker.join().expect("engine worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index in 0..n is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(effective_threads(1, 100), 1);
+        assert_eq!(effective_threads(4, 100), 4);
+        assert_eq!(effective_threads(4, 2), 2);
+        assert_eq!(effective_threads(3, 0), 1);
+        assert!(effective_threads(0, 100) >= 1);
+    }
+
+    #[test]
+    fn results_are_in_index_order_for_any_thread_count() {
+        for threads in [1usize, 2, 4, 7] {
+            let out = run_indexed(33, threads, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_share_the_index_space() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let out = run_indexed(100, 4, |i| {
+            seen.lock().unwrap().insert(i);
+            i
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(seen.lock().unwrap().len(), 100);
+    }
+}

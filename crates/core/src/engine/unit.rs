@@ -1,0 +1,238 @@
+//! Work units: the deduplicated, content-addressed unit of solver work.
+//!
+//! A grounded plan asks for one marginal probability per qualifying session,
+//! but many sessions share both their ranking model and their pattern union
+//! (Section 6.4 of the paper). The engine therefore reduces a plan to
+//! **work units** before solving: each unit is identified by a [`UnitKey`]
+//! that captures the *content* of the instance — the Mallows model
+//! parameters and the union's patterns with every node selector resolved to
+//! its candidate item set. Two sessions map to the same unit exactly when
+//! the solvers would compute the same number for them, no matter which query
+//! produced them or how their labels were interned.
+//!
+//! The key also carries a stable (FNV-1a) hash from which the unit's RNG
+//! seed is derived, so approximate estimates depend only on the instance
+//! content and the engine's base seed — never on session order, grouping, or
+//! the thread that happens to run the unit.
+
+use crate::session::{fnv1a_extend, model_key_fold, Session};
+use ppd_patterns::{Labeling, Pattern, PatternUnion};
+use ppd_rim::Item;
+
+/// A node selector resolved to the sorted set of items it matches.
+type CanonicalNode = Vec<Item>;
+
+/// A pattern with its selectors resolved: candidate sets plus DAG edges.
+type CanonicalPattern = (Vec<CanonicalNode>, Vec<(usize, usize)>);
+
+/// Content identity of one work unit: the session's model parameters plus
+/// the canonicalized pattern union.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UnitKey {
+    /// The model content: centre ranking items and dispersion bits.
+    model_key: (Vec<Item>, u64),
+    /// Canonical patterns, sorted and deduplicated.
+    patterns: Vec<CanonicalPattern>,
+}
+
+/// One deduplicated piece of solver work: the key, the union to hand to the
+/// solver (members reordered into canonical order so estimates cannot depend
+/// on the order the query grounding happened to emit), and the index of a
+/// session that exhibits the unit's model.
+#[derive(Debug, Clone)]
+pub struct WorkUnit {
+    /// Content identity of the unit.
+    pub key: UnitKey,
+    /// The union to solve, in canonical member order.
+    pub union: PatternUnion,
+    /// Index (within the p-relation) of the first session that produced this
+    /// unit; its model is the unit's model.
+    pub session_index: usize,
+}
+
+impl UnitKey {
+    /// Builds the key for a session's union under a plan's labeling, along
+    /// with the canonical member order: indices into `union.patterns()`,
+    /// sorted by canonical form and deduplicated. The union to actually
+    /// solve is only materialized by [`UnitKey::ordered_union`] — callers
+    /// that dedupe or hit a cache never pay for pattern clones.
+    ///
+    /// Selectors are resolved against the session model's item universe, so
+    /// label-id differences between queries (e.g. derived `@pred:` labels
+    /// interned in different orders) cannot split or — worse — merge units
+    /// that differ in content.
+    pub fn new(session: &Session, union: &PatternUnion, labeling: &Labeling) -> (Self, Vec<usize>) {
+        let universe = session.model().sigma().items();
+        let mut canonical: Vec<(CanonicalPattern, usize)> = union
+            .patterns()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (canonicalize_pattern(p, universe, labeling), i))
+            .collect();
+        canonical.sort_by(|(a, _), (b, _)| a.cmp(b));
+        canonical.dedup_by(|(a, _), (b, _)| a == b);
+        let (patterns, order): (Vec<CanonicalPattern>, Vec<usize>) = canonical.into_iter().unzip();
+        let key = UnitKey {
+            model_key: session.model_key(),
+            patterns,
+        };
+        (key, order)
+    }
+
+    /// Materializes the union to hand to the solver from the member order
+    /// [`UnitKey::new`] computed: the original patterns, reordered into
+    /// canonical order (and with duplicates dropped), so estimates cannot
+    /// depend on the order the query grounding happened to emit.
+    pub fn ordered_union(union: &PatternUnion, order: &[usize]) -> PatternUnion {
+        PatternUnion::new(order.iter().map(|&i| union.patterns()[i].clone()).collect())
+            .expect("canonical order is non-empty: built from a non-empty union")
+    }
+
+    /// A stable FNV-1a hash of the key's content. Identical across
+    /// processes, platforms, and toolchain versions. The model part is
+    /// [`Session::model_key_hash`].
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = model_key_fold(&self.model_key);
+        for (nodes, edges) in &self.patterns {
+            h = fnv1a_extend(h, b"pattern");
+            for node in nodes {
+                h = fnv1a_extend(h, b"node");
+                for &item in node {
+                    h = fnv1a_extend(h, &item.to_le_bytes());
+                }
+            }
+            for &(from, to) in edges {
+                h = fnv1a_extend(h, &(from as u64).to_le_bytes());
+                h = fnv1a_extend(h, &(to as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// Derives the unit's RNG seed from the engine's base seed and the key's
+    /// content hash (finalized with SplitMix64 so that nearby hashes yield
+    /// unrelated seeds). This replaces the old plan-iteration-order salt:
+    /// estimates no longer change when sessions are reordered or grouping is
+    /// toggled.
+    pub fn seed(&self, base_seed: u64) -> u64 {
+        splitmix64(base_seed ^ self.stable_hash())
+    }
+}
+
+/// SplitMix64 finalizer: a specified, stable bijection on `u64` with good
+/// avalanche behaviour.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn canonicalize_pattern(
+    pattern: &Pattern,
+    universe: &[Item],
+    labeling: &Labeling,
+) -> CanonicalPattern {
+    let nodes = pattern
+        .nodes()
+        .iter()
+        .map(|sel| {
+            let mut items = sel.candidates(universe, labeling);
+            items.sort_unstable();
+            items
+        })
+        .collect();
+    (nodes, pattern.edges().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use ppd_patterns::NodeSelector;
+    use ppd_rim::{MallowsModel, Ranking};
+
+    fn session(phi: f64) -> Session {
+        Session::new(
+            vec![Value::from("s")],
+            MallowsModel::new(Ranking::identity(4), phi).unwrap(),
+        )
+    }
+
+    fn labeling() -> Labeling {
+        let mut lab = Labeling::new();
+        for i in 0..4u32 {
+            lab.add(i, i % 2);
+        }
+        lab
+    }
+
+    fn two_label(l: u32, r: u32) -> Pattern {
+        Pattern::two_label(NodeSelector::single(l), NodeSelector::single(r))
+    }
+
+    #[test]
+    fn member_order_does_not_change_the_key() {
+        let s = session(0.5);
+        let lab = labeling();
+        let u1 = PatternUnion::new(vec![two_label(0, 1), two_label(1, 0)]).unwrap();
+        let u2 = PatternUnion::new(vec![two_label(1, 0), two_label(0, 1)]).unwrap();
+        let (k1, o1) = UnitKey::new(&s, &u1, &lab);
+        let (k2, o2) = UnitKey::new(&s, &u2, &lab);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.stable_hash(), k2.stable_hash());
+        assert_eq!(
+            UnitKey::ordered_union(&u1, &o1),
+            UnitKey::ordered_union(&u2, &o2)
+        );
+    }
+
+    #[test]
+    fn duplicate_members_are_merged() {
+        let s = session(0.5);
+        let lab = labeling();
+        let u = PatternUnion::new(vec![two_label(0, 1), two_label(0, 1)]).unwrap();
+        let (_, order) = UnitKey::new(&s, &u, &lab);
+        assert_eq!(UnitKey::ordered_union(&u, &order).num_patterns(), 1);
+    }
+
+    #[test]
+    fn label_ids_with_equal_candidate_sets_share_a_key() {
+        // Label 5 covers exactly the items label 1 covers: selectors over
+        // either are semantically identical, so the keys must collide.
+        let s = session(0.5);
+        let mut lab = labeling();
+        for i in 0..4u32 {
+            if i % 2 == 1 {
+                lab.add(i, 5);
+            }
+        }
+        let (k1, _) = UnitKey::new(&s, &PatternUnion::singleton(two_label(0, 1)).unwrap(), &lab);
+        let (k2, _) = UnitKey::new(&s, &PatternUnion::singleton(two_label(0, 5)).unwrap(), &lab);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn model_and_union_content_split_keys_and_seeds() {
+        let lab = labeling();
+        let u = PatternUnion::singleton(two_label(0, 1)).unwrap();
+        let (k1, _) = UnitKey::new(&session(0.5), &u, &lab);
+        let (k2, _) = UnitKey::new(&session(0.3), &u, &lab);
+        let (k3, _) = UnitKey::new(
+            &session(0.5),
+            &PatternUnion::singleton(two_label(1, 0)).unwrap(),
+            &lab,
+        );
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k1.seed(42), k2.seed(42));
+        assert_ne!(k1.seed(42), k3.seed(42));
+        // The seed depends on the base seed, too.
+        assert_ne!(k1.seed(42), k1.seed(43));
+        // And is a pure function of content.
+        assert_eq!(
+            k1.seed(42),
+            UnitKey::new(&session(0.5), &u, &lab).0.seed(42)
+        );
+    }
+}

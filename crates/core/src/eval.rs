@@ -1,15 +1,12 @@
-//! Evaluation of Boolean conjunctive queries: per-session inference, grouping
-//! of identical requests, and aggregation across sessions.
+//! Evaluation of Boolean conjunctive queries: the user-facing configuration
+//! and the free-function entry points, all routed through the
+//! [`crate::engine::Engine`].
 
 use crate::database::PpdDatabase;
+use crate::engine::Engine;
 use crate::query::ConjunctiveQuery;
-use crate::translate::{ground_query, GroundedSessionQuery};
+use crate::translate::GroundedSessionQuery;
 use crate::Result;
-use ppd_patterns::Pattern;
-use ppd_solvers::{choose_exact_solver, ApproxSolver, ExactSolver, GeneralSolver, MisAmpAdaptive};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Which inference engine to use for the per-session marginal probabilities.
 #[derive(Debug, Clone)]
@@ -33,11 +30,21 @@ pub enum SolverChoice {
 pub struct EvalConfig {
     /// The inference engine.
     pub solver: SolverChoice,
-    /// Whether sessions sharing the same (model, pattern union) are solved
-    /// once and the result reused (Section 6.4).
+    /// Whether sessions sharing the same (model, pattern union) content are
+    /// deduplicated into one work unit, solved once, and cached across
+    /// queries (Section 6.4). Turning this off solves every session
+    /// independently; because RNG seeds derive from work-unit content, the
+    /// answers are identical either way.
     pub group_identical: bool,
-    /// Seed for the approximate solvers' random number generator.
+    /// Base seed for the approximate solvers. Each work unit draws its RNG
+    /// seed from this base combined with the unit's content hash, so
+    /// estimates are reproducible and independent of evaluation order.
     pub seed: u64,
+    /// Worker threads for the evaluation engine: `0` uses one worker per
+    /// available hardware thread, `1` is the serial path, any other value
+    /// is an explicit pool size. Results are bit-identical for every
+    /// setting.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -46,6 +53,7 @@ impl Default for EvalConfig {
             solver: SolverChoice::ExactAuto,
             group_identical: true,
             seed: 42,
+            threads: 0,
         }
     }
 }
@@ -71,18 +79,26 @@ impl EvalConfig {
         self.group_identical = false;
         self
     }
+
+    /// Sets the worker-thread count (`0` = auto, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// Computes, for every qualifying session, the probability that the query
 /// holds in that session. Sessions that cannot satisfy the query are omitted
 /// (their probability is zero).
+///
+/// Constructs a transient [`Engine`] per call; long-running services should
+/// hold an [`Engine`] instead to reuse its cross-query caches.
 pub fn session_probabilities(
     db: &PpdDatabase,
     query: &ConjunctiveQuery,
     config: &EvalConfig,
 ) -> Result<Vec<(usize, f64)>> {
-    let plan = ground_query(db, query)?;
-    session_probabilities_for_plan(db, &plan, config)
+    Engine::new(config.clone()).session_probabilities(db, query)
 }
 
 /// Like [`session_probabilities`] but starting from an already-grounded plan
@@ -92,66 +108,7 @@ pub fn session_probabilities_for_plan(
     plan: &GroundedSessionQuery,
     config: &EvalConfig,
 ) -> Result<Vec<(usize, f64)>> {
-    let prel = db
-        .preference_relation(&plan.prelation)
-        .ok_or_else(|| crate::PpdError::UnknownName(plan.prelation.clone()))?;
-    let mut results = Vec::with_capacity(plan.sessions.len());
-    // Cache keyed by (model content, union content).
-    type GroupKey = ((Vec<u32>, u64), Vec<Pattern>);
-    let mut cache: HashMap<GroupKey, f64> = HashMap::new();
-    for (order, squery) in plan.sessions.iter().enumerate() {
-        let session = &prel.sessions()[squery.session_index];
-        let key: GroupKey = (session.model_key(), squery.union.patterns().to_vec());
-        let cached = if config.group_identical {
-            cache.get(&key).copied()
-        } else {
-            None
-        };
-        let probability = match cached {
-            Some(p) => p,
-            None => {
-                let p = solve_one(
-                    session.model(),
-                    &plan.labeling,
-                    &squery.union,
-                    config,
-                    order as u64,
-                )?;
-                if config.group_identical {
-                    cache.insert(key, p);
-                }
-                p
-            }
-        };
-        results.push((squery.session_index, probability));
-    }
-    Ok(results)
-}
-
-fn solve_one(
-    model: &ppd_rim::MallowsModel,
-    labeling: &ppd_patterns::Labeling,
-    union: &ppd_patterns::PatternUnion,
-    config: &EvalConfig,
-    salt: u64,
-) -> Result<f64> {
-    let p = match &config.solver {
-        SolverChoice::ExactAuto => {
-            let solver = choose_exact_solver(union);
-            solver.solve(&model.to_rim(), labeling, union)?
-        }
-        SolverChoice::GeneralExact => {
-            GeneralSolver::new().solve(&model.to_rim(), labeling, union)?
-        }
-        SolverChoice::Approximate {
-            samples_per_proposal,
-        } => {
-            let solver = MisAmpAdaptive::new(*samples_per_proposal);
-            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(salt));
-            solver.estimate(model, labeling, union, &mut rng)?
-        }
-    };
-    Ok(p.clamp(0.0, 1.0))
+    Engine::new(config.clone()).session_probabilities_for_plan(db, plan)
 }
 
 /// Evaluates a Boolean query: the probability that *some* session satisfies
@@ -161,12 +118,7 @@ pub fn evaluate_boolean(
     query: &ConjunctiveQuery,
     config: &EvalConfig,
 ) -> Result<f64> {
-    let per_session = session_probabilities(db, query, config)?;
-    let mut miss = 1.0;
-    for (_, p) in per_session {
-        miss *= 1.0 - p;
-    }
-    Ok(1.0 - miss)
+    Engine::new(config.clone()).evaluate_boolean(db, query)
 }
 
 #[cfg(test)]
@@ -174,6 +126,7 @@ mod tests {
     use super::*;
     use crate::query::{CompareOp, ConjunctiveQuery, Term as T};
     use crate::testdb::polling_database;
+    use crate::translate::ground_query;
     use ppd_patterns::satisfies_union;
     use ppd_rim::Ranking;
 
@@ -280,6 +233,18 @@ mod tests {
         for (a, b) in auto.iter().zip(&general) {
             assert!((a.1 - b.1).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn approximate_estimates_are_bit_identical_under_grouping_toggle() {
+        // Seeds derive from work-unit content (not plan iteration order), so
+        // disabling grouping must not change a single bit of the estimates.
+        let db = polling_database();
+        let q = q1();
+        let config = EvalConfig::approximate(300);
+        let grouped = session_probabilities(&db, &q, &config).unwrap();
+        let ungrouped = session_probabilities(&db, &q, &config.clone().without_grouping()).unwrap();
+        assert_eq!(grouped, ungrouped);
     }
 
     #[test]

@@ -30,12 +30,17 @@
 //!    [`most_probable_sessions`] ranks sessions (optionally with the
 //!    upper-bound top-k optimization of Section 3.2).
 //!
-//! Identical `(model, pattern union)` pairs across sessions are grouped and
-//! solved once (Section 6.4), which is what makes evaluation over hundreds of
-//! thousands of sessions practical.
+//! Evaluation runs on the [`engine::Engine`]: identical `(model, pattern
+//! union)` instances across sessions — and across queries — are deduplicated
+//! into content-addressed work units (Section 6.4), solved once across a
+//! worker pool, and cached, which is what makes evaluation over hundreds of
+//! thousands of sessions practical. The free functions construct a transient
+//! engine per call; services should hold an [`Engine`] to amortize its
+//! caches and prepared per-model state across queries.
 
 pub mod count;
 pub mod database;
+pub mod engine;
 pub mod eval;
 pub mod query;
 pub mod relation;
@@ -46,6 +51,7 @@ pub mod value;
 
 pub use count::count_sessions;
 pub use database::{DatabaseBuilder, PpdDatabase};
+pub use engine::{BatchAnswer, CacheStats, Engine, PreparedModel, UnitKey, WorkUnit};
 pub use eval::{
     evaluate_boolean, session_probabilities, session_probabilities_for_plan, EvalConfig,
     SolverChoice,

@@ -1,15 +1,21 @@
 //! Most-Probable-Session queries (Section 3.2): the `k` sessions most likely
 //! to satisfy a query, with the upper-bound-driven top-k optimization.
+//!
+//! Both strategies run on the evaluation engine: the naive strategy solves
+//! all full unions as one parallel wave of work units, and the upper-bound
+//! strategy parallelizes its bounding stage the same way before walking the
+//! bounded sessions serially (the early-termination loop is inherently
+//! sequential). Full-union marginals go through the engine's cache, so
+//! repeated top-k queries — or a top-k after a Boolean query — reuse
+//! earlier work.
 
 use crate::database::PpdDatabase;
-use crate::eval::{EvalConfig, SolverChoice};
+use crate::engine::{Engine, UnitRequest};
+use crate::eval::EvalConfig;
 use crate::query::ConjunctiveQuery;
 use crate::translate::ground_query;
 use crate::{PpdError, Result};
-use ppd_patterns::relaxed_upper_bound_union;
-use ppd_solvers::{choose_exact_solver, ApproxSolver, ExactSolver, GeneralSolver, MisAmpAdaptive};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ppd_patterns::{relaxed_upper_bound_union, PatternUnion};
 
 /// Evaluation strategy for `top(Q, k)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,17 +44,27 @@ pub struct SessionScore {
 }
 
 /// Bookkeeping about a top-k evaluation, used by the Figure 8 harness.
+///
+/// Both counters tally the sessions each strategy *requested* an answer for
+/// — the quantity the paper's strategy comparison is about. Since evaluation
+/// runs on the [`Engine`], a request may be served from the engine's
+/// marginal cache (e.g. on a warm engine, or when sessions share a work
+/// unit) without invoking a solver; use [`Engine::cache_stats`] to see how
+/// much inference actually ran.
 #[derive(Debug, Clone, Default)]
 pub struct TopKStats {
-    /// Number of sessions whose probability was evaluated with the full
+    /// Number of sessions whose probability was requested with the full
     /// (non-relaxed) union.
     pub exact_evaluations: usize,
-    /// Number of sessions whose upper bound was computed.
+    /// Number of sessions whose upper bound was requested.
     pub upper_bounds_computed: usize,
 }
 
 /// Evaluates `top(Q, k)`: the `k` sessions with the highest probability of
 /// satisfying `Q`, together with evaluation statistics.
+///
+/// Constructs a transient [`Engine`] per call; hold an [`Engine`] and use
+/// [`Engine::most_probable_sessions`] to reuse caches across queries.
 pub fn most_probable_sessions(
     db: &PpdDatabase,
     query: &ConjunctiveQuery,
@@ -56,67 +72,94 @@ pub fn most_probable_sessions(
     strategy: TopKStrategy,
     config: &EvalConfig,
 ) -> Result<(Vec<SessionScore>, TopKStats)> {
+    Engine::new(config.clone()).most_probable_sessions(db, query, k, strategy)
+}
+
+/// The engine-backed top-k evaluation both [`most_probable_sessions`] and
+/// [`Engine::most_probable_sessions`] delegate to.
+pub(crate) fn most_probable_with_engine(
+    engine: &Engine,
+    db: &PpdDatabase,
+    query: &ConjunctiveQuery,
+    k: usize,
+    strategy: TopKStrategy,
+) -> Result<(Vec<SessionScore>, TopKStats)> {
     let plan = ground_query(db, query)?;
     let prel = db
         .preference_relation(&plan.prelation)
         .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?;
     let mut stats = TopKStats::default();
 
-    let solve_full =
-        |session_index: usize, union: &ppd_patterns::PatternUnion, salt: u64| -> Result<f64> {
-            let model = prel.sessions()[session_index].model();
-            let p = match &config.solver {
-                SolverChoice::ExactAuto => {
-                    choose_exact_solver(union).solve(&model.to_rim(), &plan.labeling, union)?
-                }
-                SolverChoice::GeneralExact => {
-                    GeneralSolver::new().solve(&model.to_rim(), &plan.labeling, union)?
-                }
-                SolverChoice::Approximate {
-                    samples_per_proposal,
-                } => {
-                    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(salt));
-                    MisAmpAdaptive::new(*samples_per_proposal).estimate(
-                        model,
-                        &plan.labeling,
-                        union,
-                        &mut rng,
-                    )?
-                }
-            };
-            Ok(p.clamp(0.0, 1.0))
-        };
+    fn request_for<'a>(
+        prel: &'a crate::session::PreferenceRelation,
+        labeling: &'a ppd_patterns::Labeling,
+        session_index: usize,
+        union: &'a PatternUnion,
+    ) -> UnitRequest<'a> {
+        UnitRequest {
+            session: &prel.sessions()[session_index],
+            labeling,
+            union,
+        }
+    }
 
     let mut scores: Vec<SessionScore> = Vec::new();
     match strategy {
         TopKStrategy::Naive => {
-            for (order, squery) in plan.sessions.iter().enumerate() {
-                let p = solve_full(squery.session_index, &squery.union, order as u64)?;
-                stats.exact_evaluations += 1;
-                scores.push(SessionScore {
+            // One parallel wave over every session's full union.
+            let requests: Vec<UnitRequest<'_>> = plan
+                .sessions
+                .iter()
+                .map(|s| request_for(prel, &plan.labeling, s.session_index, &s.union))
+                .collect();
+            let probabilities = engine.solve_requests(&requests, false)?;
+            stats.exact_evaluations += requests.len();
+            scores = plan
+                .sessions
+                .iter()
+                .zip(probabilities)
+                .map(|(squery, probability)| SessionScore {
                     session_index: squery.session_index,
-                    probability: p,
-                });
-            }
+                    probability,
+                })
+                .collect();
         }
         TopKStrategy::UpperBound { edges_per_pattern } => {
-            // Stage 1: cheap upper bounds from the relaxed unions.
-            let mut bounded: Vec<(usize, f64)> = Vec::with_capacity(plan.sessions.len());
-            for squery in &plan.sessions {
-                let model = prel.sessions()[squery.session_index].model();
-                let relaxed = relaxed_upper_bound_union(
-                    &squery.union,
-                    model.sigma(),
-                    &plan.labeling,
-                    edges_per_pattern,
-                )?;
-                let ub = choose_exact_solver(&relaxed)
-                    .solve(&model.to_rim(), &plan.labeling, &relaxed)?
-                    .clamp(0.0, 1.0);
-                stats.upper_bounds_computed += 1;
-                bounded.push((squery.session_index, ub));
-            }
+            // Stage 1: cheap upper bounds from the relaxed unions, as one
+            // parallel wave. Bounds must be sound, so they are always solved
+            // exactly regardless of the engine's solver choice.
+            let relaxed: Vec<PatternUnion> = plan
+                .sessions
+                .iter()
+                .map(|squery| {
+                    relaxed_upper_bound_union(
+                        &squery.union,
+                        prel.sessions()[squery.session_index].model().sigma(),
+                        &plan.labeling,
+                        edges_per_pattern,
+                    )
+                    .map_err(PpdError::from)
+                })
+                .collect::<Result<_>>()?;
+            let ub_requests: Vec<UnitRequest<'_>> = plan
+                .sessions
+                .iter()
+                .zip(&relaxed)
+                .map(|(squery, union)| {
+                    request_for(prel, &plan.labeling, squery.session_index, union)
+                })
+                .collect();
+            let upper_bounds = engine.solve_requests(&ub_requests, true)?;
+            stats.upper_bounds_computed += upper_bounds.len();
+            let mut bounded: Vec<(usize, f64)> = plan
+                .sessions
+                .iter()
+                .map(|s| s.session_index)
+                .zip(upper_bounds)
+                .collect();
             // Stage 2: exact evaluation in decreasing upper-bound order.
+            // Inherently serial — each solve may prove the answer complete —
+            // but every solve still flows through the engine's unit cache.
             bounded.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             let union_of = |session_index: usize| {
                 plan.sessions
@@ -126,7 +169,9 @@ pub fn most_probable_sessions(
                     .expect("bounded sessions come from the plan")
             };
             for (pos, &(session_index, _ub)) in bounded.iter().enumerate() {
-                let p = solve_full(session_index, union_of(session_index), pos as u64)?;
+                let request =
+                    request_for(prel, &plan.labeling, session_index, union_of(session_index));
+                let p = engine.solve_requests(&[request], false)?[0];
                 stats.exact_evaluations += 1;
                 scores.push(SessionScore {
                     session_index,

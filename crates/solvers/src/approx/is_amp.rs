@@ -30,7 +30,9 @@ pub fn is_amp_estimate(
             total += p / q;
         }
     }
-    Ok(total / n as f64)
+    // Importance weights have unbounded variance in the tails, so the raw
+    // mean can stray above 1; clamp to the valid probability range.
+    Ok((total / n as f64).clamp(0.0, 1.0))
 }
 
 #[cfg(test)]

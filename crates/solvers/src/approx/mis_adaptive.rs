@@ -1,7 +1,7 @@
 //! MIS-AMP-adaptive: repeatedly runs MIS-AMP-lite with more proposal
 //! distributions until the estimate converges (Section 5.5).
 
-use crate::approx::mis_lite::MisAmpLite;
+use crate::approx::mis_lite::{MisAmpLite, ProposalPool};
 use crate::traits::ApproxSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{DecompositionLimits, Labeling, PatternUnion};
@@ -104,11 +104,18 @@ impl MisAmpAdaptive {
         let mut estimate = 0.0;
         let mut rounds = 0;
         let mut converged = false;
+        // The union decomposition and the greedy-modal walk are shared by
+        // every round: build the proposal pool once and draw successively
+        // larger proposal sets from it instead of re-preparing from scratch.
+        let mut pool: Option<ProposalPool> = None;
         while rounds < self.max_rounds.max(1) {
             rounds += 1;
             let lite = self.lite_for(num_proposals);
             let t0 = Instant::now();
-            let prepared = lite.prepare(mallows, labeling, union)?;
+            if pool.is_none() {
+                pool = Some(lite.build_pool(mallows, labeling, union)?);
+            }
+            let prepared = lite.prepare_from_pool(pool.as_mut().expect("pool just built"))?;
             preparation_time += t0.elapsed();
             let t1 = Instant::now();
             estimate = lite.estimate_prepared(mallows, &prepared, rng);

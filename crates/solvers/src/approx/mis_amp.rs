@@ -39,7 +39,9 @@ pub fn mis_amp_estimate(
             }
         }
     }
-    Ok(total / (d * n) as f64)
+    // Importance weights have unbounded variance in the tails, so the raw
+    // mean can stray above 1; clamp to the valid probability range.
+    Ok((total / (d * n) as f64).clamp(0.0, 1.0))
 }
 
 #[cfg(test)]

@@ -83,6 +83,80 @@ impl PreparedProposals {
     }
 }
 
+/// The sample-independent state of MIS-AMP-lite for one `(model, union)`
+/// instance: the union decomposition, the distance-sorted sub-rankings, and
+/// the greedy modals generated so far.
+///
+/// Building the pool (the decomposition) and extending its walk (the greedy
+/// modal search) are the expensive parts of proposal preparation; drawing a
+/// [`PreparedProposals`] for a given proposal count from an existing pool
+/// only replays cheap bookkeeping. [`MisAmpAdaptive`] builds one pool per
+/// instance and reuses it across its rounds of growing proposal counts,
+/// instead of re-decomposing the union every round.
+///
+/// A pool is tied to the `(model, union, modal_cap, limits)` it was built
+/// with; as long as the proposal counts drawn from it never decrease,
+/// [`MisAmpLite::prepare_from_pool`] yields bit-identical proposals to a
+/// fresh [`MisAmpLite::prepare`] with the same configuration (see its
+/// documentation for the precise contract).
+///
+/// [`MisAmpAdaptive`]: crate::MisAmpAdaptive
+#[derive(Debug, Clone)]
+pub struct ProposalPool {
+    sigma: Ranking,
+    phi: f64,
+    modal_cap: usize,
+    /// Sub-rankings sorted by estimated distance from the centre.
+    scored: Vec<(usize, SubRanking)>,
+    /// Total `φ^distance` mass over every sub-ranking.
+    mass_all: f64,
+    /// Number of sub-rankings already consumed by the walk.
+    walked: usize,
+    /// `φ^distance` mass of the walked sub-rankings.
+    mass_selected: f64,
+    /// Modals generated so far: `(modal, sub-ranking, Kendall distance)`.
+    available: Vec<(Ranking, SubRanking, usize)>,
+    /// The union had no satisfiable member.
+    unsatisfiable: bool,
+}
+
+impl ProposalPool {
+    fn phi_pow(&self, d: usize) -> f64 {
+        if d == 0 {
+            1.0
+        } else {
+            self.phi.powi(d as i32)
+        }
+    }
+
+    /// Walks further sub-rankings (in distance order) until at least
+    /// `d_target` modals are available or the decomposition is exhausted,
+    /// keeping `available` sorted by (distance, modal items) so that draws
+    /// can slice the closest `d` without cloning or re-sorting the list.
+    fn extend_to(&mut self, d_target: usize) {
+        let before = self.available.len();
+        while self.available.len() < d_target && self.walked < self.scored.len() {
+            let (dist, psi) = self.scored[self.walked].clone();
+            let modals = greedy_modals(&psi, &self.sigma, self.modal_cap);
+            self.mass_selected += self.phi_pow(dist);
+            self.walked += 1;
+            for modal in modals {
+                let modal_dist = kendall_tau(&modal, &self.sigma);
+                self.available.push((modal, psi.clone(), modal_dist));
+            }
+        }
+        if self.available.len() > before {
+            self.available
+                .sort_by(|(ma, _, da), (mb, _, db)| (da, ma.items()).cmp(&(db, mb.items())));
+        }
+    }
+
+    /// Number of sub-rankings in the full decomposition.
+    pub fn total_subrankings(&self) -> usize {
+        self.scored.len()
+    }
+}
+
 impl MisAmpLite {
     /// Convenience constructor fixing the two main knobs.
     pub fn new(num_proposals: usize, samples_per_proposal: usize) -> Self {
@@ -99,71 +173,85 @@ impl MisAmpLite {
         self
     }
 
-    /// Builds the proposal distributions for the given instance.
-    pub fn prepare(
+    /// Builds the reusable proposal pool for an instance: decomposes the
+    /// union and scores its sub-rankings by estimated distance from the
+    /// centre. The walk that generates greedy modals is performed lazily by
+    /// [`MisAmpLite::prepare_from_pool`].
+    pub fn build_pool(
         &self,
         mallows: &MallowsModel,
         labeling: &Labeling,
         union: &PatternUnion,
-    ) -> Result<PreparedProposals> {
+    ) -> Result<ProposalPool> {
         let universe = mallows.sigma().items();
+        let sigma = mallows.sigma().clone();
+        let phi = mallows.phi();
+        let mut pool = ProposalPool {
+            sigma,
+            phi,
+            modal_cap: self.modal_cap,
+            scored: Vec::new(),
+            mass_all: 0.0,
+            walked: 0,
+            mass_selected: 0.0,
+            available: Vec::new(),
+            unsatisfiable: false,
+        };
         let decomposition = match decompose_union(union, universe, labeling, &self.limits) {
             Ok(d) => d,
             // No member is satisfiable: the probability is exactly zero.
-            Err(PatternError::EmptySelector(_)) => return Ok(PreparedProposals::empty()),
+            Err(PatternError::EmptySelector(_)) => {
+                pool.unsatisfiable = true;
+                return Ok(pool);
+            }
             Err(e) => return Err(e.into()),
         };
-        let sigma = mallows.sigma();
-        let phi = mallows.phi();
-
-        // Sort sub-rankings by estimated distance from the centre.
-        let mut scored: Vec<(usize, &SubRanking)> = decomposition
+        let mut scored: Vec<(usize, SubRanking)> = decomposition
             .subrankings
-            .iter()
-            .map(|psi| (approximate_distance(psi, sigma), psi))
+            .into_iter()
+            .map(|psi| (approximate_distance(&psi, &pool.sigma), psi))
             .collect();
-        scored.sort_by_key(|&(dist, psi)| (dist, psi.items().to_vec()));
+        scored.sort_by(|(da, pa), (db, pb)| (da, pa.items()).cmp(&(db, pb.items())));
+        pool.mass_all = scored.iter().map(|&(d, _)| pool.phi_pow(d)).sum();
+        pool.scored = scored;
+        Ok(pool)
+    }
 
-        let phi_pow = |d: usize| -> f64 {
-            if d == 0 {
-                1.0
-            } else {
-                phi.powi(d as i32)
-            }
-        };
-        let mass_all: f64 = scored.iter().map(|&(d, _)| phi_pow(d)).sum();
-
-        // Walk the sub-rankings in order of increasing distance, generating
-        // greedy modals, until enough modals are available.
-        let d_target = self.num_proposals.max(1);
-        let mut available: Vec<(Ranking, SubRanking, usize)> = Vec::new();
-        let mut mass_selected_sub = 0.0;
-        let mut selected_subrankings = 0usize;
-        for &(dist, psi) in &scored {
-            if available.len() >= d_target {
-                break;
-            }
-            let modals = greedy_modals(psi, sigma, self.modal_cap);
-            mass_selected_sub += phi_pow(dist);
-            selected_subrankings += 1;
-            for modal in modals {
-                let modal_dist = kendall_tau(&modal, sigma);
-                available.push((modal, psi.clone(), modal_dist));
-            }
+    /// Draws the proposal distributions for this configuration's
+    /// `num_proposals` from a pool, extending the pool's greedy-modal walk as
+    /// needed, reusing the decomposition and every modal generated by
+    /// earlier draws.
+    ///
+    /// Bit-identical with a fresh [`MisAmpLite::prepare`] **as long as the
+    /// proposal counts drawn from one pool never decrease** (the adaptive
+    /// solver's access pattern): the walk only ever extends, so a draw with
+    /// a *smaller* count than an earlier one reuses the wider walk and
+    /// yields different (more thoroughly compensated) factors than a fresh
+    /// preparation would.
+    pub fn prepare_from_pool(&self, pool: &mut ProposalPool) -> Result<PreparedProposals> {
+        if pool.unsatisfiable {
+            return Ok(PreparedProposals::empty());
         }
-        if available.is_empty() {
+        let d_target = self.num_proposals.max(1);
+        pool.extend_to(d_target);
+        if pool.available.is_empty() {
             return Ok(PreparedProposals::empty());
         }
 
-        // Keep the d modals closest to the centre.
-        available.sort_by_key(|(modal, _, dist)| (*dist, modal.items().to_vec()));
-        let mass_all_modals: f64 = available.iter().map(|&(_, _, d)| phi_pow(d)).sum();
-        let kept: Vec<(Ranking, SubRanking, usize)> =
-            available.into_iter().take(d_target).collect();
-        let mass_kept_modals: f64 = kept.iter().map(|&(_, _, d)| phi_pow(d)).sum();
+        // Keep the d modals closest to the centre: `available` is sorted by
+        // `extend_to`, so the draw is a prefix slice — only the kept modals
+        // are cloned (to build their samplers), never the whole pool.
+        let mass_all_modals: f64 = pool
+            .available
+            .iter()
+            .map(|&(_, _, d)| pool.phi_pow(d))
+            .sum();
+        let kept: &[(Ranking, SubRanking, usize)] =
+            &pool.available[..d_target.min(pool.available.len())];
+        let mass_kept_modals: f64 = kept.iter().map(|&(_, _, d)| pool.phi_pow(d)).sum();
 
-        let compensation_subrankings = if mass_selected_sub > 0.0 {
-            mass_all / mass_selected_sub
+        let compensation_subrankings = if pool.mass_selected > 0.0 {
+            pool.mass_all / pool.mass_selected
         } else {
             1.0
         };
@@ -175,20 +263,37 @@ impl MisAmpLite {
 
         let mut proposals = Vec::with_capacity(kept.len());
         for (modal, psi, _) in kept {
-            let sampler = AmpSampler::for_subranking(modal, phi, &psi)?;
-            proposals.push((sampler, psi));
+            let sampler = AmpSampler::for_subranking(modal.clone(), pool.phi, psi)?;
+            proposals.push((sampler, psi.clone()));
         }
         Ok(PreparedProposals {
             proposals,
             compensation_subrankings,
             compensation_modals,
-            total_subrankings: scored.len(),
-            selected_subrankings,
+            total_subrankings: pool.scored.len(),
+            selected_subrankings: pool.walked,
         })
     }
 
+    /// Builds the proposal distributions for the given instance.
+    pub fn prepare(
+        &self,
+        mallows: &MallowsModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<PreparedProposals> {
+        let mut pool = self.build_pool(mallows, labeling, union)?;
+        self.prepare_from_pool(&mut pool)
+    }
+
     /// Runs the sampling stage on prepared proposals and returns the
-    /// (optionally compensated) estimate.
+    /// (optionally compensated) estimate, clamped to `[0, 1]`.
+    ///
+    /// The clamp matters: on high-probability unions the pruning
+    /// compensation factors `c_ψ · c_r` can overshoot and push the raw
+    /// estimator above one, which is outside the range of any marginal
+    /// probability. Clamping here (rather than in downstream query
+    /// evaluators) guarantees every caller sees a valid probability.
     pub fn estimate_prepared(
         &self,
         mallows: &MallowsModel,
@@ -220,7 +325,7 @@ impl MisAmpLite {
         if self.compensation {
             estimate *= prepared.compensation_subrankings * prepared.compensation_modals;
         }
-        estimate
+        estimate.clamp(0.0, 1.0)
     }
 }
 
@@ -344,6 +449,68 @@ mod tests {
         let est_with = with.estimate_prepared(&model, &prepared, &mut rng);
         let est_without = without.estimate_prepared(&model, &prepared, &mut rng2);
         assert!(est_with >= est_without);
+    }
+
+    #[test]
+    fn pool_based_preparation_matches_fresh_preparation() {
+        let model = mallows(6, 0.4);
+        let lab = cyclic_labeling(6, 3);
+        let chain = Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let union = PatternUnion::new(vec![chain, Pattern::two_label(sel(2), sel(1))]).unwrap();
+        let mut pool = MisAmpLite::default()
+            .build_pool(&model, &lab, &union)
+            .unwrap();
+        // Growing proposal counts, as the adaptive solver requests them.
+        for d in [1usize, 3, 6, 12] {
+            let lite = MisAmpLite::new(d, 200);
+            let fresh = lite.prepare(&model, &lab, &union).unwrap();
+            let pooled = lite.prepare_from_pool(&mut pool).unwrap();
+            assert_eq!(fresh.num_proposals(), pooled.num_proposals());
+            assert_eq!(
+                fresh.compensation_subrankings,
+                pooled.compensation_subrankings
+            );
+            assert_eq!(fresh.compensation_modals, pooled.compensation_modals);
+            assert_eq!(fresh.total_subrankings, pooled.total_subrankings);
+            assert_eq!(fresh.selected_subrankings, pooled.selected_subrankings);
+            let mut rng_fresh = StdRng::seed_from_u64(99);
+            let mut rng_pooled = StdRng::seed_from_u64(99);
+            let est_fresh = lite.estimate_prepared(&model, &fresh, &mut rng_fresh);
+            let est_pooled = lite.estimate_prepared(&model, &pooled, &mut rng_pooled);
+            assert_eq!(est_fresh, est_pooled);
+        }
+    }
+
+    #[test]
+    fn pruning_compensation_overshoot_is_clamped() {
+        // A (near-)certain union estimated with a single kept proposal: the
+        // pruning compensation factors `c_ψ · c_r` overshoot and the raw
+        // estimator exceeds 1, which is why the solver clamps. (PR 1's
+        // agreement tests dodge this case by using a proposal budget large
+        // enough that nothing is pruned.)
+        let model = mallows(6, 0.8);
+        let lab = cyclic_labeling(6, 2);
+        let union = PatternUnion::new(vec![
+            Pattern::two_label(sel(0), sel(1)),
+            Pattern::two_label(sel(1), sel(0)),
+        ])
+        .unwrap();
+        let solver = MisAmpLite::new(1, 400);
+        let prepared = solver.prepare(&model, &lab, &union).unwrap();
+        let mut rng_nc = StdRng::seed_from_u64(13);
+        let uncompensated =
+            solver
+                .clone()
+                .without_compensation()
+                .estimate_prepared(&model, &prepared, &mut rng_nc);
+        let raw = uncompensated * prepared.compensation_subrankings * prepared.compensation_modals;
+        assert!(
+            raw > 1.0,
+            "expected the compensated estimator to overshoot, got {raw}"
+        );
+        let mut rng = StdRng::seed_from_u64(13);
+        let clamped = solver.estimate_prepared(&model, &prepared, &mut rng);
+        assert_eq!(clamped, 1.0, "overshoot must be clamped to 1");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::traits::ExactSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{Labeling, NodeSelector, PatternUnion, UnionClass};
 use ppd_rim::RimModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Exact solver for unions of bipartite patterns (Algorithm 4).
 ///
@@ -154,7 +154,7 @@ fn compile(rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<
 
 /// Min/max positions of the tracked entries (`None` = no witness inserted
 /// yet, or the entry is no longer tracked by this state).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct Positions {
     alpha: Vec<Option<u32>>,
     beta: Vec<Option<u32>>,
@@ -223,7 +223,7 @@ impl Positions {
 
 /// State of the pruning DP: positions plus the per-pattern sets of still
 /// uncertain edges.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct PrunedState {
     positions: Positions,
     /// `(pattern index, indices into that pattern's edge list)` for patterns
@@ -275,7 +275,10 @@ impl BipartiteSolver {
             .enumerate()
             .map(|(p, edges)| (p as u16, (0..edges.len() as u8).collect()))
             .collect();
-        let mut states: HashMap<PrunedState, f64> = HashMap::new();
+        // BTreeMap, not HashMap: deterministic iteration fixes the float
+        // summation order, making the result bit-reproducible across calls
+        // (the evaluation engine's determinism contract relies on this).
+        let mut states: BTreeMap<PrunedState, f64> = BTreeMap::new();
         states.insert(
             PrunedState {
                 positions: Positions::empty(c.l_selectors.len(), c.r_selectors.len()),
@@ -286,7 +289,7 @@ impl BipartiteSolver {
         let mut satisfied_mass = 0.0;
 
         for i in 0..m {
-            let mut next: HashMap<PrunedState, f64> = HashMap::with_capacity(states.len());
+            let mut next: BTreeMap<PrunedState, f64> = BTreeMap::new();
             for (state, prob) in &states {
                 // Entries needed by this state's uncertain edges.
                 let mut track_l = vec![false; c.l_selectors.len()];
@@ -386,13 +389,13 @@ impl BipartiteSolver {
         let m = rim.num_items();
         let all_l = vec![true; c.l_selectors.len()];
         let all_r = vec![true; c.r_selectors.len()];
-        let mut states: HashMap<Positions, f64> = HashMap::new();
+        let mut states: BTreeMap<Positions, f64> = BTreeMap::new();
         states.insert(
             Positions::empty(c.l_selectors.len(), c.r_selectors.len()),
             1.0,
         );
         for i in 0..m {
-            let mut next: HashMap<Positions, f64> = HashMap::with_capacity(states.len());
+            let mut next: BTreeMap<Positions, f64> = BTreeMap::new();
             for (state, prob) in &states {
                 for j in 0..=i {
                     let new_state =

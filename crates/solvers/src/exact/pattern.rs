@@ -25,7 +25,7 @@ use crate::traits::ExactSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{satisfies_pattern, Labeling, Pattern, PatternError, PatternUnion};
 use ppd_rim::{Item, Ranking, RimModel};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Exact single-pattern solver (the LTM substitute).
 #[derive(Debug, Clone, Default)]
@@ -98,7 +98,10 @@ impl PatternSolver {
         // A state is the sequence of placed relevant items with their current
         // absolute positions, ordered by position.
         type State = Vec<(Item, u32)>;
-        let mut states: HashMap<State, f64> = HashMap::new();
+        // BTreeMap, not HashMap: deterministic iteration fixes the float
+        // summation order, making the result bit-reproducible across calls
+        // (the evaluation engine's determinism contract relies on this).
+        let mut states: BTreeMap<State, f64> = BTreeMap::new();
         states.insert(Vec::new(), 1.0);
         let mut satisfied_mass = 0.0;
 
@@ -113,7 +116,7 @@ impl PatternSolver {
         #[allow(clippy::needless_range_loop)]
         for i in 0..m {
             let item = rim.sigma().item_at(i);
-            let mut next: HashMap<State, f64> = HashMap::with_capacity(states.len());
+            let mut next: BTreeMap<State, f64> = BTreeMap::new();
             for (state, prob) in &states {
                 for j in 0..=i {
                     let p_new = prob * rim.insertion_prob(i, j);

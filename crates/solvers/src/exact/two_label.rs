@@ -15,7 +15,7 @@ use crate::traits::ExactSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{Labeling, NodeSelector, PatternUnion, UnionClass};
 use ppd_rim::RimModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Exact solver for unions of two-label patterns (Algorithm 3).
 ///
@@ -45,7 +45,7 @@ impl TwoLabelSolver {
 /// A DP state: minimum positions of L-selectors and maximum positions of
 /// R-selectors among the items inserted so far (`None` = no matching item
 /// inserted yet). Positions are 0-based.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct State {
     alpha: Vec<Option<u32>>,
     beta: Vec<Option<u32>>,
@@ -184,10 +184,13 @@ impl ExactSolver for TwoLabelSolver {
             .collect();
 
         // DP over insertions, tracking only the violating states.
-        let mut states: HashMap<State, f64> = HashMap::new();
+        // BTreeMap, not HashMap: deterministic iteration fixes the float
+        // summation order, making the result bit-reproducible across calls
+        // (the evaluation engine's determinism contract relies on this).
+        let mut states: BTreeMap<State, f64> = BTreeMap::new();
         states.insert(State::empty(l_selectors.len(), r_selectors.len()), 1.0);
         for i in 0..m {
-            let mut next: HashMap<State, f64> = HashMap::with_capacity(states.len() * (i + 1));
+            let mut next: BTreeMap<State, f64> = BTreeMap::new();
             for (state, prob) in &states {
                 for j in 0..=i {
                     let new_state = state.insert(j as u32, &match_l[i], &match_r[i]);

@@ -36,18 +36,27 @@
 //!   and modals, then compensates for the pruned probability mass
 //!   (Section 5.5).
 //! * [`MisAmpAdaptive`] — repeatedly calls MIS-AMP-lite with more proposal
-//!   distributions until the estimate converges.
+//!   distributions until the estimate converges, reusing one [`ProposalPool`]
+//!   (the decomposition and greedy-modal walk) across rounds.
+//!
+//! ## Unified dispatch
+//!
+//! * [`SolverKind`] — one object-safe, `Send + Sync` handle over both solver
+//!   families, with a seeded entry point whose result depends only on the
+//!   instance and the seed — the determinism contract the parallel
+//!   evaluation engine in `ppd-core` relies on.
 
 pub mod approx;
 pub mod budget;
 pub mod exact;
+pub mod kind;
 pub mod select;
 pub mod traits;
 
 pub use approx::is_amp::is_amp_estimate;
 pub use approx::mis_adaptive::{AdaptiveOutcome, MisAmpAdaptive};
 pub use approx::mis_amp::mis_amp_estimate;
-pub use approx::mis_lite::{MisAmpLite, PreparedProposals};
+pub use approx::mis_lite::{MisAmpLite, PreparedProposals, ProposalPool};
 pub use approx::rejection::RejectionSampler;
 pub use budget::Budget;
 pub use exact::bipartite::BipartiteSolver;
@@ -55,6 +64,7 @@ pub use exact::brute::BruteForceSolver;
 pub use exact::general::GeneralSolver;
 pub use exact::pattern::PatternSolver;
 pub use exact::two_label::TwoLabelSolver;
+pub use kind::SolverKind;
 pub use select::choose_exact_solver;
 pub use traits::{ApproxSolver, ExactSolver};
 

@@ -7,7 +7,12 @@ use rand::RngCore;
 
 /// An exact solver for the marginal probability of a pattern union over a
 /// labeled RIM model (Eq. 2 of the paper).
-pub trait ExactSolver {
+///
+/// Solvers are required to be `Send + Sync` so that a single boxed handle can
+/// be shared by the worker threads of a parallel evaluation engine; every
+/// solver in this crate is a plain configuration struct, so the bound is
+/// free.
+pub trait ExactSolver: Send + Sync {
     /// A short, stable identifier used in logs and experiment outputs.
     fn name(&self) -> &'static str;
 
@@ -20,7 +25,10 @@ pub trait ExactSolver {
 /// exploits Mallows structure — distance-based probabilities and the AMP
 /// posterior sampler — so the approximate interface takes a Mallows model
 /// rather than a general RIM.)
-pub trait ApproxSolver {
+///
+/// Like [`ExactSolver`], approximate solvers must be `Send + Sync` so they
+/// can be dispatched across evaluation worker threads.
+pub trait ApproxSolver: Send + Sync {
     /// A short, stable identifier used in logs and experiment outputs.
     fn name(&self) -> &'static str;
 

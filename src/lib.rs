@@ -15,7 +15,8 @@
 //! * [`solvers`] — the exact (two-label, bipartite, general) and approximate
 //!   (rejection, IS-AMP, MIS-AMP-lite/adaptive) solvers;
 //! * [`core`] — the RIM-PPD database, conjunctive queries, and the Boolean /
-//!   Count-Session / Most-Probable-Session evaluators;
+//!   Count-Session / Most-Probable-Session evaluators, all running on the
+//!   parallel, cache-backed [`core::engine::Engine`];
 //! * [`datagen`] — generators for the paper's experimental datasets.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
@@ -30,9 +31,9 @@ pub use ppd_solvers as solvers;
 /// Commonly used types, re-exported flat for convenience.
 pub mod prelude {
     pub use ppd_core::{
-        count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities, CompareOp,
-        ConjunctiveQuery, DatabaseBuilder, EvalConfig, PpdDatabase, PreferenceRelation, Relation,
-        Session, SolverChoice, Term, TopKStrategy, Value,
+        count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities,
+        BatchAnswer, CompareOp, ConjunctiveQuery, DatabaseBuilder, Engine, EvalConfig, PpdDatabase,
+        PreferenceRelation, Relation, Session, SolverChoice, Term, TopKStrategy, Value,
     };
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};

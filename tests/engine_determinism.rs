@@ -1,0 +1,231 @@
+//! Determinism contract of the parallel evaluation engine: for every solver
+//! choice, `session_probabilities` must be **bit-identical** across
+//! - thread counts (`1`, `4`, and `0` = auto),
+//! - grouping on/off, and
+//! - session order in the p-relation,
+//!
+//! and repeated evaluation through one engine (cache hits) must return the
+//! same bits as the first evaluation.
+
+use ppd::prelude::*;
+use ppd_datagen::{polls_database, PollsConfig};
+
+fn db() -> PpdDatabase {
+    polls_database(&PollsConfig {
+        num_candidates: 8,
+        num_voters: 40,
+        seed: 11,
+    })
+}
+
+/// Q1 of the paper on the synthetic Polls data: a female candidate preferred
+/// to a male candidate.
+fn query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("f-over-m")
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::var("c1"),
+            Term::var("c2"),
+        )
+        .atom(
+            "Candidates",
+            vec![
+                Term::var("c1"),
+                Term::any(),
+                Term::val("F"),
+                Term::any(),
+                Term::any(),
+                Term::any(),
+            ],
+        )
+        .atom(
+            "Candidates",
+            vec![
+                Term::var("c2"),
+                Term::any(),
+                Term::val("M"),
+                Term::any(),
+                Term::any(),
+                Term::any(),
+            ],
+        )
+}
+
+fn solver_choices() -> Vec<(&'static str, SolverChoice)> {
+    vec![
+        ("exact-auto", SolverChoice::ExactAuto),
+        ("general-exact", SolverChoice::GeneralExact),
+        (
+            "approximate",
+            SolverChoice::Approximate {
+                samples_per_proposal: 150,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn results_are_bit_identical_across_threads_and_grouping() {
+    let db = db();
+    let q = query();
+    for (name, solver) in solver_choices() {
+        let reference = session_probabilities(
+            &db,
+            &q,
+            &EvalConfig {
+                solver: solver.clone(),
+                ..EvalConfig::default()
+            }
+            .with_threads(1),
+        )
+        .unwrap();
+        assert!(!reference.is_empty());
+        for threads in [1usize, 4, 0] {
+            for grouping in [true, false] {
+                let mut config = EvalConfig {
+                    solver: solver.clone(),
+                    ..EvalConfig::default()
+                }
+                .with_threads(threads);
+                if !grouping {
+                    config = config.without_grouping();
+                }
+                let run = session_probabilities(&db, &q, &config).unwrap();
+                assert_eq!(
+                    reference, run,
+                    "{name}: threads={threads} grouping={grouping} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn results_are_bit_identical_under_session_reordering() {
+    // Build the same p-relation content in reversed session order: each
+    // session's probability must not move by a single bit, because RNG seeds
+    // derive from work-unit content rather than plan iteration order.
+    let forward = db();
+    let prel = forward.preference_relation("Polls").unwrap();
+    let reversed_sessions: Vec<Session> = prel.sessions().iter().rev().cloned().collect();
+    let n = reversed_sessions.len();
+    let reversed_prel =
+        PreferenceRelation::new("Polls", prel.session_columns().to_vec(), reversed_sessions)
+            .unwrap();
+    let builder = DatabaseBuilder::new()
+        .item_relation(forward.item_relation().clone(), "candidate")
+        .relation(forward.relation("Voters").unwrap().clone());
+    let reversed = builder.preference_relation(reversed_prel).build().unwrap();
+
+    let q = query();
+    for (name, solver) in solver_choices() {
+        let config = EvalConfig {
+            solver,
+            ..EvalConfig::default()
+        };
+        let fwd = session_probabilities(&forward, &q, &config).unwrap();
+        let rev = session_probabilities(&reversed, &q, &config).unwrap();
+        assert_eq!(fwd.len(), rev.len(), "{name}");
+        for &(idx, p) in &fwd {
+            let mirrored = n - 1 - idx;
+            let &(_, p_rev) = rev
+                .iter()
+                .find(|&&(i, _)| i == mirrored)
+                .unwrap_or_else(|| panic!("{name}: session {mirrored} missing"));
+            assert_eq!(
+                p.to_bits(),
+                p_rev.to_bits(),
+                "{name}: session {idx} diverged under reordering"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_cache_hits_return_the_first_run_bits() {
+    let db = db();
+    let q = query();
+    for (name, solver) in solver_choices() {
+        let engine = Engine::new(EvalConfig {
+            solver,
+            ..EvalConfig::default()
+        });
+        let first = engine.session_probabilities(&db, &q).unwrap();
+        let second = engine.session_probabilities(&db, &q).unwrap();
+        assert_eq!(first, second, "{name}: cached rerun diverged");
+        let stats = engine.cache_stats();
+        assert!(stats.marginal_hits > 0, "{name}: no cache hits recorded");
+    }
+}
+
+#[test]
+fn topk_strategies_agree_on_the_engine_for_every_thread_count() {
+    let db = db();
+    let q = query();
+    let k = 5;
+    let reference = most_probable_sessions(
+        &db,
+        &q,
+        k,
+        TopKStrategy::Naive,
+        &EvalConfig::exact().with_threads(1),
+    )
+    .unwrap()
+    .0;
+    for threads in [1usize, 4, 0] {
+        let config = EvalConfig::exact().with_threads(threads);
+        let (naive, _) = most_probable_sessions(&db, &q, k, TopKStrategy::Naive, &config).unwrap();
+        let (bounded, stats) = most_probable_sessions(
+            &db,
+            &q,
+            k,
+            TopKStrategy::UpperBound {
+                edges_per_pattern: 2,
+            },
+            &config,
+        )
+        .unwrap();
+        assert_eq!(
+            naive, reference,
+            "naive top-k diverged at threads={threads}"
+        );
+        assert_eq!(naive.len(), bounded.len());
+        for (a, b) in naive.iter().zip(&bounded) {
+            assert_eq!(a.session_index, b.session_index);
+            assert_eq!(
+                a.probability.to_bits(),
+                b.probability.to_bits(),
+                "upper-bound top-k diverged at threads={threads}"
+            );
+        }
+        assert!(stats.upper_bounds_computed > 0);
+    }
+}
+
+#[test]
+fn batch_answers_match_single_query_answers_bitwise() {
+    let db = db();
+    let q = query();
+    let q2 = ConjunctiveQuery::new("cand0-over-cand1").prefer(
+        "Polls",
+        vec![Term::any(), Term::any()],
+        Term::val("cand0"),
+        Term::val("cand1"),
+    );
+    for threads in [1usize, 0] {
+        let engine = Engine::new(EvalConfig::exact().with_threads(threads));
+        let answers = engine
+            .evaluate_batch(&db, &[q.clone(), q2.clone()])
+            .unwrap();
+        let solo = Engine::new(EvalConfig::exact().with_threads(threads));
+        assert_eq!(
+            answers[0].session_probabilities,
+            solo.session_probabilities(&db, &q).unwrap()
+        );
+        assert_eq!(
+            answers[1].session_probabilities,
+            solo.session_probabilities(&db, &q2).unwrap()
+        );
+    }
+}
