@@ -1,0 +1,193 @@
+//! Cache churn: hit rate, eviction behaviour, and persistence costs of the
+//! engine's sharded marginal cache under repeated traffic.
+//!
+//! A long-lived service replays overlapping queries against one engine; this
+//! harness models that as R rounds of the same Polls workload per engine and
+//! sweeps the cache configuration:
+//!
+//! * shard count 1 vs. 16 (the lock-granularity knob),
+//! * capacity unbounded, half the working set, and a tiny bound (the LRU
+//!   eviction knob — a cyclic scan over a working set larger than the
+//!   capacity is LRU's worst case, so the bounded rows show the floor, not
+//!   the typical, hit rate),
+//!
+//! verifying that every configuration produces bit-identical probabilities,
+//! then measures the persistence path: snapshot save, cold-process load,
+//! and a warm-started replay that must be served entirely from the
+//! snapshot. Writes `bench_results/cache_churn.json`.
+//!
+//! Environment: `PPD_SCALE` (`small`/`paper`), `PPD_VOTERS`,
+//! `PPD_CANDIDATES`, `PPD_ROUNDS` overrides.
+
+use ppd_bench::{env_usize, timed, write_results, Scale};
+use ppd_core::{CacheCapacity, Engine, EvalConfig, SolverChoice};
+use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+
+fn capacity_label(capacity: CacheCapacity) -> String {
+    match capacity {
+        CacheCapacity::Unbounded => "unbounded".into(),
+        CacheCapacity::Entries(n) => format!("{n} entries"),
+        CacheCapacity::Bytes(b) => format!("{b} bytes"),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_voters = env_usize("PPD_VOTERS").unwrap_or_else(|| scale.pick(120, 1000));
+    let num_candidates = env_usize("PPD_CANDIDATES").unwrap_or_else(|| scale.pick(10, 16));
+    let rounds = env_usize("PPD_ROUNDS").unwrap_or(3);
+    let db = polls_database(&PollsConfig {
+        num_candidates,
+        num_voters,
+        seed: 2016,
+    });
+    let q = polls_q1_query();
+    let solver = SolverChoice::Approximate {
+        samples_per_proposal: 200,
+    };
+
+    let base = || EvalConfig {
+        solver: solver.clone(),
+        ..EvalConfig::default()
+    };
+    let working_set = Engine::new(base())
+        .plan_units(&db, &q)
+        .expect("plan units")
+        .len();
+    println!(
+        "cache_churn: {num_voters} voters × {num_candidates} candidates, \
+         working set {working_set} units, {rounds} rounds per engine\n"
+    );
+
+    let capacities = [
+        CacheCapacity::Unbounded,
+        CacheCapacity::Entries(working_set.div_ceil(2).max(1)),
+        CacheCapacity::Entries(8),
+    ];
+    let shard_counts = [1usize, 16];
+
+    let mut reference: Option<Vec<(usize, f64)>> = None;
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        for &capacity in &capacities {
+            let engine = Engine::new(
+                base()
+                    .with_cache_shards(shards)
+                    .with_cache_capacity(capacity),
+            );
+            let mut round_records = Vec::new();
+            let mut last = (0u64, 0u64, 0u64); // hits, misses, evictions
+            let mut total_ms = 0.0;
+            let mut steady_hit_rate = 0.0;
+            for round in 0..rounds {
+                let (result, elapsed) = timed(|| engine.session_probabilities(&db, &q));
+                let result = result.expect("evaluation succeeds");
+                match &reference {
+                    None => reference = Some(result),
+                    Some(expected) => assert_eq!(
+                        expected, &result,
+                        "shards={shards} capacity={capacity:?} round={round} \
+                         is not bit-identical to the first configuration"
+                    ),
+                }
+                let stats = engine.cache_stats();
+                let now = (
+                    stats.marginal_hits,
+                    stats.marginal_misses,
+                    stats.marginal_evictions,
+                );
+                let (hits, misses, evictions) = (now.0 - last.0, now.1 - last.1, now.2 - last.2);
+                last = now;
+                total_ms += elapsed.as_secs_f64() * 1e3;
+                steady_hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+                round_records.push(serde_json::json!({
+                    "round": round,
+                    "wall_clock_ms": elapsed.as_secs_f64() * 1e3,
+                    "hits": hits,
+                    "misses": misses,
+                    "evictions": evictions,
+                    "hit_rate": steady_hit_rate,
+                }));
+            }
+            let stats = engine.cache_stats();
+            rows.push(vec![
+                shards.to_string(),
+                capacity_label(capacity),
+                format!("{:.0}%", steady_hit_rate * 100.0),
+                stats.marginal_evictions.to_string(),
+                engine.cached_marginals().to_string(),
+                format!("{total_ms:.1} ms"),
+            ]);
+            records.push(serde_json::json!({
+                "shards": shards,
+                "capacity": capacity_label(capacity),
+                "rounds": round_records,
+                "total_hits": stats.marginal_hits,
+                "total_misses": stats.marginal_misses,
+                "total_evictions": stats.marginal_evictions,
+                "resident_entries": engine.cached_marginals(),
+            }));
+        }
+    }
+    ppd_bench::print_table(
+        &[
+            "shards",
+            "capacity",
+            "steady hit rate",
+            "evictions",
+            "resident",
+            "total wall-clock",
+        ],
+        &rows,
+    );
+
+    // Persistence: snapshot a warm engine, warm-start a cold one, and replay.
+    let warm = Engine::new(base());
+    warm.session_probabilities(&db, &q)
+        .expect("warm run succeeds");
+    let path = std::path::Path::new("bench_results").join("cache_churn.mcache");
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    let (saved, save_elapsed) = timed(|| warm.save_marginals(&path).expect("snapshot saves"));
+    let cold = Engine::new(base());
+    let (loaded, load_elapsed) = timed(|| cold.load_marginals(&path).expect("snapshot loads"));
+    let (replayed, replay_elapsed) = timed(|| cold.session_probabilities(&db, &q));
+    let replayed = replayed.expect("replay succeeds");
+    assert_eq!(
+        reference.as_ref().expect("reference exists"),
+        &replayed,
+        "persistence round-trip is not bit-identical"
+    );
+    let cold_stats = cold.cache_stats();
+    assert_eq!(
+        cold_stats.marginal_misses, 0,
+        "a warm-started engine must serve the identical query without solving"
+    );
+    println!(
+        "\npersistence: saved {saved} entries in {:.1?}, loaded {loaded} in {:.1?}, \
+         replay served {} hits / 0 misses in {:.1?}",
+        save_elapsed, load_elapsed, cold_stats.marginal_hits, replay_elapsed
+    );
+    let _ = std::fs::remove_file(&path);
+
+    write_results(
+        "cache_churn",
+        &serde_json::json!({
+            "experiment": "cache_churn",
+            "num_voters": num_voters,
+            "num_candidates": num_candidates,
+            "working_set_units": working_set,
+            "rounds_per_engine": rounds,
+            "samples_per_proposal": 200,
+            "configurations": records,
+            "persistence": {
+                "entries": saved,
+                "save_ms": save_elapsed.as_secs_f64() * 1e3,
+                "load_ms": load_elapsed.as_secs_f64() * 1e3,
+                "warm_replay_ms": replay_elapsed.as_secs_f64() * 1e3,
+                "warm_replay_hits": cold_stats.marginal_hits,
+                "warm_replay_misses": cold_stats.marginal_misses,
+            },
+        }),
+    );
+}

@@ -14,47 +14,10 @@
 //! * `PPD_VOTERS` / `PPD_CANDIDATES` — explicit overrides (the CI smoke run
 //!   uses a tiny instance this way).
 
-use ppd_bench::{timed, write_results, Scale};
-use ppd_core::{ground_query, ConjunctiveQuery, Engine, EvalConfig, SolverChoice, Term as T};
-use ppd_datagen::{polls_database, PollsConfig};
+use ppd_bench::{env_usize, timed, write_results, Scale};
+use ppd_core::{ground_query, Engine, EvalConfig, SolverChoice};
+use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
 use std::time::Duration;
-
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
-}
-
-fn query() -> ConjunctiveQuery {
-    // Q1 of the paper: a female candidate preferred to a male candidate.
-    ConjunctiveQuery::new("Q1")
-        .prefer(
-            "Polls",
-            vec![T::any(), T::any()],
-            T::var("c1"),
-            T::var("c2"),
-        )
-        .atom(
-            "Candidates",
-            vec![
-                T::var("c1"),
-                T::any(),
-                T::val("F"),
-                T::any(),
-                T::any(),
-                T::any(),
-            ],
-        )
-        .atom(
-            "Candidates",
-            vec![
-                T::var("c2"),
-                T::any(),
-                T::val("M"),
-                T::any(),
-                T::any(),
-                T::any(),
-            ],
-        )
-}
 
 struct Run {
     threads: usize,
@@ -71,7 +34,7 @@ fn main() {
         num_voters,
         seed: 2016,
     });
-    let q = query();
+    let q = polls_q1_query();
     let plan = ground_query(&db, &q).expect("query grounds");
     let sessions = plan.sessions.len();
 

@@ -45,6 +45,12 @@ impl Scale {
     }
 }
 
+/// Reads a `usize` override from the environment (the harnesses' shared
+/// `PPD_VOTERS` / `PPD_CANDIDATES` / `PPD_ROUNDS` knobs).
+pub fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
 /// Times a closure, returning its result and the elapsed wall-clock time.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();

@@ -1,0 +1,365 @@
+//! Size-bounded LRU eviction: the single-shard store underneath the sharded
+//! marginal cache.
+//!
+//! Each [`Shard`] owns a map from work-unit content hash to the values the
+//! solver families produced for that unit, plus an LRU recency index (a
+//! `BTreeMap` from a shard-local monotonic tick to the hash, giving
+//! `O(log n)` touches and `O(log n)` victim selection). Accounting is
+//! per-shard: a global [`CacheCapacity`] is divided evenly across shards at
+//! construction, so shards never coordinate — which is the point of
+//! sharding.
+//!
+//! Eviction drops whole slots (a unit with every fingerprint that was
+//! solved for it) in least-recently-used order. It never changes answers:
+//! an evicted unit is simply re-solved on next demand, and under the
+//! engine's bit-determinism contract the re-solve reproduces the evicted
+//! bits exactly.
+
+use super::SolverFingerprint;
+use std::collections::{BTreeMap, HashMap};
+
+/// Capacity bound of the engine's marginal cache, applied across all shards.
+///
+/// The default is [`CacheCapacity::Unbounded`], which preserves the
+/// grow-forever behaviour the engine had before eviction existed. Bounded
+/// variants turn each shard into an LRU store; the configured budget is
+/// split evenly across shards, and a shard always retains at least its most
+/// recently used slot even if that slot alone exceeds the per-shard budget
+/// (so pathological budgets degrade to "cache of one", never to thrashing
+/// on an uncacheable unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCapacity {
+    /// No bound: the cache grows for the engine's lifetime.
+    Unbounded,
+    /// At most this many cached `(fingerprint, value)` entries in total.
+    Entries(usize),
+    /// Approximately this many bytes of cache heap in total. The accounting
+    /// is an estimate (map-entry overhead plus per-value payload), intended
+    /// for sizing, not exact memory control.
+    Bytes(usize),
+}
+
+impl CacheCapacity {
+    /// The budget one of `shards` shards enforces locally: an even split,
+    /// rounded up so that tiny budgets do not vanish entirely.
+    pub(crate) fn per_shard(self, shards: usize) -> CacheCapacity {
+        let split = |total: usize| total.div_ceil(shards).max(1);
+        match self {
+            CacheCapacity::Unbounded => CacheCapacity::Unbounded,
+            CacheCapacity::Entries(n) => CacheCapacity::Entries(split(n)),
+            CacheCapacity::Bytes(b) => CacheCapacity::Bytes(split(b)),
+        }
+    }
+}
+
+/// Estimated bytes of map + recency-index overhead per slot, used by
+/// [`CacheCapacity::Bytes`] accounting.
+const SLOT_OVERHEAD_BYTES: usize = 96;
+/// Estimated bytes per `(fingerprint, value)` entry within a slot.
+const ENTRY_BYTES: usize = 24;
+
+/// The values cached for one work-unit content hash, plus its LRU tick.
+#[derive(Debug)]
+struct Slot {
+    /// An engine rarely produces more than two fingerprints (its configured
+    /// solver plus auto-exact upper bounds), so a small vector beats a map.
+    values: Vec<(SolverFingerprint, f64)>,
+    /// The recency-index tick currently naming this slot.
+    tick: u64,
+}
+
+/// One independently locked partition of the marginal cache.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    slots: HashMap<u64, Slot>,
+    /// LRU recency index: tick → slot hash. Ticks are shard-local and
+    /// strictly increasing, so the first entry is always the victim.
+    recency: BTreeMap<u64, u64>,
+    tick: u64,
+    /// Current weight in the budget's unit (entries or bytes).
+    weight: usize,
+    budget: CacheCapacity,
+}
+
+impl Shard {
+    pub(crate) fn new(budget: CacheCapacity) -> Self {
+        Shard {
+            slots: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            weight: 0,
+            budget,
+        }
+    }
+
+    /// Fixed weight of a slot's map/recency-index presence, in the budget's
+    /// unit. A slot of `n` entries weighs `slot_overhead + n × entry_weight`
+    /// in total; insert and evict must charge and credit by these same two
+    /// helpers or the running `weight` drifts from the real contents.
+    fn slot_overhead(&self) -> usize {
+        match self.budget {
+            CacheCapacity::Unbounded | CacheCapacity::Entries(_) => 0,
+            CacheCapacity::Bytes(_) => SLOT_OVERHEAD_BYTES,
+        }
+    }
+
+    /// Weight of one `(fingerprint, value)` entry, in the budget's unit.
+    fn entry_weight(&self) -> usize {
+        match self.budget {
+            CacheCapacity::Unbounded | CacheCapacity::Entries(_) => 1,
+            CacheCapacity::Bytes(_) => ENTRY_BYTES,
+        }
+    }
+
+    fn limit(&self) -> Option<usize> {
+        match self.budget {
+            CacheCapacity::Unbounded => None,
+            CacheCapacity::Entries(n) => Some(n),
+            CacheCapacity::Bytes(b) => Some(b),
+        }
+    }
+
+    /// Marks a slot most recently used.
+    fn touch(&mut self, hash: u64) {
+        let slot = self.slots.get_mut(&hash).expect("touched slot exists");
+        self.recency.remove(&slot.tick);
+        self.tick += 1;
+        slot.tick = self.tick;
+        self.recency.insert(self.tick, hash);
+    }
+
+    /// Looks up one `(hash, fingerprint)` value, refreshing recency on a
+    /// slot hit (even when the fingerprint misses: the slot's content was
+    /// demanded, so it is not cold).
+    pub(crate) fn get(&mut self, hash: u64, fingerprint: SolverFingerprint) -> Option<f64> {
+        let found = self.slots.get(&hash).map(|slot| {
+            slot.values
+                .iter()
+                .find(|&&(f, _)| f == fingerprint)
+                .map(|&(_, p)| p)
+        })?;
+        self.touch(hash);
+        found
+    }
+
+    /// Inserts one value, returning the number of entries evicted to stay
+    /// within budget.
+    ///
+    /// Re-inserting an existing `(hash, fingerprint)` keeps the **first**
+    /// value: under the bit-determinism contract a re-solve of the same
+    /// content with the same solver family reproduces the same bits, so a
+    /// differing re-insert can only mean content-hash aliasing (or a stale
+    /// snapshot from a different code version) — `debug_assert` catches
+    /// that in development, and release builds refuse to let cached answers
+    /// mutate behind earlier readers.
+    pub(crate) fn insert(
+        &mut self,
+        hash: u64,
+        fingerprint: SolverFingerprint,
+        probability: f64,
+    ) -> u64 {
+        match self.slots.get_mut(&hash) {
+            Some(slot) => {
+                match slot.values.iter().find(|&&(f, _)| f == fingerprint) {
+                    Some(&(_, existing)) => {
+                        debug_assert_eq!(
+                            existing.to_bits(),
+                            probability.to_bits(),
+                            "marginal cache re-insert changed bits for hash {hash:#018x} / \
+                             {fingerprint:?}: content-hash aliasing or a non-deterministic solver"
+                        );
+                        self.touch(hash);
+                        return 0;
+                    }
+                    None => {
+                        slot.values.push((fingerprint, probability));
+                        self.weight += self.entry_weight();
+                    }
+                }
+                self.touch(hash);
+            }
+            None => {
+                self.tick += 1;
+                self.slots.insert(
+                    hash,
+                    Slot {
+                        values: vec![(fingerprint, probability)],
+                        tick: self.tick,
+                    },
+                );
+                self.recency.insert(self.tick, hash);
+                self.weight += self.slot_overhead() + self.entry_weight();
+            }
+        }
+        self.evict_over_budget()
+    }
+
+    /// Evicts least-recently-used slots until the shard fits its budget,
+    /// always retaining the most recently used slot. Returns entries
+    /// evicted.
+    fn evict_over_budget(&mut self) -> u64 {
+        let Some(limit) = self.limit() else {
+            return 0;
+        };
+        let mut evicted = 0;
+        while self.weight > limit && self.slots.len() > 1 {
+            let (_, victim) = self
+                .recency
+                .pop_first()
+                .expect("recency index tracks every slot");
+            let slot = self.slots.remove(&victim).expect("victim slot exists");
+            self.weight -= self.slot_overhead() + slot.values.len() * self.entry_weight();
+            evicted += slot.values.len() as u64;
+        }
+        evicted
+    }
+
+    /// Number of cached `(fingerprint, value)` entries.
+    pub(crate) fn len_entries(&self) -> usize {
+        self.slots.values().map(|slot| slot.values.len()).sum()
+    }
+
+    /// All cached triples, in unspecified order (the persistence layer
+    /// sorts).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u64, SolverFingerprint, f64)> + '_ {
+        self.slots
+            .iter()
+            .flat_map(|(&hash, slot)| slot.values.iter().map(move |&(f, p)| (hash, f, p)))
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.recency.clear();
+        self.weight = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP: SolverFingerprint = SolverFingerprint::ExactAuto;
+
+    #[test]
+    fn unbounded_shard_never_evicts() {
+        let mut shard = Shard::new(CacheCapacity::Unbounded);
+        for hash in 0..1000u64 {
+            assert_eq!(shard.insert(hash, FP, hash as f64), 0);
+        }
+        assert_eq!(shard.len_entries(), 1000);
+    }
+
+    #[test]
+    fn entry_budget_evicts_least_recently_used() {
+        let mut shard = Shard::new(CacheCapacity::Entries(3));
+        shard.insert(1, FP, 0.1);
+        shard.insert(2, FP, 0.2);
+        shard.insert(3, FP, 0.3);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(shard.get(1, FP), Some(0.1));
+        assert_eq!(shard.insert(4, FP, 0.4), 1);
+        assert_eq!(shard.get(2, FP), None, "victim was the least recently used");
+        assert_eq!(shard.get(1, FP), Some(0.1));
+        assert_eq!(shard.get(3, FP), Some(0.3));
+        assert_eq!(shard.get(4, FP), Some(0.4));
+        assert_eq!(shard.len_entries(), 3);
+    }
+
+    #[test]
+    fn most_recent_slot_survives_a_tiny_budget() {
+        let mut shard = Shard::new(CacheCapacity::Entries(1));
+        shard.insert(1, FP, 0.1);
+        shard.insert(1, SolverFingerprint::GeneralExact, 0.2);
+        // The slot now weighs 2 > budget 1, but it is the sole (hence most
+        // recent) slot and must survive.
+        assert_eq!(shard.len_entries(), 2);
+        shard.insert(2, FP, 0.3);
+        // The overweight old slot goes; the fresh insert stays.
+        assert_eq!(shard.get(1, FP), None);
+        assert_eq!(shard.get(2, FP), Some(0.3));
+    }
+
+    #[test]
+    fn byte_budget_accounts_slot_overhead() {
+        let budget = SLOT_OVERHEAD_BYTES + ENTRY_BYTES; // exactly one slot of one entry
+        let mut shard = Shard::new(CacheCapacity::Bytes(budget));
+        shard.insert(1, FP, 0.1);
+        assert_eq!(shard.len_entries(), 1);
+        shard.insert(2, FP, 0.2);
+        assert_eq!(shard.len_entries(), 1, "byte budget holds one slot");
+        assert_eq!(shard.get(2, FP), Some(0.2));
+    }
+
+    #[test]
+    fn byte_accounting_balances_for_multi_fingerprint_slots() {
+        // A budget of exactly two 2-entry slots (2 × (96 + 2×24)). Charging
+        // and crediting must use the same formula: an earlier version
+        // charged the slot overhead again for every extra fingerprint but
+        // credited it once on eviction, leaking 96 phantom bytes per
+        // evicted multi-entry slot until the shard collapsed to one slot.
+        let budget = 2 * (SLOT_OVERHEAD_BYTES + 2 * ENTRY_BYTES);
+        let mut shard = Shard::new(CacheCapacity::Bytes(budget));
+        for hash in 0..20u64 {
+            shard.insert(hash, FP, 0.5);
+            shard.insert(hash, SolverFingerprint::GeneralExact, 0.25);
+        }
+        assert_eq!(
+            shard.len_entries(),
+            4,
+            "steady state must hold two 2-entry slots, not drift down"
+        );
+        assert_eq!(shard.get(19, FP), Some(0.5));
+        assert_eq!(shard.get(18, SolverFingerprint::GeneralExact), Some(0.25));
+    }
+
+    #[test]
+    fn reinsert_same_bits_keeps_first_and_is_not_an_eviction() {
+        let mut shard = Shard::new(CacheCapacity::Entries(8));
+        shard.insert(1, FP, 0.5);
+        assert_eq!(shard.insert(1, FP, 0.5), 0);
+        assert_eq!(shard.len_entries(), 1);
+        assert_eq!(shard.get(1, FP), Some(0.5));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "re-insert changed bits")]
+    fn reinsert_with_differing_bits_panics_in_debug() {
+        let mut shard = Shard::new(CacheCapacity::Unbounded);
+        shard.insert(1, FP, 0.5);
+        shard.insert(1, FP, 0.25);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn reinsert_with_differing_bits_keeps_first_in_release() {
+        let mut shard = Shard::new(CacheCapacity::Unbounded);
+        shard.insert(1, FP, 0.5);
+        shard.insert(1, FP, 0.25);
+        assert_eq!(shard.get(1, FP), Some(0.5));
+    }
+
+    #[test]
+    fn per_shard_budget_splits_evenly_and_rounds_up() {
+        assert_eq!(
+            CacheCapacity::Entries(16).per_shard(4),
+            CacheCapacity::Entries(4)
+        );
+        assert_eq!(
+            CacheCapacity::Entries(17).per_shard(4),
+            CacheCapacity::Entries(5)
+        );
+        assert_eq!(
+            CacheCapacity::Entries(1).per_shard(16),
+            CacheCapacity::Entries(1)
+        );
+        assert_eq!(
+            CacheCapacity::Bytes(1024).per_shard(8),
+            CacheCapacity::Bytes(128)
+        );
+        assert_eq!(
+            CacheCapacity::Unbounded.per_shard(8),
+            CacheCapacity::Unbounded
+        );
+    }
+}

@@ -1,23 +1,49 @@
-//! Cross-query caches: solved marginals and prepared per-model state.
+//! The engine's cache subsystem: solved marginals and prepared per-model
+//! state.
 //!
 //! Both caches are engine-lifetime (not per-call, as the pre-engine
 //! evaluator's grouping map was), so a long-lived [`Engine`] amortizes work
 //! across every query it serves:
 //!
-//! * the [`MarginalCache`] maps a work-unit key (plus the solver family that
-//!   produced the number) to its marginal probability, so repeated and
-//!   overlapping queries skip inference entirely;
+//! * the [`MarginalCache`] maps a work unit's stable content hash (plus the
+//!   solver family that produced the number) to its marginal probability, so
+//!   repeated and overlapping queries skip inference entirely. It is split
+//!   into three layers:
+//!   - [`sharded`] — the concurrent front: the map is partitioned across N
+//!     independently locked shards ([`EvalConfig::cache_shards`]) so that at
+//!     high thread counts and tiny work units the cache lock is no longer
+//!     the bottleneck a single `Mutex<HashMap>` was;
+//!   - [`eviction`] — each shard is a size-bounded LRU store
+//!     ([`CacheCapacity`]: unbounded by default, or a bound in entries or
+//!     approximate bytes) with per-shard accounting;
+//!   - [`persist`] — opt-in snapshots of the `(content hash, fingerprint,
+//!     f64 bits)` triples in a versioned, endian-stable binary format, so a
+//!     warm cache survives process restarts bit-exactly
+//!     ([`Engine::save_marginals`] / [`Engine::load_marginals`]);
 //! * the [`ModelCache`] holds one [`PreparedModel`] per distinct Mallows
 //!   model, so the `to_rim()` insertion-probability expansion is computed
 //!   once per model instead of once per session.
 //!
+//! Eviction and persistence never change answers: every value is a pure
+//! function of `(unit content, solver fingerprint, engine base seed)` under
+//! the engine's bit-determinism contract, so re-solving an evicted unit
+//! reproduces its bits and a persisted value is valid in any process.
+//!
 //! [`Engine`]: crate::engine::Engine
+//! [`Engine::save_marginals`]: crate::engine::Engine::save_marginals
+//! [`Engine::load_marginals`]: crate::engine::Engine::load_marginals
+//! [`EvalConfig::cache_shards`]: crate::eval::EvalConfig::cache_shards
 
-use crate::engine::unit::UnitKey;
+mod eviction;
+pub(crate) mod persist;
+mod sharded;
+
+pub use eviction::CacheCapacity;
+pub(crate) use sharded::MarginalCache;
+
 use crate::session::Session;
 use ppd_rim::{MallowsModel, RimModel};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which solver algorithm produced a cached marginal. Numbers from
@@ -28,17 +54,29 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// contract (e.g. the top-k optimizer's auto-exact upper bounds landing in
 /// the cache of a `GeneralExact` engine whose relaxed unions equal the full
 /// ones).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The fingerprint is part of the persisted snapshot format (see
+/// [`persist`]), so variants must keep a stable on-disk encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub(crate) enum SolverFingerprint {
     /// The auto-selected exact solver. Deterministic per unit content: the
     /// selection depends only on the union's class.
     ExactAuto,
     /// The inclusion–exclusion general solver.
     GeneralExact,
-    /// The approximate solver with the given sampling budget.
+    /// The approximate solver with the given sampling budget, under the
+    /// given engine base seed. The seed is part of the fingerprint because
+    /// approximate estimates are a function of `(unit content, budget,
+    /// base seed)`: within one engine the seed is constant, but a persisted
+    /// snapshot may be loaded by an engine configured with a different
+    /// seed, and serving the other seed's bits would silently change that
+    /// engine's answers. Exact marginals are seed-independent, so the
+    /// exact variants carry no seed and remain valid across engines.
     Approx {
         /// Samples per proposal distribution.
         samples_per_proposal: usize,
+        /// The engine's [`EvalConfig::seed`](crate::eval::EvalConfig::seed).
+        base_seed: u64,
     },
 }
 
@@ -79,76 +117,21 @@ pub struct CacheStats {
     pub marginal_hits: u64,
     /// Work units that had to be solved.
     pub marginal_misses: u64,
+    /// Cached marginal entries dropped by the LRU eviction policy to stay
+    /// within [`CacheCapacity`]. Zero under the default unbounded capacity.
+    pub marginal_evictions: u64,
+    /// Marginal entries **read** from disk snapshots via
+    /// [`Engine::load_marginals`](crate::engine::Engine::load_marginals).
+    /// Keep-first conflicts with entries already in memory and capacity
+    /// eviction during the load can leave fewer entries resident; compare
+    /// [`Engine::cached_marginals`](crate::engine::Engine::cached_marginals)
+    /// for what actually stuck.
+    pub marginals_loaded: u64,
+    /// Marginal entries written to disk snapshots via
+    /// [`Engine::save_marginals`](crate::engine::Engine::save_marginals).
+    pub marginals_saved: u64,
     /// Distinct models for which prepared state was built.
     pub models_prepared: u64,
-}
-
-/// Engine-lifetime map from work-unit content to solved marginals. An
-/// engine rarely produces more than two fingerprints (its configured solver
-/// plus auto-exact upper bounds), so the per-key entries are a small vector
-/// — which also lets lookups borrow the key instead of deep-cloning it into
-/// a tuple.
-#[derive(Debug, Default)]
-pub(crate) struct MarginalCache {
-    map: Mutex<HashMap<UnitKey, Vec<(SolverFingerprint, f64)>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl MarginalCache {
-    pub(crate) fn get(&self, key: &UnitKey, fingerprint: SolverFingerprint) -> Option<f64> {
-        let found = self
-            .map
-            .lock()
-            .expect("marginal cache poisoned")
-            .get(key)
-            .and_then(|entries| {
-                entries
-                    .iter()
-                    .find(|&&(f, _)| f == fingerprint)
-                    .map(|&(_, p)| p)
-            });
-        match found {
-            Some(p) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(p)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
-    }
-
-    pub(crate) fn insert(&self, key: UnitKey, fingerprint: SolverFingerprint, probability: f64) {
-        let mut map = self.map.lock().expect("marginal cache poisoned");
-        let entries = map.entry(key).or_default();
-        match entries.iter_mut().find(|&&mut (f, _)| f == fingerprint) {
-            Some(entry) => entry.1 = probability,
-            None => entries.push((fingerprint, probability)),
-        }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.map
-            .lock()
-            .expect("marginal cache poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
-    }
-
-    pub(crate) fn clear(&self) {
-        self.map.lock().expect("marginal cache poisoned").clear();
-    }
-
-    pub(crate) fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    pub(crate) fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
 }
 
 /// The model-content key of [`ModelCache`]: [`Session::model_key`].
@@ -230,26 +213,48 @@ mod tests {
         ))
         .unwrap();
         let (key, _) = UnitKey::new(&session(0.4), &union, &lab);
-        let cache = MarginalCache::default();
-        cache.insert(key.clone(), SolverFingerprint::ExactAuto, 0.25);
-        assert_eq!(cache.get(&key, SolverFingerprint::ExactAuto), Some(0.25));
+        let hash = key.stable_hash();
+        let cache = MarginalCache::unbounded();
+        cache.insert(hash, SolverFingerprint::ExactAuto, 0.25);
+        assert_eq!(cache.get(hash, SolverFingerprint::ExactAuto), Some(0.25));
         // Neither a different exact algorithm nor an approximate budget may
         // be served from the auto-exact entry.
-        assert_eq!(cache.get(&key, SolverFingerprint::GeneralExact), None);
+        assert_eq!(cache.get(hash, SolverFingerprint::GeneralExact), None);
         assert_eq!(
             cache.get(
-                &key,
+                hash,
                 SolverFingerprint::Approx {
-                    samples_per_proposal: 100
+                    samples_per_proposal: 100,
+                    base_seed: 42,
+                }
+            ),
+            None
+        );
+        // The same budget under a different engine seed is a different
+        // estimate and must not alias either.
+        cache.insert(
+            hash,
+            SolverFingerprint::Approx {
+                samples_per_proposal: 100,
+                base_seed: 42,
+            },
+            0.5,
+        );
+        assert_eq!(
+            cache.get(
+                hash,
+                SolverFingerprint::Approx {
+                    samples_per_proposal: 100,
+                    base_seed: 7,
                 }
             ),
             None
         );
         assert_eq!(cache.hits(), 1);
-        assert_eq!(cache.misses(), 2);
-        cache.insert(key.clone(), SolverFingerprint::GeneralExact, 0.26);
-        assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&key, SolverFingerprint::ExactAuto), Some(0.25));
-        assert_eq!(cache.get(&key, SolverFingerprint::GeneralExact), Some(0.26));
+        assert_eq!(cache.misses(), 3);
+        cache.insert(hash, SolverFingerprint::GeneralExact, 0.26);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(hash, SolverFingerprint::ExactAuto), Some(0.25));
+        assert_eq!(cache.get(hash, SolverFingerprint::GeneralExact), Some(0.26));
     }
 }

@@ -1,0 +1,303 @@
+//! Disk persistence for the marginal cache: versioned, endian-stable binary
+//! snapshots of the content-addressed `(hash, fingerprint, f64 bits)`
+//! triples.
+//!
+//! Because the keys are stable FNV-1a hashes of work-unit *content* and the
+//! values are bit-deterministic per `(content, fingerprint)`, a snapshot
+//! written by one process is valid in any other — loading is a pure warm
+//! start, never a source of divergence. Everything is written little-endian
+//! via explicit `to_le_bytes`, and probabilities are stored as
+//! `f64::to_bits`, so round-trips are bit-exact across platforms.
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"PPDMCACH"
+//! 8       4     format version, u32 LE (currently 1)
+//! 12      4     solver revision, u32 LE (currently 1)
+//! 16      8     entry count, u64 LE
+//! 24      33×n  entries, sorted by (hash, fingerprint tag, samples, seed):
+//!               hash u64 LE | tag u8 | samples u64 LE | seed u64 LE |
+//!               f64 bits u64 LE
+//! ```
+//!
+//! The **solver revision** versions the numeric semantics the way the
+//! format version versions the layout: any change that moves even
+//! low-order bits of any solver's output (a reordered summation, a new DP
+//! recurrence, an RNG tweak) must bump [`SOLVER_REVISION`]. Without it, a
+//! snapshot from an older binary would be served as hits — the cache is
+//! checked *before* solving, so the insert-path `debug_assert` on
+//! differing bits can never fire for loaded entries — and a warm-started
+//! engine would silently answer with the old binary's bits. A revision
+//! mismatch rejects the snapshot whole, exactly like a layout mismatch.
+//!
+//! Fingerprint tags: `0` = auto-selected exact, `1` = inclusion–exclusion
+//! general exact, `2` = approximate, with its samples-per-proposal budget
+//! in the `samples` field and the engine base seed that produced the
+//! estimate in the `seed` field (both fields are zero for exact tags:
+//! exact marginals are seed-independent and valid under any engine
+//! configuration). Unknown tags and any size mismatch are load errors — a
+//! snapshot is either understood exactly or rejected, never half-read.
+//!
+//! Writes go to a sibling `*.tmp` file first and are renamed into place, so
+//! a crash mid-save cannot corrupt an existing snapshot.
+
+use super::sharded::MarginalCache;
+use super::SolverFingerprint;
+use std::io::{self, Error, ErrorKind};
+use std::path::Path;
+
+/// Magic prefix of a marginal-cache snapshot.
+const MAGIC: [u8; 8] = *b"PPDMCACH";
+/// Current snapshot format version.
+pub(crate) const FORMAT_VERSION: u32 = 1;
+/// Revision of the solvers' numeric semantics (see the module docs). Bump
+/// on any change that alters output bits; old snapshots then reload from
+/// scratch instead of serving stale numbers.
+pub(crate) const SOLVER_REVISION: u32 = 1;
+/// Header size in bytes: magic + format version + solver revision + entry
+/// count.
+const HEADER_BYTES: usize = 8 + 4 + 4 + 8;
+/// Fixed size of one serialized entry.
+const ENTRY_BYTES: usize = 8 + 1 + 8 + 8 + 8;
+
+/// The on-disk encoding of a fingerprint: `(tag, samples, seed)`.
+fn encode_fingerprint(fingerprint: SolverFingerprint) -> (u8, u64, u64) {
+    match fingerprint {
+        SolverFingerprint::ExactAuto => (0, 0, 0),
+        SolverFingerprint::GeneralExact => (1, 0, 0),
+        SolverFingerprint::Approx {
+            samples_per_proposal,
+            base_seed,
+        } => (2, samples_per_proposal as u64, base_seed),
+    }
+}
+
+fn decode_fingerprint(tag: u8, samples: u64, seed: u64) -> io::Result<SolverFingerprint> {
+    match (tag, samples, seed) {
+        (0, 0, 0) => Ok(SolverFingerprint::ExactAuto),
+        (1, 0, 0) => Ok(SolverFingerprint::GeneralExact),
+        (2, s, seed) => Ok(SolverFingerprint::Approx {
+            samples_per_proposal: s as usize,
+            base_seed: seed,
+        }),
+        (0 | 1, ..) => Err(invalid(format!(
+            "exact fingerprint tag {tag} carries non-zero approximate fields"
+        ))),
+        (t, ..) => Err(invalid(format!("unknown solver fingerprint tag {t}"))),
+    }
+}
+
+fn invalid(message: String) -> Error {
+    Error::new(ErrorKind::InvalidData, message)
+}
+
+/// Serializes a cache snapshot and atomically replaces `path` with it.
+/// Returns the number of entries written.
+pub(crate) fn save(cache: &MarginalCache, path: &Path) -> io::Result<u64> {
+    let entries = cache.snapshot();
+    let mut bytes = Vec::with_capacity(HEADER_BYTES + entries.len() * ENTRY_BYTES);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&SOLVER_REVISION.to_le_bytes());
+    bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for &(hash, fingerprint, probability) in &entries {
+        let (tag, samples, seed) = encode_fingerprint(fingerprint);
+        bytes.extend_from_slice(&hash.to_le_bytes());
+        bytes.push(tag);
+        bytes.extend_from_slice(&samples.to_le_bytes());
+        bytes.extend_from_slice(&seed.to_le_bytes());
+        bytes.extend_from_slice(&probability.to_bits().to_le_bytes());
+    }
+    // The scratch name must be unique per writer: `save` can run
+    // concurrently (the engine is `Sync`) and sibling snapshots share a
+    // directory, so a fixed `.tmp` sibling would let two writers interleave
+    // and install a corrupt file under a valid name.
+    static SAVE_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let nonce = SAVE_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(".{}-{nonce}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let written_then_renamed =
+        std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = written_then_renamed {
+        // Clean up on either failure (a full disk leaves a partial tmp
+        // file; the unique names would otherwise accumulate across
+        // retries).
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    let written = entries.len() as u64;
+    cache.record_saved(written);
+    Ok(written)
+}
+
+/// Loads a snapshot into the cache (keep-first on conflicts with entries
+/// already present, honouring the cache's capacity). Returns the number of
+/// entries read from the file.
+pub(crate) fn load(cache: &MarginalCache, path: &Path) -> io::Result<u64> {
+    let bytes = std::fs::read(path)?;
+    let entries = parse(&bytes)?;
+    let count = entries.len() as u64;
+    cache.absorb(entries);
+    Ok(count)
+}
+
+/// Parses and fully validates a snapshot body.
+fn parse(bytes: &[u8]) -> io::Result<Vec<(u64, SolverFingerprint, f64)>> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(invalid(format!(
+            "snapshot is {} bytes, smaller than the {HEADER_BYTES}-byte header",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(invalid("not a marginal-cache snapshot (bad magic)".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(invalid(format!(
+            "snapshot format version {version} is not the supported {FORMAT_VERSION}"
+        )));
+    }
+    let solver_revision = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if solver_revision != SOLVER_REVISION {
+        return Err(invalid(format!(
+            "snapshot solver revision {solver_revision} is not the current {SOLVER_REVISION}: \
+             the saving binary's solvers produced different bits, so serving its entries \
+             would break warm-start determinism"
+        )));
+    }
+    let count = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+    let expected = HEADER_BYTES + count * ENTRY_BYTES;
+    if bytes.len() != expected {
+        return Err(invalid(format!(
+            "snapshot declares {count} entries ({expected} bytes) but is {} bytes",
+            bytes.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for record in bytes[HEADER_BYTES..].chunks_exact(ENTRY_BYTES) {
+        let hash = u64::from_le_bytes(record[0..8].try_into().expect("8 bytes"));
+        let tag = record[8];
+        let samples = u64::from_le_bytes(record[9..17].try_into().expect("8 bytes"));
+        let seed = u64::from_le_bytes(record[17..25].try_into().expect("8 bytes"));
+        let bits = u64::from_le_bytes(record[25..33].try_into().expect("8 bytes"));
+        entries.push((
+            hash,
+            decode_fingerprint(tag, samples, seed)?,
+            f64::from_bits(bits),
+        ));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::eviction::CacheCapacity;
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ppd-persist-{}-{name}.mcache", std::process::id()));
+        path
+    }
+
+    fn populated() -> MarginalCache {
+        let cache = MarginalCache::unbounded();
+        cache.insert(0xdead_beef, SolverFingerprint::ExactAuto, 0.125);
+        cache.insert(0xdead_beef, SolverFingerprint::GeneralExact, 0.12500000001);
+        cache.insert(
+            42,
+            SolverFingerprint::Approx {
+                samples_per_proposal: 300,
+                base_seed: 42,
+            },
+            0.9999999999,
+        );
+        cache
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_and_deterministic() {
+        let path = scratch("round-trip");
+        let cache = populated();
+        assert_eq!(save(&cache, &path).unwrap(), 3);
+        assert_eq!(cache.saved(), 3);
+
+        let restored = MarginalCache::new(4, CacheCapacity::Unbounded);
+        assert_eq!(load(&restored, &path).unwrap(), 3);
+        assert_eq!(restored.loaded(), 3);
+        let (a, b) = (cache.snapshot(), restored.snapshot());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+            assert_eq!(x.2.to_bits(), y.2.to_bits(), "round-trip must be bit-exact");
+        }
+
+        // Equal content ⇒ byte-identical snapshots (entries are sorted).
+        let second = scratch("round-trip-2");
+        save(&restored, &second).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&second).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&second);
+    }
+
+    #[test]
+    fn garbage_and_wrong_versions_are_rejected() {
+        assert!(parse(b"short").is_err());
+        assert!(parse(&[0u8; HEADER_BYTES]).is_err(), "bad magic");
+
+        let mut wrong_version = Vec::new();
+        wrong_version.extend_from_slice(&MAGIC);
+        wrong_version.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        wrong_version.extend_from_slice(&SOLVER_REVISION.to_le_bytes());
+        wrong_version.extend_from_slice(&0u64.to_le_bytes());
+        assert!(parse(&wrong_version).is_err());
+
+        let mut wrong_revision = Vec::new();
+        wrong_revision.extend_from_slice(&MAGIC);
+        wrong_revision.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        wrong_revision.extend_from_slice(&(SOLVER_REVISION + 1).to_le_bytes());
+        wrong_revision.extend_from_slice(&0u64.to_le_bytes());
+        assert!(
+            parse(&wrong_revision).is_err(),
+            "a snapshot from solvers with different bits must be rejected"
+        );
+
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&MAGIC);
+        truncated.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        truncated.extend_from_slice(&SOLVER_REVISION.to_le_bytes());
+        truncated.extend_from_slice(&2u64.to_le_bytes());
+        truncated.extend_from_slice(&[0u8; ENTRY_BYTES]); // one of two entries
+        assert!(parse(&truncated).is_err());
+
+        let mut bad_tag = Vec::new();
+        bad_tag.extend_from_slice(&MAGIC);
+        bad_tag.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bad_tag.extend_from_slice(&SOLVER_REVISION.to_le_bytes());
+        bad_tag.extend_from_slice(&1u64.to_le_bytes());
+        let mut record = [0u8; ENTRY_BYTES];
+        record[8] = 7; // unknown fingerprint tag
+        bad_tag.extend_from_slice(&record);
+        assert!(parse(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn empty_cache_round_trips() {
+        let path = scratch("empty");
+        let cache = MarginalCache::unbounded();
+        assert_eq!(save(&cache, &path).unwrap(), 0);
+        let restored = MarginalCache::unbounded();
+        assert_eq!(load(&restored, &path).unwrap(), 0);
+        assert_eq!(restored.len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -30,7 +30,7 @@ mod cache;
 mod scheduler;
 mod unit;
 
-pub use cache::{CacheStats, PreparedModel};
+pub use cache::{CacheCapacity, CacheStats, PreparedModel};
 pub use unit::{UnitKey, WorkUnit};
 
 use crate::database::PpdDatabase;
@@ -44,6 +44,7 @@ use cache::{MarginalCache, ModelCache, SolverFingerprint};
 use ppd_patterns::{Labeling, PatternUnion};
 use ppd_solvers::{GeneralSolver, MisAmpAdaptive, SolverKind};
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 
 /// A request to solve one session's pattern union under a plan's labeling.
 /// Requests from different plans (hence different labelings) can be mixed in
@@ -79,12 +80,13 @@ pub struct Engine {
 
 impl Engine {
     /// Creates an engine. The configuration (solver choice, seed, grouping,
-    /// thread count) is fixed for the engine's lifetime, which is what keeps
-    /// its caches coherent.
+    /// thread count, cache sharding and capacity) is fixed for the engine's
+    /// lifetime, which is what keeps its caches coherent.
     pub fn new(config: EvalConfig) -> Self {
+        let marginals = MarginalCache::new(config.cache_shards, config.cache_capacity);
         Engine {
             config,
-            marginals: MarginalCache::default(),
+            marginals,
             models: ModelCache::default(),
         }
     }
@@ -100,8 +102,41 @@ impl Engine {
         CacheStats {
             marginal_hits: self.marginals.hits(),
             marginal_misses: self.marginals.misses(),
+            marginal_evictions: self.marginals.evictions(),
+            marginals_loaded: self.marginals.loaded(),
+            marginals_saved: self.marginals.saved(),
             models_prepared: self.models.len() as u64,
         }
+    }
+
+    /// Writes the marginal cache to `path` as a versioned, endian-stable
+    /// binary snapshot (see `engine/cache/persist.rs` for the format) and
+    /// returns the number of entries written. Values are stored as raw
+    /// `f64` bits, so a later [`Engine::load_marginals`] — in this process
+    /// or any other — serves exactly the bits this engine computed.
+    ///
+    /// The write is atomic (temp file + rename): a crash mid-save never
+    /// corrupts an existing snapshot.
+    pub fn save_marginals(&self, path: impl AsRef<Path>) -> Result<u64> {
+        cache::persist::save(&self.marginals, path.as_ref())
+            .map_err(|e| PpdError::Persist(format!("save {}: {e}", path.as_ref().display())))
+    }
+
+    /// Warm-starts the marginal cache from a snapshot written by
+    /// [`Engine::save_marginals`] and returns the number of entries read.
+    /// Keys are content hashes, so snapshots are valid across processes by
+    /// construction; entries already present keep their in-memory value,
+    /// and the engine's [`CacheCapacity`] applies to loaded entries too.
+    ///
+    /// Every entry carries its solver fingerprint — for approximate
+    /// entries that includes the sampling budget *and* the engine base
+    /// seed that produced the estimate — and fingerprints never alias, so
+    /// loading a snapshot from an engine with a different configuration
+    /// (solver choice, budget, or seed) is safe: mismatched entries simply
+    /// contribute no hits.
+    pub fn load_marginals(&self, path: impl AsRef<Path>) -> Result<u64> {
+        cache::persist::load(&self.marginals, path.as_ref())
+            .map_err(|e| PpdError::Persist(format!("load {}: {e}", path.as_ref().display())))
     }
 
     /// Number of distinct marginals currently cached.
@@ -284,7 +319,9 @@ impl Engine {
         force_exact: bool,
     ) -> Result<Vec<f64>> {
         struct Pending<'a> {
-            key: UnitKey,
+            /// The key's stable content hash: the cache address and the
+            /// seed ingredient, computed once per request.
+            hash: u64,
             union: PatternUnion,
             session: &'a Session,
             labeling: &'a Labeling,
@@ -307,7 +344,10 @@ impl Engine {
                     sources.push(Source::Unit(unit));
                     continue;
                 }
-                if let Some(p) = self.marginals.get(&key, fingerprint) {
+            }
+            let hash = key.stable_hash();
+            if grouping {
+                if let Some(p) = self.marginals.get(hash, fingerprint) {
                     sources.push(Source::Cached(p));
                     continue;
                 }
@@ -316,11 +356,11 @@ impl Engine {
             // union (pattern clones); duplicates and hits stop above.
             let unit = pending.len();
             if grouping {
-                unit_of_key.insert(key.clone(), unit);
+                unit_of_key.insert(key, unit);
             }
             pending.push(Pending {
                 union: UnitKey::ordered_union(request.union, &order),
-                key,
+                hash,
                 session: request.session,
                 labeling: request.labeling,
             });
@@ -332,7 +372,7 @@ impl Engine {
                 let unit = &pending[i];
                 let prepared = self.models.get_or_insert(unit.session);
                 let kind = self.solver_kind(&unit.union, force_exact);
-                let seed = unit.key.seed(self.config.seed);
+                let seed = UnitKey::seed_from_stable_hash(unit.hash, self.config.seed);
                 kind.solve_seeded(
                     prepared.mallows(),
                     || prepared.rim(),
@@ -346,7 +386,7 @@ impl Engine {
         for (unit, outcome) in pending.iter().zip(solved) {
             let p = outcome?;
             if grouping {
-                self.marginals.insert(unit.key.clone(), fingerprint, p);
+                self.marginals.insert(unit.hash, fingerprint, p);
             }
             values.push(p);
         }
@@ -390,6 +430,7 @@ impl Engine {
                 samples_per_proposal,
             } => SolverFingerprint::Approx {
                 samples_per_proposal: *samples_per_proposal,
+                base_seed: self.config.seed,
             },
         }
     }

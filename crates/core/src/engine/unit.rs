@@ -115,7 +115,15 @@ impl UnitKey {
     /// estimates no longer change when sessions are reordered or grouping is
     /// toggled.
     pub fn seed(&self, base_seed: u64) -> u64 {
-        splitmix64(base_seed ^ self.stable_hash())
+        UnitKey::seed_from_stable_hash(self.stable_hash(), base_seed)
+    }
+
+    /// [`UnitKey::seed`] for callers that already hold the key's
+    /// [`UnitKey::stable_hash`] — the engine computes that hash once per
+    /// request for cache addressing and reuses it here rather than walking
+    /// the key content again.
+    pub fn seed_from_stable_hash(stable_hash: u64, base_seed: u64) -> u64 {
+        splitmix64(base_seed ^ stable_hash)
     }
 }
 

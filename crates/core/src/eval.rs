@@ -3,7 +3,7 @@
 //! [`crate::engine::Engine`].
 
 use crate::database::PpdDatabase;
-use crate::engine::Engine;
+use crate::engine::{CacheCapacity, Engine};
 use crate::query::ConjunctiveQuery;
 use crate::translate::GroundedSessionQuery;
 use crate::Result;
@@ -45,6 +45,18 @@ pub struct EvalConfig {
     /// is an explicit pool size. Results are bit-identical for every
     /// setting.
     pub threads: usize,
+    /// Number of independently locked shards of the engine's marginal
+    /// cache (clamped to at least 1). More shards reduce lock contention
+    /// between worker threads; the count never affects results, only
+    /// throughput. Default: 16.
+    pub cache_shards: usize,
+    /// Capacity bound of the marginal cache, split evenly across shards
+    /// and enforced with per-shard LRU eviction. Default:
+    /// [`CacheCapacity::Unbounded`] (the cache grows for the engine's
+    /// lifetime, the pre-eviction behaviour). Eviction never affects
+    /// results — an evicted unit is re-solved to the same bits on next
+    /// demand.
+    pub cache_capacity: CacheCapacity,
 }
 
 impl Default for EvalConfig {
@@ -54,6 +66,8 @@ impl Default for EvalConfig {
             group_identical: true,
             seed: 42,
             threads: 0,
+            cache_shards: 16,
+            cache_capacity: CacheCapacity::Unbounded,
         }
     }
 }
@@ -83,6 +97,18 @@ impl EvalConfig {
     /// Sets the worker-thread count (`0` = auto, `1` = serial).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the marginal-cache shard count (clamped to at least 1).
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Sets the marginal-cache capacity bound.
+    pub fn with_cache_capacity(mut self, capacity: CacheCapacity) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 }

@@ -51,7 +51,9 @@ pub mod value;
 
 pub use count::count_sessions;
 pub use database::{DatabaseBuilder, PpdDatabase};
-pub use engine::{BatchAnswer, CacheStats, Engine, PreparedModel, UnitKey, WorkUnit};
+pub use engine::{
+    BatchAnswer, CacheCapacity, CacheStats, Engine, PreparedModel, UnitKey, WorkUnit,
+};
 pub use eval::{
     evaluate_boolean, session_probabilities, session_probabilities_for_plan, EvalConfig,
     SolverChoice,
@@ -84,6 +86,9 @@ pub enum PpdError {
     Rim(RimError),
     /// Propagated solver error.
     Solver(SolverError),
+    /// A marginal-cache snapshot could not be written, read, or understood
+    /// (I/O failure, bad magic/version, or a malformed body).
+    Persist(String),
 }
 
 impl std::fmt::Display for PpdError {
@@ -95,6 +100,7 @@ impl std::fmt::Display for PpdError {
             PpdError::Pattern(e) => write!(f, "pattern error: {e}"),
             PpdError::Rim(e) => write!(f, "ranking-model error: {e}"),
             PpdError::Solver(e) => write!(f, "solver error: {e}"),
+            PpdError::Persist(m) => write!(f, "cache persistence error: {m}"),
         }
     }
 }

@@ -16,6 +16,7 @@ use crate::query::ConjunctiveQuery;
 use crate::translate::ground_query;
 use crate::{PpdError, Result};
 use ppd_patterns::{relaxed_upper_bound_union, PatternUnion};
+use std::collections::HashMap;
 
 /// Evaluation strategy for `top(Q, k)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +104,7 @@ pub(crate) fn most_probable_with_engine(
         }
     }
 
-    let mut scores: Vec<SessionScore> = Vec::new();
+    let mut scores: Vec<SessionScore>;
     match strategy {
         TopKStrategy::Naive => {
             // One parallel wave over every session's full union.
@@ -161,34 +162,19 @@ pub(crate) fn most_probable_with_engine(
             // Inherently serial — each solve may prove the answer complete —
             // but every solve still flows through the engine's unit cache.
             bounded.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            let union_of = |session_index: usize| {
-                plan.sessions
-                    .iter()
-                    .find(|s| s.session_index == session_index)
-                    .map(|s| &s.union)
-                    .expect("bounded sessions come from the plan")
-            };
-            for (pos, &(session_index, _ub)) in bounded.iter().enumerate() {
-                let request =
-                    request_for(prel, &plan.labeling, session_index, union_of(session_index));
-                let p = engine.solve_requests(&[request], false)?[0];
-                stats.exact_evaluations += 1;
-                scores.push(SessionScore {
-                    session_index,
-                    probability: p,
-                });
-                // Termination test: the k-th best exact probability found so
-                // far dominates every remaining upper bound.
-                if scores.len() >= k {
-                    let mut exact_so_far: Vec<f64> = scores.iter().map(|s| s.probability).collect();
-                    exact_so_far.sort_by(|a, b| b.partial_cmp(a).unwrap());
-                    let kth = exact_so_far[k - 1];
-                    let next_ub = bounded.get(pos + 1).map(|&(_, ub)| ub).unwrap_or(0.0);
-                    if kth >= next_ub - 1e-12 {
-                        break;
-                    }
-                }
-            }
+            let union_of: HashMap<usize, &PatternUnion> = plan
+                .sessions
+                .iter()
+                .map(|s| (s.session_index, &s.union))
+                .collect();
+            scores = evaluate_in_bound_order(&bounded, k, |session_index| {
+                let union = union_of
+                    .get(&session_index)
+                    .expect("bounded sessions come from the plan");
+                let request = request_for(prel, &plan.labeling, session_index, union);
+                Ok(engine.solve_requests(&[request], false)?[0])
+            })?;
+            stats.exact_evaluations += scores.len();
         }
     }
     scores.sort_by(|a, b| {
@@ -199,6 +185,56 @@ pub(crate) fn most_probable_with_engine(
     });
     scores.truncate(k);
     Ok((scores, stats))
+}
+
+/// The upper-bound strategy's early-terminating walk: solves sessions in the
+/// order of `bounded` (sorted by decreasing upper bound) until the k-th best
+/// exact probability found so far dominates every remaining upper bound.
+///
+/// The termination test is a **strict** `kth >= next_ub`. The bounds are
+/// exact marginals of relaxed unions, so no epsilon slack is justified: the
+/// sound-skip argument is `p ≤ ub ≤ kth` for every unevaluated session, and
+/// subtracting a tolerance from `next_ub` (as this code once did with
+/// `1e-12`) breaks it — a session whose true probability lies within the
+/// tolerance *above* the current k-th score gets skipped, silently violating
+/// the paper's upper-bound guarantee (Figure 8) and diverging from
+/// [`TopKStrategy::Naive`]. Sessions whose probability ties the k-th score
+/// exactly may still be skipped (`p ≤ ub = kth` cannot *beat* the k-th
+/// score): the returned probabilities are always a valid top-k, but among
+/// sessions tied at exactly the k-th score the chosen indices may differ
+/// from Naive's index-ascending tie-break.
+///
+/// Returns the evaluated scores in evaluation order (the caller sorts and
+/// truncates); its length is the number of exact evaluations performed.
+fn evaluate_in_bound_order(
+    bounded: &[(usize, f64)],
+    k: usize,
+    mut solve: impl FnMut(usize) -> Result<f64>,
+) -> Result<Vec<SessionScore>> {
+    if k == 0 {
+        // Nothing can enter an empty top-k; Naive answers it with an empty
+        // truncation, and so must the walk (indexing `exact_so_far[k - 1]`
+        // would underflow).
+        return Ok(Vec::new());
+    }
+    let mut scores: Vec<SessionScore> = Vec::new();
+    for (pos, &(session_index, _ub)) in bounded.iter().enumerate() {
+        let p = solve(session_index)?;
+        scores.push(SessionScore {
+            session_index,
+            probability: p,
+        });
+        if scores.len() >= k {
+            let mut exact_so_far: Vec<f64> = scores.iter().map(|s| s.probability).collect();
+            exact_so_far.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let kth = exact_so_far[k - 1];
+            let next_ub = bounded.get(pos + 1).map(|&(_, ub)| ub).unwrap_or(0.0);
+            if kth >= next_ub {
+                break;
+            }
+        }
+    }
+    Ok(scores)
 }
 
 #[cfg(test)]
@@ -304,6 +340,107 @@ mod tests {
             most_probable_sessions(&db, &q, 1, TopKStrategy::Naive, &EvalConfig::exact()).unwrap();
         assert_eq!(naive_stats.exact_evaluations, 3);
         assert!((naive[0].probability - top[0].probability).abs() < 1e-9);
+    }
+
+    #[test]
+    fn termination_is_strict_on_near_ties() {
+        // Session 0 carries a loose bound (0.5) and is walked first; its
+        // exact probability lands 1e-13 *below* session 1's tight bound of
+        // 0.4. The historical `kth >= next_ub - 1e-12` test terminated here
+        // and returned session 0 — a different set than Naive, whose winner
+        // is session 1 at exactly 0.4. The strict test must keep walking.
+        let bounded = vec![(0usize, 0.5), (1usize, 0.4)];
+        let mut evaluated = Vec::new();
+        let scores = evaluate_in_bound_order(&bounded, 1, |session_index| {
+            evaluated.push(session_index);
+            Ok(match session_index {
+                0 => 0.4 - 1e-13,
+                1 => 0.4,
+                _ => unreachable!("only two sessions are bounded"),
+            })
+        })
+        .unwrap();
+        assert_eq!(
+            evaluated,
+            vec![0, 1],
+            "a bound within 1e-12 above the k-th score must still be walked"
+        );
+        let best = scores
+            .iter()
+            .max_by(|a, b| a.probability.partial_cmp(&b.probability).unwrap())
+            .unwrap();
+        assert_eq!(best.session_index, 1);
+        assert_eq!(best.probability, 0.4);
+    }
+
+    #[test]
+    fn termination_stops_on_exact_tie_with_next_bound() {
+        // Once the k-th score *equals* the next bound, no unevaluated
+        // session can beat it (p ≤ ub = kth), so the walk may stop — this is
+        // the skipping power the optimizer exists for.
+        let bounded = vec![(0usize, 0.5), (1usize, 0.4), (2usize, 0.4)];
+        let mut evaluated = Vec::new();
+        let scores = evaluate_in_bound_order(&bounded, 1, |session_index| {
+            evaluated.push(session_index);
+            Ok(0.4)
+        })
+        .unwrap();
+        assert_eq!(evaluated, vec![0]);
+        assert_eq!(scores.len(), 1);
+    }
+
+    #[test]
+    fn engineered_exact_ties_agree_with_naive() {
+        // Ann and Dave share a centre ranking; with k spanning a tie the
+        // upper-bound strategy must return exactly the sessions Naive does
+        // (probability ties break towards the lower session index in both).
+        let db = polling_database();
+        let q = ConjunctiveQuery::new("clinton-first").prefer(
+            "Polls",
+            vec![T::any(), T::any()],
+            T::val("Clinton"),
+            T::val("Trump"),
+        );
+        for k in 1..=3 {
+            let (naive, _) =
+                most_probable_sessions(&db, &q, k, TopKStrategy::Naive, &EvalConfig::exact())
+                    .unwrap();
+            for edges in 1..=2 {
+                let (optimized, _) = most_probable_sessions(
+                    &db,
+                    &q,
+                    k,
+                    TopKStrategy::UpperBound {
+                        edges_per_pattern: edges,
+                    },
+                    &EvalConfig::exact(),
+                )
+                .unwrap();
+                let naive_set: Vec<usize> = naive.iter().map(|s| s.session_index).collect();
+                let optimized_set: Vec<usize> = optimized.iter().map(|s| s.session_index).collect();
+                assert_eq!(naive_set, optimized_set, "k={k} edges={edges}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_of_zero_is_empty_for_both_strategies() {
+        let db = polling_database();
+        let q = query_f_over_m();
+        let (naive, _) =
+            most_probable_sessions(&db, &q, 0, TopKStrategy::Naive, &EvalConfig::exact()).unwrap();
+        assert!(naive.is_empty());
+        let (bounded, _) = most_probable_sessions(
+            &db,
+            &q,
+            0,
+            TopKStrategy::UpperBound {
+                edges_per_pattern: 1,
+            },
+            &EvalConfig::exact(),
+        )
+        .unwrap();
+        assert!(bounded.is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use benchmarks::{
 };
 pub use crowdrank::{crowdrank_database, CrowdRankConfig};
 pub use movielens::{movielens_database, MovieLensConfig};
-pub use polls::{polls_database, PollsConfig};
+pub use polls::{polls_database, polls_q1_query, PollsConfig};
 
 use ppd_patterns::{Labeling, PatternUnion};
 use ppd_rim::MallowsModel;

@@ -1,7 +1,10 @@
 //! The synthetic `Polls` database (Section 6.1), modelled on the 2016 US
 //! presidential election example of Figure 1.
 
-use ppd_core::{DatabaseBuilder, PpdDatabase, PreferenceRelation, Relation, Session, Value};
+use ppd_core::{
+    ConjunctiveQuery, DatabaseBuilder, PpdDatabase, PreferenceRelation, Relation, Session, Term,
+    Value,
+};
 use ppd_rim::{Item, MallowsModel, Ranking};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -26,6 +29,43 @@ impl Default for PollsConfig {
             seed: 2016,
         }
     }
+}
+
+/// Q1 of the paper over the Polls schema: "a female candidate is preferred
+/// to a male candidate". The canonical workload query of the engine's
+/// benches and determinism tests — kept here, next to the schema it is
+/// written against, so a schema change cannot silently leave the harnesses
+/// querying different shapes.
+pub fn polls_q1_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("Q1")
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::var("c1"),
+            Term::var("c2"),
+        )
+        .atom(
+            "Candidates",
+            vec![
+                Term::var("c1"),
+                Term::any(),
+                Term::val("F"),
+                Term::any(),
+                Term::any(),
+                Term::any(),
+            ],
+        )
+        .atom(
+            "Candidates",
+            vec![
+                Term::var("c2"),
+                Term::any(),
+                Term::val("M"),
+                Term::any(),
+                Term::any(),
+                Term::any(),
+            ],
+        )
 }
 
 const PARTIES: [&str; 2] = ["D", "R"];

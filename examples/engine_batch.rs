@@ -3,6 +3,12 @@
 //! cross-query work-unit deduplication and marginal caching.
 //!
 //! Run with `cargo run --release --example engine_batch`.
+//!
+//! Set `PPD_CACHE_PATH=/path/to/snapshot` to demonstrate cache persistence
+//! across processes: the first invocation solves everything and saves a
+//! marginal-cache snapshot on exit; a second invocation loads it and serves
+//! the identical workload without running a single solver (the example
+//! asserts zero cache misses on a warm start).
 
 use ppd::datagen::{polls_database, PollsConfig};
 use ppd::prelude::*;
@@ -81,6 +87,18 @@ fn main() {
 
     // threads = 0: one worker per hardware thread.
     let engine = Engine::new(EvalConfig::exact().with_threads(0));
+
+    // Opt-in persistence: warm-start from a snapshot of a previous process.
+    let cache_path = std::env::var_os("PPD_CACHE_PATH");
+    let mut warm_start = false;
+    if let Some(path) = &cache_path {
+        if std::path::Path::new(path).exists() {
+            let loaded = engine.load_marginals(path).expect("cache snapshot loads");
+            println!("warm start: loaded {loaded} cached marginals from {path:?}\n");
+            warm_start = loaded > 0;
+        }
+    }
+
     let answers = engine
         .evaluate_batch(&db, &queries)
         .expect("batch evaluates");
@@ -126,4 +144,22 @@ fn main() {
         topk_stats.exact_evaluations,
         engine.cache_stats().marginal_hits
     );
+
+    if let Some(path) = &cache_path {
+        if warm_start {
+            // The snapshot covered this entire workload: nothing was solved.
+            let stats = engine.cache_stats();
+            assert_eq!(
+                stats.marginal_misses, 0,
+                "a warm-started engine re-running the same workload must not solve"
+            );
+            println!(
+                "\nwarm start verified: {} hits, 0 misses — the whole workload was served \
+                 from the persisted cache",
+                stats.marginal_hits
+            );
+        }
+        let saved = engine.save_marginals(path).expect("cache snapshot saves");
+        println!("\nsaved {saved} cached marginals to {path:?} (load them with a second run)");
+    }
 }

@@ -32,8 +32,9 @@ pub use ppd_solvers as solvers;
 pub mod prelude {
     pub use ppd_core::{
         count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities,
-        BatchAnswer, CompareOp, ConjunctiveQuery, DatabaseBuilder, Engine, EvalConfig, PpdDatabase,
-        PreferenceRelation, Relation, Session, SolverChoice, Term, TopKStrategy, Value,
+        BatchAnswer, CacheCapacity, CacheStats, CompareOp, ConjunctiveQuery, DatabaseBuilder,
+        Engine, EvalConfig, PpdDatabase, PreferenceRelation, Relation, Session, SolverChoice, Term,
+        TopKStrategy, Value,
     };
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};

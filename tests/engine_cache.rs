@@ -1,0 +1,280 @@
+//! Determinism contract of the cache subsystem: sharding, LRU eviction, and
+//! disk persistence must never change a single bit of any answer.
+//!
+//! For exact and approximate solvers alike, `session_probabilities` must be
+//! **bit-identical** across
+//! - marginal-cache shard counts (1, 4, 16),
+//! - eviction capacities (unbounded vs. a tiny bound that forces churn), and
+//! - a save → load → re-serve persistence round-trip into a fresh engine,
+//!
+//! and the persisted snapshot must warm-start the fresh engine completely
+//! (zero misses on the repeat run).
+
+use ppd::prelude::*;
+use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+use std::path::PathBuf;
+
+fn db() -> PpdDatabase {
+    polls_database(&PollsConfig {
+        num_candidates: 6,
+        num_voters: 30,
+        seed: 11,
+    })
+}
+
+fn solver_choices() -> Vec<(&'static str, SolverChoice)> {
+    vec![
+        ("exact-auto", SolverChoice::ExactAuto),
+        (
+            "approximate",
+            SolverChoice::Approximate {
+                samples_per_proposal: 120,
+            },
+        ),
+    ]
+}
+
+fn config_with(solver: &SolverChoice) -> EvalConfig {
+    EvalConfig {
+        solver: solver.clone(),
+        ..EvalConfig::default()
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "ppd-engine-cache-{}-{name}.mcache",
+        std::process::id()
+    ));
+    path
+}
+
+#[test]
+fn results_are_bit_identical_across_shards_and_eviction_capacity() {
+    let db = db();
+    let q = polls_q1_query();
+    for (name, solver) in solver_choices() {
+        let reference = session_probabilities(&db, &q, &config_with(&solver)).unwrap();
+        assert!(!reference.is_empty());
+        for shards in [1usize, 4, 16] {
+            for capacity in [CacheCapacity::Unbounded, CacheCapacity::Entries(2)] {
+                let engine = Engine::new(
+                    config_with(&solver)
+                        .with_cache_shards(shards)
+                        .with_cache_capacity(capacity),
+                );
+                // Two passes: the second replays hits where capacity allows
+                // and re-solves where eviction struck — either way the bits
+                // must not move.
+                let first = engine.session_probabilities(&db, &q).unwrap();
+                let second = engine.session_probabilities(&db, &q).unwrap();
+                assert_eq!(
+                    reference, first,
+                    "{name}: shards={shards} capacity={capacity:?} diverged"
+                );
+                assert_eq!(
+                    first, second,
+                    "{name}: repeat run under shards={shards} capacity={capacity:?} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eviction_bounds_the_cache_and_counts_in_stats() {
+    let db = db();
+    let q = polls_q1_query();
+    let budget = 4;
+    let engine = Engine::new(
+        EvalConfig::exact()
+            .with_cache_shards(1)
+            .with_cache_capacity(CacheCapacity::Entries(budget)),
+    );
+    let bounded = engine.session_probabilities(&db, &q).unwrap();
+    let stats = engine.cache_stats();
+    assert!(
+        stats.marginal_misses > budget as u64,
+        "workload must overflow the budget for this test to bite \
+         (misses {}, budget {budget})",
+        stats.marginal_misses
+    );
+    assert!(
+        stats.marginal_evictions > 0,
+        "an over-budget workload must evict"
+    );
+    assert!(
+        engine.cached_marginals() <= budget,
+        "cache holds {} entries over the {budget}-entry budget",
+        engine.cached_marginals()
+    );
+    // Unbounded default: same answer, no evictions.
+    let unbounded = Engine::new(EvalConfig::exact());
+    assert_eq!(unbounded.session_probabilities(&db, &q).unwrap(), bounded);
+    assert_eq!(unbounded.cache_stats().marginal_evictions, 0);
+}
+
+#[test]
+fn persistence_round_trip_serves_the_saved_bits() {
+    let db = db();
+    let q = polls_q1_query();
+    for (name, solver) in solver_choices() {
+        let path = scratch(&format!("round-trip-{name}"));
+        let warm = Engine::new(config_with(&solver));
+        let first = warm.session_probabilities(&db, &q).unwrap();
+        let saved = warm.save_marginals(&path).unwrap();
+        assert_eq!(saved as usize, warm.cached_marginals(), "{name}");
+        assert_eq!(warm.cache_stats().marginals_saved, saved, "{name}");
+
+        // A fresh engine in (conceptually) a fresh process: load, then
+        // serve the whole query from the snapshot.
+        let cold = Engine::new(config_with(&solver));
+        let loaded = cold.load_marginals(&path).unwrap();
+        assert_eq!(loaded, saved, "{name}");
+        assert_eq!(cold.cache_stats().marginals_loaded, loaded, "{name}");
+        let replayed = cold.session_probabilities(&db, &q).unwrap();
+        assert_eq!(first, replayed, "{name}: persisted bits diverged");
+        let stats = cold.cache_stats();
+        assert_eq!(
+            stats.marginal_misses, 0,
+            "{name}: a loaded snapshot must serve the identical query entirely"
+        );
+        assert!(stats.marginal_hits > 0, "{name}");
+
+        // Re-saving equal content writes a byte-identical snapshot.
+        let resaved = scratch(&format!("round-trip-{name}-resave"));
+        cold.save_marginals(&resaved).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&resaved).unwrap(),
+            "{name}: snapshot of equal content must be byte-identical"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&resaved);
+    }
+}
+
+#[test]
+fn persistence_composes_with_sharding_and_eviction() {
+    let db = db();
+    let q = polls_q1_query();
+    let reference = session_probabilities(&db, &q, &EvalConfig::exact()).unwrap();
+    let path = scratch("composed");
+    let warm = Engine::new(EvalConfig::exact());
+    warm.session_probabilities(&db, &q).unwrap();
+    warm.save_marginals(&path).unwrap();
+
+    // Load into a bounded, differently sharded engine: the capacity applies
+    // to loaded entries too, and answers still cannot move.
+    let bounded = Engine::new(
+        EvalConfig::exact()
+            .with_cache_shards(4)
+            .with_cache_capacity(CacheCapacity::Entries(2)),
+    );
+    bounded.load_marginals(&path).unwrap();
+    assert!(
+        bounded.cached_marginals() <= 2 + 4,
+        "loaded entries must respect the capacity bound (plus the per-shard \
+         most-recent-slot allowance), got {}",
+        bounded.cached_marginals()
+    );
+    assert_eq!(bounded.session_probabilities(&db, &q).unwrap(), reference);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn approximate_snapshots_do_not_leak_across_base_seeds() {
+    // Approximate estimates are a function of (unit content, budget, base
+    // seed). A snapshot from a seed-42 engine loaded into a seed-7 engine
+    // must contribute no hits: the seed-7 engine has to produce exactly the
+    // bits it would have produced with no snapshot at all.
+    let db = db();
+    let q = polls_q1_query();
+    let solver = SolverChoice::Approximate {
+        samples_per_proposal: 120,
+    };
+    let path = scratch("cross-seed");
+    let seeded_42 = Engine::new(config_with(&solver));
+    let bits_42 = seeded_42.session_probabilities(&db, &q).unwrap();
+    seeded_42.save_marginals(&path).unwrap();
+
+    let mut config_7 = config_with(&solver);
+    config_7.seed = 7;
+    let pristine_7 = Engine::new(config_7.clone());
+    let bits_7 = pristine_7.session_probabilities(&db, &q).unwrap();
+    assert_ne!(
+        bits_42, bits_7,
+        "distinct seeds must give distinct estimates"
+    );
+
+    let warmed_7 = Engine::new(config_7);
+    warmed_7.load_marginals(&path).unwrap();
+    let bits_7_warmed = warmed_7.session_probabilities(&db, &q).unwrap();
+    assert_eq!(
+        bits_7, bits_7_warmed,
+        "a foreign-seed snapshot must not change this engine's answers"
+    );
+    assert_eq!(
+        warmed_7.cache_stats().marginal_hits,
+        0,
+        "foreign-seed approximate entries must contribute no hits"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected_not_half_loaded() {
+    let engine = Engine::new(EvalConfig::exact());
+    let missing = scratch("does-not-exist");
+    assert!(engine.load_marginals(&missing).is_err());
+
+    let garbage = scratch("garbage");
+    std::fs::write(&garbage, b"definitely not a snapshot").unwrap();
+    let err = engine.load_marginals(&garbage).unwrap_err();
+    assert!(
+        matches!(err, ppd::core::PpdError::Persist(_)),
+        "expected a persistence error, got {err:?}"
+    );
+    assert_eq!(engine.cached_marginals(), 0);
+    assert_eq!(engine.cache_stats().marginals_loaded, 0);
+    let _ = std::fs::remove_file(&garbage);
+}
+
+#[test]
+fn topk_strategies_agree_under_sharded_bounded_caches() {
+    let db = db();
+    let q = polls_q1_query();
+    let k = 4;
+    let (reference, _) =
+        most_probable_sessions(&db, &q, k, TopKStrategy::Naive, &EvalConfig::exact()).unwrap();
+    for shards in [1usize, 16] {
+        for capacity in [CacheCapacity::Unbounded, CacheCapacity::Entries(2)] {
+            let engine = Engine::new(
+                EvalConfig::exact()
+                    .with_cache_shards(shards)
+                    .with_cache_capacity(capacity),
+            );
+            let (bounded, stats) = engine
+                .most_probable_sessions(
+                    &db,
+                    &q,
+                    k,
+                    TopKStrategy::UpperBound {
+                        edges_per_pattern: 2,
+                    },
+                )
+                .unwrap();
+            assert_eq!(reference.len(), bounded.len());
+            for (a, b) in reference.iter().zip(&bounded) {
+                assert_eq!(a.session_index, b.session_index);
+                assert_eq!(
+                    a.probability.to_bits(),
+                    b.probability.to_bits(),
+                    "top-k diverged at shards={shards} capacity={capacity:?}"
+                );
+            }
+            assert!(stats.upper_bounds_computed > 0);
+        }
+    }
+}

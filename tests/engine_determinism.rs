@@ -8,7 +8,7 @@
 //! same bits as the first evaluation.
 
 use ppd::prelude::*;
-use ppd_datagen::{polls_database, PollsConfig};
+use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
 
 fn db() -> PpdDatabase {
     polls_database(&PollsConfig {
@@ -16,40 +16,6 @@ fn db() -> PpdDatabase {
         num_voters: 40,
         seed: 11,
     })
-}
-
-/// Q1 of the paper on the synthetic Polls data: a female candidate preferred
-/// to a male candidate.
-fn query() -> ConjunctiveQuery {
-    ConjunctiveQuery::new("f-over-m")
-        .prefer(
-            "Polls",
-            vec![Term::any(), Term::any()],
-            Term::var("c1"),
-            Term::var("c2"),
-        )
-        .atom(
-            "Candidates",
-            vec![
-                Term::var("c1"),
-                Term::any(),
-                Term::val("F"),
-                Term::any(),
-                Term::any(),
-                Term::any(),
-            ],
-        )
-        .atom(
-            "Candidates",
-            vec![
-                Term::var("c2"),
-                Term::any(),
-                Term::val("M"),
-                Term::any(),
-                Term::any(),
-                Term::any(),
-            ],
-        )
 }
 
 fn solver_choices() -> Vec<(&'static str, SolverChoice)> {
@@ -68,7 +34,7 @@ fn solver_choices() -> Vec<(&'static str, SolverChoice)> {
 #[test]
 fn results_are_bit_identical_across_threads_and_grouping() {
     let db = db();
-    let q = query();
+    let q = polls_q1_query();
     for (name, solver) in solver_choices() {
         let reference = session_probabilities(
             &db,
@@ -118,7 +84,7 @@ fn results_are_bit_identical_under_session_reordering() {
         .relation(forward.relation("Voters").unwrap().clone());
     let reversed = builder.preference_relation(reversed_prel).build().unwrap();
 
-    let q = query();
+    let q = polls_q1_query();
     for (name, solver) in solver_choices() {
         let config = EvalConfig {
             solver,
@@ -145,7 +111,7 @@ fn results_are_bit_identical_under_session_reordering() {
 #[test]
 fn engine_cache_hits_return_the_first_run_bits() {
     let db = db();
-    let q = query();
+    let q = polls_q1_query();
     for (name, solver) in solver_choices() {
         let engine = Engine::new(EvalConfig {
             solver,
@@ -162,7 +128,7 @@ fn engine_cache_hits_return_the_first_run_bits() {
 #[test]
 fn topk_strategies_agree_on_the_engine_for_every_thread_count() {
     let db = db();
-    let q = query();
+    let q = polls_q1_query();
     let k = 5;
     let reference = most_probable_sessions(
         &db,
@@ -206,7 +172,7 @@ fn topk_strategies_agree_on_the_engine_for_every_thread_count() {
 #[test]
 fn batch_answers_match_single_query_answers_bitwise() {
     let db = db();
-    let q = query();
+    let q = polls_q1_query();
     let q2 = ConjunctiveQuery::new("cand0-over-cand1").prefer(
         "Polls",
         vec![Term::any(), Term::any()],
