@@ -1,0 +1,220 @@
+//! Service load test: N closed-loop client threads hammering one
+//! `ppd_service::Service` with a mixed Boolean / count / per-session /
+//! top-k Polls workload.
+//!
+//! Reports end-to-end throughput, client-observed latency percentiles
+//! (p50/p99), the wave-size histogram (how much the batching window
+//! actually coalesces), and the engine's cache hit rate, and writes
+//! `bench_results/service_load.json`. Before the timed run it spot-checks
+//! the determinism contract: the service's answers for the workload mix
+//! are bit-identical to direct engine calls.
+//!
+//! Environment:
+//! * `PPD_SCALE`   — `small` (default: 120 voters) or `paper` (1000);
+//! * `PPD_VOTERS` / `PPD_CANDIDATES` — explicit size overrides;
+//! * `PPD_CLIENTS` — client threads (default 4);
+//! * `PPD_QUERIES` — queries per client (default 24 small / 100 paper).
+
+use ppd_bench::{env_usize, percentile, print_table, write_results, Scale};
+use ppd_core::{ConjunctiveQuery, Engine, EvalConfig, Term, TopKStrategy};
+use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd_service::{Answer, Request, Service, ServiceConfig, ServiceError};
+use std::time::{Duration, Instant};
+
+fn pair_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("pair").prefer(
+        "Polls",
+        vec![Term::any(), Term::any()],
+        Term::val("cand0"),
+        Term::val("cand1"),
+    )
+}
+
+fn chain_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("chain")
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::val("cand0"),
+            Term::val("cand1"),
+        )
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::val("cand1"),
+            Term::val("cand2"),
+        )
+}
+
+/// The request mix, cycled per client with a per-client offset so
+/// concurrent waves blend kinds.
+fn mix() -> Vec<Request> {
+    vec![
+        Request::Boolean(polls_q1_query()),
+        Request::Count(chain_query()),
+        Request::SessionProbabilities(pair_query()),
+        Request::TopK {
+            query: polls_q1_query(),
+            k: 5,
+            strategy: TopKStrategy::UpperBound {
+                edges_per_pattern: 2,
+            },
+        },
+        Request::Boolean(pair_query()),
+    ]
+}
+
+/// Direct-engine reference answer for one request.
+fn direct(engine: &Engine, db: &ppd_core::PpdDatabase, request: &Request) -> Answer {
+    match request {
+        Request::Boolean(q) => Answer::Boolean(engine.evaluate_boolean(db, q).unwrap()),
+        Request::Count(q) => Answer::Count(engine.count_sessions(db, q).unwrap()),
+        Request::SessionProbabilities(q) => {
+            Answer::SessionProbabilities(engine.session_probabilities(db, q).unwrap())
+        }
+        Request::TopK { query, k, strategy } => Answer::TopK(
+            engine
+                .most_probable_sessions(db, query, *k, *strategy)
+                .unwrap()
+                .0,
+        ),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_voters = env_usize("PPD_VOTERS").unwrap_or_else(|| scale.pick(120, 1000));
+    let num_candidates = env_usize("PPD_CANDIDATES")
+        .unwrap_or_else(|| scale.pick(10, 20))
+        .max(3);
+    let clients = env_usize("PPD_CLIENTS").unwrap_or(4).max(1);
+    let per_client = env_usize("PPD_QUERIES")
+        .unwrap_or_else(|| scale.pick(24, 100))
+        .max(1);
+    let db = polls_database(&PollsConfig {
+        num_candidates,
+        num_voters,
+        seed: 2016,
+    });
+    let eval = EvalConfig::exact();
+    let service = Service::new(
+        db.clone(),
+        ServiceConfig::new(eval.clone())
+            .with_max_batch(16)
+            .with_max_wait(Duration::from_millis(1)),
+    );
+    println!(
+        "service_load: {num_voters} voters × {num_candidates} candidates, \
+         {clients} clients × {per_client} queries\n"
+    );
+
+    // Determinism spot-check before the timed run (also warms the cache the
+    // way any long-lived service would be warm).
+    let reference_engine = Engine::new(eval);
+    for request in mix() {
+        let served = service
+            .submit(request.clone())
+            .expect("admitted")
+            .wait()
+            .expect("answers");
+        assert_eq!(
+            served,
+            direct(&reference_engine, &db, &request),
+            "service answers must be bit-identical to direct engine calls"
+        );
+    }
+
+    let start = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut retries = 0u64;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|client| {
+                let service = &service;
+                scope.spawn(move || {
+                    let requests = mix();
+                    let mut local: Vec<f64> = Vec::with_capacity(per_client);
+                    let mut local_retries = 0u64;
+                    for i in 0..per_client {
+                        let request = requests[(client + i) % requests.len()].clone();
+                        let submitted = Instant::now();
+                        // Closed loop with backpressure handling: on
+                        // Overloaded, yield and retry.
+                        let ticket = loop {
+                            match service.submit(request.clone()) {
+                                Ok(ticket) => break ticket,
+                                Err(ServiceError::Overloaded { .. }) => {
+                                    local_retries += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("submit failed: {e}"),
+                            }
+                        };
+                        ticket.wait().expect("query answers");
+                        local.push(submitted.elapsed().as_secs_f64() * 1e3);
+                    }
+                    (local, local_retries)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (local, local_retries) = worker.join().expect("client thread panicked");
+            latencies_ms.extend(local);
+            retries += local_retries;
+        }
+    });
+    let wall = start.elapsed();
+    let stats = service.shutdown();
+    println!("{stats}\n");
+
+    let total_queries = latencies_ms.len();
+    let throughput = total_queries as f64 / wall.as_secs_f64().max(1e-9);
+    let p50 = percentile(&latencies_ms, 50.0);
+    let p99 = percentile(&latencies_ms, 99.0);
+    let mean = latencies_ms.iter().sum::<f64>() / total_queries.max(1) as f64;
+    print_table(
+        &["queries", "wall-clock", "throughput", "p50", "p99", "mean"],
+        &[vec![
+            total_queries.to_string(),
+            format!("{:.1?}", wall),
+            format!("{throughput:.1}/s"),
+            format!("{p50:.2}ms"),
+            format!("{p99:.2}ms"),
+            format!("{mean:.2}ms"),
+        ]],
+    );
+    println!("\nwave sizes:");
+    print_table(
+        &["size", "waves"],
+        &stats
+            .wave_sizes
+            .iter()
+            .map(|&(size, count)| vec![size.to_string(), count.to_string()])
+            .collect::<Vec<_>>(),
+    );
+
+    write_results(
+        "service_load",
+        &serde_json::json!({
+            "experiment": "service_load",
+            "num_voters": num_voters,
+            "num_candidates": num_candidates,
+            "clients": clients,
+            "queries_per_client": per_client,
+            "total_queries": total_queries,
+            "wall_clock_ms": wall.as_secs_f64() * 1e3,
+            "throughput_qps": throughput,
+            "latency_ms": { "p50": p50, "p99": p99, "mean": mean },
+            "overload_retries": retries,
+            "waves": stats.waves,
+            "mean_wave_size": stats.mean_wave_size(),
+            "max_wave": stats.max_wave,
+            "wave_size_histogram": stats.wave_sizes.iter()
+                .map(|&(size, count)| serde_json::json!({"size": size, "waves": count}))
+                .collect::<Vec<_>>(),
+            "cache_hit_rate": stats.cache.hit_rate(),
+            "marginals_solved": stats.cache.marginal_misses,
+            "marginals_hit": stats.cache.marginal_hits,
+        }),
+    );
+}

@@ -134,6 +134,39 @@ pub struct CacheStats {
     pub models_prepared: u64,
 }
 
+impl CacheStats {
+    /// Fraction of marginal lookups served from the cache: `hits / (hits +
+    /// misses)`, or `0.0` before any lookup happened.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.marginal_hits + self.marginal_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.marginal_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// One-line summary for service logs and bench harnesses, e.g.
+/// `marginals 120 hit / 30 solved (80.0% hit rate), 0 evicted, 0 loaded, 0
+/// saved; 12 models prepared`.
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "marginals {} hit / {} solved ({:.1}% hit rate), {} evicted, {} loaded, {} saved; \
+             {} models prepared",
+            self.marginal_hits,
+            self.marginal_misses,
+            self.hit_rate() * 100.0,
+            self.marginal_evictions,
+            self.marginals_loaded,
+            self.marginals_saved,
+            self.models_prepared
+        )
+    }
+}
+
 /// The model-content key of [`ModelCache`]: [`Session::model_key`].
 type ModelKey = (Vec<u32>, u64);
 
@@ -197,6 +230,24 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn cache_stats_hit_rate_and_display() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        let stats = CacheStats {
+            marginal_hits: 3,
+            marginal_misses: 1,
+            models_prepared: 2,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        let line = stats.to_string();
+        assert!(line.contains("3 hit"), "{line}");
+        assert!(line.contains("75.0% hit rate"), "{line}");
+        assert!(line.contains("2 models prepared"), "{line}");
+        assert!(!line.contains('\n'), "one line, not a dump: {line}");
     }
 
     #[test]

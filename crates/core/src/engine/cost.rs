@@ -1,0 +1,156 @@
+//! Cost-ordered wave scheduling: estimate how expensive each work unit is
+//! and start the most expensive units first.
+//!
+//! Units in one wave vary by orders of magnitude in solve cost — a two-label
+//! DP over six items is microseconds while a general-union
+//! inclusion–exclusion over fourteen is seconds. The scheduler's
+//! atomic-counter pool balances *load*, but it pulls units in submission
+//! order: when an expensive unit happens to sit at the tail of the index
+//! space, the whole wave waits for it on one worker while the others idle.
+//! Sorting the wave descending by estimated cost (longest-processing-time
+//! first, the classic makespan heuristic) shrinks that tail, and for
+//! streamed evaluation it also front-loads the units that gate the
+//! slowest queries.
+//!
+//! The estimate multiplies three ingredients the engine already knows
+//! before solving — the union's class, the model size `m`, and the solver
+//! kind (exact DP vs. sampling budget). It only needs to *order* units, so
+//! constant factors are irrelevant; what matters is that the dominant
+//! asymptotic terms (the exponential subset enumeration of the general
+//! solver, the polynomial degree gap between the DPs) are reflected.
+//!
+//! Execution order never affects results: per-unit RNG seeds and cache keys
+//! are pure functions of unit content (see [`super::unit::UnitKey`]), so
+//! reordering a wave is invisible except through wall-clock time — the
+//! determinism tests pin this.
+
+use ppd_patterns::{PatternUnion, UnionClass};
+
+/// Estimated solve cost of one work unit, in arbitrary comparable units.
+///
+/// `m` is the number of items in the unit's model; `approx_budget` is
+/// `Some(samples_per_proposal)` when the unit will be solved by the
+/// sampling estimator and `None` when an exact solver runs.
+pub(crate) fn unit_cost(union: &PatternUnion, m: usize, approx_budget: Option<usize>) -> f64 {
+    let m = m.max(2) as f64;
+    let z = union.num_patterns() as f64;
+    match approx_budget {
+        // Sampling cost: one insertion walk of length ~m per sample, per
+        // proposal; the adaptive solver's proposal count grows with the
+        // union's node count.
+        Some(samples_per_proposal) => {
+            (samples_per_proposal.max(1) as f64) * z * union.total_nodes() as f64 * m
+        }
+        None => match union.classify() {
+            // Two-label DP: per-member marginal over m insertion steps with
+            // an O(m²) state space.
+            UnionClass::TwoLabel => z * m.powi(3),
+            // Bipartite DP: one polynomial degree heavier than two-label.
+            UnionClass::Bipartite => z * m.powi(4),
+            // General solver: inclusion–exclusion over the 2^z member
+            // subsets, each conjunction solved by a DP whose state space is
+            // exponential in the pattern's node count. Exponents are capped
+            // so the product stays finite in f64 — far above any cap, the
+            // order among "hopeless" units no longer matters.
+            UnionClass::General => {
+                let nodes = union.total_nodes().min(24) as i32;
+                2f64.powf(z.min(40.0)) * m.powi(nodes + 1)
+            }
+        },
+    }
+}
+
+/// The execution order for a wave: unit indices sorted by descending cost,
+/// ties broken by ascending index so the order is deterministic (and stable
+/// against cost-model refinements that map distinct units to equal costs).
+pub(crate) fn schedule_order(costs: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .expect("unit costs are finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_patterns::{NodeSelector, Pattern};
+
+    fn sel(l: u32) -> NodeSelector {
+        NodeSelector::single(l)
+    }
+
+    fn two_label_union(z: usize) -> PatternUnion {
+        PatternUnion::new(
+            (0..z)
+                .map(|i| Pattern::two_label(sel(i as u32), sel(i as u32 + 1)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn chain_union() -> PatternUnion {
+        PatternUnion::singleton(
+            Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn bipartite_union() -> PatternUnion {
+        PatternUnion::singleton(
+            Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (0, 2)]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_cost_reflects_the_class_hierarchy() {
+        let m = 8;
+        let two = unit_cost(&two_label_union(1), m, None);
+        let bip = unit_cost(&bipartite_union(), m, None);
+        let gen = unit_cost(&chain_union(), m, None);
+        assert!(two < bip, "two-label {two} must be under bipartite {bip}");
+        assert!(bip < gen, "bipartite {bip} must be under general {gen}");
+    }
+
+    #[test]
+    fn cost_grows_with_model_size_and_union_size() {
+        assert!(unit_cost(&two_label_union(1), 6, None) < unit_cost(&two_label_union(1), 12, None));
+        assert!(unit_cost(&two_label_union(1), 8, None) < unit_cost(&two_label_union(3), 8, None));
+        assert!(
+            unit_cost(&chain_union(), 8, Some(100)) < unit_cost(&chain_union(), 8, Some(1_000))
+        );
+    }
+
+    #[test]
+    fn costs_stay_finite_on_degenerate_inputs() {
+        let huge = two_label_union(64);
+        assert!(unit_cost(&huge, 50, None).is_finite());
+        assert!(unit_cost(&chain_union(), 0, None).is_finite());
+        assert!(unit_cost(&chain_union(), 20, Some(usize::MAX / 2)).is_finite());
+    }
+
+    #[test]
+    fn schedule_order_is_descending_with_stable_ties() {
+        assert_eq!(schedule_order(&[1.0, 4.0, 2.0, 4.0]), vec![1, 3, 2, 0]);
+        assert_eq!(schedule_order(&[]), Vec::<usize>::new());
+        assert_eq!(schedule_order(&[7.0, 7.0, 7.0]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn expensive_units_schedule_first_in_a_mixed_wave() {
+        // A wave mixing a general-class unit among cheap two-label units
+        // must start the general unit first regardless of its position.
+        let m = 8;
+        let costs: Vec<f64> = vec![
+            unit_cost(&two_label_union(1), m, None),
+            unit_cost(&two_label_union(1), m, None),
+            unit_cost(&chain_union(), m, None),
+            unit_cost(&two_label_union(1), m, None),
+        ];
+        assert_eq!(schedule_order(&costs)[0], 2);
+    }
+}

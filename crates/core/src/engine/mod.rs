@@ -27,6 +27,7 @@
 //! [`Engine::evaluate_batch`]) to benefit from the caches.
 
 mod cache;
+mod cost;
 mod scheduler;
 mod unit;
 
@@ -45,6 +46,7 @@ use ppd_patterns::{Labeling, PatternUnion};
 use ppd_solvers::{GeneralSolver, MisAmpAdaptive, SolverKind};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::Mutex;
 
 /// A request to solve one session's pattern union under a plan's labeling.
 /// Requests from different plans (hence different labelings) can be mixed in
@@ -53,6 +55,24 @@ pub(crate) struct UnitRequest<'a> {
     pub(crate) session: &'a Session,
     pub(crate) labeling: &'a Labeling,
     pub(crate) union: &'a PatternUnion,
+}
+
+/// One deduplicated, cache-missed unit of a wave, ready to solve.
+struct Pending<'a> {
+    /// The key's stable content hash: the cache address and the seed
+    /// ingredient, computed once per request.
+    hash: u64,
+    union: PatternUnion,
+    session: &'a Session,
+    labeling: &'a Labeling,
+}
+
+/// Where a request's probability comes from after wave planning.
+enum Source {
+    /// Served from the marginal cache during planning.
+    Cached(f64),
+    /// Solved by the pending unit with this index.
+    Unit(usize),
 }
 
 /// The answers [`Engine::evaluate_batch`] produces for one query.
@@ -252,25 +272,88 @@ impl Engine {
     /// Compared to evaluating the queries one by one, a batch overlaps the
     /// units of cheap and expensive queries on the pool and shares marginals
     /// between queries within the same wave.
+    ///
+    /// This is the collecting form of [`Engine::evaluate_batch_streamed`]
+    /// (one pipeline, so the two can never diverge): all answers are
+    /// gathered and returned together, and if any query fails, the first
+    /// failure in query order is returned for the whole batch.
     pub fn evaluate_batch(
         &self,
         db: &PpdDatabase,
         queries: &[ConjunctiveQuery],
     ) -> Result<Vec<BatchAnswer>> {
-        let plans: Vec<GroundedSessionQuery> = queries
-            .iter()
-            .map(|q| ground_query(db, q))
-            .collect::<Result<_>>()?;
-        let mut prels = Vec::with_capacity(plans.len());
-        for plan in &plans {
-            prels.push(
-                db.preference_relation(&plan.prelation)
-                    .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?,
-            );
+        let answers: Mutex<Vec<Option<Result<BatchAnswer>>>> =
+            Mutex::new((0..queries.len()).map(|_| None).collect());
+        self.evaluate_batch_streamed(db, queries, |query_index, answer| {
+            answers.lock().expect("batch answer slots poisoned")[query_index] = Some(answer);
+        });
+        answers
+            .into_inner()
+            .expect("batch answer slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every query is delivered exactly once"))
+            .collect()
+    }
+
+    /// Evaluates a batch of queries in one scheduling wave like
+    /// [`Engine::evaluate_batch`], but **streams** each query's answer
+    /// through `deliver(query_index, answer)` as soon as the last work unit
+    /// *that query* depends on completes — not when the whole wave does.
+    ///
+    /// This is the engine half of the serving layer's streamed responses:
+    /// the engine tracks, per query, a refcount of distinct unsolved units
+    /// (shared units count once for each query that needs them), decrements
+    /// it from the scheduler's per-unit completion notification, and
+    /// assembles and delivers the answer at zero. A query whose units are
+    /// all cache hits is delivered before the wave even starts; a query
+    /// that fails to ground is delivered its error immediately and does not
+    /// hold up the others; a unit that fails to solve fails exactly the
+    /// queries depending on it.
+    ///
+    /// `deliver` is invoked exactly once per query, concurrently from
+    /// worker threads (with `threads = 1`, in completion order on the
+    /// calling thread). It should hand the answer off quickly — e.g. push
+    /// it down a channel — and must not call back into this engine, or the
+    /// wave's workers may deadlock behind it.
+    ///
+    /// Determinism: the delivered answers are bit-identical to
+    /// [`Engine::evaluate_batch`] on the same queries — streaming changes
+    /// *when* an answer is released, never its bits.
+    pub fn evaluate_batch_streamed(
+        &self,
+        db: &PpdDatabase,
+        queries: &[ConjunctiveQuery],
+        deliver: impl Fn(usize, Result<BatchAnswer>) + Sync,
+    ) {
+        // Ground every query up front; a query that cannot ground fails
+        // alone, without poisoning its wave-mates.
+        let mut planned: Vec<(usize, GroundedSessionQuery)> = Vec::new();
+        for (query_index, query) in queries.iter().enumerate() {
+            match ground_query(db, query) {
+                Ok(plan) => planned.push((query_index, plan)),
+                Err(e) => deliver(query_index, Err(e)),
+            }
         }
+        let mut prels = Vec::with_capacity(planned.len());
+        let mut with_prel: Vec<(usize, &GroundedSessionQuery)> = Vec::new();
+        for (query_index, plan) in &planned {
+            match db.preference_relation(&plan.prelation) {
+                Some(prel) => {
+                    prels.push(prel);
+                    with_prel.push((*query_index, plan));
+                }
+                None => deliver(
+                    *query_index,
+                    Err(PpdError::UnknownName(plan.prelation.clone())),
+                ),
+            }
+        }
+
+        // One request list over all queries, with per-query spans — the
+        // same coalescing `evaluate_batch` performs.
         let mut requests: Vec<UnitRequest<'_>> = Vec::new();
-        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(plans.len());
-        for (plan, prel) in plans.iter().zip(&prels) {
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(with_prel.len());
+        for ((_, plan), prel) in with_prel.iter().zip(&prels) {
             let start = requests.len();
             for squery in &plan.sessions {
                 requests.push(UnitRequest {
@@ -281,24 +364,133 @@ impl Engine {
             }
             spans.push((start, requests.len()));
         }
-        let probabilities = self.solve_requests(&requests, false)?;
-        Ok(plans
-            .iter()
-            .zip(spans)
-            .map(|(plan, (start, end))| {
-                let session_probabilities: Vec<(usize, f64)> = plan
-                    .sessions
-                    .iter()
-                    .map(|s| s.session_index)
-                    .zip(probabilities[start..end].iter().copied())
-                    .collect();
-                BatchAnswer {
-                    boolean: boolean_from(&session_probabilities),
-                    expected_count: count_from(&session_probabilities),
-                    session_probabilities,
+        let fingerprint = self.fingerprint(false);
+        let grouping = self.config.group_identical;
+        let (pending, sources) = self.plan_wave(&requests, fingerprint);
+
+        // Per-query unit refcounts: how many *distinct* pending units each
+        // query still needs, and per unit, which queries wait on it.
+        let mut remaining: Vec<usize> = vec![0; with_prel.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); pending.len()];
+        for (qi, &(start, end)) in spans.iter().enumerate() {
+            let mut units: Vec<usize> = sources[start..end]
+                .iter()
+                .filter_map(|source| match source {
+                    Source::Unit(unit) => Some(*unit),
+                    Source::Cached(_) => None,
+                })
+                .collect();
+            units.sort_unstable();
+            units.dedup();
+            remaining[qi] = units.len();
+            for unit in units {
+                dependents[unit].push(qi);
+            }
+        }
+
+        // Assembles query `qi`'s answer from cached values and the solved
+        // units recorded so far (callable only once all of them are in).
+        let assemble = |qi: usize, values: &[Option<f64>]| -> BatchAnswer {
+            let (start, end) = spans[qi];
+            let plan = with_prel[qi].1;
+            let session_probabilities: Vec<(usize, f64)> = plan
+                .sessions
+                .iter()
+                .map(|s| s.session_index)
+                .zip(sources[start..end].iter().map(|source| match source {
+                    Source::Cached(p) => *p,
+                    Source::Unit(unit) => {
+                        values[*unit].expect("all of the query's units are solved")
+                    }
+                }))
+                .collect();
+            BatchAnswer {
+                boolean: boolean_from(&session_probabilities),
+                expected_count: count_from(&session_probabilities),
+                session_probabilities,
+            }
+        };
+
+        struct Tracker {
+            /// Solved probability per pending unit, as completions land.
+            values: Vec<Option<f64>>,
+            /// Distinct unsolved units left per query.
+            remaining: Vec<usize>,
+            /// Whether the query's answer (or error) has been delivered.
+            done: Vec<bool>,
+        }
+        let tracker = Mutex::new(Tracker {
+            values: vec![None; pending.len()],
+            remaining,
+            done: vec![false; with_prel.len()],
+        });
+
+        // Queries fully served by the cache are delivered before the wave
+        // starts — on a warm engine that is the entire batch.
+        {
+            let mut ready: Vec<usize> = Vec::new();
+            let mut t = tracker.lock().expect("streaming tracker poisoned");
+            for qi in 0..with_prel.len() {
+                if t.remaining[qi] == 0 {
+                    t.done[qi] = true;
+                    ready.push(qi);
                 }
-            })
-            .collect())
+            }
+            drop(t);
+            let empty: Vec<Option<f64>> = vec![None; pending.len()];
+            for qi in ready {
+                deliver(with_prel[qi].0, Ok(assemble(qi, &empty)));
+            }
+        }
+
+        let order = self.wave_order(&pending, false);
+        scheduler::run_indexed_notify(
+            order.len(),
+            self.config.threads,
+            |slot| {
+                let unit = order[slot];
+                (unit, self.solve_pending(&pending[unit], false))
+            },
+            |_slot, (unit, outcome)| {
+                let unit = *unit;
+                // (query index, answer) pairs completed by this unit;
+                // delivered after the tracker lock is released so a slow
+                // consumer never serializes the other workers' completions.
+                let mut finished: Vec<(usize, Result<BatchAnswer>)> = Vec::new();
+                match outcome {
+                    Ok(p) => {
+                        if grouping {
+                            self.marginals.insert(pending[unit].hash, fingerprint, *p);
+                        }
+                        let mut t = tracker.lock().expect("streaming tracker poisoned");
+                        t.values[unit] = Some(*p);
+                        for &qi in &dependents[unit] {
+                            if t.done[qi] {
+                                continue;
+                            }
+                            t.remaining[qi] -= 1;
+                            if t.remaining[qi] == 0 {
+                                t.done[qi] = true;
+                                finished.push((with_prel[qi].0, Ok(assemble(qi, &t.values))));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let mut t = tracker.lock().expect("streaming tracker poisoned");
+                        for &qi in &dependents[unit] {
+                            if t.done[qi] {
+                                continue;
+                            }
+                            t.done[qi] = true;
+                            finished.push((with_prel[qi].0, Err(e.clone())));
+                        }
+                    }
+                }
+                for (query_index, answer) in finished {
+                    deliver(query_index, answer);
+                }
+            },
+        );
     }
 
     /// Solves a slice of unit requests: content-based deduplication, cache
@@ -318,24 +510,51 @@ impl Engine {
         requests: &[UnitRequest<'_>],
         force_exact: bool,
     ) -> Result<Vec<f64>> {
-        struct Pending<'a> {
-            /// The key's stable content hash: the cache address and the
-            /// seed ingredient, computed once per request.
-            hash: u64,
-            union: PatternUnion,
-            session: &'a Session,
-            labeling: &'a Labeling,
-        }
-
         let fingerprint = self.fingerprint(force_exact);
         let grouping = self.config.group_identical;
-        // Request index → where its probability comes from.
-        enum Source {
-            Cached(f64),
-            Unit(usize),
+        let (pending, sources) = self.plan_wave(requests, fingerprint);
+        let order = self.wave_order(&pending, force_exact);
+        // Units are *executed* in cost order but *recorded* in unit order:
+        // the pool pulls slots off the shared counter, so slot `s` runs
+        // `pending[order[s]]`, and the results are scattered back.
+        let solved_by_slot: Vec<(usize, Result<f64>)> =
+            scheduler::run_indexed(order.len(), self.config.threads, |slot| {
+                let unit = order[slot];
+                (unit, self.solve_pending(&pending[unit], force_exact))
+            });
+        let mut solved: Vec<Option<Result<f64>>> = (0..pending.len()).map(|_| None).collect();
+        for (unit, outcome) in solved_by_slot {
+            solved[unit] = Some(outcome);
         }
+        let mut values = Vec::with_capacity(pending.len());
+        for (unit, outcome) in pending.iter().zip(solved) {
+            let p = outcome.expect("every unit is scheduled exactly once")?;
+            if grouping {
+                self.marginals.insert(unit.hash, fingerprint, p);
+            }
+            values.push(p);
+        }
+        Ok(sources
+            .into_iter()
+            .map(|source| match source {
+                Source::Cached(p) => p,
+                Source::Unit(unit) => values[unit],
+            })
+            .collect())
+    }
+
+    /// Reduces a slice of requests to the wave's unsolved units: content
+    /// deduplication (under [`EvalConfig::group_identical`]) and cache
+    /// lookup, recording for each request where its probability will come
+    /// from.
+    fn plan_wave<'a>(
+        &self,
+        requests: &[UnitRequest<'a>],
+        fingerprint: SolverFingerprint,
+    ) -> (Vec<Pending<'a>>, Vec<Source>) {
+        let grouping = self.config.group_identical;
         let mut unit_of_key: HashMap<UnitKey, usize> = HashMap::new();
-        let mut pending: Vec<Pending<'_>> = Vec::new();
+        let mut pending: Vec<Pending<'a>> = Vec::new();
         let mut sources: Vec<Source> = Vec::with_capacity(requests.len());
         for request in requests {
             let (key, order) = UnitKey::new(request.session, request.union, request.labeling);
@@ -366,37 +585,48 @@ impl Engine {
             });
             sources.push(Source::Unit(unit));
         }
+        (pending, sources)
+    }
 
-        let solved: Vec<Result<f64>> =
-            scheduler::run_indexed(pending.len(), self.config.threads, |i| {
-                let unit = &pending[i];
-                let prepared = self.models.get_or_insert(unit.session);
-                let kind = self.solver_kind(&unit.union, force_exact);
-                let seed = UnitKey::seed_from_stable_hash(unit.hash, self.config.seed);
-                kind.solve_seeded(
-                    prepared.mallows(),
-                    || prepared.rim(),
-                    unit.labeling,
-                    &unit.union,
-                    seed,
-                )
-                .map_err(PpdError::from)
-            });
-        let mut values = Vec::with_capacity(pending.len());
-        for (unit, outcome) in pending.iter().zip(solved) {
-            let p = outcome?;
-            if grouping {
-                self.marginals.insert(unit.hash, fingerprint, p);
-            }
-            values.push(p);
-        }
-        Ok(sources
-            .into_iter()
-            .map(|source| match source {
-                Source::Cached(p) => p,
-                Source::Unit(unit) => values[unit],
+    /// The wave's execution order: pending-unit indices sorted descending by
+    /// estimated solve cost (union class × model size × solver kind), so the
+    /// most expensive units start first and the wave tail shrinks. Execution
+    /// order never affects results — seeds and cache keys are functions of
+    /// unit content alone.
+    fn wave_order(&self, pending: &[Pending<'_>], force_exact: bool) -> Vec<usize> {
+        let approx_budget = match (&self.config.solver, force_exact) {
+            (
+                SolverChoice::Approximate {
+                    samples_per_proposal,
+                },
+                false,
+            ) => Some(*samples_per_proposal),
+            _ => None,
+        };
+        let costs: Vec<f64> = pending
+            .iter()
+            .map(|unit| {
+                cost::unit_cost(&unit.union, unit.session.model().num_items(), approx_budget)
             })
-            .collect())
+            .collect();
+        cost::schedule_order(&costs)
+    }
+
+    /// Solves one pending unit: prepared-model lookup, solver selection, and
+    /// a seeded solve whose result depends only on the unit's content and
+    /// the engine's base seed.
+    fn solve_pending(&self, unit: &Pending<'_>, force_exact: bool) -> Result<f64> {
+        let prepared = self.models.get_or_insert(unit.session);
+        let kind = self.solver_kind(&unit.union, force_exact);
+        let seed = UnitKey::seed_from_stable_hash(unit.hash, self.config.seed);
+        kind.solve_seeded(
+            prepared.mallows(),
+            || prepared.rim(),
+            unit.labeling,
+            &unit.union,
+            seed,
+        )
+        .map_err(PpdError::from)
     }
 
     /// The solver handle for one unit, honouring `force_exact`.
@@ -574,6 +804,81 @@ mod tests {
             assert!((answer.expected_count - expected_count).abs() < 1e-12);
             assert!((0.0..=1.0).contains(&answer.boolean));
         }
+    }
+
+    #[test]
+    fn streamed_batch_matches_blocking_batch_bitwise() {
+        let db = polling_database();
+        let q2 = ConjunctiveQuery::new("clinton-trump").prefer(
+            "Polls",
+            vec![T::any(), T::any()],
+            T::val("Clinton"),
+            T::val("Trump"),
+        );
+        let queries = vec![q1(), q2, q1()];
+        let blocking = Engine::new(EvalConfig::exact())
+            .evaluate_batch(&db, &queries)
+            .unwrap();
+        for threads in [1usize, 4] {
+            let engine = Engine::new(EvalConfig::exact().with_threads(threads));
+            let delivered: Mutex<Vec<Option<BatchAnswer>>> = Mutex::new(vec![None; queries.len()]);
+            engine.evaluate_batch_streamed(&db, &queries, |qi, answer| {
+                let slot = &mut delivered.lock().unwrap()[qi];
+                assert!(slot.is_none(), "each query is delivered exactly once");
+                *slot = Some(answer.unwrap());
+            });
+            let delivered = delivered.into_inner().unwrap();
+            for (expect, got) in blocking.iter().zip(&delivered) {
+                let got = got.as_ref().expect("every query is delivered");
+                assert_eq!(expect.session_probabilities, got.session_probabilities);
+                assert_eq!(expect.boolean.to_bits(), got.boolean.to_bits());
+                assert_eq!(
+                    expect.expected_count.to_bits(),
+                    got.expected_count.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_batch_fails_unplannable_queries_individually() {
+        let db = polling_database();
+        let bad = ConjunctiveQuery::new("bad").prefer(
+            "NoSuchPolls",
+            vec![T::any(), T::any()],
+            T::val("Clinton"),
+            T::val("Trump"),
+        );
+        let queries = vec![q1(), bad];
+        let engine = Engine::new(EvalConfig::exact());
+        let delivered: Mutex<Vec<Option<Result<BatchAnswer>>>> = Mutex::new(vec![None, None]);
+        engine.evaluate_batch_streamed(&db, &queries, |qi, answer| {
+            delivered.lock().unwrap()[qi] = Some(answer);
+        });
+        let delivered = delivered.into_inner().unwrap();
+        assert!(delivered[0].as_ref().unwrap().is_ok());
+        assert!(matches!(
+            delivered[1].as_ref().unwrap(),
+            Err(PpdError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn streamed_batch_serves_a_warm_engine_before_solving() {
+        let db = polling_database();
+        let engine = Engine::new(EvalConfig::exact());
+        engine.session_probabilities(&db, &q1()).unwrap();
+        let misses_before = engine.cache_stats().marginal_misses;
+        let delivered = Mutex::new(Vec::new());
+        engine.evaluate_batch_streamed(&db, &[q1()], |qi, answer| {
+            delivered.lock().unwrap().push((qi, answer.unwrap()));
+        });
+        assert_eq!(delivered.into_inner().unwrap().len(), 1);
+        assert_eq!(
+            engine.cache_stats().marginal_misses,
+            misses_before,
+            "a fully cached streamed batch must not solve anything"
+        );
     }
 
     #[test]

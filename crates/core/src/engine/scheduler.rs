@@ -41,9 +41,40 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_notify(n, configured_threads, f, |_, _| {})
+}
+
+/// [`run_indexed`] with **per-unit completion notification**: `notify(i,
+/// &result)` fires on the worker that solved index `i`, immediately after
+/// `f(i)` returns and before the wave as a whole completes. This is what
+/// streamed evaluation builds on — a caller can release per-query answers
+/// as their last unit lands instead of waiting for the join.
+///
+/// Guarantees: `notify` is called exactly once per index, concurrently from
+/// worker threads (it must be `Sync`), and with one effective worker the
+/// calls arrive in index order on the caller's thread. No ordering is
+/// promised across workers; anything order-sensitive must live behind the
+/// caller's own synchronization.
+pub(crate) fn run_indexed_notify<T, F, N>(
+    n: usize,
+    configured_threads: usize,
+    f: F,
+    notify: N,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    N: Fn(usize, &T) + Sync,
+{
     let threads = effective_threads(configured_threads, n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let value = f(i);
+                notify(i, &value);
+                value
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -57,7 +88,9 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        let value = f(i);
+                        notify(i, &value);
+                        local.push((i, value));
                     }
                     local
                 })
@@ -100,6 +133,33 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<usize> = run_indexed(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn notify_fires_exactly_once_per_index_before_the_wave_joins() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        for threads in [1usize, 3] {
+            let notified = Mutex::new(Vec::new());
+            let out = run_indexed_notify(
+                17,
+                threads,
+                |i| i + 100,
+                |i, &v| {
+                    assert_eq!(v, i + 100, "notification carries the unit's result");
+                    notified.lock().unwrap().push(i);
+                },
+            );
+            let notified = notified.into_inner().unwrap();
+            assert_eq!(out, (100..117).collect::<Vec<_>>());
+            assert_eq!(notified.len(), 17);
+            assert_eq!(notified.iter().collect::<HashSet<_>>().len(), 17);
+            if threads == 1 {
+                // The serial path notifies in index order on the caller's
+                // thread — the property streamed-delivery tests pin on.
+                assert_eq!(notified, (0..17).collect::<Vec<_>>());
+            }
+        }
     }
 
     #[test]

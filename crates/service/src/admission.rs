@@ -1,0 +1,209 @@
+//! The admission queue: a bounded, condvar-signalled queue between client
+//! threads and the dispatcher, with the wave-forming pop on the consumer
+//! side.
+//!
+//! Bounded depth is the service's backpressure mechanism: when the queue is
+//! full, [`AdmissionQueue::push`] fails immediately instead of queueing
+//! unbounded work — under overload the caller learns *now*, while the
+//! answer "try elsewhere / later" is still cheap (the same reasoning as any
+//! load-shedding front-end). Shutdown flips a flag: producers are rejected,
+//! but everything already admitted is still drained, which is what makes
+//! service shutdown graceful.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitError {
+    /// The queue is at capacity; `depth` is its current length.
+    Overloaded { depth: usize },
+    /// Shutdown has begun; no new work is admitted.
+    ShuttingDown,
+}
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    shutting_down: bool,
+}
+
+/// A bounded multi-producer queue whose consumer pops *waves*: up to
+/// `max_batch` items, waiting at most `max_wait` after the first item for
+/// stragglers to coalesce.
+pub(crate) struct AdmissionQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    nonempty: Condvar,
+}
+
+impl<T> AdmissionQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Admits one item, returning the queue depth after the push; fails
+    /// fast when the queue is full or shutting down.
+    pub(crate) fn push(&self, job: T) -> Result<usize, AdmitError> {
+        let mut state = self.lock();
+        if state.shutting_down {
+            return Err(AdmitError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(AdmitError::Overloaded {
+                depth: state.jobs.len(),
+            });
+        }
+        state.jobs.push_back(job);
+        self.nonempty.notify_one();
+        Ok(state.jobs.len())
+    }
+
+    /// Number of items currently queued (admitted, not yet in a wave).
+    pub(crate) fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Begins shutdown: future pushes fail, and once the queue drains,
+    /// [`AdmissionQueue::next_wave`] returns `None`.
+    pub(crate) fn shutdown(&self) {
+        self.lock().shutting_down = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Blocks until at least one item is queued, then holds the batching
+    /// window open — up to `max_wait` from the first sighting, cut short
+    /// the moment `max_batch` items are available or shutdown begins — and
+    /// pops up to `max_batch` items. Returns `None` only when the queue is
+    /// empty *and* shutting down: the dispatcher's signal to exit after
+    /// every admitted query has been served.
+    pub(crate) fn next_wave(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.lock();
+        loop {
+            if !state.jobs.is_empty() {
+                break;
+            }
+            if state.shutting_down {
+                return None;
+            }
+            state = self.nonempty.wait(state).expect("admission queue poisoned");
+        }
+        let deadline = Instant::now() + max_wait;
+        while state.jobs.len() < max_batch && !state.shutting_down {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .nonempty
+                .wait_timeout(state, deadline - now)
+                .expect("admission queue poisoned");
+            state = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = state.jobs.len().min(max_batch);
+        Some(state.jobs.drain(..take).collect())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().expect("admission queue poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_and_depth() {
+        let q = AdmissionQueue::new(4);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.depth(), 2);
+        let wave = q.next_wave(8, Duration::ZERO).unwrap();
+        assert_eq!(wave, vec![1, 2]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn overload_rejects_with_current_depth() {
+        let q = AdmissionQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(AdmitError::Overloaded { depth: 2 }));
+        // Popping frees capacity again.
+        q.next_wave(1, Duration::ZERO).unwrap();
+        assert_eq!(q.push(3), Ok(2));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.push(1), Ok(1));
+        assert!(matches!(q.push(2), Err(AdmitError::Overloaded { .. })));
+    }
+
+    #[test]
+    fn waves_are_capped_at_max_batch() {
+        let q = AdmissionQueue::new(16);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn window_waits_for_stragglers_and_closes_early_when_full() {
+        let q = AdmissionQueue::new(16);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // The consumer sees the first item, holds the window open,
+                // and should collect the straggler pushed shortly after.
+                let wave = q.next_wave(2, Duration::from_secs(5)).unwrap();
+                assert_eq!(wave.len(), 2, "window must admit the straggler");
+            });
+            q.push(1).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            q.push(2).unwrap();
+            // max_batch reached → the window closes long before its 5 s
+            // deadline (the join below would otherwise hang the test).
+        });
+    }
+
+    #[test]
+    fn shutdown_rejects_producers_but_drains_consumers() {
+        let q = AdmissionQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.shutdown();
+        assert_eq!(q.push(3), Err(AdmitError::ShuttingDown));
+        // Already-admitted items still come out...
+        assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap(), vec![1]);
+        assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap(), vec![2]);
+        // ...and only then does the consumer learn it is done. (Also checks
+        // the window does not wait out its deadline during shutdown.)
+        assert_eq!(q.next_wave(4, Duration::from_secs(5)), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_shutdown() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(4);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| q.next_wave(4, Duration::from_secs(30)));
+            std::thread::sleep(Duration::from_millis(20));
+            q.shutdown();
+            assert_eq!(waiter.join().unwrap(), None);
+        });
+    }
+}

@@ -1,0 +1,86 @@
+//! Service configuration: admission bound, batching window, and the engine
+//! configuration the service pins for its lifetime.
+
+use ppd_core::EvalConfig;
+use std::time::Duration;
+
+/// Configuration of a [`Service`](crate::Service).
+///
+/// The engine configuration is fixed at construction — that is what makes
+/// the engine's caches coherent and every answer independent of how queries
+/// happen to be batched.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admission-queue bound: queries waiting for a wave. When the queue is
+    /// this deep, [`Service::submit`](crate::Service::submit) fails with
+    /// [`ServiceError::Overloaded`](crate::ServiceError::Overloaded)
+    /// (clamped to at least 1).
+    pub max_queue: usize,
+    /// Most queries coalesced into one wave (clamped to at least 1). `1`
+    /// disables batching: every query is its own wave.
+    pub max_batch: usize,
+    /// How long the dispatcher holds a wave open after its first query
+    /// arrives, waiting for more to coalesce. `Duration::ZERO` means "take
+    /// whatever is queued right now" — batching still happens under
+    /// backlog, but an idle service answers a lone query immediately.
+    pub max_wait: Duration,
+    /// The evaluation-engine configuration (solver, seed, threads, cache
+    /// sharding/capacity) behind this service.
+    pub eval: EvalConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_queue: 1024,
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            eval: EvalConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration around an engine configuration, with default
+    /// admission and batching parameters.
+    pub fn new(eval: EvalConfig) -> Self {
+        ServiceConfig {
+            eval,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Sets the admission-queue bound.
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+
+    /// Sets the wave-size cap.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the batching window.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let config = ServiceConfig::new(EvalConfig::exact())
+            .with_max_queue(7)
+            .with_max_batch(3)
+            .with_max_wait(Duration::from_millis(9));
+        assert_eq!(config.max_queue, 7);
+        assert_eq!(config.max_batch, 3);
+        assert_eq!(config.max_wait, Duration::from_millis(9));
+    }
+}

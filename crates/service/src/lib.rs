@@ -1,0 +1,63 @@
+//! # ppd-service
+//!
+//! An in-process serving layer in front of the [`ppd_core`] evaluation
+//! engine: the piece that turns a blocking, caller-drives-everything
+//! [`Engine`](ppd_core::Engine) into something that can sit under heavy
+//! concurrent query traffic.
+//!
+//! ```text
+//!  clients (any thread)          dispatcher thread              engine
+//!  ───────────────────          ─────────────────              ──────
+//!  submit(request) ──admit──▶ [ admission queue ]
+//!        │  bounded depth;        │ batching window:
+//!        │  `Overloaded` when     │ wait ≤ max_wait for
+//!        ▼  full                  ▼ ≤ max_batch queries
+//!     Ticket ◀──────────────── [ wave ] ──────────────▶ one streamed batch:
+//!        │                                              units deduplicated,
+//!        │    per-query one-shot channel                cost-ordered, solved
+//!        ▼                                              across the pool
+//!     wait() ◀───── answer streams back as soon as ──────────┘
+//!                   *its* units finish, not the wave's
+//! ```
+//!
+//! The layer is hand-rolled on `std::thread` + `std::sync::mpsc` — no async
+//! runtime — and has four parts:
+//!
+//! * **Admission control** ([`Service::submit`]): a bounded queue. When it
+//!   is full the submit fails fast with [`ServiceError::Overloaded`] instead
+//!   of letting latency grow without bound — backpressure the caller can
+//!   act on (shed, retry, or route elsewhere).
+//! * **Wave batching**: the dispatcher coalesces queued queries into waves
+//!   of at most [`ServiceConfig::max_batch`], waiting at most
+//!   [`ServiceConfig::max_wait`] after the first query arrives. Queries
+//!   that land in one wave share deduplicated work units through one
+//!   [`Engine`](ppd_core::Engine) — concurrent clients asking overlapping
+//!   questions pay for the overlap once (the cross-query grouping of the
+//!   paper's Section 6.4, applied *between* clients).
+//! * **Streamed answers**: each query's [`Ticket`] resolves as soon as the
+//!   last work unit that query depends on completes
+//!   ([`Engine::evaluate_batch_streamed`](ppd_core::Engine::evaluate_batch_streamed)),
+//!   so a cheap query co-batched with an expensive one is answered early
+//!   instead of waiting for the wave.
+//! * **Graceful shutdown + stats** ([`Service::shutdown`],
+//!   [`ServiceStats`]): shutdown drains every admitted query before the
+//!   dispatcher exits, and the stats snapshot reports queue depth, wave
+//!   sizes, per-query latency, and the engine's cache hit rate.
+//!
+//! **Determinism contract:** for a fixed [`EvalConfig`](ppd_core::EvalConfig)
+//! every answer is bit-identical to calling the engine directly — regardless
+//! of batch window, arrival order, wave composition, or thread count. The
+//! engine guarantees this per unit (content-derived seeds and cache keys);
+//! the service adds no state of its own to the numbers. The repo's
+//! `service_determinism` test pins the contract.
+
+mod admission;
+mod config;
+mod request;
+mod service;
+mod stats;
+
+pub use config::ServiceConfig;
+pub use request::{Answer, Request, ServiceError, Ticket};
+pub use service::Service;
+pub use stats::ServiceStats;

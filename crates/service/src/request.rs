@@ -1,0 +1,179 @@
+//! The service's wire types: what clients submit ([`Request`]), what they
+//! get back ([`Answer`] behind a [`Ticket`]), and how things fail
+//! ([`ServiceError`]).
+
+use ppd_core::{ConjunctiveQuery, PpdError, SessionScore, TopKStrategy};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// One query a client submits to the service.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// `Pr(Q)`: the probability that some session satisfies the query.
+    Boolean(ConjunctiveQuery),
+    /// `count(Q)`: the expected number of satisfying sessions.
+    Count(ConjunctiveQuery),
+    /// Per qualifying session, the probability that the query holds in it.
+    SessionProbabilities(ConjunctiveQuery),
+    /// `top(Q, k)`: the `k` sessions most likely to satisfy the query.
+    TopK {
+        /// The query to rank sessions by.
+        query: ConjunctiveQuery,
+        /// How many sessions to return.
+        k: usize,
+        /// Naive or upper-bound-driven evaluation.
+        strategy: TopKStrategy,
+    },
+}
+
+impl Request {
+    /// The underlying conjunctive query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        match self {
+            Request::Boolean(q)
+            | Request::Count(q)
+            | Request::SessionProbabilities(q)
+            | Request::TopK { query: q, .. } => q,
+        }
+    }
+}
+
+/// The answer to one [`Request`], shaped by its variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// Answer to [`Request::Boolean`].
+    Boolean(f64),
+    /// Answer to [`Request::Count`].
+    Count(f64),
+    /// Answer to [`Request::SessionProbabilities`].
+    SessionProbabilities(Vec<(usize, f64)>),
+    /// Answer to [`Request::TopK`], sorted by decreasing probability.
+    TopK(Vec<SessionScore>),
+}
+
+/// How a submission or an admitted query can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control refused the query: the queue already holds `depth`
+    /// queries. Backpressure — retry later or shed the query.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// The service is shutting down and admits no new queries.
+    ShuttingDown,
+    /// The query was admitted but evaluation failed (bad query, unknown
+    /// relation, solver error).
+    Eval(PpdError),
+    /// The service dropped the query without answering — only possible if
+    /// the dispatcher died; a bug, surfaced rather than hung on.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Overloaded { depth } => {
+                write!(f, "service overloaded: {depth} queries already queued")
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ServiceError::Disconnected => write!(f, "service dropped the query (dispatcher died)"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<PpdError> for ServiceError {
+    fn from(e: PpdError) -> Self {
+        ServiceError::Eval(e)
+    }
+}
+
+/// What flows through a ticket's one-shot channel.
+pub(crate) type Delivery = Result<Answer, ServiceError>;
+
+/// A claim on one submitted query's future answer.
+///
+/// The ticket is the receiving half of a one-shot channel the service
+/// delivers into the moment the query's own work units finish — possibly
+/// mid-wave, while co-batched queries are still being solved. Dropping a
+/// ticket abandons the answer; the query itself still runs.
+#[derive(Debug)]
+pub struct Ticket {
+    query_name: String,
+    receiver: mpsc::Receiver<Delivery>,
+}
+
+impl Ticket {
+    pub(crate) fn new(query_name: String, receiver: mpsc::Receiver<Delivery>) -> Self {
+        Ticket {
+            query_name,
+            receiver,
+        }
+    }
+
+    /// Name of the submitted query, for logs.
+    pub fn query_name(&self) -> &str {
+        &self.query_name
+    }
+
+    /// Blocks until the answer is delivered.
+    pub fn wait(self) -> Delivery {
+        match self.receiver.recv() {
+            Ok(delivery) => delivery,
+            Err(mpsc::RecvError) => Err(ServiceError::Disconnected),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the query is still in flight.
+    pub fn try_wait(&self) -> Option<Delivery> {
+        match self.receiver.try_recv() {
+            Ok(delivery) => Some(delivery),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::Disconnected)),
+        }
+    }
+
+    /// Blocks up to `timeout`: `None` if the query is still in flight then.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Delivery> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(delivery) => Some(delivery),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Disconnected)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_resolves_once_delivered() {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket::new("q".into(), rx);
+        assert_eq!(ticket.query_name(), "q");
+        assert!(ticket.try_wait().is_none(), "nothing delivered yet");
+        tx.send(Ok(Answer::Boolean(0.5))).unwrap();
+        assert_eq!(ticket.wait(), Ok(Answer::Boolean(0.5)));
+    }
+
+    #[test]
+    fn dropped_sender_surfaces_as_disconnected() {
+        let (tx, rx) = mpsc::channel::<Delivery>();
+        drop(tx);
+        let ticket = Ticket::new("q".into(), rx);
+        assert_eq!(ticket.try_wait(), Some(Err(ServiceError::Disconnected)));
+        assert_eq!(ticket.wait(), Err(ServiceError::Disconnected));
+    }
+
+    #[test]
+    fn errors_render_for_logs() {
+        let overloaded = ServiceError::Overloaded { depth: 9 };
+        assert!(overloaded.to_string().contains("9 queries"));
+        let eval: ServiceError = PpdError::UnknownName("Nope".into()).into();
+        assert!(eval.to_string().contains("Nope"));
+    }
+}

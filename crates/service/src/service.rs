@@ -1,0 +1,367 @@
+//! The service proper: admission, the dispatcher thread, wave execution,
+//! and graceful shutdown.
+
+use crate::admission::{AdmissionQueue, AdmitError};
+use crate::config::ServiceConfig;
+use crate::request::{Answer, Delivery, Request, ServiceError, Ticket};
+use crate::stats::{ServiceStats, StatsCollector};
+use ppd_core::{BatchAnswer, ConjunctiveQuery, Engine, PpdDatabase};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One admitted query on its way to a wave.
+struct Job {
+    request: Request,
+    submitted: Instant,
+    reply: mpsc::Sender<Delivery>,
+}
+
+/// Everything the dispatcher thread and the client-facing handle share.
+struct Inner {
+    config: ServiceConfig,
+    db: PpdDatabase,
+    engine: Engine,
+    queue: AdmissionQueue<Job>,
+    stats: Mutex<StatsCollector>,
+}
+
+/// An in-process query-serving layer over one [`Engine`].
+///
+/// Clients on any thread [`submit`](Service::submit) queries and block on
+/// (or poll) the returned [`Ticket`]s; a dispatcher thread coalesces the
+/// admission queue into waves and streams each query's answer back as its
+/// work units complete. See the [crate documentation](crate) for the
+/// architecture and the determinism contract.
+///
+/// The service is `Sync`: share it by reference (e.g. across scoped
+/// threads) or behind an `Arc`. Dropping it shuts it down gracefully —
+/// every admitted query is answered first.
+pub struct Service {
+    inner: Arc<Inner>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Builds a service over its own copy of the database and a fresh
+    /// engine, and starts the dispatcher thread.
+    pub fn new(db: PpdDatabase, config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            engine: Engine::new(config.eval.clone()),
+            queue: AdmissionQueue::new(config.max_queue),
+            stats: Mutex::new(StatsCollector::default()),
+            db,
+            config,
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ppd-service-dispatcher".into())
+                .spawn(move || dispatch_loop(&inner))
+                .expect("spawn service dispatcher")
+        };
+        Service {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submits a query. On admission, returns a [`Ticket`] that resolves
+    /// when the query's own work units finish; under overload or shutdown,
+    /// fails fast instead of queueing unbounded work.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServiceError> {
+        let (reply, receiver) = mpsc::channel();
+        let query_name = request.query().name().to_string();
+        let job = Job {
+            request,
+            submitted: Instant::now(),
+            reply,
+        };
+        match self.inner.queue.push(job) {
+            Ok(_) => {
+                self.lock_stats().record_submit();
+                Ok(Ticket::new(query_name, receiver))
+            }
+            Err(AdmitError::Overloaded { depth }) => {
+                self.lock_stats().record_reject();
+                Err(ServiceError::Overloaded { depth })
+            }
+            Err(AdmitError::ShuttingDown) => Err(ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Snapshot of the service's activity, including the engine's cache
+    /// counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.lock_stats()
+            .snapshot(self.inner.queue.depth(), self.inner.engine.cache_stats())
+    }
+
+    /// The engine behind this service — for cache persistence
+    /// (`save_marginals` / `load_marginals`) and introspection. Evaluating
+    /// through it directly is safe (answers are bit-identical either way)
+    /// but bypasses admission control.
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// The database this service serves.
+    pub fn database(&self) -> &PpdDatabase {
+        &self.inner.db
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Begins graceful shutdown without blocking: new submissions fail with
+    /// [`ServiceError::ShuttingDown`], while every already-admitted query
+    /// is still solved and delivered. Use [`Service::shutdown`] (or drop
+    /// the service) to also wait for the drain to finish.
+    pub fn initiate_shutdown(&self) {
+        self.inner.queue.shutdown();
+    }
+
+    /// Gracefully shuts down: stops admission, waits until every admitted
+    /// query has been answered and the dispatcher has exited, and returns
+    /// the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.join_dispatcher();
+        self.stats()
+    }
+
+    fn join_dispatcher(&mut self) {
+        self.inner.queue.shutdown();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn lock_stats(&self) -> std::sync::MutexGuard<'_, StatsCollector> {
+        self.inner.stats.lock().expect("service stats poisoned")
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.join_dispatcher();
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("config", &self.inner.config)
+            .field("queue_depth", &self.inner.queue.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The dispatcher: pops waves off the admission queue until shutdown has
+/// drained it.
+fn dispatch_loop(inner: &Inner) {
+    while let Some(wave) = inner
+        .queue
+        .next_wave(inner.config.max_batch, inner.config.max_wait)
+    {
+        inner
+            .stats
+            .lock()
+            .expect("service stats poisoned")
+            .record_wave(wave.len());
+        run_wave(inner, wave);
+    }
+}
+
+/// Executes one wave: the streamable kinds (Boolean / count / per-session)
+/// go through the engine as a single streamed batch — sharing deduplicated
+/// work units and delivering each answer the moment its units finish — and
+/// top-k queries follow one by one on the same warm engine.
+fn run_wave(inner: &Inner, wave: Vec<Job>) {
+    let mut batched: Vec<Mutex<Option<Job>>> = Vec::new();
+    let mut batched_queries: Vec<ConjunctiveQuery> = Vec::new();
+    let mut topk: Vec<Job> = Vec::new();
+    for job in wave {
+        match &job.request {
+            Request::TopK { .. } => topk.push(job),
+            streamable => {
+                batched_queries.push(streamable.query().clone());
+                batched.push(Mutex::new(Some(job)));
+            }
+        }
+    }
+
+    if !batched_queries.is_empty() {
+        inner
+            .engine
+            .evaluate_batch_streamed(&inner.db, &batched_queries, |qi, outcome| {
+                // Exactly-once per query, possibly from an engine worker
+                // thread — the hand-off below is all that happens here.
+                let taken = batched[qi]
+                    .lock()
+                    .expect("wave delivery slot poisoned")
+                    .take();
+                if let Some(job) = taken {
+                    let delivery = match outcome {
+                        Ok(answer) => Ok(project(&job.request, answer)),
+                        Err(e) => Err(ServiceError::Eval(e)),
+                    };
+                    finish(inner, job, delivery);
+                }
+            });
+        // The engine delivers every query exactly once; anything still here
+        // would be a contract violation, surfaced instead of hung on.
+        for slot in &batched {
+            if let Some(job) = slot.lock().expect("wave delivery slot poisoned").take() {
+                debug_assert!(false, "engine failed to deliver a batched query");
+                finish(inner, job, Err(ServiceError::Disconnected));
+            }
+        }
+    }
+
+    for job in topk {
+        let Request::TopK { query, k, strategy } = &job.request else {
+            unreachable!("only top-k jobs are deferred past the streamed batch");
+        };
+        let delivery = inner
+            .engine
+            .most_probable_sessions(&inner.db, query, *k, *strategy)
+            .map(|(scores, _stats)| Answer::TopK(scores))
+            .map_err(ServiceError::Eval);
+        finish(inner, job, delivery);
+    }
+}
+
+/// Projects the engine's batch answer onto the shape the request asked for.
+fn project(request: &Request, answer: BatchAnswer) -> Answer {
+    match request {
+        Request::Boolean(_) => Answer::Boolean(answer.boolean),
+        Request::Count(_) => Answer::Count(answer.expected_count),
+        Request::SessionProbabilities(_) => {
+            Answer::SessionProbabilities(answer.session_probabilities)
+        }
+        Request::TopK { .. } => unreachable!("top-k jobs are not batched"),
+    }
+}
+
+/// Records the delivery and sends it; a client that dropped its ticket just
+/// discards the answer.
+fn finish(inner: &Inner, job: Job, delivery: Delivery) {
+    let latency = job.submitted.elapsed();
+    inner
+        .stats
+        .lock()
+        .expect("service stats poisoned")
+        .record_delivery(latency, delivery.is_ok());
+    let _ = job.reply.send(delivery);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_core::{EvalConfig, Term};
+    use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+
+    fn tiny_db() -> PpdDatabase {
+        polls_database(&PollsConfig {
+            num_candidates: 5,
+            num_voters: 8,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn answers_every_request_kind() {
+        let db = tiny_db();
+        let service = Service::new(db.clone(), ServiceConfig::new(EvalConfig::exact()));
+        let q = polls_q1_query();
+        let tickets = vec![
+            service.submit(Request::Boolean(q.clone())).unwrap(),
+            service.submit(Request::Count(q.clone())).unwrap(),
+            service
+                .submit(Request::SessionProbabilities(q.clone()))
+                .unwrap(),
+            service
+                .submit(Request::TopK {
+                    query: q.clone(),
+                    k: 3,
+                    strategy: ppd_core::TopKStrategy::Naive,
+                })
+                .unwrap(),
+        ];
+        let answers: Vec<Answer> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("query answers"))
+            .collect();
+        let engine = Engine::new(EvalConfig::exact());
+        assert_eq!(
+            answers[0],
+            Answer::Boolean(engine.evaluate_boolean(&db, &q).unwrap())
+        );
+        assert_eq!(
+            answers[1],
+            Answer::Count(engine.count_sessions(&db, &q).unwrap())
+        );
+        assert_eq!(
+            answers[2],
+            Answer::SessionProbabilities(engine.session_probabilities(&db, &q).unwrap())
+        );
+        assert_eq!(
+            answers[3],
+            Answer::TopK(
+                engine
+                    .most_probable_sessions(&db, &q, 3, ppd_core::TopKStrategy::Naive)
+                    .unwrap()
+                    .0
+            )
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.answered, 4);
+        assert_eq!(stats.failed + stats.rejected, 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert!(stats.waves >= 1);
+    }
+
+    #[test]
+    fn evaluation_errors_are_delivered_not_hung() {
+        let service = Service::new(tiny_db(), ServiceConfig::new(EvalConfig::exact()));
+        let bad = ConjunctiveQuery::new("bad").prefer(
+            "NoSuchRelation",
+            vec![Term::any(), Term::any()],
+            Term::val("cand0"),
+            Term::val("cand1"),
+        );
+        let ticket = service.submit(Request::Boolean(bad)).unwrap();
+        assert!(matches!(ticket.wait(), Err(ServiceError::Eval(_))));
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn drop_drains_admitted_queries() {
+        let db = tiny_db();
+        let service = Service::new(db, ServiceConfig::new(EvalConfig::exact()));
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| service.submit(Request::Boolean(polls_q1_query())).unwrap())
+            .collect();
+        drop(service);
+        for ticket in tickets {
+            assert!(
+                ticket.wait().is_ok(),
+                "dropping the service must still answer admitted queries"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let service = Service::new(tiny_db(), ServiceConfig::new(EvalConfig::exact()));
+        service.initiate_shutdown();
+        assert!(matches!(
+            service.submit(Request::Boolean(polls_q1_query())),
+            Err(ServiceError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Service observability: the [`ServiceStats`] snapshot and its internal
+//! collector.
+
+use ppd_core::CacheStats;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Snapshot of a service's activity since construction.
+///
+/// `answered + failed` accounts for every query that left the queue;
+/// `submitted − rejected − answered − failed − queue_depth` is the number
+/// currently being solved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Queries admitted by [`Service::submit`](crate::Service::submit).
+    pub submitted: u64,
+    /// Queries refused by admission control (`Overloaded`).
+    pub rejected: u64,
+    /// Queries answered successfully.
+    pub answered: u64,
+    /// Queries delivered an evaluation error.
+    pub failed: u64,
+    /// Queries currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Waves dispatched so far.
+    pub waves: u64,
+    /// Size of the largest wave.
+    pub max_wave: usize,
+    /// Wave-size histogram: `(size, number of waves of that size)`,
+    /// ascending by size.
+    pub wave_sizes: Vec<(usize, u64)>,
+    /// Mean submit-to-delivery latency over answered and failed queries.
+    pub mean_latency: Duration,
+    /// Worst submit-to-delivery latency.
+    pub max_latency: Duration,
+    /// The engine's cache counters, carried over so one snapshot tells the
+    /// whole story (the hit rate is where batching pays off).
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Mean wave size (0 before the first wave).
+    pub fn mean_wave_size(&self) -> f64 {
+        if self.waves == 0 {
+            return 0.0;
+        }
+        let batched: u64 = self
+            .wave_sizes
+            .iter()
+            .map(|&(size, count)| size as u64 * count)
+            .sum();
+        batched as f64 / self.waves as f64
+    }
+}
+
+/// One-line summary for service logs, e.g. `service: 40 submitted (2
+/// rejected), 37 answered, 1 failed, 0 queued; 5 waves (mean 7.6, max 12);
+/// latency mean 3.2ms, max 11.0ms | marginals …`.
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "service: {} submitted ({} rejected), {} answered, {} failed, {} queued; \
+             {} waves (mean {:.1}, max {}); latency mean {:.1?}, max {:.1?} | {}",
+            self.submitted,
+            self.rejected,
+            self.answered,
+            self.failed,
+            self.queue_depth,
+            self.waves,
+            self.mean_wave_size(),
+            self.max_wave,
+            self.mean_latency,
+            self.max_latency,
+            self.cache
+        )
+    }
+}
+
+/// The mutable half, updated by the service under its stats lock.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    submitted: u64,
+    rejected: u64,
+    answered: u64,
+    failed: u64,
+    waves: u64,
+    max_wave: usize,
+    wave_sizes: BTreeMap<usize, u64>,
+    latency_total: Duration,
+    latency_max: Duration,
+}
+
+impl StatsCollector {
+    pub(crate) fn record_submit(&mut self) {
+        self.submitted += 1;
+    }
+
+    pub(crate) fn record_reject(&mut self) {
+        self.rejected += 1;
+    }
+
+    pub(crate) fn record_wave(&mut self, size: usize) {
+        self.waves += 1;
+        self.max_wave = self.max_wave.max(size);
+        *self.wave_sizes.entry(size).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, latency: Duration, ok: bool) {
+        if ok {
+            self.answered += 1;
+        } else {
+            self.failed += 1;
+        }
+        self.latency_total += latency;
+        self.latency_max = self.latency_max.max(latency);
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> ServiceStats {
+        let delivered = self.answered + self.failed;
+        ServiceStats {
+            submitted: self.submitted,
+            rejected: self.rejected,
+            answered: self.answered,
+            failed: self.failed,
+            queue_depth,
+            waves: self.waves,
+            max_wave: self.max_wave,
+            wave_sizes: self.wave_sizes.iter().map(|(&s, &c)| (s, c)).collect(),
+            mean_latency: self
+                .latency_total
+                .checked_div(delivered as u32)
+                .unwrap_or(Duration::ZERO),
+            max_latency: self.latency_max,
+            cache,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_and_snapshots() {
+        let mut c = StatsCollector::default();
+        for _ in 0..4 {
+            c.record_submit();
+        }
+        c.record_reject();
+        c.record_wave(3);
+        c.record_wave(1);
+        c.record_wave(3);
+        c.record_delivery(Duration::from_millis(10), true);
+        c.record_delivery(Duration::from_millis(30), false);
+        let stats = c.snapshot(2, CacheStats::default());
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.queue_depth, 2);
+        assert_eq!(stats.waves, 3);
+        assert_eq!(stats.max_wave, 3);
+        assert_eq!(stats.wave_sizes, vec![(1, 1), (3, 2)]);
+        assert!((stats.mean_wave_size() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.mean_latency, Duration::from_millis(20));
+        assert_eq!(stats.max_latency, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let stats = StatsCollector::default().snapshot(0, CacheStats::default());
+        let line = stats.to_string();
+        assert!(line.starts_with("service:"), "{line}");
+        assert!(
+            line.contains("marginals"),
+            "cache summary rides along: {line}"
+        );
+        assert!(!line.contains('\n'), "{line}");
+    }
+
+    #[test]
+    fn empty_stats_have_zero_means() {
+        let stats = ServiceStats::default();
+        assert_eq!(stats.mean_wave_size(), 0.0);
+        assert_eq!(stats.mean_latency, Duration::ZERO);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`core`] — the RIM-PPD database, conjunctive queries, and the Boolean /
 //!   Count-Session / Most-Probable-Session evaluators, all running on the
 //!   parallel, cache-backed [`core::engine::Engine`];
+//! * [`service`] — the in-process serving layer over one engine: admission
+//!   control, wave batching, and streamed per-query answers;
 //! * [`datagen`] — generators for the paper's experimental datasets.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
@@ -26,6 +28,7 @@ pub use ppd_core as core;
 pub use ppd_datagen as datagen;
 pub use ppd_patterns as patterns;
 pub use ppd_rim as rim;
+pub use ppd_service as service;
 pub use ppd_solvers as solvers;
 
 /// Commonly used types, re-exported flat for convenience.
@@ -38,6 +41,9 @@ pub mod prelude {
     };
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};
+    pub use ppd_service::{
+        Answer, Request, Service, ServiceConfig, ServiceError, ServiceStats, Ticket,
+    };
     pub use ppd_solvers::{
         ApproxSolver, BipartiteSolver, ExactSolver, GeneralSolver, MisAmpAdaptive, MisAmpLite,
         RejectionSampler, TwoLabelSolver,

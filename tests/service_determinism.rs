@@ -1,0 +1,178 @@
+//! The serving layer's determinism contract: for a fixed engine
+//! configuration, answers served through the `ppd_service` front-end are
+//! **bit-identical** to calling the `Engine` directly — regardless of batch
+//! window, arrival order, wave composition, or thread count.
+//!
+//! The contract is what makes the serving layer safe to deploy: batching is
+//! purely a throughput optimization and can never change a result. It holds
+//! because every work unit's RNG seed and cache key derive from the unit's
+//! content alone, and the service adds no state of its own to the numbers.
+//!
+//! Equality below is `assert_eq!` on `f64`s — bitwise, no tolerance.
+
+use ppd::datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd::prelude::*;
+
+fn database() -> PpdDatabase {
+    polls_database(&PollsConfig {
+        num_candidates: 6,
+        num_voters: 24,
+        seed: 2020,
+    })
+}
+
+/// A two-label query naming concrete candidates.
+fn pair_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("pair").prefer(
+        "Polls",
+        vec![Term::any(), Term::any()],
+        Term::val("cand0"),
+        Term::val("cand1"),
+    )
+}
+
+/// A chain `cand0 ≻ cand1 ≻ cand2` — a general-class union, so the exact
+/// configuration exercises the inclusion–exclusion solver too.
+fn chain_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("chain")
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::val("cand0"),
+            Term::val("cand1"),
+        )
+        .prefer(
+            "Polls",
+            vec![Term::any(), Term::any()],
+            Term::val("cand1"),
+            Term::val("cand2"),
+        )
+}
+
+/// A mixed workload covering every request kind, with a duplicate to give
+/// waves shared work units.
+fn workload() -> Vec<Request> {
+    vec![
+        Request::Boolean(polls_q1_query()),
+        Request::Count(chain_query()),
+        Request::SessionProbabilities(pair_query()),
+        Request::TopK {
+            query: polls_q1_query(),
+            k: 3,
+            strategy: TopKStrategy::UpperBound {
+                edges_per_pattern: 2,
+            },
+        },
+        Request::TopK {
+            query: pair_query(),
+            k: 2,
+            strategy: TopKStrategy::Naive,
+        },
+        Request::Boolean(polls_q1_query()),
+    ]
+}
+
+/// The reference: each request evaluated directly on one `Engine`.
+fn direct_answers(db: &PpdDatabase, eval: &EvalConfig) -> Vec<Answer> {
+    let engine = Engine::new(eval.clone());
+    workload()
+        .into_iter()
+        .map(|request| match request {
+            Request::Boolean(q) => Answer::Boolean(engine.evaluate_boolean(db, &q).unwrap()),
+            Request::Count(q) => Answer::Count(engine.count_sessions(db, &q).unwrap()),
+            Request::SessionProbabilities(q) => {
+                Answer::SessionProbabilities(engine.session_probabilities(db, &q).unwrap())
+            }
+            Request::TopK { query, k, strategy } => Answer::TopK(
+                engine
+                    .most_probable_sessions(db, &query, k, strategy)
+                    .unwrap()
+                    .0,
+            ),
+        })
+        .collect()
+}
+
+/// Answers the workload through a service, optionally submitting in
+/// reversed order, and returns the answers in workload order.
+fn service_answers(
+    db: &PpdDatabase,
+    eval: &EvalConfig,
+    max_batch: usize,
+    reversed: bool,
+) -> Vec<Answer> {
+    let window = if max_batch > 1 {
+        std::time::Duration::from_millis(50)
+    } else {
+        std::time::Duration::ZERO
+    };
+    let service = Service::new(
+        db.clone(),
+        ServiceConfig::new(eval.clone())
+            .with_max_batch(max_batch)
+            .with_max_wait(window),
+    );
+    let requests = workload();
+    let n = requests.len();
+    let order: Vec<usize> = if reversed {
+        (0..n).rev().collect()
+    } else {
+        (0..n).collect()
+    };
+    let mut tickets: Vec<Option<Ticket>> = (0..n).map(|_| None).collect();
+    for &i in &order {
+        tickets[i] = Some(service.submit(requests[i].clone()).expect("admitted"));
+    }
+    let answers: Vec<Answer> = tickets
+        .into_iter()
+        .map(|t| t.unwrap().wait().expect("query answers"))
+        .collect();
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, n as u64);
+    assert_eq!(stats.answered, n as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.max_wave <= max_batch);
+    answers
+}
+
+/// The full matrix for one engine configuration: batch windows {1, max},
+/// submission order {forward, reversed}, threads {1, 0 = auto}.
+fn pin_contract(eval_base: EvalConfig) {
+    let db = database();
+    let max = workload().len();
+    for threads in [1usize, 0] {
+        let eval = eval_base.clone().with_threads(threads);
+        let direct = direct_answers(&db, &eval);
+        for max_batch in [1usize, max] {
+            for reversed in [false, true] {
+                let served = service_answers(&db, &eval, max_batch, reversed);
+                assert_eq!(
+                    served, direct,
+                    "service answers diverged from direct engine answers \
+                     (threads={threads}, max_batch={max_batch}, reversed={reversed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_answers_are_bit_identical_to_direct_engine_calls() {
+    pin_contract(EvalConfig::exact());
+}
+
+#[test]
+fn approximate_answers_are_bit_identical_to_direct_engine_calls() {
+    // The strong half of the contract: Monte-Carlo estimates depend on RNG
+    // streams, so any leak of batching, arrival order, or scheduling into
+    // the seeds would show up here first.
+    pin_contract(EvalConfig::approximate(60));
+}
+
+#[test]
+fn grouping_off_still_matches_direct_calls() {
+    // Without grouping every request is its own unit and the cache is
+    // bypassed; the service must still serve the same bits.
+    pin_contract(EvalConfig::exact().without_grouping());
+}
