@@ -1,0 +1,253 @@
+//! Solver-kernel microbenchmark: per-solve latency of the exact DP kernels
+//! (two-label, bipartite, pattern) across `m` and `z′` sweeps, packed kernel
+//! vs. the retained map-based reference kernel.
+//!
+//! This is the repo's first solver-level perf baseline: every marginal the
+//! engine serves on a cache miss bottoms out in these kernels, so their
+//! constant factors dominate end-to-end latency. On every sweep point the
+//! harness additionally asserts the packed result is **bit-identical** to
+//! the reference result, then reports the per-point speedup and the
+//! geometric-mean speedup per kernel family. Results are written to
+//! `bench_results/solver_kernels.json`.
+//!
+//! Environment:
+//! * `PPD_SCALE`       — `small` (default) or `paper` (larger `m` sweep);
+//! * `PPD_KERNEL_REPS` — timed repetitions per point (default 7 small,
+//!   5 paper); the per-solve latency reported is the median;
+//! * `PPD_KERNEL_MAX_M` — drop sweep points above this `m` (the CI smoke
+//!   run uses a tiny cap this way).
+
+use ppd_bench::{env_usize, median_duration, timed, write_results, Scale};
+use ppd_patterns::{Labeling, Pattern, PatternUnion};
+use ppd_rim::RimModel;
+use ppd_solvers::testutil::{cyclic_labeling, rim, sel};
+use ppd_solvers::{BipartiteSolver, ExactSolver, PatternSolver, TwoLabelSolver};
+use std::time::Duration;
+
+/// A boxed solve closure over a fixed union/pattern.
+type SolveFn = Box<dyn Fn(&RimModel, &Labeling) -> f64>;
+
+/// One sweep point: a kernel family, an instance, and the two solvers to
+/// compare on it. The model/labeling are built once at construction so the
+/// reported `packed_width` always describes the instance that gets timed.
+struct Point {
+    family: &'static str,
+    m: usize,
+    /// Distinct tracked selectors (`z′`) for the DP families; pattern nodes
+    /// for the general DP.
+    z_prime: usize,
+    label: String,
+    model: RimModel,
+    lab: Labeling,
+    packed: SolveFn,
+    reference: SolveFn,
+    packed_width: Option<u32>,
+}
+
+fn two_label_union(z: usize) -> PatternUnion {
+    let members: Vec<Pattern> = match z {
+        1 => vec![Pattern::two_label(sel(1), sel(0))],
+        2 => vec![
+            Pattern::two_label(sel(1), sel(0)),
+            Pattern::two_label(sel(2), sel(0)),
+        ],
+        _ => vec![
+            Pattern::two_label(sel(1), sel(0)),
+            Pattern::two_label(sel(2), sel(0)),
+            Pattern::two_label(sel(3), sel(2)),
+        ],
+    };
+    PatternUnion::new(members).unwrap()
+}
+
+fn bipartite_union(shape: &str) -> PatternUnion {
+    let vee = Pattern::new(vec![sel(2), sel(0), sel(1)], vec![(0, 1), (0, 2)]).unwrap();
+    let a_shape = Pattern::new(
+        vec![sel(0), sel(1), sel(2), sel(3)],
+        vec![(0, 2), (0, 3), (1, 3)],
+    )
+    .unwrap();
+    match shape {
+        "vee" => PatternUnion::singleton(vee).unwrap(),
+        "a-shape" => PatternUnion::singleton(a_shape).unwrap(),
+        _ => PatternUnion::new(vec![vee, Pattern::two_label(sel(3), sel(1))]).unwrap(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let reps = env_usize("PPD_KERNEL_REPS").unwrap_or_else(|| scale.pick(7, 5));
+    let max_m = env_usize("PPD_KERNEL_MAX_M").unwrap_or(usize::MAX);
+
+    let two_label_ms: Vec<usize> = scale.pick(vec![8, 10, 12, 14], vec![10, 14, 18, 22]);
+    let bipartite_ms: Vec<usize> = scale.pick(vec![8, 10, 12], vec![10, 12, 14]);
+    let pattern_ms: Vec<usize> = scale.pick(vec![6, 7, 8], vec![7, 8, 9]);
+    let phi = 0.5;
+
+    let mut points: Vec<Point> = Vec::new();
+    for &m in two_label_ms.iter().filter(|&&m| m <= max_m) {
+        for z in [1usize, 2, 3] {
+            let union = two_label_union(z);
+            let lab = cyclic_labeling(m, 4);
+            let model = rim(m, phi);
+            let width = TwoLabelSolver::packed_state_width(&model, &lab, &union);
+            let (u1, u2) = (union.clone(), union);
+            points.push(Point {
+                family: "two-label",
+                m,
+                z_prime: z + 1, // z edges share selector 0 on the right
+                label: format!("two-label m={m} z={z}"),
+                model,
+                lab,
+                packed: Box::new(move |r, l| TwoLabelSolver::new().solve(r, l, &u1).unwrap()),
+                reference: Box::new(move |r, l| {
+                    TwoLabelSolver::reference().solve(r, l, &u2).unwrap()
+                }),
+                packed_width: width,
+            });
+        }
+    }
+    for &m in bipartite_ms.iter().filter(|&&m| m <= max_m) {
+        for shape in ["vee", "a-shape", "vee+two"] {
+            let union = bipartite_union(shape);
+            let lab = cyclic_labeling(m, 4);
+            let model = rim(m, phi);
+            let width = BipartiteSolver::packed_state_width(&model, &lab, &union);
+            let z_prime = union.total_nodes();
+            let (u1, u2) = (union.clone(), union);
+            points.push(Point {
+                family: "bipartite",
+                m,
+                z_prime,
+                label: format!("bipartite m={m} {shape}"),
+                model,
+                lab,
+                packed: Box::new(move |r, l| BipartiteSolver::new().solve(r, l, &u1).unwrap()),
+                reference: Box::new(move |r, l| {
+                    BipartiteSolver::reference().solve(r, l, &u2).unwrap()
+                }),
+                packed_width: width,
+            });
+        }
+    }
+    for &m in pattern_ms.iter().filter(|&&m| m <= max_m) {
+        let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
+        let lab = cyclic_labeling(m, 3);
+        let model = rim(m, phi);
+        let width = PatternSolver::packed_state_width(&model, &lab, &chain);
+        let (c1, c2) = (chain.clone(), chain);
+        points.push(Point {
+            family: "pattern",
+            m,
+            z_prime: 3,
+            label: format!("pattern m={m} chain3"),
+            model,
+            lab,
+            packed: Box::new(move |r, l| PatternSolver::new().solve_pattern(r, l, &c1).unwrap()),
+            reference: Box::new(move |r, l| {
+                PatternSolver::reference().solve_pattern(r, l, &c2).unwrap()
+            }),
+            packed_width: width,
+        });
+    }
+
+    println!(
+        "solver_kernels: {} points, {reps} reps each (phi = {phi})\n",
+        points.len()
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut records = Vec::new();
+    let mut speedups_by_family: std::collections::BTreeMap<&str, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for point in &points {
+        let (model, lab) = (&point.model, &point.lab);
+        // Warm-up solve of each kernel, which also pins bit-identity.
+        let p0 = (point.packed)(model, lab);
+        let r0 = (point.reference)(model, lab);
+        assert_eq!(
+            p0.to_bits(),
+            r0.to_bits(),
+            "{}: packed {p0} vs reference {r0} must be bit-identical",
+            point.label
+        );
+        let mut packed_times: Vec<Duration> = Vec::with_capacity(reps);
+        let mut reference_times: Vec<Duration> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let (p, t) = timed(|| (point.packed)(model, lab));
+            assert_eq!(
+                p.to_bits(),
+                p0.to_bits(),
+                "{}: unstable result",
+                point.label
+            );
+            packed_times.push(t);
+            let (r, t) = timed(|| (point.reference)(model, lab));
+            assert_eq!(
+                r.to_bits(),
+                r0.to_bits(),
+                "{}: unstable result",
+                point.label
+            );
+            reference_times.push(t);
+        }
+        let packed_us = median_duration(&packed_times).as_secs_f64() * 1e6;
+        let reference_us = median_duration(&reference_times).as_secs_f64() * 1e6;
+        let speedup = reference_us / packed_us.max(1e-9);
+        speedups_by_family
+            .entry(point.family)
+            .or_default()
+            .push(speedup);
+        rows.push(vec![
+            point.label.clone(),
+            match point.packed_width {
+                Some(w) => format!("{w}b"),
+                None => "fallback".into(),
+            },
+            format!("{reference_us:.1}"),
+            format!("{packed_us:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+        records.push(serde_json::json!({
+            "family": point.family,
+            "m": point.m,
+            "z_prime": point.z_prime,
+            "label": point.label.clone(),
+            "packed_width_bits": point.packed_width,
+            "probability": p0,
+            "reference_us": reference_us,
+            "packed_us": packed_us,
+            "speedup": speedup,
+        }));
+    }
+
+    ppd_bench::print_table(
+        &["point", "state", "reference µs", "packed µs", "speedup"],
+        &rows,
+    );
+    println!();
+
+    let geomean =
+        |v: &[f64]| -> f64 { (v.iter().map(|s| s.ln()).sum::<f64>() / v.len() as f64).exp() };
+    let mut summaries: std::collections::BTreeMap<String, serde_json::Value> =
+        std::collections::BTreeMap::new();
+    for (family, speedups) in &speedups_by_family {
+        let g = geomean(speedups);
+        println!(
+            "{family}: geometric-mean speedup {g:.2}x over {} points",
+            speedups.len()
+        );
+        summaries.insert(family.to_string(), serde_json::json!(g));
+    }
+
+    write_results(
+        "solver_kernels",
+        &serde_json::json!({
+            "scale": format!("{scale:?}"),
+            "phi": phi,
+            "reps": reps,
+            "points": records,
+            "geomean_speedup": serde_json::Value::Object(summaries),
+        }),
+    );
+}

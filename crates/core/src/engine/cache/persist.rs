@@ -55,7 +55,13 @@ pub(crate) const FORMAT_VERSION: u32 = 1;
 /// Revision of the solvers' numeric semantics (see the module docs). Bump
 /// on any change that alters output bits; old snapshots then reload from
 /// scratch instead of serving stale numbers.
-pub(crate) const SOLVER_REVISION: u32 = 1;
+///
+/// Revision 2: PR 5's packed-state kernels re-keyed the bipartite pruning
+/// DP (uncertain edges as per-pattern masks) and the pattern solver's
+/// general-DAG DP (positions per relevant item), changing BTreeMap
+/// iteration — hence float summation — order, and `GeneralSolver` now
+/// evaluates conjunctions over deduplicated member classes.
+pub(crate) const SOLVER_REVISION: u32 = 2;
 /// Header size in bytes: magic + format version + solver revision + entry
 /// count.
 const HEADER_BYTES: usize = 8 + 4 + 4 + 8;

@@ -6,6 +6,18 @@ use crate::mallows::pow_phi;
 use crate::{Item, MallowsModel, PartialOrder, Ranking, Result, RimError, SubRanking};
 use rand::Rng;
 
+/// Reusable scratch buffers for [`AmpSampler`]'s hot loops: the partial
+/// ranking built up during a sample or probability evaluation and the
+/// per-step insertion weights. Hoisting these out of a sampling loop removes
+/// every per-sample allocation without changing a single arithmetic
+/// operation or random draw — results are bit-identical to the unscratched
+/// entry points.
+#[derive(Debug, Clone, Default)]
+pub struct AmpScratch {
+    items: Vec<Item>,
+    weights: Vec<f64>,
+}
+
 /// `AMP(σ, φ, υ)`: a sampler over rankings consistent with a partial order
 /// `υ`, obtained by running the Mallows repeated-insertion procedure while
 /// restricting each insertion to positions that do not violate `υ`
@@ -69,23 +81,41 @@ impl AmpSampler {
     /// Draws a ranking consistent with the constraint and returns it together
     /// with the probability with which this sampler generated it.
     pub fn sample_with_prob<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ranking, f64) {
+        let mut scratch = AmpScratch::default();
+        let mut out = Ranking::new(Vec::new()).expect("the empty ranking is valid");
+        let prob = self.sample_with_prob_into(rng, &mut scratch, &mut out);
+        (out, prob)
+    }
+
+    /// [`AmpSampler::sample_with_prob`] into reused buffers: the sampled
+    /// ranking replaces `out`'s contents and the probability is returned.
+    /// Draws the same random variates and performs the same arithmetic as
+    /// the allocating entry point, so results are bit-identical.
+    pub fn sample_with_prob_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut AmpScratch,
+        out: &mut Ranking,
+    ) -> f64 {
         let m = self.center.len();
-        let mut items: Vec<Item> = Vec::with_capacity(m);
+        scratch.items.clear();
         let mut prob = 1.0;
         for i in 0..m {
             let item = self.center.item_at(i);
-            let (lo, hi) = self.feasible_range(&items, item, i);
-            let weights: Vec<f64> = (lo..=hi).map(|j| pow_phi(self.phi, i - j)).collect();
-            let total: f64 = weights.iter().sum();
-            let idx = crate::rim::sample_index(&weights, rng);
+            let (lo, hi) = self.feasible_range(&scratch.items, item, i);
+            scratch.weights.clear();
+            scratch
+                .weights
+                .extend((lo..=hi).map(|j| pow_phi(self.phi, i - j)));
+            let total: f64 = scratch.weights.iter().sum();
+            let idx = crate::rim::sample_index(&scratch.weights, rng);
             let j = lo + idx;
-            prob *= weights[idx] / total;
-            items.insert(j, item);
+            prob *= scratch.weights[idx] / total;
+            scratch.items.insert(j, item);
         }
-        (
-            Ranking::new(items).expect("AMP inserts distinct items"),
-            prob,
-        )
+        out.assign(&scratch.items)
+            .expect("AMP inserts distinct items");
+        prob
     }
 
     /// Draws a ranking consistent with the constraint.
@@ -97,11 +127,19 @@ impl AmpSampler {
     /// `τ`; 0 when `τ` is not over the model's items or is inconsistent with
     /// the constraint.
     pub fn prob_of(&self, tau: &Ranking) -> f64 {
+        let mut scratch = AmpScratch::default();
+        self.prob_of_with_scratch(tau, &mut scratch)
+    }
+
+    /// [`AmpSampler::prob_of`] with a reused partial-ranking buffer;
+    /// bit-identical results.
+    pub fn prob_of_with_scratch(&self, tau: &Ranking, scratch: &mut AmpScratch) -> f64 {
         let m = self.center.len();
         if tau.len() != m {
             return 0.0;
         }
-        let mut items: Vec<Item> = Vec::with_capacity(m);
+        scratch.items.clear();
+        let items = &mut scratch.items;
         let mut prob = 1.0;
         for i in 0..m {
             let item = self.center.item_at(i);
@@ -118,7 +156,7 @@ impl AmpSampler {
                         .unwrap_or(false)
                 })
                 .count();
-            let (lo, hi) = self.feasible_range(&items, item, i);
+            let (lo, hi) = self.feasible_range(items, item, i);
             if j < lo || j > hi {
                 return 0.0;
             }

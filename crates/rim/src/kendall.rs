@@ -1,7 +1,6 @@
 //! Kendall-tau distances between rankings.
 
 use crate::{Item, Ranking};
-use std::collections::HashMap;
 
 /// Kendall-tau distance between two complete rankings over the same item set:
 /// the number of item pairs ordered one way by `a` and the other way by `b`.
@@ -10,6 +9,12 @@ use std::collections::HashMap;
 /// computed over the common items), which matches the paper's use of the
 /// distance between rankings over a shared universe.
 pub fn kendall_tau(a: &Ranking, b: &Ranking) -> usize {
+    // Fast path for the common case — both rankings over the same item set
+    // (every distance in the sampling hot loops): no filtering, and hence no
+    // allocation, is needed.
+    if a.items().iter().all(|&it| b.contains(it)) {
+        return kendall_tau_between_sets(a.items(), a, b);
+    }
     let common: Vec<Item> = a
         .items()
         .iter()
@@ -20,23 +25,18 @@ pub fn kendall_tau(a: &Ranking, b: &Ranking) -> usize {
 }
 
 /// Kendall-tau distance restricted to the given items (each must appear in
-/// both rankings to be counted).
+/// both rankings to be counted). Allocation-free: positions are read through
+/// the rankings' O(1) inverse indices.
 pub fn kendall_tau_between_sets(items: &[Item], a: &Ranking, b: &Ranking) -> usize {
-    let pa: HashMap<Item, usize> = items
-        .iter()
-        .filter_map(|&it| a.position_of(it).map(|p| (it, p)))
-        .collect();
-    let pb: HashMap<Item, usize> = items
-        .iter()
-        .filter_map(|&it| b.position_of(it).map(|p| (it, p)))
-        .collect();
     let mut count = 0;
     for i in 0..items.len() {
-        for j in (i + 1)..items.len() {
-            let (x, y) = (items[i], items[j]);
-            if let (Some(&ax), Some(&ay), Some(&bx), Some(&by)) =
-                (pa.get(&x), pa.get(&y), pb.get(&x), pb.get(&y))
-            {
+        let x = items[i];
+        let (ax, bx) = match (a.position_of(x), b.position_of(x)) {
+            (Some(ax), Some(bx)) => (ax, bx),
+            _ => continue,
+        };
+        for &y in &items[i + 1..] {
+            if let (Some(ay), Some(by)) = (a.position_of(y), b.position_of(y)) {
                 if (ax < ay) != (bx < by) {
                     count += 1;
                 }

@@ -35,7 +35,7 @@ pub mod ranking;
 pub mod rim;
 pub mod subranking;
 
-pub use amp::AmpSampler;
+pub use amp::{AmpSampler, AmpScratch};
 pub use kendall::{kendall_tau, kendall_tau_between_sets, normalized_kendall_tau};
 pub use mallows::MallowsModel;
 pub use mixture::{MallowsMixture, MixtureComponent};

@@ -59,6 +59,24 @@ impl Ranking {
         Ok(Ranking { items, positions })
     }
 
+    /// Replaces the ranking's contents in place, reusing both the item
+    /// vector and the position-index allocation — the buffer-reuse primitive
+    /// of the sampling hot loops. On a duplicate item the ranking is left
+    /// empty (never inconsistent) and the error is returned.
+    pub fn assign(&mut self, items: &[Item]) -> Result<()> {
+        self.items.clear();
+        self.positions.clear();
+        for (pos, &item) in items.iter().enumerate() {
+            if self.positions.insert(item, pos).is_some() {
+                self.items.clear();
+                self.positions.clear();
+                return Err(RimError::DuplicateItem(item));
+            }
+        }
+        self.items.extend_from_slice(items);
+        Ok(())
+    }
+
     /// Builds the identity ranking `⟨0, 1, …, m-1⟩` over `m` items.
     pub fn identity(m: usize) -> Self {
         let items: Vec<Item> = (0..m as Item).collect();
@@ -195,6 +213,20 @@ mod tests {
             Ranking::new(vec![1, 2, 1]).unwrap_err(),
             RimError::DuplicateItem(1)
         );
+    }
+
+    #[test]
+    fn assign_reuses_and_validates() {
+        let mut r = Ranking::new(vec![9, 4]).unwrap();
+        r.assign(&[2, 0, 1]).unwrap();
+        assert_eq!(r.items(), &[2, 0, 1]);
+        assert_eq!(r.position_of(0), Some(1));
+        assert_eq!(r.position_of(9), None);
+        assert_eq!(r, Ranking::new(vec![2, 0, 1]).unwrap());
+        // A duplicate leaves the ranking empty, not inconsistent.
+        assert_eq!(r.assign(&[3, 3]).unwrap_err(), RimError::DuplicateItem(3));
+        assert!(r.is_empty());
+        assert_eq!(r.position_of(3), None);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use crate::traits::ApproxSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{decompose_union, DecompositionLimits, Labeling, PatternError, PatternUnion};
 use ppd_rim::{
-    approximate_distance, greedy_modals, kendall_tau, AmpSampler, MallowsModel, Ranking, SubRanking,
+    approximate_distance, greedy_modals, kendall_tau, AmpSampler, AmpScratch, MallowsModel,
+    Ranking, SubRanking,
 };
 use rand::RngCore;
 
@@ -306,14 +307,23 @@ impl MisAmpLite {
         }
         let n = self.samples_per_proposal.max(1);
         let mut total = 0.0;
+        // Scratch hoisted out of the sampling loop: the sampled ranking, the
+        // AMP insertion buffers, and the partial-ranking buffer shared by
+        // every mixture-probability evaluation. The scratch entry points
+        // draw the same variates and do the same arithmetic as the
+        // allocating ones, so the estimate is bit-identical (pinned by
+        // `scratch_reuse_is_bit_identical`).
+        let mut sample_scratch = AmpScratch::default();
+        let mut prob_scratch = AmpScratch::default();
+        let mut tau = Ranking::new(Vec::new()).expect("the empty ranking is valid");
         for (proposal, _) in &prepared.proposals {
             for _ in 0..n {
-                let (tau, _) = proposal.sample_with_prob(rng);
+                proposal.sample_with_prob_into(rng, &mut sample_scratch, &mut tau);
                 let p = mallows.prob_of(&tau);
                 let mix: f64 = prepared
                     .proposals
                     .iter()
-                    .map(|(q, _)| q.prob_of(&tau))
+                    .map(|(q, _)| q.prob_of_with_scratch(&tau, &mut prob_scratch))
                     .sum::<f64>()
                     / d as f64;
                 if mix > 0.0 {
@@ -511,6 +521,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let clamped = solver.estimate_prepared(&model, &prepared, &mut rng);
         assert_eq!(clamped, 1.0, "overshoot must be clamped to 1");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // Exact-bits regression pin for the buffer-reuse optimization:
+        // re-run the sampling loop with a fresh allocation per sample (the
+        // pre-optimization shape, via the allocating public entry points)
+        // and require the production loop — which reuses one scratch set
+        // across all samples — to produce the same bits.
+        let model = mallows(6, 0.35);
+        let lab = cyclic_labeling(6, 3);
+        let chain = Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let union = PatternUnion::new(vec![chain, Pattern::two_label(sel(2), sel(1))]).unwrap();
+        for &(seed, n) in &[(2024u64, 150usize), (7u64, 300)] {
+            let solver = MisAmpLite::new(4, n);
+            let prepared = solver.prepare(&model, &lab, &union).unwrap();
+            let d = prepared.proposals.len();
+            assert!(d > 0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut total = 0.0;
+            for (proposal, _) in &prepared.proposals {
+                for _ in 0..n {
+                    let (tau, _) = proposal.sample_with_prob(&mut rng);
+                    let p = model.prob_of(&tau);
+                    let mix: f64 = prepared
+                        .proposals
+                        .iter()
+                        .map(|(q, _)| q.prob_of(&tau))
+                        .sum::<f64>()
+                        / d as f64;
+                    if mix > 0.0 {
+                        total += p / mix;
+                    }
+                }
+            }
+            let mut expected = total / (d * n) as f64;
+            expected *= prepared.compensation_subrankings * prepared.compensation_modals;
+            let expected = expected.clamp(0.0, 1.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = solver.estimate_prepared(&model, &prepared, &mut rng);
+            assert_eq!(
+                expected.to_bits(),
+                got.to_bits(),
+                "seed {seed}: naive {expected} vs scratch {got}"
+            );
+        }
     }
 
     #[test]

@@ -15,8 +15,18 @@
 //! selectors that no longer appear in any uncertain edge. The *basic*
 //! variant keeps everything and classifies states only after the last
 //! insertion; it exists for the ablation benchmarks.
+//!
+//! Like the two-label solver, the pruning DP has two kernels: the default
+//! **packed** kernel encodes a state — position slots plus one
+//! uncertain-edge bitmask field per member pattern — into a single
+//! `u64`/`u128` and advances a flat sorted frontier (see
+//! `exact::packed` for the determinism argument), while the
+//! **reference** kernel keeps the original map-based formulation for the
+//! equivalence suite and as the fallback when the packing width exceeds
+//! 128 bits.
 
 use crate::budget::Budget;
+use crate::exact::packed::{self, Frontier, InsertionRow, Word};
 use crate::traits::ExactSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{Labeling, NodeSelector, PatternUnion, UnionClass};
@@ -31,6 +41,7 @@ use std::collections::BTreeMap;
 pub struct BipartiteSolver {
     budget: Option<Budget>,
     prune: bool,
+    force_reference: bool,
 }
 
 impl Default for BipartiteSolver {
@@ -38,6 +49,7 @@ impl Default for BipartiteSolver {
         BipartiteSolver {
             budget: None,
             prune: true,
+            force_reference: false,
         }
     }
 }
@@ -54,6 +66,17 @@ impl BipartiteSolver {
         BipartiteSolver {
             budget: None,
             prune: false,
+            force_reference: false,
+        }
+    }
+
+    /// A pruning solver pinned to the original map-based kernel; used by the
+    /// equivalence suite and the `solver_kernels` benchmark.
+    pub fn reference() -> Self {
+        BipartiteSolver {
+            budget: None,
+            prune: true,
+            force_reference: true,
         }
     }
 
@@ -66,6 +89,22 @@ impl BipartiteSolver {
     /// `true` when this instance prunes satisfied/violated bookkeeping.
     pub fn prunes(&self) -> bool {
         self.prune
+    }
+
+    /// Width in bits of the packed state for this instance (position slots
+    /// plus per-pattern uncertain-edge masks), or `None` when the instance
+    /// exceeds 128 bits and the pruning solver falls back to the reference
+    /// kernel. Exposed for the fallback-path tests and the kernel benchmark.
+    #[doc(hidden)]
+    pub fn packed_state_width(
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Option<u32> {
+        let union = union.prune_unsatisfiable(rim.sigma().items(), labeling)?;
+        let c = compile(rim, labeling, &union).ok()?;
+        let width = packed_width(rim.num_items(), &c);
+        (width <= 128 && masks_fit(&c)).then_some(width)
     }
 }
 
@@ -152,6 +191,36 @@ fn compile(rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<
     })
 }
 
+/// Packed width of the pruning DP state: one slot per tracked position plus
+/// one bitmask field (edge-count bits) per member pattern.
+fn packed_width(m: usize, c: &Compiled) -> u32 {
+    let bits = packed::slot_bits(m);
+    let slots = (c.l_selectors.len() + c.r_selectors.len()) as u32;
+    let mask_bits: u32 = c.pattern_edges.iter().map(|e| e.len() as u32).sum();
+    bits * slots + mask_bits
+}
+
+/// The packed kernel manipulates per-pattern uncertain-edge masks as `u32`s;
+/// a (pathological) member with more than 32 deduplicated edges falls back
+/// to the reference kernel, whose `u64` masks carry it to 64 edges. Beyond
+/// that the pruning DP reports [`SolverError::Unsupported`] (such an
+/// instance needs ≥ 16 distinct selectors, putting the state space far out
+/// of reach regardless of representation; the mask-free basic variant
+/// remains available).
+fn masks_fit(c: &Compiled) -> bool {
+    c.pattern_edges.iter().all(|e| e.len() <= 32)
+}
+
+/// `(1 << len) - 1` without shift overflow at `len = 64`.
+fn full_mask_u64(len: usize) -> u64 {
+    debug_assert!(len <= 64);
+    if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
 /// Min/max positions of the tracked entries (`None` = no witness inserted
 /// yet, or the entry is no longer tracked by this state).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -221,22 +290,29 @@ impl Positions {
     }
 }
 
-/// State of the pruning DP: positions plus the per-pattern sets of still
-/// uncertain edges.
+/// State of the pruning DP: positions plus, per member pattern, the bitmask
+/// of its still-uncertain edges (over that pattern's compiled edge list).
+/// A zero mask means the pattern is violated; a pattern whose last uncertain
+/// edge resolves to satisfied absorbs the state into the answer instead of
+/// being stored.
+///
+/// The field order ((positions, masks), with the derived lexicographic Ord)
+/// matches the packed kernel's bit layout, so both kernels iterate states in
+/// the same order and sum floats identically.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct PrunedState {
     positions: Positions,
-    /// `(pattern index, indices into that pattern's edge list)` for patterns
-    /// that are neither satisfied nor violated yet.
-    uncertain: Vec<(u16, Vec<u8>)>,
+    uncertain: Vec<u64>,
 }
 
 impl ExactSolver for BipartiteSolver {
     fn name(&self) -> &'static str {
-        if self.prune {
-            "bipartite"
-        } else {
+        if !self.prune {
             "bipartite-basic"
+        } else if self.force_reference {
+            "bipartite-reference"
+        } else {
+            "bipartite"
         }
     }
 
@@ -257,134 +333,339 @@ impl ExactSolver for BipartiteSolver {
             Some(u) => u,
             None => return Ok(0.0),
         };
+        // A satisfiable member without edges is satisfied by every ranking.
+        // (Handled before kernel dispatch so all kernels agree exactly.)
+        if union.patterns().iter().any(|p| p.num_edges() == 0) {
+            return Ok(1.0);
+        }
         let compiled = compile(rim, labeling, &union)?;
-        if self.prune {
-            self.solve_pruned(rim, &compiled)
+        if !self.prune {
+            return self.solve_basic(rim, &compiled);
+        }
+        if let Some(edges) = compiled.pattern_edges.iter().find(|e| e.len() > 64) {
+            return Err(SolverError::Unsupported(format!(
+                "a member with {} deduplicated edges exceeds the pruning DP's 64-edge \
+                 uncertain-mask capacity (and its state space is intractable anyway); \
+                 use BipartiteSolver::basic()",
+                edges.len()
+            )));
+        }
+        let budget = self.budget.as_ref();
+        let width = packed_width(m, &compiled);
+        if self.force_reference || width > 128 || !masks_fit(&compiled) {
+            reference_solve_pruned(rim, &compiled, budget)
+        } else if width <= 64 {
+            solve_pruned_packed::<u64>(rim, &compiled, budget)
         } else {
-            self.solve_basic(rim, &compiled)
+            solve_pruned_packed::<u128>(rim, &compiled, budget)
         }
     }
 }
 
-impl BipartiteSolver {
-    fn solve_pruned(&self, rim: &RimModel, c: &Compiled) -> Result<f64> {
-        let m = rim.num_items();
-        let initial_uncertain: Vec<(u16, Vec<u8>)> = c
-            .pattern_edges
-            .iter()
-            .enumerate()
-            .map(|(p, edges)| (p as u16, (0..edges.len() as u8).collect()))
-            .collect();
-        // BTreeMap, not HashMap: deterministic iteration fixes the float
-        // summation order, making the result bit-reproducible across calls
-        // (the evaluation engine's determinism contract relies on this).
-        let mut states: BTreeMap<PrunedState, f64> = BTreeMap::new();
-        states.insert(
-            PrunedState {
-                positions: Positions::empty(c.l_selectors.len(), c.r_selectors.len()),
-                uncertain: initial_uncertain,
-            },
-            1.0,
-        );
-        let mut satisfied_mass = 0.0;
+/// The retained map-based pruning kernel (the pre-packing implementation),
+/// used by the equivalence suite and as the wide-state fallback.
+fn reference_solve_pruned(rim: &RimModel, c: &Compiled, budget: Option<&Budget>) -> Result<f64> {
+    let m = rim.num_items();
+    let num_patterns = c.pattern_edges.len();
+    let full_masks: Vec<u64> = c
+        .pattern_edges
+        .iter()
+        .map(|edges| full_mask_u64(edges.len()))
+        .collect();
+    // BTreeMap, not HashMap: deterministic iteration fixes the float
+    // summation order, making the result bit-reproducible across calls
+    // (the evaluation engine's determinism contract relies on this).
+    let mut states: BTreeMap<PrunedState, f64> = BTreeMap::new();
+    states.insert(
+        PrunedState {
+            positions: Positions::empty(c.l_selectors.len(), c.r_selectors.len()),
+            uncertain: full_masks,
+        },
+        1.0,
+    );
+    let mut satisfied_mass = 0.0;
 
-        for i in 0..m {
-            let mut next: BTreeMap<PrunedState, f64> = BTreeMap::new();
-            for (state, prob) in &states {
-                // Entries needed by this state's uncertain edges.
-                let mut track_l = vec![false; c.l_selectors.len()];
-                let mut track_r = vec![false; c.r_selectors.len()];
-                for (p, edges) in &state.uncertain {
-                    for &e in edges {
-                        let (l, r) = c.pattern_edges[*p as usize][e as usize];
+    let mut track_l = vec![false; c.l_selectors.len()];
+    let mut track_r = vec![false; c.r_selectors.len()];
+    for i in 0..m {
+        let mut next: BTreeMap<PrunedState, f64> = BTreeMap::new();
+        for (state, prob) in &states {
+            // Entries needed by this state's uncertain edges.
+            track_l.iter_mut().for_each(|t| *t = false);
+            track_r.iter_mut().for_each(|t| *t = false);
+            for (p, &mask) in state.uncertain.iter().enumerate() {
+                for (e, &(l, r)) in c.pattern_edges[p].iter().enumerate() {
+                    if mask & (1u64 << e) != 0 {
                         track_l[l] = true;
                         track_r[r] = true;
                     }
                 }
-                for j in 0..=i {
-                    let p_new = prob * rim.insertion_prob(i, j);
-                    let positions = state.positions.insert(
-                        j as u32,
-                        &c.match_l[i],
-                        &c.match_r[i],
-                        &track_l,
-                        &track_r,
-                    );
-                    // Re-evaluate the uncertain edges of every pattern.
-                    let mut new_uncertain: Vec<(u16, Vec<u8>)> = Vec::new();
-                    let mut union_satisfied = false;
-                    for (p, edges) in &state.uncertain {
-                        let mut remaining: Vec<u8> = Vec::with_capacity(edges.len());
-                        let mut violated = false;
-                        for &e in edges {
-                            let (l, r) = c.pattern_edges[*p as usize][e as usize];
-                            if positions.edge_satisfied(l, r) {
-                                continue;
-                            }
-                            if i >= c.last_l[l] && i >= c.last_r[r] {
-                                // All witnesses are in and the edge still does
-                                // not hold: it never will.
-                                violated = true;
-                                break;
-                            }
-                            remaining.push(e);
-                        }
-                        if violated {
+            }
+            for j in 0..=i {
+                let p_new = prob * rim.insertion_prob(i, j);
+                let positions = state.positions.insert(
+                    j as u32,
+                    &c.match_l[i],
+                    &c.match_r[i],
+                    &track_l,
+                    &track_r,
+                );
+                // Re-evaluate the uncertain edges of every pattern.
+                let mut new_uncertain: Vec<u64> = vec![0; num_patterns];
+                let mut union_satisfied = false;
+                let mut any_uncertain = false;
+                for (p, &mask) in state.uncertain.iter().enumerate() {
+                    if mask == 0 {
+                        continue;
+                    }
+                    let mut remaining = 0u64;
+                    let mut violated = false;
+                    for (e, &(l, r)) in c.pattern_edges[p].iter().enumerate() {
+                        if mask & (1u64 << e) == 0 {
                             continue;
                         }
-                        if remaining.is_empty() {
-                            union_satisfied = true;
+                        if positions.edge_satisfied(l, r) {
+                            continue;
+                        }
+                        if i >= c.last_l[l] && i >= c.last_r[r] {
+                            // All witnesses are in and the edge still does
+                            // not hold: it never will.
+                            violated = true;
                             break;
                         }
-                        new_uncertain.push((*p, remaining));
+                        remaining |= 1u64 << e;
                     }
-                    if union_satisfied {
-                        satisfied_mass += p_new;
+                    if violated {
                         continue;
                     }
-                    if new_uncertain.is_empty() {
-                        // Every pattern is violated; this state can never
-                        // satisfy the union.
-                        continue;
+                    if remaining == 0 {
+                        union_satisfied = true;
+                        break;
                     }
-                    // Drop positions of entries no longer referenced so that
-                    // behaviourally identical states merge.
-                    let mut keep_l = vec![false; c.l_selectors.len()];
-                    let mut keep_r = vec![false; c.r_selectors.len()];
-                    for (p, edges) in &new_uncertain {
-                        for &e in edges {
-                            let (l, r) = c.pattern_edges[*p as usize][e as usize];
+                    new_uncertain[p] = remaining;
+                    any_uncertain = true;
+                }
+                if union_satisfied {
+                    satisfied_mass += p_new;
+                    continue;
+                }
+                if !any_uncertain {
+                    // Every pattern is violated; this state can never
+                    // satisfy the union.
+                    continue;
+                }
+                // Drop positions of entries no longer referenced so that
+                // behaviourally identical states merge.
+                let mut keep_l = vec![false; c.l_selectors.len()];
+                let mut keep_r = vec![false; c.r_selectors.len()];
+                for (p, &mask) in new_uncertain.iter().enumerate() {
+                    for (e, &(l, r)) in c.pattern_edges[p].iter().enumerate() {
+                        if mask & (1u64 << e) != 0 {
                             keep_l[l] = true;
                             keep_r[r] = true;
                         }
                     }
-                    let mut positions = positions;
-                    for (e, slot) in positions.alpha.iter_mut().enumerate() {
-                        if !keep_l[e] {
-                            *slot = None;
-                        }
-                    }
-                    for (e, slot) in positions.beta.iter_mut().enumerate() {
-                        if !keep_r[e] {
-                            *slot = None;
-                        }
-                    }
-                    *next
-                        .entry(PrunedState {
-                            positions,
-                            uncertain: new_uncertain,
-                        })
-                        .or_insert(0.0) += p_new;
                 }
+                let mut positions = positions;
+                for (e, slot) in positions.alpha.iter_mut().enumerate() {
+                    if !keep_l[e] {
+                        *slot = None;
+                    }
+                }
+                for (e, slot) in positions.beta.iter_mut().enumerate() {
+                    if !keep_r[e] {
+                        *slot = None;
+                    }
+                }
+                *next
+                    .entry(PrunedState {
+                        positions,
+                        uncertain: new_uncertain,
+                    })
+                    .or_insert(0.0) += p_new;
             }
-            if let Some(budget) = &self.budget {
-                budget.check(next.len())?;
-            }
-            states = next;
         }
-        Ok(satisfied_mass.clamp(0.0, 1.0))
+        if let Some(budget) = budget {
+            budget.check(next.len())?;
+        }
+        states = next;
+    }
+    Ok(satisfied_mass.clamp(0.0, 1.0))
+}
+
+/// The packed pruning kernel. Bit layout, most to least significant:
+/// `α` slots, `β` slots (each `slot_bits(m)` wide, `None → 0`,
+/// `Some(p) → p+1`), then one uncertain-edge bitmask field per member
+/// pattern (pattern 0 highest). Integer order over this layout equals the
+/// reference [`PrunedState`]'s derived Ord, which is what makes the two
+/// kernels sum floats in the same order.
+fn solve_pruned_packed<W: Word>(
+    rim: &RimModel,
+    c: &Compiled,
+    budget: Option<&Budget>,
+) -> Result<f64> {
+    let m = rim.num_items();
+    let bits = packed::slot_bits(m);
+    let slot_mask = (1u32 << bits) - 1;
+    let num_l = c.l_selectors.len();
+    let num_r = c.r_selectors.len();
+    let num_patterns = c.pattern_edges.len();
+    let mask_bits: u32 = c.pattern_edges.iter().map(|e| e.len() as u32).sum();
+    // Position slot `idx` (α entries first, then β).
+    let shift_of = |idx: usize| mask_bits + bits * ((num_l + num_r - 1 - idx) as u32);
+    // Uncertain-mask field of pattern `p`.
+    let mask_shift: Vec<u32> = {
+        let mut shifts = vec![0u32; num_patterns];
+        let mut acc = 0u32;
+        for p in (0..num_patterns).rev() {
+            shifts[p] = acc;
+            acc += c.pattern_edges[p].len() as u32;
+        }
+        shifts
+    };
+    let full_mask_of = |p: usize| ((1u64 << c.pattern_edges[p].len()) - 1) as u32;
+
+    let mut initial = W::ZERO;
+    for (p, &shift) in mask_shift.iter().enumerate() {
+        initial = initial.or(W::from_u32(full_mask_of(p)).shl(shift));
     }
 
+    let mut frontier: Frontier<W> = Frontier::new(initial);
+    let mut row = InsertionRow::new(m);
+    let mut satisfied_mass = 0.0;
+    for i in 0..m {
+        let row = row.fill(rim, i);
+        let match_l = &c.match_l[i];
+        let match_r = &c.match_r[i];
+        let states = frontier.take_states();
+        for &(state, prob) in &states {
+            // Entries needed by this state's uncertain edges.
+            let mut track_l = 0u64;
+            let mut track_r = 0u64;
+            for (p, &mshift) in mask_shift.iter().enumerate() {
+                let mask = packed::get_slot(state, mshift, full_mask_of(p));
+                for (e, &(l, r)) in c.pattern_edges[p].iter().enumerate() {
+                    if mask & (1u32 << e) != 0 {
+                        track_l |= 1u64 << l;
+                        track_r |= 1u64 << r;
+                    }
+                }
+            }
+            'insertion: for (j, &pj) in row.iter().enumerate() {
+                let jenc = j as u32 + 1;
+                let p_new = prob * pj;
+                // Insert into the tracked position slots (shift, then fold
+                // in the new witness — see the reference kernel for why).
+                let mut positions = W::ZERO;
+                for (e, &is_match) in match_l.iter().enumerate() {
+                    if track_l & (1u64 << e) == 0 {
+                        continue;
+                    }
+                    let shift = shift_of(e);
+                    let mut v = packed::get_slot(state, shift, slot_mask);
+                    if v >= jenc {
+                        v += 1;
+                    }
+                    if is_match {
+                        v = if v == 0 { jenc } else { v.min(jenc) };
+                    }
+                    positions = positions.or(W::from_u32(v).shl(shift));
+                }
+                for (e, &is_match) in match_r.iter().enumerate() {
+                    if track_r & (1u64 << e) == 0 {
+                        continue;
+                    }
+                    let shift = shift_of(num_l + e);
+                    let mut v = packed::get_slot(state, shift, slot_mask);
+                    if v >= jenc {
+                        v += 1;
+                    }
+                    if is_match {
+                        v = v.max(jenc);
+                    }
+                    positions = positions.or(W::from_u32(v).shl(shift));
+                }
+                let edge_satisfied = |l: usize, r: usize| -> bool {
+                    let a = packed::get_slot(positions, shift_of(l), slot_mask);
+                    let b = packed::get_slot(positions, shift_of(num_l + r), slot_mask);
+                    a != 0 && a < b
+                };
+                // Re-evaluate the uncertain edges of every pattern.
+                let mut new_state = W::ZERO;
+                let mut keep_l = 0u64;
+                let mut keep_r = 0u64;
+                let mut any_uncertain = false;
+                for (p, &mshift) in mask_shift.iter().enumerate() {
+                    let mask = packed::get_slot(state, mshift, full_mask_of(p));
+                    if mask == 0 {
+                        continue;
+                    }
+                    let mut remaining = 0u32;
+                    let mut violated = false;
+                    for (e, &(l, r)) in c.pattern_edges[p].iter().enumerate() {
+                        if mask & (1u32 << e) == 0 {
+                            continue;
+                        }
+                        if edge_satisfied(l, r) {
+                            continue;
+                        }
+                        if i >= c.last_l[l] && i >= c.last_r[r] {
+                            violated = true;
+                            break;
+                        }
+                        remaining |= 1u32 << e;
+                    }
+                    if violated {
+                        continue;
+                    }
+                    if remaining == 0 {
+                        // The pattern — hence the union — is satisfied.
+                        satisfied_mass += p_new;
+                        continue 'insertion;
+                    }
+                    new_state = new_state.or(W::from_u32(remaining).shl(mshift));
+                    any_uncertain = true;
+                    for (e, &(l, r)) in c.pattern_edges[p].iter().enumerate() {
+                        if remaining & (1u32 << e) != 0 {
+                            keep_l |= 1u64 << l;
+                            keep_r |= 1u64 << r;
+                        }
+                    }
+                }
+                if !any_uncertain {
+                    // Every pattern is violated.
+                    continue;
+                }
+                // Keep only the positions still referenced by uncertain
+                // edges so behaviourally identical states merge.
+                for e in 0..num_l {
+                    if keep_l & (1u64 << e) != 0 {
+                        let shift = shift_of(e);
+                        new_state = new_state
+                            .or(W::from_u32(packed::get_slot(positions, shift, slot_mask))
+                                .shl(shift));
+                    }
+                }
+                for e in 0..num_r {
+                    if keep_r & (1u64 << e) != 0 {
+                        let shift = shift_of(num_l + e);
+                        new_state = new_state
+                            .or(W::from_u32(packed::get_slot(positions, shift, slot_mask))
+                                .shl(shift));
+                    }
+                }
+                frontier.push(new_state, p_new);
+            }
+        }
+        let next_len = frontier.merge_step(states);
+        if let Some(budget) = budget {
+            budget.check(next_len)?;
+        }
+    }
+    Ok(satisfied_mass.clamp(0.0, 1.0))
+}
+
+impl BipartiteSolver {
     fn solve_basic(&self, rim: &RimModel, c: &Compiled) -> Result<f64> {
         let m = rim.num_items();
         let all_l = vec![true; c.l_selectors.len()];
@@ -488,6 +769,27 @@ mod tests {
     }
 
     #[test]
+    fn packed_kernel_is_bit_identical_to_reference() {
+        let packed = BipartiteSolver::new();
+        let reference = BipartiteSolver::reference();
+        for &m in &[4usize, 6, 8] {
+            for &phi in &[0.0, 0.4, 1.0] {
+                let model = rim(m, phi);
+                let lab = cyclic_labeling(m, 4);
+                for union in bipartite_unions() {
+                    let a = packed.solve(&model, &lab, &union).unwrap();
+                    let b = reference.solve(&model, &lab, &union).unwrap();
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "m={m}, phi={phi}: packed {a} vs reference {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn two_label_unions_also_supported() {
         // The bipartite solver must handle two-label unions as a special case
         // and agree with the dedicated two-label solver.
@@ -523,6 +825,22 @@ mod tests {
     }
 
     #[test]
+    fn edgeless_members_classify_as_general_and_are_rejected() {
+        // An edgeless pattern is not bipartite (`Pattern::is_bipartite`), so
+        // a union containing one classifies as General and is rejected here
+        // before any kernel runs; the in-solver edgeless shortcut is defence
+        // in depth for the (currently unreachable) direct path.
+        let model = rim(5, 0.5);
+        let lab = cyclic_labeling(5, 3);
+        let edgeless = Pattern::new(vec![sel(0), sel(1)], vec![]).unwrap();
+        let union = PatternUnion::new(vec![edgeless, Pattern::two_label(sel(1), sel(0))]).unwrap();
+        assert!(matches!(
+            BipartiteSolver::new().solve(&model, &lab, &union),
+            Err(SolverError::Unsupported(_))
+        ));
+    }
+
+    #[test]
     fn budget_abort_is_reported() {
         let model = rim(10, 0.5);
         let lab = cyclic_labeling(10, 4);
@@ -534,11 +852,15 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let solver = BipartiteSolver::new().with_budget(Budget::with_max_states(2));
-        assert!(matches!(
-            solver.solve(&model, &lab, &union),
-            Err(SolverError::BudgetExceeded(_))
-        ));
+        for solver in [
+            BipartiteSolver::new().with_budget(Budget::with_max_states(2)),
+            BipartiteSolver::reference().with_budget(Budget::with_max_states(2)),
+        ] {
+            assert!(matches!(
+                solver.solve(&model, &lab, &union),
+                Err(SolverError::BudgetExceeded(_))
+            ));
+        }
     }
 
     #[test]
@@ -560,5 +882,70 @@ mod tests {
             .unwrap();
         assert!((pruned - basic).abs() < 1e-9);
         assert!((0.0..=1.0).contains(&pruned));
+    }
+
+    #[test]
+    fn sixty_four_edge_member_uses_reference_masks_without_overflow() {
+        // A complete 8×8 bipartite member has exactly 64 deduplicated edges:
+        // too wide for the packed kernel's u32 masks, exactly at the
+        // reference kernel's u64 capacity (the `1 << 64` overflow case).
+        // Keep m tiny so the reference DP is trivially tractable.
+        let m = 2usize;
+        let model = rim(m, 0.5);
+        let mut lab = Labeling::new();
+        for item in 0..m as u32 {
+            for k in 0..9u32 {
+                lab.add(item, k);
+                lab.add(item, 100 + k);
+            }
+        }
+        let build = |num_l: u32| {
+            let mut nodes: Vec<NodeSelector> = (0..num_l).map(sel).collect();
+            nodes.extend((0..8u32).map(|k| sel(100 + k)));
+            let edges: Vec<(usize, usize)> = (0..num_l as usize)
+                .flat_map(|l| (0..8usize).map(move |r| (l, num_l as usize + r)))
+                .collect();
+            PatternUnion::singleton(Pattern::new(nodes, edges).unwrap()).unwrap()
+        };
+        let union64 = build(8);
+        assert_eq!(
+            BipartiteSolver::packed_state_width(&model, &lab, &union64),
+            None
+        );
+        let expected = BruteForceSolver::new()
+            .solve(&model, &lab, &union64)
+            .unwrap();
+        let got = BipartiteSolver::new()
+            .solve(&model, &lab, &union64)
+            .unwrap();
+        assert_eq!(got.to_bits(), expected.to_bits(), "{expected} vs {got}");
+        // Beyond 64 edges the pruning DP refuses cleanly instead of
+        // answering wrongly; the mask-free basic variant still works.
+        let union72 = build(9);
+        assert!(matches!(
+            BipartiteSolver::new().solve(&model, &lab, &union72),
+            Err(SolverError::Unsupported(_))
+        ));
+        let basic = BipartiteSolver::basic()
+            .solve(&model, &lab, &union72)
+            .unwrap();
+        let expected72 = BruteForceSolver::new()
+            .solve(&model, &lab, &union72)
+            .unwrap();
+        assert!((basic - expected72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packed_state_width_reported() {
+        let model = rim(6, 0.5);
+        let lab = cyclic_labeling(6, 3);
+        // The vee: 1 L selector, 2 R selectors, 2 edges over m = 6
+        // (3 bits/slot): 3 × 3 + 2 = 11 bits.
+        let vee = Pattern::new(vec![sel(2), sel(0), sel(1)], vec![(0, 1), (0, 2)]).unwrap();
+        let union = PatternUnion::singleton(vee).unwrap();
+        assert_eq!(
+            BipartiteSolver::packed_state_width(&model, &lab, &union),
+            Some(11)
+        );
     }
 }

@@ -15,6 +15,7 @@ use crate::traits::ExactSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{Labeling, PatternUnion};
 use ppd_rim::RimModel;
+use std::collections::HashMap;
 
 /// Exact solver for arbitrary pattern unions via inclusion–exclusion.
 #[derive(Debug, Clone, Default)]
@@ -70,6 +71,24 @@ impl ExactSolver for GeneralSolver {
     }
 
     fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64> {
+        self.solve_counting(rim, labeling, union).map(|(p, _)| p)
+    }
+}
+
+impl GeneralSolver {
+    /// [`ExactSolver::solve`], additionally reporting how many *distinct*
+    /// conjunctions were actually evaluated. Within a single solve,
+    /// conjunction probabilities are memoized by canonical conjunction:
+    /// duplicate members canonicalize to the same conjunction pattern
+    /// (`g ∧ g = g` — an embedding of each copy is an embedding of one), so
+    /// distinct member subsets can share one evaluation. The count is
+    /// exposed for the memoization tests and the experiment harnesses.
+    pub fn solve_counting(
+        &self,
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<(f64, usize)> {
         if rim.num_items() == 0 {
             return Err(SolverError::InvalidInstance("empty item universe".into()));
         }
@@ -77,7 +96,7 @@ impl ExactSolver for GeneralSolver {
         // them shrinks the inclusion–exclusion expansion.
         let union = match union.prune_unsatisfiable(rim.sigma().items(), labeling) {
             Some(u) => u,
-            None => return Ok(0.0),
+            None => return Ok((0.0, 0)),
         };
         let z = union.num_patterns();
         if z > self.cap() {
@@ -86,18 +105,45 @@ impl ExactSolver for GeneralSolver {
                 self.cap()
             )));
         }
+        // Content classes: members with structurally equal patterns share a
+        // class, keyed by the index of the class's first occurrence.
+        let class_of: Vec<usize> = (0..z)
+            .map(|i| {
+                (0..i)
+                    .find(|&j| union.patterns()[j] == union.patterns()[i])
+                    .unwrap_or(i)
+            })
+            .collect();
+        let mut memo: HashMap<Vec<usize>, f64> = HashMap::new();
         let mut total = 0.0;
         // Iterate over all non-empty subsets of members.
         for mask in 1u64..(1u64 << z) {
-            let members: Vec<usize> = (0..z).filter(|&i| mask & (1 << i) != 0).collect();
-            let p = self.conjunction_probability(rim, labeling, &union, &members)?;
-            if members.len() % 2 == 1 {
+            // Canonical conjunction: the sorted set of distinct content
+            // classes. Conjunction is idempotent and order-insensitive in
+            // probability, so equal keys have equal conjunction marginals.
+            let mut key: Vec<usize> = (0..z)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| class_of[i])
+                .collect();
+            key.sort_unstable();
+            key.dedup();
+            let p = match memo.get(&key) {
+                Some(&p) => p,
+                None => {
+                    let p = self.conjunction_probability(rim, labeling, &union, &key)?;
+                    memo.insert(key, p);
+                    p
+                }
+            };
+            // Inclusion–exclusion sign from the *original* subset size
+            // (duplicates included).
+            if mask.count_ones() % 2 == 1 {
                 total += p;
             } else {
                 total -= p;
             }
         }
-        Ok(total.clamp(0.0, 1.0))
+        Ok((total.clamp(0.0, 1.0), memo.len()))
     }
 }
 
@@ -186,6 +232,29 @@ mod tests {
             solver.solve(&model, &lab, &union),
             Err(SolverError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_members_share_conjunction_evaluations() {
+        // G = {g, g', g}: 7 non-empty subsets, but only 3 canonical
+        // conjunctions ({g}, {g'}, {g ∧ g'}) need solving.
+        let model = rim(6, 0.5);
+        let lab = cyclic_labeling(6, 3);
+        let g = Pattern::two_label(sel(1), sel(2));
+        let g2 = Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let union = PatternUnion::new(vec![g.clone(), g2.clone(), g.clone()]).unwrap();
+        let (p, evaluated) = GeneralSolver::new()
+            .solve_counting(&model, &lab, &union)
+            .unwrap();
+        assert_eq!(evaluated, 3);
+        let expected = BruteForceSolver::new().solve(&model, &lab, &union).unwrap();
+        assert!((expected - p).abs() < 1e-9, "{expected} vs {p}");
+        // A duplicate-free union evaluates every subset exactly once.
+        let distinct = PatternUnion::new(vec![g, g2]).unwrap();
+        let (_, evaluated) = GeneralSolver::new()
+            .solve_counting(&model, &lab, &distinct)
+            .unwrap();
+        assert_eq!(evaluated, 3);
     }
 
     #[test]

@@ -3,5 +3,6 @@
 pub mod bipartite;
 pub mod brute;
 pub mod general;
+pub(crate) mod packed;
 pub mod pattern;
 pub mod two_label;

@@ -1,0 +1,243 @@
+//! Packed integer state keys and flat frontiers for the exact DP kernels.
+//!
+//! The exact solvers advance a frontier of DP states across the `m` RIM
+//! insertion steps. The original kernels (retained as `reference` modules in
+//! each solver for equivalence testing) key a `BTreeMap<State, f64>` by
+//! heap-allocated position vectors, paying an allocation plus an `O(z′)`
+//! lexicographic comparison per transition. The packed kernels encode the
+//! same state into a single `u64`/`u128` and keep the frontier as a sorted
+//! `Vec<(key, f64)>` rebuilt by a deterministic merge per insertion step.
+//!
+//! # Bit-determinism
+//!
+//! The engine's determinism contract requires every solve of the same
+//! instance to produce the same `f64` bits, and this PR additionally pins
+//! packed kernels to their map-based references *bitwise*. Both properties
+//! reduce to fixing the float summation order, which the packed kernels
+//! guarantee by construction:
+//!
+//! * Slot values are encoded order-preservingly (`None → 0`,
+//!   `Some(p) → p + 1`) and laid out big-endian (slot 0 in the most
+//!   significant bits), so unsigned comparison of packed keys equals the
+//!   derived lexicographic `Ord` of the reference state structs. A frontier
+//!   sorted by packed key is therefore iterated in exactly the order a
+//!   `BTreeMap` over reference states would iterate.
+//! * Transitions are emitted with a sequence number, and
+//!   [`Frontier::merge_step`] sorts by `(key, seq)` before summing equal
+//!   keys left to right. Contributions to each target state are thus added
+//!   in generation order — the same order in which the reference kernel's
+//!   `*map.entry(state) += p` accumulates them.
+
+use std::fmt::Debug;
+
+/// An unsigned machine word a DP state can be packed into.
+///
+/// Implemented for `u64` and `u128`; the kernels pick the narrowest word
+/// that fits the instance's packing width and fall back to the reference
+/// kernel when even 128 bits are exceeded.
+pub(crate) trait Word: Copy + Ord + Eq + Debug {
+    const ZERO: Self;
+    fn from_u32(v: u32) -> Self;
+    fn low_u32(self) -> u32;
+    fn shl(self, s: u32) -> Self;
+    fn shr(self, s: u32) -> Self;
+    fn or(self, o: Self) -> Self;
+}
+
+macro_rules! impl_word {
+    ($t:ty) => {
+        impl Word for $t {
+            const ZERO: Self = 0;
+            #[inline(always)]
+            fn from_u32(v: u32) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn low_u32(self) -> u32 {
+                self as u32
+            }
+            #[inline(always)]
+            fn shl(self, s: u32) -> Self {
+                self << s
+            }
+            #[inline(always)]
+            fn shr(self, s: u32) -> Self {
+                self >> s
+            }
+            #[inline(always)]
+            fn or(self, o: Self) -> Self {
+                self | o
+            }
+        }
+    };
+}
+
+impl_word!(u64);
+impl_word!(u128);
+
+/// Number of bits needed per position slot for a universe of `m` items: slot
+/// values are `0` (no witness) or `p + 1` for a 0-based position `p < m`, so
+/// the largest encoded value is `m`.
+pub(crate) fn slot_bits(m: usize) -> u32 {
+    debug_assert!(m >= 1);
+    usize::BITS - m.leading_zeros()
+}
+
+/// Extracts the slot at `shift` (already masked to `bits` wide).
+#[inline(always)]
+pub(crate) fn get_slot<W: Word>(state: W, shift: u32, mask: u32) -> u32 {
+    state.shr(shift).low_u32() & mask
+}
+
+/// The double-buffered flat frontier shared by the packed kernels.
+///
+/// A step iterates `states` (sorted by key), pushes every surviving
+/// transition via [`Frontier::push`], and closes with
+/// [`Frontier::merge_step`], which merges duplicate keys deterministically
+/// and installs the result as the next step's frontier. Both buffers are
+/// reused across all `m` steps — after warm-up the kernel allocates nothing.
+pub(crate) struct Frontier<W> {
+    states: Vec<(W, f64)>,
+    scratch: Vec<(W, u32, f64)>,
+}
+
+impl<W: Word> Frontier<W> {
+    /// A frontier holding the single initial state with mass 1.
+    pub(crate) fn new(initial: W) -> Self {
+        Frontier {
+            states: vec![(initial, 1.0)],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Takes the current step's states out of the frontier (the buffer is
+    /// recycled by [`Frontier::merge_step`]).
+    pub(crate) fn take_states(&mut self) -> Vec<(W, f64)> {
+        std::mem::take(&mut self.states)
+    }
+
+    /// Records one transition into the next frontier.
+    #[inline(always)]
+    pub(crate) fn push(&mut self, key: W, mass: f64) {
+        let seq = self.scratch.len() as u32;
+        self.scratch.push((key, seq, mass));
+    }
+
+    /// Sorts the recorded transitions by `(key, generation order)`, sums
+    /// duplicate keys in generation order (matching the reference kernels'
+    /// map-entry accumulation bit for bit), installs the merged frontier
+    /// into `recycled`, and returns the number of distinct states.
+    pub(crate) fn merge_step(&mut self, mut recycled: Vec<(W, f64)>) -> usize {
+        self.scratch
+            .sort_unstable_by_key(|&(key, seq, _)| (key, seq));
+        recycled.clear();
+        for &(key, _, mass) in &self.scratch {
+            match recycled.last_mut() {
+                Some((last, acc)) if *last == key => *acc += mass,
+                _ => recycled.push((key, mass)),
+            }
+        }
+        self.scratch.clear();
+        self.states = recycled;
+        self.states.len()
+    }
+
+    /// The current frontier, sorted by key.
+    #[cfg(test)]
+    pub(crate) fn states(&self) -> &[(W, f64)] {
+        &self.states
+    }
+
+    /// Sum of the frontier's masses in key order — the same order in which
+    /// `BTreeMap::values().sum()` folds the reference kernel's map.
+    pub(crate) fn total_mass(&self) -> f64 {
+        self.states.iter().map(|&(_, p)| p).sum()
+    }
+}
+
+/// A reusable buffer of the current step's RIM insertion-probability row
+/// `Π_i = (π(i, 0), …, π(i, i))`, precomputed once per step instead of once
+/// per state transition.
+pub(crate) struct InsertionRow {
+    row: Vec<f64>,
+}
+
+impl InsertionRow {
+    pub(crate) fn new(m: usize) -> Self {
+        InsertionRow {
+            row: Vec::with_capacity(m),
+        }
+    }
+
+    /// Fills the row for insertion step `i`.
+    pub(crate) fn fill(&mut self, rim: &ppd_rim::RimModel, i: usize) -> &[f64] {
+        self.row.clear();
+        self.row.extend((0..=i).map(|j| rim.insertion_prob(i, j)));
+        &self.row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_bits_covers_encoded_range() {
+        // Largest encoded value for m items is m itself.
+        for m in 1..200usize {
+            let bits = slot_bits(m);
+            assert!(m < (1usize << bits), "m={m} bits={bits}");
+            assert!(m >= (1usize << (bits - 1)), "m={m} bits={bits} too wide");
+        }
+    }
+
+    #[test]
+    fn packed_order_matches_vec_of_option_order() {
+        // The encoding must be order-isomorphic to Vec<Option<u32>> with the
+        // derived Ord (None < Some(p), lexicographic, slot 0 first).
+        let encode = |v: &[Option<u32>]| -> u64 {
+            let bits = slot_bits(8);
+            let mut acc = 0u64;
+            for (idx, slot) in v.iter().enumerate() {
+                let enc = match slot {
+                    None => 0,
+                    Some(p) => p + 1,
+                };
+                acc |= (enc as u64) << (bits * (v.len() as u32 - 1 - idx as u32));
+            }
+            acc
+        };
+        let vecs: Vec<Vec<Option<u32>>> = vec![
+            vec![None, None, None],
+            vec![None, None, Some(0)],
+            vec![None, Some(7), None],
+            vec![Some(0), None, Some(3)],
+            vec![Some(0), Some(1), None],
+            vec![Some(2), None, None],
+            vec![Some(7), Some(7), Some(7)],
+        ];
+        for a in &vecs {
+            for b in &vecs {
+                assert_eq!(
+                    a.cmp(b),
+                    encode(a).cmp(&encode(b)),
+                    "ordering mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sums_in_generation_order() {
+        let mut f: Frontier<u64> = Frontier::new(0);
+        let recycled = f.take_states();
+        // Two contributions to key 5, one to key 3, interleaved.
+        f.push(5, 0.25);
+        f.push(3, 0.5);
+        f.push(5, 0.125);
+        let n = f.merge_step(recycled);
+        assert_eq!(n, 2);
+        assert_eq!(f.states(), &[(3, 0.5), (5, 0.25 + 0.125)]);
+        assert_eq!(f.total_mass(), 0.5 + 0.375);
+    }
+}

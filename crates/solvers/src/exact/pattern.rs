@@ -8,19 +8,25 @@
 //! * bipartite (including two-label) patterns are dispatched to the
 //!   min/max-position DP of [`crate::BipartiteSolver`];
 //! * general DAG patterns are solved by a *relevant-item-position* DP over
-//!   the RIM insertion process: the state records the absolute positions of
-//!   the inserted items that can participate in an embedding (items matching
-//!   at least one pattern node). A state whose placed items already satisfy
-//!   the pattern is absorbed into the answer immediately — inserting more
-//!   items never invalidates an embedding — which keeps the reachable state
-//!   space far below its worst-case size.
+//!   the RIM insertion process: the state records, for every item that can
+//!   participate in an embedding (items matching at least one pattern node),
+//!   its current absolute position — or nothing, if it has not been inserted
+//!   yet. A state whose placed items already satisfy the pattern is absorbed
+//!   into the answer immediately — inserting more items never invalidates an
+//!   embedding — which keeps the reachable state space far below its
+//!   worst-case size.
 //!
 //! Both strategies are exact; the general one is exponential in the number of
 //! relevant items, matching the role of the general solver as a provably
-//! correct but non-scalable baseline.
+//! correct but non-scalable baseline. The general DP, like the two-label and
+//! bipartite solvers, has a packed kernel (one `slot_bits(m)`-wide field per
+//! relevant item in a `u64`/`u128`, see `exact::packed`) and a
+//! retained map-based reference kernel for the equivalence suite, used as
+//! the fallback when the packing width exceeds 128 bits.
 
 use crate::budget::Budget;
 use crate::exact::bipartite::BipartiteSolver;
+use crate::exact::packed::{self, Frontier, InsertionRow, Word};
 use crate::traits::ExactSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{satisfies_pattern, Labeling, Pattern, PatternError, PatternUnion};
@@ -31,6 +37,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default)]
 pub struct PatternSolver {
     budget: Option<Budget>,
+    force_reference: bool,
 }
 
 impl PatternSolver {
@@ -43,7 +50,38 @@ impl PatternSolver {
     pub fn with_budget(budget: Budget) -> Self {
         PatternSolver {
             budget: Some(budget),
+            force_reference: false,
         }
+    }
+
+    /// A solver pinned to the map-based reference kernel for its general-DAG
+    /// DP (bipartite dispatch also uses the reference bipartite kernel);
+    /// used by the equivalence suite and the `solver_kernels` benchmark.
+    pub fn reference() -> Self {
+        PatternSolver {
+            budget: None,
+            force_reference: true,
+        }
+    }
+
+    /// Width in bits of the packed general-DAG state for this pattern (one
+    /// slot per relevant item), or `None` when the instance falls back to
+    /// the reference kernel or is not solved by the general DP at all
+    /// (bipartite dispatch, unsatisfiable or edgeless patterns). Exposed for
+    /// the fallback-path tests and the kernel benchmark.
+    #[doc(hidden)]
+    pub fn packed_state_width(
+        rim: &RimModel,
+        labeling: &Labeling,
+        pattern: &Pattern,
+    ) -> Option<u32> {
+        if pattern.is_bipartite() || pattern.num_edges() == 0 {
+            return None;
+        }
+        let candidates = pattern.candidate_sets(rim.sigma().items(), labeling).ok()?;
+        let relevant = relevant_items(&candidates);
+        let width = packed::slot_bits(rim.num_items()) * relevant.len() as u32;
+        (width <= 128).then_some(width)
     }
 
     /// Computes `Pr(g | σ, Π, λ)` for a single pattern.
@@ -64,10 +102,14 @@ impl PatternSolver {
             Err(e) => return Err(e.into()),
         };
         if pattern.is_bipartite() {
-            let solver = match &self.budget {
-                Some(b) => BipartiteSolver::new().with_budget(b.clone()),
-                None => BipartiteSolver::new(),
+            let mut solver = if self.force_reference {
+                BipartiteSolver::reference()
+            } else {
+                BipartiteSolver::new()
             };
+            if let Some(b) = &self.budget {
+                solver = solver.with_budget(b.clone());
+            }
             return solver.solve(rim, labeling, &PatternUnion::singleton(pattern.clone())?);
         }
         if pattern.num_edges() == 0 {
@@ -87,35 +129,71 @@ impl PatternSolver {
         candidates: &[Vec<Item>],
     ) -> Result<f64> {
         let m = rim.num_items();
-        // Relevant items: anything that matches at least one pattern node.
-        let mut relevant: Vec<Item> = candidates.iter().flatten().copied().collect();
-        relevant.sort_unstable();
-        relevant.dedup();
-        let is_relevant: Vec<bool> = (0..m)
-            .map(|i| relevant.binary_search(&rim.sigma().item_at(i)).is_ok())
+        let relevant = relevant_items(candidates);
+        // Per insertion step: the relevant-item slot the step's item owns.
+        let slot_of_step: Vec<Option<usize>> = (0..m)
+            .map(|i| relevant.binary_search(&rim.sigma().item_at(i)).ok())
             .collect();
+        let budget = self.budget.as_ref();
+        let width = packed::slot_bits(m) * relevant.len() as u32;
+        if self.force_reference || width > 128 {
+            reference::solve(rim, labeling, pattern, &relevant, &slot_of_step, budget)
+        } else if width <= 64 {
+            solve_general_packed::<u64>(rim, labeling, pattern, &relevant, &slot_of_step, budget)
+        } else {
+            solve_general_packed::<u128>(rim, labeling, pattern, &relevant, &slot_of_step, budget)
+        }
+    }
+}
 
-        // A state is the sequence of placed relevant items with their current
-        // absolute positions, ordered by position.
-        type State = Vec<(Item, u32)>;
+/// Relevant items: anything that matches at least one pattern node, sorted
+/// so each item owns a stable slot index.
+fn relevant_items(candidates: &[Vec<Item>]) -> Vec<Item> {
+    let mut relevant: Vec<Item> = candidates.iter().flatten().copied().collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+    relevant
+}
+
+/// The retained map-based general-DAG kernel. The state is the vector of
+/// current absolute positions of the relevant items (`None` = not inserted
+/// yet), whose derived lexicographic `Ord` matches the packed kernel's
+/// big-endian slot layout — both kernels therefore iterate states in the
+/// same order and sum floats identically.
+pub(crate) mod reference {
+    use super::*;
+
+    type State = Vec<Option<u32>>;
+
+    pub(crate) fn solve(
+        rim: &RimModel,
+        labeling: &Labeling,
+        pattern: &Pattern,
+        relevant: &[Item],
+        slot_of_step: &[Option<usize>],
+        budget: Option<&Budget>,
+    ) -> Result<f64> {
+        let m = rim.num_items();
         // BTreeMap, not HashMap: deterministic iteration fixes the float
         // summation order, making the result bit-reproducible across calls
         // (the evaluation engine's determinism contract relies on this).
         let mut states: BTreeMap<State, f64> = BTreeMap::new();
-        states.insert(Vec::new(), 1.0);
+        states.insert(vec![None; relevant.len()], 1.0);
         let mut satisfied_mass = 0.0;
 
         let placed_satisfies = |placed: &State| -> bool {
-            let ranking = Ranking::new(placed.iter().map(|&(it, _)| it).collect())
+            let mut by_position: Vec<(u32, Item)> = placed
+                .iter()
+                .zip(relevant)
+                .filter_map(|(slot, &item)| slot.map(|pos| (pos, item)))
+                .collect();
+            by_position.sort_unstable();
+            let ranking = Ranking::new(by_position.into_iter().map(|(_, it)| it).collect())
                 .expect("placed items are distinct");
             satisfies_pattern(&ranking, labeling, pattern)
         };
 
-        // `i` is the RIM insertion step, used for `item_at`, `insertion_prob`
-        // and the position range — not merely an index into `is_relevant`.
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..m {
-            let item = rim.sigma().item_at(i);
+        for (i, &slot) in slot_of_step.iter().enumerate().take(m) {
             let mut next: BTreeMap<State, f64> = BTreeMap::new();
             for (state, prob) in &states {
                 for j in 0..=i {
@@ -123,11 +201,10 @@ impl PatternSolver {
                     // Shift the placed items at or below the insertion point.
                     let mut placed: State = state
                         .iter()
-                        .map(|&(it, pos)| (it, if pos >= j as u32 { pos + 1 } else { pos }))
+                        .map(|slot| slot.map(|pos| if pos >= j as u32 { pos + 1 } else { pos }))
                         .collect();
-                    if is_relevant[i] {
-                        let insert_at = placed.partition_point(|&(_, pos)| pos < j as u32);
-                        placed.insert(insert_at, (item, j as u32));
+                    if let Some(r) = slot {
+                        placed[r] = Some(j as u32);
                         if placed_satisfies(&placed) {
                             satisfied_mass += p_new;
                             continue;
@@ -136,7 +213,7 @@ impl PatternSolver {
                     *next.entry(placed).or_insert(0.0) += p_new;
                 }
             }
-            if let Some(budget) = &self.budget {
+            if let Some(budget) = budget {
                 budget.check(next.len())?;
             }
             states = next;
@@ -149,9 +226,88 @@ impl PatternSolver {
     }
 }
 
+/// The packed general-DAG kernel: one `slot_bits(m)`-wide field per relevant
+/// item, flat sorted frontier, reused buffers, per-step insertion row.
+fn solve_general_packed<W: Word>(
+    rim: &RimModel,
+    labeling: &Labeling,
+    pattern: &Pattern,
+    relevant: &[Item],
+    slot_of_step: &[Option<usize>],
+    budget: Option<&Budget>,
+) -> Result<f64> {
+    let m = rim.num_items();
+    let bits = packed::slot_bits(m);
+    let mask = (1u32 << bits) - 1;
+    let num_slots = relevant.len();
+    let shift_of = |r: usize| bits * ((num_slots - 1 - r) as u32);
+
+    // Reused decode buffers for the satisfaction check.
+    let mut by_position: Vec<(u32, Item)> = Vec::with_capacity(num_slots);
+    let mut placed_items: Vec<Item> = Vec::with_capacity(num_slots);
+    let mut probe = Ranking::new(Vec::new()).expect("the empty ranking is valid");
+
+    let mut frontier: Frontier<W> = Frontier::new(W::ZERO);
+    let mut row = InsertionRow::new(m);
+    let mut satisfied_mass = 0.0;
+    for (i, &step_slot) in slot_of_step.iter().enumerate().take(m) {
+        let row = row.fill(rim, i);
+        let states = frontier.take_states();
+        for &(state, prob) in &states {
+            for (j, &pj) in row.iter().enumerate() {
+                let jenc = j as u32 + 1;
+                let p_new = prob * pj;
+                // Shift the placed items at or below the insertion point.
+                let mut placed = W::ZERO;
+                for r in 0..num_slots {
+                    let shift = shift_of(r);
+                    let mut v = packed::get_slot(state, shift, mask);
+                    if v >= jenc {
+                        v += 1;
+                    }
+                    placed = placed.or(W::from_u32(v).shl(shift));
+                }
+                if let Some(r) = step_slot {
+                    let shift = shift_of(r);
+                    placed = placed.or(W::from_u32(jenc).shl(shift));
+                    // Decode the placed prefix ranking and check whether it
+                    // already embeds the pattern.
+                    by_position.clear();
+                    for (r, &item) in relevant.iter().enumerate() {
+                        let v = packed::get_slot(placed, shift_of(r), mask);
+                        if v != 0 {
+                            by_position.push((v - 1, item));
+                        }
+                    }
+                    by_position.sort_unstable();
+                    placed_items.clear();
+                    placed_items.extend(by_position.iter().map(|&(_, it)| it));
+                    probe
+                        .assign(&placed_items)
+                        .expect("placed items are distinct");
+                    if satisfies_pattern(&probe, labeling, pattern) {
+                        satisfied_mass += p_new;
+                        continue;
+                    }
+                }
+                frontier.push(placed, p_new);
+            }
+        }
+        let next_len = frontier.merge_step(states);
+        if let Some(budget) = budget {
+            budget.check(next_len)?;
+        }
+    }
+    Ok(satisfied_mass.clamp(0.0, 1.0))
+}
+
 impl ExactSolver for PatternSolver {
     fn name(&self) -> &'static str {
-        "pattern-exact"
+        if self.force_reference {
+            "pattern-exact-reference"
+        } else {
+            "pattern-exact"
+        }
     }
 
     /// Treats a singleton union as its member pattern; larger unions are the
@@ -199,6 +355,33 @@ mod tests {
                     assert!(
                         (expected - got).abs() < 1e-9,
                         "m={m} phi={phi} pattern={pattern:?}: {expected} vs {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_is_bit_identical_to_reference() {
+        let packed = PatternSolver::new();
+        let reference = PatternSolver::reference();
+        let chain3 = Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let diamond = Pattern::new(
+            vec![sel(0), sel(1), sel(2), sel(0)],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        for &m in &[4usize, 6, 7] {
+            for &phi in &[0.0, 0.4, 1.0] {
+                let model = rim(m, phi);
+                let lab = cyclic_labeling(m, 3);
+                for pattern in [&chain3, &diamond] {
+                    let a = packed.solve_pattern(&model, &lab, pattern).unwrap();
+                    let b = reference.solve_pattern(&model, &lab, pattern).unwrap();
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "m={m} phi={phi}: packed {a} vs reference {b}"
                     );
                 }
             }
@@ -274,5 +457,21 @@ mod tests {
             .solve(&model, &lab, &PatternUnion::singleton(chain).unwrap())
             .unwrap();
         assert!((expected - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packed_state_width_reported() {
+        let model = rim(6, 0.5);
+        let lab = cyclic_labeling(6, 3);
+        let chain = Pattern::new(vec![sel(0), sel(1), sel(2)], vec![(0, 1), (1, 2)]).unwrap();
+        // All 6 items match some node under the 3-label cyclic labeling:
+        // 6 slots × 3 bits.
+        assert_eq!(
+            PatternSolver::packed_state_width(&model, &lab, &chain),
+            Some(18)
+        );
+        // Bipartite patterns never use the general DP.
+        let vee = Pattern::new(vec![sel(2), sel(0), sel(1)], vec![(0, 1), (0, 2)]).unwrap();
+        assert_eq!(PatternSolver::packed_state_width(&model, &lab, &vee), None);
     }
 }

@@ -9,13 +9,26 @@
 //! matching item (`β`). A ranking satisfies the edge `l ≻ r` iff
 //! `α(l) < β(r)`, so tracking only the *violating* states and subtracting
 //! their mass from 1 yields the marginal probability of `G`.
+//!
+//! Two kernels implement the DP:
+//!
+//! * the **packed** kernel (default) encodes each state's `α`/`β` vector into
+//!   a single `u64`/`u128` (see `exact::packed`) and advances a flat
+//!   sorted frontier with reused buffers and a precomputed per-step insertion
+//!   row;
+//! * the **reference** kernel (`reference`) is the original
+//!   `BTreeMap<State, f64>` formulation, retained so the equivalence suite
+//!   can check — forever, and bit for bit — that packing changed nothing.
+//!
+//! When the packing width exceeds 128 bits (more than `⌊128 / ⌈log₂(m+1)⌉⌋`
+//! distinct tracked selectors) the solver falls back to the reference kernel.
 
 use crate::budget::Budget;
+use crate::exact::packed::{self, Frontier, InsertionRow, Word};
 use crate::traits::ExactSolver;
 use crate::{Result, SolverError};
 use ppd_patterns::{Labeling, NodeSelector, PatternUnion, UnionClass};
 use ppd_rim::RimModel;
-use std::collections::BTreeMap;
 
 /// Exact solver for unions of two-label patterns (Algorithm 3).
 ///
@@ -26,6 +39,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default)]
 pub struct TwoLabelSolver {
     budget: Option<Budget>,
+    force_reference: bool,
 }
 
 impl TwoLabelSolver {
@@ -38,83 +52,305 @@ impl TwoLabelSolver {
     pub fn with_budget(budget: Budget) -> Self {
         TwoLabelSolver {
             budget: Some(budget),
-        }
-    }
-}
-
-/// A DP state: minimum positions of L-selectors and maximum positions of
-/// R-selectors among the items inserted so far (`None` = no matching item
-/// inserted yet). Positions are 0-based.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-struct State {
-    alpha: Vec<Option<u32>>,
-    beta: Vec<Option<u32>>,
-}
-
-impl State {
-    fn empty(num_l: usize, num_r: usize) -> Self {
-        State {
-            alpha: vec![None; num_l],
-            beta: vec![None; num_r],
+            force_reference: false,
         }
     }
 
-    /// Inserts an item at position `j`, given which L/R selectors it matches.
+    /// A solver pinned to the original map-based kernel. Used by the
+    /// equivalence suite and the `solver_kernels` benchmark; query evaluation
+    /// always uses the packed kernel (with automatic fallback).
+    pub fn reference() -> Self {
+        TwoLabelSolver {
+            budget: None,
+            force_reference: true,
+        }
+    }
+
+    /// Width in bits of the packed state for this instance, or `None` when
+    /// the instance exceeds 128 bits and the solver falls back to the
+    /// reference kernel. Exposed for the fallback-path tests and the kernel
+    /// benchmark; not part of the query API.
+    #[doc(hidden)]
+    pub fn packed_state_width(
+        rim: &RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Option<u32> {
+        let union = union.prune_unsatisfiable(rim.sigma().items(), labeling)?;
+        let compiled = compile(rim, labeling, &union);
+        let bits = packed::slot_bits(rim.num_items());
+        let width = bits * (compiled.num_l() + compiled.num_r()) as u32;
+        (width <= 128).then_some(width)
+    }
+}
+
+/// Compiled form of the union: deduplicated per-role selectors, edges over
+/// selector indices, and per-step match rows — shared by both kernels.
+pub(crate) struct Compiled {
+    l_selectors: Vec<NodeSelector>,
+    r_selectors: Vec<NodeSelector>,
+    pub(crate) edges: Vec<(usize, usize)>,
+    /// Per insertion step: which tracked L/R selectors the item matches.
+    pub(crate) match_l: Vec<Vec<bool>>,
+    pub(crate) match_r: Vec<Vec<bool>>,
+}
+
+impl Compiled {
+    pub(crate) fn num_l(&self) -> usize {
+        self.l_selectors.len()
+    }
+
+    pub(crate) fn num_r(&self) -> usize {
+        self.r_selectors.len()
+    }
+}
+
+pub(crate) fn compile(rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Compiled {
+    let m = rim.num_items();
+    let mut l_selectors: Vec<NodeSelector> = Vec::new();
+    let mut r_selectors: Vec<NodeSelector> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for pattern in union.patterns() {
+        let (a, b) = pattern.edges()[0];
+        let left = pattern.nodes()[a].clone();
+        let right = pattern.nodes()[b].clone();
+        let li = match l_selectors.iter().position(|s| *s == left) {
+            Some(i) => i,
+            None => {
+                l_selectors.push(left);
+                l_selectors.len() - 1
+            }
+        };
+        let ri = match r_selectors.iter().position(|s| *s == right) {
+            Some(i) => i,
+            None => {
+                r_selectors.push(right);
+                r_selectors.len() - 1
+            }
+        };
+        if !edges.contains(&(li, ri)) {
+            edges.push((li, ri));
+        }
+    }
+    let match_l: Vec<Vec<bool>> = (0..m)
+        .map(|i| {
+            let item = rim.sigma().item_at(i);
+            l_selectors
+                .iter()
+                .map(|s| s.matches(item, labeling))
+                .collect()
+        })
+        .collect();
+    let match_r: Vec<Vec<bool>> = (0..m)
+        .map(|i| {
+            let item = rim.sigma().item_at(i);
+            r_selectors
+                .iter()
+                .map(|s| s.matches(item, labeling))
+                .collect()
+        })
+        .collect();
+    Compiled {
+        l_selectors,
+        r_selectors,
+        edges,
+        match_l,
+        match_r,
+    }
+}
+
+/// The retained map-based kernel (the pre-packing implementation), used by
+/// the equivalence suite, the kernel benchmark, and as the fallback when the
+/// packed state exceeds 128 bits.
+pub(crate) mod reference {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A DP state: minimum positions of L-selectors and maximum positions of
+    /// R-selectors among the items inserted so far (`None` = no matching item
+    /// inserted yet). Positions are 0-based.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct State {
+        alpha: Vec<Option<u32>>,
+        beta: Vec<Option<u32>>,
+    }
+
+    impl State {
+        fn empty(num_l: usize, num_r: usize) -> Self {
+            State {
+                alpha: vec![None; num_l],
+                beta: vec![None; num_r],
+            }
+        }
+
+        /// Inserts an item at position `j`, given which L/R selectors it
+        /// matches.
+        ///
+        /// Note on the update order: positions already at or below the
+        /// insertion point shift down by one *before* taking the min/max with
+        /// `j`. (The paper states the two cases — "item carries the label"
+        /// and "item does not" — as alternatives; shifting first and then
+        /// folding in `j` keeps `α`/`β` equal to the true minimum/maximum
+        /// positions in all cases, including when the previous witness itself
+        /// shifts.)
+        fn insert(&self, j: u32, matches_l: &[bool], matches_r: &[bool]) -> State {
+            let mut next = self.clone();
+            for (e, slot) in next.alpha.iter_mut().enumerate() {
+                if let Some(p) = slot {
+                    if *p >= j {
+                        *p += 1;
+                    }
+                }
+                if matches_l[e] {
+                    *slot = Some(match *slot {
+                        Some(p) => p.min(j),
+                        None => j,
+                    });
+                }
+            }
+            for (e, slot) in next.beta.iter_mut().enumerate() {
+                if let Some(p) = slot {
+                    if *p >= j {
+                        *p += 1;
+                    }
+                }
+                if matches_r[e] {
+                    *slot = Some(match *slot {
+                        Some(p) => p.max(j),
+                        None => j,
+                    });
+                }
+            }
+            next
+        }
+
+        /// `true` when at least one edge `(l, r)` is already satisfied
+        /// (`α(l) < β(r)`). Such states are pruned: once satisfied, an edge
+        /// stays satisfied, so these rankings can never contribute to the
+        /// violating mass.
+        fn satisfies_some_edge(&self, edges: &[(usize, usize)]) -> bool {
+            edges
+                .iter()
+                .any(|&(l, r)| match (self.alpha[l], self.beta[r]) {
+                    (Some(a), Some(b)) => a < b,
+                    _ => false,
+                })
+        }
+    }
+
+    /// DP over insertions, tracking only the violating states.
     ///
-    /// Note on the update order: positions already at or below the insertion
-    /// point shift down by one *before* taking the min/max with `j`. (The
-    /// paper states the two cases — "item carries the label" and "item does
-    /// not" — as alternatives; shifting first and then folding in `j` keeps
-    /// `α`/`β` equal to the true minimum/maximum positions in all cases,
-    /// including when the previous witness itself shifts.)
-    fn insert(&self, j: u32, matches_l: &[bool], matches_r: &[bool]) -> State {
-        let mut next = self.clone();
-        for (e, slot) in next.alpha.iter_mut().enumerate() {
-            if let Some(p) = slot {
-                if *p >= j {
-                    *p += 1;
+    /// BTreeMap, not HashMap: deterministic iteration fixes the float
+    /// summation order, making the result bit-reproducible across calls (the
+    /// evaluation engine's determinism contract relies on this). The packed
+    /// kernel reproduces this exact order (see `exact::packed`).
+    pub(crate) fn solve(rim: &RimModel, c: &Compiled, budget: Option<&Budget>) -> Result<f64> {
+        let m = rim.num_items();
+        let mut states: BTreeMap<State, f64> = BTreeMap::new();
+        states.insert(State::empty(c.num_l(), c.num_r()), 1.0);
+        for i in 0..m {
+            let mut next: BTreeMap<State, f64> = BTreeMap::new();
+            for (state, prob) in &states {
+                for j in 0..=i {
+                    let new_state = state.insert(j as u32, &c.match_l[i], &c.match_r[i]);
+                    if new_state.satisfies_some_edge(&c.edges) {
+                        continue;
+                    }
+                    let p = prob * rim.insertion_prob(i, j);
+                    *next.entry(new_state).or_insert(0.0) += p;
                 }
             }
-            if matches_l[e] {
-                *slot = Some(match *slot {
-                    Some(p) => p.min(j),
-                    None => j,
-                });
+            if let Some(budget) = budget {
+                budget.check(next.len())?;
             }
+            states = next;
         }
-        for (e, slot) in next.beta.iter_mut().enumerate() {
-            if let Some(p) = slot {
-                if *p >= j {
-                    *p += 1;
-                }
-            }
-            if matches_r[e] {
-                *slot = Some(match *slot {
-                    Some(p) => p.max(j),
-                    None => j,
-                });
-            }
-        }
-        next
+        let violating: f64 = states.values().sum();
+        Ok((1.0 - violating).clamp(0.0, 1.0))
     }
+}
 
-    /// `true` when at least one edge `(l, r)` is already satisfied
-    /// (`α(l) < β(r)`). Such states are pruned: once satisfied, an edge stays
-    /// satisfied, so these rankings can never contribute to the violating
-    /// mass.
-    fn satisfies_some_edge(&self, edges: &[(usize, usize)]) -> bool {
-        edges
-            .iter()
-            .any(|&(l, r)| match (self.alpha[l], self.beta[r]) {
-                (Some(a), Some(b)) => a < b,
-                _ => false,
-            })
+/// The packed kernel: states are single machine words, the frontier is a
+/// flat sorted vector, and both frontier buffers plus the insertion row are
+/// reused across all `m` steps.
+fn solve_packed<W: Word>(rim: &RimModel, c: &Compiled, budget: Option<&Budget>) -> Result<f64> {
+    let m = rim.num_items();
+    let bits = packed::slot_bits(m);
+    let mask = (1u32 << bits) - 1;
+    let num_l = c.num_l();
+    let total_slots = (num_l + c.num_r()) as u32;
+    // Slot `idx` (α entries first, then β) sits at the packed offset that
+    // makes integer comparison equal the reference state's lexicographic Ord.
+    let shift_of = |idx: usize| bits * (total_slots - 1 - idx as u32);
+    let edge_shifts: Vec<(u32, u32)> = c
+        .edges
+        .iter()
+        .map(|&(l, r)| (shift_of(l), shift_of(num_l + r)))
+        .collect();
+
+    let mut frontier: Frontier<W> = Frontier::new(W::ZERO);
+    let mut row = InsertionRow::new(m);
+    for i in 0..m {
+        let row = row.fill(rim, i);
+        let match_l = &c.match_l[i];
+        let match_r = &c.match_r[i];
+        let states = frontier.take_states();
+        for &(state, prob) in &states {
+            'insertion: for (j, &pj) in row.iter().enumerate() {
+                let jenc = j as u32 + 1;
+                let mut next = W::ZERO;
+                for (e, &is_match) in match_l.iter().enumerate() {
+                    let shift = shift_of(e);
+                    let mut v = packed::get_slot(state, shift, mask);
+                    // Encoded positions are p+1, so `p >= j` is `v >= jenc`
+                    // (v = 0 encodes "no witness" and jenc >= 1 skips it).
+                    if v >= jenc {
+                        v += 1;
+                    }
+                    if is_match {
+                        v = if v == 0 { jenc } else { v.min(jenc) };
+                    }
+                    next = next.or(W::from_u32(v).shl(shift));
+                }
+                for (e, &is_match) in match_r.iter().enumerate() {
+                    let shift = shift_of(num_l + e);
+                    let mut v = packed::get_slot(state, shift, mask);
+                    if v >= jenc {
+                        v += 1;
+                    }
+                    if is_match {
+                        // max folds in the new witness and handles v = 0.
+                        v = v.max(jenc);
+                    }
+                    next = next.or(W::from_u32(v).shl(shift));
+                }
+                for &(sl, sr) in &edge_shifts {
+                    let a = packed::get_slot(next, sl, mask);
+                    let b = packed::get_slot(next, sr, mask);
+                    if a != 0 && a < b {
+                        // The edge is satisfied: this ranking prefix can
+                        // never contribute to the violating mass.
+                        continue 'insertion;
+                    }
+                }
+                frontier.push(next, prob * pj);
+            }
+        }
+        let next_len = frontier.merge_step(states);
+        if let Some(budget) = budget {
+            budget.check(next_len)?;
+        }
     }
+    Ok((1.0 - frontier.total_mass()).clamp(0.0, 1.0))
 }
 
 impl ExactSolver for TwoLabelSolver {
     fn name(&self) -> &'static str {
-        "two-label"
+        if self.force_reference {
+            "two-label-reference"
+        } else {
+            "two-label"
+        }
     }
 
     fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64> {
@@ -135,79 +371,16 @@ impl ExactSolver for TwoLabelSolver {
             Some(u) => u,
             None => return Ok(0.0),
         };
-
-        // Deduplicate tracked selectors per role.
-        let mut l_selectors: Vec<NodeSelector> = Vec::new();
-        let mut r_selectors: Vec<NodeSelector> = Vec::new();
-        let mut edges: Vec<(usize, usize)> = Vec::new();
-        for pattern in union.patterns() {
-            let (a, b) = pattern.edges()[0];
-            let left = pattern.nodes()[a].clone();
-            let right = pattern.nodes()[b].clone();
-            let li = match l_selectors.iter().position(|s| *s == left) {
-                Some(i) => i,
-                None => {
-                    l_selectors.push(left);
-                    l_selectors.len() - 1
-                }
-            };
-            let ri = match r_selectors.iter().position(|s| *s == right) {
-                Some(i) => i,
-                None => {
-                    r_selectors.push(right);
-                    r_selectors.len() - 1
-                }
-            };
-            if !edges.contains(&(li, ri)) {
-                edges.push((li, ri));
-            }
+        let compiled = compile(rim, labeling, &union);
+        let budget = self.budget.as_ref();
+        let width = packed::slot_bits(m) * (compiled.num_l() + compiled.num_r()) as u32;
+        if self.force_reference || width > 128 {
+            reference::solve(rim, &compiled, budget)
+        } else if width <= 64 {
+            solve_packed::<u64>(rim, &compiled, budget)
+        } else {
+            solve_packed::<u128>(rim, &compiled, budget)
         }
-
-        // Per reference item: which tracked selectors does it match?
-        let match_l: Vec<Vec<bool>> = (0..m)
-            .map(|i| {
-                let item = rim.sigma().item_at(i);
-                l_selectors
-                    .iter()
-                    .map(|s| s.matches(item, labeling))
-                    .collect()
-            })
-            .collect();
-        let match_r: Vec<Vec<bool>> = (0..m)
-            .map(|i| {
-                let item = rim.sigma().item_at(i);
-                r_selectors
-                    .iter()
-                    .map(|s| s.matches(item, labeling))
-                    .collect()
-            })
-            .collect();
-
-        // DP over insertions, tracking only the violating states.
-        // BTreeMap, not HashMap: deterministic iteration fixes the float
-        // summation order, making the result bit-reproducible across calls
-        // (the evaluation engine's determinism contract relies on this).
-        let mut states: BTreeMap<State, f64> = BTreeMap::new();
-        states.insert(State::empty(l_selectors.len(), r_selectors.len()), 1.0);
-        for i in 0..m {
-            let mut next: BTreeMap<State, f64> = BTreeMap::new();
-            for (state, prob) in &states {
-                for j in 0..=i {
-                    let new_state = state.insert(j as u32, &match_l[i], &match_r[i]);
-                    if new_state.satisfies_some_edge(&edges) {
-                        continue;
-                    }
-                    let p = prob * rim.insertion_prob(i, j);
-                    *next.entry(new_state).or_insert(0.0) += p;
-                }
-            }
-            if let Some(budget) = &self.budget {
-                budget.check(next.len())?;
-            }
-            states = next;
-        }
-        let violating: f64 = states.values().sum();
-        Ok((1.0 - violating).clamp(0.0, 1.0))
     }
 }
 
@@ -269,6 +442,27 @@ mod tests {
     }
 
     #[test]
+    fn packed_kernel_is_bit_identical_to_reference() {
+        let packed = TwoLabelSolver::new();
+        let reference = TwoLabelSolver::reference();
+        for &m in &[4usize, 6, 9] {
+            for &phi in &[0.0, 0.3, 1.0] {
+                let model = rim(m, phi);
+                let lab = cyclic_labeling(m, 3);
+                for union in two_label_unions() {
+                    let a = packed.solve(&model, &lab, &union).unwrap();
+                    let b = reference.solve(&model, &lab, &union).unwrap();
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "m={m}, phi={phi}: packed {a} vs reference {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn unsatisfiable_union_has_probability_zero() {
         let model = rim(5, 0.5);
         let lab = cyclic_labeling(5, 3);
@@ -295,7 +489,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_abort_is_reported() {
+    fn budget_abort_is_reported_by_both_kernels() {
         let model = rim(8, 0.5);
         let lab = cyclic_labeling(8, 4);
         let union = PatternUnion::new(vec![
@@ -304,11 +498,18 @@ mod tests {
             Pattern::two_label(sel(1), sel(0)),
         ])
         .unwrap();
-        let solver = TwoLabelSolver::with_budget(Budget::with_max_states(2));
-        assert!(matches!(
-            solver.solve(&model, &lab, &union),
-            Err(SolverError::BudgetExceeded(_))
-        ));
+        for solver in [
+            TwoLabelSolver::with_budget(Budget::with_max_states(2)),
+            TwoLabelSolver {
+                budget: Some(Budget::with_max_states(2)),
+                force_reference: true,
+            },
+        ] {
+            assert!(matches!(
+                solver.solve(&model, &lab, &union),
+                Err(SolverError::BudgetExceeded(_))
+            ));
+        }
     }
 
     #[test]
@@ -323,5 +524,17 @@ mod tests {
         let p = TwoLabelSolver::new().solve(&model, &lab, &union).unwrap();
         assert!((0.0..=1.0).contains(&p));
         assert!(p > 0.0);
+    }
+
+    #[test]
+    fn packed_state_width_reported() {
+        let model = rim(6, 0.5);
+        let lab = cyclic_labeling(6, 3);
+        let union = PatternUnion::singleton(Pattern::two_label(sel(0), sel(1))).unwrap();
+        // One L and one R selector over m = 6: 2 slots × 3 bits.
+        assert_eq!(
+            TwoLabelSolver::packed_state_width(&model, &lab, &union),
+            Some(6)
+        );
     }
 }
