@@ -9,16 +9,27 @@
 //! the determinism contract: the service's answers for the workload mix
 //! are bit-identical to direct engine calls.
 //!
+//! A second, **mixed-priority** phase then measures the QoS isolation the
+//! two admission classes buy: interactive p99 latency is measured unloaded,
+//! then again while flooder threads saturate a deliberately shallow batch
+//! lane. The phase asserts the PR-6 acceptance criteria in-process —
+//! interactive p99 under batch flood stays within 2× of unloaded, and the
+//! flood itself sheds with `Overloaded` — and the numbers land in the same
+//! JSON artifact under `"qos"`.
+//!
 //! Environment:
 //! * `PPD_SCALE`   — `small` (default: 120 voters) or `paper` (1000);
 //! * `PPD_VOTERS` / `PPD_CANDIDATES` — explicit size overrides;
 //! * `PPD_CLIENTS` — client threads (default 4);
-//! * `PPD_QUERIES` — queries per client (default 24 small / 100 paper).
+//! * `PPD_QUERIES` — queries per client (default 24 small / 100 paper);
+//! * `PPD_QOS_QUERIES` — interactive probes per QoS measurement (default 40);
+//! * `PPD_FLOODERS` — batch flooder threads in the loaded phase (default 4).
 
 use ppd_bench::{env_usize, percentile, print_table, write_results, Scale};
 use ppd_core::{ConjunctiveQuery, Engine, EvalConfig, Term, TopKStrategy};
 use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
-use ppd_service::{Answer, Request, Service, ServiceConfig, ServiceError};
+use ppd_service::{Answer, Request, Service, ServiceConfig, ServiceError, SubmitOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 fn pair_query() -> ConjunctiveQuery {
@@ -79,6 +90,143 @@ fn direct(engine: &Engine, db: &ppd_core::PpdDatabase, request: &Request) -> Ans
                 .0,
         ),
     }
+}
+
+/// The mixed-priority QoS phase: interactive p99 unloaded vs. under a batch
+/// flood into a deliberately shallow batch lane. Asserts the isolation
+/// contract (p99 ratio ≤ 2, flood sheds with `Overloaded`, interactive
+/// admission untouched) and returns the numbers for the JSON artifact.
+fn qos_phase(db: &ppd_core::PpdDatabase) -> serde_json::Value {
+    let probes = env_usize("PPD_QOS_QUERIES").unwrap_or(40).max(10);
+    let flooders = env_usize("PPD_FLOODERS").unwrap_or(4).max(1);
+    // A shallow batch lane (2) under a generous interactive lane: the flood
+    // saturates and sheds from its own lane, never queueing in front of
+    // interactive traffic. The 2 ms window dominates both measurements, so
+    // the loaded/unloaded ratio isolates what the flood actually adds.
+    let service = Service::new(
+        db.clone(),
+        ServiceConfig::new(EvalConfig::exact())
+            .with_max_batch(16)
+            .with_max_wait(Duration::from_millis(2))
+            .with_max_queue(1024)
+            .with_max_queue_batch(2),
+    );
+    let probe = Request::Boolean(polls_q1_query());
+    let flood = Request::Count(pair_query());
+    // Warm both queries' work units so the phases run cache-hot, the way a
+    // long-lived service would.
+    for request in [probe.clone(), flood.clone()] {
+        service
+            .submit(request)
+            .expect("admitted")
+            .wait()
+            .expect("warmup answers");
+    }
+
+    let measure = |phase: &str| -> Vec<f64> {
+        (0..probes)
+            .map(|_| {
+                let submitted = Instant::now();
+                service
+                    .submit_with(probe.clone(), SubmitOptions::interactive())
+                    .unwrap_or_else(|e| panic!("interactive admission failed ({phase}): {e}"))
+                    .wait()
+                    .unwrap_or_else(|e| panic!("interactive query failed ({phase}): {e}"));
+                submitted.elapsed().as_secs_f64() * 1e3
+            })
+            .collect()
+    };
+
+    let unloaded = measure("unloaded");
+    let p99_unloaded = percentile(&unloaded, 99.0);
+
+    let stop = AtomicBool::new(false);
+    let mut shed = 0u64;
+    let mut flood_answered = 0u64;
+    let mut loaded: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..flooders)
+            .map(|_| {
+                let (service, stop, flood) = (&service, &stop, &flood);
+                scope.spawn(move || {
+                    let (mut answered, mut local_shed) = (0u64, 0u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        match service.submit_with(flood.clone(), SubmitOptions::batch()) {
+                            Ok(ticket) => {
+                                ticket.wait().expect("batch queries answer");
+                                answered += 1;
+                            }
+                            Err(ServiceError::Overloaded { .. }) => {
+                                local_shed += 1;
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("batch submit failed: {e}"),
+                        }
+                    }
+                    (answered, local_shed)
+                })
+            })
+            .collect();
+        // Let the flood saturate its lane before probing.
+        std::thread::sleep(Duration::from_millis(20));
+        loaded = measure("loaded");
+        stop.store(true, Ordering::Relaxed);
+        for worker in workers {
+            let (answered, local_shed) = worker.join().expect("flooder panicked");
+            flood_answered += answered;
+            shed += local_shed;
+        }
+    });
+    let p99_loaded = percentile(&loaded, 99.0);
+    let stats = service.shutdown();
+
+    assert!(
+        shed > 0,
+        "the batch flood must shed with Overloaded (lane bound 2, {flooders} flooders)"
+    );
+    assert_eq!(
+        stats.interactive_rejected, 0,
+        "a batch flood must never close interactive admission"
+    );
+    assert!(
+        p99_loaded <= 2.0 * p99_unloaded,
+        "interactive p99 under batch flood ({p99_loaded:.2}ms) exceeded 2× the \
+         unloaded p99 ({p99_unloaded:.2}ms) — class isolation is broken"
+    );
+
+    println!("\nQoS phase ({probes} probes, {flooders} batch flooders):");
+    print_table(
+        &["phase", "p50", "p99"],
+        &[
+            vec![
+                "interactive unloaded".into(),
+                format!("{:.2}ms", percentile(&unloaded, 50.0)),
+                format!("{p99_unloaded:.2}ms"),
+            ],
+            vec![
+                "interactive + batch flood".into(),
+                format!("{:.2}ms", percentile(&loaded, 50.0)),
+                format!("{p99_loaded:.2}ms"),
+            ],
+        ],
+    );
+    println!(
+        "batch flood: {flood_answered} answered, {shed} shed with Overloaded; \
+         interactive p99 ratio {:.2}",
+        p99_loaded / p99_unloaded.max(1e-9)
+    );
+
+    serde_json::json!({
+        "probes": probes,
+        "flooders": flooders,
+        "interactive_p50_unloaded_ms": percentile(&unloaded, 50.0),
+        "interactive_p99_unloaded_ms": p99_unloaded,
+        "interactive_p50_loaded_ms": percentile(&loaded, 50.0),
+        "interactive_p99_loaded_ms": p99_loaded,
+        "p99_ratio": p99_loaded / p99_unloaded.max(1e-9),
+        "batch_answered": flood_answered,
+        "batch_shed": shed,
+    })
 }
 
 fn main() {
@@ -193,6 +341,8 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
+    let qos = qos_phase(&db);
+
     write_results(
         "service_load",
         &serde_json::json!({
@@ -215,6 +365,7 @@ fn main() {
             "cache_hit_rate": stats.cache.hit_rate(),
             "marginals_solved": stats.cache.marginal_misses,
             "marginals_hit": stats.cache.marginal_hits,
+            "qos": qos,
         }),
     );
 }

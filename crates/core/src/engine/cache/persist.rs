@@ -61,7 +61,11 @@ pub(crate) const FORMAT_VERSION: u32 = 1;
 /// general-DAG DP (positions per relevant item), changing BTreeMap
 /// iteration — hence float summation — order, and `GeneralSolver` now
 /// evaluates conjunctions over deduplicated member classes.
-pub(crate) const SOLVER_REVISION: u32 = 2;
+///
+/// Revision 3: PR 6 replaced MIS-AMP-lite's multiplicative pruning
+/// compensation (`c_ψ · c_r`, clamped) with the odds-space normalization,
+/// changing every approximate estimate computed with pruning active.
+pub(crate) const SOLVER_REVISION: u32 = 3;
 /// Header size in bytes: magic + format version + solver revision + entry
 /// count.
 const HEADER_BYTES: usize = 8 + 4 + 4 + 8;

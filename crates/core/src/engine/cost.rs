@@ -26,7 +26,25 @@
 
 use ppd_patterns::{PatternUnion, UnionClass};
 
+/// Upper bound on any unit-cost estimate. Far above every realistic unit
+/// (the general-solver cap tops out near 1e80) yet far below `f64::MAX`, so
+/// sums and products over clamped costs can never reach infinity.
+const COST_CAP: f64 = 1e120;
+
+/// Maps a raw cost estimate into `[1, COST_CAP]`. The scheduler only needs
+/// a total order, so saturating the hopeless tail loses nothing — but it
+/// does guarantee [`schedule_order`]'s comparator never sees a non-finite
+/// value, whatever the cost formulas produce on degenerate inputs.
+fn finite(cost: f64) -> f64 {
+    if cost.is_nan() {
+        COST_CAP
+    } else {
+        cost.clamp(1.0, COST_CAP)
+    }
+}
+
 /// Estimated solve cost of one work unit, in arbitrary comparable units.
+/// The estimate is always finite and at least 1 (see [`finite`]).
 ///
 /// `m` is the number of items in the unit's model; `approx_budget` is
 /// `Some(samples_per_proposal)` when the unit will be solved by the
@@ -34,12 +52,17 @@ use ppd_patterns::{PatternUnion, UnionClass};
 pub(crate) fn unit_cost(union: &PatternUnion, m: usize, approx_budget: Option<usize>) -> f64 {
     let m = m.max(2) as f64;
     let z = union.num_patterns() as f64;
-    match approx_budget {
-        // Sampling cost: one insertion walk of length ~m per sample, per
-        // proposal; the adaptive solver's proposal count grows with the
-        // union's node count.
+    finite(match approx_budget {
+        // Sampling cost, per sample: one insertion walk of length ~m per
+        // proposal, plus the O(m log m) Kendall-distance evaluation behind
+        // every Mallows/proposal probability the reweighting computes.
+        // (Omitting the Kendall term systematically underestimated
+        // approximate units against exact DP units at large m.) The
+        // adaptive solver's proposal count grows with the union's node
+        // count.
         Some(samples_per_proposal) => {
-            (samples_per_proposal.max(1) as f64) * z * union.total_nodes() as f64 * m
+            let per_sample = m * (1.0 + m.log2());
+            (samples_per_proposal.max(1) as f64) * z * union.total_nodes() as f64 * per_sample
         }
         None => match union.classify() {
             // Two-label DP: per-member marginal over m insertion steps with
@@ -57,20 +80,20 @@ pub(crate) fn unit_cost(union: &PatternUnion, m: usize, approx_budget: Option<us
                 2f64.powf(z.min(40.0)) * m.powi(nodes + 1)
             }
         },
-    }
+    })
 }
 
 /// The execution order for a wave: unit indices sorted by descending cost,
 /// ties broken by ascending index so the order is deterministic (and stable
 /// against cost-model refinements that map distinct units to equal costs).
+///
+/// The sort uses [`f64::total_cmp`], so it is total over *any* input —
+/// [`unit_cost`] already clamps to a finite range, but a NaN or infinity
+/// slipping in through a future cost source must never panic the
+/// dispatcher, only order strangely.
 pub(crate) fn schedule_order(costs: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&a, &b| {
-        costs[b]
-            .partial_cmp(&costs[a])
-            .expect("unit costs are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
     order
 }
 
@@ -131,6 +154,23 @@ mod tests {
         assert!(unit_cost(&huge, 50, None).is_finite());
         assert!(unit_cost(&chain_union(), 0, None).is_finite());
         assert!(unit_cost(&chain_union(), 20, Some(usize::MAX / 2)).is_finite());
+        // Inputs engineered to overflow the raw formulas saturate at the cap
+        // instead of reaching infinity.
+        let cost = unit_cost(&chain_union(), usize::MAX / 4, Some(usize::MAX / 2));
+        assert!(cost.is_finite());
+        assert!(cost <= COST_CAP);
+    }
+
+    #[test]
+    fn schedule_order_is_total_over_non_finite_costs() {
+        // A NaN or infinite cost must never panic the dispatcher: the sort
+        // is total, deterministic, and keeps NaN/∞ at the front (they sort
+        // as "most expensive", which is the safe direction for unknowns).
+        let weird = [1.0, f64::NAN, f64::INFINITY, 0.5, f64::NEG_INFINITY];
+        let order = schedule_order(&weird);
+        assert_eq!(order, vec![1, 2, 0, 3, 4]);
+        // Repeatable bit-for-bit.
+        assert_eq!(order, schedule_order(&weird));
     }
 
     #[test]
@@ -152,5 +192,25 @@ mod tests {
             unit_cost(&two_label_union(1), m, None),
         ];
         assert_eq!(schedule_order(&costs)[0], 2);
+    }
+
+    #[test]
+    fn sampling_cost_includes_the_kendall_term() {
+        // Per-sample reweighting pays O(m log m) for every Kendall-distance
+        // evaluation. Without that term a 400-samples-per-proposal unit at
+        // m = 32 (raw walk cost 400·2·32 = 25,600) ranked *below* a plain
+        // two-label DP at the same m (32³ = 32,768) — systematically
+        // starting approximate units late in mixed waves. With the term the
+        // sampler correctly outranks the DP.
+        let m = 32;
+        let approx = unit_cost(&chain_union(), m, Some(400));
+        let exact_two_label = unit_cost(&two_label_union(1), m, None);
+        assert!(
+            approx > exact_two_label,
+            "sampling unit ({approx}) must outrank the two-label DP \
+             ({exact_two_label}) once the Kendall term is counted"
+        );
+        let order = schedule_order(&[exact_two_label, approx]);
+        assert_eq!(order, vec![1, 0]);
     }
 }

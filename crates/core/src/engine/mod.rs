@@ -325,6 +325,30 @@ impl Engine {
         queries: &[ConjunctiveQuery],
         deliver: impl Fn(usize, Result<BatchAnswer>) + Sync,
     ) {
+        self.evaluate_batch_streamed_cancellable(db, queries, |_| false, deliver);
+    }
+
+    /// [`Engine::evaluate_batch_streamed`] with mid-wave cancellation: before
+    /// each unit solve (and once before the wave starts) the engine polls
+    /// `cancelled(query_index)` for the unit's still-undelivered dependents.
+    /// A query whose predicate fires is delivered [`PpdError::Cancelled`]
+    /// exactly once and its refcounts are released; a unit every dependent of
+    /// which has been cancelled or delivered is **skipped** — its solve never
+    /// runs and nothing is cached for it.
+    ///
+    /// Cancellation never poisons co-batched queries: a unit with at least
+    /// one live dependent is solved normally, with the same content-derived
+    /// seed, so the surviving queries' answers remain bit-identical to an
+    /// uncancelled run. `cancelled` is polled from worker threads and must be
+    /// cheap (an atomic load, not a lock hierarchy); once it returns `true`
+    /// for a query it must keep returning `true`.
+    pub fn evaluate_batch_streamed_cancellable(
+        &self,
+        db: &PpdDatabase,
+        queries: &[ConjunctiveQuery],
+        cancelled: impl Fn(usize) -> bool + Sync,
+        deliver: impl Fn(usize, Result<BatchAnswer>) + Sync,
+    ) {
         // Ground every query up front; a query that cannot ground fails
         // alone, without poisoning its wave-mates.
         let mut planned: Vec<(usize, GroundedSessionQuery)> = Vec::new();
@@ -425,18 +449,27 @@ impl Engine {
             done: vec![false; with_prel.len()],
         });
 
-        // Queries fully served by the cache are delivered before the wave
-        // starts — on a warm engine that is the entire batch.
+        // Pre-wave sweep: queries already cancelled resolve `Cancelled`
+        // without touching the pool, and queries fully served by the cache
+        // are delivered before the wave starts — on a warm engine that is
+        // the entire batch.
         {
+            let mut dropped: Vec<usize> = Vec::new();
             let mut ready: Vec<usize> = Vec::new();
             let mut t = tracker.lock().expect("streaming tracker poisoned");
-            for qi in 0..with_prel.len() {
-                if t.remaining[qi] == 0 {
+            for (qi, (orig, _)) in with_prel.iter().enumerate() {
+                if cancelled(*orig) {
+                    t.done[qi] = true;
+                    dropped.push(qi);
+                } else if t.remaining[qi] == 0 {
                     t.done[qi] = true;
                     ready.push(qi);
                 }
             }
             drop(t);
+            for qi in dropped {
+                deliver(with_prel[qi].0, Err(PpdError::Cancelled));
+            }
             let empty: Vec<Option<f64>> = vec![None; pending.len()];
             for qi in ready {
                 deliver(with_prel[qi].0, Ok(assemble(qi, &empty)));
@@ -449,7 +482,33 @@ impl Engine {
             self.config.threads,
             |slot| {
                 let unit = order[slot];
-                (unit, self.solve_pending(&pending[unit], false))
+                // Cancellation sweep at solve time: dependents whose
+                // predicate now fires resolve `Cancelled` and release their
+                // refcounts; if nothing live is left waiting on this unit,
+                // the solve itself is skipped.
+                let mut dropped: Vec<usize> = Vec::new();
+                let mut live = false;
+                {
+                    let mut t = tracker.lock().expect("streaming tracker poisoned");
+                    for &qi in &dependents[unit] {
+                        if t.done[qi] {
+                            continue;
+                        }
+                        if cancelled(with_prel[qi].0) {
+                            t.done[qi] = true;
+                            dropped.push(qi);
+                        } else {
+                            live = true;
+                        }
+                    }
+                }
+                for qi in dropped {
+                    deliver(with_prel[qi].0, Err(PpdError::Cancelled));
+                }
+                if !live {
+                    return (unit, None);
+                }
+                (unit, Some(self.solve_pending(&pending[unit], false)))
             },
             |_slot, (unit, outcome)| {
                 let unit = *unit;
@@ -458,7 +517,8 @@ impl Engine {
                 // consumer never serializes the other workers' completions.
                 let mut finished: Vec<(usize, Result<BatchAnswer>)> = Vec::new();
                 match outcome {
-                    Ok(p) => {
+                    None => {} // skipped: every dependent cancelled or done
+                    Some(Ok(p)) => {
                         if grouping {
                             self.marginals.insert(pending[unit].hash, fingerprint, *p);
                         }
@@ -475,7 +535,7 @@ impl Engine {
                             }
                         }
                     }
-                    Err(e) => {
+                    Some(Err(e)) => {
                         let mut t = tracker.lock().expect("streaming tracker poisoned");
                         for &qi in &dependents[unit] {
                             if t.done[qi] {
@@ -879,6 +939,57 @@ mod tests {
             misses_before,
             "a fully cached streamed batch must not solve anything"
         );
+    }
+
+    #[test]
+    fn cancelled_queries_resolve_cancelled_without_poisoning_wave_mates() {
+        let db = polling_database();
+        let q2 = ConjunctiveQuery::new("clinton-trump").prefer(
+            "Polls",
+            vec![T::any(), T::any()],
+            T::val("Clinton"),
+            T::val("Trump"),
+        );
+        let direct = Engine::new(EvalConfig::exact())
+            .evaluate_batch(&db, std::slice::from_ref(&q2))
+            .unwrap();
+        let engine = Engine::new(EvalConfig::exact());
+        let delivered: Mutex<Vec<Option<Result<BatchAnswer>>>> = Mutex::new(vec![None, None]);
+        engine.evaluate_batch_streamed_cancellable(
+            &db,
+            &[q1(), q2],
+            |qi| qi == 0,
+            |qi, answer| {
+                let slot = &mut delivered.lock().unwrap()[qi];
+                assert!(slot.is_none(), "each query is delivered exactly once");
+                *slot = Some(answer);
+            },
+        );
+        let delivered = delivered.into_inner().unwrap();
+        assert!(matches!(delivered[0], Some(Err(PpdError::Cancelled))));
+        // The surviving wave-mate's bits are unaffected by the cancellation.
+        let got = delivered[1].as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(direct[0].session_probabilities, got.session_probabilities);
+        assert_eq!(direct[0].boolean.to_bits(), got.boolean.to_bits());
+    }
+
+    #[test]
+    fn units_of_fully_cancelled_batches_are_never_solved() {
+        let db = polling_database();
+        let engine = Engine::new(EvalConfig::exact());
+        let delivered = Mutex::new(Vec::new());
+        engine.evaluate_batch_streamed_cancellable(
+            &db,
+            &[q1()],
+            |_| true,
+            |qi, answer| delivered.lock().unwrap().push((qi, answer)),
+        );
+        let delivered = delivered.into_inner().unwrap();
+        assert_eq!(delivered.len(), 1);
+        assert!(matches!(delivered[0], (0, Err(PpdError::Cancelled))));
+        // Refcounts were released without running a single solve: nothing
+        // was inserted into the marginal cache.
+        assert_eq!(engine.cached_marginals(), 0);
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub enum PpdError {
     /// A marginal-cache snapshot could not be written, read, or understood
     /// (I/O failure, bad magic/version, or a malformed body).
     Persist(String),
+    /// The caller cancelled the query before its answer was assembled (see
+    /// `Engine::evaluate_batch_streamed_cancellable`); any still-pending
+    /// work the query depended on alone is skipped.
+    Cancelled,
 }
 
 impl std::fmt::Display for PpdError {
@@ -101,6 +105,7 @@ impl std::fmt::Display for PpdError {
             PpdError::Rim(e) => write!(f, "ranking-model error: {e}"),
             PpdError::Solver(e) => write!(f, "solver error: {e}"),
             PpdError::Persist(m) => write!(f, "cache persistence error: {m}"),
+            PpdError::Cancelled => write!(f, "query cancelled before evaluation completed"),
         }
     }
 }

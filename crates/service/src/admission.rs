@@ -1,15 +1,20 @@
-//! The admission queue: a bounded, condvar-signalled queue between client
-//! threads and the dispatcher, with the wave-forming pop on the consumer
-//! side.
+//! The admission queue: a bounded, condvar-signalled, **two-lane** queue
+//! between client threads and the dispatcher, with the wave-forming pop on
+//! the consumer side.
 //!
-//! Bounded depth is the service's backpressure mechanism: when the queue is
+//! Bounded depth is the service's backpressure mechanism: when a lane is
 //! full, [`AdmissionQueue::push`] fails immediately instead of queueing
 //! unbounded work — under overload the caller learns *now*, while the
 //! answer "try elsewhere / later" is still cheap (the same reasoning as any
-//! load-shedding front-end). Shutdown flips a flag: producers are rejected,
-//! but everything already admitted is still drained, which is what makes
-//! service shutdown graceful.
+//! load-shedding front-end). The two lanes are the QoS mechanism: each
+//! [`AdmissionClass`] has its own bound, and a wave drains the interactive
+//! lane completely before taking the first batch item, so a batch flood can
+//! fill (and shed from) its own lane without adding a single queued item in
+//! front of interactive traffic. Shutdown flips a flag: producers are
+//! rejected, but everything already admitted is still drained, which is
+//! what makes service shutdown graceful.
 
+use crate::request::AdmissionClass;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -17,61 +22,76 @@ use std::time::{Duration, Instant};
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum AdmitError {
-    /// The queue is at capacity; `depth` is its current length.
+    /// The class's lane is at capacity; `depth` is its current length.
     Overloaded { depth: usize },
     /// Shutdown has begun; no new work is admitted.
     ShuttingDown,
 }
 
 struct State<T> {
-    jobs: VecDeque<T>,
+    /// One FIFO per admission class, indexed by [`AdmissionClass::lane`].
+    lanes: [VecDeque<T>; 2],
     shutting_down: bool,
 }
 
-/// A bounded multi-producer queue whose consumer pops *waves*: up to
-/// `max_batch` items, waiting at most `max_wait` after the first item for
-/// stragglers to coalesce.
+impl<T> State<T> {
+    fn total(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// A bounded multi-producer two-lane queue whose consumer pops *waves*: up
+/// to `max_batch` items, interactive lane first, waiting at most `max_wait`
+/// after the first item for stragglers to coalesce.
 pub(crate) struct AdmissionQueue<T> {
-    capacity: usize,
+    /// Per-lane capacity, indexed like [`State::lanes`].
+    capacities: [usize; 2],
     state: Mutex<State<T>>,
     nonempty: Condvar,
 }
 
 impl<T> AdmissionQueue<T> {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(interactive_capacity: usize, batch_capacity: usize) -> Self {
         AdmissionQueue {
-            capacity: capacity.max(1),
+            capacities: [interactive_capacity.max(1), batch_capacity.max(1)],
             state: Mutex::new(State {
-                jobs: VecDeque::new(),
+                lanes: [VecDeque::new(), VecDeque::new()],
                 shutting_down: false,
             }),
             nonempty: Condvar::new(),
         }
     }
 
-    /// Admits one item, returning the queue depth after the push; fails
-    /// fast when the queue is full or shutting down.
-    pub(crate) fn push(&self, job: T) -> Result<usize, AdmitError> {
+    /// Admits one item into its class's lane, returning the lane depth
+    /// after the push; fails fast when that lane is full or the queue is
+    /// shutting down.
+    pub(crate) fn push(&self, class: AdmissionClass, job: T) -> Result<usize, AdmitError> {
+        let lane = class.lane();
         let mut state = self.lock();
         if state.shutting_down {
             return Err(AdmitError::ShuttingDown);
         }
-        if state.jobs.len() >= self.capacity {
+        if state.lanes[lane].len() >= self.capacities[lane] {
             return Err(AdmitError::Overloaded {
-                depth: state.jobs.len(),
+                depth: state.lanes[lane].len(),
             });
         }
-        state.jobs.push_back(job);
+        state.lanes[lane].push_back(job);
         self.nonempty.notify_one();
-        Ok(state.jobs.len())
+        Ok(state.lanes[lane].len())
     }
 
-    /// Number of items currently queued (admitted, not yet in a wave).
+    /// Number of items currently queued across both lanes.
     pub(crate) fn depth(&self) -> usize {
-        self.lock().jobs.len()
+        self.lock().total()
     }
 
-    /// Begins shutdown: future pushes fail, and once the queue drains,
+    /// Number of items currently queued in one class's lane.
+    pub(crate) fn depth_of(&self, class: AdmissionClass) -> usize {
+        self.lock().lanes[class.lane()].len()
+    }
+
+    /// Begins shutdown: future pushes fail, and once both lanes drain,
     /// [`AdmissionQueue::next_wave`] returns `None`.
     pub(crate) fn shutdown(&self) {
         self.lock().shutting_down = true;
@@ -81,14 +101,16 @@ impl<T> AdmissionQueue<T> {
     /// Blocks until at least one item is queued, then holds the batching
     /// window open — up to `max_wait` from the first sighting, cut short
     /// the moment `max_batch` items are available or shutdown begins — and
-    /// pops up to `max_batch` items. Returns `None` only when the queue is
-    /// empty *and* shutting down: the dispatcher's signal to exit after
-    /// every admitted query has been served.
+    /// pops up to `max_batch` items, **interactive lane first**: a batch
+    /// item only rides in a wave with spare room after every queued
+    /// interactive item. Returns `None` only when both lanes are empty
+    /// *and* the queue is shutting down: the dispatcher's signal to exit
+    /// after every admitted query has been served.
     pub(crate) fn next_wave(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
         let max_batch = max_batch.max(1);
         let mut state = self.lock();
         loop {
-            if !state.jobs.is_empty() {
+            if state.total() > 0 {
                 break;
             }
             if state.shutting_down {
@@ -97,7 +119,7 @@ impl<T> AdmissionQueue<T> {
             state = self.nonempty.wait(state).expect("admission queue poisoned");
         }
         let deadline = Instant::now() + max_wait;
-        while state.jobs.len() < max_batch && !state.shutting_down {
+        while state.total() < max_batch && !state.shutting_down {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -111,8 +133,15 @@ impl<T> AdmissionQueue<T> {
                 break;
             }
         }
-        let take = state.jobs.len().min(max_batch);
-        Some(state.jobs.drain(..take).collect())
+        let mut wave = Vec::with_capacity(state.total().min(max_batch));
+        for lane in 0..state.lanes.len() {
+            let take = state.lanes[lane].len().min(max_batch - wave.len());
+            wave.extend(state.lanes[lane].drain(..take));
+            if wave.len() == max_batch {
+                break;
+            }
+        }
+        Some(wave)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
@@ -124,11 +153,14 @@ impl<T> AdmissionQueue<T> {
 mod tests {
     use super::*;
 
+    const I: AdmissionClass = AdmissionClass::Interactive;
+    const B: AdmissionClass = AdmissionClass::Batch;
+
     #[test]
     fn push_pop_and_depth() {
-        let q = AdmissionQueue::new(4);
-        assert_eq!(q.push(1), Ok(1));
-        assert_eq!(q.push(2), Ok(2));
+        let q = AdmissionQueue::new(4, 4);
+        assert_eq!(q.push(I, 1), Ok(1));
+        assert_eq!(q.push(I, 2), Ok(2));
         assert_eq!(q.depth(), 2);
         let wave = q.next_wave(8, Duration::ZERO).unwrap();
         assert_eq!(wave, vec![1, 2]);
@@ -136,28 +168,54 @@ mod tests {
     }
 
     #[test]
-    fn overload_rejects_with_current_depth() {
-        let q = AdmissionQueue::new(2);
-        q.push(1).unwrap();
-        q.push(2).unwrap();
-        assert_eq!(q.push(3), Err(AdmitError::Overloaded { depth: 2 }));
+    fn overload_rejects_with_current_lane_depth() {
+        let q = AdmissionQueue::new(2, 2);
+        q.push(I, 1).unwrap();
+        q.push(I, 2).unwrap();
+        assert_eq!(q.push(I, 3), Err(AdmitError::Overloaded { depth: 2 }));
         // Popping frees capacity again.
         q.next_wave(1, Duration::ZERO).unwrap();
-        assert_eq!(q.push(3), Ok(2));
+        assert_eq!(q.push(I, 3), Ok(2));
+    }
+
+    #[test]
+    fn lanes_have_independent_bounds() {
+        let q = AdmissionQueue::new(8, 2);
+        // Flood the batch lane to its bound...
+        q.push(B, 100).unwrap();
+        q.push(B, 101).unwrap();
+        assert_eq!(q.push(B, 102), Err(AdmitError::Overloaded { depth: 2 }));
+        // ...interactive admission is untouched.
+        assert_eq!(q.push(I, 1), Ok(1));
+        assert_eq!(q.depth_of(I), 1);
+        assert_eq!(q.depth_of(B), 2);
+    }
+
+    #[test]
+    fn interactive_preempts_batch_in_wave_formation() {
+        let q = AdmissionQueue::new(8, 8);
+        q.push(B, 100).unwrap();
+        q.push(B, 101).unwrap();
+        q.push(I, 1).unwrap();
+        q.push(I, 2).unwrap();
+        // Interactive items lead the wave despite arriving later...
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![1, 2, 100]);
+        // ...and batch items are never starved once the lane is reached.
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![101]);
     }
 
     #[test]
     fn capacity_is_clamped_to_one() {
-        let q = AdmissionQueue::new(0);
-        assert_eq!(q.push(1), Ok(1));
-        assert!(matches!(q.push(2), Err(AdmitError::Overloaded { .. })));
+        let q = AdmissionQueue::new(0, 0);
+        assert_eq!(q.push(I, 1), Ok(1));
+        assert!(matches!(q.push(I, 2), Err(AdmitError::Overloaded { .. })));
     }
 
     #[test]
     fn waves_are_capped_at_max_batch() {
-        let q = AdmissionQueue::new(16);
+        let q = AdmissionQueue::new(16, 16);
         for i in 0..5 {
-            q.push(i).unwrap();
+            q.push(I, i).unwrap();
         }
         assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![0, 1, 2]);
         assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![3, 4]);
@@ -165,7 +223,7 @@ mod tests {
 
     #[test]
     fn window_waits_for_stragglers_and_closes_early_when_full() {
-        let q = AdmissionQueue::new(16);
+        let q = AdmissionQueue::new(16, 16);
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 // The consumer sees the first item, holds the window open,
@@ -173,9 +231,9 @@ mod tests {
                 let wave = q.next_wave(2, Duration::from_secs(5)).unwrap();
                 assert_eq!(wave.len(), 2, "window must admit the straggler");
             });
-            q.push(1).unwrap();
+            q.push(I, 1).unwrap();
             std::thread::sleep(Duration::from_millis(20));
-            q.push(2).unwrap();
+            q.push(B, 2).unwrap();
             // max_batch reached → the window closes long before its 5 s
             // deadline (the join below would otherwise hang the test).
         });
@@ -183,11 +241,11 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_producers_but_drains_consumers() {
-        let q = AdmissionQueue::new(8);
-        q.push(1).unwrap();
-        q.push(2).unwrap();
+        let q = AdmissionQueue::new(8, 8);
+        q.push(I, 1).unwrap();
+        q.push(B, 2).unwrap();
         q.shutdown();
-        assert_eq!(q.push(3), Err(AdmitError::ShuttingDown));
+        assert_eq!(q.push(I, 3), Err(AdmitError::ShuttingDown));
         // Already-admitted items still come out...
         assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap(), vec![1]);
         assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap(), vec![2]);
@@ -198,7 +256,7 @@ mod tests {
 
     #[test]
     fn blocked_consumer_wakes_on_shutdown() {
-        let q: AdmissionQueue<u32> = AdmissionQueue::new(4);
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(4, 4);
         std::thread::scope(|scope| {
             let waiter = scope.spawn(|| q.next_wave(4, Duration::from_secs(30)));
             std::thread::sleep(Duration::from_millis(20));

@@ -11,11 +11,16 @@ use std::time::Duration;
 /// happen to be batched.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Admission-queue bound: queries waiting for a wave. When the queue is
-    /// this deep, [`Service::submit`](crate::Service::submit) fails with
+    /// Admission bound of the **interactive** lane: interactive queries
+    /// waiting for a wave. When the lane is this deep,
+    /// [`Service::submit`](crate::Service::submit) fails with
     /// [`ServiceError::Overloaded`](crate::ServiceError::Overloaded)
     /// (clamped to at least 1).
     pub max_queue: usize,
+    /// Admission bound of the **batch** lane. Separate from the interactive
+    /// bound so a batch flood sheds from its own lane while interactive
+    /// admission stays open (clamped to at least 1).
+    pub max_queue_batch: usize,
     /// Most queries coalesced into one wave (clamped to at least 1). `1`
     /// disables batching: every query is its own wave.
     pub max_batch: usize,
@@ -33,6 +38,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             max_queue: 1024,
+            max_queue_batch: 1024,
             max_batch: 32,
             max_wait: Duration::from_millis(2),
             eval: EvalConfig::default(),
@@ -50,9 +56,15 @@ impl ServiceConfig {
         }
     }
 
-    /// Sets the admission-queue bound.
+    /// Sets the interactive lane's admission bound.
     pub fn with_max_queue(mut self, max_queue: usize) -> Self {
         self.max_queue = max_queue;
+        self
+    }
+
+    /// Sets the batch lane's admission bound.
+    pub fn with_max_queue_batch(mut self, max_queue_batch: usize) -> Self {
+        self.max_queue_batch = max_queue_batch;
         self
     }
 
@@ -77,9 +89,11 @@ mod tests {
     fn builders_compose() {
         let config = ServiceConfig::new(EvalConfig::exact())
             .with_max_queue(7)
+            .with_max_queue_batch(5)
             .with_max_batch(3)
             .with_max_wait(Duration::from_millis(9));
         assert_eq!(config.max_queue, 7);
+        assert_eq!(config.max_queue_batch, 5);
         assert_eq!(config.max_batch, 3);
         assert_eq!(config.max_wait, Duration::from_millis(9));
     }

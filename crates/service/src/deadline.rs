@@ -1,0 +1,98 @@
+//! Deadline and cancellation bookkeeping: the token shared between a
+//! [`Ticket`](crate::Ticket) and its in-flight job.
+//!
+//! A token is cancelled either *explicitly* (the client dropped its ticket
+//! — nobody will read the answer) or *implicitly* (the request's deadline
+//! passed). The dispatcher polls tokens at wave formation and the engine
+//! polls them before each unit solve, so an expired or abandoned query
+//! releases its work units instead of occupying the pool; the ticket side
+//! turns deadline expiry into
+//! [`ServiceError::DeadlineExceeded`](crate::ServiceError::DeadlineExceeded)
+//! instead of blocking past it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared cancel state: an explicit flag plus an optional absolute deadline.
+#[derive(Debug)]
+struct CancelState {
+    dropped: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheaply clonable handle onto one request's cancel state.
+///
+/// `is_cancelled` is a single relaxed atomic load plus (when a deadline is
+/// set) a monotonic-clock read — cheap enough to poll from engine worker
+/// threads before every unit solve. Once it returns `true` it returns
+/// `true` forever: the explicit flag is never cleared and `Instant` never
+/// goes backwards, which is the monotonicity the engine's cancellation
+/// contract requires.
+#[derive(Debug, Clone)]
+pub(crate) struct CancelToken {
+    state: Arc<CancelState>,
+}
+
+impl CancelToken {
+    /// A token expiring at `deadline` (`None` = never expires on its own).
+    pub(crate) fn new(deadline: Option<Instant>) -> Self {
+        CancelToken {
+            state: Arc::new(CancelState {
+                dropped: AtomicBool::new(false),
+                deadline,
+            }),
+        }
+    }
+
+    /// Explicitly cancels the request (ticket dropped / client gone).
+    pub(crate) fn cancel(&self) {
+        self.state.dropped.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the request should no longer be worked on.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.state.dropped.load(Ordering::Relaxed) || self.deadline_expired()
+    }
+
+    /// Whether the deadline (if any) has passed — distinguishes
+    /// `DeadlineExceeded` from an abandoned-ticket cancellation.
+    pub(crate) fn deadline_expired(&self) -> bool {
+        self.state
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// The absolute deadline, if one was set.
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.state.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_is_sticky() {
+        let token = CancelToken::new(None);
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(!token.deadline_expired());
+        // Clones observe the shared state.
+        let clone = token.clone();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_without_a_flag() {
+        let token = CancelToken::new(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(token.is_cancelled());
+        assert!(token.deadline_expired());
+        let future = CancelToken::new(Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(!future.is_cancelled());
+        assert!(future.deadline().is_some());
+    }
+}

@@ -1,63 +1,85 @@
 //! # ppd-service
 //!
-//! An in-process serving layer in front of the [`ppd_core`] evaluation
-//! engine: the piece that turns a blocking, caller-drives-everything
-//! [`Engine`](ppd_core::Engine) into something that can sit under heavy
-//! concurrent query traffic.
+//! The query front door for [`ppd_core`]: a multi-tenant serving layer that
+//! turns a blocking, caller-drives-everything [`Engine`](ppd_core::Engine)
+//! into something that can sit under heavy concurrent query traffic — and,
+//! via the wire protocol ([`WireServer`]/[`WireClient`]), under remote
+//! clients on a socket.
 //!
 //! ```text
-//!  clients (any thread)          dispatcher thread              engine
-//!  ───────────────────          ─────────────────              ──────
-//!  submit(request) ──admit──▶ [ admission queue ]
-//!        │  bounded depth;        │ batching window:
-//!        │  `Overloaded` when     │ wait ≤ max_wait for
-//!        ▼  full                  ▼ ≤ max_batch queries
-//!     Ticket ◀──────────────── [ wave ] ──────────────▶ one streamed batch:
-//!        │                                              units deduplicated,
-//!        │    per-query one-shot channel                cost-ordered, solved
-//!        ▼                                              across the pool
-//!     wait() ◀───── answer streams back as soon as ──────────┘
-//!                   *its* units finish, not the wave's
+//!  clients (threads or sockets)      dispatcher thread         per-database engines
+//!  ───────────────────────────      ─────────────────         ────────────────────
+//!  submit_with(request, opts)          admission queue
+//!    │ routed by database id     ┌──────────────────────┐
+//!    │ (unknown id fails fast)   │ interactive lane ████│──┐  wave: interactive
+//!    ├──────────admit───────────▶│ batch lane       ██  │  │  sub-batches first,
+//!    │  per-class bounds;        └──────────────────────┘  │  then batch, grouped
+//!    ▼  `Overloaded` when full      │ batching window:     │  by tenant
+//!  Ticket ◀─────────────────────────┤ wait ≤ max_wait for  ├─▶ engine("polls")
+//!    │ deadline? then waits         ▼ ≤ max_batch queries  ├─▶ engine("movies")
+//!    ▼ resolve `DeadlineExceeded`  [ wave ]                │   units deduplicated,
+//!  wait() ◀── answer streams back as soon as ──────────────┘   cost-ordered, solved
+//!             *its* units finish; cancelled/expired             across the pool
+//!             queries release their units
 //! ```
 //!
-//! The layer is hand-rolled on `std::thread` + `std::sync::mpsc` — no async
-//! runtime — and has four parts:
+//! The layer is hand-rolled on `std::thread` + `std::sync::mpsc` +
+//! `std::net` — no async runtime — and has these parts:
 //!
-//! * **Admission control** ([`Service::submit`]): a bounded queue. When it
-//!   is full the submit fails fast with [`ServiceError::Overloaded`] instead
-//!   of letting latency grow without bound — backpressure the caller can
-//!   act on (shed, retry, or route elsewhere).
-//! * **Wave batching**: the dispatcher coalesces queued queries into waves
-//!   of at most [`ServiceConfig::max_batch`], waiting at most
-//!   [`ServiceConfig::max_wait`] after the first query arrives. Queries
-//!   that land in one wave share deduplicated work units through one
-//!   [`Engine`](ppd_core::Engine) — concurrent clients asking overlapping
-//!   questions pay for the overlap once (the cross-query grouping of the
-//!   paper's Section 6.4, applied *between* clients).
-//! * **Streamed answers**: each query's [`Ticket`] resolves as soon as the
-//!   last work unit that query depends on completes
-//!   ([`Engine::evaluate_batch_streamed`](ppd_core::Engine::evaluate_batch_streamed)),
-//!   so a cheap query co-batched with an expensive one is answered early
-//!   instead of waiting for the wave.
+//! * **Routing** ([`Service::with_databases`], [`SubmitOptions::on_database`]):
+//!   one engine per registered database behind a single admission layer.
+//!   Requests route by database id at submission; unknown ids fail with
+//!   [`ServiceError::UnknownDatabase`] before anything is queued. The first
+//!   database is the default route, which keeps the single-database API
+//!   ([`Service::new`] + [`Service::submit`]) unchanged.
+//! * **Two admission classes** ([`AdmissionClass`]): `Interactive` and
+//!   `Batch` occupy separate bounded lanes
+//!   ([`ServiceConfig::max_queue`] / [`ServiceConfig::max_queue_batch`]).
+//!   A wave takes every queued interactive request before the first batch
+//!   one and runs the interactive sub-batch first, so a batch flood sheds
+//!   from its own lane with [`ServiceError::Overloaded`] while interactive
+//!   latency stays flat.
+//! * **Deadlines and cancellation** ([`SubmitOptions::with_deadline`]): a
+//!   request's [`Ticket`] resolves [`ServiceError::DeadlineExceeded`] once
+//!   its deadline passes instead of blocking (an answer that already landed
+//!   still wins the race). Expired or dropped tickets cancel their request:
+//!   the engine skips any work units every remaining dependent of which is
+//!   cancelled, without touching co-batched queries.
+//! * **Wave batching + streamed answers**: the dispatcher coalesces queued
+//!   queries into waves of at most [`ServiceConfig::max_batch`], waiting at
+//!   most [`ServiceConfig::max_wait`]; co-waved queries on one tenant share
+//!   deduplicated work units (the paper's Section 6.4 grouping applied
+//!   *between* clients), and each ticket resolves as soon as the last unit
+//!   *its* query needs completes.
+//! * **Wire protocol** ([`WireServer`] / [`WireClient`]): line-delimited
+//!   JSON over TCP or Unix sockets, one object per line, answers streamed
+//!   out of order and matched by id. Floats cross the socket bit-exactly
+//!   (shortest-round-trip formatting), so remote answers are bit-identical
+//!   to in-process ones.
 //! * **Graceful shutdown + stats** ([`Service::shutdown`],
-//!   [`ServiceStats`]): shutdown drains every admitted query before the
-//!   dispatcher exits, and the stats snapshot reports queue depth, wave
-//!   sizes, per-query latency, and the engine's cache hit rate.
+//!   [`ServiceStats`]): shutdown drains every admitted query; the stats
+//!   snapshot reports per-class admission counters, queue depths, wave
+//!   sizes, latency, expiry counts, and cache counters summed over tenants.
 //!
 //! **Determinism contract:** for a fixed [`EvalConfig`](ppd_core::EvalConfig)
 //! every answer is bit-identical to calling the engine directly — regardless
-//! of batch window, arrival order, wave composition, or thread count. The
-//! engine guarantees this per unit (content-derived seeds and cache keys);
-//! the service adds no state of its own to the numbers. The repo's
-//! `service_determinism` test pins the contract.
+//! of batch window, arrival order, wave composition, admission class,
+//! transport (in-process or wire), or thread count. The engine guarantees
+//! this per unit (content-derived seeds and cache keys); the service adds no
+//! state of its own to the numbers. The repo's `service_determinism` test
+//! pins the contract across both classes and both transports.
 
 mod admission;
 mod config;
+mod deadline;
 mod request;
+mod router;
 mod service;
 mod stats;
+mod wire;
 
 pub use config::ServiceConfig;
-pub use request::{Answer, Request, ServiceError, Ticket};
-pub use service::Service;
+pub use request::{AdmissionClass, Answer, Request, ServiceError, SubmitOptions, Ticket};
+pub use service::{Service, DEFAULT_DATABASE};
 pub use stats::ServiceStats;
+pub use wire::{WireClient, WireServer};

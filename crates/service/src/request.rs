@@ -1,10 +1,11 @@
-//! The service's wire types: what clients submit ([`Request`]), what they
-//! get back ([`Answer`] behind a [`Ticket`]), and how things fail
-//! ([`ServiceError`]).
+//! The service's client-facing types: what clients submit ([`Request`]
+//! plus [`SubmitOptions`]), what they get back ([`Answer`] behind a
+//! [`Ticket`]), and how things fail ([`ServiceError`]).
 
+use crate::deadline::CancelToken;
 use ppd_core::{ConjunctiveQuery, PpdError, SessionScore, TopKStrategy};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One query a client submits to the service.
 #[derive(Debug, Clone)]
@@ -38,6 +39,88 @@ impl Request {
     }
 }
 
+/// The admission class of a request: which lane of the admission queue it
+/// occupies and how the dispatcher prioritizes it within a wave.
+///
+/// Interactive requests pre-empt batch requests at wave formation — a wave
+/// takes every queued interactive request before the first batch one, and
+/// executes the interactive sub-batch first — and the two lanes have
+/// separate bounds ([`ServiceConfig`](crate::ServiceConfig)), so a flood of
+/// batch traffic fills the batch lane and sheds with
+/// [`ServiceError::Overloaded`] while interactive admission stays open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdmissionClass {
+    /// Latency-sensitive traffic: prioritized lane, served first.
+    #[default]
+    Interactive,
+    /// Throughput traffic: yielded lane, first to be shed under load.
+    Batch,
+}
+
+impl AdmissionClass {
+    /// Lane index (`Interactive` = 0, `Batch` = 1).
+    pub(crate) fn lane(self) -> usize {
+        match self {
+            AdmissionClass::Interactive => 0,
+            AdmissionClass::Batch => 1,
+        }
+    }
+
+    /// Lowercase name, for logs and the wire protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionClass::Interactive => "interactive",
+            AdmissionClass::Batch => "batch",
+        }
+    }
+}
+
+/// Per-submission options: target database, admission class, and deadline.
+///
+/// The default is an interactive request against the service's default
+/// database with no deadline — exactly what
+/// [`Service::submit`](crate::Service::submit) uses.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Which database to route to; `None` means the service's default (its
+    /// first registered database). Unknown ids fail submission with
+    /// [`ServiceError::UnknownDatabase`].
+    pub database: Option<String>,
+    /// The admission class (lane + wave priority).
+    pub class: AdmissionClass,
+    /// Time budget measured from submission. When it runs out the ticket
+    /// resolves [`ServiceError::DeadlineExceeded`] and the service abandons
+    /// any work only this request needed.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Interactive, default database, no deadline.
+    pub fn interactive() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Batch class, default database, no deadline.
+    pub fn batch() -> Self {
+        SubmitOptions {
+            class: AdmissionClass::Batch,
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Routes the request to the database registered under `id`.
+    pub fn on_database(mut self, id: impl Into<String>) -> Self {
+        self.database = Some(id.into());
+        self
+    }
+
+    /// Sets the deadline, measured from submission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// The answer to one [`Request`], shaped by its variant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Answer {
@@ -54,17 +137,24 @@ pub enum Answer {
 /// How a submission or an admitted query can fail.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
-    /// Admission control refused the query: the queue already holds `depth`
-    /// queries. Backpressure — retry later or shed the query.
+    /// Admission control refused the query: its class's lane already holds
+    /// `depth` queries. Backpressure — retry later or shed the query.
     Overloaded {
-        /// Queue depth observed at rejection time.
+        /// Lane depth observed at rejection time.
         depth: usize,
     },
     /// The service is shutting down and admits no new queries.
     ShuttingDown,
+    /// The request named a database id the service does not serve.
+    UnknownDatabase(String),
+    /// The request's deadline passed before its answer was assembled. Work
+    /// the request alone depended on is abandoned, not finished.
+    DeadlineExceeded,
     /// The query was admitted but evaluation failed (bad query, unknown
     /// relation, solver error).
     Eval(PpdError),
+    /// A wire-protocol frame could not be encoded or decoded.
+    Protocol(String),
     /// The service dropped the query without answering — only possible if
     /// the dispatcher died; a bug, surfaced rather than hung on.
     Disconnected,
@@ -77,7 +167,10 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "service overloaded: {depth} queries already queued")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::UnknownDatabase(id) => write!(f, "unknown database: {id}"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServiceError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ServiceError::Protocol(m) => write!(f, "wire protocol error: {m}"),
             ServiceError::Disconnected => write!(f, "service dropped the query (dispatcher died)"),
         }
     }
@@ -98,19 +191,30 @@ pub(crate) type Delivery = Result<Answer, ServiceError>;
 ///
 /// The ticket is the receiving half of a one-shot channel the service
 /// delivers into the moment the query's own work units finish — possibly
-/// mid-wave, while co-batched queries are still being solved. Dropping a
-/// ticket abandons the answer; the query itself still runs.
+/// mid-wave, while co-batched queries are still being solved.
+///
+/// A ticket carries its request's deadline: once it passes, every wait
+/// method resolves [`ServiceError::DeadlineExceeded`] instead of blocking
+/// (an answer that arrived *before* the call still wins the race and is
+/// returned). Dropping a ticket — or timing out — cancels the request: the
+/// service abandons any work units only this request needed.
 #[derive(Debug)]
 pub struct Ticket {
     query_name: String,
     receiver: mpsc::Receiver<Delivery>,
+    cancel: CancelToken,
 }
 
 impl Ticket {
-    pub(crate) fn new(query_name: String, receiver: mpsc::Receiver<Delivery>) -> Self {
+    pub(crate) fn new(
+        query_name: String,
+        receiver: mpsc::Receiver<Delivery>,
+        cancel: CancelToken,
+    ) -> Self {
         Ticket {
             query_name,
             receiver,
+            cancel,
         }
     }
 
@@ -119,30 +223,97 @@ impl Ticket {
         &self.query_name
     }
 
-    /// Blocks until the answer is delivered.
+    /// The request's absolute deadline, if one was set at submission.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.cancel.deadline()
+    }
+
+    /// Blocks until the answer is delivered or the deadline passes.
     pub fn wait(self) -> Delivery {
-        match self.receiver.recv() {
+        let Some(deadline) = self.cancel.deadline() else {
+            return match self.receiver.recv() {
+                Ok(delivery) => delivery,
+                Err(mpsc::RecvError) => Err(ServiceError::Disconnected),
+            };
+        };
+        let now = Instant::now();
+        if now >= deadline {
+            return self.resolve_expired();
+        }
+        match self.receiver.recv_timeout(deadline - now) {
             Ok(delivery) => delivery,
-            Err(mpsc::RecvError) => Err(ServiceError::Disconnected),
+            Err(mpsc::RecvTimeoutError::Timeout) => self.resolve_expired(),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Disconnected),
         }
     }
 
-    /// Non-blocking poll: `None` while the query is still in flight.
+    /// Non-blocking poll: `None` while the query is still in flight and
+    /// within its deadline.
     pub fn try_wait(&self) -> Option<Delivery> {
         match self.receiver.try_recv() {
             Ok(delivery) => Some(delivery),
-            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Empty) => {
+                if self.cancel.deadline_expired() {
+                    self.cancel.cancel();
+                    Some(Err(ServiceError::DeadlineExceeded))
+                } else {
+                    None
+                }
+            }
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceError::Disconnected)),
         }
     }
 
-    /// Blocks up to `timeout`: `None` if the query is still in flight then.
+    /// Blocks up to `timeout` (clipped to the deadline): `None` if the
+    /// query is still in flight then, `Some(Err(DeadlineExceeded))` once
+    /// the deadline has passed.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Delivery> {
-        match self.receiver.recv_timeout(timeout) {
+        let effective = match self.cancel.deadline() {
+            Some(deadline) => deadline
+                .saturating_duration_since(Instant::now())
+                .min(timeout),
+            None => timeout,
+        };
+        match self.receiver.recv_timeout(effective) {
             Ok(delivery) => Some(delivery),
-            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if self.cancel.deadline_expired() {
+                    // Answer-vs-deadline race: a delivery that landed while
+                    // we timed out still wins.
+                    match self.receiver.try_recv() {
+                        Ok(delivery) => Some(delivery),
+                        Err(_) => {
+                            self.cancel.cancel();
+                            Some(Err(ServiceError::DeadlineExceeded))
+                        }
+                    }
+                } else {
+                    None
+                }
+            }
             Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::Disconnected)),
         }
+    }
+
+    /// Deadline passed: a delivery that already landed still wins the race;
+    /// otherwise cancel the in-flight work and report expiry.
+    fn resolve_expired(&self) -> Delivery {
+        match self.receiver.try_recv() {
+            Ok(delivery) => delivery,
+            Err(_) => {
+                self.cancel.cancel();
+                Err(ServiceError::DeadlineExceeded)
+            }
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // An abandoned ticket releases its claim on the service: work units
+        // only this request needed are skipped. (Consuming `wait` drops the
+        // ticket too — by then the answer is delivered and the flag moot.)
+        self.cancel.cancel();
     }
 }
 
@@ -150,10 +321,16 @@ impl Ticket {
 mod tests {
     use super::*;
 
+    fn ticket(deadline: Option<Duration>) -> (mpsc::Sender<Delivery>, Ticket, CancelToken) {
+        let (tx, rx) = mpsc::channel();
+        let cancel = CancelToken::new(deadline.map(|d| Instant::now() + d));
+        let ticket = Ticket::new("q".into(), rx, cancel.clone());
+        (tx, ticket, cancel)
+    }
+
     #[test]
     fn ticket_resolves_once_delivered() {
-        let (tx, rx) = mpsc::channel();
-        let ticket = Ticket::new("q".into(), rx);
+        let (tx, ticket, _cancel) = ticket(None);
         assert_eq!(ticket.query_name(), "q");
         assert!(ticket.try_wait().is_none(), "nothing delivered yet");
         tx.send(Ok(Answer::Boolean(0.5))).unwrap();
@@ -164,9 +341,40 @@ mod tests {
     fn dropped_sender_surfaces_as_disconnected() {
         let (tx, rx) = mpsc::channel::<Delivery>();
         drop(tx);
-        let ticket = Ticket::new("q".into(), rx);
+        let ticket = Ticket::new("q".into(), rx, CancelToken::new(None));
         assert_eq!(ticket.try_wait(), Some(Err(ServiceError::Disconnected)));
         assert_eq!(ticket.wait(), Err(ServiceError::Disconnected));
+    }
+
+    #[test]
+    fn expired_ticket_resolves_deadline_exceeded_and_cancels() {
+        let (_tx, ticket, cancel) = ticket(Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!cancel.is_cancelled() || cancel.deadline_expired());
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(5)),
+            Some(Err(ServiceError::DeadlineExceeded)),
+            "an expired ticket must not block"
+        );
+        assert!(cancel.is_cancelled());
+        assert_eq!(ticket.wait(), Err(ServiceError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn answer_delivered_before_the_deadline_wins_the_race() {
+        let (tx, ticket, _cancel) = ticket(Some(Duration::from_millis(1)));
+        tx.send(Ok(Answer::Count(2.0))).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        // The deadline has passed, but the answer landed first: deliver it.
+        assert_eq!(ticket.wait(), Ok(Answer::Count(2.0)));
+    }
+
+    #[test]
+    fn dropping_a_ticket_cancels_its_request() {
+        let (_tx, ticket, cancel) = ticket(None);
+        assert!(!cancel.is_cancelled());
+        drop(ticket);
+        assert!(cancel.is_cancelled());
     }
 
     #[test]
@@ -175,5 +383,26 @@ mod tests {
         assert!(overloaded.to_string().contains("9 queries"));
         let eval: ServiceError = PpdError::UnknownName("Nope".into()).into();
         assert!(eval.to_string().contains("Nope"));
+        assert!(ServiceError::UnknownDatabase("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+
+    #[test]
+    fn submit_options_compose() {
+        let options = SubmitOptions::batch()
+            .on_database("polls")
+            .with_deadline(Duration::from_millis(100));
+        assert_eq!(options.class, AdmissionClass::Batch);
+        assert_eq!(options.database.as_deref(), Some("polls"));
+        assert_eq!(options.deadline, Some(Duration::from_millis(100)));
+        assert_eq!(
+            SubmitOptions::interactive().class,
+            AdmissionClass::Interactive
+        );
+        assert_eq!(AdmissionClass::Batch.name(), "batch");
     }
 }

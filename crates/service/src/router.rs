@@ -1,0 +1,119 @@
+//! Request routing: the per-database tenant registry behind the front
+//! door's single admission layer.
+//!
+//! Each registered database gets its own [`Engine`] — engines pin their
+//! evaluation configuration and own content-addressed caches, and content
+//! hashes from different databases must never share a marginal cache
+//! keyspace conceptually (two tenants coincidentally producing the same
+//! unit content *may* share bits safely, but isolation keeps per-tenant
+//! cache capacity and stats meaningful). Routing is by database id at
+//! submission time; an unknown id fails fast with
+//! [`ServiceError::UnknownDatabase`](crate::ServiceError::UnknownDatabase)
+//! before anything is queued.
+
+use crate::request::ServiceError;
+use ppd_core::{Engine, EvalConfig, PpdDatabase};
+use std::collections::HashMap;
+
+/// One database and the engine dedicated to it.
+pub(crate) struct Tenant {
+    pub(crate) id: String,
+    pub(crate) db: PpdDatabase,
+    pub(crate) engine: Engine,
+}
+
+/// The tenant registry: id → engine/database, fixed at service start.
+///
+/// The first registered tenant is the *default*: requests that name no
+/// database route there, which is what keeps the single-database API
+/// (`Service::new` + `Service::submit`) working unchanged on top of the
+/// multi-tenant core.
+pub(crate) struct Router {
+    tenants: Vec<Tenant>,
+    by_id: HashMap<String, usize>,
+}
+
+impl Router {
+    /// Builds the registry, one fresh engine per database, all sharing one
+    /// evaluation configuration (the determinism contract is per-config).
+    /// Duplicate ids keep the first registration.
+    pub(crate) fn new(databases: Vec<(String, PpdDatabase)>, eval: &EvalConfig) -> Self {
+        let mut tenants: Vec<Tenant> = Vec::with_capacity(databases.len());
+        let mut by_id = HashMap::new();
+        for (id, db) in databases {
+            if by_id.contains_key(&id) {
+                continue;
+            }
+            by_id.insert(id.clone(), tenants.len());
+            tenants.push(Tenant {
+                id,
+                db,
+                engine: Engine::new(eval.clone()),
+            });
+        }
+        assert!(!tenants.is_empty(), "a service needs at least one database");
+        Router { tenants, by_id }
+    }
+
+    /// Resolves a request's database id to a tenant index; `None` routes to
+    /// the default (first) tenant.
+    pub(crate) fn route(&self, database: Option<&str>) -> Result<usize, ServiceError> {
+        match database {
+            None => Ok(0),
+            Some(id) => self
+                .by_id
+                .get(id)
+                .copied()
+                .ok_or_else(|| ServiceError::UnknownDatabase(id.to_string())),
+        }
+    }
+
+    pub(crate) fn tenant(&self, index: usize) -> &Tenant {
+        &self.tenants[index]
+    }
+
+    pub(crate) fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_datagen::{polls_database, PollsConfig};
+
+    fn db(seed: u64) -> PpdDatabase {
+        polls_database(&PollsConfig {
+            num_candidates: 4,
+            num_voters: 3,
+            seed,
+        })
+    }
+
+    #[test]
+    fn routes_by_id_with_a_default() {
+        let router = Router::new(
+            vec![("a".into(), db(1)), ("b".into(), db(2))],
+            &EvalConfig::exact(),
+        );
+        assert_eq!(router.route(None).unwrap(), 0);
+        assert_eq!(router.route(Some("a")).unwrap(), 0);
+        assert_eq!(router.route(Some("b")).unwrap(), 1);
+        assert!(matches!(
+            router.route(Some("c")),
+            Err(ServiceError::UnknownDatabase(id)) if id == "c"
+        ));
+        assert_eq!(router.tenants().len(), 2);
+        assert_eq!(router.tenant(1).id, "b");
+    }
+
+    #[test]
+    fn duplicate_ids_keep_the_first_registration() {
+        let first = db(1);
+        let router = Router::new(
+            vec![("a".into(), first.clone()), ("a".into(), db(2))],
+            &EvalConfig::exact(),
+        );
+        assert_eq!(router.tenants().len(), 1);
+    }
+}

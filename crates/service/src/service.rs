@@ -1,37 +1,68 @@
-//! The service proper: admission, the dispatcher thread, wave execution,
-//! and graceful shutdown.
+//! The service proper: admission, routing, the dispatcher thread, wave
+//! execution with class priority and cancellation, and graceful shutdown.
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::config::ServiceConfig;
-use crate::request::{Answer, Delivery, Request, ServiceError, Ticket};
-use crate::stats::{ServiceStats, StatsCollector};
-use ppd_core::{BatchAnswer, ConjunctiveQuery, Engine, PpdDatabase};
+use crate::deadline::CancelToken;
+use crate::request::{
+    AdmissionClass, Answer, Delivery, Request, ServiceError, SubmitOptions, Ticket,
+};
+use crate::router::{Router, Tenant};
+use crate::stats::{DeliveryKind, ServiceStats, StatsCollector};
+use ppd_core::{BatchAnswer, CacheStats, ConjunctiveQuery, Engine, PpdDatabase, PpdError};
+use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Database id [`Service::new`] registers its single database under.
+pub const DEFAULT_DATABASE: &str = "default";
+
+/// Where a job's answer goes: a ticket's one-shot channel, or a callback
+/// (the wire server's per-connection writer).
+pub(crate) enum ReplySink {
+    Channel(mpsc::Sender<Delivery>),
+    Callback(Box<dyn FnOnce(Delivery) + Send>),
+}
+
+impl ReplySink {
+    fn send(self, delivery: Delivery) {
+        match self {
+            // A client that dropped its ticket just discards the answer.
+            ReplySink::Channel(tx) => drop(tx.send(delivery)),
+            ReplySink::Callback(callback) => callback(delivery),
+        }
+    }
+}
+
 /// One admitted query on its way to a wave.
 struct Job {
+    tenant: usize,
     request: Request,
+    class: AdmissionClass,
     submitted: Instant,
-    reply: mpsc::Sender<Delivery>,
+    cancel: CancelToken,
+    reply: ReplySink,
 }
 
 /// Everything the dispatcher thread and the client-facing handle share.
 struct Inner {
     config: ServiceConfig,
-    db: PpdDatabase,
-    engine: Engine,
+    router: Router,
     queue: AdmissionQueue<Job>,
     stats: Mutex<StatsCollector>,
 }
 
-/// An in-process query-serving layer over one [`Engine`].
+/// The multi-tenant query front door: per-database engines behind a single
+/// two-lane admission layer.
 ///
-/// Clients on any thread [`submit`](Service::submit) queries and block on
-/// (or poll) the returned [`Ticket`]s; a dispatcher thread coalesces the
-/// admission queue into waves and streams each query's answer back as its
-/// work units complete. See the [crate documentation](crate) for the
+/// Clients on any thread [`submit`](Service::submit) queries — optionally
+/// routed by database id, classed `Interactive` or `Batch`, and bounded by
+/// a deadline via [`submit_with`](Service::submit_with) — and block on (or
+/// poll) the returned [`Ticket`]s. A dispatcher thread coalesces the
+/// admission queue into waves (interactive first), runs each tenant's
+/// sub-batch on that tenant's engine, and streams each query's answer back
+/// as its work units complete. See the [crate documentation](crate) for the
 /// architecture and the determinism contract.
 ///
 /// The service is `Sync`: share it by reference (e.g. across scoped
@@ -43,14 +74,20 @@ pub struct Service {
 }
 
 impl Service {
-    /// Builds a service over its own copy of the database and a fresh
-    /// engine, and starts the dispatcher thread.
+    /// Builds a single-database service (registered under
+    /// [`DEFAULT_DATABASE`]) and starts the dispatcher thread.
     pub fn new(db: PpdDatabase, config: ServiceConfig) -> Self {
+        Service::with_databases(vec![(DEFAULT_DATABASE.to_string(), db)], config)
+    }
+
+    /// Builds a multi-tenant service: one engine per database, all behind
+    /// one admission layer. The first database is the default route for
+    /// requests that name none. Panics on an empty registry.
+    pub fn with_databases(databases: Vec<(String, PpdDatabase)>, config: ServiceConfig) -> Self {
         let inner = Arc::new(Inner {
-            engine: Engine::new(config.eval.clone()),
-            queue: AdmissionQueue::new(config.max_queue),
+            router: Router::new(databases, &config.eval),
+            queue: AdmissionQueue::new(config.max_queue, config.max_queue_batch),
             stats: Mutex::new(StatsCollector::default()),
-            db,
             config,
         });
         let dispatcher = {
@@ -66,48 +103,124 @@ impl Service {
         }
     }
 
-    /// Submits a query. On admission, returns a [`Ticket`] that resolves
-    /// when the query's own work units finish; under overload or shutdown,
-    /// fails fast instead of queueing unbounded work.
+    /// Submits an interactive query against the default database with no
+    /// deadline. On admission, returns a [`Ticket`] that resolves when the
+    /// query's own work units finish; under overload or shutdown, fails
+    /// fast instead of queueing unbounded work.
     pub fn submit(&self, request: Request) -> Result<Ticket, ServiceError> {
+        self.submit_with(request, SubmitOptions::default())
+    }
+
+    /// [`Service::submit`] with explicit routing, admission class, and
+    /// deadline. An unknown database id fails before anything is queued;
+    /// a request whose deadline passes before its answer is assembled
+    /// resolves [`ServiceError::DeadlineExceeded`] and releases its claim
+    /// on any work units only it needed.
+    pub fn submit_with(
+        &self,
+        request: Request,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServiceError> {
         let (reply, receiver) = mpsc::channel();
         let query_name = request.query().name().to_string();
+        let cancel = self.enqueue(request, options, ReplySink::Channel(reply))?;
+        Ok(Ticket::new(query_name, receiver, cancel))
+    }
+
+    /// Callback-style submission, used by the wire server: `callback` is
+    /// invoked exactly once with the delivery, from a dispatcher or engine
+    /// worker thread — it must hand off quickly and must not call back into
+    /// this service.
+    pub(crate) fn submit_callback(
+        &self,
+        request: Request,
+        options: SubmitOptions,
+        callback: impl FnOnce(Delivery) + Send + 'static,
+    ) -> Result<CancelToken, ServiceError> {
+        self.enqueue(request, options, ReplySink::Callback(Box::new(callback)))
+    }
+
+    fn enqueue(
+        &self,
+        request: Request,
+        options: SubmitOptions,
+        reply: ReplySink,
+    ) -> Result<CancelToken, ServiceError> {
+        let tenant = self.inner.router.route(options.database.as_deref())?;
+        let cancel = CancelToken::new(options.deadline.map(|d| Instant::now() + d));
         let job = Job {
+            tenant,
             request,
+            class: options.class,
             submitted: Instant::now(),
+            cancel: cancel.clone(),
             reply,
         };
-        match self.inner.queue.push(job) {
+        match self.inner.queue.push(options.class, job) {
             Ok(_) => {
-                self.lock_stats().record_submit();
-                Ok(Ticket::new(query_name, receiver))
+                self.lock_stats().record_submit(options.class);
+                Ok(cancel)
             }
             Err(AdmitError::Overloaded { depth }) => {
-                self.lock_stats().record_reject();
+                self.lock_stats().record_reject(options.class);
                 Err(ServiceError::Overloaded { depth })
             }
             Err(AdmitError::ShuttingDown) => Err(ServiceError::ShuttingDown),
         }
     }
 
-    /// Snapshot of the service's activity, including the engine's cache
-    /// counters.
+    /// Snapshot of the service's activity, including the engines' cache
+    /// counters summed across tenants.
     pub fn stats(&self) -> ServiceStats {
-        self.lock_stats()
-            .snapshot(self.inner.queue.depth(), self.inner.engine.cache_stats())
+        self.lock_stats().snapshot(
+            self.inner.queue.depth_of(AdmissionClass::Interactive),
+            self.inner.queue.depth_of(AdmissionClass::Batch),
+            self.aggregate_cache_stats(),
+        )
     }
 
-    /// The engine behind this service — for cache persistence
+    fn aggregate_cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for tenant in self.inner.router.tenants() {
+            let stats = tenant.engine.cache_stats();
+            total.marginal_hits += stats.marginal_hits;
+            total.marginal_misses += stats.marginal_misses;
+            total.marginal_evictions += stats.marginal_evictions;
+            total.marginals_loaded += stats.marginals_loaded;
+            total.marginals_saved += stats.marginals_saved;
+            total.models_prepared += stats.models_prepared;
+        }
+        total
+    }
+
+    /// The default tenant's engine — for cache persistence
     /// (`save_marginals` / `load_marginals`) and introspection. Evaluating
     /// through it directly is safe (answers are bit-identical either way)
     /// but bypasses admission control.
     pub fn engine(&self) -> &Engine {
-        &self.inner.engine
+        &self.inner.router.tenant(0).engine
     }
 
-    /// The database this service serves.
+    /// The engine serving the database registered under `id`.
+    pub fn engine_for(&self, id: &str) -> Option<&Engine> {
+        let index = self.inner.router.route(Some(id)).ok()?;
+        Some(&self.inner.router.tenant(index).engine)
+    }
+
+    /// The default tenant's database.
     pub fn database(&self) -> &PpdDatabase {
-        &self.inner.db
+        &self.inner.router.tenant(0).db
+    }
+
+    /// The registered database ids, in registration order (the first is
+    /// the default route).
+    pub fn database_ids(&self) -> Vec<&str> {
+        self.inner
+            .router
+            .tenants()
+            .iter()
+            .map(|tenant| tenant.id.as_str())
+            .collect()
     }
 
     /// The service's configuration.
@@ -153,6 +266,7 @@ impl std::fmt::Debug for Service {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
             .field("config", &self.inner.config)
+            .field("databases", &self.database_ids())
             .field("queue_depth", &self.inner.queue.depth())
             .finish_non_exhaustive()
     }
@@ -174,28 +288,53 @@ fn dispatch_loop(inner: &Inner) {
     }
 }
 
-/// Executes one wave: the streamable kinds (Boolean / count / per-session)
-/// go through the engine as a single streamed batch — sharing deduplicated
-/// work units and delivering each answer the moment its units finish — and
-/// top-k queries follow one by one on the same warm engine.
+/// Executes one wave. Jobs are grouped by `(tenant, class)` — each group is
+/// one engine batch against its tenant's database — and the groups run
+/// interactive-before-batch within each tenant, tenants in registration
+/// order. Running the interactive sub-batch as its own engine wave (rather
+/// than mixing classes into one cost-ordered wave) is what makes the
+/// priority real: every interactive answer is delivered before the first
+/// batch unit starts.
 fn run_wave(inner: &Inner, wave: Vec<Job>) {
+    let mut groups: BTreeMap<(usize, usize), Vec<Job>> = BTreeMap::new();
+    for job in wave {
+        groups
+            .entry((job.tenant, job.class.lane()))
+            .or_default()
+            .push(job);
+    }
+    for ((tenant, _), jobs) in groups {
+        run_group(inner, inner.router.tenant(tenant), jobs);
+    }
+}
+
+/// Executes one same-tenant, same-class group: the streamable kinds
+/// (Boolean / count / per-session) go through the engine as a single
+/// cancellable streamed batch — sharing deduplicated work units and
+/// delivering each answer the moment its units finish — and top-k queries
+/// follow one by one on the same warm engine.
+fn run_group(inner: &Inner, tenant: &Tenant, jobs: Vec<Job>) {
     let mut batched: Vec<Mutex<Option<Job>>> = Vec::new();
     let mut batched_queries: Vec<ConjunctiveQuery> = Vec::new();
+    let mut cancels: Vec<CancelToken> = Vec::new();
     let mut topk: Vec<Job> = Vec::new();
-    for job in wave {
+    for job in jobs {
         match &job.request {
             Request::TopK { .. } => topk.push(job),
             streamable => {
                 batched_queries.push(streamable.query().clone());
+                cancels.push(job.cancel.clone());
                 batched.push(Mutex::new(Some(job)));
             }
         }
     }
 
     if !batched_queries.is_empty() {
-        inner
-            .engine
-            .evaluate_batch_streamed(&inner.db, &batched_queries, |qi, outcome| {
+        tenant.engine.evaluate_batch_streamed_cancellable(
+            &tenant.db,
+            &batched_queries,
+            |qi| cancels[qi].is_cancelled(),
+            |qi, outcome| {
                 // Exactly-once per query, possibly from an engine worker
                 // thread — the hand-off below is all that happens here.
                 let taken = batched[qi]
@@ -205,11 +344,12 @@ fn run_wave(inner: &Inner, wave: Vec<Job>) {
                 if let Some(job) = taken {
                     let delivery = match outcome {
                         Ok(answer) => Ok(project(&job.request, answer)),
-                        Err(e) => Err(ServiceError::Eval(e)),
+                        Err(e) => Err(eval_error(&job, e)),
                     };
                     finish(inner, job, delivery);
                 }
-            });
+            },
+        );
         // The engine delivers every query exactly once; anything still here
         // would be a contract violation, surfaced instead of hung on.
         for slot in &batched {
@@ -221,15 +361,31 @@ fn run_wave(inner: &Inner, wave: Vec<Job>) {
     }
 
     for job in topk {
+        if job.cancel.is_cancelled() {
+            let delivery = Err(eval_error(&job, PpdError::Cancelled));
+            finish(inner, job, delivery);
+            continue;
+        }
         let Request::TopK { query, k, strategy } = &job.request else {
             unreachable!("only top-k jobs are deferred past the streamed batch");
         };
-        let delivery = inner
+        let delivery = tenant
             .engine
-            .most_probable_sessions(&inner.db, query, *k, *strategy)
+            .most_probable_sessions(&tenant.db, query, *k, *strategy)
             .map(|(scores, _stats)| Answer::TopK(scores))
             .map_err(ServiceError::Eval);
         finish(inner, job, delivery);
+    }
+}
+
+/// Maps an engine error onto the service error a client should see: a
+/// cancellation that stems from the job's deadline is `DeadlineExceeded`;
+/// everything else (including a cancellation from a dropped ticket, whose
+/// delivery nobody reads) surfaces as an evaluation error.
+fn eval_error(job: &Job, e: PpdError) -> ServiceError {
+    match e {
+        PpdError::Cancelled if job.cancel.deadline_expired() => ServiceError::DeadlineExceeded,
+        other => ServiceError::Eval(other),
     }
 }
 
@@ -249,12 +405,19 @@ fn project(request: &Request, answer: BatchAnswer) -> Answer {
 /// discards the answer.
 fn finish(inner: &Inner, job: Job, delivery: Delivery) {
     let latency = job.submitted.elapsed();
+    let kind = match &delivery {
+        Ok(_) => DeliveryKind::Answered,
+        Err(ServiceError::DeadlineExceeded) | Err(ServiceError::Eval(PpdError::Cancelled)) => {
+            DeliveryKind::Expired
+        }
+        Err(_) => DeliveryKind::Failed,
+    };
     inner
         .stats
         .lock()
         .expect("service stats poisoned")
-        .record_delivery(latency, delivery.is_ok());
-    let _ = job.reply.send(delivery);
+        .record_delivery(latency, kind);
+    job.reply.send(delivery);
 }
 
 #[cfg(test)]
@@ -318,10 +481,62 @@ mod tests {
         );
         let stats = service.shutdown();
         assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.interactive_submitted, 4);
         assert_eq!(stats.answered, 4);
-        assert_eq!(stats.failed + stats.rejected, 0);
+        assert_eq!(stats.failed + stats.rejected + stats.expired, 0);
         assert_eq!(stats.queue_depth, 0);
         assert!(stats.waves >= 1);
+    }
+
+    #[test]
+    fn routes_by_database_id() {
+        // Two tenants with *different* databases: answers must come from
+        // the right one.
+        let db_a = tiny_db();
+        let db_b = polls_database(&PollsConfig {
+            num_candidates: 5,
+            num_voters: 4,
+            seed: 77,
+        });
+        let q = polls_q1_query();
+        let expect_a = Engine::new(EvalConfig::exact())
+            .evaluate_boolean(&db_a, &q)
+            .unwrap();
+        let expect_b = Engine::new(EvalConfig::exact())
+            .evaluate_boolean(&db_b, &q)
+            .unwrap();
+        assert_ne!(expect_a.to_bits(), expect_b.to_bits());
+        let service = Service::with_databases(
+            vec![("a".into(), db_a), ("b".into(), db_b)],
+            ServiceConfig::new(EvalConfig::exact()),
+        );
+        assert_eq!(service.database_ids(), vec!["a", "b"]);
+        let on = |id: &str| {
+            service
+                .submit_with(
+                    Request::Boolean(q.clone()),
+                    SubmitOptions::interactive().on_database(id),
+                )
+                .unwrap()
+                .wait()
+                .unwrap()
+        };
+        assert_eq!(on("a"), Answer::Boolean(expect_a));
+        assert_eq!(on("b"), Answer::Boolean(expect_b));
+        // Defaulting routes to the first tenant.
+        let defaulted = service
+            .submit(Request::Boolean(q.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(defaulted, Answer::Boolean(expect_a));
+        assert!(matches!(
+            service.submit_with(
+                Request::Boolean(q),
+                SubmitOptions::interactive().on_database("nope")
+            ),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
     }
 
     #[test]
@@ -363,5 +578,26 @@ mod tests {
             service.submit(Request::Boolean(polls_q1_query())),
             Err(ServiceError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn batch_class_answers_match_interactive_bitwise() {
+        let db = tiny_db();
+        let q = polls_q1_query();
+        let service = Service::new(db, ServiceConfig::new(EvalConfig::exact()));
+        let interactive = service
+            .submit_with(Request::Boolean(q.clone()), SubmitOptions::interactive())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let batch = service
+            .submit_with(Request::Boolean(q), SubmitOptions::batch())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(interactive, batch, "class must never change answer bits");
+        let stats = service.shutdown();
+        assert_eq!(stats.interactive_submitted, 1);
+        assert_eq!(stats.batch_submitted, 1);
     }
 }

@@ -1,27 +1,43 @@
 //! Service observability: the [`ServiceStats`] snapshot and its internal
 //! collector.
 
+use crate::request::AdmissionClass;
 use ppd_core::CacheStats;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Snapshot of a service's activity since construction.
 ///
-/// `answered + failed` accounts for every query that left the queue;
-/// `submitted − rejected − answered − failed − queue_depth` is the number
-/// currently being solved.
+/// `answered + failed + expired` accounts for every query that left the
+/// queue; `submitted − rejected − answered − failed − expired − queue_depth`
+/// is the number currently being solved. Per-class splits of `submitted`
+/// and `rejected` are in the `interactive_*` / `batch_*` fields.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceStats {
-    /// Queries admitted by [`Service::submit`](crate::Service::submit).
+    /// Queries admitted across both classes.
     pub submitted: u64,
-    /// Queries refused by admission control (`Overloaded`).
+    /// Queries refused by admission control (`Overloaded`), both classes.
     pub rejected: u64,
+    /// Interactive queries admitted.
+    pub interactive_submitted: u64,
+    /// Interactive queries refused by admission control.
+    pub interactive_rejected: u64,
+    /// Batch queries admitted.
+    pub batch_submitted: u64,
+    /// Batch queries refused by admission control.
+    pub batch_rejected: u64,
     /// Queries answered successfully.
     pub answered: u64,
     /// Queries delivered an evaluation error.
     pub failed: u64,
-    /// Queries currently waiting in the admission queue.
+    /// Queries resolved `DeadlineExceeded` or abandoned by cancellation.
+    pub expired: u64,
+    /// Queries currently waiting in the admission queue (both lanes).
     pub queue_depth: usize,
+    /// Queries currently waiting in the interactive lane.
+    pub interactive_queue_depth: usize,
+    /// Queries currently waiting in the batch lane.
+    pub batch_queue_depth: usize,
     /// Waves dispatched so far.
     pub waves: u64,
     /// Size of the largest wave.
@@ -29,12 +45,13 @@ pub struct ServiceStats {
     /// Wave-size histogram: `(size, number of waves of that size)`,
     /// ascending by size.
     pub wave_sizes: Vec<(usize, u64)>,
-    /// Mean submit-to-delivery latency over answered and failed queries.
+    /// Mean submit-to-delivery latency over delivered queries.
     pub mean_latency: Duration,
     /// Worst submit-to-delivery latency.
     pub max_latency: Duration,
-    /// The engine's cache counters, carried over so one snapshot tells the
-    /// whole story (the hit rate is where batching pays off).
+    /// The engines' cache counters summed across tenants, carried over so
+    /// one snapshot tells the whole story (the hit rate is where batching
+    /// pays off).
     pub cache: CacheStats,
 }
 
@@ -53,19 +70,24 @@ impl ServiceStats {
     }
 }
 
-/// One-line summary for service logs, e.g. `service: 40 submitted (2
-/// rejected), 37 answered, 1 failed, 0 queued; 5 waves (mean 7.6, max 12);
-/// latency mean 3.2ms, max 11.0ms | marginals …`.
+/// One-line summary for service logs, e.g. `service: 40 submitted (30
+/// interactive / 10 batch, 2 rejected), 36 answered, 1 failed, 1 expired,
+/// 0 queued; 5 waves (mean 7.6, max 12); latency mean 3.2ms, max 11.0ms |
+/// marginals …`.
 impl std::fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "service: {} submitted ({} rejected), {} answered, {} failed, {} queued; \
+            "service: {} submitted ({} interactive / {} batch, {} rejected), \
+             {} answered, {} failed, {} expired, {} queued; \
              {} waves (mean {:.1}, max {}); latency mean {:.1?}, max {:.1?} | {}",
             self.submitted,
+            self.interactive_submitted,
+            self.batch_submitted,
             self.rejected,
             self.answered,
             self.failed,
+            self.expired,
             self.queue_depth,
             self.waves,
             self.mean_wave_size(),
@@ -77,13 +99,22 @@ impl std::fmt::Display for ServiceStats {
     }
 }
 
+/// How one delivery resolved, for the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeliveryKind {
+    Answered,
+    Failed,
+    Expired,
+}
+
 /// The mutable half, updated by the service under its stats lock.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCollector {
-    submitted: u64,
-    rejected: u64,
+    submitted: [u64; 2],
+    rejected: [u64; 2],
     answered: u64,
     failed: u64,
+    expired: u64,
     waves: u64,
     max_wave: usize,
     wave_sizes: BTreeMap<usize, u64>,
@@ -92,12 +123,12 @@ pub(crate) struct StatsCollector {
 }
 
 impl StatsCollector {
-    pub(crate) fn record_submit(&mut self) {
-        self.submitted += 1;
+    pub(crate) fn record_submit(&mut self, class: AdmissionClass) {
+        self.submitted[class.lane()] += 1;
     }
 
-    pub(crate) fn record_reject(&mut self) {
-        self.rejected += 1;
+    pub(crate) fn record_reject(&mut self, class: AdmissionClass) {
+        self.rejected[class.lane()] += 1;
     }
 
     pub(crate) fn record_wave(&mut self, size: usize) {
@@ -106,24 +137,36 @@ impl StatsCollector {
         *self.wave_sizes.entry(size).or_insert(0) += 1;
     }
 
-    pub(crate) fn record_delivery(&mut self, latency: Duration, ok: bool) {
-        if ok {
-            self.answered += 1;
-        } else {
-            self.failed += 1;
+    pub(crate) fn record_delivery(&mut self, latency: Duration, kind: DeliveryKind) {
+        match kind {
+            DeliveryKind::Answered => self.answered += 1,
+            DeliveryKind::Failed => self.failed += 1,
+            DeliveryKind::Expired => self.expired += 1,
         }
         self.latency_total += latency;
         self.latency_max = self.latency_max.max(latency);
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> ServiceStats {
-        let delivered = self.answered + self.failed;
+    pub(crate) fn snapshot(
+        &self,
+        interactive_queue_depth: usize,
+        batch_queue_depth: usize,
+        cache: CacheStats,
+    ) -> ServiceStats {
+        let delivered = self.answered + self.failed + self.expired;
         ServiceStats {
-            submitted: self.submitted,
-            rejected: self.rejected,
+            submitted: self.submitted.iter().sum(),
+            rejected: self.rejected.iter().sum(),
+            interactive_submitted: self.submitted[AdmissionClass::Interactive.lane()],
+            interactive_rejected: self.rejected[AdmissionClass::Interactive.lane()],
+            batch_submitted: self.submitted[AdmissionClass::Batch.lane()],
+            batch_rejected: self.rejected[AdmissionClass::Batch.lane()],
             answered: self.answered,
             failed: self.failed,
-            queue_depth,
+            expired: self.expired,
+            queue_depth: interactive_queue_depth + batch_queue_depth,
+            interactive_queue_depth,
+            batch_queue_depth,
             waves: self.waves,
             max_wave: self.max_wave,
             wave_sizes: self.wave_sizes.iter().map(|(&s, &c)| (s, c)).collect(),
@@ -144,21 +187,30 @@ mod tests {
     #[test]
     fn collector_aggregates_and_snapshots() {
         let mut c = StatsCollector::default();
-        for _ in 0..4 {
-            c.record_submit();
+        for _ in 0..3 {
+            c.record_submit(AdmissionClass::Interactive);
         }
-        c.record_reject();
+        c.record_submit(AdmissionClass::Batch);
+        c.record_reject(AdmissionClass::Batch);
         c.record_wave(3);
         c.record_wave(1);
         c.record_wave(3);
-        c.record_delivery(Duration::from_millis(10), true);
-        c.record_delivery(Duration::from_millis(30), false);
-        let stats = c.snapshot(2, CacheStats::default());
+        c.record_delivery(Duration::from_millis(10), DeliveryKind::Answered);
+        c.record_delivery(Duration::from_millis(30), DeliveryKind::Failed);
+        c.record_delivery(Duration::from_millis(20), DeliveryKind::Expired);
+        let stats = c.snapshot(2, 1, CacheStats::default());
         assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.interactive_submitted, 3);
+        assert_eq!(stats.batch_submitted, 1);
         assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.batch_rejected, 1);
+        assert_eq!(stats.interactive_rejected, 0);
         assert_eq!(stats.answered, 1);
         assert_eq!(stats.failed, 1);
-        assert_eq!(stats.queue_depth, 2);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.queue_depth, 3);
+        assert_eq!(stats.interactive_queue_depth, 2);
+        assert_eq!(stats.batch_queue_depth, 1);
         assert_eq!(stats.waves, 3);
         assert_eq!(stats.max_wave, 3);
         assert_eq!(stats.wave_sizes, vec![(1, 1), (3, 2)]);
@@ -169,9 +221,10 @@ mod tests {
 
     #[test]
     fn display_is_one_line() {
-        let stats = StatsCollector::default().snapshot(0, CacheStats::default());
+        let stats = StatsCollector::default().snapshot(0, 0, CacheStats::default());
         let line = stats.to_string();
         assert!(line.starts_with("service:"), "{line}");
+        assert!(line.contains("interactive"), "{line}");
         assert!(
             line.contains("marginals"),
             "cache summary rides along: {line}"

@@ -1,0 +1,1018 @@
+//! The wire protocol: line-delimited JSON over TCP or Unix-domain sockets,
+//! served by [`WireServer`] and spoken by [`WireClient`].
+//!
+//! Framing is one JSON object per `\n`-terminated line, both directions.
+//! A request frame:
+//!
+//! ```json
+//! {"id": 7, "kind": "boolean", "query": {"name": "q1", "prefer": [...]},
+//!  "class": "batch", "database": "polls", "deadline_ms": 250}
+//! ```
+//!
+//! and its response, `ok` or `err`:
+//!
+//! ```json
+//! {"id": 7, "ok": {"kind": "boolean", "value": 0.21568627450980393}}
+//! {"id": 7, "err": {"kind": "overloaded", "depth": 64}}
+//! ```
+//!
+//! `id` is chosen by the client and echoed verbatim; responses may arrive
+//! **out of submission order** because the service streams each answer as
+//! soon as its work units finish. [`WireClient`] reorders by id.
+//!
+//! **Bit-exactness over the wire.** Probabilities are serialized with
+//! Rust's shortest-round-trip float formatting and parsed back with
+//! `str::parse::<f64>()`, so every `f64` crosses the socket bit-identically
+//! — the `service_determinism` test compares wire answers to direct engine
+//! calls with `to_bits()`. Everything here is `std::net` + `std::thread`;
+//! no async runtime.
+
+use crate::request::{AdmissionClass, Answer, Delivery, Request, ServiceError, SubmitOptions};
+use crate::service::Service;
+use ppd_core::{
+    CompareOp, ConjunctiveQuery, PpdError, SessionScore, Term, TopKStrategy, Value as PpdValue,
+};
+use serde_json::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a blocked connection read waits before re-checking the server's
+/// stop flag (bounds shutdown latency; invisible to clients).
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+// ---------------------------------------------------------------------------
+// Stream + listener abstraction (TCP and Unix sockets share one code path)
+// ---------------------------------------------------------------------------
+
+trait WireStream: Read + Write + Send + Sized + 'static {
+    /// A second handle to the same socket (reader and writer sides live on
+    /// different threads).
+    fn duplicate(&self) -> io::Result<Self>;
+    fn set_read_timeout_opt(&self, timeout: Option<Duration>) -> io::Result<()>;
+    fn set_blocking(&self) -> io::Result<()>;
+}
+
+impl WireStream for TcpStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_timeout_opt(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn set_blocking(&self) -> io::Result<()> {
+        self.set_nonblocking(false)
+    }
+}
+
+#[cfg(unix)]
+impl WireStream for UnixStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_timeout_opt(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+    fn set_blocking(&self) -> io::Result<()> {
+        self.set_nonblocking(false)
+    }
+}
+
+trait WireListener: Send + 'static {
+    type Stream: WireStream;
+    fn accept_stream(&self) -> io::Result<Self::Stream>;
+    /// Nonblocking mode is what keeps the accept loop joinable: accepts
+    /// return `WouldBlock` instead of parking the thread forever.
+    fn set_nonblocking_mode(&self) -> io::Result<()>;
+}
+
+impl WireListener for TcpListener {
+    type Stream = TcpStream;
+    fn accept_stream(&self) -> io::Result<TcpStream> {
+        self.accept().map(|(stream, _)| stream)
+    }
+    fn set_nonblocking_mode(&self) -> io::Result<()> {
+        self.set_nonblocking(true)
+    }
+}
+
+#[cfg(unix)]
+impl WireListener for UnixListener {
+    type Stream = UnixStream;
+    fn accept_stream(&self) -> io::Result<UnixStream> {
+        self.accept().map(|(stream, _)| stream)
+    }
+    fn set_nonblocking_mode(&self) -> io::Result<()> {
+        self.set_nonblocking(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A socket front end over a [`Service`]: accepts connections on a
+/// dedicated thread, reads request frames line by line, submits them
+/// through the service's normal admission path (routing, class lanes,
+/// deadlines — everything in-process clients get), and writes each response
+/// frame the moment the service delivers it.
+///
+/// Dropping the server (or calling [`WireServer::shutdown`]) stops
+/// accepting, disconnects the connection threads, and cancels any requests
+/// still in flight on their behalf — the same claim-release a dropped
+/// in-process [`Ticket`](crate::Ticket) performs. The underlying service is
+/// shared via `Arc` and survives the server.
+pub struct WireServer {
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl WireServer {
+    /// Binds a TCP listener (use port 0 to let the OS pick; see
+    /// [`WireServer::local_addr`]) and starts serving `service` over it.
+    pub fn bind_tcp(addr: impl ToSocketAddrs, service: Arc<Service>) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let tcp_addr = Some(listener.local_addr()?);
+        let mut server = WireServer::start(listener, service);
+        server.tcp_addr = tcp_addr;
+        Ok(server)
+    }
+
+    /// Binds a Unix-domain socket at `path` (unlinked again on shutdown)
+    /// and starts serving `service` over it.
+    #[cfg(unix)]
+    pub fn bind_unix(path: impl Into<PathBuf>, service: Arc<Service>) -> io::Result<WireServer> {
+        let path = path.into();
+        let listener = UnixListener::bind(&path)?;
+        let mut server = WireServer::start(listener, service);
+        server.unix_path = Some(path);
+        Ok(server)
+    }
+
+    /// The TCP address actually bound, for clients of a port-0 listener.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    fn start<L: WireListener>(listener: L, service: Arc<Service>) -> WireServer {
+        listener
+            .set_nonblocking_mode()
+            .expect("set wire listener nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("ppd-wire-accept".into())
+                .spawn(move || accept_loop(listener, service, stop, connections))
+                .expect("spawn wire accept thread")
+        };
+        WireServer {
+            stop,
+            accept: Some(accept),
+            connections,
+            tcp_addr: None,
+            unix_path: None,
+        }
+    }
+
+    /// Stops accepting, joins every connection thread (each notices the
+    /// stop flag within one poll interval), and unlinks a Unix socket path.
+    /// Requests still in flight are cancelled, not waited for.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop: it polls with nonblocking accepts, so
+        // joining it needs no connect-to-self nudge.
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.connections.lock().expect("wire server poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<L: WireListener>(
+    listener: L,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    // Nonblocking accept + sleep keeps shutdown bounded without signals.
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept_stream() {
+            Ok(stream) => {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name("ppd-wire-conn".into())
+                    .spawn(move || serve_connection(stream, &service, &stop))
+                    .expect("spawn wire connection thread");
+                connections
+                    .lock()
+                    .expect("wire server poisoned")
+                    .push(handle);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One connection: read frames until EOF or server shutdown, submit each
+/// through the service, and let the per-request callbacks write responses
+/// through the shared (mutexed) writer — no thread per request.
+fn serve_connection<S: WireStream>(stream: S, service: &Arc<Service>, stop: &AtomicBool) {
+    // The stream may inherit the listener's nonblocking flag on some
+    // platforms; blocking + a read timeout is the mode the loop below wants.
+    if stream.set_blocking().is_err() || stream.set_read_timeout_opt(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.duplicate() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    // Requests this connection has in flight, so a disconnect releases
+    // their claim (like dropping a ticket). Callbacks prune their own entry
+    // after writing; the (benign) race where a callback fires before its
+    // token is inserted just leaves a spent token behind until disconnect.
+    let in_flight: Arc<Mutex<HashMap<u64, crate::deadline::CancelToken>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client hung up.
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    continue; // Timed out mid-line; keep the partial read.
+                }
+                let frame = std::mem::take(&mut line);
+                if !frame.trim().is_empty() {
+                    handle_frame(&frame, service, &writer, &in_flight);
+                }
+            }
+            // A read timeout surfaces as WouldBlock (Unix) or TimedOut;
+            // partial bytes, if any, are already appended to `line`.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    for (_, token) in in_flight.lock().expect("wire connection poisoned").drain() {
+        token.cancel();
+    }
+}
+
+fn handle_frame<S: WireStream>(
+    frame: &str,
+    service: &Arc<Service>,
+    writer: &Arc<Mutex<S>>,
+    in_flight: &Arc<Mutex<HashMap<u64, crate::deadline::CancelToken>>>,
+) {
+    match decode_request(frame) {
+        Ok((id, request, options)) => {
+            let reply_writer = Arc::clone(writer);
+            let reply_in_flight = Arc::clone(in_flight);
+            let submitted = service.submit_callback(request, options, move |delivery| {
+                write_line(&reply_writer, &encode_response(id, &delivery));
+                reply_in_flight
+                    .lock()
+                    .expect("wire connection poisoned")
+                    .remove(&id);
+            });
+            match submitted {
+                Ok(token) => {
+                    in_flight
+                        .lock()
+                        .expect("wire connection poisoned")
+                        .insert(id, token);
+                }
+                Err(e) => write_line(writer, &encode_response(id, &Err(e))),
+            }
+        }
+        Err((id, message)) => {
+            let err = Err(ServiceError::Protocol(message));
+            write_line(writer, &encode_response(id.unwrap_or(0), &err));
+        }
+    }
+}
+
+/// Writes one response line; a broken pipe just means the client left.
+fn write_line<S: WireStream>(writer: &Arc<Mutex<S>>, line: &str) {
+    let mut guard = writer.lock().expect("wire writer poisoned");
+    let _ = guard.write_all(line.as_bytes());
+    let _ = guard.write_all(b"\n");
+    let _ = guard.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A blocking client for the wire protocol.
+///
+/// [`WireClient::call`] is the simple path: send one request, block for its
+/// answer. [`WireClient::send`] / [`WireClient::recv`] split the two halves
+/// so many requests can be pipelined on one connection; `recv` reorders
+/// out-of-order responses by id. The client is single-threaded by design —
+/// open one connection per client thread.
+pub struct WireClient {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+    pending: HashMap<u64, Delivery>,
+}
+
+impl WireClient {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        Ok(WireClient::from_halves(read_half, stream))
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> io::Result<WireClient> {
+        let stream = UnixStream::connect(path)?;
+        let read_half = stream.try_clone()?;
+        Ok(WireClient::from_halves(read_half, stream))
+    }
+
+    fn from_halves(
+        read: impl Read + Send + 'static,
+        write: impl Write + Send + 'static,
+    ) -> WireClient {
+        WireClient {
+            reader: BufReader::new(Box::new(read)),
+            writer: Box::new(write),
+            next_id: 1,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Sends one request frame without waiting; returns the frame id to
+    /// pass to [`WireClient::recv`].
+    pub fn send(
+        &mut self,
+        request: &Request,
+        options: &SubmitOptions,
+    ) -> Result<u64, ServiceError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_request(id, request, options);
+        self.writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ServiceError::Protocol(format!("send failed: {e}")))?;
+        Ok(id)
+    }
+
+    /// Blocks until the response for `id` arrives (stashing any other
+    /// pipelined responses that land first) and returns it.
+    pub fn recv(&mut self, id: u64) -> Result<Answer, ServiceError> {
+        loop {
+            if let Some(delivery) = self.pending.remove(&id) {
+                return delivery;
+            }
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err(ServiceError::Disconnected),
+                Ok(_) => {
+                    let (got, delivery) = decode_response(&line).map_err(ServiceError::Protocol)?;
+                    self.pending.insert(got, delivery);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServiceError::Protocol(format!("recv failed: {e}"))),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its answer.
+    pub fn call(
+        &mut self,
+        request: &Request,
+        options: &SubmitOptions,
+    ) -> Result<Answer, ServiceError> {
+        let id = self.send(request, options)?;
+        self.recv(id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec: frames ⇄ service types
+// ---------------------------------------------------------------------------
+
+fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// Encodes one request frame (no trailing newline).
+pub(crate) fn encode_request(id: u64, request: &Request, options: &SubmitOptions) -> String {
+    let mut entries = vec![
+        ("id", Value::from(id)),
+        ("kind", Value::from(request_kind(request))),
+        ("query", query_to_json(request.query())),
+        ("class", Value::from(options.class.name())),
+    ];
+    if let Request::TopK { k, strategy, .. } = request {
+        entries.push(("k", Value::from(*k as u64)));
+        entries.push(("strategy", strategy_to_json(*strategy)));
+    }
+    if let Some(db) = &options.database {
+        entries.push(("database", Value::from(db.as_str())));
+    }
+    if let Some(deadline) = options.deadline {
+        entries.push(("deadline_ms", Value::from(deadline.as_millis() as u64)));
+    }
+    serde_json::to_string(&object(entries)).expect("request frames always serialize")
+}
+
+/// Decodes one request frame. On failure, returns the frame id when at
+/// least that much parsed, so the error response can still be correlated.
+pub(crate) fn decode_request(
+    frame: &str,
+) -> Result<(u64, Request, SubmitOptions), (Option<u64>, String)> {
+    let value = serde_json::from_str(frame).map_err(|e| (None, e.to_string()))?;
+    let id = value.get("id").and_then(Value::as_u64);
+    let fail = |message: String| (id, message);
+    let id = id.ok_or_else(|| (None, "missing numeric `id`".to_string()))?;
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing `kind`".to_string()))?;
+    let query = query_from_json(
+        value
+            .get("query")
+            .ok_or_else(|| fail("missing `query`".to_string()))?,
+    )
+    .map_err(&fail)?;
+    let request = match kind {
+        "boolean" => Request::Boolean(query),
+        "count" => Request::Count(query),
+        "session_probabilities" => Request::SessionProbabilities(query),
+        "topk" => Request::TopK {
+            query,
+            k: value
+                .get("k")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| fail("topk requests need a numeric `k`".to_string()))?
+                as usize,
+            strategy: match value.get("strategy") {
+                None => TopKStrategy::Naive,
+                Some(s) => strategy_from_json(s).map_err(&fail)?,
+            },
+        },
+        other => return Err(fail(format!("unknown request kind `{other}`"))),
+    };
+    let mut options = SubmitOptions::default();
+    match value.get("class").and_then(Value::as_str) {
+        None | Some("interactive") => {}
+        Some("batch") => options.class = AdmissionClass::Batch,
+        Some(other) => return Err(fail(format!("unknown admission class `{other}`"))),
+    }
+    if let Some(db) = value.get("database") {
+        options.database = Some(
+            db.as_str()
+                .ok_or_else(|| fail("`database` must be a string".to_string()))?
+                .to_string(),
+        );
+    }
+    if let Some(ms) = value.get("deadline_ms") {
+        options.deadline = Some(Duration::from_millis(ms.as_u64().ok_or_else(|| {
+            fail("`deadline_ms` must be a non-negative integer".to_string())
+        })?));
+    }
+    Ok((id, request, options))
+}
+
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Boolean(_) => "boolean",
+        Request::Count(_) => "count",
+        Request::SessionProbabilities(_) => "session_probabilities",
+        Request::TopK { .. } => "topk",
+    }
+}
+
+fn strategy_to_json(strategy: TopKStrategy) -> Value {
+    match strategy {
+        TopKStrategy::Naive => Value::from("naive"),
+        TopKStrategy::UpperBound { edges_per_pattern } => {
+            object(vec![("upper_bound", Value::from(edges_per_pattern as u64))])
+        }
+    }
+}
+
+fn strategy_from_json(value: &Value) -> Result<TopKStrategy, String> {
+    if value.as_str() == Some("naive") {
+        return Ok(TopKStrategy::Naive);
+    }
+    if let Some(edges) = value.get("upper_bound").and_then(Value::as_u64) {
+        return Ok(TopKStrategy::UpperBound {
+            edges_per_pattern: edges as usize,
+        });
+    }
+    Err("strategy must be \"naive\" or {\"upper_bound\": n}".to_string())
+}
+
+fn query_to_json(query: &ConjunctiveQuery) -> Value {
+    object(vec![
+        ("name", Value::from(query.name())),
+        (
+            "prefer",
+            Value::Array(
+                query
+                    .preference_atoms()
+                    .iter()
+                    .map(|atom| {
+                        object(vec![
+                            ("relation", Value::from(atom.relation.as_str())),
+                            (
+                                "sessions",
+                                Value::Array(atom.session_terms.iter().map(term_to_json).collect()),
+                            ),
+                            ("left", term_to_json(&atom.left)),
+                            ("right", term_to_json(&atom.right)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "atoms",
+            Value::Array(
+                query
+                    .relation_atoms()
+                    .iter()
+                    .map(|atom| {
+                        object(vec![
+                            ("relation", Value::from(atom.relation.as_str())),
+                            (
+                                "terms",
+                                Value::Array(atom.terms.iter().map(term_to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "compare",
+            Value::Array(
+                query
+                    .comparisons()
+                    .iter()
+                    .map(|cmp| {
+                        object(vec![
+                            ("var", Value::from(cmp.var.as_str())),
+                            ("op", Value::from(cmp.op.symbol())),
+                            ("value", value_to_json(&cmp.value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn query_from_json(value: &Value) -> Result<ConjunctiveQuery, String> {
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("query needs a string `name`")?;
+    let mut query = ConjunctiveQuery::new(name);
+    for atom in list(value, "prefer")? {
+        let sessions = atom
+            .get("sessions")
+            .and_then(Value::as_array)
+            .ok_or("preference atom needs `sessions`")?
+            .iter()
+            .map(term_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        query = query.prefer(
+            relation_of(atom)?,
+            sessions,
+            term_from_json(atom.get("left").ok_or("preference atom needs `left`")?)?,
+            term_from_json(atom.get("right").ok_or("preference atom needs `right`")?)?,
+        );
+    }
+    for atom in list(value, "atoms")? {
+        let terms = atom
+            .get("terms")
+            .and_then(Value::as_array)
+            .ok_or("relation atom needs `terms`")?
+            .iter()
+            .map(term_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        query = query.atom(relation_of(atom)?, terms);
+    }
+    for cmp in list(value, "compare")? {
+        let var = cmp
+            .get("var")
+            .and_then(Value::as_str)
+            .ok_or("comparison needs a string `var`")?;
+        let op = match cmp.get("op").and_then(Value::as_str) {
+            Some("=") => CompareOp::Eq,
+            Some("!=") => CompareOp::Ne,
+            Some("<") => CompareOp::Lt,
+            Some("<=") => CompareOp::Le,
+            Some(">") => CompareOp::Gt,
+            Some(">=") => CompareOp::Ge,
+            _ => return Err("comparison `op` must be one of = != < <= > >=".to_string()),
+        };
+        let constant = value_from_json(cmp.get("value").ok_or("comparison needs `value`")?)?;
+        query = query.compare(var, op, constant);
+    }
+    Ok(query)
+}
+
+fn list<'v>(value: &'v Value, key: &str) -> Result<&'v [Value], String> {
+    match value.get(key) {
+        None => Ok(&[]),
+        Some(entry) => entry
+            .as_array()
+            .ok_or_else(|| format!("query `{key}` must be an array")),
+    }
+}
+
+fn relation_of(atom: &Value) -> Result<&str, String> {
+    atom.get("relation")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "atom needs a string `relation`".to_string())
+}
+
+fn term_to_json(term: &Term) -> Value {
+    match term {
+        Term::Var(name) => object(vec![("var", Value::from(name.as_str()))]),
+        Term::Const(value) => object(vec![("val", value_to_json(value))]),
+        Term::Wildcard => Value::from("_"),
+    }
+}
+
+fn term_from_json(value: &Value) -> Result<Term, String> {
+    if value.as_str() == Some("_") {
+        return Ok(Term::Wildcard);
+    }
+    if let Some(name) = value.get("var").and_then(Value::as_str) {
+        return Ok(Term::var(name));
+    }
+    if let Some(constant) = value.get("val") {
+        return Ok(Term::Const(value_from_json(constant)?));
+    }
+    Err("term must be \"_\", {\"var\": name}, or {\"val\": constant}".to_string())
+}
+
+fn value_to_json(value: &PpdValue) -> Value {
+    match value {
+        PpdValue::Str(s) => Value::from(s.as_str()),
+        PpdValue::Int(i) => Value::from(*i),
+        PpdValue::Null => Value::Null,
+    }
+}
+
+fn value_from_json(value: &Value) -> Result<PpdValue, String> {
+    if value.is_null() {
+        return Ok(PpdValue::Null);
+    }
+    if let Some(s) = value.as_str() {
+        return Ok(PpdValue::Str(s.to_string()));
+    }
+    if let Some(i) = value.as_i64() {
+        return Ok(PpdValue::Int(i));
+    }
+    Err("constants must be strings, integers, or null".to_string())
+}
+
+/// Encodes one response frame (no trailing newline).
+pub(crate) fn encode_response(id: u64, delivery: &Delivery) -> String {
+    let body = match delivery {
+        Ok(answer) => ("ok", answer_to_json(answer)),
+        Err(error) => ("err", error_to_json(error)),
+    };
+    serde_json::to_string(&object(vec![("id", Value::from(id)), body]))
+        .expect("response frames always serialize")
+}
+
+/// Decodes one response frame into `(id, delivery)`.
+pub(crate) fn decode_response(frame: &str) -> Result<(u64, Delivery), String> {
+    let value = serde_json::from_str(frame).map_err(|e| e.to_string())?;
+    let id = value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or("response missing numeric `id`")?;
+    if let Some(ok) = value.get("ok") {
+        return Ok((id, Ok(answer_from_json(ok)?)));
+    }
+    if let Some(err) = value.get("err") {
+        return Ok((id, Err(error_from_json(err)?)));
+    }
+    Err("response carries neither `ok` nor `err`".to_string())
+}
+
+fn answer_to_json(answer: &Answer) -> Value {
+    let scored = |pairs: Vec<(u64, f64)>| {
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(i, p)| Value::Array(vec![Value::from(i), Value::from(p)]))
+                .collect(),
+        )
+    };
+    match answer {
+        Answer::Boolean(p) => object(vec![
+            ("kind", Value::from("boolean")),
+            ("value", Value::from(*p)),
+        ]),
+        Answer::Count(c) => object(vec![
+            ("kind", Value::from("count")),
+            ("value", Value::from(*c)),
+        ]),
+        Answer::SessionProbabilities(sessions) => object(vec![
+            ("kind", Value::from("session_probabilities")),
+            (
+                "sessions",
+                scored(sessions.iter().map(|&(i, p)| (i as u64, p)).collect()),
+            ),
+        ]),
+        Answer::TopK(scores) => object(vec![
+            ("kind", Value::from("topk")),
+            (
+                "sessions",
+                scored(
+                    scores
+                        .iter()
+                        .map(|s| (s.session_index as u64, s.probability))
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn answer_from_json(value: &Value) -> Result<Answer, String> {
+    let sessions = |value: &Value| -> Result<Vec<(usize, f64)>, String> {
+        value
+            .get("sessions")
+            .and_then(Value::as_array)
+            .ok_or("answer needs a `sessions` array")?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .ok_or("session entries are [index, p] pairs")?;
+                match (
+                    pair.first().and_then(Value::as_u64),
+                    pair.get(1).and_then(Value::as_f64),
+                ) {
+                    (Some(i), Some(p)) if pair.len() == 2 => Ok((i as usize, p)),
+                    _ => Err("session entries are [index, p] pairs".to_string()),
+                }
+            })
+            .collect()
+    };
+    let scalar = || {
+        value
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| "answer needs a numeric `value`".to_string())
+    };
+    match value.get("kind").and_then(Value::as_str) {
+        Some("boolean") => Ok(Answer::Boolean(scalar()?)),
+        Some("count") => Ok(Answer::Count(scalar()?)),
+        Some("session_probabilities") => Ok(Answer::SessionProbabilities(sessions(value)?)),
+        Some("topk") => Ok(Answer::TopK(
+            sessions(value)?
+                .into_iter()
+                .map(|(session_index, probability)| SessionScore {
+                    session_index,
+                    probability,
+                })
+                .collect(),
+        )),
+        _ => Err("unknown answer kind".to_string()),
+    }
+}
+
+fn error_to_json(error: &ServiceError) -> Value {
+    let kinded = |kind: &str| vec![("kind", Value::from(kind))];
+    let with_detail = |kind: &str, detail: String| {
+        vec![("kind", Value::from(kind)), ("detail", Value::from(detail))]
+    };
+    object(match error {
+        ServiceError::Overloaded { depth } => vec![
+            ("kind", Value::from("overloaded")),
+            ("depth", Value::from(*depth as u64)),
+        ],
+        ServiceError::ShuttingDown => kinded("shutting_down"),
+        ServiceError::UnknownDatabase(id) => with_detail("unknown_database", id.clone()),
+        ServiceError::DeadlineExceeded => kinded("deadline_exceeded"),
+        // Evaluation errors cross the wire as rendered text: the structured
+        // `PpdError` does not survive the trip (see `error_from_json`).
+        ServiceError::Eval(e) => with_detail("eval", e.to_string()),
+        ServiceError::Protocol(m) => with_detail("protocol", m.clone()),
+        ServiceError::Disconnected => kinded("disconnected"),
+    })
+}
+
+fn error_from_json(value: &Value) -> Result<ServiceError, String> {
+    let detail = || {
+        value
+            .get("detail")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+    match value.get("kind").and_then(Value::as_str) {
+        Some("overloaded") => Ok(ServiceError::Overloaded {
+            depth: value.get("depth").and_then(Value::as_u64).unwrap_or(0) as usize,
+        }),
+        Some("shutting_down") => Ok(ServiceError::ShuttingDown),
+        Some("unknown_database") => Ok(ServiceError::UnknownDatabase(detail())),
+        Some("deadline_exceeded") => Ok(ServiceError::DeadlineExceeded),
+        // Lossy by design: the remote evaluation error arrives as text.
+        Some("eval") => Ok(ServiceError::Eval(PpdError::Malformed(detail()))),
+        Some("protocol") => Ok(ServiceError::Protocol(detail())),
+        Some("disconnected") => Ok(ServiceError::Disconnected),
+        _ => Err("unknown error kind".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppd_core::Value as PpdValue;
+
+    fn demo_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::new("demo")
+            .prefer(
+                "Polls",
+                vec![Term::var("v"), Term::any()],
+                Term::var("x"),
+                Term::val("cand1"),
+            )
+            .atom("Candidates", vec![Term::var("x"), Term::var("party")])
+            .compare("party", CompareOp::Eq, "blue")
+            .compare("year", CompareOp::Ge, PpdValue::Int(1990))
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let requests = [
+            Request::Boolean(demo_query()),
+            Request::Count(demo_query()),
+            Request::SessionProbabilities(demo_query()),
+            Request::TopK {
+                query: demo_query(),
+                k: 5,
+                strategy: TopKStrategy::UpperBound {
+                    edges_per_pattern: 2,
+                },
+            },
+        ];
+        let options = SubmitOptions::batch()
+            .on_database("polls")
+            .with_deadline(Duration::from_millis(250));
+        for (i, request) in requests.iter().enumerate() {
+            let frame = encode_request(i as u64 + 1, request, &options);
+            assert!(!frame.contains('\n'), "frames are single lines: {frame}");
+            let (id, decoded, decoded_options) = decode_request(&frame).expect("round trip");
+            assert_eq!(id, i as u64 + 1);
+            assert_eq!(decoded.query(), request.query());
+            assert_eq!(request_kind(&decoded), request_kind(request));
+            if let (
+                Request::TopK { k, strategy, .. },
+                Request::TopK {
+                    k: k2,
+                    strategy: s2,
+                    ..
+                },
+            ) = (request, &decoded)
+            {
+                assert_eq!(k, k2);
+                assert_eq!(strategy, s2);
+            }
+            assert_eq!(decoded_options.class, AdmissionClass::Batch);
+            assert_eq!(decoded_options.database.as_deref(), Some("polls"));
+            assert_eq!(decoded_options.deadline, Some(Duration::from_millis(250)));
+        }
+    }
+
+    #[test]
+    fn default_options_round_trip_as_defaults() {
+        let frame = encode_request(
+            9,
+            &Request::Boolean(demo_query()),
+            &SubmitOptions::default(),
+        );
+        let (_, _, options) = decode_request(&frame).unwrap();
+        assert_eq!(options.class, AdmissionClass::Interactive);
+        assert_eq!(options.database, None);
+        assert_eq!(options.deadline, None);
+    }
+
+    #[test]
+    fn answers_round_trip_bit_exactly() {
+        let deliveries: Vec<Delivery> = vec![
+            Ok(Answer::Boolean(0.1 + 0.2)), // 0.30000000000000004: shortest-round-trip matters
+            Ok(Answer::Count(f64::MIN_POSITIVE)),
+            Ok(Answer::SessionProbabilities(vec![(0, 0.25), (7, 1e-300)])),
+            Ok(Answer::TopK(vec![
+                SessionScore {
+                    session_index: 3,
+                    probability: 2.0 / 3.0,
+                },
+                SessionScore {
+                    session_index: 1,
+                    probability: 1.0 / 3.0,
+                },
+            ])),
+        ];
+        for delivery in &deliveries {
+            let frame = encode_response(42, delivery);
+            let (id, decoded) = decode_response(&frame).expect("round trip");
+            assert_eq!(id, 42);
+            // PartialEq on f64 is bitwise here: every probability above is a
+            // normal number (no NaN / ±0 aliasing in play).
+            assert_eq!(&decoded, delivery);
+        }
+    }
+
+    #[test]
+    fn errors_round_trip_by_kind() {
+        let errors = vec![
+            ServiceError::Overloaded { depth: 17 },
+            ServiceError::ShuttingDown,
+            ServiceError::UnknownDatabase("polls".into()),
+            ServiceError::DeadlineExceeded,
+            ServiceError::Protocol("bad frame".into()),
+            ServiceError::Disconnected,
+        ];
+        for error in errors {
+            let frame = encode_response(1, &Err(error.clone()));
+            let (_, decoded) = decode_response(&frame).unwrap();
+            assert_eq!(decoded, Err(error));
+        }
+        // Evaluation errors are lossy (text only) but keep their kind.
+        let frame = encode_response(
+            1,
+            &Err(ServiceError::Eval(PpdError::UnknownName("R".into()))),
+        );
+        let (_, decoded) = decode_response(&frame).unwrap();
+        assert!(matches!(decoded, Err(ServiceError::Eval(_))), "{decoded:?}");
+    }
+
+    #[test]
+    fn malformed_frames_fail_with_context() {
+        assert!(decode_request("not json").is_err());
+        let (id, _) = decode_request(r#"{"id": 3, "kind": "nope", "query": {"name": "q"}}"#)
+            .expect_err("unknown kind");
+        assert_eq!(id, Some(3), "id survives for error correlation");
+        assert!(decode_response(r#"{"id": 1}"#).is_err());
+    }
+}

@@ -288,13 +288,20 @@ impl MisAmpLite {
     }
 
     /// Runs the sampling stage on prepared proposals and returns the
-    /// (optionally compensated) estimate, clamped to `[0, 1]`.
+    /// (optionally compensated) estimate — a proper probability in `[0, 1]`
+    /// by construction.
     ///
-    /// The clamp matters: on high-probability unions the pruning
-    /// compensation factors `c_ψ · c_r` can overshoot and push the raw
-    /// estimator above one, which is outside the range of any marginal
-    /// probability. Clamping here (rather than in downstream query
-    /// evaluators) guarantees every caller sees a valid probability.
+    /// The plain MIS average estimates the probability of the **covered
+    /// region**: the rankings reachable from the kept proposals. Pruning
+    /// compensation extrapolates from there to the full union using the
+    /// `φ^distance` mass ratios `c_ψ · c_r ≥ 1`. Multiplying the covered
+    /// probability directly (the original Section 5.5 heuristic) over-counts
+    /// the overlap between sub-ranking events and pushed the raw estimator
+    /// above 1 on high-probability unions; the factors are therefore applied
+    /// in **odds space** (see `compensate` below), which agrees with the
+    /// multiplicative form to first order in the covered probability — the
+    /// rare-event regime compensation exists for — while saturating below 1
+    /// as the covered probability grows.
     pub fn estimate_prepared(
         &self,
         mallows: &MallowsModel,
@@ -331,12 +338,42 @@ impl MisAmpLite {
                 }
             }
         }
-        let mut estimate = total / (d * n) as f64;
-        if self.compensation {
-            estimate *= prepared.compensation_subrankings * prepared.compensation_modals;
-        }
+        // The uncompensated MIS average estimates the covered-region
+        // probability; finite-sample noise can stray marginally above 1, so
+        // clamp before compensating (exactly what the compensation-free
+        // estimator always did).
+        let covered = (total / (d * n) as f64).clamp(0.0, 1.0);
+        let estimate = if self.compensation {
+            compensate(
+                covered,
+                prepared.compensation_subrankings * prepared.compensation_modals,
+            )
+        } else {
+            covered
+        };
+        debug_assert!(
+            (0.0..=1.0).contains(&estimate),
+            "odds-space compensation must yield a probability, got {estimate}"
+        );
         estimate.clamp(0.0, 1.0)
     }
+}
+
+/// Applies a pruning-compensation factor `c ≥ 1` to the covered-region
+/// probability `p` in **odds space**: `p′ = c·p / (c·p + (1 − p))`, i.e. the
+/// odds `p/(1−p)` are multiplied by `c` rather than the probability itself.
+///
+/// This is the normalization that makes the compensated estimator a proper
+/// probability: for any `p ∈ [0, 1]` and `c ≥ 1` the result is in `[p, 1]`,
+/// and for small `p` it reduces to the multiplicative `c·p` (to first order)
+/// that the paper's compensation targets. `c = 1` (nothing pruned) is an
+/// exact no-op bit for bit.
+fn compensate(p: f64, c: f64) -> f64 {
+    if c <= 1.0 {
+        return p;
+    }
+    let scaled = c * p;
+    scaled / (scaled + (1.0 - p))
 }
 
 impl ApproxSolver for MisAmpLite {
@@ -492,12 +529,14 @@ mod tests {
     }
 
     #[test]
-    fn pruning_compensation_overshoot_is_clamped() {
-        // A (near-)certain union estimated with a single kept proposal: the
-        // pruning compensation factors `c_ψ · c_r` overshoot and the raw
-        // estimator exceeds 1, which is why the solver clamps. (PR 1's
-        // agreement tests dodge this case by using a proposal budget large
-        // enough that nothing is pruned.)
+    fn pruning_compensation_is_a_proper_probability() {
+        // A certain union (`a ≻ b ∨ b ≻ a` over non-empty labels) estimated
+        // with a single kept proposal: heavy pruning makes `c_ψ · c_r` large,
+        // and the *multiplicative* compensation of the original Section 5.5
+        // heuristic pushed the raw estimator above 1 here (PR 1's agreement
+        // tests dodged the case by using a proposal budget large enough that
+        // nothing was pruned). The odds-space normalization must instead
+        // yield a probability that still tracks the exact answer.
         let model = mallows(6, 0.8);
         let lab = cyclic_labeling(6, 2);
         let union = PatternUnion::new(vec![
@@ -505,6 +544,10 @@ mod tests {
             Pattern::two_label(sel(1), sel(0)),
         ])
         .unwrap();
+        let exact = BruteForceSolver::new()
+            .solve(&model.to_rim(), &lab, &union)
+            .unwrap();
+        assert!(exact > 0.999, "the union is certain, got {exact}");
         let solver = MisAmpLite::new(1, 400);
         let prepared = solver.prepare(&model, &lab, &union).unwrap();
         let mut rng_nc = StdRng::seed_from_u64(13);
@@ -513,14 +556,26 @@ mod tests {
                 .clone()
                 .without_compensation()
                 .estimate_prepared(&model, &prepared, &mut rng_nc);
-        let raw = uncompensated * prepared.compensation_subrankings * prepared.compensation_modals;
+        let factors = prepared.compensation_subrankings * prepared.compensation_modals;
         assert!(
-            raw > 1.0,
-            "expected the compensated estimator to overshoot, got {raw}"
+            uncompensated * factors > 1.0,
+            "the regression premise needs the multiplicative form to overshoot, got {}",
+            uncompensated * factors
         );
         let mut rng = StdRng::seed_from_u64(13);
-        let clamped = solver.estimate_prepared(&model, &prepared, &mut rng);
-        assert_eq!(clamped, 1.0, "overshoot must be clamped to 1");
+        let est = solver.estimate_prepared(&model, &prepared, &mut rng);
+        assert!(
+            (0.0..=1.0).contains(&est),
+            "normalized compensation must stay a probability, got {est}"
+        );
+        assert!(
+            est > uncompensated,
+            "compensation must still push the covered estimate ({uncompensated}) up, got {est}"
+        );
+        assert!(
+            (exact - est).abs() < 0.2,
+            "normalized estimate {est} should track the exact answer {exact}"
+        );
     }
 
     #[test]
@@ -556,9 +611,11 @@ mod tests {
                     }
                 }
             }
-            let mut expected = total / (d * n) as f64;
-            expected *= prepared.compensation_subrankings * prepared.compensation_modals;
-            let expected = expected.clamp(0.0, 1.0);
+            let covered = (total / (d * n) as f64).clamp(0.0, 1.0);
+            let expected = super::compensate(
+                covered,
+                prepared.compensation_subrankings * prepared.compensation_modals,
+            );
             let mut rng = StdRng::seed_from_u64(seed);
             let got = solver.estimate_prepared(&model, &prepared, &mut rng);
             assert_eq!(

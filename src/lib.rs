@@ -17,8 +17,10 @@
 //! * [`core`] — the RIM-PPD database, conjunctive queries, and the Boolean /
 //!   Count-Session / Most-Probable-Session evaluators, all running on the
 //!   parallel, cache-backed [`core::engine::Engine`];
-//! * [`service`] — the in-process serving layer over one engine: admission
-//!   control, wave batching, and streamed per-query answers;
+//! * [`service`] — the multi-tenant query front door: per-database engines
+//!   behind one two-class admission layer, wave batching, deadlines with
+//!   cancellation, streamed per-query answers, and a line-delimited JSON
+//!   wire protocol over TCP/Unix sockets;
 //! * [`datagen`] — generators for the paper's experimental datasets.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
@@ -42,7 +44,8 @@ pub mod prelude {
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};
     pub use ppd_service::{
-        Answer, Request, Service, ServiceConfig, ServiceError, ServiceStats, Ticket,
+        AdmissionClass, Answer, Request, Service, ServiceConfig, ServiceError, ServiceStats,
+        SubmitOptions, Ticket, WireClient, WireServer, DEFAULT_DATABASE,
     };
     pub use ppd_solvers::{
         ApproxSolver, BipartiteSolver, ExactSolver, GeneralSolver, MisAmpAdaptive, MisAmpLite,

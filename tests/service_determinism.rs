@@ -1,17 +1,21 @@
 //! The serving layer's determinism contract: for a fixed engine
 //! configuration, answers served through the `ppd_service` front-end are
 //! **bit-identical** to calling the `Engine` directly — regardless of batch
-//! window, arrival order, wave composition, or thread count.
+//! window, arrival order, wave composition, admission class, transport
+//! (in-process ticket or the JSON wire protocol), or thread count.
 //!
-//! The contract is what makes the serving layer safe to deploy: batching is
-//! purely a throughput optimization and can never change a result. It holds
-//! because every work unit's RNG seed and cache key derive from the unit's
-//! content alone, and the service adds no state of its own to the numbers.
+//! The contract is what makes the serving layer safe to deploy: batching,
+//! class priority, and the socket hop are purely operational concerns and
+//! can never change a result. It holds because every work unit's RNG seed
+//! and cache key derive from the unit's content alone, the service adds no
+//! state of its own to the numbers, and the wire codec round-trips floats
+//! with shortest-round-trip formatting.
 //!
 //! Equality below is `assert_eq!` on `f64`s — bitwise, no tolerance.
 
 use ppd::datagen::{polls_database, polls_q1_query, PollsConfig};
 use ppd::prelude::*;
+use std::sync::Arc;
 
 fn database() -> PpdDatabase {
     polls_database(&PollsConfig {
@@ -175,4 +179,108 @@ fn grouping_off_still_matches_direct_calls() {
     // Without grouping every request is its own unit and the cache is
     // bypassed; the service must still serve the same bits.
     pin_contract(EvalConfig::exact().without_grouping());
+}
+
+/// Answers the workload through one service with a per-request admission
+/// class, in workload order.
+fn classed_answers(db: &PpdDatabase, eval: &EvalConfig, class: AdmissionClass) -> Vec<Answer> {
+    let service = Service::new(
+        db.clone(),
+        ServiceConfig::new(eval.clone())
+            .with_max_batch(workload().len())
+            .with_max_wait(std::time::Duration::from_millis(50)),
+    );
+    let options = match class {
+        AdmissionClass::Interactive => SubmitOptions::interactive(),
+        AdmissionClass::Batch => SubmitOptions::batch(),
+    };
+    let tickets: Vec<Ticket> = workload()
+        .into_iter()
+        .map(|request| {
+            service
+                .submit_with(request, options.clone())
+                .expect("admitted")
+        })
+        .collect();
+    tickets
+        .into_iter()
+        .map(|t| t.wait().expect("query answers"))
+        .collect()
+}
+
+#[test]
+fn admission_class_never_changes_answer_bits() {
+    let db = database();
+    for eval in [EvalConfig::exact(), EvalConfig::approximate(60)] {
+        let direct = direct_answers(&db, &eval);
+        for class in [AdmissionClass::Interactive, AdmissionClass::Batch] {
+            assert_eq!(
+                classed_answers(&db, &eval, class),
+                direct,
+                "{} answers diverged from direct engine answers",
+                class.name()
+            );
+        }
+    }
+}
+
+/// Answers the workload through a wire client, alternating admission
+/// classes, with every request pipelined before the first receive — so
+/// responses genuinely stream back out of order and are re-matched by id.
+fn wire_answers(client: &mut WireClient) -> Vec<Answer> {
+    let ids: Vec<u64> = workload()
+        .iter()
+        .enumerate()
+        .map(|(i, request)| {
+            let options = if i % 2 == 0 {
+                SubmitOptions::interactive()
+            } else {
+                SubmitOptions::batch()
+            };
+            client.send(request, &options).expect("send frame")
+        })
+        .collect();
+    ids.into_iter()
+        .map(|id| client.recv(id).expect("query answers over the wire"))
+        .collect()
+}
+
+#[test]
+fn tcp_wire_answers_are_bit_identical_to_direct_engine_calls() {
+    let db = database();
+    for eval in [EvalConfig::exact(), EvalConfig::approximate(60)] {
+        let direct = direct_answers(&db, &eval);
+        let service = Arc::new(Service::new(db.clone(), ServiceConfig::new(eval.clone())));
+        let server = WireServer::bind_tcp("127.0.0.1:0", Arc::clone(&service)).expect("bind tcp");
+        let addr = server.local_addr().expect("tcp server has an address");
+        let mut client = WireClient::connect_tcp(addr).expect("connect");
+        assert_eq!(
+            wire_answers(&mut client),
+            direct,
+            "TCP wire answers diverged from direct engine answers"
+        );
+        drop(client);
+        server.shutdown();
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_answers_are_bit_identical_to_direct_engine_calls() {
+    let db = database();
+    let eval = EvalConfig::exact();
+    let direct = direct_answers(&db, &eval);
+    let path = std::env::temp_dir().join(format!("ppd-wire-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let service = Arc::new(Service::new(db, ServiceConfig::new(eval)));
+    let server = WireServer::bind_unix(&path, Arc::clone(&service)).expect("bind unix");
+    let mut client = WireClient::connect_unix(&path).expect("connect");
+    assert_eq!(
+        wire_answers(&mut client),
+        direct,
+        "Unix-socket answers diverged from direct engine answers"
+    );
+    drop(client);
+    server.shutdown();
+    assert!(!path.exists(), "shutdown unlinks the socket path");
 }

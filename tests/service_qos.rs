@@ -1,0 +1,232 @@
+//! QoS behaviour of the service front door: deadlines, cancellation, class
+//! priority, and multi-tenant routing — the behavioural half of the PR-6
+//! acceptance criteria (`service_determinism.rs` pins the bit-exactness
+//! half across classes and transports).
+
+use ppd::datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd::prelude::*;
+use std::time::Duration;
+
+fn database() -> PpdDatabase {
+    polls_database(&PollsConfig {
+        num_candidates: 6,
+        num_voters: 20,
+        seed: 2020,
+    })
+}
+
+fn pair_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("pair").prefer(
+        "Polls",
+        vec![Term::any(), Term::any()],
+        Term::val("cand0"),
+        Term::val("cand1"),
+    )
+}
+
+/// A service whose dispatcher holds every wave open long enough for the
+/// test to act (expire a deadline, drop a ticket) before evaluation starts.
+fn slow_window_service(db: &PpdDatabase, window: Duration) -> Service {
+    Service::new(
+        db.clone(),
+        ServiceConfig::new(EvalConfig::exact())
+            .with_max_batch(64)
+            .with_max_wait(window),
+    )
+}
+
+#[test]
+fn deadline_expiry_before_the_wave_resolves_without_blocking() {
+    let db = database();
+    let service = slow_window_service(&db, Duration::from_millis(300));
+    // Two co-waved queries: one with a deadline that will expire inside the
+    // batching window, one without.
+    let doomed = service
+        .submit_with(
+            Request::Boolean(pair_query()),
+            SubmitOptions::interactive().with_deadline(Duration::from_millis(5)),
+        )
+        .unwrap();
+    let survivor = service.submit(Request::Boolean(polls_q1_query())).unwrap();
+
+    std::thread::sleep(Duration::from_millis(20));
+    // The deadline has passed but the wave (300 ms window) has not run:
+    // the ticket must resolve immediately, not block until delivery.
+    let start = std::time::Instant::now();
+    assert_eq!(doomed.wait(), Err(ServiceError::DeadlineExceeded));
+    assert!(
+        start.elapsed() < Duration::from_millis(200),
+        "an expired ticket must not wait out the batching window"
+    );
+
+    // The co-waved survivor is untouched — bit-identical to a direct call.
+    let direct = Engine::new(EvalConfig::exact())
+        .evaluate_boolean(&db, &polls_q1_query())
+        .unwrap();
+    assert_eq!(survivor.wait(), Ok(Answer::Boolean(direct)));
+
+    let stats = service.shutdown();
+    assert_eq!(stats.answered, 1);
+    assert_eq!(
+        stats.expired, 1,
+        "the expired query is accounted as expired, not failed: {stats}"
+    );
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn dropping_a_ticket_cancels_without_poisoning_wave_mates() {
+    let db = database();
+    let service = slow_window_service(&db, Duration::from_millis(200));
+    let abandoned = service
+        .submit(Request::SessionProbabilities(pair_query()))
+        .unwrap();
+    let kept = service.submit(Request::Count(pair_query())).unwrap();
+    // Abandon the first request before its wave runs: its claim on the
+    // shared work units is released...
+    drop(abandoned);
+    // ...but the wave mate still needs those units and must get exact bits.
+    let direct = Engine::new(EvalConfig::exact())
+        .count_sessions(&db, &pair_query())
+        .unwrap();
+    assert_eq!(kept.wait(), Ok(Answer::Count(direct)));
+    let stats = service.shutdown();
+    assert_eq!(stats.answered, 1);
+    assert_eq!(stats.expired, 1, "the abandoned query counts as expired");
+}
+
+#[test]
+fn wait_timeout_polls_then_delivers() {
+    let db = database();
+    let service = slow_window_service(&db, Duration::from_millis(150));
+    let ticket = service.submit(Request::Boolean(pair_query())).unwrap();
+    // Still inside the batching window: a short poll sees nothing and the
+    // ticket stays live (no deadline — only an explicit one expires it).
+    assert!(ticket.wait_timeout(Duration::from_millis(10)).is_none());
+    // A poll long enough to outlive the window gets the answer.
+    let delivered = ticket
+        .wait_timeout(Duration::from_secs(30))
+        .expect("the wave must run within the poll");
+    let direct = Engine::new(EvalConfig::exact())
+        .evaluate_boolean(&db, &pair_query())
+        .unwrap();
+    assert_eq!(delivered, Ok(Answer::Boolean(direct)));
+}
+
+#[test]
+fn generous_deadlines_never_expire_answers() {
+    let db = database();
+    let service = Service::new(db.clone(), ServiceConfig::new(EvalConfig::exact()));
+    let ticket = service
+        .submit_with(
+            Request::Boolean(pair_query()),
+            SubmitOptions::batch().with_deadline(Duration::from_secs(60)),
+        )
+        .unwrap();
+    let direct = Engine::new(EvalConfig::exact())
+        .evaluate_boolean(&db, &pair_query())
+        .unwrap();
+    assert_eq!(ticket.wait(), Ok(Answer::Boolean(direct)));
+    let stats = service.shutdown();
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.answered, 1);
+}
+
+#[test]
+fn batch_flood_sheds_from_its_own_lane_while_interactive_admission_stays_open() {
+    let db = database();
+    let service = Service::new(
+        db,
+        ServiceConfig::new(EvalConfig::approximate(200).with_threads(1))
+            .with_max_queue(64)
+            .with_max_queue_batch(2)
+            .with_max_batch(1)
+            .with_max_wait(Duration::ZERO),
+    );
+    // Flood the batch lane far past its 2-deep bound.
+    let mut batch_tickets = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..12 {
+        match service.submit_with(Request::Count(pair_query()), SubmitOptions::batch()) {
+            Ok(t) => batch_tickets.push(t),
+            Err(ServiceError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(
+        shed >= 8,
+        "a 12-burst into a 2-deep lane must shed most of it"
+    );
+    // Interactive admission is untouched by the flooded batch lane.
+    let interactive = service
+        .submit(Request::Boolean(polls_q1_query()))
+        .expect("interactive lane unaffected by batch flood");
+    interactive.wait().expect("interactive query answers");
+    for ticket in batch_tickets {
+        ticket.wait().expect("admitted batch queries still answer");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.batch_rejected as usize, shed);
+    assert_eq!(stats.interactive_rejected, 0);
+    assert_eq!(stats.interactive_submitted, 1);
+}
+
+#[test]
+fn routing_isolates_tenants_under_one_admission_layer() {
+    let db_a = database();
+    let db_b = polls_database(&PollsConfig {
+        num_candidates: 6,
+        num_voters: 9,
+        seed: 4,
+    });
+    let q = pair_query();
+    let exact = EvalConfig::exact();
+    let expect_a = Engine::new(exact.clone())
+        .evaluate_boolean(&db_a, &q)
+        .unwrap();
+    let expect_b = Engine::new(exact.clone())
+        .evaluate_boolean(&db_b, &q)
+        .unwrap();
+    assert_ne!(expect_a.to_bits(), expect_b.to_bits());
+
+    let service = Service::with_databases(
+        vec![("a".into(), db_a), ("b".into(), db_b)],
+        ServiceConfig::new(exact)
+            .with_max_batch(8)
+            .with_max_wait(Duration::from_millis(50)),
+    );
+    // Interleave tenants and classes into what should coalesce into one
+    // wave; each answer must come from its own tenant's database.
+    let submits = [
+        ("a", SubmitOptions::interactive().on_database("a")),
+        ("b", SubmitOptions::batch().on_database("b")),
+        ("b", SubmitOptions::interactive().on_database("b")),
+        ("a", SubmitOptions::batch().on_database("a")),
+    ];
+    let tickets: Vec<(&str, Ticket)> = submits
+        .into_iter()
+        .map(|(tenant, options)| {
+            (
+                tenant,
+                service
+                    .submit_with(Request::Boolean(q.clone()), options)
+                    .unwrap(),
+            )
+        })
+        .collect();
+    for (tenant, ticket) in tickets {
+        let expected = if tenant == "a" { expect_a } else { expect_b };
+        assert_eq!(
+            ticket.wait(),
+            Ok(Answer::Boolean(expected)),
+            "tenant {tenant} got another tenant's bits"
+        );
+    }
+    assert!(matches!(
+        service.submit_with(
+            Request::Boolean(q),
+            SubmitOptions::interactive().on_database("zzz")
+        ),
+        Err(ServiceError::UnknownDatabase(_))
+    ));
+}

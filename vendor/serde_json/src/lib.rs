@@ -1,12 +1,20 @@
 //! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
-//! crate: a JSON [`Value`] tree, the [`json!`] construction macro, and
-//! [`to_string`] / [`to_string_pretty`] over `Value`.
+//! crate: a JSON [`Value`] tree, the [`json!`] construction macro,
+//! [`to_string`] / [`to_string_pretty`] over `Value`, and a [`from_str`]
+//! parser back into `Value`.
 //!
-//! This is enough for the experiment harnesses in `ppd_bench`, which build
-//! result records with `json!` and write them to disk. It is *not* a generic
-//! serializer: `to_string*` accept `&Value`, not arbitrary `T: Serialize`.
-//! Object keys are emitted sorted (objects are `BTreeMap`s), unlike the real
-//! crate's default insertion order.
+//! This is enough for the experiment harnesses in `ppd_bench` (which build
+//! result records with `json!` and write them to disk) and the wire
+//! protocol in `ppd_service` (which round-trips requests and answers as
+//! line-delimited JSON). It is *not* a generic serializer: `to_string*`
+//! accept `&Value`, not arbitrary `T: Serialize`. Object keys are emitted
+//! sorted (objects are `BTreeMap`s), unlike the real crate's default
+//! insertion order.
+//!
+//! Finite floats print with Rust's shortest-round-trip `{:?}` formatting
+//! and parse back with `str::parse::<f64>`, so a serialize → parse cycle
+//! restores the exact bits — the property the service's wire-determinism
+//! tests rely on.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -208,6 +216,78 @@ impl Value {
     }
 }
 
+impl Value {
+    /// The string slice, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            Value::Number(Number::UInt(u)) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::UInt(u)) => Some(*u),
+            Value::Number(Number::Int(i)) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`: floats verbatim, integers converted.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Float(x)) => Some(*x),
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::UInt(u)) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entry map, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|entries| entries.get(key))
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut out = String::new();
@@ -232,6 +312,252 @@ impl std::error::Error for Error {}
 /// Renders a [`Value`] as compact JSON.
 pub fn to_string(value: &Value) -> Result<String, Error> {
     Ok(value.to_string())
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// A straightforward recursive-descent parser over the full JSON grammar:
+/// objects, arrays, strings (with `\uXXXX` escapes including surrogate
+/// pairs), numbers, and the literals. Numbers without `.`/`e` parse as
+/// `Int` (or `UInt` when they exceed `i64`), everything else as `Float` via
+/// `str::parse::<f64>`, which restores the exact bits [`Number`]'s `{:?}`
+/// display produced. Trailing non-whitespace after the document is an
+/// error.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error(format!(
+                "unexpected character '{}' at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error(format!(
+                "invalid literal at byte {} (expected {literal})",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error("invalid low surrogate".into()));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(Error("unpaired surrogate".into()));
+                                }
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return Err(Error("invalid unicode escape".into())),
+                            }
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 continues unescaped: back up and take
+                    // the full char from the source slice.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error("invalid \\u escape".into()))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error(format!("invalid \\u{hex}")))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::Number(Number::Float(x))),
+            Err(_) => Err(Error(format!("invalid number '{text}'"))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
 }
 
 /// Renders a [`Value`] as two-space-indented JSON.
@@ -371,5 +697,61 @@ mod tests {
         assert_eq!(json!(3.5f64).to_string(), "3.5");
         assert_eq!(json!(f64::NAN).to_string(), "null");
         assert_eq!(json!(7u64).to_string(), "7");
+    }
+
+    #[test]
+    fn from_str_parses_the_grammar() {
+        let v = from_str(
+            r#"{"a": [1, -2, 3.5, 1e3], "b": "x\"\nA😀", "c": null,
+               "d": true, "e": false, "f": {"nested": []}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_i64(),
+            Some(-2)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(3.5)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[3].as_f64(),
+            Some(1000.0)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\"\nA😀"));
+        assert!(v.get("c").unwrap().is_null());
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("f").unwrap().get("nested").unwrap().as_array(),
+            Some(&[][..])
+        );
+        assert!(from_str("{\"a\": 1} trailing").is_err());
+        assert!(from_str("[1, ]").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn float_serialization_round_trips_bit_exactly() {
+        for &x in &[
+            0.1f64,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -0.0,
+            123456.789e-12,
+            0.6234898018587336,
+        ] {
+            let text = to_string(&Value::from(x)).unwrap();
+            let back = from_str(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+        // Large integers keep their exact representation too.
+        let text = to_string(&json!(u64::MAX)).unwrap();
+        assert_eq!(from_str(&text).unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(
+            from_str("-9007199254740993").unwrap().as_i64(),
+            Some(-9007199254740993)
+        );
     }
 }
