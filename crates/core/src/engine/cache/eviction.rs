@@ -57,6 +57,11 @@ impl CacheCapacity {
 const SLOT_OVERHEAD_BYTES: usize = 96;
 /// Estimated bytes per `(fingerprint, value)` entry within a slot.
 const ENTRY_BYTES: usize = 24;
+/// How many of the oldest slots byte-mode eviction considers before picking
+/// the cheapest-to-recompute among them (ties go to the oldest). A small
+/// window keeps victim selection `O(K log n)` while letting an expensive
+/// marginal outlive cheap neighbours that happen to be slightly younger.
+const EVICTION_SCAN: usize = 8;
 
 /// The values cached for one work-unit content hash, plus its LRU tick.
 #[derive(Debug)]
@@ -66,6 +71,11 @@ struct Slot {
     values: Vec<(SolverFingerprint, f64)>,
     /// The recency-index tick currently naming this slot.
     tick: u64,
+    /// Estimated cost (seconds of solver time) to recompute this slot's
+    /// values, as reported by the calibration layer at insert time. Only an
+    /// eviction weight: never persisted, never part of any answer. `0.0`
+    /// when unknown (e.g. snapshot-loaded entries).
+    cost: f64,
 }
 
 /// One independently locked partition of the marginal cache.
@@ -152,14 +162,30 @@ impl Shard {
     /// snapshot from a different code version) — `debug_assert` catches
     /// that in development, and release builds refuse to let cached answers
     /// mutate behind earlier readers.
+    #[cfg(test)]
     pub(crate) fn insert(
         &mut self,
         hash: u64,
         fingerprint: SolverFingerprint,
         probability: f64,
     ) -> u64 {
+        self.insert_costed(hash, fingerprint, probability, 0.0)
+    }
+
+    /// [`Shard::insert`] with a recompute-cost estimate attached to the
+    /// slot. The cost only weights byte-mode victim selection; a slot's cost
+    /// is the maximum reported across its inserts (re-solving the slot means
+    /// re-running its most expensive fingerprint's solver too).
+    pub(crate) fn insert_costed(
+        &mut self,
+        hash: u64,
+        fingerprint: SolverFingerprint,
+        probability: f64,
+        cost: f64,
+    ) -> u64 {
         match self.slots.get_mut(&hash) {
             Some(slot) => {
+                slot.cost = slot.cost.max(cost);
                 match slot.values.iter().find(|&&(f, _)| f == fingerprint) {
                     Some(&(_, existing)) => {
                         debug_assert_eq!(
@@ -185,6 +211,7 @@ impl Shard {
                     Slot {
                         values: vec![(fingerprint, probability)],
                         tick: self.tick,
+                        cost,
                     },
                 );
                 self.recency.insert(self.tick, hash);
@@ -194,19 +221,46 @@ impl Shard {
         self.evict_over_budget()
     }
 
-    /// Evicts least-recently-used slots until the shard fits its budget,
-    /// always retaining the most recently used slot. Returns entries
-    /// evicted.
+    /// Evicts slots until the shard fits its budget, always retaining the
+    /// most recently used slot. Returns entries evicted.
+    ///
+    /// Entries mode is pure LRU. Byte mode is cost-weighted LRU: among the
+    /// [`EVICTION_SCAN`] oldest slots, the one cheapest to recompute goes
+    /// first (ties to the oldest), so an expensive marginal survives cheap
+    /// neighbours of similar age. Either way eviction never changes
+    /// answers — an evicted unit re-solves to the same bits.
     fn evict_over_budget(&mut self) -> u64 {
         let Some(limit) = self.limit() else {
             return 0;
         };
+        let cost_weighted = matches!(self.budget, CacheCapacity::Bytes(_));
         let mut evicted = 0;
         while self.weight > limit && self.slots.len() > 1 {
-            let (_, victim) = self
+            let victim_tick = if cost_weighted {
+                // Scan the oldest slots, excluding the newest overall so the
+                // most recently used slot is never a candidate.
+                let candidates = EVICTION_SCAN.min(self.recency.len() - 1);
+                self.recency
+                    .iter()
+                    .take(candidates)
+                    .map(|(&tick, &hash)| (self.slots[&hash].cost, tick))
+                    .fold(None::<(f64, u64)>, |best, (cost, tick)| match best {
+                        Some((c, _)) if cost >= c => best,
+                        _ => Some((cost, tick)),
+                    })
+                    .expect("a non-empty shard has at least one candidate")
+                    .1
+            } else {
+                *self
+                    .recency
+                    .first_key_value()
+                    .expect("recency index tracks every slot")
+                    .0
+            };
+            let victim = self
                 .recency
-                .pop_first()
-                .expect("recency index tracks every slot");
+                .remove(&victim_tick)
+                .expect("victim tick is present");
             let slot = self.slots.remove(&victim).expect("victim slot exists");
             self.weight -= self.slot_overhead() + slot.values.len() * self.entry_weight();
             evicted += slot.values.len() as u64;
@@ -310,6 +364,38 @@ mod tests {
         );
         assert_eq!(shard.get(19, FP), Some(0.5));
         assert_eq!(shard.get(18, SolverFingerprint::GeneralExact), Some(0.25));
+    }
+
+    #[test]
+    fn byte_mode_eviction_prefers_cheap_victims() {
+        // Room for exactly two single-entry slots. An expensive old slot
+        // must outlive a cheap slightly-younger one when a third arrives.
+        let budget = 2 * (SLOT_OVERHEAD_BYTES + ENTRY_BYTES);
+        let mut shard = Shard::new(CacheCapacity::Bytes(budget));
+        shard.insert_costed(1, FP, 0.1, 5.0); // expensive, oldest
+        shard.insert_costed(2, FP, 0.2, 0.001); // cheap, younger
+        assert_eq!(shard.insert_costed(3, FP, 0.3, 1.0), 1);
+        assert_eq!(shard.get(2, FP), None, "the cheap slot is the victim");
+        assert_eq!(shard.get(1, FP), Some(0.1), "the expensive slot survives");
+        assert_eq!(shard.get(3, FP), Some(0.3));
+        // Equal costs fall back to plain LRU (oldest goes).
+        let mut lru = Shard::new(CacheCapacity::Bytes(budget));
+        lru.insert_costed(1, FP, 0.1, 1.0);
+        lru.insert_costed(2, FP, 0.2, 1.0);
+        lru.insert_costed(3, FP, 0.3, 1.0);
+        assert_eq!(lru.get(1, FP), None, "ties evict the oldest");
+        assert_eq!(lru.get(2, FP), Some(0.2));
+    }
+
+    #[test]
+    fn entries_mode_ignores_cost_and_stays_pure_lru() {
+        let mut shard = Shard::new(CacheCapacity::Entries(2));
+        shard.insert_costed(1, FP, 0.1, 100.0);
+        shard.insert_costed(2, FP, 0.2, 0.0);
+        shard.insert_costed(3, FP, 0.3, 0.0);
+        assert_eq!(shard.get(1, FP), None, "entries mode evicts by age only");
+        assert_eq!(shard.get(2, FP), Some(0.2));
+        assert_eq!(shard.get(3, FP), Some(0.3));
     }
 
     #[test]

@@ -78,6 +78,21 @@ pub(crate) enum SolverFingerprint {
         /// The engine's [`EvalConfig::seed`](crate::eval::EvalConfig::seed).
         base_seed: u64,
     },
+    /// The error-budgeted estimator (with exact fallback) under the given
+    /// `(ε, confidence)` target and engine base seed. The budget parameters
+    /// are stored as `f64::to_bits` so the fingerprint stays `Eq + Hash +
+    /// Ord`; two budgets whose floats differ in any bit are different
+    /// estimators. The seed matters for the same reason as in
+    /// [`SolverFingerprint::Approx`] — and also decides *whether the exact
+    /// fallback ran*, which is a pure function of `(content, budget, seed)`.
+    ErrorBudget {
+        /// `ε.to_bits()` of the target halfwidth.
+        epsilon_bits: u64,
+        /// `confidence.to_bits()` of the target coverage.
+        confidence_bits: u64,
+        /// The engine's [`EvalConfig::seed`](crate::eval::EvalConfig::seed).
+        base_seed: u64,
+    },
 }
 
 /// A Mallows model with lazily prepared derived state, shared by every work
@@ -132,6 +147,14 @@ pub struct CacheStats {
     pub marginals_saved: u64,
     /// Distinct models for which prepared state was built.
     pub models_prepared: u64,
+    /// Unit-cost lookups answered from an exact measured-time entry in the
+    /// calibration store.
+    pub calibration_hits: u64,
+    /// Unit-cost lookups that fell back to the per-bucket geomean or the
+    /// static formula (cold store).
+    pub calibration_misses: u64,
+    /// Wall-clock solve timings recorded into the calibration store.
+    pub calibration_recorded: u64,
 }
 
 impl CacheStats {
@@ -155,14 +178,17 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "marginals {} hit / {} solved ({:.1}% hit rate), {} evicted, {} loaded, {} saved; \
-             {} models prepared",
+             {} models prepared; calibration {} hit / {} miss, {} recorded",
             self.marginal_hits,
             self.marginal_misses,
             self.hit_rate() * 100.0,
             self.marginal_evictions,
             self.marginals_loaded,
             self.marginals_saved,
-            self.models_prepared
+            self.models_prepared,
+            self.calibration_hits,
+            self.calibration_misses,
+            self.calibration_recorded
         )
     }
 }

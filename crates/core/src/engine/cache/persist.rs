@@ -9,18 +9,22 @@
 //! via explicit `to_le_bytes`, and probabilities are stored as
 //! `f64::to_bits`, so round-trips are bit-exact across platforms.
 //!
-//! ## Format (version 1)
+//! ## Format (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"PPDMCACH"
-//! 8       4     format version, u32 LE (currently 1)
-//! 12      4     solver revision, u32 LE (currently 1)
+//! 8       4     format version, u32 LE (currently 2)
+//! 12      4     solver revision, u32 LE
 //! 16      8     entry count, u64 LE
-//! 24      33×n  entries, sorted by (hash, fingerprint tag, samples, seed):
-//!               hash u64 LE | tag u8 | samples u64 LE | seed u64 LE |
-//!               f64 bits u64 LE
+//! 24      41×n  entries, sorted by (hash, fingerprint):
+//!               hash u64 LE | tag u8 | aux_a u64 LE | aux_b u64 LE |
+//!               aux_c u64 LE | f64 bits u64 LE
 //! ```
+//!
+//! Version 2 widened each entry from two fingerprint payload fields to
+//! three (`aux_a..aux_c`) to accommodate the error-budget fingerprint;
+//! version-1 snapshots are rejected whole like any other layout mismatch.
 //!
 //! The **solver revision** versions the numeric semantics the way the
 //! format version versions the layout: any change that moves even
@@ -33,12 +37,13 @@
 //! mismatch rejects the snapshot whole, exactly like a layout mismatch.
 //!
 //! Fingerprint tags: `0` = auto-selected exact, `1` = inclusion–exclusion
-//! general exact, `2` = approximate, with its samples-per-proposal budget
-//! in the `samples` field and the engine base seed that produced the
-//! estimate in the `seed` field (both fields are zero for exact tags:
-//! exact marginals are seed-independent and valid under any engine
-//! configuration). Unknown tags and any size mismatch are load errors — a
-//! snapshot is either understood exactly or rejected, never half-read.
+//! general exact (all aux fields zero: exact marginals are seed-independent
+//! and valid under any engine configuration), `2` = approximate
+//! (`aux_a` = samples per proposal, `aux_b` = engine base seed, `aux_c` =
+//! 0), `3` = error-budgeted (`aux_a` = `ε.to_bits()`, `aux_b` =
+//! `confidence.to_bits()`, `aux_c` = engine base seed). Unknown tags and
+//! any size mismatch are load errors — a snapshot is either understood
+//! exactly or rejected, never half-read.
 //!
 //! Writes go to a sibling `*.tmp` file first and are renamed into place, so
 //! a crash mid-save cannot corrupt an existing snapshot.
@@ -51,7 +56,7 @@ use std::path::Path;
 /// Magic prefix of a marginal-cache snapshot.
 const MAGIC: [u8; 8] = *b"PPDMCACH";
 /// Current snapshot format version.
-pub(crate) const FORMAT_VERSION: u32 = 1;
+pub(crate) const FORMAT_VERSION: u32 = 2;
 /// Revision of the solvers' numeric semantics (see the module docs). Bump
 /// on any change that alters output bits; old snapshots then reload from
 /// scratch instead of serving stale numbers.
@@ -70,30 +75,47 @@ pub(crate) const SOLVER_REVISION: u32 = 3;
 /// count.
 const HEADER_BYTES: usize = 8 + 4 + 4 + 8;
 /// Fixed size of one serialized entry.
-const ENTRY_BYTES: usize = 8 + 1 + 8 + 8 + 8;
+const ENTRY_BYTES: usize = 8 + 1 + 8 + 8 + 8 + 8;
 
-/// The on-disk encoding of a fingerprint: `(tag, samples, seed)`.
-fn encode_fingerprint(fingerprint: SolverFingerprint) -> (u8, u64, u64) {
+/// The on-disk encoding of a fingerprint: `(tag, aux_a, aux_b, aux_c)`.
+/// Shared with the calibration store's snapshot format (`engine::calibrate`),
+/// which keys its entries by the same fingerprints.
+pub(crate) fn encode_fingerprint(fingerprint: SolverFingerprint) -> (u8, u64, u64, u64) {
     match fingerprint {
-        SolverFingerprint::ExactAuto => (0, 0, 0),
-        SolverFingerprint::GeneralExact => (1, 0, 0),
+        SolverFingerprint::ExactAuto => (0, 0, 0, 0),
+        SolverFingerprint::GeneralExact => (1, 0, 0, 0),
         SolverFingerprint::Approx {
             samples_per_proposal,
             base_seed,
-        } => (2, samples_per_proposal as u64, base_seed),
+        } => (2, samples_per_proposal as u64, base_seed, 0),
+        SolverFingerprint::ErrorBudget {
+            epsilon_bits,
+            confidence_bits,
+            base_seed,
+        } => (3, epsilon_bits, confidence_bits, base_seed),
     }
 }
 
-fn decode_fingerprint(tag: u8, samples: u64, seed: u64) -> io::Result<SolverFingerprint> {
-    match (tag, samples, seed) {
-        (0, 0, 0) => Ok(SolverFingerprint::ExactAuto),
-        (1, 0, 0) => Ok(SolverFingerprint::GeneralExact),
-        (2, s, seed) => Ok(SolverFingerprint::Approx {
-            samples_per_proposal: s as usize,
+pub(crate) fn decode_fingerprint(
+    tag: u8,
+    aux_a: u64,
+    aux_b: u64,
+    aux_c: u64,
+) -> io::Result<SolverFingerprint> {
+    match (tag, aux_a, aux_b, aux_c) {
+        (0, 0, 0, 0) => Ok(SolverFingerprint::ExactAuto),
+        (1, 0, 0, 0) => Ok(SolverFingerprint::GeneralExact),
+        (2, samples, seed, 0) => Ok(SolverFingerprint::Approx {
+            samples_per_proposal: samples as usize,
             base_seed: seed,
         }),
-        (0 | 1, ..) => Err(invalid(format!(
-            "exact fingerprint tag {tag} carries non-zero approximate fields"
+        (3, epsilon_bits, confidence_bits, base_seed) => Ok(SolverFingerprint::ErrorBudget {
+            epsilon_bits,
+            confidence_bits,
+            base_seed,
+        }),
+        (0..=2, ..) => Err(invalid(format!(
+            "solver fingerprint tag {tag} carries unexpected non-zero aux fields"
         ))),
         (t, ..) => Err(invalid(format!("unknown solver fingerprint tag {t}"))),
     }
@@ -113,11 +135,12 @@ pub(crate) fn save(cache: &MarginalCache, path: &Path) -> io::Result<u64> {
     bytes.extend_from_slice(&SOLVER_REVISION.to_le_bytes());
     bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     for &(hash, fingerprint, probability) in &entries {
-        let (tag, samples, seed) = encode_fingerprint(fingerprint);
+        let (tag, aux_a, aux_b, aux_c) = encode_fingerprint(fingerprint);
         bytes.extend_from_slice(&hash.to_le_bytes());
         bytes.push(tag);
-        bytes.extend_from_slice(&samples.to_le_bytes());
-        bytes.extend_from_slice(&seed.to_le_bytes());
+        bytes.extend_from_slice(&aux_a.to_le_bytes());
+        bytes.extend_from_slice(&aux_b.to_le_bytes());
+        bytes.extend_from_slice(&aux_c.to_le_bytes());
         bytes.extend_from_slice(&probability.to_bits().to_le_bytes());
     }
     // The scratch name must be unique per writer: `save` can run
@@ -191,12 +214,13 @@ fn parse(bytes: &[u8]) -> io::Result<Vec<(u64, SolverFingerprint, f64)>> {
     for record in bytes[HEADER_BYTES..].chunks_exact(ENTRY_BYTES) {
         let hash = u64::from_le_bytes(record[0..8].try_into().expect("8 bytes"));
         let tag = record[8];
-        let samples = u64::from_le_bytes(record[9..17].try_into().expect("8 bytes"));
-        let seed = u64::from_le_bytes(record[17..25].try_into().expect("8 bytes"));
-        let bits = u64::from_le_bytes(record[25..33].try_into().expect("8 bytes"));
+        let aux_a = u64::from_le_bytes(record[9..17].try_into().expect("8 bytes"));
+        let aux_b = u64::from_le_bytes(record[17..25].try_into().expect("8 bytes"));
+        let aux_c = u64::from_le_bytes(record[25..33].try_into().expect("8 bytes"));
+        let bits = u64::from_le_bytes(record[33..41].try_into().expect("8 bytes"));
         entries.push((
             hash,
-            decode_fingerprint(tag, samples, seed)?,
+            decode_fingerprint(tag, aux_a, aux_b, aux_c)?,
             f64::from_bits(bits),
         ));
     }
@@ -227,6 +251,15 @@ mod tests {
             },
             0.9999999999,
         );
+        cache.insert(
+            42,
+            SolverFingerprint::ErrorBudget {
+                epsilon_bits: 0.01f64.to_bits(),
+                confidence_bits: 0.95f64.to_bits(),
+                base_seed: 42,
+            },
+            0.333,
+        );
         cache
     }
 
@@ -234,12 +267,12 @@ mod tests {
     fn round_trip_is_bit_exact_and_deterministic() {
         let path = scratch("round-trip");
         let cache = populated();
-        assert_eq!(save(&cache, &path).unwrap(), 3);
-        assert_eq!(cache.saved(), 3);
+        assert_eq!(save(&cache, &path).unwrap(), 4);
+        assert_eq!(cache.saved(), 4);
 
         let restored = MarginalCache::new(4, CacheCapacity::Unbounded);
-        assert_eq!(load(&restored, &path).unwrap(), 3);
-        assert_eq!(restored.loaded(), 3);
+        assert_eq!(load(&restored, &path).unwrap(), 4);
+        assert_eq!(restored.loaded(), 4);
         let (a, b) = (cache.snapshot(), restored.snapshot());
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {

@@ -97,11 +97,25 @@ impl MarginalCache {
     }
 
     pub(crate) fn insert(&self, hash: u64, fingerprint: SolverFingerprint, probability: f64) {
+        self.insert_costed(hash, fingerprint, probability, 0.0);
+    }
+
+    /// Like [`MarginalCache::insert`], but also records the measured cost of
+    /// re-deriving the value (seconds of solver time). Byte-bounded shards
+    /// prefer evicting cheap slots; a zero cost means "unknown" and makes
+    /// the slot maximally evictable.
+    pub(crate) fn insert_costed(
+        &self,
+        hash: u64,
+        fingerprint: SolverFingerprint,
+        probability: f64,
+        cost: f64,
+    ) {
         let evicted = self
             .shard(hash)
             .lock()
             .expect("marginal cache shard poisoned")
-            .insert(hash, fingerprint, probability);
+            .insert_costed(hash, fingerprint, probability, cost);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }

@@ -72,12 +72,26 @@ pub(crate) fn unit_cost(union: &PatternUnion, m: usize, approx_budget: Option<us
             UnionClass::Bipartite => z * m.powi(4),
             // General solver: inclusion–exclusion over the 2^z member
             // subsets, each conjunction solved by a DP whose state space is
-            // exponential in the pattern's node count. Exponents are capped
-            // so the product stays finite in f64 — far above any cap, the
-            // order among "hopeless" units no longer matters.
+            // exponential in the pattern's node count — so the honest
+            // estimate is 2^(z + (nodes+1)·log₂ m), computed in log2 space.
+            // Exponents past BAND_START are squashed monotonically into a
+            // band below [`COST_CAP`]: the old hard caps (`nodes.min(24)`,
+            // `z.min(40)`) flattened every oversized unit to the same cost,
+            // so the scheduler ordered them by submission index instead of
+            // by size. The squash keeps them finite *and* strictly ordered.
             UnionClass::General => {
-                let nodes = union.total_nodes().min(24) as i32;
-                2f64.powf(z.min(40.0)) * m.powi(nodes + 1)
+                let nodes = union.total_nodes() as f64;
+                let log2_cost = z + (nodes + 1.0) * m.log2();
+                const BAND_START: f64 = 390.0;
+                const BAND_WIDTH: f64 = 8.0; // 2^398 < COST_CAP = 1e120
+                const BAND_SCALE: f64 = 64.0;
+                let exponent = if log2_cost <= BAND_START {
+                    log2_cost
+                } else {
+                    let x = (log2_cost - BAND_START) / BAND_SCALE;
+                    BAND_START + BAND_WIDTH * (x / (1.0 + x))
+                };
+                2f64.powf(exponent)
             }
         },
     })
@@ -159,6 +173,33 @@ mod tests {
         let cost = unit_cost(&chain_union(), usize::MAX / 4, Some(usize::MAX / 2));
         assert!(cost.is_finite());
         assert!(cost <= COST_CAP);
+    }
+
+    #[test]
+    fn hopeless_units_keep_a_strict_cost_order() {
+        // Units whose raw exponents exceed the squash band used to flatten
+        // to one capped cost, leaving the scheduler to order them by
+        // submission index. They must stay finite yet strictly ordered by
+        // size.
+        let chain = |n: usize| {
+            PatternUnion::singleton(
+                Pattern::new(
+                    (0..n).map(|i| sel(i as u32)).collect(),
+                    (0..n - 1).map(|i| (i, i + 1)).collect(),
+                )
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        let m = 1 << 20;
+        let a = unit_cost(&chain(30), m, None);
+        let b = unit_cost(&chain(40), m, None);
+        assert!(a.is_finite() && b.is_finite());
+        assert!(a <= COST_CAP && b <= COST_CAP);
+        assert!(
+            a < b,
+            "formerly-capped costs must still order by size: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! [`Engine::evaluate_batch`]) to benefit from the caches.
 
 mod cache;
+mod calibrate;
 mod cost;
 mod scheduler;
 mod unit;
@@ -42,11 +43,30 @@ use crate::topk::{self, SessionScore, TopKStats, TopKStrategy};
 use crate::translate::{ground_query, GroundedSessionQuery};
 use crate::{PpdError, Result};
 use cache::{MarginalCache, ModelCache, SolverFingerprint};
-use ppd_patterns::{Labeling, PatternUnion};
-use ppd_solvers::{GeneralSolver, MisAmpAdaptive, SolverKind};
+use calibrate::{BucketKey, CalibrationStore};
+use ppd_patterns::{Labeling, PatternUnion, UnionClass};
+use ppd_solvers::{
+    choose_exact_solver_with_budget, Budget, CancelProbe, GeneralSolver, MisAmpAdaptive,
+    MisAmpBudgeted, SolverKind,
+};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Entry bound of the calibration store (split across the cache shards).
+/// Generous — calibration entries are ~100 bytes, so the bound caps the
+/// store near 6 MiB while retaining far more timings than any wave needs.
+const CALIBRATION_CAPACITY: usize = 1 << 16;
+
+/// Static-cost threshold of error-budget solver selection: units whose
+/// *static* exact cost is at or under this run the exact DP (cheaper than
+/// any sampling run that could certify an `ε`), the rest run the budgeted
+/// estimator. The threshold deliberately reads the static formula, never
+/// measured timings, so which solver runs — hence the answer's bits — is a
+/// pure function of unit content and configuration, warm or cold
+/// calibration store alike.
+const EXACT_COST_THRESHOLD: f64 = 1e5;
 
 /// A request to solve one session's pattern union under a plan's labeling.
 /// Requests from different plans (hence different labelings) can be mixed in
@@ -65,6 +85,17 @@ struct Pending<'a> {
     union: PatternUnion,
     session: &'a Session,
     labeling: &'a Labeling,
+    /// The solver family that will produce this unit's number. Per-unit
+    /// because [`SolverChoice::ErrorBudget`] picks exact DP or the budgeted
+    /// sampler unit by unit (on the static cost alone).
+    fingerprint: SolverFingerprint,
+    /// The static cost estimate — a pure function of unit content and
+    /// configuration, used as the calibration baseline and the cold-store
+    /// scheduling cost.
+    static_cost: f64,
+    /// The calibration bucket measured timings of this unit generalize
+    /// into.
+    bucket: BucketKey,
 }
 
 /// Where a request's probability comes from after wave planning.
@@ -86,6 +117,26 @@ pub struct BatchAnswer {
     pub expected_count: f64,
 }
 
+/// One unsolved unit's cost picture as the planner sees it right now: the
+/// static formula next to the blended scheduling estimate. Returned by
+/// [`Engine::wave_cost_profile`] — introspection for benchmarks and
+/// capacity planning, never consulted on the answer path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveCostEstimate {
+    /// The unit's stable content hash — its cache and calibration address.
+    pub unit_hash: u64,
+    /// The static cost formula: a pure function of unit content and
+    /// configuration, dimensionless work units.
+    pub static_cost: f64,
+    /// The cost the scheduler would sort by right now: the measured solve
+    /// time in seconds on an exact calibration hit, the static cost under
+    /// a nominal seconds-per-cost constant (times the bucket's geomean
+    /// correction, when one exists) otherwise, and the raw static cost
+    /// with calibration off. Scales differ across those arms; only the
+    /// descending order matters, and it is what [`Engine`] runs waves in.
+    pub scheduling_cost: f64,
+}
+
 /// A reusable, thread-safe query-evaluation engine with cross-query caches.
 ///
 /// See the [module documentation](self) for the pipeline. All methods take
@@ -96,6 +147,7 @@ pub struct Engine {
     config: EvalConfig,
     marginals: MarginalCache,
     models: ModelCache,
+    calibration: CalibrationStore,
 }
 
 impl Engine {
@@ -104,10 +156,12 @@ impl Engine {
     /// lifetime, which is what keeps its caches coherent.
     pub fn new(config: EvalConfig) -> Self {
         let marginals = MarginalCache::new(config.cache_shards, config.cache_capacity);
+        let calibration = CalibrationStore::new(config.cache_shards, CALIBRATION_CAPACITY);
         Engine {
             config,
             marginals,
             models: ModelCache::default(),
+            calibration,
         }
     }
 
@@ -126,6 +180,9 @@ impl Engine {
             marginals_loaded: self.marginals.loaded(),
             marginals_saved: self.marginals.saved(),
             models_prepared: self.models.len() as u64,
+            calibration_hits: self.calibration.hits(),
+            calibration_misses: self.calibration.misses(),
+            calibration_recorded: self.calibration.recorded(),
         }
     }
 
@@ -164,11 +221,39 @@ impl Engine {
         self.marginals.len()
     }
 
-    /// Drops all cached marginals and prepared models (e.g. after swapping
-    /// the underlying database for one with different content).
+    /// Writes the calibration store (measured per-unit solve timings) to
+    /// `path` as a versioned, endian-stable snapshot and returns the number
+    /// of entries written. Like the marginal snapshot, the write is atomic
+    /// and a later [`Engine::load_calibration`] in any process warm-starts
+    /// cost estimates — affecting scheduling and eviction wall-clock only,
+    /// never answers.
+    pub fn save_calibration(&self, path: impl AsRef<Path>) -> Result<u64> {
+        calibrate::save(&self.calibration, path.as_ref())
+            .map_err(|e| PpdError::Persist(format!("save {}: {e}", path.as_ref().display())))
+    }
+
+    /// Warm-starts the calibration store from a snapshot written by
+    /// [`Engine::save_calibration`] and returns the number of entries read.
+    /// A corrupt or version-mismatched snapshot is rejected whole and the
+    /// store is left unchanged; a missing or rejected snapshot simply means
+    /// scheduling starts from the static cost formula.
+    pub fn load_calibration(&self, path: impl AsRef<Path>) -> Result<u64> {
+        calibrate::load(&self.calibration, path.as_ref())
+            .map_err(|e| PpdError::Persist(format!("load {}: {e}", path.as_ref().display())))
+    }
+
+    /// Number of measured unit timings currently retained.
+    pub fn calibrated_units(&self) -> usize {
+        self.calibration.len()
+    }
+
+    /// Drops all cached marginals, prepared models, and measured timings
+    /// (e.g. after swapping the underlying database for one with different
+    /// content).
     pub fn clear_caches(&self) {
         self.marginals.clear();
         self.models.clear();
+        self.calibration.clear();
     }
 
     /// The work units a query reduces to, without solving them — the
@@ -197,6 +282,52 @@ impl Engine {
             }
         }
         Ok(units)
+    }
+
+    /// The cost picture of the wave `query` would submit right now: one
+    /// [`WaveCostEstimate`] per deduplicated, cache-missed unit, pairing
+    /// the static formula with the blended scheduling estimate the
+    /// calibration store currently produces. Nothing is solved and no
+    /// timings are recorded; on a cold store (or with calibration off) the
+    /// two costs order identically, and after evaluation the same units
+    /// are marginal-cache hits and the profile is empty — profile first,
+    /// or use a fresh engine warm-started via [`Engine::load_calibration`].
+    pub fn wave_cost_profile(
+        &self,
+        db: &PpdDatabase,
+        query: &ConjunctiveQuery,
+    ) -> Result<Vec<WaveCostEstimate>> {
+        let plan = ground_query(db, query)?;
+        let prel = db
+            .preference_relation(&plan.prelation)
+            .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?;
+        let requests: Vec<UnitRequest<'_>> = plan
+            .sessions
+            .iter()
+            .map(|squery| UnitRequest {
+                session: &prel.sessions()[squery.session_index],
+                labeling: &plan.labeling,
+                union: &squery.union,
+            })
+            .collect();
+        let (pending, _) = self.plan_wave(&requests, false);
+        Ok(pending
+            .iter()
+            .map(|unit| WaveCostEstimate {
+                unit_hash: unit.hash,
+                static_cost: unit.static_cost,
+                scheduling_cost: if self.config.calibrate {
+                    self.calibration.cost_estimate(
+                        unit.hash,
+                        unit.fingerprint,
+                        unit.bucket,
+                        unit.static_cost,
+                    )
+                } else {
+                    unit.static_cost
+                },
+            })
+            .collect())
     }
 
     /// Computes, for every qualifying session, the probability that the
@@ -342,13 +473,21 @@ impl Engine {
     /// uncancelled run. `cancelled` is polled from worker threads and must be
     /// cheap (an atomic load, not a lock hierarchy); once it returns `true`
     /// for a query it must keep returning `true`.
+    ///
+    /// Cancellation is also checked **mid-solve**: each unit's exact DP
+    /// kernels poll a [`CancelProbe`] through their per-insertion-step
+    /// budget checks, and the probe fires once every dependent of the unit
+    /// has been delivered or cancelled — so a long-running solve whose last
+    /// waiter gives up is abandoned instead of running to completion.
+    /// Nothing is cached for an abandoned solve.
     pub fn evaluate_batch_streamed_cancellable(
         &self,
         db: &PpdDatabase,
         queries: &[ConjunctiveQuery],
-        cancelled: impl Fn(usize) -> bool + Sync,
+        cancelled: impl Fn(usize) -> bool + Send + Sync + 'static,
         deliver: impl Fn(usize, Result<BatchAnswer>) + Sync,
     ) {
+        let cancelled: Arc<dyn Fn(usize) -> bool + Send + Sync> = Arc::new(cancelled);
         // Ground every query up front; a query that cannot ground fails
         // alone, without poisoning its wave-mates.
         let mut planned: Vec<(usize, GroundedSessionQuery)> = Vec::new();
@@ -388,12 +527,14 @@ impl Engine {
             }
             spans.push((start, requests.len()));
         }
-        let fingerprint = self.fingerprint(false);
         let grouping = self.config.group_identical;
-        let (pending, sources) = self.plan_wave(&requests, fingerprint);
+        let (pending, sources) = self.plan_wave(&requests, false);
 
         // Per-query unit refcounts: how many *distinct* pending units each
-        // query still needs, and per unit, which queries wait on it.
+        // query still needs, and per unit, which queries wait on it. The
+        // dependents map and the original query indices are Arc-owned so
+        // the per-unit cancel probes (which outlive this stack frame from
+        // the borrow checker's point of view) can share them.
         let mut remaining: Vec<usize> = vec![0; with_prel.len()];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); pending.len()];
         for (qi, &(start, end)) in spans.iter().enumerate() {
@@ -411,6 +552,8 @@ impl Engine {
                 dependents[unit].push(qi);
             }
         }
+        let dependents = Arc::new(dependents);
+        let orig: Arc<Vec<usize>> = Arc::new(with_prel.iter().map(|&(orig, _)| orig).collect());
 
         // Assembles query `qi`'s answer from cached values and the solved
         // units recorded so far (callable only once all of them are in).
@@ -443,11 +586,11 @@ impl Engine {
             /// Whether the query's answer (or error) has been delivered.
             done: Vec<bool>,
         }
-        let tracker = Mutex::new(Tracker {
+        let tracker = Arc::new(Mutex::new(Tracker {
             values: vec![None; pending.len()],
             remaining,
             done: vec![false; with_prel.len()],
-        });
+        }));
 
         // Pre-wave sweep: queries already cancelled resolve `Cancelled`
         // without touching the pool, and queries fully served by the cache
@@ -476,7 +619,7 @@ impl Engine {
             }
         }
 
-        let order = self.wave_order(&pending, false);
+        let order = self.wave_order(&pending);
         scheduler::run_indexed_notify(
             order.len(),
             self.config.threads,
@@ -508,7 +651,25 @@ impl Engine {
                 if !live {
                     return (unit, None);
                 }
-                (unit, Some(self.solve_pending(&pending[unit], false)))
+                // Mid-solve cancellation: the probe fires once every
+                // dependent of this unit is delivered or cancelled, and the
+                // exact DP kernels poll it per insertion step.
+                let probe = {
+                    let tracker = Arc::clone(&tracker);
+                    let dependents = Arc::clone(&dependents);
+                    let orig = Arc::clone(&orig);
+                    let cancelled = Arc::clone(&cancelled);
+                    CancelProbe::new(move || {
+                        let t = tracker.lock().expect("streaming tracker poisoned");
+                        dependents[unit]
+                            .iter()
+                            .all(|&qi| t.done[qi] || cancelled(orig[qi]))
+                    })
+                };
+                (
+                    unit,
+                    Some(self.solve_pending(&pending[unit], false, Some(probe))),
+                )
             },
             |_slot, (unit, outcome)| {
                 let unit = *unit;
@@ -518,9 +679,14 @@ impl Engine {
                 let mut finished: Vec<(usize, Result<BatchAnswer>)> = Vec::new();
                 match outcome {
                     None => {} // skipped: every dependent cancelled or done
-                    Some(Ok(p)) => {
+                    Some(Ok((p, seconds))) => {
                         if grouping {
-                            self.marginals.insert(pending[unit].hash, fingerprint, *p);
+                            self.marginals.insert_costed(
+                                pending[unit].hash,
+                                pending[unit].fingerprint,
+                                *p,
+                                *seconds,
+                            );
                         }
                         let mut t = tracker.lock().expect("streaming tracker poisoned");
                         t.values[unit] = Some(*p);
@@ -570,27 +736,28 @@ impl Engine {
         requests: &[UnitRequest<'_>],
         force_exact: bool,
     ) -> Result<Vec<f64>> {
-        let fingerprint = self.fingerprint(force_exact);
         let grouping = self.config.group_identical;
-        let (pending, sources) = self.plan_wave(requests, fingerprint);
-        let order = self.wave_order(&pending, force_exact);
+        let (pending, sources) = self.plan_wave(requests, force_exact);
+        let order = self.wave_order(&pending);
         // Units are *executed* in cost order but *recorded* in unit order:
         // the pool pulls slots off the shared counter, so slot `s` runs
         // `pending[order[s]]`, and the results are scattered back.
-        let solved_by_slot: Vec<(usize, Result<f64>)> =
+        let solved_by_slot: Vec<(usize, Result<(f64, f64)>)> =
             scheduler::run_indexed(order.len(), self.config.threads, |slot| {
                 let unit = order[slot];
-                (unit, self.solve_pending(&pending[unit], force_exact))
+                (unit, self.solve_pending(&pending[unit], force_exact, None))
             });
-        let mut solved: Vec<Option<Result<f64>>> = (0..pending.len()).map(|_| None).collect();
+        let mut solved: Vec<Option<Result<(f64, f64)>>> =
+            (0..pending.len()).map(|_| None).collect();
         for (unit, outcome) in solved_by_slot {
             solved[unit] = Some(outcome);
         }
         let mut values = Vec::with_capacity(pending.len());
         for (unit, outcome) in pending.iter().zip(solved) {
-            let p = outcome.expect("every unit is scheduled exactly once")?;
+            let (p, seconds) = outcome.expect("every unit is scheduled exactly once")?;
             if grouping {
-                self.marginals.insert(unit.hash, fingerprint, p);
+                self.marginals
+                    .insert_costed(unit.hash, unit.fingerprint, p, seconds);
             }
             values.push(p);
         }
@@ -610,14 +777,25 @@ impl Engine {
     fn plan_wave<'a>(
         &self,
         requests: &[UnitRequest<'a>],
-        fingerprint: SolverFingerprint,
+        force_exact: bool,
     ) -> (Vec<Pending<'a>>, Vec<Source>) {
         let grouping = self.config.group_identical;
+        let approx_budget = match (&self.config.solver, force_exact) {
+            (
+                SolverChoice::Approximate {
+                    samples_per_proposal,
+                },
+                false,
+            ) => Some(*samples_per_proposal),
+            _ => None,
+        };
         let mut unit_of_key: HashMap<UnitKey, usize> = HashMap::new();
         let mut pending: Vec<Pending<'a>> = Vec::new();
         let mut sources: Vec<Source> = Vec::with_capacity(requests.len());
         for request in requests {
             let (key, order) = UnitKey::new(request.session, request.union, request.labeling);
+            let m = request.session.model().num_items();
+            let fingerprint = self.unit_fingerprint(request.union, m, force_exact);
             if grouping {
                 if let Some(&unit) = unit_of_key.get(&key) {
                     sources.push(Source::Unit(unit));
@@ -637,11 +815,19 @@ impl Engine {
             if grouping {
                 unit_of_key.insert(key, unit);
             }
+            let class = match request.union.classify() {
+                UnionClass::TwoLabel => 0u8,
+                UnionClass::Bipartite => 1,
+                UnionClass::General => 2,
+            };
             pending.push(Pending {
                 union: UnitKey::ordered_union(request.union, &order),
                 hash,
                 session: request.session,
                 labeling: request.labeling,
+                fingerprint,
+                static_cost: cost::unit_cost(request.union, m, approx_budget),
+                bucket: BucketKey::from_parts(class, m, fingerprint),
             });
             sources.push(Source::Unit(unit));
         }
@@ -649,24 +835,27 @@ impl Engine {
     }
 
     /// The wave's execution order: pending-unit indices sorted descending by
-    /// estimated solve cost (union class × model size × solver kind), so the
-    /// most expensive units start first and the wave tail shrinks. Execution
+    /// estimated solve cost, so the most expensive units start first and the
+    /// wave tail shrinks. With calibration on, each unit's cost is the
+    /// blended estimate (measured seconds on an exact key hit, else static ×
+    /// bucket geomean, else static); with it off — or on a cold store — the
+    /// static formula alone, in the same order it always produced. Execution
     /// order never affects results — seeds and cache keys are functions of
     /// unit content alone.
-    fn wave_order(&self, pending: &[Pending<'_>], force_exact: bool) -> Vec<usize> {
-        let approx_budget = match (&self.config.solver, force_exact) {
-            (
-                SolverChoice::Approximate {
-                    samples_per_proposal,
-                },
-                false,
-            ) => Some(*samples_per_proposal),
-            _ => None,
-        };
+    fn wave_order(&self, pending: &[Pending<'_>]) -> Vec<usize> {
         let costs: Vec<f64> = pending
             .iter()
             .map(|unit| {
-                cost::unit_cost(&unit.union, unit.session.model().num_items(), approx_budget)
+                if self.config.calibrate {
+                    self.calibration.cost_estimate(
+                        unit.hash,
+                        unit.fingerprint,
+                        unit.bucket,
+                        unit.static_cost,
+                    )
+                } else {
+                    unit.static_cost
+                }
             })
             .collect();
         cost::schedule_order(&costs)
@@ -674,42 +863,102 @@ impl Engine {
 
     /// Solves one pending unit: prepared-model lookup, solver selection, and
     /// a seeded solve whose result depends only on the unit's content and
-    /// the engine's base seed.
-    fn solve_pending(&self, unit: &Pending<'_>, force_exact: bool) -> Result<f64> {
+    /// the engine's base seed. Returns `(probability, measured seconds)`;
+    /// the timing is recorded into the calibration store (when calibration
+    /// is on) and becomes the marginal-cache eviction weight. An optional
+    /// [`CancelProbe`] is threaded into the exact DP kernels' budget checks
+    /// for mid-solve cancellation.
+    fn solve_pending(
+        &self,
+        unit: &Pending<'_>,
+        force_exact: bool,
+        probe: Option<CancelProbe>,
+    ) -> Result<(f64, f64)> {
         let prepared = self.models.get_or_insert(unit.session);
-        let kind = self.solver_kind(&unit.union, force_exact);
+        let kind = self.solver_kind(&unit.union, unit.fingerprint, force_exact, probe);
         let seed = UnitKey::seed_from_stable_hash(unit.hash, self.config.seed);
-        kind.solve_seeded(
+        let started = Instant::now();
+        let p = kind.solve_seeded(
             prepared.mallows(),
             || prepared.rim(),
             unit.labeling,
             &unit.union,
             seed,
-        )
-        .map_err(PpdError::from)
+        )?;
+        if self.config.calibrate {
+            let seconds = started.elapsed().as_secs_f64();
+            self.calibration.record(
+                unit.hash,
+                unit.fingerprint,
+                unit.bucket,
+                seconds,
+                unit.static_cost,
+            );
+            Ok((p, seconds))
+        } else {
+            Ok((p, 0.0))
+        }
     }
 
-    /// The solver handle for one unit, honouring `force_exact`.
-    fn solver_kind(&self, union: &PatternUnion, force_exact: bool) -> SolverKind {
+    /// The solver handle for one unit, honouring `force_exact` and — under
+    /// [`SolverChoice::ErrorBudget`] — the per-unit selection already
+    /// recorded in the unit's fingerprint. A supplied cancel probe rides
+    /// into the exact solvers' budgets; the sampling arms ignore it (their
+    /// rounds are short, and unit-granularity cancellation covers them).
+    fn solver_kind(
+        &self,
+        union: &PatternUnion,
+        fingerprint: SolverFingerprint,
+        force_exact: bool,
+        probe: Option<CancelProbe>,
+    ) -> SolverKind {
+        let exact_auto = |probe: Option<CancelProbe>| match probe {
+            Some(p) => SolverKind::exact(choose_exact_solver_with_budget(
+                union,
+                Budget::cancellable(p),
+            )),
+            None => SolverKind::exact_auto(union),
+        };
         if force_exact {
-            return SolverKind::exact_auto(union);
+            return exact_auto(probe);
         }
         match &self.config.solver {
-            SolverChoice::ExactAuto => SolverKind::exact_auto(union),
-            SolverChoice::GeneralExact => SolverKind::exact(Box::new(GeneralSolver::new())),
+            SolverChoice::ExactAuto => exact_auto(probe),
+            SolverChoice::GeneralExact => {
+                let solver = GeneralSolver::new();
+                let solver = match probe {
+                    Some(p) => solver.with_budget(Budget::cancellable(p)),
+                    None => solver,
+                };
+                SolverKind::exact(Box::new(solver))
+            }
             SolverChoice::Approximate {
                 samples_per_proposal,
             } => SolverKind::approx(Box::new(MisAmpAdaptive::new(*samples_per_proposal))),
+            SolverChoice::ErrorBudget(budget) => match fingerprint {
+                SolverFingerprint::ErrorBudget { .. } => {
+                    SolverKind::budgeted(MisAmpBudgeted::new(budget.epsilon, budget.confidence))
+                }
+                _ => exact_auto(probe),
+            },
         }
     }
 
-    /// The cache discriminant for the algorithm producing the numbers.
-    /// `force_exact` always means the auto-selected exact solver (that is
-    /// what [`Engine::solver_kind`] dispatches), which matches the
-    /// `ExactAuto` configuration but must *not* alias with `GeneralExact`:
-    /// the two exact algorithms differ in low-order float bits, and a
-    /// relaxed upper-bound union can be content-identical to the full union.
-    fn fingerprint(&self, force_exact: bool) -> SolverFingerprint {
+    /// The cache discriminant for the solver that will produce one unit's
+    /// number. `force_exact` always means the auto-selected exact solver,
+    /// which matches the `ExactAuto` configuration but must *not* alias
+    /// with `GeneralExact`: the two exact algorithms differ in low-order
+    /// float bits, and a relaxed upper-bound union can be content-identical
+    /// to the full union. Under [`SolverChoice::ErrorBudget`] the
+    /// fingerprint is per unit: the *static* exact cost decides between
+    /// exact DP and the budgeted sampler — a pure function of content and
+    /// configuration, so selection is identical warm or cold.
+    fn unit_fingerprint(
+        &self,
+        union: &PatternUnion,
+        m: usize,
+        force_exact: bool,
+    ) -> SolverFingerprint {
         if force_exact {
             return SolverFingerprint::ExactAuto;
         }
@@ -722,6 +971,17 @@ impl Engine {
                 samples_per_proposal: *samples_per_proposal,
                 base_seed: self.config.seed,
             },
+            SolverChoice::ErrorBudget(budget) => {
+                if cost::unit_cost(union, m, None) <= EXACT_COST_THRESHOLD {
+                    SolverFingerprint::ExactAuto
+                } else {
+                    SolverFingerprint::ErrorBudget {
+                        epsilon_bits: budget.epsilon.to_bits(),
+                        confidence_bits: budget.confidence.to_bits(),
+                        base_seed: self.config.seed,
+                    }
+                }
+            }
         }
     }
 }
@@ -1016,6 +1276,53 @@ mod tests {
             .most_probable_sessions(&db, &q, 3, strategy)
             .unwrap();
         assert_eq!(grouped, ungrouped);
+    }
+
+    #[test]
+    fn wave_cost_profile_reflects_calibration_state() {
+        let db = polling_database();
+        // Cold store: every pending unit's scheduling cost is the static
+        // cost rescaled by the nominal constant, so the two columns order
+        // identically.
+        let cold = Engine::new(EvalConfig::exact());
+        let profile = cold.wave_cost_profile(&db, &q1()).unwrap();
+        assert!(!profile.is_empty());
+        let static_order =
+            cost::schedule_order(&profile.iter().map(|u| u.static_cost).collect::<Vec<_>>());
+        let sched_order = cost::schedule_order(
+            &profile
+                .iter()
+                .map(|u| u.scheduling_cost)
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            static_order, sched_order,
+            "cold store must keep static order"
+        );
+
+        // After evaluation the units are cache hits — the profile drains.
+        cold.session_probabilities(&db, &q1()).unwrap();
+        assert!(cold.wave_cost_profile(&db, &q1()).unwrap().is_empty());
+
+        // A fresh engine warm-started from the snapshot reports measured
+        // seconds for every unit the warm engine solved.
+        let dir = std::env::temp_dir().join(format!("ppd-wave-profile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("calibration.bin");
+        cold.save_calibration(&path).unwrap();
+        let warm = Engine::new(EvalConfig::exact());
+        warm.load_calibration(&path).unwrap();
+        let warm_profile = warm.wave_cost_profile(&db, &q1()).unwrap();
+        assert_eq!(warm_profile.len(), profile.len());
+        for (c, w) in profile.iter().zip(&warm_profile) {
+            assert_eq!(c.unit_hash, w.unit_hash);
+            assert_eq!(c.static_cost, w.static_cost, "static cost is content-pure");
+            assert!(
+                w.scheduling_cost > 0.0 && w.scheduling_cost.is_finite(),
+                "warm estimate must be a measured positive duration"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,6 +8,18 @@ use crate::query::ConjunctiveQuery;
 use crate::translate::GroundedSessionQuery;
 use crate::Result;
 
+/// An accuracy target for [`SolverChoice::ErrorBudget`]: the per-unit
+/// marginal must land within `±epsilon` of the exact value at the given
+/// confidence level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Target half-width of the confidence interval (absolute probability
+    /// error). Must be positive.
+    pub epsilon: f64,
+    /// Coverage of the interval, in `(0, 1)` (e.g. `0.95`).
+    pub confidence: f64,
+}
+
 /// Which inference engine to use for the per-session marginal probabilities.
 #[derive(Debug, Clone)]
 pub enum SolverChoice {
@@ -23,6 +35,16 @@ pub enum SolverChoice {
         /// Samples drawn from each proposal distribution per round.
         samples_per_proposal: usize,
     },
+    /// Pick per unit between exact DP and the error-budgeted sampler: units
+    /// whose *static* cost estimate is below a fixed threshold are solved
+    /// exactly (the DP is cheaper than any sampling run that could certify
+    /// `ε`), the rest run the budgeted MIS-AMP estimator, which doubles its
+    /// sample count until the compensated confidence interval closes to
+    /// `±epsilon` — and falls back to exact when it cannot. The selection
+    /// thresholds the *static* formula, never measured timings, so which
+    /// solver runs — hence the answer's bits — is a pure function of unit
+    /// content and configuration, warm or cold calibration store alike.
+    ErrorBudget(ErrorBudget),
 }
 
 /// Configuration of query evaluation.
@@ -57,6 +79,13 @@ pub struct EvalConfig {
     /// results — an evicted unit is re-solved to the same bits on next
     /// demand.
     pub cache_capacity: CacheCapacity,
+    /// Whether the engine records each work unit's measured solve time and
+    /// feeds the calibrated cost back into wave ordering and byte-mode
+    /// eviction weights. Calibration steers *wall-clock only*: seeds,
+    /// cache keys, and solver selection stay pure functions of content, so
+    /// answers are bit-identical with calibration on or off, warm or cold.
+    /// Default: `true`.
+    pub calibrate: bool,
 }
 
 impl Default for EvalConfig {
@@ -68,6 +97,7 @@ impl Default for EvalConfig {
             threads: 0,
             cache_shards: 16,
             cache_capacity: CacheCapacity::Unbounded,
+            calibrate: true,
         }
     }
 }
@@ -86,6 +116,26 @@ impl EvalConfig {
             },
             ..EvalConfig::default()
         }
+    }
+
+    /// Error-budgeted evaluation: each unit is answered within `±epsilon`
+    /// at the given confidence, by exact DP or by the budgeted sampler —
+    /// whichever the static cost model predicts is cheaper.
+    pub fn error_budget(epsilon: f64, confidence: f64) -> Self {
+        EvalConfig {
+            solver: SolverChoice::ErrorBudget(ErrorBudget {
+                epsilon,
+                confidence,
+            }),
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Disables measured-cost calibration: wave ordering and eviction
+    /// weights use the static cost formula only. Answers are unaffected.
+    pub fn without_calibration(mut self) -> Self {
+        self.calibrate = false;
+        self
     }
 
     /// Disables grouping of identical (model, union) requests.

@@ -52,11 +52,12 @@ pub mod value;
 pub use count::count_sessions;
 pub use database::{DatabaseBuilder, PpdDatabase};
 pub use engine::{
-    BatchAnswer, CacheCapacity, CacheStats, Engine, PreparedModel, UnitKey, WorkUnit,
+    BatchAnswer, CacheCapacity, CacheStats, Engine, PreparedModel, UnitKey, WaveCostEstimate,
+    WorkUnit,
 };
 pub use eval::{
-    evaluate_boolean, session_probabilities, session_probabilities_for_plan, EvalConfig,
-    SolverChoice,
+    evaluate_boolean, session_probabilities, session_probabilities_for_plan, ErrorBudget,
+    EvalConfig, SolverChoice,
 };
 pub use query::{CompareOp, Comparison, ConjunctiveQuery, PreferenceAtom, RelationAtom, Term};
 pub use relation::Relation;
@@ -126,7 +127,12 @@ impl From<RimError> for PpdError {
 
 impl From<SolverError> for PpdError {
     fn from(e: SolverError) -> Self {
-        PpdError::Solver(e)
+        match e {
+            // A cancel probe firing mid-solve is the same caller decision
+            // as cancelling before the solve started.
+            SolverError::Cancelled => PpdError::Cancelled,
+            other => PpdError::Solver(other),
+        }
     }
 }
 

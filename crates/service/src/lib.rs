@@ -51,11 +51,20 @@
 //!   deduplicated work units (the paper's Section 6.4 grouping applied
 //!   *between* clients), and each ticket resolves as soon as the last unit
 //!   *its* query needs completes.
+//! * **Per-request error budgets** ([`SubmitOptions::with_error_budget`],
+//!   wire fields `epsilon`/`confidence`): a request may override its
+//!   tenant's solver with an accuracy target — each per-unit marginal lands
+//!   within `±ε` at the given confidence, by exact DP or the budgeted
+//!   sampler, whichever the static cost model predicts is cheaper.
+//!   Bit-identical budgets share one lazily created engine per tenant, so
+//!   their caches warm across requests.
 //! * **Wire protocol** ([`WireServer`] / [`WireClient`]): line-delimited
 //!   JSON over TCP or Unix sockets, one object per line, answers streamed
 //!   out of order and matched by id. Floats cross the socket bit-exactly
 //!   (shortest-round-trip formatting), so remote answers are bit-identical
-//!   to in-process ones.
+//!   to in-process ones. A `{"kind": "stats"}` control frame
+//!   ([`WireClient::stats`]) returns the [`ServiceStats`] snapshot plus
+//!   per-tenant cache/calibration counters as a [`WireStatsReport`].
 //! * **Graceful shutdown + stats** ([`Service::shutdown`],
 //!   [`ServiceStats`]): shutdown drains every admitted query; the stats
 //!   snapshot reports per-class admission counters, queue depths, wave
@@ -82,4 +91,4 @@ pub use config::ServiceConfig;
 pub use request::{AdmissionClass, Answer, Request, ServiceError, SubmitOptions, Ticket};
 pub use service::{Service, DEFAULT_DATABASE};
 pub use stats::ServiceStats;
-pub use wire::{WireClient, WireServer};
+pub use wire::{WireClient, WireServer, WireStatsReport};

@@ -3,7 +3,7 @@
 //! [`Ticket`]), and how things fail ([`ServiceError`]).
 
 use crate::deadline::CancelToken;
-use ppd_core::{ConjunctiveQuery, PpdError, SessionScore, TopKStrategy};
+use ppd_core::{ConjunctiveQuery, ErrorBudget, PpdError, SessionScore, TopKStrategy};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -92,6 +92,13 @@ pub struct SubmitOptions {
     /// resolves [`ServiceError::DeadlineExceeded`] and the service abandons
     /// any work only this request needed.
     pub deadline: Option<Duration>,
+    /// Accuracy target overriding the tenant's configured solver: each
+    /// per-unit marginal is answered within `±epsilon` at the given
+    /// confidence, by exact DP or the budgeted sampler — whichever the
+    /// static cost model predicts is cheaper. Requests carrying the same
+    /// bit-identical budget share one engine (and its caches) per tenant;
+    /// `None` uses the tenant's configured solver.
+    pub error_budget: Option<ErrorBudget>,
 }
 
 impl SubmitOptions {
@@ -117,6 +124,16 @@ impl SubmitOptions {
     /// Sets the deadline, measured from submission.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Answers this request within `±epsilon` at the given confidence (see
+    /// [`SubmitOptions::error_budget`]).
+    pub fn with_error_budget(mut self, epsilon: f64, confidence: f64) -> Self {
+        self.error_budget = Some(ErrorBudget {
+            epsilon,
+            confidence,
+        });
         self
     }
 }
@@ -395,10 +412,19 @@ mod tests {
     fn submit_options_compose() {
         let options = SubmitOptions::batch()
             .on_database("polls")
-            .with_deadline(Duration::from_millis(100));
+            .with_deadline(Duration::from_millis(100))
+            .with_error_budget(0.01, 0.95);
         assert_eq!(options.class, AdmissionClass::Batch);
         assert_eq!(options.database.as_deref(), Some("polls"));
         assert_eq!(options.deadline, Some(Duration::from_millis(100)));
+        assert_eq!(
+            options.error_budget,
+            Some(ErrorBudget {
+                epsilon: 0.01,
+                confidence: 0.95
+            })
+        );
+        assert_eq!(SubmitOptions::default().error_budget, None);
         assert_eq!(
             SubmitOptions::interactive().class,
             AdmissionClass::Interactive

@@ -12,14 +12,54 @@
 //! before anything is queued.
 
 use crate::request::ServiceError;
-use ppd_core::{Engine, EvalConfig, PpdDatabase};
-use std::collections::HashMap;
+use ppd_core::{Engine, ErrorBudget, EvalConfig, PpdDatabase, SolverChoice};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// One database and the engine dedicated to it.
 pub(crate) struct Tenant {
     pub(crate) id: String,
     pub(crate) db: PpdDatabase,
     pub(crate) engine: Engine,
+    /// The tenant's base evaluation configuration, kept so per-request
+    /// error-budget engines inherit everything except the solver choice.
+    eval: EvalConfig,
+    /// Lazily created engines for requests that override the solver with an
+    /// [`ErrorBudget`], keyed by `(epsilon.to_bits(), confidence.to_bits())`
+    /// so bit-identical budgets share one engine (and its caches) while
+    /// distinct budgets — which legitimately produce different answer bits —
+    /// never share a marginal-cache keyspace with the base engine.
+    budget_engines: Mutex<BTreeMap<(u64, u64), Arc<Engine>>>,
+}
+
+impl Tenant {
+    /// The engine that serves requests carrying `budget`: created on first
+    /// sight of that exact `(ε, confidence)` pair, reused afterwards so its
+    /// marginal and calibration caches warm up across requests.
+    pub(crate) fn budget_engine(&self, budget: ErrorBudget) -> Arc<Engine> {
+        let key = (budget.epsilon.to_bits(), budget.confidence.to_bits());
+        let mut engines = self
+            .budget_engines
+            .lock()
+            .expect("budget engine registry poisoned");
+        Arc::clone(engines.entry(key).or_insert_with(|| {
+            let mut eval = self.eval.clone();
+            eval.solver = SolverChoice::ErrorBudget(budget);
+            Arc::new(Engine::new(eval))
+        }))
+    }
+
+    /// Cache counters over *all* of this tenant's engines: the base engine
+    /// plus every budget engine spawned so far.
+    pub(crate) fn engine_cache_stats(&self) -> Vec<ppd_core::CacheStats> {
+        let mut all = vec![self.engine.cache_stats()];
+        let engines = self
+            .budget_engines
+            .lock()
+            .expect("budget engine registry poisoned");
+        all.extend(engines.values().map(|engine| engine.cache_stats()));
+        all
+    }
 }
 
 /// The tenant registry: id → engine/database, fixed at service start.
@@ -49,6 +89,8 @@ impl Router {
                 id,
                 db,
                 engine: Engine::new(eval.clone()),
+                eval: eval.clone(),
+                budget_engines: Mutex::new(BTreeMap::new()),
             });
         }
         assert!(!tenants.is_empty(), "a service needs at least one database");
@@ -105,6 +147,29 @@ mod tests {
         ));
         assert_eq!(router.tenants().len(), 2);
         assert_eq!(router.tenant(1).id, "b");
+    }
+
+    #[test]
+    fn budget_engines_are_created_once_per_distinct_budget() {
+        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact());
+        let tenant = router.tenant(0);
+        let budget = ErrorBudget {
+            epsilon: 0.01,
+            confidence: 0.95,
+        };
+        let first = tenant.budget_engine(budget);
+        let again = tenant.budget_engine(budget);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "bit-identical budgets share one engine"
+        );
+        let other = tenant.budget_engine(ErrorBudget {
+            epsilon: 0.05,
+            confidence: 0.95,
+        });
+        assert!(!Arc::ptr_eq(&first, &other), "distinct budgets do not");
+        // Base engine + two budget engines.
+        assert_eq!(tenant.engine_cache_stats().len(), 3);
     }
 
     #[test]

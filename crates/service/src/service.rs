@@ -9,7 +9,9 @@ use crate::request::{
 };
 use crate::router::{Router, Tenant};
 use crate::stats::{DeliveryKind, ServiceStats, StatsCollector};
-use ppd_core::{BatchAnswer, CacheStats, ConjunctiveQuery, Engine, PpdDatabase, PpdError};
+use ppd_core::{
+    BatchAnswer, CacheStats, ConjunctiveQuery, Engine, ErrorBudget, PpdDatabase, PpdError,
+};
 use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -40,6 +42,7 @@ struct Job {
     tenant: usize,
     request: Request,
     class: AdmissionClass,
+    budget: Option<ErrorBudget>,
     submitted: Instant,
     cancel: CancelToken,
     reply: ReplySink,
@@ -152,6 +155,7 @@ impl Service {
             tenant,
             request,
             class: options.class,
+            budget: options.error_budget,
             submitted: Instant::now(),
             cancel: cancel.clone(),
             reply,
@@ -182,13 +186,18 @@ impl Service {
     fn aggregate_cache_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for tenant in self.inner.router.tenants() {
-            let stats = tenant.engine.cache_stats();
-            total.marginal_hits += stats.marginal_hits;
-            total.marginal_misses += stats.marginal_misses;
-            total.marginal_evictions += stats.marginal_evictions;
-            total.marginals_loaded += stats.marginals_loaded;
-            total.marginals_saved += stats.marginals_saved;
-            total.models_prepared += stats.models_prepared;
+            // Base engine plus every per-budget engine this tenant spawned.
+            for stats in tenant.engine_cache_stats() {
+                total.marginal_hits += stats.marginal_hits;
+                total.marginal_misses += stats.marginal_misses;
+                total.marginal_evictions += stats.marginal_evictions;
+                total.marginals_loaded += stats.marginals_loaded;
+                total.marginals_saved += stats.marginals_saved;
+                total.models_prepared += stats.models_prepared;
+                total.calibration_hits += stats.calibration_hits;
+                total.calibration_misses += stats.calibration_misses;
+                total.calibration_recorded += stats.calibration_recorded;
+            }
         }
         total
     }
@@ -288,23 +297,36 @@ fn dispatch_loop(inner: &Inner) {
     }
 }
 
-/// Executes one wave. Jobs are grouped by `(tenant, class)` — each group is
-/// one engine batch against its tenant's database — and the groups run
-/// interactive-before-batch within each tenant, tenants in registration
-/// order. Running the interactive sub-batch as its own engine wave (rather
-/// than mixing classes into one cost-ordered wave) is what makes the
-/// priority real: every interactive answer is delivered before the first
-/// batch unit starts.
+/// Executes one wave. Jobs are grouped by `(tenant, class, error budget)` —
+/// each group is one engine batch against its tenant's database — and the
+/// groups run interactive-before-batch within each tenant, tenants in
+/// registration order, budget-less jobs before budgeted ones within a lane.
+/// Running the interactive sub-batch as its own engine wave (rather than
+/// mixing classes into one cost-ordered wave) is what makes the priority
+/// real: every interactive answer is delivered before the first batch unit
+/// starts. Grouping by budget bits keeps each engine batch homogeneous in
+/// solver choice, so co-batched queries still share deduplicated work units.
 fn run_wave(inner: &Inner, wave: Vec<Job>) {
-    let mut groups: BTreeMap<(usize, usize), Vec<Job>> = BTreeMap::new();
+    type GroupKey = (usize, usize, Option<(u64, u64)>);
+    let mut groups: BTreeMap<GroupKey, Vec<Job>> = BTreeMap::new();
     for job in wave {
+        let budget_bits = job
+            .budget
+            .map(|b| (b.epsilon.to_bits(), b.confidence.to_bits()));
         groups
-            .entry((job.tenant, job.class.lane()))
+            .entry((job.tenant, job.class.lane(), budget_bits))
             .or_default()
             .push(job);
     }
-    for ((tenant, _), jobs) in groups {
-        run_group(inner, inner.router.tenant(tenant), jobs);
+    for ((tenant, _, _), jobs) in groups {
+        let tenant = inner.router.tenant(tenant);
+        match jobs[0].budget {
+            None => run_group(inner, tenant, &tenant.engine, jobs),
+            Some(budget) => {
+                let engine = tenant.budget_engine(budget);
+                run_group(inner, tenant, &engine, jobs);
+            }
+        }
     }
 }
 
@@ -313,7 +335,7 @@ fn run_wave(inner: &Inner, wave: Vec<Job>) {
 /// cancellable streamed batch — sharing deduplicated work units and
 /// delivering each answer the moment its units finish — and top-k queries
 /// follow one by one on the same warm engine.
-fn run_group(inner: &Inner, tenant: &Tenant, jobs: Vec<Job>) {
+fn run_group(inner: &Inner, tenant: &Tenant, engine: &Engine, jobs: Vec<Job>) {
     let mut batched: Vec<Mutex<Option<Job>>> = Vec::new();
     let mut batched_queries: Vec<ConjunctiveQuery> = Vec::new();
     let mut cancels: Vec<CancelToken> = Vec::new();
@@ -330,10 +352,12 @@ fn run_group(inner: &Inner, tenant: &Tenant, jobs: Vec<Job>) {
     }
 
     if !batched_queries.is_empty() {
-        tenant.engine.evaluate_batch_streamed_cancellable(
+        engine.evaluate_batch_streamed_cancellable(
             &tenant.db,
             &batched_queries,
-            |qi| cancels[qi].is_cancelled(),
+            // `move` satisfies the engine's `'static` bound (the probe now
+            // reaches exact DP kernels mid-solve); the tokens are Arc-backed.
+            move |qi| cancels[qi].is_cancelled(),
             |qi, outcome| {
                 // Exactly-once per query, possibly from an engine worker
                 // thread — the hand-off below is all that happens here.
@@ -369,8 +393,7 @@ fn run_group(inner: &Inner, tenant: &Tenant, jobs: Vec<Job>) {
         let Request::TopK { query, k, strategy } = &job.request else {
             unreachable!("only top-k jobs are deferred past the streamed batch");
         };
-        let delivery = tenant
-            .engine
+        let delivery = engine
             .most_probable_sessions(&tenant.db, query, *k, *strategy)
             .map(|(scores, _stats)| Answer::TopK(scores))
             .map_err(ServiceError::Eval);
@@ -537,6 +560,40 @@ mod tests {
             ),
             Err(ServiceError::UnknownDatabase(_))
         ));
+    }
+
+    #[test]
+    fn error_budget_requests_match_a_dedicated_engine_bitwise() {
+        let db = tiny_db();
+        let q = polls_q1_query();
+        let service = Service::new(db.clone(), ServiceConfig::new(EvalConfig::exact()));
+        let budgeted = service
+            .submit_with(
+                Request::Boolean(q.clone()),
+                SubmitOptions::interactive().with_error_budget(0.05, 0.9),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let direct = Engine::new(EvalConfig::error_budget(0.05, 0.9))
+            .evaluate_boolean(&db, &q)
+            .unwrap();
+        assert_eq!(
+            budgeted,
+            Answer::Boolean(direct),
+            "a per-request budget must answer exactly like a dedicated \
+             error-budget engine"
+        );
+        // The budget-less path through the same service is untouched.
+        let exact = service
+            .submit(Request::Boolean(q.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let direct_exact = Engine::new(EvalConfig::exact())
+            .evaluate_boolean(&db, &q)
+            .unwrap();
+        assert_eq!(exact, Answer::Boolean(direct_exact));
     }
 
     #[test]

@@ -29,8 +29,10 @@
 
 use crate::request::{AdmissionClass, Answer, Delivery, Request, ServiceError, SubmitOptions};
 use crate::service::Service;
+use crate::stats::ServiceStats;
 use ppd_core::{
-    CompareOp, ConjunctiveQuery, PpdError, SessionScore, Term, TopKStrategy, Value as PpdValue,
+    CacheStats, CompareOp, ConjunctiveQuery, PpdError, SessionScore, Term, TopKStrategy,
+    Value as PpdValue,
 };
 use serde_json::Value;
 use std::collections::{BTreeMap, HashMap};
@@ -307,6 +309,27 @@ fn handle_frame<S: WireStream>(
     writer: &Arc<Mutex<S>>,
     in_flight: &Arc<Mutex<HashMap<u64, crate::deadline::CancelToken>>>,
 ) {
+    // The `stats` verb is a control frame, not a query: it carries no
+    // `query` field and is answered synchronously from the service's
+    // counters, so it is intercepted before request decoding.
+    if let Some(id) = decode_stats_request(frame) {
+        let tenants: Vec<(String, CacheStats)> = service
+            .database_ids()
+            .iter()
+            .map(|id| {
+                let stats = service
+                    .engine_for(id)
+                    .expect("listed database resolves")
+                    .cache_stats();
+                (id.to_string(), stats)
+            })
+            .collect();
+        write_line(
+            writer,
+            &encode_stats_response(id, &service.stats(), &tenants),
+        );
+        return;
+    }
     match decode_request(frame) {
         Ok((id, request, options)) => {
             let reply_writer = Arc::clone(writer);
@@ -437,6 +460,45 @@ impl WireClient {
         let id = self.send(request, options)?;
         self.recv(id)
     }
+
+    /// Fetches the server's activity counters: the [`ServiceStats`]
+    /// snapshot plus each tenant's own [`CacheStats`] (including the
+    /// calibration counters). Pipelined responses for other in-flight
+    /// requests that land first are stashed for their own `recv` calls.
+    pub fn stats(&mut self) -> Result<WireStatsReport, ServiceError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = serde_json::to_string(&object(vec![
+            ("id", Value::from(id)),
+            ("kind", Value::from("stats")),
+        ]))
+        .expect("stats frames always serialize");
+        self.writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ServiceError::Protocol(format!("send failed: {e}")))?;
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err(ServiceError::Disconnected),
+                Ok(_) => {
+                    let value: Value = serde_json::from_str(&line)
+                        .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+                    if value.get("id").and_then(Value::as_u64) == Some(id) {
+                        let payload = value.get("ok").ok_or_else(|| {
+                            ServiceError::Protocol("stats request failed".to_string())
+                        })?;
+                        return decode_stats_payload(payload).map_err(ServiceError::Protocol);
+                    }
+                    let (got, delivery) = decode_response(&line).map_err(ServiceError::Protocol)?;
+                    self.pending.insert(got, delivery);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServiceError::Protocol(format!("recv failed: {e}"))),
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -469,6 +531,10 @@ pub(crate) fn encode_request(id: u64, request: &Request, options: &SubmitOptions
     }
     if let Some(deadline) = options.deadline {
         entries.push(("deadline_ms", Value::from(deadline.as_millis() as u64)));
+    }
+    if let Some(budget) = options.error_budget {
+        entries.push(("epsilon", Value::from(budget.epsilon)));
+        entries.push(("confidence", Value::from(budget.confidence)));
     }
     serde_json::to_string(&object(entries)).expect("request frames always serialize")
 }
@@ -527,6 +593,25 @@ pub(crate) fn decode_request(
         options.deadline = Some(Duration::from_millis(ms.as_u64().ok_or_else(|| {
             fail("`deadline_ms` must be a non-negative integer".to_string())
         })?));
+    }
+    match (value.get("epsilon"), value.get("confidence")) {
+        (None, None) => {}
+        (Some(eps), Some(conf)) => {
+            let epsilon = eps
+                .as_f64()
+                .filter(|e| e.is_finite() && *e > 0.0)
+                .ok_or_else(|| fail("`epsilon` must be a positive number".to_string()))?;
+            let confidence = conf
+                .as_f64()
+                .filter(|c| *c > 0.0 && *c < 1.0)
+                .ok_or_else(|| fail("`confidence` must be in (0, 1)".to_string()))?;
+            options = options.with_error_budget(epsilon, confidence);
+        }
+        _ => {
+            return Err(fail(
+                "`epsilon` and `confidence` must be given together".to_string(),
+            ))
+        }
     }
     Ok((id, request, options))
 }
@@ -755,6 +840,217 @@ pub(crate) fn decode_response(frame: &str) -> Result<(u64, Delivery), String> {
     Err("response carries neither `ok` nor `err`".to_string())
 }
 
+// ---------------------------------------------------------------------------
+// Stats verb: `{"id": n, "kind": "stats"}` ⇄ counters snapshot
+// ---------------------------------------------------------------------------
+
+/// What [`WireClient::stats`] returns: the server-wide [`ServiceStats`]
+/// snapshot plus each registered database's own cache counters, in
+/// registration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStatsReport {
+    /// The service-wide activity snapshot (its `cache` field sums every
+    /// tenant, base and budget engines alike).
+    pub service: ServiceStats,
+    /// Per-tenant cache counters of the base engines, `(database id,
+    /// stats)`, in registration order.
+    pub tenants: Vec<(String, CacheStats)>,
+}
+
+/// Recognizes a stats control frame, returning its id.
+fn decode_stats_request(frame: &str) -> Option<u64> {
+    let value: Value = serde_json::from_str(frame).ok()?;
+    if value.get("kind").and_then(Value::as_str) != Some("stats") {
+        return None;
+    }
+    value.get("id").and_then(Value::as_u64)
+}
+
+fn cache_to_json(cache: &CacheStats) -> Value {
+    object(vec![
+        ("marginal_hits", Value::from(cache.marginal_hits)),
+        ("marginal_misses", Value::from(cache.marginal_misses)),
+        ("marginal_evictions", Value::from(cache.marginal_evictions)),
+        ("marginals_loaded", Value::from(cache.marginals_loaded)),
+        ("marginals_saved", Value::from(cache.marginals_saved)),
+        ("models_prepared", Value::from(cache.models_prepared)),
+        ("calibration_hits", Value::from(cache.calibration_hits)),
+        ("calibration_misses", Value::from(cache.calibration_misses)),
+        (
+            "calibration_recorded",
+            Value::from(cache.calibration_recorded),
+        ),
+    ])
+}
+
+fn cache_from_json(value: &Value) -> Result<CacheStats, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        value
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("cache stats need a numeric `{name}`"))
+    };
+    Ok(CacheStats {
+        marginal_hits: field("marginal_hits")?,
+        marginal_misses: field("marginal_misses")?,
+        marginal_evictions: field("marginal_evictions")?,
+        marginals_loaded: field("marginals_loaded")?,
+        marginals_saved: field("marginals_saved")?,
+        models_prepared: field("models_prepared")?,
+        calibration_hits: field("calibration_hits")?,
+        calibration_misses: field("calibration_misses")?,
+        calibration_recorded: field("calibration_recorded")?,
+    })
+}
+
+/// Encodes the response to a stats control frame.
+pub(crate) fn encode_stats_response(
+    id: u64,
+    stats: &ServiceStats,
+    tenants: &[(String, CacheStats)],
+) -> String {
+    let service = object(vec![
+        ("submitted", Value::from(stats.submitted)),
+        ("rejected", Value::from(stats.rejected)),
+        (
+            "interactive_submitted",
+            Value::from(stats.interactive_submitted),
+        ),
+        (
+            "interactive_rejected",
+            Value::from(stats.interactive_rejected),
+        ),
+        ("batch_submitted", Value::from(stats.batch_submitted)),
+        ("batch_rejected", Value::from(stats.batch_rejected)),
+        ("answered", Value::from(stats.answered)),
+        ("failed", Value::from(stats.failed)),
+        ("expired", Value::from(stats.expired)),
+        ("queue_depth", Value::from(stats.queue_depth as u64)),
+        (
+            "interactive_queue_depth",
+            Value::from(stats.interactive_queue_depth as u64),
+        ),
+        (
+            "batch_queue_depth",
+            Value::from(stats.batch_queue_depth as u64),
+        ),
+        ("waves", Value::from(stats.waves)),
+        ("max_wave", Value::from(stats.max_wave as u64)),
+        (
+            "wave_sizes",
+            Value::Array(
+                stats
+                    .wave_sizes
+                    .iter()
+                    .map(|&(size, count)| {
+                        Value::Array(vec![Value::from(size as u64), Value::from(count)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "mean_latency_ns",
+            Value::from(stats.mean_latency.as_nanos() as u64),
+        ),
+        (
+            "max_latency_ns",
+            Value::from(stats.max_latency.as_nanos() as u64),
+        ),
+        ("cache", cache_to_json(&stats.cache)),
+    ]);
+    let tenants = Value::Array(
+        tenants
+            .iter()
+            .map(|(id, cache)| {
+                object(vec![
+                    ("database", Value::from(id.as_str())),
+                    ("cache", cache_to_json(cache)),
+                ])
+            })
+            .collect(),
+    );
+    let payload = object(vec![
+        ("kind", Value::from("stats")),
+        ("service", service),
+        ("tenants", tenants),
+    ]);
+    serde_json::to_string(&object(vec![("id", Value::from(id)), ("ok", payload)]))
+        .expect("stats responses always serialize")
+}
+
+/// Decodes the `ok` payload of a stats response.
+fn decode_stats_payload(value: &Value) -> Result<WireStatsReport, String> {
+    if value.get("kind").and_then(Value::as_str) != Some("stats") {
+        return Err("expected a stats payload".to_string());
+    }
+    let service = value
+        .get("service")
+        .ok_or("stats payload needs `service`")?;
+    let field = |name: &str| -> Result<u64, String> {
+        service
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("stats need a numeric `{name}`"))
+    };
+    let wave_sizes = service
+        .get("wave_sizes")
+        .and_then(Value::as_array)
+        .ok_or("stats need a `wave_sizes` array")?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_array()
+                .ok_or("wave sizes are [size, count] pairs")?;
+            match (
+                pair.first().and_then(Value::as_u64),
+                pair.get(1).and_then(Value::as_u64),
+            ) {
+                (Some(size), Some(count)) if pair.len() == 2 => Ok((size as usize, count)),
+                _ => Err("wave sizes are [size, count] pairs".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let stats = ServiceStats {
+        submitted: field("submitted")?,
+        rejected: field("rejected")?,
+        interactive_submitted: field("interactive_submitted")?,
+        interactive_rejected: field("interactive_rejected")?,
+        batch_submitted: field("batch_submitted")?,
+        batch_rejected: field("batch_rejected")?,
+        answered: field("answered")?,
+        failed: field("failed")?,
+        expired: field("expired")?,
+        queue_depth: field("queue_depth")? as usize,
+        interactive_queue_depth: field("interactive_queue_depth")? as usize,
+        batch_queue_depth: field("batch_queue_depth")? as usize,
+        waves: field("waves")?,
+        max_wave: field("max_wave")? as usize,
+        wave_sizes,
+        mean_latency: Duration::from_nanos(field("mean_latency_ns")?),
+        max_latency: Duration::from_nanos(field("max_latency_ns")?),
+        cache: cache_from_json(service.get("cache").ok_or("stats need `cache`")?)?,
+    };
+    let tenants = value
+        .get("tenants")
+        .and_then(Value::as_array)
+        .ok_or("stats payload needs `tenants`")?
+        .iter()
+        .map(|tenant| {
+            let id = tenant
+                .get("database")
+                .and_then(Value::as_str)
+                .ok_or("tenant entries need a string `database`")?
+                .to_string();
+            let cache = cache_from_json(tenant.get("cache").ok_or("tenant entries need `cache`")?)?;
+            Ok((id, cache))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(WireStatsReport {
+        service: stats,
+        tenants,
+    })
+}
+
 fn answer_to_json(answer: &Answer) -> Value {
     let scored = |pairs: Vec<(u64, f64)>| {
         Value::Array(
@@ -917,7 +1213,8 @@ mod tests {
         ];
         let options = SubmitOptions::batch()
             .on_database("polls")
-            .with_deadline(Duration::from_millis(250));
+            .with_deadline(Duration::from_millis(250))
+            .with_error_budget(0.01, 0.95);
         for (i, request) in requests.iter().enumerate() {
             let frame = encode_request(i as u64 + 1, request, &options);
             assert!(!frame.contains('\n'), "frames are single lines: {frame}");
@@ -940,6 +1237,9 @@ mod tests {
             assert_eq!(decoded_options.class, AdmissionClass::Batch);
             assert_eq!(decoded_options.database.as_deref(), Some("polls"));
             assert_eq!(decoded_options.deadline, Some(Duration::from_millis(250)));
+            let budget = decoded_options.error_budget.expect("budget survives");
+            assert_eq!(budget.epsilon.to_bits(), 0.01f64.to_bits());
+            assert_eq!(budget.confidence.to_bits(), 0.95f64.to_bits());
         }
     }
 
@@ -1014,5 +1314,65 @@ mod tests {
             .expect_err("unknown kind");
         assert_eq!(id, Some(3), "id survives for error correlation");
         assert!(decode_response(r#"{"id": 1}"#).is_err());
+        // A lone half of an error budget is a protocol error, not a silent
+        // fall-back to the tenant's configured solver.
+        let lone = r#"{"id": 4, "kind": "boolean", "query": {"name": "q"}, "epsilon": 0.01}"#;
+        assert!(decode_request(lone).is_err());
+        let bad_eps = r#"{"id": 5, "kind": "boolean", "query": {"name": "q"}, "epsilon": -1.0, "confidence": 0.9}"#;
+        assert!(decode_request(bad_eps).is_err());
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        assert_eq!(
+            decode_stats_request(r#"{"id": 6, "kind": "stats"}"#),
+            Some(6)
+        );
+        assert_eq!(
+            decode_stats_request(r#"{"id": 6, "kind": "boolean"}"#),
+            None,
+            "query frames are not stats frames"
+        );
+        let stats = ServiceStats {
+            submitted: 12,
+            rejected: 1,
+            interactive_submitted: 9,
+            interactive_rejected: 0,
+            batch_submitted: 3,
+            batch_rejected: 1,
+            answered: 10,
+            failed: 1,
+            expired: 1,
+            queue_depth: 2,
+            interactive_queue_depth: 2,
+            batch_queue_depth: 0,
+            waves: 4,
+            max_wave: 5,
+            wave_sizes: vec![(1, 2), (5, 2)],
+            mean_latency: Duration::from_micros(1500),
+            max_latency: Duration::from_millis(7),
+            cache: CacheStats {
+                marginal_hits: 100,
+                marginal_misses: 40,
+                marginal_evictions: 3,
+                marginals_loaded: 0,
+                marginals_saved: 0,
+                models_prepared: 6,
+                calibration_hits: 20,
+                calibration_misses: 20,
+                calibration_recorded: 40,
+            },
+        };
+        let tenants = vec![
+            ("polls".to_string(), stats.cache),
+            ("movies".to_string(), CacheStats::default()),
+        ];
+        let frame = encode_stats_response(6, &stats, &tenants);
+        assert!(!frame.contains('\n'), "frames are single lines: {frame}");
+        let value: Value = serde_json::from_str(&frame).unwrap();
+        assert_eq!(value.get("id").and_then(Value::as_u64), Some(6));
+        let report = decode_stats_payload(value.get("ok").unwrap()).expect("round trip");
+        assert_eq!(report.service, stats);
+        assert_eq!(report.tenants, tenants);
     }
 }

@@ -308,12 +308,30 @@ impl MisAmpLite {
         prepared: &PreparedProposals,
         rng: &mut dyn RngCore,
     ) -> f64 {
+        self.estimate_prepared_with_moments(mallows, prepared, rng)
+            .0
+    }
+
+    /// [`MisAmpLite::estimate_prepared`], additionally reporting the first
+    /// and second moments of the per-sample MIS weights. The estimate is
+    /// bit-identical to [`MisAmpLite::estimate_prepared`] with the same RNG
+    /// state: the weight sum is accumulated by exactly the same operations
+    /// (the extra squared-weight accumulator never feeds back into it). The
+    /// error-budgeted estimator uses the moments to size its sample budget
+    /// from the empirical variance.
+    pub fn estimate_prepared_with_moments(
+        &self,
+        mallows: &MallowsModel,
+        prepared: &PreparedProposals,
+        rng: &mut dyn RngCore,
+    ) -> (f64, SampleMoments) {
         let d = prepared.proposals.len();
         if d == 0 {
-            return 0.0;
+            return (0.0, SampleMoments::default());
         }
         let n = self.samples_per_proposal.max(1);
         let mut total = 0.0;
+        let mut total_squares = 0.0;
         // Scratch hoisted out of the sampling loop: the sampled ranking, the
         // AMP insertion buffers, and the partial-ranking buffer shared by
         // every mixture-probability evaluation. The scratch entry points
@@ -334,7 +352,9 @@ impl MisAmpLite {
                     .sum::<f64>()
                     / d as f64;
                 if mix > 0.0 {
-                    total += p / mix;
+                    let w = p / mix;
+                    total += w;
+                    total_squares += w * w;
                 }
             }
         }
@@ -355,7 +375,59 @@ impl MisAmpLite {
             (0.0..=1.0).contains(&estimate),
             "odds-space compensation must yield a probability, got {estimate}"
         );
-        estimate.clamp(0.0, 1.0)
+        let moments = SampleMoments {
+            sum: total,
+            sum_squares: total_squares,
+            samples: d * n,
+        };
+        (estimate.clamp(0.0, 1.0), moments)
+    }
+}
+
+/// First and second moments of the per-sample MIS weights from one sampling
+/// pass, as reported by [`MisAmpLite::estimate_prepared_with_moments`]. The
+/// mean of the weights estimates the covered-region probability; the moments
+/// give its empirical variance, which the error-budgeted estimator turns into
+/// a confidence-interval halfwidth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleMoments {
+    /// Sum of the per-sample weights (samples with zero mixture probability
+    /// contribute zero).
+    pub sum: f64,
+    /// Sum of the squared per-sample weights.
+    pub sum_squares: f64,
+    /// Total number of samples drawn (`d · n`).
+    pub samples: usize,
+}
+
+impl SampleMoments {
+    /// Mean of the per-sample weights: the uncompensated covered-region
+    /// estimate, before clamping.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+
+    /// Unbiased sample variance of the per-sample weights.
+    pub fn variance(&self) -> f64 {
+        if self.samples < 2 {
+            return 0.0;
+        }
+        let n = self.samples as f64;
+        let mean = self.mean();
+        ((self.sum_squares - n * mean * mean) / (n - 1.0)).max(0.0)
+    }
+
+    /// Standard error of the mean weight.
+    pub fn standard_error(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.variance() / self.samples as f64).sqrt()
+        }
     }
 }
 
@@ -368,7 +440,7 @@ impl MisAmpLite {
 /// and for small `p` it reduces to the multiplicative `c·p` (to first order)
 /// that the paper's compensation targets. `c = 1` (nothing pruned) is an
 /// exact no-op bit for bit.
-fn compensate(p: f64, c: f64) -> f64 {
+pub(crate) fn compensate(p: f64, c: f64) -> f64 {
     if c <= 1.0 {
         return p;
     }

@@ -1,6 +1,7 @@
 //! Approximate solvers (Section 5 of the paper): rejection sampling and the
 //! importance-sampling family built on the AMP posterior sampler.
 
+pub mod budgeted;
 pub mod is_amp;
 pub mod mis_adaptive;
 pub mod mis_amp;

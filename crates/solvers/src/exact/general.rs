@@ -118,6 +118,12 @@ impl GeneralSolver {
         let mut total = 0.0;
         // Iterate over all non-empty subsets of members.
         for mask in 1u64..(1u64 << z) {
+            // The per-conjunction PatternSolver polls the budget inside its
+            // DP, but memo hits skip it entirely; poll the cancellation probe
+            // here so even a fully memoized expansion stays interruptible.
+            if let Some(budget) = &self.budget {
+                budget.check_cancelled()?;
+            }
             // Canonical conjunction: the sorted set of distinct content
             // classes. Conjunction is idempotent and order-insensitive in
             // probability, so equal keys have equal conjunction marginals.

@@ -9,6 +9,7 @@
 //! explicit: the result depends only on the instance and the seed, never on
 //! ambient state such as evaluation order or the calling thread.
 
+use crate::approx::budgeted::MisAmpBudgeted;
 use crate::select::choose_exact_solver;
 use crate::traits::{ApproxSolver, ExactSolver};
 use crate::Result;
@@ -27,6 +28,11 @@ pub enum SolverKind {
     Exact(Box<dyn ExactSolver>),
     /// An approximate, seeded Monte-Carlo solver.
     Approx(Box<dyn ApproxSolver>),
+    /// The error-budgeted estimator, with an automatic exact fallback when
+    /// its confidence interval fails to close to the requested `ε`. The
+    /// fallback decision depends only on the recorded sample moments, so the
+    /// arm is deterministic in `(instance, seed)` like the other two.
+    Budgeted(MisAmpBudgeted),
 }
 
 impl SolverKind {
@@ -46,11 +52,17 @@ impl SolverKind {
         SolverKind::Approx(solver)
     }
 
+    /// Wraps the error-budgeted estimator (with exact fallback).
+    pub fn budgeted(solver: MisAmpBudgeted) -> Self {
+        SolverKind::Budgeted(solver)
+    }
+
     /// The wrapped solver's stable identifier.
     pub fn name(&self) -> &'static str {
         match self {
             SolverKind::Exact(s) => s.name(),
             SolverKind::Approx(s) => s.name(),
+            SolverKind::Budgeted(_) => "mis-amp-budgeted",
         }
     }
 
@@ -80,6 +92,19 @@ impl SolverKind {
                 let mut rng = StdRng::seed_from_u64(seed);
                 solver.estimate(mallows, labeling, union, &mut rng)?
             }
+            SolverKind::Budgeted(solver) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let outcome = solver.run(mallows, labeling, union, &mut rng)?;
+                if outcome.converged {
+                    outcome.estimate
+                } else {
+                    // The interval would not close to ε within the sampling
+                    // budget: honour the accuracy contract by solving
+                    // exactly. Which branch runs is a pure function of the
+                    // recorded moments, hence of (instance, seed).
+                    choose_exact_solver(union).solve(rim(), labeling, union)?
+                }
+            }
         };
         Ok(p.clamp(0.0, 1.0))
     }
@@ -90,6 +115,11 @@ impl std::fmt::Debug for SolverKind {
         match self {
             SolverKind::Exact(s) => write!(f, "SolverKind::Exact({})", s.name()),
             SolverKind::Approx(s) => write!(f, "SolverKind::Approx({})", s.name()),
+            SolverKind::Budgeted(s) => write!(
+                f,
+                "SolverKind::Budgeted(ε = {}, confidence = {})",
+                s.epsilon, s.confidence
+            ),
         }
     }
 }
@@ -131,6 +161,36 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert!((a - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_arm_is_deterministic_and_meets_the_budget() {
+        let (model, lab, union) = instance();
+        let rim = model.to_rim();
+        let exact = BruteForceSolver::new().solve(&rim, &lab, &union).unwrap();
+        let kind = SolverKind::budgeted(MisAmpBudgeted::new(0.02, 0.95));
+        assert!(!kind.is_exact());
+        let a = kind.solve_seeded(&model, || &rim, &lab, &union, 5).unwrap();
+        let b = kind.solve_seeded(&model, || &rim, &lab, &union, 5).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert!((a - exact).abs() < 0.05, "exact {exact}, estimate {a}");
+    }
+
+    #[test]
+    fn budgeted_arm_falls_back_to_exact_when_the_interval_cannot_close() {
+        // One round of one sample per proposal cannot certify ε = 1e-9, so
+        // the arm must return the exact answer.
+        let (model, lab, union) = instance();
+        let rim = model.to_rim();
+        let exact = BruteForceSolver::new().solve(&rim, &lab, &union).unwrap();
+        let solver = MisAmpBudgeted {
+            initial_samples: 1,
+            max_rounds: 1,
+            ..MisAmpBudgeted::new(1e-9, 0.999)
+        };
+        let kind = SolverKind::budgeted(solver);
+        let p = kind.solve_seeded(&model, || &rim, &lab, &union, 3).unwrap();
+        assert!((p - exact).abs() < 1e-12, "exact {exact}, got {p}");
     }
 
     #[test]

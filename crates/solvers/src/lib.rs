@@ -53,19 +53,20 @@ pub mod kind;
 pub mod select;
 pub mod traits;
 
+pub use approx::budgeted::{BudgetedOutcome, MisAmpBudgeted};
 pub use approx::is_amp::is_amp_estimate;
 pub use approx::mis_adaptive::{AdaptiveOutcome, MisAmpAdaptive};
 pub use approx::mis_amp::mis_amp_estimate;
-pub use approx::mis_lite::{MisAmpLite, PreparedProposals, ProposalPool};
+pub use approx::mis_lite::{MisAmpLite, PreparedProposals, ProposalPool, SampleMoments};
 pub use approx::rejection::RejectionSampler;
-pub use budget::Budget;
+pub use budget::{Budget, CancelProbe};
 pub use exact::bipartite::BipartiteSolver;
 pub use exact::brute::BruteForceSolver;
 pub use exact::general::GeneralSolver;
 pub use exact::pattern::PatternSolver;
 pub use exact::two_label::TwoLabelSolver;
 pub use kind::SolverKind;
-pub use select::choose_exact_solver;
+pub use select::{choose_exact_solver, choose_exact_solver_with_budget};
 pub use traits::{ApproxSolver, ExactSolver};
 
 use ppd_patterns::PatternError;
@@ -84,6 +85,9 @@ pub enum SolverError {
     /// A state or time budget was exhausted before the solver finished
     /// (used by the scalability experiments that measure completion rates).
     BudgetExceeded(String),
+    /// An externally supplied [`budget::CancelProbe`] fired mid-solve: the
+    /// caller no longer wants the answer. Not a failure of the instance.
+    Cancelled,
     /// The instance is degenerate (e.g. an empty item universe).
     InvalidInstance(String),
 }
@@ -95,6 +99,7 @@ impl std::fmt::Display for SolverError {
             SolverError::Rim(e) => write!(f, "ranking-model error: {e}"),
             SolverError::Unsupported(msg) => write!(f, "unsupported input: {msg}"),
             SolverError::BudgetExceeded(msg) => write!(f, "budget exceeded: {msg}"),
+            SolverError::Cancelled => write!(f, "cancelled by the caller"),
             SolverError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
         }
     }

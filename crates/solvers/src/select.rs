@@ -1,5 +1,6 @@
 //! Automatic selection of the cheapest applicable exact solver.
 
+use crate::budget::Budget;
 use crate::exact::bipartite::BipartiteSolver;
 use crate::exact::general::GeneralSolver;
 use crate::exact::two_label::TwoLabelSolver;
@@ -16,6 +17,23 @@ pub fn choose_exact_solver(union: &PatternUnion) -> Box<dyn ExactSolver> {
         UnionClass::TwoLabel => Box::new(TwoLabelSolver::new()),
         UnionClass::Bipartite => Box::new(BipartiteSolver::new()),
         UnionClass::General => Box::new(GeneralSolver::new()),
+    }
+}
+
+/// [`choose_exact_solver`] with a [`Budget`] attached to the chosen solver —
+/// the entry point the evaluation engine uses to thread a cancellation probe
+/// (or resource limits) into the DP kernels, which poll the budget once per
+/// insertion step. The solver *choice* is identical to
+/// [`choose_exact_solver`]: budgets never affect which answer is computed,
+/// only whether the computation is allowed to finish.
+pub fn choose_exact_solver_with_budget(
+    union: &PatternUnion,
+    budget: Budget,
+) -> Box<dyn ExactSolver> {
+    match union.classify() {
+        UnionClass::TwoLabel => Box::new(TwoLabelSolver::with_budget(budget)),
+        UnionClass::Bipartite => Box::new(BipartiteSolver::new().with_budget(budget)),
+        UnionClass::General => Box::new(GeneralSolver::new().with_budget(budget)),
     }
 }
 

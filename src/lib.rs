@@ -38,14 +38,14 @@ pub mod prelude {
     pub use ppd_core::{
         count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities,
         BatchAnswer, CacheCapacity, CacheStats, CompareOp, ConjunctiveQuery, DatabaseBuilder,
-        Engine, EvalConfig, PpdDatabase, PreferenceRelation, Relation, Session, SolverChoice, Term,
-        TopKStrategy, Value,
+        Engine, ErrorBudget, EvalConfig, PpdDatabase, PreferenceRelation, Relation, Session,
+        SolverChoice, Term, TopKStrategy, Value,
     };
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};
     pub use ppd_service::{
         AdmissionClass, Answer, Request, Service, ServiceConfig, ServiceError, ServiceStats,
-        SubmitOptions, Ticket, WireClient, WireServer, DEFAULT_DATABASE,
+        SubmitOptions, Ticket, WireClient, WireServer, WireStatsReport, DEFAULT_DATABASE,
     };
     pub use ppd_solvers::{
         ApproxSolver, BipartiteSolver, ExactSolver, GeneralSolver, MisAmpAdaptive, MisAmpLite,

@@ -209,6 +209,50 @@ fn classed_answers(db: &PpdDatabase, eval: &EvalConfig, class: AdmissionClass) -
 }
 
 #[test]
+fn calibration_state_never_changes_service_answers() {
+    // Measured-cost calibration reorders waves and reweights eviction; the
+    // served bits must not move. Cold vs. warm store, calibration on vs.
+    // off, all against the calibrated direct reference.
+    let db = database();
+    let direct = direct_answers(&db, &EvalConfig::exact());
+    let served_uncalibrated = service_answers(
+        &db,
+        &EvalConfig::exact().without_calibration(),
+        workload().len(),
+        false,
+    );
+    assert_eq!(
+        served_uncalibrated, direct,
+        "calibration off diverged from the calibrated direct reference"
+    );
+
+    // One service, two passes: the second wave is scheduled from a warm
+    // calibration store (real measured timings from the first pass).
+    let service = Service::new(
+        db.clone(),
+        ServiceConfig::new(EvalConfig::exact())
+            .with_max_batch(workload().len())
+            .with_max_wait(std::time::Duration::from_millis(50)),
+    );
+    for pass in 0..2 {
+        let tickets: Vec<Ticket> = workload()
+            .into_iter()
+            .map(|request| service.submit(request).expect("admitted"))
+            .collect();
+        let answers: Vec<Answer> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("query answers"))
+            .collect();
+        assert_eq!(answers, direct, "pass {pass} diverged from direct answers");
+    }
+    assert!(
+        service.engine().calibrated_units() > 0,
+        "the warm pass must actually have measured timings to draw on"
+    );
+    service.shutdown();
+}
+
+#[test]
 fn admission_class_never_changes_answer_bits() {
     let db = database();
     for eval in [EvalConfig::exact(), EvalConfig::approximate(60)] {
@@ -262,6 +306,82 @@ fn tcp_wire_answers_are_bit_identical_to_direct_engine_calls() {
         drop(client);
         server.shutdown();
     }
+}
+
+#[test]
+fn error_budget_answers_are_bit_identical_across_transports() {
+    // A deep chain whose static exact cost clears the planner's threshold,
+    // so the budgeted sampler genuinely runs (with deterministic doubling
+    // rounds) rather than the whole workload short-circuiting to exact DP.
+    let deep_chain = {
+        let mut q = ConjunctiveQuery::new("deep-chain");
+        for i in 0..5 {
+            q = q.prefer(
+                "Polls",
+                vec![Term::any(), Term::any()],
+                Term::val(format!("cand{i}")),
+                Term::val(format!("cand{}", i + 1)),
+            );
+        }
+        q
+    };
+    let db = database();
+    let (epsilon, confidence) = (0.05, 0.9);
+    let requests = [
+        Request::Boolean(polls_q1_query()),
+        Request::Boolean(deep_chain),
+    ];
+    let dedicated = Engine::new(EvalConfig::error_budget(epsilon, confidence));
+    let direct: Vec<Answer> = requests
+        .iter()
+        .map(|r| Answer::Boolean(dedicated.evaluate_boolean(&db, r.query()).unwrap()))
+        .collect();
+
+    let service = Arc::new(Service::new(
+        db.clone(),
+        ServiceConfig::new(EvalConfig::exact()),
+    ));
+    let options = SubmitOptions::interactive().with_error_budget(epsilon, confidence);
+    let in_process: Vec<Answer> = requests
+        .iter()
+        .map(|r| {
+            service
+                .submit_with(r.clone(), options.clone())
+                .expect("admitted")
+                .wait()
+                .expect("query answers")
+        })
+        .collect();
+    assert_eq!(
+        in_process, direct,
+        "per-request budgets diverged from a dedicated error-budget engine"
+    );
+
+    let server = WireServer::bind_tcp("127.0.0.1:0", Arc::clone(&service)).expect("bind tcp");
+    let mut client = WireClient::connect_tcp(server.local_addr().expect("bound")).expect("connect");
+    let wired: Vec<Answer> = requests
+        .iter()
+        .map(|r| client.call(r, &options).expect("wire answers"))
+        .collect();
+    assert_eq!(
+        wired, direct,
+        "the budget must cross the wire without changing bits"
+    );
+
+    // The stats verb sees the traffic and lists the tenant with its
+    // calibration counters (the budget engines recorded timings too).
+    let report = client.stats().expect("stats verb answers");
+    assert_eq!(report.service.submitted, 4);
+    assert_eq!(report.service.answered, 4);
+    assert_eq!(report.tenants.len(), 1);
+    assert_eq!(report.tenants[0].0, DEFAULT_DATABASE);
+    assert!(
+        report.service.cache.calibration_recorded > 0,
+        "aggregated stats must include calibration counters: {}",
+        report.service.cache
+    );
+    drop(client);
+    server.shutdown();
 }
 
 #[cfg(unix)]

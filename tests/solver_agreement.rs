@@ -10,7 +10,7 @@ use ppd_patterns::{PatternUnion, UnionClass};
 use ppd_solvers::testutil::{cyclic_labeling, mallows, sample_unions};
 use ppd_solvers::{
     ApproxSolver, BipartiteSolver, BruteForceSolver, ExactSolver, GeneralSolver, MisAmpAdaptive,
-    MisAmpLite, PatternSolver, RejectionSampler, TwoLabelSolver,
+    MisAmpBudgeted, MisAmpLite, PatternSolver, RejectionSampler, TwoLabelSolver,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -193,6 +193,60 @@ fn rejection_sampler_tracks_exact_answers() {
 #[test]
 fn mis_amp_lite_tracks_exact_answers() {
     assert_approx_solver_tracks_exact(&MisAmpLite::new(8, 400), 5, 0.06, 0.15);
+}
+
+/// The error-budgeted estimator honors its `±ε` contract on the menagerie:
+/// on every union × dispersion where the doubling loop converges, the
+/// estimate lands within `ε` of brute force (the confidence is 95%, but the
+/// fixed seeds make the runs — and therefore this bound — deterministic);
+/// any union where the interval never closes is exactly the case the engine
+/// falls back to an exact solver for, so non-convergence is counted, not
+/// failed. The budget must also be *cheaper where it can be*: across the
+/// menagerie, the converged runs must not all have burned the full
+/// worst-case sample budget.
+#[test]
+fn budgeted_estimator_meets_its_epsilon_on_the_menagerie() {
+    let epsilon = 0.05;
+    let solver = MisAmpBudgeted::new(epsilon, 0.95);
+    let worst_case_samples =
+        solver.num_proposals * solver.initial_samples * ((1 << solver.max_rounds) - 1);
+    let mut converged_runs = 0;
+    let mut fell_back = 0;
+    let mut under_budget = 0;
+    for (ci, phi) in PHIS.iter().enumerate() {
+        let model = mallows(5, *phi);
+        let lab = cyclic_labeling(5, 4);
+        for (ui, union) in sample_unions().iter().enumerate() {
+            let exact = brute(5, *phi, union);
+            let mut rng = StdRng::seed_from_u64(0xB0D6E7 + (ci * 100 + ui) as u64);
+            let outcome = solver.run(&model, &lab, union, &mut rng).unwrap();
+            if !outcome.converged {
+                fell_back += 1;
+                continue;
+            }
+            converged_runs += 1;
+            if outcome.total_samples < worst_case_samples {
+                under_budget += 1;
+            }
+            assert!(
+                (outcome.estimate - exact).abs() <= epsilon + 1e-12,
+                "φ={phi} union#{ui}: estimate {} vs exact {exact} missed ±{epsilon} \
+                 (halfwidth {}, {} samples)",
+                outcome.estimate,
+                outcome.halfwidth,
+                outcome.total_samples
+            );
+        }
+    }
+    assert!(
+        converged_runs > 0,
+        "the budget must be attainable on the menagerie"
+    );
+    assert!(
+        under_budget > 0,
+        "no converged run stopped early — the stop rule is not saving work \
+         ({converged_runs} converged, {fell_back} fell back)"
+    );
 }
 
 /// MIS-AMP-adaptive converges to the exact answer on every menagerie union.
