@@ -1,0 +1,208 @@
+//! Live-update stream: cache hit-rate recovery after bursts of database
+//! updates, with surgical invalidation keeping the recomputation bounded.
+//!
+//! A long-lived engine answers the same Polls workload in rounds while the
+//! database absorbs bursts of session replacements between rounds:
+//!
+//! * warm rounds establish the steady-state hit rate (misses → 0);
+//! * an update burst replaces a slice of the sessions, invalidating only
+//!   the cached work units covering them — never the whole cache;
+//! * the degraded round pays misses only for the churned sessions;
+//! * the recovery round must return to at least 80% of the steady-state
+//!   hit rate (the acceptance bar for the live-database path).
+//!
+//! Every round's answers are checked bit-identical to a fresh engine on
+//! the current database snapshot, and the post-churn cache is snapshotted
+//! through the segment store to time the incremental persistence path.
+//! Writes `bench_results/update_stream.json`.
+//!
+//! Environment: `PPD_SCALE` (`small`/`paper`), `PPD_VOTERS`,
+//! `PPD_CANDIDATES`, `PPD_ROUNDS` (warm rounds), `PPD_UPDATES` (burst
+//! size) overrides.
+
+use ppd_bench::{env_usize, timed, write_results, Scale};
+use ppd_core::{Engine, EvalConfig, PpdDatabase, Session, Update, Value};
+use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd_rim::{MallowsModel, Ranking};
+
+/// A deterministic replacement session for burst slot `i`: the identity
+/// ranking rotated by `i + 1` under a slot-dependent dispersion.
+fn replacement(db: &PpdDatabase, relation: &str, i: usize, num_candidates: usize) -> Session {
+    let arity = db
+        .preference_relation(relation)
+        .expect("relation exists")
+        .session_columns()
+        .len();
+    let items: Vec<u32> = (0..num_candidates)
+        .map(|j| ((j + i + 1) % num_candidates) as u32)
+        .collect();
+    let phi = 0.3 + 0.4 * (i as f64 + 1.0) / 10.0_f64.max(i as f64 + 1.0);
+    Session::new(
+        (0..arity)
+            .map(|c| Value::from(format!("upd{i}-{c}")))
+            .collect(),
+        MallowsModel::new(Ranking::new(items).expect("permutation"), phi).expect("mallows"),
+    )
+}
+
+/// One query round: answers checked against a fresh engine, returns the
+/// round's incremental (hit, miss) counters and hit rate.
+fn round(
+    engine: &Engine,
+    db: &PpdDatabase,
+    last: &mut (u64, u64),
+    label: &str,
+) -> serde_json::Value {
+    let q = polls_q1_query();
+    let (result, elapsed) = timed(|| engine.session_probabilities(db, &q));
+    let result = result.expect("evaluation succeeds");
+    let fresh = Engine::new(EvalConfig::exact())
+        .session_probabilities(db, &q)
+        .expect("fresh evaluation succeeds");
+    assert_eq!(
+        result, fresh,
+        "{label}: live engine is not bit-identical to a fresh engine"
+    );
+    let stats = engine.cache_stats();
+    let (hits, misses) = (stats.marginal_hits - last.0, stats.marginal_misses - last.1);
+    *last = (stats.marginal_hits, stats.marginal_misses);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "{label:>10}: {hits:>5} hits, {misses:>5} misses (hit rate {:>5.1}%) in {elapsed:.1?}",
+        hit_rate * 100.0
+    );
+    serde_json::json!({
+        "label": label,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hit_rate,
+        "wall_clock_ms": elapsed.as_secs_f64() * 1e3,
+    })
+}
+
+fn hit_rate_of(record: &serde_json::Value) -> f64 {
+    record
+        .get("hit_rate")
+        .and_then(|v| v.as_f64())
+        .expect("hit rate recorded")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_voters = env_usize("PPD_VOTERS").unwrap_or_else(|| scale.pick(60, 500));
+    let num_candidates = env_usize("PPD_CANDIDATES").unwrap_or_else(|| scale.pick(8, 12));
+    let warm_rounds = env_usize("PPD_ROUNDS").unwrap_or(3).max(1);
+    let burst = env_usize("PPD_UPDATES")
+        .unwrap_or_else(|| scale.pick(4, 25))
+        .max(1)
+        .min(num_voters);
+
+    let mut db = polls_database(&PollsConfig {
+        num_candidates,
+        num_voters,
+        seed: 2020,
+    });
+    let relation = db.preference_relation_names()[0].to_string();
+    let engine = Engine::new(EvalConfig::exact());
+    println!(
+        "update_stream: {num_voters} voters × {num_candidates} candidates, \
+         {warm_rounds} warm rounds, burst of {burst} replacements\n"
+    );
+
+    let mut rounds = Vec::new();
+    let mut last = (0u64, 0u64);
+    for r in 0..warm_rounds {
+        rounds.push(round(&engine, &db, &mut last, &format!("warm {r}")));
+    }
+    let steady = hit_rate_of(rounds.last().expect("at least one warm round"));
+    let cached_before = engine.cached_marginals();
+
+    // The burst: replace `burst` sessions spread across the relation.
+    let stride = (num_voters / burst).max(1);
+    let mut invalidated = 0u64;
+    let (_, burst_elapsed) = timed(|| {
+        for i in 0..burst {
+            let update = Update::ReplaceSession {
+                prelation: relation.clone(),
+                index: i * stride,
+                session: replacement(&db, &relation, i, num_candidates),
+            };
+            let (_, dropped) = engine
+                .apply_update(&mut db, update)
+                .expect("update applies");
+            invalidated += dropped;
+        }
+    });
+    assert!(
+        (invalidated as usize) <= cached_before,
+        "invalidation must be bounded by the covering units \
+         ({invalidated} dropped of {cached_before} cached)"
+    );
+    println!(
+        "\n     burst: {burst} replacements in {burst_elapsed:.1?}, \
+         {invalidated} of {cached_before} cached units invalidated \
+         (database now at version {})\n",
+        db.version()
+    );
+
+    let degraded = round(&engine, &db, &mut last, "degraded");
+    let recovered = round(&engine, &db, &mut last, "recovered");
+    let recovery_ratio = hit_rate_of(&recovered) / steady.max(f64::MIN_POSITIVE);
+    assert!(
+        recovery_ratio >= 0.8,
+        "hit rate must recover to ≥80% of steady state after one round \
+         (steady {steady:.3}, recovered {:.3})",
+        hit_rate_of(&recovered)
+    );
+
+    // Incremental persistence: snapshot the post-churn cache (tombstones
+    // for the invalidated units ride along) and cold-load it back.
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    let path = std::path::Path::new("bench_results").join("update_stream.mcache");
+    let _ = std::fs::remove_dir_all(&path);
+    let (saved, save_elapsed) = timed(|| engine.save_marginals(&path).expect("snapshot saves"));
+    let cold = Engine::new(EvalConfig::exact());
+    let (loaded, load_elapsed) = timed(|| cold.load_marginals(&path).expect("snapshot loads"));
+    println!(
+        "\npersistence: saved {saved} entries in {save_elapsed:.1?}, \
+         cold-loaded {loaded} in {load_elapsed:.1?}"
+    );
+    let _ = std::fs::remove_dir_all(&path);
+
+    println!(
+        "\nrecovery: steady {:.1}% → degraded {:.1}% → recovered {:.1}% \
+         ({:.0}% of steady state)",
+        steady * 100.0,
+        hit_rate_of(&degraded) * 100.0,
+        hit_rate_of(&recovered) * 100.0,
+        recovery_ratio * 100.0
+    );
+
+    write_results(
+        "update_stream",
+        &serde_json::json!({
+            "experiment": "update_stream",
+            "num_voters": num_voters,
+            "num_candidates": num_candidates,
+            "warm_rounds": warm_rounds,
+            "burst_updates": burst,
+            "rounds": rounds,
+            "burst": {
+                "wall_clock_ms": burst_elapsed.as_secs_f64() * 1e3,
+                "units_invalidated": invalidated,
+                "cached_before": cached_before,
+                "database_version": db.version(),
+            },
+            "degraded": degraded,
+            "recovered": recovered,
+            "steady_hit_rate": steady,
+            "recovery_ratio": recovery_ratio,
+            "persistence": {
+                "entries_saved": saved,
+                "entries_loaded": loaded,
+                "save_ms": save_elapsed.as_secs_f64() * 1e3,
+                "load_ms": load_elapsed.as_secs_f64() * 1e3,
+            },
+        }),
+    );
+}

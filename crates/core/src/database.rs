@@ -1,12 +1,44 @@
 //! The probabilistic preference database (RIM-PPD).
 
 use crate::relation::Relation;
-use crate::session::PreferenceRelation;
+use crate::session::{PreferenceRelation, Session};
 use crate::value::Value;
 use crate::{PpdError, Result};
 use ppd_patterns::{LabelId, LabelInterner, Labeling};
 use ppd_rim::Item;
 use std::collections::HashMap;
+
+/// One mutation of a live database, applied with [`PpdDatabase::apply`].
+///
+/// Updates address sessions of a p-relation by positional index (the order
+/// [`PreferenceRelation::sessions`] exposes). Deleting shifts later indices
+/// down by one, exactly like `Vec::remove`.
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// Appends a session to the named p-relation.
+    InsertSession {
+        /// The p-relation to mutate.
+        prelation: String,
+        /// The session to append.
+        session: Session,
+    },
+    /// Replaces the session at `index` of the named p-relation.
+    ReplaceSession {
+        /// The p-relation to mutate.
+        prelation: String,
+        /// The positional index of the session to replace.
+        index: usize,
+        /// The replacement session.
+        session: Session,
+    },
+    /// Removes the session at `index` of the named p-relation.
+    DeleteSession {
+        /// The p-relation to mutate.
+        prelation: String,
+        /// The positional index of the session to remove.
+        index: usize,
+    },
+}
 
 /// A probabilistic preference database: o-relations, one item relation whose
 /// attribute values become item labels, and p-relations whose sessions carry
@@ -21,6 +53,7 @@ pub struct PpdDatabase {
     preference_relations: HashMap<String, PreferenceRelation>,
     interner: LabelInterner,
     labeling: Labeling,
+    version: u64,
 }
 
 impl PpdDatabase {
@@ -112,6 +145,69 @@ impl PpdDatabase {
     pub fn identity_label(&self, item: Item) -> Option<LabelId> {
         let name = self.item_name(item)?;
         self.interner.get(&format!("@item={name}"))
+    }
+
+    /// The database's version id: `1` for a freshly built database, bumped
+    /// by one on every successful [`PpdDatabase::apply`]. Monotone, never
+    /// reused — engines use it to tell which snapshot an answer was
+    /// computed against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Applies one [`Update`], returning the new version id together with
+    /// the `model_key_hash`es of every session model the update touched
+    /// (for a replacement: the displaced model's hash *and* the new one,
+    /// deduplicated). Engines invalidate exactly the cached work units
+    /// covering those hashes.
+    ///
+    /// Validation happens before anything mutates: an unknown p-relation,
+    /// a session ranking unknown items, an arity mismatch, or an
+    /// out-of-bounds index leaves the database (and its version) untouched.
+    pub fn apply(&mut self, update: Update) -> Result<(u64, Vec<u64>)> {
+        let name = match &update {
+            Update::InsertSession { prelation, .. }
+            | Update::ReplaceSession { prelation, .. }
+            | Update::DeleteSession { prelation, .. } => prelation.clone(),
+        };
+        // New sessions must rank only catalogued items — the same check the
+        // builder runs, so an updated database is always one `build` could
+        // have produced.
+        if let Update::InsertSession { session, .. } | Update::ReplaceSession { session, .. } =
+            &update
+        {
+            for &item in session.model().sigma().items() {
+                if item as usize >= self.item_names.len() {
+                    return Err(PpdError::Malformed(format!(
+                        "p-relation {name}: update ranks unknown item {item}"
+                    )));
+                }
+            }
+        }
+        let prel = self
+            .preference_relations
+            .get_mut(&name)
+            .ok_or_else(|| PpdError::UnknownName(format!("p-relation {name}")))?;
+        let mut changed = match update {
+            Update::InsertSession { session, .. } => {
+                let hash = session.model_key_hash();
+                prel.push(session)?;
+                vec![hash]
+            }
+            Update::ReplaceSession { index, session, .. } => {
+                let new_hash = session.model_key_hash();
+                let old = prel.replace(index, session)?;
+                vec![old.model_key_hash(), new_hash]
+            }
+            Update::DeleteSession { index, .. } => {
+                let old = prel.remove(index)?;
+                vec![old.model_key_hash()]
+            }
+        };
+        changed.sort_unstable();
+        changed.dedup();
+        self.version += 1;
+        Ok((self.version, changed))
     }
 }
 
@@ -218,6 +314,7 @@ impl DatabaseBuilder {
             preference_relations,
             interner,
             labeling,
+            version: 1,
         })
     }
 }
@@ -250,6 +347,107 @@ mod tests {
             Some(Value::from("D"))
         );
         assert_eq!(db.item_attribute(1, "nope"), None);
+    }
+
+    #[test]
+    fn apply_bumps_the_version_and_reports_changed_model_hashes() {
+        let mut db = polling_database();
+        assert_eq!(db.version(), 1);
+        let eve = crate::session::Session::new(
+            vec![Value::from("Eve"), Value::from("7/5")],
+            MallowsModel::new(Ranking::new(vec![3, 2, 1, 0]).unwrap(), 0.7).unwrap(),
+        );
+        let eve_hash = eve.model_key_hash();
+        let (v, changed) = db
+            .apply(Update::InsertSession {
+                prelation: "Polls".into(),
+                session: eve.clone(),
+            })
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(db.version(), 2);
+        assert_eq!(changed, vec![eve_hash]);
+        assert_eq!(db.preference_relation("Polls").unwrap().num_sessions(), 4);
+
+        // Replacing reports both the displaced and the new model hash.
+        let old_hash = db.preference_relation("Polls").unwrap().sessions()[0].model_key_hash();
+        let (v, changed) = db
+            .apply(Update::ReplaceSession {
+                prelation: "Polls".into(),
+                index: 0,
+                session: eve.clone(),
+            })
+            .unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(changed.len(), 2);
+        assert!(changed.contains(&old_hash) && changed.contains(&eve_hash));
+
+        // Replacing a session with an identical model dedups to one hash.
+        let (_, changed) = db
+            .apply(Update::ReplaceSession {
+                prelation: "Polls".into(),
+                index: 0,
+                session: eve,
+            })
+            .unwrap();
+        assert_eq!(changed, vec![eve_hash]);
+
+        let (v, changed) = db
+            .apply(Update::DeleteSession {
+                prelation: "Polls".into(),
+                index: 0,
+            })
+            .unwrap();
+        assert_eq!(v, 5);
+        assert_eq!(changed, vec![eve_hash]);
+        assert_eq!(db.preference_relation("Polls").unwrap().num_sessions(), 3);
+    }
+
+    #[test]
+    fn invalid_updates_leave_the_database_and_version_untouched() {
+        let mut db = polling_database();
+        let good = crate::session::Session::new(
+            vec![Value::from("Eve"), Value::from("7/5")],
+            MallowsModel::new(Ranking::new(vec![0, 1, 2, 3]).unwrap(), 0.5).unwrap(),
+        );
+        // Unknown p-relation.
+        assert!(matches!(
+            db.apply(Update::InsertSession {
+                prelation: "Nope".into(),
+                session: good.clone(),
+            }),
+            Err(PpdError::UnknownName(_))
+        ));
+        // Session ranking an unknown item.
+        let bad_items = crate::session::Session::new(
+            vec![Value::from("Eve"), Value::from("7/5")],
+            MallowsModel::new(Ranking::new(vec![0, 9]).unwrap(), 0.5).unwrap(),
+        );
+        assert!(db
+            .apply(Update::InsertSession {
+                prelation: "Polls".into(),
+                session: bad_items,
+            })
+            .is_err());
+        // Arity mismatch and out-of-bounds index.
+        let short = crate::session::Session::new(
+            vec![Value::from("Eve")],
+            MallowsModel::new(Ranking::new(vec![0, 1, 2, 3]).unwrap(), 0.5).unwrap(),
+        );
+        assert!(db
+            .apply(Update::InsertSession {
+                prelation: "Polls".into(),
+                session: short,
+            })
+            .is_err());
+        assert!(db
+            .apply(Update::DeleteSession {
+                prelation: "Polls".into(),
+                index: 99,
+            })
+            .is_err());
+        assert_eq!(db.version(), 1, "failed updates must not bump the version");
+        assert_eq!(db.preference_relation("Polls").unwrap().num_sessions(), 3);
     }
 
     #[test]

@@ -268,6 +268,19 @@ impl Shard {
         evicted
     }
 
+    /// Removes the slot for `hash` (every fingerprint solved for that
+    /// content), returning the number of entries dropped. Unlike eviction,
+    /// removal may take the most recently used slot: it serves
+    /// invalidation, where the cached content itself is stale.
+    pub(crate) fn remove(&mut self, hash: u64) -> u64 {
+        let Some(slot) = self.slots.remove(&hash) else {
+            return 0;
+        };
+        self.recency.remove(&slot.tick);
+        self.weight -= self.slot_overhead() + slot.values.len() * self.entry_weight();
+        slot.values.len() as u64
+    }
+
     /// Number of cached `(fingerprint, value)` entries.
     pub(crate) fn len_entries(&self) -> usize {
         self.slots.values().map(|slot| slot.values.len()).sum()
@@ -396,6 +409,25 @@ mod tests {
         assert_eq!(shard.get(1, FP), None, "entries mode evicts by age only");
         assert_eq!(shard.get(2, FP), Some(0.2));
         assert_eq!(shard.get(3, FP), Some(0.3));
+    }
+
+    #[test]
+    fn remove_drops_whole_slots_and_balances_the_weight() {
+        let budget = 2 * (SLOT_OVERHEAD_BYTES + 2 * ENTRY_BYTES);
+        let mut shard = Shard::new(CacheCapacity::Bytes(budget));
+        shard.insert(1, FP, 0.1);
+        shard.insert(1, SolverFingerprint::GeneralExact, 0.2);
+        shard.insert(2, FP, 0.3);
+        assert_eq!(shard.remove(1), 2, "both fingerprints of the slot drop");
+        assert_eq!(shard.remove(1), 0, "removing again is a no-op");
+        assert_eq!(shard.remove(99), 0);
+        assert_eq!(shard.get(1, FP), None);
+        assert_eq!(shard.get(2, FP), Some(0.3));
+        // The freed weight is credited back: two fresh 2-entry slots fit
+        // alongside slot 2 being evicted normally, with no phantom bytes.
+        shard.insert(3, FP, 0.4);
+        shard.insert(3, SolverFingerprint::GeneralExact, 0.5);
+        assert_eq!(shard.len_entries(), 3);
     }
 
     #[test]

@@ -155,6 +155,22 @@ pub struct CacheStats {
     pub calibration_misses: u64,
     /// Wall-clock solve timings recorded into the calibration store.
     pub calibration_recorded: u64,
+    /// Cached marginal entries dropped by surgical invalidation after a
+    /// database update ([`Engine::invalidate`]): exactly the entries whose
+    /// unit covered a changed session's model, never the rest of the cache.
+    ///
+    /// [`Engine::invalidate`]: crate::engine::Engine::invalidate
+    pub units_invalidated: u64,
+    /// Bytes of live (most-recent, non-tombstoned) records across the
+    /// cache's persisted segment files after the last save.
+    pub segment_live_bytes: u64,
+    /// Bytes of dead records (superseded or tombstoned) across the
+    /// persisted segment files after the last save; the compaction trigger
+    /// watches the dead/total ratio.
+    pub segment_dead_bytes: u64,
+    /// Segment compactions run (dead records rewritten away because the
+    /// dead-bytes ratio crossed the threshold).
+    pub compactions: u64,
 }
 
 impl CacheStats {
@@ -178,7 +194,8 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "marginals {} hit / {} solved ({:.1}% hit rate), {} evicted, {} loaded, {} saved; \
-             {} models prepared; calibration {} hit / {} miss, {} recorded",
+             {} models prepared; calibration {} hit / {} miss, {} recorded; \
+             {} invalidated; segments {}B live / {}B dead, {} compactions",
             self.marginal_hits,
             self.marginal_misses,
             self.hit_rate() * 100.0,
@@ -188,7 +205,11 @@ impl std::fmt::Display for CacheStats {
             self.models_prepared,
             self.calibration_hits,
             self.calibration_misses,
-            self.calibration_recorded
+            self.calibration_recorded,
+            self.units_invalidated,
+            self.segment_live_bytes,
+            self.segment_dead_bytes,
+            self.compactions
         )
     }
 }
@@ -210,6 +231,17 @@ impl ModelCache {
         map.entry(session.model_key())
             .or_insert_with(|| Arc::new(PreparedModel::new(session.model().clone())))
             .clone()
+    }
+
+    /// Drops the prepared state of every model whose
+    /// [`Session::model_key_hash`](crate::session::Session::model_key_hash)
+    /// is in `hashes`, returning the number of models dropped. Serves
+    /// invalidation after a database update; untouched models stay warm.
+    pub(crate) fn remove_hashes(&self, hashes: &std::collections::HashSet<u64>) -> u64 {
+        let mut map = self.map.lock().expect("model cache poisoned");
+        let before = map.len();
+        map.retain(|key, _| !hashes.contains(&crate::session::model_key_fold(key)));
+        (before - map.len()) as u64
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -256,6 +288,24 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn model_cache_removal_is_surgical_by_model_hash() {
+        let cache = ModelCache::default();
+        let kept = session(0.4);
+        let dropped = session(0.7);
+        let kept_arc = cache.get_or_insert(&kept);
+        cache.get_or_insert(&dropped);
+        let doomed: std::collections::HashSet<u64> = [dropped.model_key_hash(), 0xdead_beef]
+            .into_iter()
+            .collect();
+        assert_eq!(cache.remove_hashes(&doomed), 1, "unknown hashes are no-ops");
+        assert_eq!(cache.len(), 1);
+        assert!(
+            Arc::ptr_eq(&kept_arc, &cache.get_or_insert(&kept)),
+            "the surviving model must stay warm, not be rebuilt"
+        );
     }
 
     #[test]

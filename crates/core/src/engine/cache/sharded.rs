@@ -152,6 +152,22 @@ impl MarginalCache {
         entries
     }
 
+    /// Removes every cached entry for the given content hashes (all
+    /// fingerprints of each), returning the number of entries dropped.
+    /// Serves invalidation; not counted as eviction (the contents are
+    /// stale, not crowded out).
+    pub(crate) fn remove_hashes(&self, hashes: &std::collections::HashSet<u64>) -> u64 {
+        let mut removed = 0;
+        for &hash in hashes {
+            removed += self
+                .shard(hash)
+                .lock()
+                .expect("marginal cache shard poisoned")
+                .remove(hash);
+        }
+        removed
+    }
+
     pub(crate) fn record_saved(&self, entries: u64) {
         self.saved.fetch_add(entries, Ordering::Relaxed);
     }
@@ -251,6 +267,20 @@ mod tests {
         let snap = cache.snapshot();
         assert_eq!(snap.len(), 50);
         assert!(snap.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+
+    #[test]
+    fn remove_hashes_is_surgical() {
+        let cache = MarginalCache::new(4, CacheCapacity::Unbounded);
+        for hash in 0..20u64 {
+            cache.insert(hash, FP, hash as f64);
+        }
+        let doomed: std::collections::HashSet<u64> = [3, 7, 11, 99].into_iter().collect();
+        assert_eq!(cache.remove_hashes(&doomed), 3, "99 was never cached");
+        assert_eq!(cache.len(), 17);
+        assert_eq!(cache.get(3, FP), None);
+        assert_eq!(cache.get(4, FP), Some(4.0));
+        assert_eq!(cache.evictions(), 0, "removal is not eviction");
     }
 
     #[test]

@@ -288,6 +288,50 @@ impl CalibrationStore {
         self.loaded.fetch_add(loaded, Ordering::Relaxed);
     }
 
+    /// Removes every retained timing for the given content hashes (all
+    /// fingerprints of each), unwinding their bucket-aggregate
+    /// contributions exactly like eviction does. Returns the number of
+    /// entries dropped. Serves invalidation: timings of a unit whose
+    /// content no longer exists must not steer scheduling.
+    pub(crate) fn remove_hashes(&self, hashes: &std::collections::HashSet<u64>) -> u64 {
+        let mut dropped: Vec<CalEntry> = Vec::new();
+        for &hash in hashes {
+            let mut shard = self.shard(hash).lock().expect("calibration shard poisoned");
+            let keys: Vec<(u64, SolverFingerprint)> = shard
+                .entries
+                .keys()
+                .filter(|&&(h, _)| h == hash)
+                .copied()
+                .collect();
+            if keys.is_empty() {
+                continue;
+            }
+            for key in &keys {
+                if let Some(entry) = shard.entries.remove(key) {
+                    dropped.push(entry);
+                }
+            }
+            shard.queue.retain(|key| key.0 != hash);
+        }
+        if dropped.is_empty() {
+            return 0;
+        }
+        let mut aggregates = self
+            .aggregates
+            .lock()
+            .expect("calibration aggregates poisoned");
+        for old in &dropped {
+            if let Some(slot) = aggregates.get_mut(&old.bucket) {
+                slot.0 -= old.ln_ratio;
+                slot.1 = slot.1.saturating_sub(1);
+                if slot.1 == 0 {
+                    aggregates.remove(&old.bucket);
+                }
+            }
+        }
+        dropped.len() as u64
+    }
+
     /// Every retained timing, sorted by `(hash, fingerprint)` so snapshots
     /// of equal content are byte-identical.
     pub(crate) fn snapshot(&self) -> Vec<SnapshotEntry> {
@@ -584,6 +628,35 @@ mod tests {
         let factor = store.bucket_factor(b).unwrap();
         assert!((factor / 10.0 - 1.0).abs() < 1e-9, "got {factor}");
         store.clear();
+        assert_eq!(store.len(), 0);
+        assert!(store.bucket_factor(b).is_none());
+    }
+
+    #[test]
+    fn remove_hashes_unwinds_aggregates_and_the_fifo_queue() {
+        let store = CalibrationStore::new(2, 1024);
+        let b = bucket(0, 4);
+        store.record(1, FP, b, 10.0 * NOMINAL_SECONDS_PER_COST, 1.0);
+        store.record(
+            1,
+            SolverFingerprint::GeneralExact,
+            b,
+            10.0 * NOMINAL_SECONDS_PER_COST,
+            1.0,
+        );
+        store.record(2, FP, b, 1000.0 * NOMINAL_SECONDS_PER_COST, 1.0);
+        let doomed: std::collections::HashSet<u64> = [2, 99].into_iter().collect();
+        assert_eq!(store.remove_hashes(&doomed), 1);
+        assert_eq!(store.len(), 2);
+        // Only ratio-10 entries remain, so the aggregate must be exactly 10.
+        let factor = store.bucket_factor(b).unwrap();
+        assert!((factor / 10.0 - 1.0).abs() < 1e-9, "got {factor}");
+        // The removed key's estimate falls back to the bucket, not a hit.
+        let est = store.cost_estimate(2, FP, b, 1.0);
+        assert!((est / (10.0 * NOMINAL_SECONDS_PER_COST) - 1.0).abs() < 1e-9);
+        // Removing both fingerprints of a hash in one call.
+        let both: std::collections::HashSet<u64> = [1].into_iter().collect();
+        assert_eq!(store.remove_hashes(&both), 2);
         assert_eq!(store.len(), 0);
         assert!(store.bucket_factor(b).is_none());
     }

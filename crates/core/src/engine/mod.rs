@@ -35,7 +35,7 @@ mod unit;
 pub use cache::{CacheCapacity, CacheStats, PreparedModel};
 pub use unit::{UnitKey, WorkUnit};
 
-use crate::database::PpdDatabase;
+use crate::database::{PpdDatabase, Update};
 use crate::eval::{EvalConfig, SolverChoice};
 use crate::query::ConjunctiveQuery;
 use crate::session::Session;
@@ -51,6 +51,7 @@ use ppd_solvers::{
 };
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -82,6 +83,9 @@ struct Pending<'a> {
     /// The key's stable content hash: the cache address and the seed
     /// ingredient, computed once per request.
     hash: u64,
+    /// The session's model content hash — the invalidation reverse-index
+    /// key under which this unit is filed when its value is cached.
+    model_hash: u64,
     union: PatternUnion,
     session: &'a Session,
     labeling: &'a Labeling,
@@ -148,6 +152,28 @@ pub struct Engine {
     marginals: MarginalCache,
     models: ModelCache,
     calibration: CalibrationStore,
+    /// Invalidation reverse index: model content hash
+    /// ([`Session::model_key_hash`]) → the unit content hashes covering a
+    /// session with that model. Populated at cache-insert time and from
+    /// segment-store loads; consulted by [`Engine::invalidate`] so a
+    /// database update drops exactly the cached units it stales. Entries
+    /// for evicted units are kept — they may still be live in the segment
+    /// store, and invalidating an absent hash is a no-op.
+    covered: Mutex<HashMap<u64, HashSet<u64>>>,
+    /// Model hashes invalidated since the last [`Engine::save_marginals`],
+    /// drained into segment tombstones so on-disk records for stale models
+    /// die too.
+    pending_tombstones: Mutex<HashSet<u64>>,
+    /// The [`PpdDatabase::version`] most recently seen by a planning or
+    /// update call — what answers computed right now are computed against.
+    planned_version: AtomicU64,
+    /// Cached marginal entries dropped by [`Engine::invalidate`].
+    units_invalidated: AtomicU64,
+    /// Segment-store byte accounting after the last save or load.
+    segment_live_bytes: AtomicU64,
+    segment_dead_bytes: AtomicU64,
+    /// Segment compactions run by [`Engine::save_marginals`].
+    compactions: AtomicU64,
 }
 
 impl Engine {
@@ -162,6 +188,13 @@ impl Engine {
             marginals,
             models: ModelCache::default(),
             calibration,
+            covered: Mutex::new(HashMap::new()),
+            pending_tombstones: Mutex::new(HashSet::new()),
+            planned_version: AtomicU64::new(0),
+            units_invalidated: AtomicU64::new(0),
+            segment_live_bytes: AtomicU64::new(0),
+            segment_dead_bytes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         }
     }
 
@@ -183,37 +216,151 @@ impl Engine {
             calibration_hits: self.calibration.hits(),
             calibration_misses: self.calibration.misses(),
             calibration_recorded: self.calibration.recorded(),
+            units_invalidated: self.units_invalidated.load(Ordering::Relaxed),
+            segment_live_bytes: self.segment_live_bytes.load(Ordering::Relaxed),
+            segment_dead_bytes: self.segment_dead_bytes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 
-    /// Writes the marginal cache to `path` as a versioned, endian-stable
-    /// binary snapshot (see `engine/cache/persist.rs` for the format) and
-    /// returns the number of entries written. Values are stored as raw
-    /// `f64` bits, so a later [`Engine::load_marginals`] — in this process
-    /// or any other — serves exactly the bits this engine computed.
-    ///
-    /// The write is atomic (temp file + rename): a crash mid-save never
-    /// corrupts an existing snapshot.
-    pub fn save_marginals(&self, path: impl AsRef<Path>) -> Result<u64> {
-        cache::persist::save(&self.marginals, path.as_ref())
-            .map_err(|e| PpdError::Persist(format!("save {}: {e}", path.as_ref().display())))
+    /// The [`PpdDatabase::version`] this engine most recently planned
+    /// against (or applied an update at) — `0` before any call that saw a
+    /// database. Serving layers stamp answers with it so clients know
+    /// which snapshot a number describes.
+    pub fn planned_version(&self) -> u64 {
+        self.planned_version.load(Ordering::Relaxed)
     }
 
-    /// Warm-starts the marginal cache from a snapshot written by
-    /// [`Engine::save_marginals`] and returns the number of entries read.
-    /// Keys are content hashes, so snapshots are valid across processes by
-    /// construction; entries already present keep their in-memory value,
-    /// and the engine's [`CacheCapacity`] applies to loaded entries too.
+    /// Records the database version a planning call is working against.
+    pub(crate) fn note_planned_version(&self, db: &PpdDatabase) {
+        self.planned_version.store(db.version(), Ordering::Relaxed);
+    }
+
+    /// Surgically drops every cached artifact covering the given model
+    /// content hashes ([`Session::model_key_hash`] of changed sessions):
+    /// their marginal-cache entries, calibration timings, and prepared
+    /// models — and nothing else; unrelated entries stay warm. The hashes
+    /// are also queued as segment tombstones so the next
+    /// [`Engine::save_marginals`] kills their on-disk records. Returns the
+    /// number of marginal entries dropped.
     ///
-    /// Every entry carries its solver fingerprint — for approximate
+    /// Invalidation never changes bits: re-solving an invalidated unit
+    /// against the *same* content reproduces its exact value, and changed
+    /// content hashes to different unit keys outright.
+    pub fn invalidate(&self, changed_models: &[u64]) -> u64 {
+        if changed_models.is_empty() {
+            return 0;
+        }
+        let mut unit_hashes: HashSet<u64> = HashSet::new();
+        {
+            let mut covered = self.covered.lock().expect("invalidation index poisoned");
+            for model in changed_models {
+                if let Some(units) = covered.remove(model) {
+                    unit_hashes.extend(units);
+                }
+            }
+        }
+        let model_set: HashSet<u64> = changed_models.iter().copied().collect();
+        self.models.remove_hashes(&model_set);
+        self.calibration.remove_hashes(&unit_hashes);
+        let dropped = self.marginals.remove_hashes(&unit_hashes);
+        self.pending_tombstones
+            .lock()
+            .expect("tombstone queue poisoned")
+            .extend(model_set);
+        self.units_invalidated.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Applies `update` to the database and invalidates exactly the cached
+    /// units covering its changed sessions, as one step. Returns the new
+    /// database version and the number of marginal entries dropped. On a
+    /// rejected update (unknown p-relation, bad index, arity or item
+    /// mismatch) neither the database nor the caches change.
+    pub fn apply_update(&self, db: &mut PpdDatabase, update: Update) -> Result<(u64, u64)> {
+        let (version, changed) = db.apply(update)?;
+        let dropped = self.invalidate(&changed);
+        self.planned_version.store(version, Ordering::Relaxed);
+        Ok((version, dropped))
+    }
+
+    /// Persists the marginal cache **incrementally** into the segment
+    /// store at `path` (a directory, created if missing; see
+    /// `engine/cache/persist.rs` for the format) and returns the number of
+    /// value records appended. Only units solved since the store was last
+    /// written are appended — a quiet save writes nothing — together with
+    /// tombstones for models invalidated by [`Engine::invalidate`] since
+    /// the last save; once dead records dominate the store it is compacted
+    /// down to its live set. Values are stored as raw `f64` bits, so a
+    /// later [`Engine::load_marginals`] — in this process or any other —
+    /// serves exactly the bits this engine computed.
+    ///
+    /// Each segment write is atomic (temp file + rename): a crash mid-save
+    /// never corrupts the store. One writer per store directory at a time;
+    /// concurrent saves from *different* engines to the same store are not
+    /// supported.
+    pub fn save_marginals(&self, path: impl AsRef<Path>) -> Result<u64> {
+        let model_of: HashMap<u64, u64> = {
+            let covered = self.covered.lock().expect("invalidation index poisoned");
+            covered
+                .iter()
+                .flat_map(|(&model, units)| units.iter().map(move |&unit| (unit, model)))
+                .collect()
+        };
+        let tombstones = self
+            .pending_tombstones
+            .lock()
+            .expect("tombstone queue poisoned")
+            .clone();
+        let report =
+            cache::persist::save(&self.marginals, &model_of, &tombstones, path.as_ref())
+                .map_err(|e| PpdError::Persist(format!("save {}: {e}", path.as_ref().display())))?;
+        // Only tombstones that made it to disk are retired; ones queued by
+        // a concurrent invalidation ride along with the next save.
+        self.pending_tombstones
+            .lock()
+            .expect("tombstone queue poisoned")
+            .retain(|model| !tombstones.contains(model));
+        self.segment_live_bytes
+            .store(report.live_bytes, Ordering::Relaxed);
+        self.segment_dead_bytes
+            .store(report.dead_bytes, Ordering::Relaxed);
+        if report.compacted {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report.appended)
+    }
+
+    /// Warm-starts the marginal cache from a segment store written by
+    /// [`Engine::save_marginals`] and returns the number of live records
+    /// read. Keys are content hashes, so stores are valid across processes
+    /// by construction; entries already present keep their in-memory
+    /// value, and the engine's [`CacheCapacity`] applies to loaded entries
+    /// too. The records' model hashes rebuild the invalidation reverse
+    /// index, so updates arriving after a reload still invalidate
+    /// surgically. A store with any corrupt segment is rejected whole and
+    /// nothing is absorbed.
+    ///
+    /// Every record carries its solver fingerprint — for approximate
     /// entries that includes the sampling budget *and* the engine base
     /// seed that produced the estimate — and fingerprints never alias, so
-    /// loading a snapshot from an engine with a different configuration
+    /// loading a store from an engine with a different configuration
     /// (solver choice, budget, or seed) is safe: mismatched entries simply
     /// contribute no hits.
     pub fn load_marginals(&self, path: impl AsRef<Path>) -> Result<u64> {
-        cache::persist::load(&self.marginals, path.as_ref())
-            .map_err(|e| PpdError::Persist(format!("load {}: {e}", path.as_ref().display())))
+        let report = cache::persist::load(&self.marginals, path.as_ref())
+            .map_err(|e| PpdError::Persist(format!("load {}: {e}", path.as_ref().display())))?;
+        {
+            let mut covered = self.covered.lock().expect("invalidation index poisoned");
+            for &(unit, model) in &report.index {
+                covered.entry(model).or_default().insert(unit);
+            }
+        }
+        self.segment_live_bytes
+            .store(report.live_bytes, Ordering::Relaxed);
+        self.segment_dead_bytes
+            .store(report.dead_bytes, Ordering::Relaxed);
+        Ok(report.records)
     }
 
     /// Number of distinct marginals currently cached.
@@ -247,6 +394,19 @@ impl Engine {
         self.calibration.len()
     }
 
+    /// Copies every calibration timing this engine retains into `target`'s
+    /// store (latest wins on key conflicts, honouring the bound) and
+    /// returns the number of entries donated. Serving layers use this to
+    /// retire idle per-budget engines without discarding what they
+    /// measured: timings are keyed by unit content, so they transfer
+    /// safely and steer wall-clock only, never answers.
+    pub fn donate_calibration(&self, target: &Engine) -> u64 {
+        let entries = self.calibration.snapshot();
+        let donated = entries.len() as u64;
+        target.calibration.absorb(entries);
+        donated
+    }
+
     /// Drops all cached marginals, prepared models, and measured timings
     /// (e.g. after swapping the underlying database for one with different
     /// content).
@@ -254,12 +414,33 @@ impl Engine {
         self.marginals.clear();
         self.models.clear();
         self.calibration.clear();
+        self.covered
+            .lock()
+            .expect("invalidation index poisoned")
+            .clear();
+        self.pending_tombstones
+            .lock()
+            .expect("tombstone queue poisoned")
+            .clear();
+    }
+
+    /// Records that the unit with content hash `unit_hash` covers a
+    /// session whose model hashes to `model_hash`, so a later update to
+    /// that session can invalidate it.
+    fn index_unit(&self, model_hash: u64, unit_hash: u64) {
+        self.covered
+            .lock()
+            .expect("invalidation index poisoned")
+            .entry(model_hash)
+            .or_default()
+            .insert(unit_hash);
     }
 
     /// The work units a query reduces to, without solving them — the
     /// engine's introspection hook, used by benchmarks and capacity
     /// planning to report deduplication factors.
     pub fn plan_units(&self, db: &PpdDatabase, query: &ConjunctiveQuery) -> Result<Vec<WorkUnit>> {
+        self.note_planned_version(db);
         let plan = ground_query(db, query)?;
         let prel = db
             .preference_relation(&plan.prelation)
@@ -348,6 +529,7 @@ impl Engine {
         db: &PpdDatabase,
         plan: &GroundedSessionQuery,
     ) -> Result<Vec<(usize, f64)>> {
+        self.note_planned_version(db);
         let prel = db
             .preference_relation(&plan.prelation)
             .ok_or_else(|| PpdError::UnknownName(plan.prelation.clone()))?;
@@ -488,6 +670,7 @@ impl Engine {
         deliver: impl Fn(usize, Result<BatchAnswer>) + Sync,
     ) {
         let cancelled: Arc<dyn Fn(usize) -> bool + Send + Sync> = Arc::new(cancelled);
+        self.note_planned_version(db);
         // Ground every query up front; a query that cannot ground fails
         // alone, without poisoning its wave-mates.
         let mut planned: Vec<(usize, GroundedSessionQuery)> = Vec::new();
@@ -687,6 +870,7 @@ impl Engine {
                                 *p,
                                 *seconds,
                             );
+                            self.index_unit(pending[unit].model_hash, pending[unit].hash);
                         }
                         let mut t = tracker.lock().expect("streaming tracker poisoned");
                         t.values[unit] = Some(*p);
@@ -758,6 +942,7 @@ impl Engine {
             if grouping {
                 self.marginals
                     .insert_costed(unit.hash, unit.fingerprint, p, seconds);
+                self.index_unit(unit.model_hash, unit.hash);
             }
             values.push(p);
         }
@@ -823,6 +1008,7 @@ impl Engine {
             pending.push(Pending {
                 union: UnitKey::ordered_union(request.union, &order),
                 hash,
+                model_hash: request.session.model_key_hash(),
                 session: request.session,
                 labeling: request.labeling,
                 fingerprint,
@@ -1323,6 +1509,88 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn donated_calibration_carries_measured_timings_not_answers() {
+        let db = polling_database();
+        let source = Engine::new(EvalConfig::exact());
+        source.session_probabilities(&db, &q1()).unwrap();
+        let measured = source.calibrated_units();
+        assert!(measured > 0, "evaluation must record timings");
+
+        let target = Engine::new(EvalConfig::exact());
+        let reference = target.session_probabilities(&db, &q1()).unwrap();
+        let donated = source.donate_calibration(&target);
+        assert_eq!(donated as usize, measured);
+        assert!(target.calibrated_units() >= measured);
+        // Calibration steers scheduling only; answers cannot move.
+        assert_eq!(target.session_probabilities(&db, &q1()).unwrap(), reference);
+    }
+
+    #[test]
+    fn updates_invalidate_surgically_and_match_a_fresh_engine_bitwise() {
+        use crate::session::Session;
+        use crate::value::Value;
+        use ppd_rim::{MallowsModel, Ranking};
+        let mut db = polling_database();
+        let engine = Engine::new(EvalConfig::exact());
+        engine.session_probabilities(&db, &q1()).unwrap();
+        let cached_before = engine.cached_marginals();
+        let misses_before = engine.cache_stats().marginal_misses;
+        assert_eq!(cached_before, 3, "one unit per distinct model");
+        assert_eq!(engine.planned_version(), 1);
+
+        // Replace Dave's session with a different model: exactly Dave's
+        // unit is invalidated, Ann's and Bob's stay warm.
+        let replacement = Session::new(
+            vec![Value::from("Dave"), Value::from("6/5")],
+            MallowsModel::new(Ranking::new(vec![3, 2, 1, 0]).unwrap(), 0.7).unwrap(),
+        );
+        let (version, dropped) = engine
+            .apply_update(
+                &mut db,
+                Update::ReplaceSession {
+                    prelation: "Polls".into(),
+                    index: 2,
+                    session: replacement,
+                },
+            )
+            .unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(engine.planned_version(), 2);
+        assert_eq!(dropped, 1, "only the changed session's unit drops");
+        assert_eq!(engine.cached_marginals(), cached_before - 1);
+        assert_eq!(engine.cache_stats().units_invalidated, 1);
+
+        // Post-update answers are bit-identical to a fresh engine built on
+        // the final snapshot, and only the new unit is solved.
+        let updated = engine.session_probabilities(&db, &q1()).unwrap();
+        let fresh = Engine::new(EvalConfig::exact())
+            .session_probabilities(&db, &q1())
+            .unwrap();
+        assert_eq!(updated.len(), fresh.len());
+        for ((i, p), (j, q)) in updated.iter().zip(&fresh) {
+            assert_eq!(i, j);
+            assert_eq!(p.to_bits(), q.to_bits(), "session {i}");
+        }
+        assert_eq!(
+            engine.cache_stats().marginal_misses,
+            misses_before + 1,
+            "the untouched sessions must be served from the warm cache"
+        );
+
+        // A rejected update leaves version and caches untouched.
+        let err = engine.apply_update(
+            &mut db,
+            Update::DeleteSession {
+                prelation: "Polls".into(),
+                index: 99,
+            },
+        );
+        assert!(err.is_err());
+        assert_eq!(engine.planned_version(), 2);
+        assert_eq!(engine.cache_stats().units_invalidated, 1);
     }
 
     #[test]

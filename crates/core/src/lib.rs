@@ -50,7 +50,7 @@ pub mod translate;
 pub mod value;
 
 pub use count::count_sessions;
-pub use database::{DatabaseBuilder, PpdDatabase};
+pub use database::{DatabaseBuilder, PpdDatabase, Update};
 pub use engine::{
     BatchAnswer, CacheCapacity, CacheStats, Engine, PreparedModel, UnitKey, WaveCostEstimate,
     WorkUnit,
@@ -62,6 +62,10 @@ pub use eval::{
 pub use query::{CompareOp, Comparison, ConjunctiveQuery, PreferenceAtom, RelationAtom, Term};
 pub use relation::Relation;
 pub use session::{PreferenceRelation, Session};
+// Sessions carry a Mallows model, so the model types are part of this
+// crate's public surface (e.g. for constructing `Update`s); re-exported so
+// downstream crates need no direct `ppd_rim` dependency.
+pub use ppd_rim::{MallowsModel, Ranking};
 pub use topk::{most_probable_sessions, SessionScore, TopKStats, TopKStrategy};
 pub use translate::{ground_query, GroundedSessionQuery, QueryShape, SessionQuery};
 pub use value::Value;

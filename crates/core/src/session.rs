@@ -157,6 +157,38 @@ impl PreferenceRelation {
         self.sessions.push(session);
         Ok(())
     }
+
+    /// Replaces the session at `index` (arity- and bounds-checked),
+    /// returning the session it displaced.
+    pub fn replace(&mut self, index: usize, session: Session) -> Result<Session> {
+        if session.attrs().len() != self.session_columns.len() {
+            return Err(PpdError::Malformed(format!(
+                "p-relation {}: session arity mismatch",
+                self.name
+            )));
+        }
+        if index >= self.sessions.len() {
+            return Err(PpdError::Malformed(format!(
+                "p-relation {}: no session at index {index} ({} sessions)",
+                self.name,
+                self.sessions.len()
+            )));
+        }
+        Ok(std::mem::replace(&mut self.sessions[index], session))
+    }
+
+    /// Removes and returns the session at `index` (bounds-checked). Later
+    /// sessions shift down by one, exactly like `Vec::remove`.
+    pub fn remove(&mut self, index: usize) -> Result<Session> {
+        if index >= self.sessions.len() {
+            return Err(PpdError::Malformed(format!(
+                "p-relation {}: no session at index {index} ({} sessions)",
+                self.name,
+                self.sessions.len()
+            )));
+        }
+        Ok(self.sessions.remove(index))
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +218,30 @@ mod tests {
             .is_err());
         assert_eq!(p.session_column_index("voter"), Some(0));
         assert_eq!(p.session_column_index("date"), None);
+    }
+
+    #[test]
+    fn replace_and_remove_validate_and_return_the_displaced_session() {
+        let ann = Session::new(vec![Value::from("Ann")], model(0.3));
+        let bob = Session::new(vec![Value::from("Bob")], model(0.5));
+        let mut p = PreferenceRelation::new("P", vec!["voter"], vec![ann, bob]).unwrap();
+        // Arity and bounds are checked before anything mutates.
+        assert!(p.replace(0, Session::new(vec![], model(0.3))).is_err());
+        assert!(p
+            .replace(2, Session::new(vec![Value::from("Cat")], model(0.3)))
+            .is_err());
+        assert!(p.remove(2).is_err());
+        assert_eq!(p.num_sessions(), 2);
+        let displaced = p
+            .replace(0, Session::new(vec![Value::from("Cat")], model(0.9)))
+            .unwrap();
+        assert_eq!(displaced.attrs(), &[Value::from("Ann")]);
+        assert_eq!(p.sessions()[0].attrs(), &[Value::from("Cat")]);
+        let removed = p.remove(0).unwrap();
+        assert_eq!(removed.attrs(), &[Value::from("Cat")]);
+        // Removal shifts later sessions down.
+        assert_eq!(p.num_sessions(), 1);
+        assert_eq!(p.sessions()[0].attrs(), &[Value::from("Bob")]);
     }
 
     #[test]

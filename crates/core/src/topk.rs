@@ -85,6 +85,7 @@ pub(crate) fn most_probable_with_engine(
     k: usize,
     strategy: TopKStrategy,
 ) -> Result<(Vec<SessionScore>, TopKStats)> {
+    engine.note_planned_version(db);
     let plan = ground_query(db, query)?;
     let prel = db
         .preference_relation(&plan.prelation)

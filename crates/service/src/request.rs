@@ -4,6 +4,7 @@
 
 use crate::deadline::CancelToken;
 use ppd_core::{ConjunctiveQuery, ErrorBudget, PpdError, SessionScore, TopKStrategy};
+use std::cell::Cell;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -149,6 +150,15 @@ pub enum Answer {
     SessionProbabilities(Vec<(usize, f64)>),
     /// Answer to [`Request::TopK`], sorted by decreasing probability.
     TopK(Vec<SessionScore>),
+    /// Receipt for a submitted [`Update`](ppd_core::Update): the database
+    /// version the update produced and the number of cached work units the
+    /// service invalidated (exactly those covering changed sessions).
+    Updated {
+        /// The database version id after the update applied.
+        version: u64,
+        /// Cached marginal entries dropped by surgical invalidation.
+        invalidated: u64,
+    },
 }
 
 /// How a submission or an admitted query can fail.
@@ -204,6 +214,20 @@ impl From<PpdError> for ServiceError {
 /// What flows through a ticket's one-shot channel.
 pub(crate) type Delivery = Result<Answer, ServiceError>;
 
+/// A delivery plus the database version it was computed against (`0` when
+/// the request failed before reaching a versioned snapshot — admission
+/// errors, protocol errors, expiry in the queue).
+pub(crate) struct Outcome {
+    pub(crate) delivery: Delivery,
+    pub(crate) version: u64,
+}
+
+impl Outcome {
+    pub(crate) fn new(delivery: Delivery, version: u64) -> Self {
+        Outcome { delivery, version }
+    }
+}
+
 /// A claim on one submitted query's future answer.
 ///
 /// The ticket is the receiving half of a one-shot channel the service
@@ -218,26 +242,55 @@ pub(crate) type Delivery = Result<Answer, ServiceError>;
 #[derive(Debug)]
 pub struct Ticket {
     query_name: String,
-    receiver: mpsc::Receiver<Delivery>,
+    receiver: mpsc::Receiver<Outcome>,
     cancel: CancelToken,
+    read_version: u64,
+    computed_version: Cell<u64>,
 }
 
 impl Ticket {
     pub(crate) fn new(
         query_name: String,
-        receiver: mpsc::Receiver<Delivery>,
+        receiver: mpsc::Receiver<Outcome>,
         cancel: CancelToken,
+        read_version: u64,
     ) -> Self {
         Ticket {
             query_name,
             receiver,
             cancel,
+            read_version,
+            computed_version: Cell::new(0),
         }
     }
 
     /// Name of the submitted query, for logs.
     pub fn query_name(&self) -> &str {
         &self.query_name
+    }
+
+    /// The routed database's version id current when this request was
+    /// admitted. Updates queued ahead of the request may still apply before
+    /// it runs — compare with [`Ticket::computed_version`] to tell.
+    pub fn read_version(&self) -> u64 {
+        self.read_version
+    }
+
+    /// The database version the delivered answer was computed against:
+    /// `None` until an answer (or versioned error) has been received
+    /// through [`Ticket::try_wait`] / [`Ticket::wait_timeout`], or when the
+    /// request failed before reaching a versioned snapshot.
+    pub fn computed_version(&self) -> Option<u64> {
+        match self.computed_version.get() {
+            0 => None,
+            version => Some(version),
+        }
+    }
+
+    /// Unwraps an outcome, remembering its computed-against version.
+    fn accept(&self, outcome: Outcome) -> Delivery {
+        self.computed_version.set(outcome.version);
+        outcome.delivery
     }
 
     /// The request's absolute deadline, if one was set at submission.
@@ -247,9 +300,21 @@ impl Ticket {
 
     /// Blocks until the answer is delivered or the deadline passes.
     pub fn wait(self) -> Delivery {
+        self.wait_versioned().0
+    }
+
+    /// [`Ticket::wait`], also returning the database version the answer was
+    /// computed against (`None` for unversioned failures).
+    pub fn wait_versioned(self) -> (Delivery, Option<u64>) {
+        let delivery = self.wait_inner();
+        let version = self.computed_version();
+        (delivery, version)
+    }
+
+    fn wait_inner(&self) -> Delivery {
         let Some(deadline) = self.cancel.deadline() else {
             return match self.receiver.recv() {
-                Ok(delivery) => delivery,
+                Ok(outcome) => self.accept(outcome),
                 Err(mpsc::RecvError) => Err(ServiceError::Disconnected),
             };
         };
@@ -258,7 +323,7 @@ impl Ticket {
             return self.resolve_expired();
         }
         match self.receiver.recv_timeout(deadline - now) {
-            Ok(delivery) => delivery,
+            Ok(outcome) => self.accept(outcome),
             Err(mpsc::RecvTimeoutError::Timeout) => self.resolve_expired(),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Disconnected),
         }
@@ -268,7 +333,7 @@ impl Ticket {
     /// within its deadline.
     pub fn try_wait(&self) -> Option<Delivery> {
         match self.receiver.try_recv() {
-            Ok(delivery) => Some(delivery),
+            Ok(outcome) => Some(self.accept(outcome)),
             Err(mpsc::TryRecvError::Empty) => {
                 if self.cancel.deadline_expired() {
                     self.cancel.cancel();
@@ -292,13 +357,13 @@ impl Ticket {
             None => timeout,
         };
         match self.receiver.recv_timeout(effective) {
-            Ok(delivery) => Some(delivery),
+            Ok(outcome) => Some(self.accept(outcome)),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if self.cancel.deadline_expired() {
                     // Answer-vs-deadline race: a delivery that landed while
                     // we timed out still wins.
                     match self.receiver.try_recv() {
-                        Ok(delivery) => Some(delivery),
+                        Ok(outcome) => Some(self.accept(outcome)),
                         Err(_) => {
                             self.cancel.cancel();
                             Some(Err(ServiceError::DeadlineExceeded))
@@ -316,7 +381,7 @@ impl Ticket {
     /// otherwise cancel the in-flight work and report expiry.
     fn resolve_expired(&self) -> Delivery {
         match self.receiver.try_recv() {
-            Ok(delivery) => delivery,
+            Ok(outcome) => self.accept(outcome),
             Err(_) => {
                 self.cancel.cancel();
                 Err(ServiceError::DeadlineExceeded)
@@ -338,10 +403,10 @@ impl Drop for Ticket {
 mod tests {
     use super::*;
 
-    fn ticket(deadline: Option<Duration>) -> (mpsc::Sender<Delivery>, Ticket, CancelToken) {
+    fn ticket(deadline: Option<Duration>) -> (mpsc::Sender<Outcome>, Ticket, CancelToken) {
         let (tx, rx) = mpsc::channel();
         let cancel = CancelToken::new(deadline.map(|d| Instant::now() + d));
-        let ticket = Ticket::new("q".into(), rx, cancel.clone());
+        let ticket = Ticket::new("q".into(), rx, cancel.clone(), 1);
         (tx, ticket, cancel)
     }
 
@@ -349,16 +414,20 @@ mod tests {
     fn ticket_resolves_once_delivered() {
         let (tx, ticket, _cancel) = ticket(None);
         assert_eq!(ticket.query_name(), "q");
+        assert_eq!(ticket.read_version(), 1);
+        assert_eq!(ticket.computed_version(), None, "nothing delivered yet");
         assert!(ticket.try_wait().is_none(), "nothing delivered yet");
-        tx.send(Ok(Answer::Boolean(0.5))).unwrap();
-        assert_eq!(ticket.wait(), Ok(Answer::Boolean(0.5)));
+        tx.send(Outcome::new(Ok(Answer::Boolean(0.5)), 3)).unwrap();
+        let (delivery, version) = ticket.wait_versioned();
+        assert_eq!(delivery, Ok(Answer::Boolean(0.5)));
+        assert_eq!(version, Some(3), "the answer reports its snapshot");
     }
 
     #[test]
     fn dropped_sender_surfaces_as_disconnected() {
-        let (tx, rx) = mpsc::channel::<Delivery>();
+        let (tx, rx) = mpsc::channel::<Outcome>();
         drop(tx);
-        let ticket = Ticket::new("q".into(), rx, CancelToken::new(None));
+        let ticket = Ticket::new("q".into(), rx, CancelToken::new(None), 1);
         assert_eq!(ticket.try_wait(), Some(Err(ServiceError::Disconnected)));
         assert_eq!(ticket.wait(), Err(ServiceError::Disconnected));
     }
@@ -380,7 +449,7 @@ mod tests {
     #[test]
     fn answer_delivered_before_the_deadline_wins_the_race() {
         let (tx, ticket, _cancel) = ticket(Some(Duration::from_millis(1)));
-        tx.send(Ok(Answer::Count(2.0))).unwrap();
+        tx.send(Outcome::new(Ok(Answer::Count(2.0)), 1)).unwrap();
         std::thread::sleep(Duration::from_millis(5));
         // The deadline has passed, but the answer landed first: deliver it.
         assert_eq!(ticket.wait(), Ok(Answer::Count(2.0)));

@@ -12,14 +12,33 @@
 //! before anything is queued.
 
 use crate::request::ServiceError;
-use ppd_core::{Engine, ErrorBudget, EvalConfig, PpdDatabase, SolverChoice};
+use ppd_core::{Engine, ErrorBudget, EvalConfig, PpdDatabase, PpdError, SolverChoice, Update};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+
+/// How many per-budget engines one tenant keeps alive at once. Requests
+/// carrying distinct error budgets legitimately produce different answer
+/// bits, so each distinct budget needs its own engine — but an unbounded
+/// registry would let a scan over budgets pin unbounded cache memory. Past
+/// this bound the least-recently-used engine is retired, donating its
+/// calibration timings to the tenant's base engine first.
+pub(crate) const MAX_BUDGET_ENGINES: usize = 8;
+
+/// One lazily created error-budget engine plus its last-use tick, the LRU
+/// retirement key.
+struct BudgetSlot {
+    engine: Arc<Engine>,
+    last_used: u64,
+}
 
 /// One database and the engine dedicated to it.
 pub(crate) struct Tenant {
     pub(crate) id: String,
-    pub(crate) db: PpdDatabase,
+    /// The live database. Written only by the dispatcher *between* waves
+    /// (see `run_wave`), read for the duration of each wave group — so
+    /// wave-mates always evaluate one fixed snapshot.
+    pub(crate) db: RwLock<PpdDatabase>,
     pub(crate) engine: Engine,
     /// The tenant's base evaluation configuration, kept so per-request
     /// error-budget engines inherit everything except the solver choice.
@@ -28,36 +47,93 @@ pub(crate) struct Tenant {
     /// [`ErrorBudget`], keyed by `(epsilon.to_bits(), confidence.to_bits())`
     /// so bit-identical budgets share one engine (and its caches) while
     /// distinct budgets — which legitimately produce different answer bits —
-    /// never share a marginal-cache keyspace with the base engine.
-    budget_engines: Mutex<BTreeMap<(u64, u64), Arc<Engine>>>,
+    /// never share a marginal-cache keyspace with the base engine. Bounded
+    /// to [`MAX_BUDGET_ENGINES`] with LRU retirement.
+    budget_engines: Mutex<BTreeMap<(u64, u64), BudgetSlot>>,
+    /// Monotonic use counter ordering budget-engine retirement. A logical
+    /// clock rather than wall time: deterministic under test and immune to
+    /// clock steps.
+    use_tick: AtomicU64,
 }
 
 impl Tenant {
+    /// The database version currently served.
+    pub(crate) fn version(&self) -> u64 {
+        self.read_db().version()
+    }
+
+    pub(crate) fn read_db(&self) -> RwLockReadGuard<'_, PpdDatabase> {
+        self.db.read().expect("tenant database poisoned")
+    }
+
+    /// Applies one update to this tenant's database and surgically
+    /// invalidates *every* engine serving it — the base engine and all live
+    /// budget engines cache work units keyed by session content, so all of
+    /// them must drop the units covering changed sessions. Returns the new
+    /// version id and the total number of cached units invalidated. On a
+    /// rejected update nothing changes anywhere.
+    pub(crate) fn apply_update(&self, update: Update) -> Result<(u64, u64), PpdError> {
+        let mut db = self.db.write().expect("tenant database poisoned");
+        let (version, changed) = db.apply(update)?;
+        let mut invalidated = self.engine.invalidate(&changed);
+        let engines = self
+            .budget_engines
+            .lock()
+            .expect("budget engine registry poisoned");
+        for slot in engines.values() {
+            invalidated += slot.engine.invalidate(&changed);
+        }
+        Ok((version, invalidated))
+    }
+
     /// The engine that serves requests carrying `budget`: created on first
     /// sight of that exact `(ε, confidence)` pair, reused afterwards so its
-    /// marginal and calibration caches warm up across requests.
+    /// marginal and calibration caches warm up across requests. Creating
+    /// one past the [`MAX_BUDGET_ENGINES`] bound retires the least recently
+    /// used engine, donating its calibration timings to the base engine so
+    /// measured costs outlive the engine that measured them.
     pub(crate) fn budget_engine(&self, budget: ErrorBudget) -> Arc<Engine> {
         let key = (budget.epsilon.to_bits(), budget.confidence.to_bits());
+        let tick = self.use_tick.fetch_add(1, Ordering::Relaxed) + 1;
         let mut engines = self
             .budget_engines
             .lock()
             .expect("budget engine registry poisoned");
-        Arc::clone(engines.entry(key).or_insert_with(|| {
-            let mut eval = self.eval.clone();
-            eval.solver = SolverChoice::ErrorBudget(budget);
-            Arc::new(Engine::new(eval))
-        }))
+        if let Some(slot) = engines.get_mut(&key) {
+            slot.last_used = tick;
+            return Arc::clone(&slot.engine);
+        }
+        if engines.len() >= MAX_BUDGET_ENGINES {
+            let oldest = engines
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(&key, _)| key)
+                .expect("non-empty registry has an LRU entry");
+            let retired = engines.remove(&oldest).expect("LRU key resolves");
+            retired.engine.donate_calibration(&self.engine);
+        }
+        let mut eval = self.eval.clone();
+        eval.solver = SolverChoice::ErrorBudget(budget);
+        let engine = Arc::new(Engine::new(eval));
+        engines.insert(
+            key,
+            BudgetSlot {
+                engine: Arc::clone(&engine),
+                last_used: tick,
+            },
+        );
+        engine
     }
 
     /// Cache counters over *all* of this tenant's engines: the base engine
-    /// plus every budget engine spawned so far.
+    /// plus every budget engine currently alive.
     pub(crate) fn engine_cache_stats(&self) -> Vec<ppd_core::CacheStats> {
         let mut all = vec![self.engine.cache_stats()];
         let engines = self
             .budget_engines
             .lock()
             .expect("budget engine registry poisoned");
-        all.extend(engines.values().map(|engine| engine.cache_stats()));
+        all.extend(engines.values().map(|slot| slot.engine.cache_stats()));
         all
     }
 }
@@ -87,10 +163,11 @@ impl Router {
             by_id.insert(id.clone(), tenants.len());
             tenants.push(Tenant {
                 id,
-                db,
+                db: RwLock::new(db),
                 engine: Engine::new(eval.clone()),
                 eval: eval.clone(),
                 budget_engines: Mutex::new(BTreeMap::new()),
+                use_tick: AtomicU64::new(0),
             });
         }
         assert!(!tenants.is_empty(), "a service needs at least one database");
@@ -170,6 +247,74 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &other), "distinct budgets do not");
         // Base engine + two budget engines.
         assert_eq!(tenant.engine_cache_stats().len(), 3);
+    }
+
+    #[test]
+    fn budget_engines_retire_least_recently_used_past_the_bound() {
+        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact());
+        let tenant = router.tenant(0);
+        let budget = |i: usize| ErrorBudget {
+            epsilon: 0.01 + i as f64 * 0.001,
+            confidence: 0.9,
+        };
+        let first = tenant.budget_engine(budget(0));
+        let second = tenant.budget_engine(budget(1));
+        for i in 2..MAX_BUDGET_ENGINES {
+            tenant.budget_engine(budget(i));
+        }
+        // Touch the oldest so budget(1) becomes the LRU victim...
+        assert!(Arc::ptr_eq(&first, &tenant.budget_engine(budget(0))));
+        // ...then overflow the bound, retiring it.
+        tenant.budget_engine(budget(MAX_BUDGET_ENGINES));
+        assert_eq!(
+            tenant.engine_cache_stats().len(),
+            1 + MAX_BUDGET_ENGINES,
+            "the registry must stay bounded"
+        );
+        assert!(
+            Arc::ptr_eq(&first, &tenant.budget_engine(budget(0))),
+            "recently used engines survive"
+        );
+        let second_after = tenant.budget_engine(budget(1));
+        assert!(
+            !Arc::ptr_eq(&second, &second_after),
+            "the LRU victim was retired and is rebuilt on next use"
+        );
+    }
+
+    #[test]
+    fn tenant_updates_bump_the_version_and_invalidate_every_engine() {
+        use ppd_core::{MallowsModel, Ranking, Session, Update, Value};
+        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact());
+        let tenant = router.tenant(0);
+        assert_eq!(tenant.version(), 1);
+        let relation = tenant.read_db().preference_relation_names()[0].to_string();
+        let arity = tenant
+            .read_db()
+            .preference_relation(&relation)
+            .unwrap()
+            .session_columns()
+            .len();
+        let session = Session::new(
+            (0..arity).map(|i| Value::from(format!("s{i}"))).collect(),
+            MallowsModel::new(Ranking::new(vec![1, 0, 2, 3]).unwrap(), 0.4).unwrap(),
+        );
+        let (version, invalidated) = tenant
+            .apply_update(Update::InsertSession {
+                prelation: relation.clone(),
+                session,
+            })
+            .unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(invalidated, 0, "nothing was cached yet");
+        assert_eq!(tenant.version(), 2);
+        assert!(tenant
+            .apply_update(Update::DeleteSession {
+                prelation: relation,
+                index: 99,
+            })
+            .is_err());
+        assert_eq!(tenant.version(), 2, "rejected updates change nothing");
     }
 
     #[test]

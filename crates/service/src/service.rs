@@ -1,51 +1,68 @@
 //! The service proper: admission, routing, the dispatcher thread, wave
-//! execution with class priority and cancellation, and graceful shutdown.
+//! execution with class priority and cancellation, between-wave database
+//! updates, and graceful shutdown.
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::config::ServiceConfig;
 use crate::deadline::CancelToken;
 use crate::request::{
-    AdmissionClass, Answer, Delivery, Request, ServiceError, SubmitOptions, Ticket,
+    AdmissionClass, Answer, Delivery, Outcome, Request, ServiceError, SubmitOptions, Ticket,
 };
 use crate::router::{Router, Tenant};
 use crate::stats::{DeliveryKind, ServiceStats, StatsCollector};
 use ppd_core::{
-    BatchAnswer, CacheStats, ConjunctiveQuery, Engine, ErrorBudget, PpdDatabase, PpdError,
+    BatchAnswer, CacheStats, ConjunctiveQuery, Engine, ErrorBudget, PpdDatabase, PpdError, Update,
 };
 use std::collections::BTreeMap;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Database id [`Service::new`] registers its single database under.
 pub const DEFAULT_DATABASE: &str = "default";
 
-/// Where a job's answer goes: a ticket's one-shot channel, or a callback
+/// Where a job's outcome goes: a ticket's one-shot channel, or a callback
 /// (the wire server's per-connection writer).
 pub(crate) enum ReplySink {
-    Channel(mpsc::Sender<Delivery>),
-    Callback(Box<dyn FnOnce(Delivery) + Send>),
+    Channel(mpsc::Sender<Outcome>),
+    Callback(Box<dyn FnOnce(Outcome) + Send>),
 }
 
 impl ReplySink {
-    fn send(self, delivery: Delivery) {
+    fn send(self, outcome: Outcome) {
         match self {
             // A client that dropped its ticket just discards the answer.
-            ReplySink::Channel(tx) => drop(tx.send(delivery)),
-            ReplySink::Callback(callback) => callback(delivery),
+            ReplySink::Channel(tx) => drop(tx.send(outcome)),
+            ReplySink::Callback(callback) => callback(outcome),
         }
     }
 }
 
-/// One admitted query on its way to a wave.
+/// What one admitted job asks for: a query evaluated against a wave's
+/// snapshot, or a database update applied *between* waves.
+enum Work {
+    Query(Request),
+    Update(Update),
+}
+
+/// One admitted job on its way to a wave.
 struct Job {
     tenant: usize,
-    request: Request,
+    work: Work,
     class: AdmissionClass,
     budget: Option<ErrorBudget>,
     submitted: Instant,
     cancel: CancelToken,
     reply: ReplySink,
+}
+
+impl Job {
+    fn request(&self) -> &Request {
+        match &self.work {
+            Work::Query(request) => request,
+            Work::Update(_) => unreachable!("updates never reach a query group"),
+        }
+    }
 }
 
 /// Everything the dispatcher thread and the client-facing handle share.
@@ -67,6 +84,15 @@ struct Inner {
 /// sub-batch on that tenant's engine, and streams each query's answer back
 /// as its work units complete. See the [crate documentation](crate) for the
 /// architecture and the determinism contract.
+///
+/// Databases are *live*: [`submit_update`](Service::submit_update) admits a
+/// mutation through the same queue, and the dispatcher applies it at the
+/// start of the next wave — before any of that wave's queries run — so
+/// every query in a wave observes one fixed snapshot. Each [`Ticket`]
+/// carries the version current at admission
+/// ([`read_version`](Ticket::read_version)) and reports the version its
+/// answer was computed against
+/// ([`computed_version`](Ticket::computed_version)).
 ///
 /// The service is `Sync`: share it by reference (e.g. across scoped
 /// threads) or behind an `Arc`. Dropping it shuts it down gracefully —
@@ -126,36 +152,91 @@ impl Service {
     ) -> Result<Ticket, ServiceError> {
         let (reply, receiver) = mpsc::channel();
         let query_name = request.query().name().to_string();
-        let cancel = self.enqueue(request, options, ReplySink::Channel(reply))?;
-        Ok(Ticket::new(query_name, receiver, cancel))
+        let (cancel, read_version) =
+            self.enqueue(Work::Query(request), options, ReplySink::Channel(reply))?;
+        Ok(Ticket::new(query_name, receiver, cancel, read_version))
+    }
+
+    /// Submits a database update against the default database. The update
+    /// rides the same admission queue as queries (interactive class) but is
+    /// applied *between* waves: at the start of the next wave, before any of
+    /// that wave's queries run. The ticket resolves
+    /// [`Answer::Updated`] with the new version id and the number of cached
+    /// work units surgically invalidated; a rejected update (unknown
+    /// relation, bad index, arity mismatch) resolves
+    /// [`ServiceError::Eval`] and changes nothing.
+    pub fn submit_update(&self, update: Update) -> Result<Ticket, ServiceError> {
+        self.submit_update_with(update, SubmitOptions::default())
+    }
+
+    /// [`Service::submit_update`] with explicit routing, admission class,
+    /// and deadline. The `error_budget` option is ignored — updates mutate
+    /// the database, they do not evaluate anything.
+    pub fn submit_update_with(
+        &self,
+        update: Update,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServiceError> {
+        let (reply, receiver) = mpsc::channel();
+        let (cancel, read_version) =
+            self.enqueue(Work::Update(update), options, ReplySink::Channel(reply))?;
+        Ok(Ticket::new("update".into(), receiver, cancel, read_version))
     }
 
     /// Callback-style submission, used by the wire server: `callback` is
-    /// invoked exactly once with the delivery, from a dispatcher or engine
+    /// invoked exactly once with the outcome, from a dispatcher or engine
     /// worker thread — it must hand off quickly and must not call back into
     /// this service.
     pub(crate) fn submit_callback(
         &self,
         request: Request,
         options: SubmitOptions,
-        callback: impl FnOnce(Delivery) + Send + 'static,
+        callback: impl FnOnce(Outcome) + Send + 'static,
     ) -> Result<CancelToken, ServiceError> {
-        self.enqueue(request, options, ReplySink::Callback(Box::new(callback)))
+        self.enqueue(
+            Work::Query(request),
+            options,
+            ReplySink::Callback(Box::new(callback)),
+        )
+        .map(|(cancel, _)| cancel)
     }
 
+    /// Callback-style update submission, used by the wire server.
+    pub(crate) fn submit_update_callback(
+        &self,
+        update: Update,
+        options: SubmitOptions,
+        callback: impl FnOnce(Outcome) + Send + 'static,
+    ) -> Result<CancelToken, ServiceError> {
+        self.enqueue(
+            Work::Update(update),
+            options,
+            ReplySink::Callback(Box::new(callback)),
+        )
+        .map(|(cancel, _)| cancel)
+    }
+
+    /// Routes and enqueues one job, returning its cancel token and the
+    /// routed database's version at admission time.
     fn enqueue(
         &self,
-        request: Request,
+        work: Work,
         options: SubmitOptions,
         reply: ReplySink,
-    ) -> Result<CancelToken, ServiceError> {
+    ) -> Result<(CancelToken, u64), ServiceError> {
         let tenant = self.inner.router.route(options.database.as_deref())?;
+        let read_version = self.inner.router.tenant(tenant).version();
         let cancel = CancelToken::new(options.deadline.map(|d| Instant::now() + d));
+        // Budgets steer solver choice; updates evaluate nothing.
+        let budget = match work {
+            Work::Query(_) => options.error_budget,
+            Work::Update(_) => None,
+        };
         let job = Job {
             tenant,
-            request,
+            work,
             class: options.class,
-            budget: options.error_budget,
+            budget,
             submitted: Instant::now(),
             cancel: cancel.clone(),
             reply,
@@ -163,7 +244,7 @@ impl Service {
         match self.inner.queue.push(options.class, job) {
             Ok(_) => {
                 self.lock_stats().record_submit(options.class);
-                Ok(cancel)
+                Ok((cancel, read_version))
             }
             Err(AdmitError::Overloaded { depth }) => {
                 self.lock_stats().record_reject(options.class);
@@ -197,6 +278,10 @@ impl Service {
                 total.calibration_hits += stats.calibration_hits;
                 total.calibration_misses += stats.calibration_misses;
                 total.calibration_recorded += stats.calibration_recorded;
+                total.units_invalidated += stats.units_invalidated;
+                total.segment_live_bytes += stats.segment_live_bytes;
+                total.segment_dead_bytes += stats.segment_dead_bytes;
+                total.compactions += stats.compactions;
             }
         }
         total
@@ -216,9 +301,18 @@ impl Service {
         Some(&self.inner.router.tenant(index).engine)
     }
 
-    /// The default tenant's database.
-    pub fn database(&self) -> &PpdDatabase {
-        &self.inner.router.tenant(0).db
+    /// A read snapshot of the default tenant's database. The guard blocks
+    /// queued updates from applying while held — take it, read, drop it.
+    pub fn database(&self) -> RwLockReadGuard<'_, PpdDatabase> {
+        self.inner.router.tenant(0).read_db()
+    }
+
+    /// The version currently served by the database registered under `id`
+    /// (`None` for an unknown id). Versions start at 1 and bump by one per
+    /// applied update.
+    pub fn database_version(&self, id: &str) -> Option<u64> {
+        let index = self.inner.router.route(Some(id)).ok()?;
+        Some(self.inner.router.tenant(index).version())
     }
 
     /// The registered database ids, in registration order (the first is
@@ -297,35 +391,87 @@ fn dispatch_loop(inner: &Inner) {
     }
 }
 
-/// Executes one wave. Jobs are grouped by `(tenant, class, error budget)` —
-/// each group is one engine batch against its tenant's database — and the
-/// groups run interactive-before-batch within each tenant, tenants in
-/// registration order, budget-less jobs before budgeted ones within a lane.
-/// Running the interactive sub-batch as its own engine wave (rather than
-/// mixing classes into one cost-ordered wave) is what makes the priority
-/// real: every interactive answer is delivered before the first batch unit
-/// starts. Grouping by budget bits keeps each engine batch homogeneous in
-/// solver choice, so co-batched queries still share deduplicated work units.
+/// Executes one wave. Updates apply first, in wave order (interactive lane
+/// before batch — the wave is already ordered that way), so every query in
+/// the wave observes one fixed post-update snapshot; queries admitted in
+/// the same wave as an update are answered against the version it produced,
+/// never a half-applied state. The remaining query jobs are grouped by
+/// `(tenant, class, error budget)` — each group is one engine batch against
+/// its tenant's database snapshot — and the groups run interactive-before-
+/// batch within each tenant, tenants in registration order, budget-less
+/// jobs before budgeted ones within a lane. Running the interactive
+/// sub-batch as its own engine wave (rather than mixing classes into one
+/// cost-ordered wave) is what makes the priority real: every interactive
+/// answer is delivered before the first batch unit starts. Grouping by
+/// budget bits keeps each engine batch homogeneous in solver choice, so
+/// co-batched queries still share deduplicated work units.
 fn run_wave(inner: &Inner, wave: Vec<Job>) {
     type GroupKey = (usize, usize, Option<(u64, u64)>);
     let mut groups: BTreeMap<GroupKey, Vec<Job>> = BTreeMap::new();
     for job in wave {
-        let budget_bits = job
-            .budget
-            .map(|b| (b.epsilon.to_bits(), b.confidence.to_bits()));
-        groups
-            .entry((job.tenant, job.class.lane(), budget_bits))
-            .or_default()
-            .push(job);
+        match &job.work {
+            Work::Update(_) => run_update(inner, job),
+            Work::Query(_) => {
+                let budget_bits = job
+                    .budget
+                    .map(|b| (b.epsilon.to_bits(), b.confidence.to_bits()));
+                groups
+                    .entry((job.tenant, job.class.lane(), budget_bits))
+                    .or_default()
+                    .push(job);
+            }
+        }
     }
     for ((tenant, _, _), jobs) in groups {
         let tenant = inner.router.tenant(tenant);
+        // The read guard pins this group's snapshot: updates admitted after
+        // this wave formed wait for the next wave boundary.
+        let db = tenant.read_db();
         match jobs[0].budget {
-            None => run_group(inner, tenant, &tenant.engine, jobs),
+            None => run_group(inner, &db, &tenant.engine, jobs),
             Some(budget) => {
                 let engine = tenant.budget_engine(budget);
-                run_group(inner, tenant, &engine, jobs);
+                run_group(inner, &db, &engine, jobs);
             }
+        }
+    }
+}
+
+/// Applies one admitted update to its tenant's database and delivers the
+/// receipt. Runs on the dispatcher thread before the wave's query groups,
+/// while no wave holds a read guard — the only place the database is ever
+/// written.
+fn run_update(inner: &Inner, job: Job) {
+    if job.cancel.is_cancelled() {
+        let delivery = Err(eval_error(&job, PpdError::Cancelled));
+        finish(inner, job, delivery, 0);
+        return;
+    }
+    let Work::Update(update) = &job.work else {
+        unreachable!("only update jobs reach run_update");
+    };
+    let update = update.clone();
+    let tenant: &Tenant = inner.router.tenant(job.tenant);
+    match tenant.apply_update(update) {
+        Ok((version, invalidated)) => {
+            inner
+                .stats
+                .lock()
+                .expect("service stats poisoned")
+                .record_update();
+            finish(
+                inner,
+                job,
+                Ok(Answer::Updated {
+                    version,
+                    invalidated,
+                }),
+                version,
+            );
+        }
+        Err(e) => {
+            let delivery = Err(eval_error(&job, e));
+            finish(inner, job, delivery, 0);
         }
     }
 }
@@ -335,13 +481,14 @@ fn run_wave(inner: &Inner, wave: Vec<Job>) {
 /// cancellable streamed batch — sharing deduplicated work units and
 /// delivering each answer the moment its units finish — and top-k queries
 /// follow one by one on the same warm engine.
-fn run_group(inner: &Inner, tenant: &Tenant, engine: &Engine, jobs: Vec<Job>) {
+fn run_group(inner: &Inner, db: &PpdDatabase, engine: &Engine, jobs: Vec<Job>) {
+    let version = db.version();
     let mut batched: Vec<Mutex<Option<Job>>> = Vec::new();
     let mut batched_queries: Vec<ConjunctiveQuery> = Vec::new();
     let mut cancels: Vec<CancelToken> = Vec::new();
     let mut topk: Vec<Job> = Vec::new();
     for job in jobs {
-        match &job.request {
+        match job.request() {
             Request::TopK { .. } => topk.push(job),
             streamable => {
                 batched_queries.push(streamable.query().clone());
@@ -353,7 +500,7 @@ fn run_group(inner: &Inner, tenant: &Tenant, engine: &Engine, jobs: Vec<Job>) {
 
     if !batched_queries.is_empty() {
         engine.evaluate_batch_streamed_cancellable(
-            &tenant.db,
+            db,
             &batched_queries,
             // `move` satisfies the engine's `'static` bound (the probe now
             // reaches exact DP kernels mid-solve); the tokens are Arc-backed.
@@ -367,10 +514,10 @@ fn run_group(inner: &Inner, tenant: &Tenant, engine: &Engine, jobs: Vec<Job>) {
                     .take();
                 if let Some(job) = taken {
                     let delivery = match outcome {
-                        Ok(answer) => Ok(project(&job.request, answer)),
+                        Ok(answer) => Ok(project(job.request(), answer)),
                         Err(e) => Err(eval_error(&job, e)),
                     };
-                    finish(inner, job, delivery);
+                    finish(inner, job, delivery, version);
                 }
             },
         );
@@ -379,7 +526,7 @@ fn run_group(inner: &Inner, tenant: &Tenant, engine: &Engine, jobs: Vec<Job>) {
         for slot in &batched {
             if let Some(job) = slot.lock().expect("wave delivery slot poisoned").take() {
                 debug_assert!(false, "engine failed to deliver a batched query");
-                finish(inner, job, Err(ServiceError::Disconnected));
+                finish(inner, job, Err(ServiceError::Disconnected), 0);
             }
         }
     }
@@ -387,17 +534,17 @@ fn run_group(inner: &Inner, tenant: &Tenant, engine: &Engine, jobs: Vec<Job>) {
     for job in topk {
         if job.cancel.is_cancelled() {
             let delivery = Err(eval_error(&job, PpdError::Cancelled));
-            finish(inner, job, delivery);
+            finish(inner, job, delivery, version);
             continue;
         }
-        let Request::TopK { query, k, strategy } = &job.request else {
+        let Request::TopK { query, k, strategy } = job.request() else {
             unreachable!("only top-k jobs are deferred past the streamed batch");
         };
         let delivery = engine
-            .most_probable_sessions(&tenant.db, query, *k, *strategy)
+            .most_probable_sessions(db, query, *k, *strategy)
             .map(|(scores, _stats)| Answer::TopK(scores))
             .map_err(ServiceError::Eval);
-        finish(inner, job, delivery);
+        finish(inner, job, delivery, version);
     }
 }
 
@@ -424,9 +571,10 @@ fn project(request: &Request, answer: BatchAnswer) -> Answer {
     }
 }
 
-/// Records the delivery and sends it; a client that dropped its ticket just
-/// discards the answer.
-fn finish(inner: &Inner, job: Job, delivery: Delivery) {
+/// Records the delivery and sends it stamped with the version it was
+/// computed against (`0` = never reached a versioned snapshot); a client
+/// that dropped its ticket just discards the answer.
+fn finish(inner: &Inner, job: Job, delivery: Delivery, version: u64) {
     let latency = job.submitted.elapsed();
     let kind = match &delivery {
         Ok(_) => DeliveryKind::Answered,
@@ -440,13 +588,13 @@ fn finish(inner: &Inner, job: Job, delivery: Delivery) {
         .lock()
         .expect("service stats poisoned")
         .record_delivery(latency, kind);
-    job.reply.send(delivery);
+    job.reply.send(Outcome::new(delivery, version));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppd_core::{EvalConfig, Term};
+    use ppd_core::{EvalConfig, MallowsModel, Ranking, Session, Term, Value};
     use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
 
     fn tiny_db() -> PpdDatabase {
@@ -656,5 +804,84 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.interactive_submitted, 1);
         assert_eq!(stats.batch_submitted, 1);
+    }
+
+    fn insert_update(db: &PpdDatabase) -> Update {
+        let relation = db.preference_relation_names()[0].to_string();
+        let arity = db
+            .preference_relation(&relation)
+            .unwrap()
+            .session_columns()
+            .len();
+        Update::InsertSession {
+            prelation: relation,
+            session: Session::new(
+                (0..arity).map(|i| Value::from(format!("s{i}"))).collect(),
+                MallowsModel::new(Ranking::new(vec![2, 0, 1, 3, 4]).unwrap(), 0.3).unwrap(),
+            ),
+        }
+    }
+
+    #[test]
+    fn updates_apply_between_waves_and_version_the_answers() {
+        let db = tiny_db();
+        let q = polls_q1_query();
+        let service = Service::new(db.clone(), ServiceConfig::new(EvalConfig::exact()));
+        assert_eq!(service.database_version(DEFAULT_DATABASE), Some(1));
+        assert_eq!(service.database_version("nope"), None);
+
+        // A query before any update is computed against version 1.
+        let ticket = service.submit(Request::Boolean(q.clone())).unwrap();
+        assert_eq!(ticket.read_version(), 1);
+        let (delivery, version) = ticket.wait_versioned();
+        delivery.unwrap();
+        assert_eq!(version, Some(1));
+
+        // The update receipt reports the version it produced...
+        let ticket = service.submit_update(insert_update(&db)).unwrap();
+        let (delivery, version) = ticket.wait_versioned();
+        assert_eq!(
+            delivery,
+            Ok(Answer::Updated {
+                version: 2,
+                invalidated: 0
+            }),
+            "nothing touching the base relation was cached yet"
+        );
+        assert_eq!(version, Some(2));
+        assert_eq!(service.database_version(DEFAULT_DATABASE), Some(2));
+
+        // ...and a later query answers against the new snapshot, matching a
+        // fresh engine on the updated database bit for bit.
+        let mut updated = db.clone();
+        updated.apply(insert_update(&db)).unwrap();
+        let expect = Engine::new(EvalConfig::exact())
+            .evaluate_boolean(&updated, &q)
+            .unwrap();
+        let ticket = service.submit(Request::Boolean(q.clone())).unwrap();
+        assert_eq!(ticket.read_version(), 2);
+        let (delivery, version) = ticket.wait_versioned();
+        assert_eq!(delivery, Ok(Answer::Boolean(expect)));
+        assert_eq!(version, Some(2));
+
+        let stats = service.shutdown();
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.answered, 3, "update receipts count as answered");
+    }
+
+    #[test]
+    fn rejected_updates_fail_without_changing_the_database() {
+        let service = Service::new(tiny_db(), ServiceConfig::new(EvalConfig::exact()));
+        let ticket = service
+            .submit_update(Update::DeleteSession {
+                prelation: "NoSuchRelation".into(),
+                index: 0,
+            })
+            .unwrap();
+        assert!(matches!(ticket.wait(), Err(ServiceError::Eval(_))));
+        assert_eq!(service.database_version(DEFAULT_DATABASE), Some(1));
+        let stats = service.shutdown();
+        assert_eq!(stats.updates_applied, 0);
+        assert_eq!(stats.failed, 1);
     }
 }

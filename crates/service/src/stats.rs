@@ -32,6 +32,9 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Queries resolved `DeadlineExceeded` or abandoned by cancellation.
     pub expired: u64,
+    /// Database updates applied (admitted like requests, applied between
+    /// waves; rejected updates count under `failed`).
+    pub updates_applied: u64,
     /// Queries currently waiting in the admission queue (both lanes).
     pub queue_depth: usize,
     /// Queries currently waiting in the interactive lane.
@@ -79,7 +82,7 @@ impl std::fmt::Display for ServiceStats {
         write!(
             f,
             "service: {} submitted ({} interactive / {} batch, {} rejected), \
-             {} answered, {} failed, {} expired, {} queued; \
+             {} answered, {} failed, {} expired, {} updates, {} queued; \
              {} waves (mean {:.1}, max {}); latency mean {:.1?}, max {:.1?} | {}",
             self.submitted,
             self.interactive_submitted,
@@ -88,6 +91,7 @@ impl std::fmt::Display for ServiceStats {
             self.answered,
             self.failed,
             self.expired,
+            self.updates_applied,
             self.queue_depth,
             self.waves,
             self.mean_wave_size(),
@@ -115,6 +119,7 @@ pub(crate) struct StatsCollector {
     answered: u64,
     failed: u64,
     expired: u64,
+    updates_applied: u64,
     waves: u64,
     max_wave: usize,
     wave_sizes: BTreeMap<usize, u64>,
@@ -129,6 +134,10 @@ impl StatsCollector {
 
     pub(crate) fn record_reject(&mut self, class: AdmissionClass) {
         self.rejected[class.lane()] += 1;
+    }
+
+    pub(crate) fn record_update(&mut self) {
+        self.updates_applied += 1;
     }
 
     pub(crate) fn record_wave(&mut self, size: usize) {
@@ -164,6 +173,7 @@ impl StatsCollector {
             answered: self.answered,
             failed: self.failed,
             expired: self.expired,
+            updates_applied: self.updates_applied,
             queue_depth: interactive_queue_depth + batch_queue_depth,
             interactive_queue_depth,
             batch_queue_depth,
@@ -198,7 +208,10 @@ mod tests {
         c.record_delivery(Duration::from_millis(10), DeliveryKind::Answered);
         c.record_delivery(Duration::from_millis(30), DeliveryKind::Failed);
         c.record_delivery(Duration::from_millis(20), DeliveryKind::Expired);
+        c.record_update();
+        c.record_update();
         let stats = c.snapshot(2, 1, CacheStats::default());
+        assert_eq!(stats.updates_applied, 2);
         assert_eq!(stats.submitted, 4);
         assert_eq!(stats.interactive_submitted, 3);
         assert_eq!(stats.batch_submitted, 1);

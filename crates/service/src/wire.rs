@@ -20,6 +20,19 @@
 //! **out of submission order** because the service streams each answer as
 //! soon as its work units finish. [`WireClient`] reorders by id.
 //!
+//! Databases are live over the wire too. An update frame:
+//!
+//! ```json
+//! {"id": 9, "kind": "update", "op": "insert", "prelation": "Polls",
+//!  "session": {"attrs": ["v9"], "ranking": [2, 0, 1], "phi": 0.3}}
+//! ```
+//!
+//! is admitted like a query (same class lanes and deadlines) but applied
+//! between waves; its response is an `{"kind": "updated", ...}` receipt.
+//! Response frames carry a top-level `"version"` — the database version the
+//! answer was computed against — whenever the request reached a versioned
+//! snapshot.
+//!
 //! **Bit-exactness over the wire.** Probabilities are serialized with
 //! Rust's shortest-round-trip float formatting and parsed back with
 //! `str::parse::<f64>()`, so every `f64` crosses the socket bit-identically
@@ -31,8 +44,8 @@ use crate::request::{AdmissionClass, Answer, Delivery, Request, ServiceError, Su
 use crate::service::Service;
 use crate::stats::ServiceStats;
 use ppd_core::{
-    CacheStats, CompareOp, ConjunctiveQuery, PpdError, SessionScore, Term, TopKStrategy,
-    Value as PpdValue,
+    CacheStats, CompareOp, ConjunctiveQuery, MallowsModel, PpdError, Ranking, Session,
+    SessionScore, Term, TopKStrategy, Update, Value as PpdValue,
 };
 use serde_json::Value;
 use std::collections::{BTreeMap, HashMap};
@@ -313,7 +326,7 @@ fn handle_frame<S: WireStream>(
     // `query` field and is answered synchronously from the service's
     // counters, so it is intercepted before request decoding.
     if let Some(id) = decode_stats_request(frame) {
-        let tenants: Vec<(String, CacheStats)> = service
+        let tenants: Vec<(String, u64, CacheStats)> = service
             .database_ids()
             .iter()
             .map(|id| {
@@ -321,7 +334,10 @@ fn handle_frame<S: WireStream>(
                     .engine_for(id)
                     .expect("listed database resolves")
                     .cache_stats();
-                (id.to_string(), stats)
+                let version = service
+                    .database_version(id)
+                    .expect("listed database resolves");
+                (id.to_string(), version, stats)
             })
             .collect();
         write_line(
@@ -330,12 +346,49 @@ fn handle_frame<S: WireStream>(
         );
         return;
     }
+    // Update frames carry a `session`/`op` instead of a `query`, so they
+    // are also recognized before request decoding.
+    if let Some(decoded) = decode_update_request(frame) {
+        match decoded {
+            Ok((id, update, options)) => {
+                let reply_writer = Arc::clone(writer);
+                let reply_in_flight = Arc::clone(in_flight);
+                let submitted = service.submit_update_callback(update, options, move |outcome| {
+                    write_line(
+                        &reply_writer,
+                        &encode_response(id, &outcome.delivery, outcome.version),
+                    );
+                    reply_in_flight
+                        .lock()
+                        .expect("wire connection poisoned")
+                        .remove(&id);
+                });
+                match submitted {
+                    Ok(token) => {
+                        in_flight
+                            .lock()
+                            .expect("wire connection poisoned")
+                            .insert(id, token);
+                    }
+                    Err(e) => write_line(writer, &encode_response(id, &Err(e), 0)),
+                }
+            }
+            Err((id, message)) => {
+                let err = Err(ServiceError::Protocol(message));
+                write_line(writer, &encode_response(id.unwrap_or(0), &err, 0));
+            }
+        }
+        return;
+    }
     match decode_request(frame) {
         Ok((id, request, options)) => {
             let reply_writer = Arc::clone(writer);
             let reply_in_flight = Arc::clone(in_flight);
-            let submitted = service.submit_callback(request, options, move |delivery| {
-                write_line(&reply_writer, &encode_response(id, &delivery));
+            let submitted = service.submit_callback(request, options, move |outcome| {
+                write_line(
+                    &reply_writer,
+                    &encode_response(id, &outcome.delivery, outcome.version),
+                );
                 reply_in_flight
                     .lock()
                     .expect("wire connection poisoned")
@@ -348,12 +401,12 @@ fn handle_frame<S: WireStream>(
                         .expect("wire connection poisoned")
                         .insert(id, token);
                 }
-                Err(e) => write_line(writer, &encode_response(id, &Err(e))),
+                Err(e) => write_line(writer, &encode_response(id, &Err(e), 0)),
             }
         }
         Err((id, message)) => {
             let err = Err(ServiceError::Protocol(message));
-            write_line(writer, &encode_response(id.unwrap_or(0), &err));
+            write_line(writer, &encode_response(id.unwrap_or(0), &err, 0));
         }
     }
 }
@@ -381,7 +434,7 @@ pub struct WireClient {
     reader: BufReader<Box<dyn Read + Send>>,
     writer: Box<dyn Write + Send>,
     next_id: u64,
-    pending: HashMap<u64, Delivery>,
+    pending: HashMap<u64, (Delivery, Option<u64>)>,
 }
 
 impl WireClient {
@@ -413,6 +466,14 @@ impl WireClient {
         }
     }
 
+    fn write_frame(&mut self, frame: &str) -> Result<(), ServiceError> {
+        self.writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ServiceError::Protocol(format!("send failed: {e}")))
+    }
+
     /// Sends one request frame without waiting; returns the frame id to
     /// pass to [`WireClient::recv`].
     pub fn send(
@@ -423,27 +484,46 @@ impl WireClient {
         let id = self.next_id;
         self.next_id += 1;
         let frame = encode_request(id, request, options);
-        self.writer
-            .write_all(frame.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| ServiceError::Protocol(format!("send failed: {e}")))?;
+        self.write_frame(&frame)?;
+        Ok(id)
+    }
+
+    /// Sends one update frame without waiting; returns the frame id to
+    /// pass to [`WireClient::recv`]. The answer is an [`Answer::Updated`]
+    /// receipt ([`WireClient::apply_update`] unwraps it).
+    pub fn send_update(
+        &mut self,
+        update: &Update,
+        options: &SubmitOptions,
+    ) -> Result<u64, ServiceError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_update_request(id, update, options);
+        self.write_frame(&frame)?;
         Ok(id)
     }
 
     /// Blocks until the response for `id` arrives (stashing any other
     /// pipelined responses that land first) and returns it.
     pub fn recv(&mut self, id: u64) -> Result<Answer, ServiceError> {
+        self.recv_versioned(id).map(|(answer, _)| answer)
+    }
+
+    /// [`WireClient::recv`], also returning the database version the answer
+    /// was computed against (`None` when the request never reached a
+    /// versioned snapshot).
+    pub fn recv_versioned(&mut self, id: u64) -> Result<(Answer, Option<u64>), ServiceError> {
         loop {
-            if let Some(delivery) = self.pending.remove(&id) {
-                return delivery;
+            if let Some((delivery, version)) = self.pending.remove(&id) {
+                return delivery.map(|answer| (answer, version));
             }
             let mut line = String::new();
             match self.reader.read_line(&mut line) {
                 Ok(0) => return Err(ServiceError::Disconnected),
                 Ok(_) => {
-                    let (got, delivery) = decode_response(&line).map_err(ServiceError::Protocol)?;
-                    self.pending.insert(got, delivery);
+                    let (got, delivery, version) =
+                        decode_response(&line).map_err(ServiceError::Protocol)?;
+                    self.pending.insert(got, (delivery, version));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(ServiceError::Protocol(format!("recv failed: {e}"))),
@@ -461,6 +541,26 @@ impl WireClient {
         self.recv(id)
     }
 
+    /// Sends one database update and blocks for its receipt, returning the
+    /// new version id and the number of cached work units the server
+    /// invalidated.
+    pub fn apply_update(
+        &mut self,
+        update: &Update,
+        options: &SubmitOptions,
+    ) -> Result<(u64, u64), ServiceError> {
+        let id = self.send_update(update, options)?;
+        match self.recv(id)? {
+            Answer::Updated {
+                version,
+                invalidated,
+            } => Ok((version, invalidated)),
+            other => Err(ServiceError::Protocol(format!(
+                "expected an update receipt, got {other:?}"
+            ))),
+        }
+    }
+
     /// Fetches the server's activity counters: the [`ServiceStats`]
     /// snapshot plus each tenant's own [`CacheStats`] (including the
     /// calibration counters). Pipelined responses for other in-flight
@@ -473,11 +573,7 @@ impl WireClient {
             ("kind", Value::from("stats")),
         ]))
         .expect("stats frames always serialize");
-        self.writer
-            .write_all(frame.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| ServiceError::Protocol(format!("send failed: {e}")))?;
+        self.write_frame(&frame)?;
         loop {
             let mut line = String::new();
             match self.reader.read_line(&mut line) {
@@ -491,8 +587,9 @@ impl WireClient {
                         })?;
                         return decode_stats_payload(payload).map_err(ServiceError::Protocol);
                     }
-                    let (got, delivery) = decode_response(&line).map_err(ServiceError::Protocol)?;
-                    self.pending.insert(got, delivery);
+                    let (got, delivery, version) =
+                        decode_response(&line).map_err(ServiceError::Protocol)?;
+                    self.pending.insert(got, (delivery, version));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(ServiceError::Protocol(format!("recv failed: {e}"))),
@@ -539,11 +636,14 @@ pub(crate) fn encode_request(id: u64, request: &Request, options: &SubmitOptions
     serde_json::to_string(&object(entries)).expect("request frames always serialize")
 }
 
+/// A decoded inbound frame: id + payload + options on success; on failure
+/// the frame id (when at least that much parsed, so the error response can
+/// still be correlated) and a message.
+type DecodedFrame<T> = Result<(u64, T, SubmitOptions), (Option<u64>, String)>;
+
 /// Decodes one request frame. On failure, returns the frame id when at
 /// least that much parsed, so the error response can still be correlated.
-pub(crate) fn decode_request(
-    frame: &str,
-) -> Result<(u64, Request, SubmitOptions), (Option<u64>, String)> {
+pub(crate) fn decode_request(frame: &str) -> DecodedFrame<Request> {
     let value = serde_json::from_str(frame).map_err(|e| (None, e.to_string()))?;
     let id = value.get("id").and_then(Value::as_u64);
     let fail = |message: String| (id, message);
@@ -814,28 +914,200 @@ fn value_from_json(value: &Value) -> Result<PpdValue, String> {
     Err("constants must be strings, integers, or null".to_string())
 }
 
-/// Encodes one response frame (no trailing newline).
-pub(crate) fn encode_response(id: u64, delivery: &Delivery) -> String {
-    let body = match delivery {
-        Ok(answer) => ("ok", answer_to_json(answer)),
-        Err(error) => ("err", error_to_json(error)),
-    };
-    serde_json::to_string(&object(vec![("id", Value::from(id)), body]))
-        .expect("response frames always serialize")
+/// Encodes one update frame (no trailing newline). Updates never carry an
+/// error budget — they mutate the database, they do not evaluate anything.
+pub(crate) fn encode_update_request(id: u64, update: &Update, options: &SubmitOptions) -> String {
+    let mut entries = vec![
+        ("id", Value::from(id)),
+        ("kind", Value::from("update")),
+        ("class", Value::from(options.class.name())),
+    ];
+    match update {
+        Update::InsertSession { prelation, session } => {
+            entries.push(("op", Value::from("insert")));
+            entries.push(("prelation", Value::from(prelation.as_str())));
+            entries.push(("session", session_to_json(session)));
+        }
+        Update::ReplaceSession {
+            prelation,
+            index,
+            session,
+        } => {
+            entries.push(("op", Value::from("replace")));
+            entries.push(("prelation", Value::from(prelation.as_str())));
+            entries.push(("index", Value::from(*index as u64)));
+            entries.push(("session", session_to_json(session)));
+        }
+        Update::DeleteSession { prelation, index } => {
+            entries.push(("op", Value::from("delete")));
+            entries.push(("prelation", Value::from(prelation.as_str())));
+            entries.push(("index", Value::from(*index as u64)));
+        }
+    }
+    if let Some(db) = &options.database {
+        entries.push(("database", Value::from(db.as_str())));
+    }
+    if let Some(deadline) = options.deadline {
+        entries.push(("deadline_ms", Value::from(deadline.as_millis() as u64)));
+    }
+    serde_json::to_string(&object(entries)).expect("update frames always serialize")
 }
 
-/// Decodes one response frame into `(id, delivery)`.
-pub(crate) fn decode_response(frame: &str) -> Result<(u64, Delivery), String> {
+/// Recognizes an update frame (`kind == "update"`); `None` means the frame
+/// is something else. On failure, returns the frame id when at least that
+/// much parsed, so the error response can still be correlated.
+pub(crate) fn decode_update_request(frame: &str) -> Option<DecodedFrame<Update>> {
+    let value: Value = serde_json::from_str(frame).ok()?;
+    if value.get("kind").and_then(Value::as_str) != Some("update") {
+        return None;
+    }
+    Some(decode_update_fields(&value))
+}
+
+fn decode_update_fields(value: &Value) -> DecodedFrame<Update> {
+    let id = value.get("id").and_then(Value::as_u64);
+    let fail = |message: String| (id, message);
+    let id = id.ok_or((None, "missing numeric `id`".to_string()))?;
+    let prelation = value
+        .get("prelation")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("updates need a string `prelation`".to_string()))?
+        .to_string();
+    let index = || {
+        value
+            .get("index")
+            .and_then(Value::as_u64)
+            .map(|i| i as usize)
+            .ok_or_else(|| fail("this update op needs a numeric `index`".to_string()))
+    };
+    let session = || {
+        value
+            .get("session")
+            .ok_or_else(|| fail("this update op needs a `session`".to_string()))
+            .and_then(|s| session_from_json(s).map_err(&fail))
+    };
+    let update = match value.get("op").and_then(Value::as_str) {
+        Some("insert") => Update::InsertSession {
+            prelation,
+            session: session()?,
+        },
+        Some("replace") => Update::ReplaceSession {
+            prelation,
+            index: index()?,
+            session: session()?,
+        },
+        Some("delete") => Update::DeleteSession {
+            prelation,
+            index: index()?,
+        },
+        _ => {
+            return Err(fail(
+                "update `op` must be insert, replace, or delete".to_string(),
+            ))
+        }
+    };
+    let mut options = SubmitOptions::default();
+    match value.get("class").and_then(Value::as_str) {
+        None | Some("interactive") => {}
+        Some("batch") => options.class = AdmissionClass::Batch,
+        Some(other) => return Err(fail(format!("unknown admission class `{other}`"))),
+    }
+    if let Some(db) = value.get("database") {
+        options.database = Some(
+            db.as_str()
+                .ok_or_else(|| fail("`database` must be a string".to_string()))?
+                .to_string(),
+        );
+    }
+    if let Some(ms) = value.get("deadline_ms") {
+        options.deadline = Some(Duration::from_millis(ms.as_u64().ok_or_else(|| {
+            fail("`deadline_ms` must be a non-negative integer".to_string())
+        })?));
+    }
+    Ok((id, update, options))
+}
+
+/// A session crosses the wire as its attributes plus its Mallows model:
+/// the reference ranking's items in rank order and the dispersion `phi`
+/// (shortest-round-trip formatted, so the model hash survives the trip).
+fn session_to_json(session: &Session) -> Value {
+    object(vec![
+        (
+            "attrs",
+            Value::Array(session.attrs().iter().map(value_to_json).collect()),
+        ),
+        (
+            "ranking",
+            Value::Array(
+                session
+                    .model()
+                    .sigma()
+                    .items()
+                    .iter()
+                    .map(|&item| Value::from(u64::from(item)))
+                    .collect(),
+            ),
+        ),
+        ("phi", Value::from(session.model().phi())),
+    ])
+}
+
+fn session_from_json(value: &Value) -> Result<Session, String> {
+    let attrs = value
+        .get("attrs")
+        .and_then(Value::as_array)
+        .ok_or("session needs an `attrs` array")?
+        .iter()
+        .map(value_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let items = value
+        .get("ranking")
+        .and_then(Value::as_array)
+        .ok_or("session needs a `ranking` array")?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| "ranking entries are item ids".to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let phi = value
+        .get("phi")
+        .and_then(Value::as_f64)
+        .ok_or("session needs a numeric `phi`")?;
+    let ranking = Ranking::new(items).map_err(|e| e.to_string())?;
+    let model = MallowsModel::new(ranking, phi).map_err(|e| e.to_string())?;
+    Ok(Session::new(attrs, model))
+}
+
+/// Encodes one response frame (no trailing newline). `version` is the
+/// database version the delivery was computed against; `0` (never reached
+/// a versioned snapshot) omits the field.
+pub(crate) fn encode_response(id: u64, delivery: &Delivery, version: u64) -> String {
+    let mut entries = vec![("id", Value::from(id))];
+    if version > 0 {
+        entries.push(("version", Value::from(version)));
+    }
+    entries.push(match delivery {
+        Ok(answer) => ("ok", answer_to_json(answer)),
+        Err(error) => ("err", error_to_json(error)),
+    });
+    serde_json::to_string(&object(entries)).expect("response frames always serialize")
+}
+
+/// Decodes one response frame into `(id, delivery, computed version)`.
+pub(crate) fn decode_response(frame: &str) -> Result<(u64, Delivery, Option<u64>), String> {
     let value = serde_json::from_str(frame).map_err(|e| e.to_string())?;
     let id = value
         .get("id")
         .and_then(Value::as_u64)
         .ok_or("response missing numeric `id`")?;
+    let version = value.get("version").and_then(Value::as_u64);
     if let Some(ok) = value.get("ok") {
-        return Ok((id, Ok(answer_from_json(ok)?)));
+        return Ok((id, Ok(answer_from_json(ok)?), version));
     }
     if let Some(err) = value.get("err") {
-        return Ok((id, Err(error_from_json(err)?)));
+        return Ok((id, Err(error_from_json(err)?), version));
     }
     Err("response carries neither `ok` nor `err`".to_string())
 }
@@ -852,9 +1124,9 @@ pub struct WireStatsReport {
     /// The service-wide activity snapshot (its `cache` field sums every
     /// tenant, base and budget engines alike).
     pub service: ServiceStats,
-    /// Per-tenant cache counters of the base engines, `(database id,
-    /// stats)`, in registration order.
-    pub tenants: Vec<(String, CacheStats)>,
+    /// Per-tenant `(database id, database version, base-engine cache
+    /// counters)`, in registration order.
+    pub tenants: Vec<(String, u64, CacheStats)>,
 }
 
 /// Recognizes a stats control frame, returning its id.
@@ -880,6 +1152,10 @@ fn cache_to_json(cache: &CacheStats) -> Value {
             "calibration_recorded",
             Value::from(cache.calibration_recorded),
         ),
+        ("units_invalidated", Value::from(cache.units_invalidated)),
+        ("segment_live_bytes", Value::from(cache.segment_live_bytes)),
+        ("segment_dead_bytes", Value::from(cache.segment_dead_bytes)),
+        ("compactions", Value::from(cache.compactions)),
     ])
 }
 
@@ -900,6 +1176,10 @@ fn cache_from_json(value: &Value) -> Result<CacheStats, String> {
         calibration_hits: field("calibration_hits")?,
         calibration_misses: field("calibration_misses")?,
         calibration_recorded: field("calibration_recorded")?,
+        units_invalidated: field("units_invalidated")?,
+        segment_live_bytes: field("segment_live_bytes")?,
+        segment_dead_bytes: field("segment_dead_bytes")?,
+        compactions: field("compactions")?,
     })
 }
 
@@ -907,7 +1187,7 @@ fn cache_from_json(value: &Value) -> Result<CacheStats, String> {
 pub(crate) fn encode_stats_response(
     id: u64,
     stats: &ServiceStats,
-    tenants: &[(String, CacheStats)],
+    tenants: &[(String, u64, CacheStats)],
 ) -> String {
     let service = object(vec![
         ("submitted", Value::from(stats.submitted)),
@@ -925,6 +1205,7 @@ pub(crate) fn encode_stats_response(
         ("answered", Value::from(stats.answered)),
         ("failed", Value::from(stats.failed)),
         ("expired", Value::from(stats.expired)),
+        ("updates_applied", Value::from(stats.updates_applied)),
         ("queue_depth", Value::from(stats.queue_depth as u64)),
         (
             "interactive_queue_depth",
@@ -961,9 +1242,10 @@ pub(crate) fn encode_stats_response(
     let tenants = Value::Array(
         tenants
             .iter()
-            .map(|(id, cache)| {
+            .map(|(id, version, cache)| {
                 object(vec![
                     ("database", Value::from(id.as_str())),
+                    ("version", Value::from(*version)),
                     ("cache", cache_to_json(cache)),
                 ])
             })
@@ -1020,6 +1302,7 @@ fn decode_stats_payload(value: &Value) -> Result<WireStatsReport, String> {
         answered: field("answered")?,
         failed: field("failed")?,
         expired: field("expired")?,
+        updates_applied: field("updates_applied")?,
         queue_depth: field("queue_depth")? as usize,
         interactive_queue_depth: field("interactive_queue_depth")? as usize,
         batch_queue_depth: field("batch_queue_depth")? as usize,
@@ -1041,8 +1324,12 @@ fn decode_stats_payload(value: &Value) -> Result<WireStatsReport, String> {
                 .and_then(Value::as_str)
                 .ok_or("tenant entries need a string `database`")?
                 .to_string();
+            let version = tenant
+                .get("version")
+                .and_then(Value::as_u64)
+                .ok_or("tenant entries need a numeric `version`")?;
             let cache = cache_from_json(tenant.get("cache").ok_or("tenant entries need `cache`")?)?;
-            Ok((id, cache))
+            Ok((id, version, cache))
         })
         .collect::<Result<Vec<_>, String>>()?;
     Ok(WireStatsReport {
@@ -1088,6 +1375,14 @@ fn answer_to_json(answer: &Answer) -> Value {
                 ),
             ),
         ]),
+        Answer::Updated {
+            version,
+            invalidated,
+        } => object(vec![
+            ("kind", Value::from("updated")),
+            ("version", Value::from(*version)),
+            ("invalidated", Value::from(*invalidated)),
+        ]),
     }
 }
 
@@ -1131,6 +1426,18 @@ fn answer_from_json(value: &Value) -> Result<Answer, String> {
                 })
                 .collect(),
         )),
+        Some("updated") => {
+            let number = |name: &str| {
+                value
+                    .get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("updated answers need a numeric `{name}`"))
+            };
+            Ok(Answer::Updated {
+                version: number("version")?,
+                invalidated: number("invalidated")?,
+            })
+        }
         _ => Err("unknown answer kind".to_string()),
     }
 }
@@ -1272,15 +1579,123 @@ mod tests {
                     probability: 1.0 / 3.0,
                 },
             ])),
+            Ok(Answer::Updated {
+                version: 7,
+                invalidated: 12,
+            }),
         ];
         for delivery in &deliveries {
-            let frame = encode_response(42, delivery);
-            let (id, decoded) = decode_response(&frame).expect("round trip");
+            let frame = encode_response(42, delivery, 0);
+            let (id, decoded, version) = decode_response(&frame).expect("round trip");
             assert_eq!(id, 42);
+            assert_eq!(version, None, "version 0 omits the field");
             // PartialEq on f64 is bitwise here: every probability above is a
             // normal number (no NaN / ±0 aliasing in play).
             assert_eq!(&decoded, delivery);
         }
+        // A versioned response carries the snapshot id back to the client.
+        let frame = encode_response(42, &Ok(Answer::Boolean(0.5)), 3);
+        let (_, _, version) = decode_response(&frame).expect("round trip");
+        assert_eq!(version, Some(3));
+    }
+
+    #[test]
+    fn update_frames_round_trip() {
+        let session = Session::new(
+            vec![PpdValue::Str("v9".into()), PpdValue::Int(4)],
+            MallowsModel::new(Ranking::new(vec![2, 0, 1]).unwrap(), 0.3).unwrap(),
+        );
+        let updates = [
+            Update::InsertSession {
+                prelation: "Polls".into(),
+                session: session.clone(),
+            },
+            Update::ReplaceSession {
+                prelation: "Polls".into(),
+                index: 5,
+                session: session.clone(),
+            },
+            Update::DeleteSession {
+                prelation: "Polls".into(),
+                index: 2,
+            },
+        ];
+        let options = SubmitOptions::batch()
+            .on_database("polls")
+            .with_deadline(Duration::from_millis(250));
+        for (i, update) in updates.iter().enumerate() {
+            let frame = encode_update_request(i as u64 + 1, update, &options);
+            assert!(!frame.contains('\n'), "frames are single lines: {frame}");
+            let (id, decoded, decoded_options) = decode_update_request(&frame)
+                .expect("update frames are recognized")
+                .expect("round trip");
+            assert_eq!(id, i as u64 + 1);
+            assert_eq!(decoded_options.class, AdmissionClass::Batch);
+            assert_eq!(decoded_options.database.as_deref(), Some("polls"));
+            assert_eq!(decoded_options.deadline, Some(Duration::from_millis(250)));
+            match (update, &decoded) {
+                (
+                    Update::InsertSession { session: a, .. },
+                    Update::InsertSession {
+                        prelation,
+                        session: b,
+                    },
+                )
+                | (
+                    Update::ReplaceSession { session: a, .. },
+                    Update::ReplaceSession {
+                        prelation,
+                        session: b,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(prelation, "Polls");
+                    assert_eq!(a.attrs(), b.attrs());
+                    assert_eq!(a.model().sigma().items(), b.model().sigma().items());
+                    assert_eq!(a.model().phi().to_bits(), b.model().phi().to_bits());
+                    assert_eq!(
+                        a.model_key_hash(),
+                        b.model_key_hash(),
+                        "the content hash — the cache key — survives the trip"
+                    );
+                }
+                (
+                    Update::DeleteSession { index: a, .. },
+                    Update::DeleteSession {
+                        prelation,
+                        index: b,
+                    },
+                ) => {
+                    assert_eq!(prelation, "Polls");
+                    assert_eq!(a, b);
+                }
+                other => panic!("update op changed across the wire: {other:?}"),
+            }
+        }
+        // Replace keeps its index too.
+        let frame = encode_update_request(9, &updates[1], &SubmitOptions::default());
+        let (_, decoded, options) = decode_update_request(&frame).unwrap().unwrap();
+        assert!(matches!(decoded, Update::ReplaceSession { index: 5, .. }));
+        assert_eq!(options.class, AdmissionClass::Interactive);
+        assert_eq!(options.database, None);
+        // Query frames are not update frames, and malformed updates keep
+        // their id for error correlation.
+        assert!(decode_update_request(r#"{"id": 1, "kind": "boolean"}"#).is_none());
+        let (id, _) = decode_update_request(
+            r#"{"id": 3, "kind": "update", "op": "warp", "prelation": "Polls"}"#,
+        )
+        .unwrap()
+        .expect_err("unknown op");
+        assert_eq!(id, Some(3));
+        assert!(
+            decode_update_request(
+                r#"{"id": 4, "kind": "update", "op": "insert", "prelation": "Polls",
+                    "session": {"attrs": [], "ranking": [0, 0], "phi": 0.5}}"#
+            )
+            .unwrap()
+            .is_err(),
+            "a duplicate-item ranking is rejected at decode time"
+        );
     }
 
     #[test]
@@ -1294,16 +1709,17 @@ mod tests {
             ServiceError::Disconnected,
         ];
         for error in errors {
-            let frame = encode_response(1, &Err(error.clone()));
-            let (_, decoded) = decode_response(&frame).unwrap();
+            let frame = encode_response(1, &Err(error.clone()), 0);
+            let (_, decoded, _) = decode_response(&frame).unwrap();
             assert_eq!(decoded, Err(error));
         }
         // Evaluation errors are lossy (text only) but keep their kind.
         let frame = encode_response(
             1,
             &Err(ServiceError::Eval(PpdError::UnknownName("R".into()))),
+            0,
         );
-        let (_, decoded) = decode_response(&frame).unwrap();
+        let (_, decoded, _) = decode_response(&frame).unwrap();
         assert!(matches!(decoded, Err(ServiceError::Eval(_))), "{decoded:?}");
     }
 
@@ -1343,6 +1759,7 @@ mod tests {
             answered: 10,
             failed: 1,
             expired: 1,
+            updates_applied: 2,
             queue_depth: 2,
             interactive_queue_depth: 2,
             batch_queue_depth: 0,
@@ -1361,11 +1778,15 @@ mod tests {
                 calibration_hits: 20,
                 calibration_misses: 20,
                 calibration_recorded: 40,
+                units_invalidated: 5,
+                segment_live_bytes: 1000,
+                segment_dead_bytes: 250,
+                compactions: 2,
             },
         };
         let tenants = vec![
-            ("polls".to_string(), stats.cache),
-            ("movies".to_string(), CacheStats::default()),
+            ("polls".to_string(), 3, stats.cache),
+            ("movies".to_string(), 1, CacheStats::default()),
         ];
         let frame = encode_stats_response(6, &stats, &tenants);
         assert!(!frame.contains('\n'), "frames are single lines: {frame}");

@@ -111,6 +111,9 @@ fn main() {
                                 .collect::<Vec<_>>()
                                 .join(", "),
                         ),
+                        Answer::Updated { version, .. } => {
+                            println!("[{at:>8.1?}] {client:>6}: database now at version {version}")
+                        }
                     }
                 }
             });

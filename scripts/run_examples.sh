@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for example in quickstart engine_batch service_demo wire_demo polls_election movie_analytics topk_sessions; do
+for example in quickstart engine_batch service_demo live_update_demo wire_demo polls_election movie_analytics topk_sessions; do
     echo "=== example: ${example} ==="
     cargo run --release -q --example "${example}"
     echo

@@ -39,7 +39,7 @@ pub mod prelude {
         count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities,
         BatchAnswer, CacheCapacity, CacheStats, CompareOp, ConjunctiveQuery, DatabaseBuilder,
         Engine, ErrorBudget, EvalConfig, PpdDatabase, PreferenceRelation, Relation, Session,
-        SolverChoice, Term, TopKStrategy, Value,
+        SolverChoice, Term, TopKStrategy, Update, Value,
     };
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};

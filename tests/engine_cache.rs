@@ -47,6 +47,10 @@ fn scratch(name: &str) -> PathBuf {
         "ppd-engine-cache-{}-{name}.mcache",
         std::process::id()
     ));
+    // Leftovers from an earlier aborted run would make saves append to a
+    // non-empty store; every test wants a fresh one.
+    let _ = std::fs::remove_dir_all(&path);
+    let _ = std::fs::remove_file(&path);
     path
 }
 
@@ -142,16 +146,25 @@ fn persistence_round_trip_serves_the_saved_bits() {
         );
         assert!(stats.marginal_hits > 0, "{name}");
 
-        // Re-saving equal content writes a byte-identical snapshot.
+        // Saving equal content into a fresh store writes a byte-identical
+        // first segment (records are sorted by content hash).
         let resaved = scratch(&format!("round-trip-{name}-resave"));
         cold.save_marginals(&resaved).unwrap();
         assert_eq!(
-            std::fs::read(&path).unwrap(),
-            std::fs::read(&resaved).unwrap(),
-            "{name}: snapshot of equal content must be byte-identical"
+            std::fs::read(path.join("seg-00000000.ppdmseg")).unwrap(),
+            std::fs::read(resaved.join("seg-00000000.ppdmseg")).unwrap(),
+            "{name}: fresh stores of equal content must be byte-identical"
         );
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_file(&resaved);
+
+        // A quiet save appends nothing: the store still holds one segment.
+        assert_eq!(cold.save_marginals(&resaved).unwrap(), 0, "{name}");
+        assert_eq!(
+            std::fs::read_dir(&resaved).unwrap().count(),
+            1,
+            "{name}: a save with nothing new must not grow the store"
+        );
+        let _ = std::fs::remove_dir_all(&path);
+        let _ = std::fs::remove_dir_all(&resaved);
     }
 }
 
@@ -180,7 +193,7 @@ fn persistence_composes_with_sharding_and_eviction() {
         bounded.cached_marginals()
     );
     assert_eq!(bounded.session_probabilities(&db, &q).unwrap(), reference);
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]
@@ -220,7 +233,7 @@ fn approximate_snapshots_do_not_leak_across_base_seeds() {
         0,
         "foreign-seed approximate entries must contribute no hits"
     );
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]

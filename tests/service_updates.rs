@@ -1,0 +1,197 @@
+//! Live updates through the serving layer: updates ride the admission
+//! queue, apply between waves, version every answer, and cross the wire —
+//! all without moving a single answer bit relative to a fresh engine on
+//! the same database state.
+
+use ppd::datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn database() -> PpdDatabase {
+    polls_database(&PollsConfig {
+        num_candidates: 6,
+        num_voters: 24,
+        seed: 2020,
+    })
+}
+
+fn relation_of(db: &PpdDatabase) -> String {
+    db.preference_relation_names()[0].to_string()
+}
+
+/// A session compatible with the polls schema (attribute arity from the
+/// relation, Mallows model over the same candidates).
+fn session(db: &PpdDatabase, tag: &str, perm: Vec<u32>, phi: f64) -> Session {
+    let arity = db
+        .preference_relation(&relation_of(db))
+        .unwrap()
+        .session_columns()
+        .len();
+    Session::new(
+        (0..arity)
+            .map(|i| Value::from(format!("{tag}{i}")))
+            .collect(),
+        MallowsModel::new(Ranking::new(perm).unwrap(), phi).unwrap(),
+    )
+}
+
+fn insert_update(db: &PpdDatabase) -> Update {
+    Update::InsertSession {
+        prelation: relation_of(db),
+        session: session(db, "live", vec![3, 0, 5, 1, 4, 2], 0.45),
+    }
+}
+
+/// The reference bits: a dedicated engine on a copy of the database with
+/// the update already applied.
+fn reference_answer(db: &PpdDatabase, update: Update) -> Answer {
+    let mut updated = db.clone();
+    let engine = Engine::new(EvalConfig::exact());
+    engine.apply_update(&mut updated, update).unwrap();
+    Answer::Boolean(
+        engine
+            .evaluate_boolean(&updated, &polls_q1_query())
+            .unwrap(),
+    )
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig::new(EvalConfig::exact())
+        .with_max_batch(8)
+        .with_max_wait(Duration::from_millis(5))
+}
+
+#[test]
+fn in_process_updates_version_every_answer() {
+    let db = database();
+    let service = Service::new(db.clone(), config());
+    let q = Request::Boolean(polls_q1_query());
+
+    // Before any update, answers come from (and report) version 1.
+    let (before, version) = service.submit(q.clone()).unwrap().wait_versioned();
+    assert!(before.is_ok());
+    assert_eq!(version, Some(1));
+    assert_eq!(service.database_version(DEFAULT_DATABASE), Some(1));
+
+    // The update ticket carries its admission-time read version and
+    // resolves a receipt naming the version it created.
+    let ticket = service.submit_update(insert_update(&db)).unwrap();
+    assert_eq!(ticket.read_version(), 1);
+    let (receipt, receipt_version) = ticket.wait_versioned();
+    match receipt {
+        Ok(Answer::Updated { version, .. }) => assert_eq!(version, 2),
+        other => panic!("expected an update receipt, got {other:?}"),
+    }
+    assert_eq!(receipt_version, Some(2));
+    assert_eq!(service.database_version(DEFAULT_DATABASE), Some(2));
+
+    // Post-update answers come from version 2 and are bit-identical to a
+    // fresh engine handed the updated database directly.
+    let (after, version) = service.submit(q).unwrap().wait_versioned();
+    assert_eq!(version, Some(2));
+    assert_eq!(
+        after.unwrap(),
+        reference_answer(&db, insert_update(&db)),
+        "served bits diverged from a fresh engine on the updated database"
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.updates_applied, 1);
+    assert_eq!(stats.answered, 3, "the receipt counts as an answer");
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn update_admission_class_never_changes_answer_bits() {
+    let db = database();
+    let expect = reference_answer(&db, insert_update(&db));
+    for options in [SubmitOptions::interactive(), SubmitOptions::batch()] {
+        let service = Service::new(db.clone(), config());
+        let receipt = service
+            .submit_update_with(insert_update(&db), options)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(matches!(receipt, Answer::Updated { version: 2, .. }));
+        let answer = service
+            .submit(Request::Boolean(polls_q1_query()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(answer, expect, "admission class leaked into update bits");
+        service.shutdown();
+    }
+}
+
+#[test]
+fn tcp_wire_updates_round_trip_with_versions_and_stats() {
+    let db = database();
+    let service = Arc::new(Service::new(db.clone(), config()));
+    let server = WireServer::bind_tcp("127.0.0.1:0", Arc::clone(&service)).expect("bind tcp");
+    let mut client = WireClient::connect_tcp(server.local_addr().expect("bound")).expect("connect");
+    let options = SubmitOptions::interactive();
+
+    let id = client
+        .send(&Request::Boolean(polls_q1_query()), &options)
+        .unwrap();
+    let (_, version) = client.recv_versioned(id).unwrap();
+    assert_eq!(version, Some(1));
+
+    let (version, invalidated) = client.apply_update(&insert_update(&db), &options).unwrap();
+    assert_eq!(version, 2);
+    // The pre-update query warmed units the insert does not cover.
+    assert_eq!(invalidated, 0);
+
+    let id = client
+        .send(&Request::Boolean(polls_q1_query()), &options)
+        .unwrap();
+    let (answer, version) = client.recv_versioned(id).unwrap();
+    assert_eq!(version, Some(2));
+    assert_eq!(
+        answer,
+        reference_answer(&db, insert_update(&db)),
+        "wire bits diverged from a fresh engine on the updated database"
+    );
+
+    // The stats verb reports the update traffic and the tenant's version.
+    let report = client.stats().expect("stats verb answers");
+    assert_eq!(report.service.updates_applied, 1);
+    assert_eq!(report.tenants.len(), 1);
+    let (tenant, tenant_version, _) = &report.tenants[0];
+    assert_eq!(tenant, DEFAULT_DATABASE);
+    assert_eq!(*tenant_version, 2);
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn rejected_wire_updates_surface_eval_errors_and_change_nothing() {
+    let db = database();
+    let service = Arc::new(Service::new(db, config()));
+    let server = WireServer::bind_tcp("127.0.0.1:0", Arc::clone(&service)).expect("bind tcp");
+    let mut client = WireClient::connect_tcp(server.local_addr().expect("bound")).expect("connect");
+
+    let bad = Update::DeleteSession {
+        prelation: "NoSuchRelation".to_string(),
+        index: 0,
+    };
+    let err = client
+        .apply_update(&bad, &SubmitOptions::interactive())
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Eval(_)),
+        "expected an eval error, got {err:?}"
+    );
+    assert_eq!(service.database_version(DEFAULT_DATABASE), Some(1));
+
+    let report = client.stats().expect("stats verb answers");
+    assert_eq!(report.service.updates_applied, 0);
+    assert_eq!(report.service.failed, 1);
+    let (_, tenant_version, _) = &report.tenants[0];
+    assert_eq!(*tenant_version, 1);
+
+    drop(client);
+    server.shutdown();
+}
