@@ -1,0 +1,255 @@
+//! Observability overhead A/B: the same closed-loop mixed workload as
+//! `service_load`, run against one service with observability fully off and
+//! one with metrics + tracing fully on, in interleaved rounds so machine
+//! drift cancels. The acceptance bar: full observability costs at most
+//! `PPD_OBS_MAX_OVERHEAD` (default 5%) of median throughput.
+//!
+//! Two smoke checks ride along, both over a real TCP socket:
+//!
+//! * the `metrics` verb's exposition parses strictly and names the core
+//!   instruments (queue wait, wave window, unit solve, cache hits);
+//! * the `trace` verb returns a span timeline ending in `delivered` for a
+//!   traced submission.
+//!
+//! Writes `bench_results/obs_overhead.json`.
+//!
+//! Environment: `PPD_SCALE` (`small`/`paper`), `PPD_VOTERS`,
+//! `PPD_CANDIDATES`, `PPD_CLIENTS`, `PPD_QUERIES` (per client per round),
+//! `PPD_ROUNDS` (A/B round pairs, default 5), `PPD_OBS_MAX_OVERHEAD`
+//! (fraction, default 0.05).
+
+use ppd_bench::{env_usize, median, print_table, write_results, Scale};
+use ppd_core::{ConjunctiveQuery, EvalConfig, Term, TopKStrategy};
+use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd_obs::parse_exposition;
+use ppd_service::{
+    ObsConfig, Request, Service, ServiceConfig, ServiceError, SubmitOptions, WireClient, WireServer,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn pair_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::new("pair").prefer(
+        "Polls",
+        vec![Term::any(), Term::any()],
+        Term::val("cand0"),
+        Term::val("cand1"),
+    )
+}
+
+fn mix() -> Vec<Request> {
+    vec![
+        Request::Boolean(polls_q1_query()),
+        Request::Count(pair_query()),
+        Request::SessionProbabilities(pair_query()),
+        Request::TopK {
+            query: polls_q1_query(),
+            k: 5,
+            strategy: TopKStrategy::UpperBound {
+                edges_per_pattern: 2,
+            },
+        },
+    ]
+}
+
+/// One closed-loop round against `service`: every client thread drives
+/// `per_client` queries from the mix; returns the round's throughput in
+/// queries per second.
+fn run_round(service: &Service, clients: usize, per_client: usize) -> f64 {
+    let start = Instant::now();
+    let mut total = 0usize;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|client| {
+                let service = &service;
+                scope.spawn(move || {
+                    let requests = mix();
+                    for i in 0..per_client {
+                        let request = requests[(client + i) % requests.len()].clone();
+                        let ticket = loop {
+                            match service.submit(request.clone()) {
+                                Ok(ticket) => break ticket,
+                                Err(ServiceError::Overloaded { .. }) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("submit failed: {e}"),
+                            }
+                        };
+                        ticket.wait().expect("query answers");
+                    }
+                    per_client
+                })
+            })
+            .collect();
+        for worker in workers {
+            total += worker.join().expect("client thread panicked");
+        }
+    });
+    total as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn build_service(db: &ppd_core::PpdDatabase, obs: ObsConfig) -> Service {
+    Service::new(
+        db.clone(),
+        ServiceConfig::new(EvalConfig::exact())
+            .with_max_batch(16)
+            .with_max_wait(Duration::from_millis(1))
+            .with_obs(obs),
+    )
+}
+
+/// The wire smoke: scrape `metrics` and fetch a `trace` timeline over TCP,
+/// asserting the exposition parses and the core instruments are present.
+fn wire_smoke(db: &ppd_core::PpdDatabase) -> serde_json::Value {
+    let service = Arc::new(build_service(db, ObsConfig::full()));
+    let server =
+        WireServer::bind_tcp("127.0.0.1:0", Arc::clone(&service)).expect("bind obs smoke server");
+    let addr = server.local_addr().expect("tcp address");
+    let mut client = WireClient::connect_tcp(addr).expect("connect obs smoke client");
+
+    // Drive one query through so every layer has recorded something, and
+    // keep its trace id for the timeline check.
+    let id = client
+        .send(
+            &Request::Boolean(polls_q1_query()),
+            &SubmitOptions::default(),
+        )
+        .expect("send");
+    let (_, _, trace) = client.recv_traced(id).expect("answer");
+    assert_ne!(trace, 0, "responses must carry the trace id");
+
+    let text = client.metrics().expect("metrics verb answers");
+    let samples = parse_exposition(&text).expect("exposition parses strictly");
+    let core = [
+        "ppd_queue_wait_seconds",
+        "ppd_wave_window_seconds",
+        "ppd_unit_solve_seconds",
+        "ppd_cache_hits_total",
+        "ppd_cache_misses_total",
+        "ppd_queue_depth",
+        "ppd_in_flight_waves",
+        "ppd_uptime_seconds",
+    ];
+    for name in core {
+        assert!(
+            samples.iter().any(|(series, _)| series.starts_with(name)),
+            "core instrument {name} missing from the exposition:\n{text}"
+        );
+    }
+
+    let events = client.trace(trace).expect("trace verb answers");
+    assert!(
+        !events.is_empty(),
+        "a traced submission must have a span timeline"
+    );
+    assert_eq!(
+        events.last().expect("events nonempty").event.name(),
+        "delivered",
+        "the timeline ends at delivery: {events:?}"
+    );
+
+    server.shutdown();
+    serde_json::json!({
+        "exposition_samples": samples.len(),
+        "trace_events": events.len(),
+        "core_instruments": core.to_vec(),
+    })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let num_voters = env_usize("PPD_VOTERS").unwrap_or_else(|| scale.pick(80, 600));
+    let num_candidates = env_usize("PPD_CANDIDATES")
+        .unwrap_or_else(|| scale.pick(8, 15))
+        .max(3);
+    let clients = env_usize("PPD_CLIENTS").unwrap_or(4).max(1);
+    let per_client = env_usize("PPD_QUERIES")
+        .unwrap_or_else(|| scale.pick(24, 100))
+        .max(1);
+    let rounds = env_usize("PPD_ROUNDS").unwrap_or(5).max(1);
+    let max_overhead: f64 = std::env::var("PPD_OBS_MAX_OVERHEAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+
+    let db = polls_database(&PollsConfig {
+        num_candidates,
+        num_voters,
+        seed: 2016,
+    });
+    println!(
+        "obs_overhead: {num_voters} voters × {num_candidates} candidates, \
+         {clients} clients × {per_client} queries × {rounds} A/B rounds, \
+         bar {:.0}%\n",
+        max_overhead * 100.0
+    );
+
+    // Both services live for the whole comparison (caches warm once, like
+    // any long-lived deployment), and each round pair runs off-then-on so
+    // drift hits both arms alike.
+    let service_off = build_service(&db, ObsConfig::off());
+    let service_on = build_service(&db, ObsConfig::full());
+    run_round(&service_off, clients, per_client); // warmup
+    run_round(&service_on, clients, per_client);
+
+    let mut thr_off = Vec::new();
+    let mut thr_on = Vec::new();
+    for round in 0..rounds {
+        thr_off.push(run_round(&service_off, clients, per_client));
+        thr_on.push(run_round(&service_on, clients, per_client));
+        println!(
+            "round {round}: off {:.1}/s, on {:.1}/s",
+            thr_off[round], thr_on[round]
+        );
+    }
+    let median_off = median(&thr_off);
+    let median_on = median(&thr_on);
+    let overhead = (median_off - median_on) / median_off.max(1e-9);
+    service_off.shutdown();
+    let stats_on = service_on.shutdown();
+    assert!(
+        stats_on.answered > 0,
+        "the observed service must have answered queries"
+    );
+
+    print_table(
+        &["arm", "median throughput", "overhead"],
+        &[
+            vec!["obs off".into(), format!("{median_off:.1}/s"), "—".into()],
+            vec![
+                "obs full".into(),
+                format!("{median_on:.1}/s"),
+                format!("{:.1}%", overhead * 100.0),
+            ],
+        ],
+    );
+    assert!(
+        overhead <= max_overhead,
+        "full observability cost {:.1}% of throughput, over the {:.0}% bar \
+         (off {median_off:.1}/s, on {median_on:.1}/s)",
+        overhead * 100.0,
+        max_overhead * 100.0
+    );
+
+    let smoke = wire_smoke(&db);
+    println!("\nwire smoke: metrics exposition parsed, trace timeline served");
+
+    write_results(
+        "obs_overhead",
+        &serde_json::json!({
+            "experiment": "obs_overhead",
+            "num_voters": num_voters,
+            "num_candidates": num_candidates,
+            "clients": clients,
+            "queries_per_client": per_client,
+            "rounds": rounds,
+            "throughput_off_qps": thr_off,
+            "throughput_on_qps": thr_on,
+            "median_off_qps": median_off,
+            "median_on_qps": median_on,
+            "overhead_fraction": overhead,
+            "max_overhead_fraction": max_overhead,
+            "wire_smoke": smoke,
+        }),
+    );
+}

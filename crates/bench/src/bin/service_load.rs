@@ -25,9 +25,10 @@
 //! * `PPD_QOS_QUERIES` — interactive probes per QoS measurement (default 40);
 //! * `PPD_FLOODERS` — batch flooder threads in the loaded phase (default 4).
 
-use ppd_bench::{env_usize, percentile, print_table, write_results, Scale};
+use ppd_bench::{env_usize, print_table, write_results, Scale};
 use ppd_core::{ConjunctiveQuery, Engine, EvalConfig, Term, TopKStrategy};
 use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd_obs::Histogram;
 use ppd_service::{Answer, Request, Service, ServiceConfig, ServiceError, SubmitOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -123,27 +124,30 @@ fn qos_phase(db: &ppd_core::PpdDatabase) -> serde_json::Value {
             .expect("warmup answers");
     }
 
-    let measure = |phase: &str| -> Vec<f64> {
-        (0..probes)
-            .map(|_| {
-                let submitted = Instant::now();
-                service
-                    .submit_with(probe.clone(), SubmitOptions::interactive())
-                    .unwrap_or_else(|e| panic!("interactive admission failed ({phase}): {e}"))
-                    .wait()
-                    .unwrap_or_else(|e| panic!("interactive query failed ({phase}): {e}"));
-                submitted.elapsed().as_secs_f64() * 1e3
-            })
-            .collect()
+    // Latencies land in the observability crate's log-bucketed histogram —
+    // the same recorder the served `metrics` verb exposes — instead of a
+    // sorted vector, so quantiles come from one implementation.
+    let measure = |phase: &str| -> Histogram {
+        let latencies = Histogram::standalone();
+        for _ in 0..probes {
+            let submitted = Instant::now();
+            service
+                .submit_with(probe.clone(), SubmitOptions::interactive())
+                .unwrap_or_else(|e| panic!("interactive admission failed ({phase}): {e}"))
+                .wait()
+                .unwrap_or_else(|e| panic!("interactive query failed ({phase}): {e}"));
+            latencies.record_duration(submitted.elapsed());
+        }
+        latencies
     };
 
     let unloaded = measure("unloaded");
-    let p99_unloaded = percentile(&unloaded, 99.0);
+    let p99_unloaded = unloaded.percentile_ms(99.0);
 
     let stop = AtomicBool::new(false);
     let mut shed = 0u64;
     let mut flood_answered = 0u64;
-    let mut loaded: Vec<f64> = Vec::new();
+    let mut loaded = Histogram::standalone();
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..flooders)
             .map(|_| {
@@ -177,7 +181,7 @@ fn qos_phase(db: &ppd_core::PpdDatabase) -> serde_json::Value {
             shed += local_shed;
         }
     });
-    let p99_loaded = percentile(&loaded, 99.0);
+    let p99_loaded = loaded.percentile_ms(99.0);
     let stats = service.shutdown();
 
     assert!(
@@ -200,12 +204,12 @@ fn qos_phase(db: &ppd_core::PpdDatabase) -> serde_json::Value {
         &[
             vec![
                 "interactive unloaded".into(),
-                format!("{:.2}ms", percentile(&unloaded, 50.0)),
+                format!("{:.2}ms", unloaded.percentile_ms(50.0)),
                 format!("{p99_unloaded:.2}ms"),
             ],
             vec![
                 "interactive + batch flood".into(),
-                format!("{:.2}ms", percentile(&loaded, 50.0)),
+                format!("{:.2}ms", loaded.percentile_ms(50.0)),
                 format!("{p99_loaded:.2}ms"),
             ],
         ],
@@ -219,9 +223,9 @@ fn qos_phase(db: &ppd_core::PpdDatabase) -> serde_json::Value {
     serde_json::json!({
         "probes": probes,
         "flooders": flooders,
-        "interactive_p50_unloaded_ms": percentile(&unloaded, 50.0),
+        "interactive_p50_unloaded_ms": unloaded.percentile_ms(50.0),
         "interactive_p99_unloaded_ms": p99_unloaded,
-        "interactive_p50_loaded_ms": percentile(&loaded, 50.0),
+        "interactive_p50_loaded_ms": loaded.percentile_ms(50.0),
         "interactive_p99_loaded_ms": p99_loaded,
         "p99_ratio": p99_loaded / p99_unloaded.max(1e-9),
         "batch_answered": flood_answered,
@@ -273,15 +277,18 @@ fn main() {
     }
 
     let start = Instant::now();
-    let mut latencies_ms: Vec<f64> = Vec::new();
+    // Client threads record straight into one shared log-bucketed histogram
+    // (cloned handles share the cells; recording is lock-free), replacing
+    // the old collect-sort-index percentile path.
+    let latencies = Histogram::standalone();
     let mut retries = 0u64;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..clients)
             .map(|client| {
                 let service = &service;
+                let latencies = latencies.clone();
                 scope.spawn(move || {
                     let requests = mix();
-                    let mut local: Vec<f64> = Vec::with_capacity(per_client);
                     let mut local_retries = 0u64;
                     for i in 0..per_client {
                         let request = requests[(client + i) % requests.len()].clone();
@@ -299,27 +306,25 @@ fn main() {
                             }
                         };
                         ticket.wait().expect("query answers");
-                        local.push(submitted.elapsed().as_secs_f64() * 1e3);
+                        latencies.record_duration(submitted.elapsed());
                     }
-                    (local, local_retries)
+                    local_retries
                 })
             })
             .collect();
         for worker in workers {
-            let (local, local_retries) = worker.join().expect("client thread panicked");
-            latencies_ms.extend(local);
-            retries += local_retries;
+            retries += worker.join().expect("client thread panicked");
         }
     });
     let wall = start.elapsed();
     let stats = service.shutdown();
     println!("{stats}\n");
 
-    let total_queries = latencies_ms.len();
+    let total_queries = latencies.count() as usize;
     let throughput = total_queries as f64 / wall.as_secs_f64().max(1e-9);
-    let p50 = percentile(&latencies_ms, 50.0);
-    let p99 = percentile(&latencies_ms, 99.0);
-    let mean = latencies_ms.iter().sum::<f64>() / total_queries.max(1) as f64;
+    let p50 = latencies.percentile_ms(50.0);
+    let p99 = latencies.percentile_ms(99.0);
+    let mean = latencies.mean() * 1e-6;
     print_table(
         &["queries", "wall-clock", "throughput", "p50", "p99", "mean"],
         &[vec![

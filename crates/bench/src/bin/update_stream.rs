@@ -23,6 +23,7 @@
 use ppd_bench::{env_usize, timed, write_results, Scale};
 use ppd_core::{Engine, EvalConfig, PpdDatabase, Session, Update, Value};
 use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd_obs::Histogram;
 use ppd_rim::{MallowsModel, Ranking};
 
 /// A deterministic replacement session for burst slot `i`: the identity
@@ -51,10 +52,12 @@ fn round(
     engine: &Engine,
     db: &PpdDatabase,
     last: &mut (u64, u64),
+    latencies: &Histogram,
     label: &str,
 ) -> serde_json::Value {
     let q = polls_q1_query();
     let (result, elapsed) = timed(|| engine.session_probabilities(db, &q));
+    latencies.record_duration(elapsed);
     let result = result.expect("evaluation succeeds");
     let fresh = Engine::new(EvalConfig::exact())
         .session_probabilities(db, &q)
@@ -111,8 +114,18 @@ fn main() {
 
     let mut rounds = Vec::new();
     let mut last = (0u64, 0u64);
+    // Round latencies accumulate in the observability crate's log-bucketed
+    // histogram (the recorder behind the service's `metrics` verb), not a
+    // sorted vector.
+    let round_latencies = Histogram::standalone();
     for r in 0..warm_rounds {
-        rounds.push(round(&engine, &db, &mut last, &format!("warm {r}")));
+        rounds.push(round(
+            &engine,
+            &db,
+            &mut last,
+            &round_latencies,
+            &format!("warm {r}"),
+        ));
     }
     let steady = hit_rate_of(rounds.last().expect("at least one warm round"));
     let cached_before = engine.cached_marginals();
@@ -145,8 +158,8 @@ fn main() {
         db.version()
     );
 
-    let degraded = round(&engine, &db, &mut last, "degraded");
-    let recovered = round(&engine, &db, &mut last, "recovered");
+    let degraded = round(&engine, &db, &mut last, &round_latencies, "degraded");
+    let recovered = round(&engine, &db, &mut last, &round_latencies, "recovered");
     let recovery_ratio = hit_rate_of(&recovered) / steady.max(f64::MIN_POSITIVE);
     assert!(
         recovery_ratio >= 0.8,
@@ -197,6 +210,11 @@ fn main() {
             "recovered": recovered,
             "steady_hit_rate": steady,
             "recovery_ratio": recovery_ratio,
+            "round_latency_ms": {
+                "p50": round_latencies.percentile_ms(50.0),
+                "max": round_latencies.max() as f64 * 1e-6,
+                "mean": round_latencies.mean() * 1e-6,
+            },
             "persistence": {
                 "entries_saved": saved,
                 "entries_loaded": loaded,

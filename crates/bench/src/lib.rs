@@ -14,6 +14,10 @@
 //!
 //! The Criterion benches (`cargo bench -p ppd-bench`) cover the solver
 //! kernels and the ablations called out in DESIGN.md.
+//!
+//! Latency percentiles in the harnesses come from [`ppd_obs::Histogram`] —
+//! the same log-bucketed recorder the served `metrics` verb exposes — so
+//! the benches and the service report quantiles through one implementation.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -76,22 +80,6 @@ pub fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     sorted[sorted.len() / 2]
-}
-
-/// The `p`-th percentile (0–100) of a slice of floats by nearest-rank,
-/// returning NaN for an empty slice. Nearest-rank takes the smallest
-/// element with at least `p`% of the data at or below it, so for
-/// even-length inputs `percentile(v, 50.0)` is the *lower* middle element
-/// (one below what [`median`] returns); `percentile(v, 99.0)` is the
-/// latency p99 the service benches report.
-pub fn percentile(values: &[f64], p: f64) -> f64 {
-    if values.is_empty() {
-        return f64::NAN;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Relative error of an estimate against an exact value.
@@ -166,17 +154,6 @@ mod tests {
         );
         assert_eq!(relative_error(2.0, 1.0), 0.5);
         assert_eq!(relative_error(0.0, 0.25), 0.25);
-    }
-
-    #[test]
-    fn percentiles_by_nearest_rank() {
-        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&values, 50.0), 50.0);
-        assert_eq!(percentile(&values, 99.0), 99.0);
-        assert_eq!(percentile(&values, 100.0), 100.0);
-        assert_eq!(percentile(&[7.0], 1.0), 7.0);
-        assert_eq!(percentile(&[3.0, 1.0], 75.0), 3.0);
-        assert!(percentile(&[], 50.0).is_nan());
     }
 
     #[test]

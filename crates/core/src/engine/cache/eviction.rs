@@ -63,6 +63,16 @@ const ENTRY_BYTES: usize = 24;
 /// marginal outlive cheap neighbours that happen to be slightly younger.
 const EVICTION_SCAN: usize = 8;
 
+/// What one insert's budget enforcement dropped: cached entries, and the
+/// estimated heap bytes they occupied (per the byte-budget accounting
+/// model, reported in every budget mode so eviction pressure is observable
+/// even under [`CacheCapacity::Entries`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Evicted {
+    pub(crate) entries: u64,
+    pub(crate) bytes: u64,
+}
+
 /// The values cached for one work-unit content hash, plus its LRU tick.
 #[derive(Debug)]
 struct Slot {
@@ -152,8 +162,8 @@ impl Shard {
         found
     }
 
-    /// Inserts one value, returning the number of entries evicted to stay
-    /// within budget.
+    /// Inserts one value, returning the eviction this insert forced (to
+    /// stay within budget).
     ///
     /// Re-inserting an existing `(hash, fingerprint)` keeps the **first**
     /// value: under the bit-determinism contract a re-solve of the same
@@ -170,6 +180,7 @@ impl Shard {
         probability: f64,
     ) -> u64 {
         self.insert_costed(hash, fingerprint, probability, 0.0)
+            .entries
     }
 
     /// [`Shard::insert`] with a recompute-cost estimate attached to the
@@ -182,7 +193,7 @@ impl Shard {
         fingerprint: SolverFingerprint,
         probability: f64,
         cost: f64,
-    ) -> u64 {
+    ) -> Evicted {
         match self.slots.get_mut(&hash) {
             Some(slot) => {
                 slot.cost = slot.cost.max(cost);
@@ -195,7 +206,7 @@ impl Shard {
                              {fingerprint:?}: content-hash aliasing or a non-deterministic solver"
                         );
                         self.touch(hash);
-                        return 0;
+                        return Evicted::default();
                     }
                     None => {
                         slot.values.push((fingerprint, probability));
@@ -222,19 +233,19 @@ impl Shard {
     }
 
     /// Evicts slots until the shard fits its budget, always retaining the
-    /// most recently used slot. Returns entries evicted.
+    /// most recently used slot. Returns what was evicted.
     ///
     /// Entries mode is pure LRU. Byte mode is cost-weighted LRU: among the
     /// [`EVICTION_SCAN`] oldest slots, the one cheapest to recompute goes
     /// first (ties to the oldest), so an expensive marginal survives cheap
     /// neighbours of similar age. Either way eviction never changes
     /// answers — an evicted unit re-solves to the same bits.
-    fn evict_over_budget(&mut self) -> u64 {
+    fn evict_over_budget(&mut self) -> Evicted {
         let Some(limit) = self.limit() else {
-            return 0;
+            return Evicted::default();
         };
         let cost_weighted = matches!(self.budget, CacheCapacity::Bytes(_));
-        let mut evicted = 0;
+        let mut evicted = Evicted::default();
         while self.weight > limit && self.slots.len() > 1 {
             let victim_tick = if cost_weighted {
                 // Scan the oldest slots, excluding the newest overall so the
@@ -263,7 +274,10 @@ impl Shard {
                 .expect("victim tick is present");
             let slot = self.slots.remove(&victim).expect("victim slot exists");
             self.weight -= self.slot_overhead() + slot.values.len() * self.entry_weight();
-            evicted += slot.values.len() as u64;
+            evicted.entries += slot.values.len() as u64;
+            // Byte estimate in any budget mode, using the same per-slot
+            // model byte budgets charge — observability, not accounting.
+            evicted.bytes += (SLOT_OVERHEAD_BYTES + slot.values.len() * ENTRY_BYTES) as u64;
         }
         evicted
     }
@@ -387,7 +401,13 @@ mod tests {
         let mut shard = Shard::new(CacheCapacity::Bytes(budget));
         shard.insert_costed(1, FP, 0.1, 5.0); // expensive, oldest
         shard.insert_costed(2, FP, 0.2, 0.001); // cheap, younger
-        assert_eq!(shard.insert_costed(3, FP, 0.3, 1.0), 1);
+        let evicted = shard.insert_costed(3, FP, 0.3, 1.0);
+        assert_eq!(evicted.entries, 1);
+        assert_eq!(
+            evicted.bytes,
+            (SLOT_OVERHEAD_BYTES + ENTRY_BYTES) as u64,
+            "byte estimate follows the slot model"
+        );
         assert_eq!(shard.get(2, FP), None, "the cheap slot is the victim");
         assert_eq!(shard.get(1, FP), Some(0.1), "the expensive slot survives");
         assert_eq!(shard.get(3, FP), Some(0.3));

@@ -135,6 +135,11 @@ pub struct CacheStats {
     /// Cached marginal entries dropped by the LRU eviction policy to stay
     /// within [`CacheCapacity`]. Zero under the default unbounded capacity.
     pub marginal_evictions: u64,
+    /// Estimated heap bytes freed by those evictions, using the byte-budget
+    /// accounting model (slot overhead + per-entry payload). Reported in
+    /// every capacity mode so eviction pressure is visible even under an
+    /// entry-count bound.
+    pub marginal_evicted_bytes: u64,
     /// Marginal entries **read** from disk snapshots via
     /// [`Engine::load_marginals`](crate::engine::Engine::load_marginals).
     /// Keep-first conflicts with entries already in memory and capacity
@@ -193,13 +198,14 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "marginals {} hit / {} solved ({:.1}% hit rate), {} evicted, {} loaded, {} saved; \
-             {} models prepared; calibration {} hit / {} miss, {} recorded; \
+            "marginals {} hit / {} solved ({:.1}% hit rate), {} evicted ({}B), {} loaded, \
+             {} saved; {} models prepared; calibration {} hit / {} miss, {} recorded; \
              {} invalidated; segments {}B live / {}B dead, {} compactions",
             self.marginal_hits,
             self.marginal_misses,
             self.hit_rate() * 100.0,
             self.marginal_evictions,
+            self.marginal_evicted_bytes,
             self.marginals_loaded,
             self.marginals_saved,
             self.models_prepared,

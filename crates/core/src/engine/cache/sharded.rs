@@ -41,6 +41,7 @@ pub(crate) struct MarginalCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
     loaded: AtomicU64,
     saved: AtomicU64,
 }
@@ -58,6 +59,7 @@ impl MarginalCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
             loaded: AtomicU64::new(0),
             saved: AtomicU64::new(0),
         }
@@ -103,22 +105,27 @@ impl MarginalCache {
     /// Like [`MarginalCache::insert`], but also records the measured cost of
     /// re-deriving the value (seconds of solver time). Byte-bounded shards
     /// prefer evicting cheap slots; a zero cost means "unknown" and makes
-    /// the slot maximally evictable.
+    /// the slot maximally evictable. Returns the estimated bytes this
+    /// insert's budget enforcement evicted (zero almost always), so the
+    /// engine can surface eviction pressure to its instruments.
     pub(crate) fn insert_costed(
         &self,
         hash: u64,
         fingerprint: SolverFingerprint,
         probability: f64,
         cost: f64,
-    ) {
+    ) -> u64 {
         let evicted = self
             .shard(hash)
             .lock()
             .expect("marginal cache shard poisoned")
             .insert_costed(hash, fingerprint, probability, cost);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        if evicted.entries > 0 {
+            self.evictions.fetch_add(evicted.entries, Ordering::Relaxed);
+            self.evicted_bytes
+                .fetch_add(evicted.bytes, Ordering::Relaxed);
         }
+        evicted.bytes
     }
 
     /// Installs entries from a disk snapshot: same keep-first semantics as
@@ -200,6 +207,11 @@ impl MarginalCache {
 
     pub(crate) fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Estimated heap bytes freed by eviction since construction.
+    pub(crate) fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes.load(Ordering::Relaxed)
     }
 
     pub(crate) fn loaded(&self) -> u64 {

@@ -29,10 +29,12 @@
 mod cache;
 mod calibrate;
 mod cost;
+mod obs;
 mod scheduler;
 mod unit;
 
 pub use cache::{CacheCapacity, CacheStats, PreparedModel};
+pub use obs::EngineObs;
 pub use unit::{UnitKey, WorkUnit};
 
 use crate::database::{PpdDatabase, Update};
@@ -174,6 +176,10 @@ pub struct Engine {
     segment_dead_bytes: AtomicU64,
     /// Segment compactions run by [`Engine::save_marginals`].
     compactions: AtomicU64,
+    /// Pre-resolved observability handles. Write-only from the pipeline's
+    /// point of view: nothing recorded here is ever read back into seeds,
+    /// cache keys, scheduling, or solver selection.
+    obs: EngineObs,
 }
 
 impl Engine {
@@ -181,6 +187,13 @@ impl Engine {
     /// thread count, cache sharding and capacity) is fixed for the engine's
     /// lifetime, which is what keeps its caches coherent.
     pub fn new(config: EvalConfig) -> Self {
+        Engine::with_obs(config, EngineObs::disabled())
+    }
+
+    /// [`Engine::new`] with observability instruments attached. The bundle
+    /// only ever *records* — an engine with [`EngineObs::disabled`] (the
+    /// plain-constructor default) produces bit-identical answers.
+    pub fn with_obs(config: EvalConfig, obs: EngineObs) -> Self {
         let marginals = MarginalCache::new(config.cache_shards, config.cache_capacity);
         let calibration = CalibrationStore::new(config.cache_shards, CALIBRATION_CAPACITY);
         Engine {
@@ -195,6 +208,7 @@ impl Engine {
             segment_live_bytes: AtomicU64::new(0),
             segment_dead_bytes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -210,6 +224,7 @@ impl Engine {
             marginal_hits: self.marginals.hits(),
             marginal_misses: self.marginals.misses(),
             marginal_evictions: self.marginals.evictions(),
+            marginal_evicted_bytes: self.marginals.evicted_bytes(),
             marginals_loaded: self.marginals.loaded(),
             marginals_saved: self.marginals.saved(),
             models_prepared: self.models.len() as u64,
@@ -269,6 +284,7 @@ impl Engine {
             .expect("tombstone queue poisoned")
             .extend(model_set);
         self.units_invalidated.fetch_add(dropped, Ordering::Relaxed);
+        self.obs.invalidated(dropped);
         dropped
     }
 
@@ -669,6 +685,26 @@ impl Engine {
         cancelled: impl Fn(usize) -> bool + Send + Sync + 'static,
         deliver: impl Fn(usize, Result<BatchAnswer>) + Sync,
     ) {
+        self.evaluate_batch_streamed_cancellable_traced(db, queries, &[], cancelled, deliver);
+    }
+
+    /// [`Engine::evaluate_batch_streamed_cancellable`] with trace ids
+    /// attached: `traces[query_index]` is the submission's trace id (`0` or
+    /// out of range = untraced). For sampled traces the engine records
+    /// `wave-joined` when refcounts are computed and one `unit-solved` per
+    /// completed unit the query depended on, into the [`ppd_obs::TraceLog`]
+    /// attached via [`EngineObs::with_trace`]. Purely observational: the
+    /// trace ids never reach seeds, cache keys, or scheduling, and the
+    /// delivered answers are bit-identical with tracing off, on, or
+    /// partially sampled.
+    pub fn evaluate_batch_streamed_cancellable_traced(
+        &self,
+        db: &PpdDatabase,
+        queries: &[ConjunctiveQuery],
+        traces: &[u64],
+        cancelled: impl Fn(usize) -> bool + Send + Sync + 'static,
+        deliver: impl Fn(usize, Result<BatchAnswer>) + Sync,
+    ) {
         let cancelled: Arc<dyn Fn(usize) -> bool + Send + Sync> = Arc::new(cancelled);
         self.note_planned_version(db);
         // Ground every query up front; a query that cannot ground fails
@@ -733,6 +769,31 @@ impl Engine {
             remaining[qi] = units.len();
             for unit in units {
                 dependents[unit].push(qi);
+            }
+        }
+        // Trace: each sampled submission learns its wave shape — total
+        // units in the wave, how many it depends on, how many of its
+        // requests the cache already answered. Recording only; the wave
+        // itself is unchanged.
+        if let Some(log) = self.obs.trace() {
+            for (qi, &(orig_qi, _)) in with_prel.iter().enumerate() {
+                let trace = traces.get(orig_qi).copied().unwrap_or(0);
+                if !log.traced(trace) {
+                    continue;
+                }
+                let (start, end) = spans[qi];
+                let cached = sources[start..end]
+                    .iter()
+                    .filter(|source| matches!(source, Source::Cached(_)))
+                    .count();
+                log.record(
+                    trace,
+                    ppd_obs::SpanEvent::WaveJoined {
+                        wave_units: pending.len(),
+                        units: remaining[qi],
+                        cached,
+                    },
+                );
             }
         }
         let dependents = Arc::new(dependents);
@@ -862,26 +923,49 @@ impl Engine {
                 let mut finished: Vec<(usize, Result<BatchAnswer>)> = Vec::new();
                 match outcome {
                     None => {} // skipped: every dependent cancelled or done
-                    Some(Ok((p, seconds))) => {
+                    Some(Ok((p, seconds, elapsed_ns))) => {
+                        // Trace ids whose submission depended on this unit,
+                        // recorded after the tracker lock drops.
+                        let mut solved_for: Vec<u64> = Vec::new();
                         if grouping {
-                            self.marginals.insert_costed(
+                            let evicted_bytes = self.marginals.insert_costed(
                                 pending[unit].hash,
                                 pending[unit].fingerprint,
                                 *p,
                                 *seconds,
                             );
+                            self.obs.evicted_bytes(evicted_bytes);
                             self.index_unit(pending[unit].model_hash, pending[unit].hash);
                         }
+                        let traced = self.obs.trace().is_some();
                         let mut t = tracker.lock().expect("streaming tracker poisoned");
                         t.values[unit] = Some(*p);
                         for &qi in &dependents[unit] {
                             if t.done[qi] {
                                 continue;
                             }
+                            if traced {
+                                if let Some(&trace) = traces.get(with_prel[qi].0) {
+                                    solved_for.push(trace);
+                                }
+                            }
                             t.remaining[qi] -= 1;
                             if t.remaining[qi] == 0 {
                                 t.done[qi] = true;
                                 finished.push((with_prel[qi].0, Ok(assemble(qi, &t.values))));
+                            }
+                        }
+                        drop(t);
+                        if let Some(log) = self.obs.trace() {
+                            for trace in solved_for.drain(..) {
+                                log.record(
+                                    trace,
+                                    ppd_obs::SpanEvent::UnitSolved {
+                                        unit_hash: pending[unit].hash,
+                                        solver: obs::solver_tag(pending[unit].fingerprint),
+                                        micros: elapsed_ns / 1_000,
+                                    },
+                                );
                             }
                         }
                     }
@@ -926,22 +1010,25 @@ impl Engine {
         // Units are *executed* in cost order but *recorded* in unit order:
         // the pool pulls slots off the shared counter, so slot `s` runs
         // `pending[order[s]]`, and the results are scattered back.
-        let solved_by_slot: Vec<(usize, Result<(f64, f64)>)> =
+        type SlotOutcome = (usize, Result<(f64, f64, u64)>);
+        let solved_by_slot: Vec<SlotOutcome> =
             scheduler::run_indexed(order.len(), self.config.threads, |slot| {
                 let unit = order[slot];
                 (unit, self.solve_pending(&pending[unit], force_exact, None))
             });
-        let mut solved: Vec<Option<Result<(f64, f64)>>> =
+        let mut solved: Vec<Option<Result<(f64, f64, u64)>>> =
             (0..pending.len()).map(|_| None).collect();
         for (unit, outcome) in solved_by_slot {
             solved[unit] = Some(outcome);
         }
         let mut values = Vec::with_capacity(pending.len());
         for (unit, outcome) in pending.iter().zip(solved) {
-            let (p, seconds) = outcome.expect("every unit is scheduled exactly once")?;
+            let (p, seconds, _) = outcome.expect("every unit is scheduled exactly once")?;
             if grouping {
-                self.marginals
-                    .insert_costed(unit.hash, unit.fingerprint, p, seconds);
+                let evicted_bytes =
+                    self.marginals
+                        .insert_costed(unit.hash, unit.fingerprint, p, seconds);
+                self.obs.evicted_bytes(evicted_bytes);
                 self.index_unit(unit.model_hash, unit.hash);
             }
             values.push(p);
@@ -990,9 +1077,11 @@ impl Engine {
             let hash = key.stable_hash();
             if grouping {
                 if let Some(p) = self.marginals.get(hash, fingerprint) {
+                    self.obs.cache_hit();
                     sources.push(Source::Cached(p));
                     continue;
                 }
+                self.obs.cache_miss();
             }
             // Only actual cache misses pay for materializing the canonical
             // union (pattern clones); duplicates and hits stop above.
@@ -1049,17 +1138,20 @@ impl Engine {
 
     /// Solves one pending unit: prepared-model lookup, solver selection, and
     /// a seeded solve whose result depends only on the unit's content and
-    /// the engine's base seed. Returns `(probability, measured seconds)`;
-    /// the timing is recorded into the calibration store (when calibration
-    /// is on) and becomes the marginal-cache eviction weight. An optional
-    /// [`CancelProbe`] is threaded into the exact DP kernels' budget checks
-    /// for mid-solve cancellation.
+    /// the engine's base seed. Returns `(probability, cost seconds, elapsed
+    /// nanoseconds)`: the cost channel is recorded into the calibration
+    /// store and becomes the marginal-cache eviction weight — `0.0` with
+    /// calibration off, preserving the "unknown cost" eviction semantics —
+    /// while the elapsed channel feeds the solve-time histogram and trace
+    /// events only, never any decision. An optional [`CancelProbe`] is
+    /// threaded into the exact DP kernels' budget checks for mid-solve
+    /// cancellation.
     fn solve_pending(
         &self,
         unit: &Pending<'_>,
         force_exact: bool,
         probe: Option<CancelProbe>,
-    ) -> Result<(f64, f64)> {
+    ) -> Result<(f64, f64, u64)> {
         let prepared = self.models.get_or_insert(unit.session);
         let kind = self.solver_kind(&unit.union, unit.fingerprint, force_exact, probe);
         let seed = UnitKey::seed_from_stable_hash(unit.hash, self.config.seed);
@@ -1071,8 +1163,12 @@ impl Engine {
             &unit.union,
             seed,
         )?;
+        let elapsed = started.elapsed();
+        self.obs
+            .record_solve(unit.fingerprint, unit.bucket.class, elapsed);
+        let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         if self.config.calibrate {
-            let seconds = started.elapsed().as_secs_f64();
+            let seconds = elapsed.as_secs_f64();
             self.calibration.record(
                 unit.hash,
                 unit.fingerprint,
@@ -1080,9 +1176,9 @@ impl Engine {
                 seconds,
                 unit.static_cost,
             );
-            Ok((p, seconds))
+            Ok((p, seconds, elapsed_ns))
         } else {
-            Ok((p, 0.0))
+            Ok((p, 0.0, elapsed_ns))
         }
     }
 

@@ -52,8 +52,8 @@ pub mod value;
 pub use count::count_sessions;
 pub use database::{DatabaseBuilder, PpdDatabase, Update};
 pub use engine::{
-    BatchAnswer, CacheCapacity, CacheStats, Engine, PreparedModel, UnitKey, WaveCostEstimate,
-    WorkUnit,
+    BatchAnswer, CacheCapacity, CacheStats, Engine, EngineObs, PreparedModel, UnitKey,
+    WaveCostEstimate, WorkUnit,
 };
 pub use eval::{
     evaluate_boolean, session_probabilities, session_probabilities_for_plan, ErrorBudget,
@@ -98,6 +98,25 @@ pub enum PpdError {
     /// `Engine::evaluate_batch_streamed_cancellable`); any still-pending
     /// work the query depended on alone is skipped.
     Cancelled,
+}
+
+impl PpdError {
+    /// The stable, wire-safe name of this error's variant. Part of the wire
+    /// protocol (the flattened eval error's `error_kind` field) and the
+    /// label space of the service's error counters, so renaming a variant
+    /// must not change its kind string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PpdError::UnknownName(_) => "unknown-name",
+            PpdError::Malformed(_) => "malformed",
+            PpdError::UnsupportedQuery(_) => "unsupported-query",
+            PpdError::Pattern(_) => "pattern",
+            PpdError::Rim(_) => "rim",
+            PpdError::Solver(_) => "solver",
+            PpdError::Persist(_) => "persist",
+            PpdError::Cancelled => "cancelled",
+        }
+    }
 }
 
 impl std::fmt::Display for PpdError {

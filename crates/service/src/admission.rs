@@ -103,10 +103,17 @@ impl<T> AdmissionQueue<T> {
     /// the moment `max_batch` items are available or shutdown begins — and
     /// pops up to `max_batch` items, **interactive lane first**: a batch
     /// item only rides in a wave with spare room after every queued
-    /// interactive item. Returns `None` only when both lanes are empty
-    /// *and* the queue is shutting down: the dispatcher's signal to exit
-    /// after every admitted query has been served.
-    pub(crate) fn next_wave(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+    /// interactive item. Alongside the wave it reports how long the window
+    /// was actually held open (first sighting to pop — the coalescing
+    /// latency a wave-mate pays), which the dispatcher records. Returns
+    /// `None` only when both lanes are empty *and* the queue is shutting
+    /// down: the dispatcher's signal to exit after every admitted query
+    /// has been served.
+    pub(crate) fn next_wave(
+        &self,
+        max_batch: usize,
+        max_wait: Duration,
+    ) -> Option<(Vec<T>, Duration)> {
         let max_batch = max_batch.max(1);
         let mut state = self.lock();
         loop {
@@ -118,7 +125,8 @@ impl<T> AdmissionQueue<T> {
             }
             state = self.nonempty.wait(state).expect("admission queue poisoned");
         }
-        let deadline = Instant::now() + max_wait;
+        let sighted = Instant::now();
+        let deadline = sighted + max_wait;
         while state.total() < max_batch && !state.shutting_down {
             let now = Instant::now();
             if now >= deadline {
@@ -141,7 +149,7 @@ impl<T> AdmissionQueue<T> {
                 break;
             }
         }
-        Some(wave)
+        Some((wave, sighted.elapsed()))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
@@ -162,7 +170,7 @@ mod tests {
         assert_eq!(q.push(I, 1), Ok(1));
         assert_eq!(q.push(I, 2), Ok(2));
         assert_eq!(q.depth(), 2);
-        let wave = q.next_wave(8, Duration::ZERO).unwrap();
+        let (wave, _window) = q.next_wave(8, Duration::ZERO).unwrap();
         assert_eq!(wave, vec![1, 2]);
         assert_eq!(q.depth(), 0);
     }
@@ -199,9 +207,9 @@ mod tests {
         q.push(I, 1).unwrap();
         q.push(I, 2).unwrap();
         // Interactive items lead the wave despite arriving later...
-        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![1, 2, 100]);
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap().0, vec![1, 2, 100]);
         // ...and batch items are never starved once the lane is reached.
-        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![101]);
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap().0, vec![101]);
     }
 
     #[test]
@@ -217,8 +225,8 @@ mod tests {
         for i in 0..5 {
             q.push(I, i).unwrap();
         }
-        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![0, 1, 2]);
-        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap(), vec![3, 4]);
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap().0, vec![0, 1, 2]);
+        assert_eq!(q.next_wave(3, Duration::ZERO).unwrap().0, vec![3, 4]);
     }
 
     #[test]
@@ -228,7 +236,7 @@ mod tests {
             scope.spawn(|| {
                 // The consumer sees the first item, holds the window open,
                 // and should collect the straggler pushed shortly after.
-                let wave = q.next_wave(2, Duration::from_secs(5)).unwrap();
+                let (wave, _window) = q.next_wave(2, Duration::from_secs(5)).unwrap();
                 assert_eq!(wave.len(), 2, "window must admit the straggler");
             });
             q.push(I, 1).unwrap();
@@ -247,8 +255,8 @@ mod tests {
         q.shutdown();
         assert_eq!(q.push(I, 3), Err(AdmitError::ShuttingDown));
         // Already-admitted items still come out...
-        assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap(), vec![1]);
-        assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap(), vec![2]);
+        assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap().0, vec![1]);
+        assert_eq!(q.next_wave(1, Duration::from_secs(5)).unwrap().0, vec![2]);
         // ...and only then does the consumer learn it is done. (Also checks
         // the window does not wait out its deadline during shutdown.)
         assert_eq!(q.next_wave(4, Duration::from_secs(5)), None);

@@ -2,6 +2,7 @@
 //! configuration the service pins for its lifetime.
 
 use ppd_core::EvalConfig;
+use ppd_obs::ObsConfig;
 use std::time::Duration;
 
 /// Configuration of a [`Service`](crate::Service).
@@ -32,6 +33,11 @@ pub struct ServiceConfig {
     /// The evaluation-engine configuration (solver, seed, threads, cache
     /// sharding/capacity) behind this service.
     pub eval: EvalConfig,
+    /// The observability configuration: whether metrics record, which
+    /// submissions trace, and how many span events the trace ring holds.
+    /// Purely observational — answers are bit-identical under every
+    /// setting (the `service_determinism` test pins this).
+    pub obs: ObsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +48,7 @@ impl Default for ServiceConfig {
             max_batch: 32,
             max_wait: Duration::from_millis(2),
             eval: EvalConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -79,6 +86,13 @@ impl ServiceConfig {
         self.max_wait = max_wait;
         self
     }
+
+    /// Sets the observability configuration (metrics on/off, trace mode and
+    /// ring capacity).
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -91,10 +105,13 @@ mod tests {
             .with_max_queue(7)
             .with_max_queue_batch(5)
             .with_max_batch(3)
-            .with_max_wait(Duration::from_millis(9));
+            .with_max_wait(Duration::from_millis(9))
+            .with_obs(ObsConfig::off());
         assert_eq!(config.max_queue, 7);
         assert_eq!(config.max_queue_batch, 5);
         assert_eq!(config.max_batch, 3);
         assert_eq!(config.max_wait, Duration::from_millis(9));
+        assert!(!config.obs.metrics);
+        assert!(ServiceConfig::default().obs.metrics, "obs defaults on");
     }
 }

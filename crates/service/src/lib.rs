@@ -81,6 +81,7 @@
 mod admission;
 mod config;
 mod deadline;
+mod obs;
 mod request;
 mod router;
 mod service;
@@ -92,3 +93,7 @@ pub use request::{AdmissionClass, Answer, Request, ServiceError, SubmitOptions, 
 pub use service::{Service, DEFAULT_DATABASE};
 pub use stats::ServiceStats;
 pub use wire::{WireClient, WireServer, WireStatsReport};
+// The observability configuration and trace types are part of the service's
+// public surface (`ServiceConfig::obs`, `Service::trace_events`);
+// re-exported so embedders need no direct `ppd_obs` dependency.
+pub use ppd_obs::{ObsConfig, SpanEvent, SpanRecord, TraceMode};

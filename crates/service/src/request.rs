@@ -187,6 +187,24 @@ pub enum ServiceError {
     Disconnected,
 }
 
+impl ServiceError {
+    /// The stable, wire-safe name of this error's variant: the wire
+    /// protocol's `error_kind` field and the label space of the service's
+    /// `ppd_errors_total` counter. Evaluation errors defer to
+    /// [`PpdError::kind`]; renaming a variant must not change its string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::ShuttingDown => "shutting-down",
+            ServiceError::UnknownDatabase(_) => "unknown-database",
+            ServiceError::DeadlineExceeded => "deadline-exceeded",
+            ServiceError::Eval(e) => e.kind(),
+            ServiceError::Protocol(_) => "protocol",
+            ServiceError::Disconnected => "disconnected",
+        }
+    }
+}
+
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -220,11 +238,19 @@ pub(crate) type Delivery = Result<Answer, ServiceError>;
 pub(crate) struct Outcome {
     pub(crate) delivery: Delivery,
     pub(crate) version: u64,
+    /// The submission's trace id (0 when the request failed before one was
+    /// assigned) — observability only, carried so wire responses can echo
+    /// it for the `trace` verb.
+    pub(crate) trace: u64,
 }
 
 impl Outcome {
-    pub(crate) fn new(delivery: Delivery, version: u64) -> Self {
-        Outcome { delivery, version }
+    pub(crate) fn new(delivery: Delivery, version: u64, trace: u64) -> Self {
+        Outcome {
+            delivery,
+            version,
+            trace,
+        }
     }
 }
 
@@ -245,6 +271,7 @@ pub struct Ticket {
     receiver: mpsc::Receiver<Outcome>,
     cancel: CancelToken,
     read_version: u64,
+    trace: u64,
     computed_version: Cell<u64>,
 }
 
@@ -254,12 +281,14 @@ impl Ticket {
         receiver: mpsc::Receiver<Outcome>,
         cancel: CancelToken,
         read_version: u64,
+        trace: u64,
     ) -> Self {
         Ticket {
             query_name,
             receiver,
             cancel,
             read_version,
+            trace,
             computed_version: Cell::new(0),
         }
     }
@@ -267,6 +296,14 @@ impl Ticket {
     /// Name of the submitted query, for logs.
     pub fn query_name(&self) -> &str {
         &self.query_name
+    }
+
+    /// The submission's trace id: the key into the service's span ring
+    /// ([`Service::trace_events`](crate::Service::trace_events)) and the
+    /// wire protocol's `trace` field. Assigned even when tracing is off
+    /// (events are simply not recorded then); never 0.
+    pub fn trace_id(&self) -> u64 {
+        self.trace
     }
 
     /// The routed database's version id current when this request was
@@ -406,7 +443,7 @@ mod tests {
     fn ticket(deadline: Option<Duration>) -> (mpsc::Sender<Outcome>, Ticket, CancelToken) {
         let (tx, rx) = mpsc::channel();
         let cancel = CancelToken::new(deadline.map(|d| Instant::now() + d));
-        let ticket = Ticket::new("q".into(), rx, cancel.clone(), 1);
+        let ticket = Ticket::new("q".into(), rx, cancel.clone(), 1, 7);
         (tx, ticket, cancel)
     }
 
@@ -415,9 +452,11 @@ mod tests {
         let (tx, ticket, _cancel) = ticket(None);
         assert_eq!(ticket.query_name(), "q");
         assert_eq!(ticket.read_version(), 1);
+        assert_eq!(ticket.trace_id(), 7);
         assert_eq!(ticket.computed_version(), None, "nothing delivered yet");
         assert!(ticket.try_wait().is_none(), "nothing delivered yet");
-        tx.send(Outcome::new(Ok(Answer::Boolean(0.5)), 3)).unwrap();
+        tx.send(Outcome::new(Ok(Answer::Boolean(0.5)), 3, 7))
+            .unwrap();
         let (delivery, version) = ticket.wait_versioned();
         assert_eq!(delivery, Ok(Answer::Boolean(0.5)));
         assert_eq!(version, Some(3), "the answer reports its snapshot");
@@ -427,7 +466,7 @@ mod tests {
     fn dropped_sender_surfaces_as_disconnected() {
         let (tx, rx) = mpsc::channel::<Outcome>();
         drop(tx);
-        let ticket = Ticket::new("q".into(), rx, CancelToken::new(None), 1);
+        let ticket = Ticket::new("q".into(), rx, CancelToken::new(None), 1, 1);
         assert_eq!(ticket.try_wait(), Some(Err(ServiceError::Disconnected)));
         assert_eq!(ticket.wait(), Err(ServiceError::Disconnected));
     }
@@ -449,7 +488,7 @@ mod tests {
     #[test]
     fn answer_delivered_before_the_deadline_wins_the_race() {
         let (tx, ticket, _cancel) = ticket(Some(Duration::from_millis(1)));
-        tx.send(Outcome::new(Ok(Answer::Count(2.0)), 1)).unwrap();
+        tx.send(Outcome::new(Ok(Answer::Count(2.0)), 1, 1)).unwrap();
         std::thread::sleep(Duration::from_millis(5));
         // The deadline has passed, but the answer landed first: deliver it.
         assert_eq!(ticket.wait(), Ok(Answer::Count(2.0)));
@@ -475,6 +514,24 @@ mod tests {
         assert!(ServiceError::DeadlineExceeded
             .to_string()
             .contains("deadline"));
+    }
+
+    #[test]
+    fn error_kinds_are_stable_strings() {
+        assert_eq!(ServiceError::Overloaded { depth: 1 }.kind(), "overloaded");
+        assert_eq!(ServiceError::ShuttingDown.kind(), "shutting-down");
+        assert_eq!(
+            ServiceError::UnknownDatabase("x".into()).kind(),
+            "unknown-database"
+        );
+        assert_eq!(ServiceError::DeadlineExceeded.kind(), "deadline-exceeded");
+        assert_eq!(
+            ServiceError::Eval(PpdError::UnknownName("x".into())).kind(),
+            "unknown-name"
+        );
+        assert_eq!(ServiceError::Eval(PpdError::Cancelled).kind(), "cancelled");
+        assert_eq!(ServiceError::Protocol("bad".into()).kind(), "protocol");
+        assert_eq!(ServiceError::Disconnected.kind(), "disconnected");
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! before anything is queued.
 
 use crate::request::ServiceError;
-use ppd_core::{Engine, ErrorBudget, EvalConfig, PpdDatabase, PpdError, SolverChoice, Update};
+use ppd_core::{
+    Engine, EngineObs, ErrorBudget, EvalConfig, PpdDatabase, PpdError, SolverChoice, Update,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
@@ -43,6 +45,10 @@ pub(crate) struct Tenant {
     /// The tenant's base evaluation configuration, kept so per-request
     /// error-budget engines inherit everything except the solver choice.
     eval: EvalConfig,
+    /// The tenant's engine instrument bundle: cloned into every engine this
+    /// tenant spawns, so the base and all budget engines aggregate into one
+    /// labelled set of cells. Purely observational.
+    obs: EngineObs,
     /// Lazily created engines for requests that override the solver with an
     /// [`ErrorBudget`], keyed by `(epsilon.to_bits(), confidence.to_bits())`
     /// so bit-identical budgets share one engine (and its caches) while
@@ -114,7 +120,7 @@ impl Tenant {
         }
         let mut eval = self.eval.clone();
         eval.solver = SolverChoice::ErrorBudget(budget);
-        let engine = Arc::new(Engine::new(eval));
+        let engine = Arc::new(Engine::with_obs(eval, self.obs.clone()));
         engines.insert(
             key,
             BudgetSlot {
@@ -152,8 +158,13 @@ pub(crate) struct Router {
 impl Router {
     /// Builds the registry, one fresh engine per database, all sharing one
     /// evaluation configuration (the determinism contract is per-config).
-    /// Duplicate ids keep the first registration.
-    pub(crate) fn new(databases: Vec<(String, PpdDatabase)>, eval: &EvalConfig) -> Self {
+    /// `engine_obs` yields each tenant's instrument bundle by id. Duplicate
+    /// ids keep the first registration.
+    pub(crate) fn new(
+        databases: Vec<(String, PpdDatabase)>,
+        eval: &EvalConfig,
+        engine_obs: impl Fn(&str) -> EngineObs,
+    ) -> Self {
         let mut tenants: Vec<Tenant> = Vec::with_capacity(databases.len());
         let mut by_id = HashMap::new();
         for (id, db) in databases {
@@ -161,11 +172,13 @@ impl Router {
                 continue;
             }
             by_id.insert(id.clone(), tenants.len());
+            let obs = engine_obs(&id);
             tenants.push(Tenant {
                 id,
                 db: RwLock::new(db),
-                engine: Engine::new(eval.clone()),
+                engine: Engine::with_obs(eval.clone(), obs.clone()),
                 eval: eval.clone(),
+                obs,
                 budget_engines: Mutex::new(BTreeMap::new()),
                 use_tick: AtomicU64::new(0),
             });
@@ -214,6 +227,7 @@ mod tests {
         let router = Router::new(
             vec![("a".into(), db(1)), ("b".into(), db(2))],
             &EvalConfig::exact(),
+            |_| EngineObs::disabled(),
         );
         assert_eq!(router.route(None).unwrap(), 0);
         assert_eq!(router.route(Some("a")).unwrap(), 0);
@@ -228,7 +242,9 @@ mod tests {
 
     #[test]
     fn budget_engines_are_created_once_per_distinct_budget() {
-        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact());
+        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact(), |_| {
+            EngineObs::disabled()
+        });
         let tenant = router.tenant(0);
         let budget = ErrorBudget {
             epsilon: 0.01,
@@ -251,7 +267,9 @@ mod tests {
 
     #[test]
     fn budget_engines_retire_least_recently_used_past_the_bound() {
-        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact());
+        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact(), |_| {
+            EngineObs::disabled()
+        });
         let tenant = router.tenant(0);
         let budget = |i: usize| ErrorBudget {
             epsilon: 0.01 + i as f64 * 0.001,
@@ -285,7 +303,9 @@ mod tests {
     #[test]
     fn tenant_updates_bump_the_version_and_invalidate_every_engine() {
         use ppd_core::{MallowsModel, Ranking, Session, Update, Value};
-        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact());
+        let router = Router::new(vec![("a".into(), db(1))], &EvalConfig::exact(), |_| {
+            EngineObs::disabled()
+        });
         let tenant = router.tenant(0);
         assert_eq!(tenant.version(), 1);
         let relation = tenant.read_db().preference_relation_names()[0].to_string();
@@ -323,6 +343,7 @@ mod tests {
         let router = Router::new(
             vec![("a".into(), first.clone()), ("a".into(), db(2))],
             &EvalConfig::exact(),
+            |_| EngineObs::disabled(),
         );
         assert_eq!(router.tenants().len(), 1);
     }

@@ -5,6 +5,7 @@
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::config::ServiceConfig;
 use crate::deadline::CancelToken;
+use crate::obs::ServiceObs;
 use crate::request::{
     AdmissionClass, Answer, Delivery, Outcome, Request, ServiceError, SubmitOptions, Ticket,
 };
@@ -13,6 +14,7 @@ use crate::stats::{DeliveryKind, ServiceStats, StatsCollector};
 use ppd_core::{
     BatchAnswer, CacheStats, ConjunctiveQuery, Engine, ErrorBudget, PpdDatabase, PpdError, Update,
 };
+use ppd_obs::SpanRecord;
 use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc, Mutex, RwLockReadGuard};
 use std::thread::JoinHandle;
@@ -53,6 +55,9 @@ struct Job {
     budget: Option<ErrorBudget>,
     submitted: Instant,
     cancel: CancelToken,
+    /// The submission's trace id — observability only, never read back
+    /// into routing, grouping, or evaluation.
+    trace: u64,
     reply: ReplySink,
 }
 
@@ -71,6 +76,7 @@ struct Inner {
     router: Router,
     queue: AdmissionQueue<Job>,
     stats: Mutex<StatsCollector>,
+    obs: ServiceObs,
 }
 
 /// The multi-tenant query front door: per-database engines behind a single
@@ -113,10 +119,22 @@ impl Service {
     /// one admission layer. The first database is the default route for
     /// requests that name none. Panics on an empty registry.
     pub fn with_databases(databases: Vec<(String, PpdDatabase)>, config: ServiceConfig) -> Self {
+        // Tenant ids in registration order, first occurrence wins — the
+        // same dedup the router applies, so per-tenant instruments line up
+        // with tenant indices.
+        let mut ids: Vec<&str> = Vec::with_capacity(databases.len());
+        for (id, _) in &databases {
+            if !ids.contains(&id.as_str()) {
+                ids.push(id);
+            }
+        }
+        let obs = ServiceObs::new(&config.obs, &ids);
+        let router = Router::new(databases, &config.eval, |id| obs.engine_obs(id));
         let inner = Arc::new(Inner {
-            router: Router::new(databases, &config.eval),
+            router,
             queue: AdmissionQueue::new(config.max_queue, config.max_queue_batch),
             stats: Mutex::new(StatsCollector::default()),
+            obs,
             config,
         });
         let dispatcher = {
@@ -152,9 +170,15 @@ impl Service {
     ) -> Result<Ticket, ServiceError> {
         let (reply, receiver) = mpsc::channel();
         let query_name = request.query().name().to_string();
-        let (cancel, read_version) =
+        let (cancel, read_version, trace) =
             self.enqueue(Work::Query(request), options, ReplySink::Channel(reply))?;
-        Ok(Ticket::new(query_name, receiver, cancel, read_version))
+        Ok(Ticket::new(
+            query_name,
+            receiver,
+            cancel,
+            read_version,
+            trace,
+        ))
     }
 
     /// Submits a database update against the default database. The update
@@ -178,27 +202,33 @@ impl Service {
         options: SubmitOptions,
     ) -> Result<Ticket, ServiceError> {
         let (reply, receiver) = mpsc::channel();
-        let (cancel, read_version) =
+        let (cancel, read_version, trace) =
             self.enqueue(Work::Update(update), options, ReplySink::Channel(reply))?;
-        Ok(Ticket::new("update".into(), receiver, cancel, read_version))
+        Ok(Ticket::new(
+            "update".into(),
+            receiver,
+            cancel,
+            read_version,
+            trace,
+        ))
     }
 
     /// Callback-style submission, used by the wire server: `callback` is
     /// invoked exactly once with the outcome, from a dispatcher or engine
     /// worker thread — it must hand off quickly and must not call back into
-    /// this service.
+    /// this service. Returns the cancel token and the submission's trace id.
     pub(crate) fn submit_callback(
         &self,
         request: Request,
         options: SubmitOptions,
         callback: impl FnOnce(Outcome) + Send + 'static,
-    ) -> Result<CancelToken, ServiceError> {
+    ) -> Result<(CancelToken, u64), ServiceError> {
         self.enqueue(
             Work::Query(request),
             options,
             ReplySink::Callback(Box::new(callback)),
         )
-        .map(|(cancel, _)| cancel)
+        .map(|(cancel, _, trace)| (cancel, trace))
     }
 
     /// Callback-style update submission, used by the wire server.
@@ -207,23 +237,23 @@ impl Service {
         update: Update,
         options: SubmitOptions,
         callback: impl FnOnce(Outcome) + Send + 'static,
-    ) -> Result<CancelToken, ServiceError> {
+    ) -> Result<(CancelToken, u64), ServiceError> {
         self.enqueue(
             Work::Update(update),
             options,
             ReplySink::Callback(Box::new(callback)),
         )
-        .map(|(cancel, _)| cancel)
+        .map(|(cancel, _, trace)| (cancel, trace))
     }
 
-    /// Routes and enqueues one job, returning its cancel token and the
-    /// routed database's version at admission time.
+    /// Routes and enqueues one job, returning its cancel token, the routed
+    /// database's version at admission time, and its trace id.
     fn enqueue(
         &self,
         work: Work,
         options: SubmitOptions,
         reply: ReplySink,
-    ) -> Result<(CancelToken, u64), ServiceError> {
+    ) -> Result<(CancelToken, u64, u64), ServiceError> {
         let tenant = self.inner.router.route(options.database.as_deref())?;
         let read_version = self.inner.router.tenant(tenant).version();
         let cancel = CancelToken::new(options.deadline.map(|d| Instant::now() + d));
@@ -232,6 +262,17 @@ impl Service {
             Work::Query(_) => options.error_budget,
             Work::Update(_) => None,
         };
+        let trace = self.inner.obs.trace().assign();
+        // The admission span goes into the ring *before* the push makes the
+        // job visible: the dispatcher can pop it (recording `wave-joined`)
+        // before this thread resumes, and a traced timeline must still
+        // start at `admitted`. The depth is the pre-push estimate.
+        self.inner.obs.admission_span(
+            trace,
+            &self.inner.router.tenant(tenant).id,
+            options.class,
+            self.inner.queue.depth_of(options.class) + 1,
+        );
         let job = Job {
             tenant,
             work,
@@ -239,18 +280,26 @@ impl Service {
             budget,
             submitted: Instant::now(),
             cancel: cancel.clone(),
+            trace,
             reply,
         };
         match self.inner.queue.push(options.class, job) {
-            Ok(_) => {
+            Ok(depth) => {
                 self.lock_stats().record_submit(options.class);
-                Ok((cancel, read_version))
+                self.inner.obs.admitted_depth(options.class, depth);
+                Ok((cancel, read_version, trace))
             }
             Err(AdmitError::Overloaded { depth }) => {
                 self.lock_stats().record_reject(options.class);
-                Err(ServiceError::Overloaded { depth })
+                self.inner.obs.shed(options.class);
+                let error = ServiceError::Overloaded { depth };
+                self.inner.obs.rejected(trace, &error);
+                Err(error)
             }
-            Err(AdmitError::ShuttingDown) => Err(ServiceError::ShuttingDown),
+            Err(AdmitError::ShuttingDown) => {
+                self.inner.obs.rejected(trace, &ServiceError::ShuttingDown);
+                Err(ServiceError::ShuttingDown)
+            }
         }
     }
 
@@ -260,8 +309,28 @@ impl Service {
         self.lock_stats().snapshot(
             self.inner.queue.depth_of(AdmissionClass::Interactive),
             self.inner.queue.depth_of(AdmissionClass::Batch),
+            self.inner.obs.uptime(),
+            self.inner.obs.in_flight_waves(),
             self.aggregate_cache_stats(),
         )
+    }
+
+    /// The Prometheus-style text exposition of every registered instrument
+    /// — engine counters/histograms labelled by tenant plus the service's
+    /// own lane, wave, and error instruments. Empty when metrics are off
+    /// ([`ObsConfig::metrics`](ppd_obs::ObsConfig)). Served over the wire
+    /// by the `metrics` control frame.
+    pub fn metrics_text(&self) -> String {
+        self.inner.obs.render()
+    }
+
+    /// The still-buffered span events of one submission's trace, in
+    /// recording order — empty for untraced ids (tracing off, unsampled,
+    /// or aged out of the bounded ring). The id comes from
+    /// [`Ticket::trace_id`] or the wire response's `trace` field; served
+    /// over the wire by the `trace` control frame.
+    pub fn trace_events(&self, trace: u64) -> Vec<SpanRecord> {
+        self.inner.obs.trace().events(trace)
     }
 
     fn aggregate_cache_stats(&self) -> CacheStats {
@@ -278,6 +347,7 @@ impl Service {
                 total.calibration_hits += stats.calibration_hits;
                 total.calibration_misses += stats.calibration_misses;
                 total.calibration_recorded += stats.calibration_recorded;
+                total.marginal_evicted_bytes += stats.marginal_evicted_bytes;
                 total.units_invalidated += stats.units_invalidated;
                 total.segment_live_bytes += stats.segment_live_bytes;
                 total.segment_dead_bytes += stats.segment_dead_bytes;
@@ -378,7 +448,7 @@ impl std::fmt::Debug for Service {
 /// The dispatcher: pops waves off the admission queue until shutdown has
 /// drained it.
 fn dispatch_loop(inner: &Inner) {
-    while let Some(wave) = inner
+    while let Some((wave, window)) = inner
         .queue
         .next_wave(inner.config.max_batch, inner.config.max_wait)
     {
@@ -387,7 +457,13 @@ fn dispatch_loop(inner: &Inner) {
             .lock()
             .expect("service stats poisoned")
             .record_wave(wave.len());
+        inner.obs.wave_started(
+            window,
+            inner.queue.depth_of(AdmissionClass::Interactive),
+            inner.queue.depth_of(AdmissionClass::Batch),
+        );
         run_wave(inner, wave);
+        inner.obs.wave_finished();
     }
 }
 
@@ -409,6 +485,7 @@ fn run_wave(inner: &Inner, wave: Vec<Job>) {
     type GroupKey = (usize, usize, Option<(u64, u64)>);
     let mut groups: BTreeMap<GroupKey, Vec<Job>> = BTreeMap::new();
     for job in wave {
+        inner.obs.queue_wait(job.submitted.elapsed());
         match &job.work {
             Work::Update(_) => run_update(inner, job),
             Work::Query(_) => {
@@ -422,8 +499,9 @@ fn run_wave(inner: &Inner, wave: Vec<Job>) {
             }
         }
     }
-    for ((tenant, _, _), jobs) in groups {
-        let tenant = inner.router.tenant(tenant);
+    for ((tenant_index, _, _), jobs) in groups {
+        inner.obs.wave_group(tenant_index, jobs.len());
+        let tenant = inner.router.tenant(tenant_index);
         // The read guard pins this group's snapshot: updates admitted after
         // this wave formed wait for the next wave boundary.
         let db = tenant.read_db();
@@ -486,6 +564,7 @@ fn run_group(inner: &Inner, db: &PpdDatabase, engine: &Engine, jobs: Vec<Job>) {
     let mut batched: Vec<Mutex<Option<Job>>> = Vec::new();
     let mut batched_queries: Vec<ConjunctiveQuery> = Vec::new();
     let mut cancels: Vec<CancelToken> = Vec::new();
+    let mut traces: Vec<u64> = Vec::new();
     let mut topk: Vec<Job> = Vec::new();
     for job in jobs {
         match job.request() {
@@ -493,15 +572,17 @@ fn run_group(inner: &Inner, db: &PpdDatabase, engine: &Engine, jobs: Vec<Job>) {
             streamable => {
                 batched_queries.push(streamable.query().clone());
                 cancels.push(job.cancel.clone());
+                traces.push(job.trace);
                 batched.push(Mutex::new(Some(job)));
             }
         }
     }
 
     if !batched_queries.is_empty() {
-        engine.evaluate_batch_streamed_cancellable(
+        engine.evaluate_batch_streamed_cancellable_traced(
             db,
             &batched_queries,
+            &traces,
             // `move` satisfies the engine's `'static` bound (the probe now
             // reaches exact DP kernels mid-solve); the tokens are Arc-backed.
             move |qi| cancels[qi].is_cancelled(),
@@ -583,12 +664,13 @@ fn finish(inner: &Inner, job: Job, delivery: Delivery, version: u64) {
         }
         Err(_) => DeliveryKind::Failed,
     };
+    inner.obs.finished(job.trace, &delivery, latency);
     inner
         .stats
         .lock()
         .expect("service stats poisoned")
         .record_delivery(latency, kind);
-    job.reply.send(Outcome::new(delivery, version));
+    job.reply.send(Outcome::new(delivery, version, job.trace));
 }
 
 #[cfg(test)]

@@ -41,6 +41,10 @@ pub struct ServiceStats {
     pub interactive_queue_depth: usize,
     /// Queries currently waiting in the batch lane.
     pub batch_queue_depth: usize,
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Waves being executed right now (0 or 1 with one dispatcher).
+    pub in_flight_waves: u64,
     /// Waves dispatched so far.
     pub waves: u64,
     /// Size of the largest wave.
@@ -160,6 +164,8 @@ impl StatsCollector {
         &self,
         interactive_queue_depth: usize,
         batch_queue_depth: usize,
+        uptime: Duration,
+        in_flight_waves: u64,
         cache: CacheStats,
     ) -> ServiceStats {
         let delivered = self.answered + self.failed + self.expired;
@@ -177,6 +183,8 @@ impl StatsCollector {
             queue_depth: interactive_queue_depth + batch_queue_depth,
             interactive_queue_depth,
             batch_queue_depth,
+            uptime,
+            in_flight_waves,
             waves: self.waves,
             max_wave: self.max_wave,
             wave_sizes: self.wave_sizes.iter().map(|(&s, &c)| (s, c)).collect(),
@@ -210,8 +218,10 @@ mod tests {
         c.record_delivery(Duration::from_millis(20), DeliveryKind::Expired);
         c.record_update();
         c.record_update();
-        let stats = c.snapshot(2, 1, CacheStats::default());
+        let stats = c.snapshot(2, 1, Duration::from_secs(7), 1, CacheStats::default());
         assert_eq!(stats.updates_applied, 2);
+        assert_eq!(stats.uptime, Duration::from_secs(7));
+        assert_eq!(stats.in_flight_waves, 1);
         assert_eq!(stats.submitted, 4);
         assert_eq!(stats.interactive_submitted, 3);
         assert_eq!(stats.batch_submitted, 1);
@@ -234,7 +244,8 @@ mod tests {
 
     #[test]
     fn display_is_one_line() {
-        let stats = StatsCollector::default().snapshot(0, 0, CacheStats::default());
+        let stats =
+            StatsCollector::default().snapshot(0, 0, Duration::ZERO, 0, CacheStats::default());
         let line = stats.to_string();
         assert!(line.starts_with("service:"), "{line}");
         assert!(line.contains("interactive"), "{line}");

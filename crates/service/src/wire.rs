@@ -31,7 +31,14 @@
 //! between waves; its response is an `{"kind": "updated", ...}` receipt.
 //! Response frames carry a top-level `"version"` — the database version the
 //! answer was computed against — whenever the request reached a versioned
-//! snapshot.
+//! snapshot, and a top-level `"trace"` — the submission's trace id, the
+//! handle for the `trace` control verb.
+//!
+//! Three control verbs are answered synchronously, outside the admission
+//! path: `{"kind": "stats"}` (the [`ServiceStats`] snapshot plus per-tenant
+//! cache counters), `{"kind": "metrics"}` (the Prometheus-style text
+//! exposition of every registered instrument), and
+//! `{"kind": "trace", "trace": t}` (one submission's span timeline).
 //!
 //! **Bit-exactness over the wire.** Probabilities are serialized with
 //! Rust's shortest-round-trip float formatting and parsed back with
@@ -47,6 +54,7 @@ use ppd_core::{
     CacheStats, CompareOp, ConjunctiveQuery, MallowsModel, PpdError, Ranking, Session,
     SessionScore, Term, TopKStrategy, Update, Value as PpdValue,
 };
+use ppd_obs::{SpanEvent, SpanRecord};
 use serde_json::Value;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -346,6 +354,25 @@ fn handle_frame<S: WireStream>(
         );
         return;
     }
+    // The `metrics` verb: Prometheus-style text exposition of every
+    // registered instrument (empty when metrics are disabled). Also a
+    // control frame, answered synchronously.
+    if let Some(id) = decode_metrics_request(frame) {
+        write_line(
+            writer,
+            &encode_metrics_response(id, &service.metrics_text()),
+        );
+        return;
+    }
+    // The `trace` verb: the span timeline of one submission's trace id
+    // (as returned in response frames' `trace` field).
+    if let Some((id, trace)) = decode_trace_request(frame) {
+        write_line(
+            writer,
+            &encode_trace_response(id, trace, &service.trace_events(trace)),
+        );
+        return;
+    }
     // Update frames carry a `session`/`op` instead of a `query`, so they
     // are also recognized before request decoding.
     if let Some(decoded) = decode_update_request(frame) {
@@ -356,7 +383,7 @@ fn handle_frame<S: WireStream>(
                 let submitted = service.submit_update_callback(update, options, move |outcome| {
                     write_line(
                         &reply_writer,
-                        &encode_response(id, &outcome.delivery, outcome.version),
+                        &encode_response(id, &outcome.delivery, outcome.version, outcome.trace),
                     );
                     reply_in_flight
                         .lock()
@@ -364,18 +391,18 @@ fn handle_frame<S: WireStream>(
                         .remove(&id);
                 });
                 match submitted {
-                    Ok(token) => {
+                    Ok((token, _trace)) => {
                         in_flight
                             .lock()
                             .expect("wire connection poisoned")
                             .insert(id, token);
                     }
-                    Err(e) => write_line(writer, &encode_response(id, &Err(e), 0)),
+                    Err(e) => write_line(writer, &encode_response(id, &Err(e), 0, 0)),
                 }
             }
             Err((id, message)) => {
                 let err = Err(ServiceError::Protocol(message));
-                write_line(writer, &encode_response(id.unwrap_or(0), &err, 0));
+                write_line(writer, &encode_response(id.unwrap_or(0), &err, 0, 0));
             }
         }
         return;
@@ -387,7 +414,7 @@ fn handle_frame<S: WireStream>(
             let submitted = service.submit_callback(request, options, move |outcome| {
                 write_line(
                     &reply_writer,
-                    &encode_response(id, &outcome.delivery, outcome.version),
+                    &encode_response(id, &outcome.delivery, outcome.version, outcome.trace),
                 );
                 reply_in_flight
                     .lock()
@@ -395,18 +422,18 @@ fn handle_frame<S: WireStream>(
                     .remove(&id);
             });
             match submitted {
-                Ok(token) => {
+                Ok((token, _trace)) => {
                     in_flight
                         .lock()
                         .expect("wire connection poisoned")
                         .insert(id, token);
                 }
-                Err(e) => write_line(writer, &encode_response(id, &Err(e), 0)),
+                Err(e) => write_line(writer, &encode_response(id, &Err(e), 0, 0)),
             }
         }
         Err((id, message)) => {
             let err = Err(ServiceError::Protocol(message));
-            write_line(writer, &encode_response(id.unwrap_or(0), &err, 0));
+            write_line(writer, &encode_response(id.unwrap_or(0), &err, 0, 0));
         }
     }
 }
@@ -434,7 +461,7 @@ pub struct WireClient {
     reader: BufReader<Box<dyn Read + Send>>,
     writer: Box<dyn Write + Send>,
     next_id: u64,
-    pending: HashMap<u64, (Delivery, Option<u64>)>,
+    pending: HashMap<u64, (Delivery, Option<u64>, u64)>,
 }
 
 impl WireClient {
@@ -513,17 +540,25 @@ impl WireClient {
     /// was computed against (`None` when the request never reached a
     /// versioned snapshot).
     pub fn recv_versioned(&mut self, id: u64) -> Result<(Answer, Option<u64>), ServiceError> {
+        self.recv_traced(id)
+            .map(|(answer, version, _)| (answer, version))
+    }
+
+    /// [`WireClient::recv_versioned`], also returning the server-assigned
+    /// trace id (0 when the response carried none) — the handle to pass to
+    /// [`WireClient::trace`] for the submission's span timeline.
+    pub fn recv_traced(&mut self, id: u64) -> Result<(Answer, Option<u64>, u64), ServiceError> {
         loop {
-            if let Some((delivery, version)) = self.pending.remove(&id) {
-                return delivery.map(|answer| (answer, version));
+            if let Some((delivery, version, trace)) = self.pending.remove(&id) {
+                return delivery.map(|answer| (answer, version, trace));
             }
             let mut line = String::new();
             match self.reader.read_line(&mut line) {
                 Ok(0) => return Err(ServiceError::Disconnected),
                 Ok(_) => {
-                    let (got, delivery, version) =
+                    let (got, delivery, version, trace) =
                         decode_response(&line).map_err(ServiceError::Protocol)?;
-                    self.pending.insert(got, (delivery, version));
+                    self.pending.insert(got, (delivery, version, trace));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(ServiceError::Protocol(format!("recv failed: {e}"))),
@@ -566,13 +601,39 @@ impl WireClient {
     /// calibration counters). Pipelined responses for other in-flight
     /// requests that land first are stashed for their own `recv` calls.
     pub fn stats(&mut self) -> Result<WireStatsReport, ServiceError> {
+        let payload = self.control_call(vec![("kind", Value::from("stats"))])?;
+        decode_stats_payload(&payload).map_err(ServiceError::Protocol)
+    }
+
+    /// Fetches the server's metrics exposition: one Prometheus-style text
+    /// block covering every registered instrument — counters, gauges, and
+    /// histogram buckets. Empty when the server runs with metrics disabled.
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        let payload = self.control_call(vec![("kind", Value::from("metrics"))])?;
+        decode_metrics_payload(&payload).map_err(ServiceError::Protocol)
+    }
+
+    /// Fetches the still-buffered span timeline of one submission's trace
+    /// (the `trace` id returned by [`WireClient::recv_traced`]). Empty for
+    /// untraced ids — tracing off, unsampled, or already evicted from the
+    /// server's bounded span ring.
+    pub fn trace(&mut self, trace: u64) -> Result<Vec<SpanRecord>, ServiceError> {
+        let payload = self.control_call(vec![
+            ("kind", Value::from("trace")),
+            ("trace", Value::from(trace)),
+        ])?;
+        decode_trace_payload(&payload).map_err(ServiceError::Protocol)
+    }
+
+    /// Sends one control frame (`entries` plus the assigned id) and blocks
+    /// for its `ok` payload, stashing pipelined query responses that land
+    /// first for their own `recv` calls.
+    fn control_call(&mut self, mut entries: Vec<(&str, Value)>) -> Result<Value, ServiceError> {
         let id = self.next_id;
         self.next_id += 1;
-        let frame = serde_json::to_string(&object(vec![
-            ("id", Value::from(id)),
-            ("kind", Value::from("stats")),
-        ]))
-        .expect("stats frames always serialize");
+        entries.insert(0, ("id", Value::from(id)));
+        let frame =
+            serde_json::to_string(&object(entries)).expect("control frames always serialize");
         self.write_frame(&frame)?;
         loop {
             let mut line = String::new();
@@ -582,14 +643,13 @@ impl WireClient {
                     let value: Value = serde_json::from_str(&line)
                         .map_err(|e| ServiceError::Protocol(e.to_string()))?;
                     if value.get("id").and_then(Value::as_u64) == Some(id) {
-                        let payload = value.get("ok").ok_or_else(|| {
-                            ServiceError::Protocol("stats request failed".to_string())
-                        })?;
-                        return decode_stats_payload(payload).map_err(ServiceError::Protocol);
+                        return value.get("ok").cloned().ok_or_else(|| {
+                            ServiceError::Protocol("control request failed".to_string())
+                        });
                     }
-                    let (got, delivery, version) =
+                    let (got, delivery, version, trace) =
                         decode_response(&line).map_err(ServiceError::Protocol)?;
-                    self.pending.insert(got, (delivery, version));
+                    self.pending.insert(got, (delivery, version, trace));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(ServiceError::Protocol(format!("recv failed: {e}"))),
@@ -1082,11 +1142,16 @@ fn session_from_json(value: &Value) -> Result<Session, String> {
 
 /// Encodes one response frame (no trailing newline). `version` is the
 /// database version the delivery was computed against; `0` (never reached
-/// a versioned snapshot) omits the field.
-pub(crate) fn encode_response(id: u64, delivery: &Delivery, version: u64) -> String {
+/// a versioned snapshot) omits the field. `trace` is the submission's trace
+/// id for the `trace` control verb; `0` (failed before assignment) omits
+/// the field.
+pub(crate) fn encode_response(id: u64, delivery: &Delivery, version: u64, trace: u64) -> String {
     let mut entries = vec![("id", Value::from(id))];
     if version > 0 {
         entries.push(("version", Value::from(version)));
+    }
+    if trace > 0 {
+        entries.push(("trace", Value::from(trace)));
     }
     entries.push(match delivery {
         Ok(answer) => ("ok", answer_to_json(answer)),
@@ -1095,19 +1160,21 @@ pub(crate) fn encode_response(id: u64, delivery: &Delivery, version: u64) -> Str
     serde_json::to_string(&object(entries)).expect("response frames always serialize")
 }
 
-/// Decodes one response frame into `(id, delivery, computed version)`.
-pub(crate) fn decode_response(frame: &str) -> Result<(u64, Delivery, Option<u64>), String> {
+/// Decodes one response frame into `(id, delivery, computed version,
+/// trace id)` — trace 0 when the frame carried none.
+pub(crate) fn decode_response(frame: &str) -> Result<(u64, Delivery, Option<u64>, u64), String> {
     let value = serde_json::from_str(frame).map_err(|e| e.to_string())?;
     let id = value
         .get("id")
         .and_then(Value::as_u64)
         .ok_or("response missing numeric `id`")?;
     let version = value.get("version").and_then(Value::as_u64);
+    let trace = value.get("trace").and_then(Value::as_u64).unwrap_or(0);
     if let Some(ok) = value.get("ok") {
-        return Ok((id, Ok(answer_from_json(ok)?), version));
+        return Ok((id, Ok(answer_from_json(ok)?), version, trace));
     }
     if let Some(err) = value.get("err") {
-        return Ok((id, Err(error_from_json(err)?), version));
+        return Ok((id, Err(error_from_json(err)?), version, trace));
     }
     Err("response carries neither `ok` nor `err`".to_string())
 }
@@ -1143,6 +1210,10 @@ fn cache_to_json(cache: &CacheStats) -> Value {
         ("marginal_hits", Value::from(cache.marginal_hits)),
         ("marginal_misses", Value::from(cache.marginal_misses)),
         ("marginal_evictions", Value::from(cache.marginal_evictions)),
+        (
+            "marginal_evicted_bytes",
+            Value::from(cache.marginal_evicted_bytes),
+        ),
         ("marginals_loaded", Value::from(cache.marginals_loaded)),
         ("marginals_saved", Value::from(cache.marginals_saved)),
         ("models_prepared", Value::from(cache.models_prepared)),
@@ -1170,6 +1241,7 @@ fn cache_from_json(value: &Value) -> Result<CacheStats, String> {
         marginal_hits: field("marginal_hits")?,
         marginal_misses: field("marginal_misses")?,
         marginal_evictions: field("marginal_evictions")?,
+        marginal_evicted_bytes: field("marginal_evicted_bytes")?,
         marginals_loaded: field("marginals_loaded")?,
         marginals_saved: field("marginals_saved")?,
         models_prepared: field("models_prepared")?,
@@ -1215,6 +1287,8 @@ pub(crate) fn encode_stats_response(
             "batch_queue_depth",
             Value::from(stats.batch_queue_depth as u64),
         ),
+        ("uptime_ns", Value::from(stats.uptime.as_nanos() as u64)),
+        ("in_flight_waves", Value::from(stats.in_flight_waves)),
         ("waves", Value::from(stats.waves)),
         ("max_wave", Value::from(stats.max_wave as u64)),
         (
@@ -1306,6 +1380,8 @@ fn decode_stats_payload(value: &Value) -> Result<WireStatsReport, String> {
         queue_depth: field("queue_depth")? as usize,
         interactive_queue_depth: field("interactive_queue_depth")? as usize,
         batch_queue_depth: field("batch_queue_depth")? as usize,
+        uptime: Duration::from_nanos(field("uptime_ns")?),
+        in_flight_waves: field("in_flight_waves")?,
         waves: field("waves")?,
         max_wave: field("max_wave")? as usize,
         wave_sizes,
@@ -1336,6 +1412,224 @@ fn decode_stats_payload(value: &Value) -> Result<WireStatsReport, String> {
         service: stats,
         tenants,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Metrics verb: `{"id": n, "kind": "metrics"}` ⇄ text exposition
+// ---------------------------------------------------------------------------
+
+/// Recognizes a metrics control frame, returning its id.
+fn decode_metrics_request(frame: &str) -> Option<u64> {
+    let value: Value = serde_json::from_str(frame).ok()?;
+    if value.get("kind").and_then(Value::as_str) != Some("metrics") {
+        return None;
+    }
+    value.get("id").and_then(Value::as_u64)
+}
+
+/// Encodes the response to a metrics control frame. The exposition text
+/// rides inside the JSON string (newlines escaped), so the frame stays one
+/// line like every other response.
+pub(crate) fn encode_metrics_response(id: u64, text: &str) -> String {
+    let payload = object(vec![
+        ("kind", Value::from("metrics")),
+        ("text", Value::from(text)),
+    ]);
+    serde_json::to_string(&object(vec![("id", Value::from(id)), ("ok", payload)]))
+        .expect("metrics responses always serialize")
+}
+
+/// Decodes the `ok` payload of a metrics response.
+fn decode_metrics_payload(value: &Value) -> Result<String, String> {
+    if value.get("kind").and_then(Value::as_str) != Some("metrics") {
+        return Err("expected a metrics payload".to_string());
+    }
+    value
+        .get("text")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "metrics payload needs a string `text`".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Trace verb: `{"id": n, "kind": "trace", "trace": t}` ⇄ span timeline
+// ---------------------------------------------------------------------------
+
+/// Recognizes a trace control frame, returning `(id, trace id)`.
+fn decode_trace_request(frame: &str) -> Option<(u64, u64)> {
+    let value: Value = serde_json::from_str(frame).ok()?;
+    if value.get("kind").and_then(Value::as_str) != Some("trace") {
+        return None;
+    }
+    let id = value.get("id").and_then(Value::as_u64)?;
+    let trace = value.get("trace").and_then(Value::as_u64)?;
+    Some((id, trace))
+}
+
+fn span_to_json(record: &SpanRecord) -> Value {
+    let mut entries = vec![
+        ("seq", Value::from(record.seq)),
+        ("at_micros", Value::from(record.at_micros)),
+        ("event", Value::from(record.event.name())),
+    ];
+    match &record.event {
+        SpanEvent::Admitted {
+            tenant,
+            class,
+            depth,
+        } => {
+            entries.push(("tenant", Value::from(tenant.as_str())));
+            entries.push(("class", Value::from(*class)));
+            entries.push(("depth", Value::from(*depth as u64)));
+        }
+        SpanEvent::WaveJoined {
+            wave_units,
+            units,
+            cached,
+        } => {
+            entries.push(("wave_units", Value::from(*wave_units as u64)));
+            entries.push(("units", Value::from(*units as u64)));
+            entries.push(("cached", Value::from(*cached as u64)));
+        }
+        SpanEvent::UnitSolved {
+            unit_hash,
+            solver,
+            micros,
+        } => {
+            entries.push(("unit_hash", Value::from(*unit_hash)));
+            entries.push(("solver", Value::from(*solver)));
+            entries.push(("micros", Value::from(*micros)));
+        }
+        SpanEvent::Delivered { micros }
+        | SpanEvent::Expired { micros }
+        | SpanEvent::Cancelled { micros } => {
+            entries.push(("micros", Value::from(*micros)));
+        }
+        SpanEvent::Failed { error_kind, micros } => {
+            entries.push(("error_kind", Value::from(*error_kind)));
+            entries.push(("micros", Value::from(*micros)));
+        }
+    }
+    object(entries)
+}
+
+/// Interns a wire string back into the static label space the span events
+/// carry. The label sets are closed (admission classes, solver tags, error
+/// kinds), so an unknown string is a protocol mismatch — reported as the
+/// `"unknown"` sentinel rather than an error, since the timeline is
+/// diagnostic output, not an input to anything.
+fn intern_label(s: &str, known: &[&'static str]) -> &'static str {
+    known
+        .iter()
+        .find(|k| **k == s)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+const CLASS_LABELS: &[&str] = &["interactive", "batch"];
+const SOLVER_LABELS: &[&str] = &["exact", "general-exact", "mis-amp", "mis-amp-budgeted"];
+const ERROR_KIND_LABELS: &[&str] = &[
+    // PpdError kinds…
+    "unknown-name",
+    "malformed",
+    "unsupported-query",
+    "pattern",
+    "rim",
+    "solver",
+    "persist",
+    "cancelled",
+    // …and the service-level ones.
+    "overloaded",
+    "shutting-down",
+    "unknown-database",
+    "deadline-exceeded",
+    "protocol",
+    "disconnected",
+];
+
+fn span_from_json(trace: u64, value: &Value) -> Result<SpanRecord, String> {
+    let number = |name: &str| -> Result<u64, String> {
+        value
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("span events need a numeric `{name}`"))
+    };
+    let string = |name: &str| -> Result<&str, String> {
+        value
+            .get(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("span events need a string `{name}`"))
+    };
+    let event = match string("event")? {
+        "admitted" => SpanEvent::Admitted {
+            tenant: string("tenant")?.to_string(),
+            class: intern_label(string("class")?, CLASS_LABELS),
+            depth: number("depth")? as usize,
+        },
+        "wave-joined" => SpanEvent::WaveJoined {
+            wave_units: number("wave_units")? as usize,
+            units: number("units")? as usize,
+            cached: number("cached")? as usize,
+        },
+        "unit-solved" => SpanEvent::UnitSolved {
+            unit_hash: number("unit_hash")?,
+            solver: intern_label(string("solver")?, SOLVER_LABELS),
+            micros: number("micros")?,
+        },
+        "delivered" => SpanEvent::Delivered {
+            micros: number("micros")?,
+        },
+        "expired" => SpanEvent::Expired {
+            micros: number("micros")?,
+        },
+        "cancelled" => SpanEvent::Cancelled {
+            micros: number("micros")?,
+        },
+        "failed" => SpanEvent::Failed {
+            error_kind: intern_label(string("error_kind")?, ERROR_KIND_LABELS),
+            micros: number("micros")?,
+        },
+        other => return Err(format!("unknown span event `{other}`")),
+    };
+    Ok(SpanRecord {
+        trace,
+        seq: number("seq")?,
+        at_micros: number("at_micros")?,
+        event,
+    })
+}
+
+/// Encodes the response to a trace control frame: the submission's span
+/// timeline in recording order.
+pub(crate) fn encode_trace_response(id: u64, trace: u64, events: &[SpanRecord]) -> String {
+    let payload = object(vec![
+        ("kind", Value::from("trace")),
+        ("trace", Value::from(trace)),
+        (
+            "events",
+            Value::Array(events.iter().map(span_to_json).collect()),
+        ),
+    ]);
+    serde_json::to_string(&object(vec![("id", Value::from(id)), ("ok", payload)]))
+        .expect("trace responses always serialize")
+}
+
+/// Decodes the `ok` payload of a trace response.
+fn decode_trace_payload(value: &Value) -> Result<Vec<SpanRecord>, String> {
+    if value.get("kind").and_then(Value::as_str) != Some("trace") {
+        return Err("expected a trace payload".to_string());
+    }
+    let trace = value
+        .get("trace")
+        .and_then(Value::as_u64)
+        .ok_or("trace payload needs a numeric `trace`")?;
+    value
+        .get("events")
+        .and_then(Value::as_array)
+        .ok_or("trace payload needs an `events` array")?
+        .iter()
+        .map(|event| span_from_json(trace, event))
+        .collect()
 }
 
 fn answer_to_json(answer: &Answer) -> Value {
@@ -1455,9 +1749,15 @@ fn error_to_json(error: &ServiceError) -> Value {
         ServiceError::ShuttingDown => kinded("shutting_down"),
         ServiceError::UnknownDatabase(id) => with_detail("unknown_database", id.clone()),
         ServiceError::DeadlineExceeded => kinded("deadline_exceeded"),
-        // Evaluation errors cross the wire as rendered text: the structured
-        // `PpdError` does not survive the trip (see `error_from_json`).
-        ServiceError::Eval(e) => with_detail("eval", e.to_string()),
+        // Evaluation errors cross the wire as rendered text plus the stable
+        // per-variant `error_kind`; the structured payload of a `PpdError`
+        // does not survive the trip (see `error_from_json`), but its kind —
+        // the label the error counters use — does.
+        ServiceError::Eval(e) => vec![
+            ("kind", Value::from("eval")),
+            ("error_kind", Value::from(e.kind())),
+            ("detail", Value::from(e.to_string())),
+        ],
         ServiceError::Protocol(m) => with_detail("protocol", m.clone()),
         ServiceError::Disconnected => kinded("disconnected"),
     })
@@ -1478,8 +1778,19 @@ fn error_from_json(value: &Value) -> Result<ServiceError, String> {
         Some("shutting_down") => Ok(ServiceError::ShuttingDown),
         Some("unknown_database") => Ok(ServiceError::UnknownDatabase(detail())),
         Some("deadline_exceeded") => Ok(ServiceError::DeadlineExceeded),
-        // Lossy by design: the remote evaluation error arrives as text.
-        Some("eval") => Ok(ServiceError::Eval(PpdError::Malformed(detail()))),
+        // Lossy by design: the remote evaluation error arrives as text, but
+        // `error_kind` picks the right variant back out, so `kind()` (and
+        // the cancellation check in the service) survive the trip. Kinds
+        // whose variants wrap a non-string payload flatten to `Malformed`.
+        Some("eval") => Ok(ServiceError::Eval(
+            match value.get("error_kind").and_then(Value::as_str) {
+                Some("unknown-name") => PpdError::UnknownName(detail()),
+                Some("unsupported-query") => PpdError::UnsupportedQuery(detail()),
+                Some("persist") => PpdError::Persist(detail()),
+                Some("cancelled") => PpdError::Cancelled,
+                _ => PpdError::Malformed(detail()),
+            },
+        )),
         Some("protocol") => Ok(ServiceError::Protocol(detail())),
         Some("disconnected") => Ok(ServiceError::Disconnected),
         _ => Err("unknown error kind".to_string()),
@@ -1585,18 +1896,22 @@ mod tests {
             }),
         ];
         for delivery in &deliveries {
-            let frame = encode_response(42, delivery, 0);
-            let (id, decoded, version) = decode_response(&frame).expect("round trip");
+            let frame = encode_response(42, delivery, 0, 0);
+            let (id, decoded, version, trace) = decode_response(&frame).expect("round trip");
             assert_eq!(id, 42);
             assert_eq!(version, None, "version 0 omits the field");
+            assert_eq!(trace, 0, "trace 0 omits the field");
+            assert!(!frame.contains("trace"), "{frame}");
             // PartialEq on f64 is bitwise here: every probability above is a
             // normal number (no NaN / ±0 aliasing in play).
             assert_eq!(&decoded, delivery);
         }
-        // A versioned response carries the snapshot id back to the client.
-        let frame = encode_response(42, &Ok(Answer::Boolean(0.5)), 3);
-        let (_, _, version) = decode_response(&frame).expect("round trip");
+        // A versioned response carries the snapshot id back to the client,
+        // and a traced one its trace id (the `trace` verb's handle).
+        let frame = encode_response(42, &Ok(Answer::Boolean(0.5)), 3, 9);
+        let (_, _, version, trace) = decode_response(&frame).expect("round trip");
         assert_eq!(version, Some(3));
+        assert_eq!(trace, 9);
     }
 
     #[test]
@@ -1709,18 +2024,39 @@ mod tests {
             ServiceError::Disconnected,
         ];
         for error in errors {
-            let frame = encode_response(1, &Err(error.clone()), 0);
-            let (_, decoded, _) = decode_response(&frame).unwrap();
+            let frame = encode_response(1, &Err(error.clone()), 0, 0);
+            let (_, decoded, _, _) = decode_response(&frame).unwrap();
             assert_eq!(decoded, Err(error));
         }
-        // Evaluation errors are lossy (text only) but keep their kind.
-        let frame = encode_response(
-            1,
-            &Err(ServiceError::Eval(PpdError::UnknownName("R".into()))),
-            0,
+        // Evaluation errors flatten to text plus the stable `error_kind`,
+        // which picks the variant back out on the far side.
+        let cases: Vec<(PpdError, &str)> = vec![
+            (PpdError::UnknownName("R".into()), "unknown-name"),
+            (
+                PpdError::UnsupportedQuery("mixed".into()),
+                "unsupported-query",
+            ),
+            (PpdError::Persist("bad magic".into()), "persist"),
+            (PpdError::Cancelled, "cancelled"),
+            (PpdError::Malformed("arity".into()), "malformed"),
+        ];
+        for (error, kind) in cases {
+            let frame = encode_response(1, &Err(ServiceError::Eval(error)), 0, 0);
+            assert!(frame.contains(kind), "{frame}");
+            let (_, decoded, _, _) = decode_response(&frame).unwrap();
+            match decoded {
+                Err(ServiceError::Eval(e)) => assert_eq!(e.kind(), kind, "{e:?}"),
+                other => panic!("eval error changed class across the wire: {other:?}"),
+            }
+        }
+        // Kinds wrapping structured payloads flatten to Malformed text but
+        // still report an eval error, not a protocol failure.
+        let frame = r#"{"id": 1, "err": {"kind": "eval", "error_kind": "solver", "detail": "s"}}"#;
+        let (_, decoded, _, _) = decode_response(frame).unwrap();
+        assert!(
+            matches!(decoded, Err(ServiceError::Eval(PpdError::Malformed(_)))),
+            "{decoded:?}"
         );
-        let (_, decoded, _) = decode_response(&frame).unwrap();
-        assert!(matches!(decoded, Err(ServiceError::Eval(_))), "{decoded:?}");
     }
 
     #[test]
@@ -1763,6 +2099,8 @@ mod tests {
             queue_depth: 2,
             interactive_queue_depth: 2,
             batch_queue_depth: 0,
+            uptime: Duration::from_secs(90),
+            in_flight_waves: 1,
             waves: 4,
             max_wave: 5,
             wave_sizes: vec![(1, 2), (5, 2)],
@@ -1772,6 +2110,7 @@ mod tests {
                 marginal_hits: 100,
                 marginal_misses: 40,
                 marginal_evictions: 3,
+                marginal_evicted_bytes: 4096,
                 marginals_loaded: 0,
                 marginals_saved: 0,
                 models_prepared: 6,
@@ -1795,5 +2134,98 @@ mod tests {
         let report = decode_stats_payload(value.get("ok").unwrap()).expect("round trip");
         assert_eq!(report.service, stats);
         assert_eq!(report.tenants, tenants);
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        assert_eq!(
+            decode_metrics_request(r#"{"id": 8, "kind": "metrics"}"#),
+            Some(8)
+        );
+        assert_eq!(
+            decode_metrics_request(r#"{"id": 8, "kind": "stats"}"#),
+            None,
+            "stats frames are not metrics frames"
+        );
+        // The exposition text is multi-line; the frame must still be one.
+        let text = "# TYPE ppd_waves counter\nppd_waves 4\n";
+        let frame = encode_metrics_response(8, text);
+        assert!(!frame.contains('\n'), "frames are single lines: {frame}");
+        let value: Value = serde_json::from_str(&frame).unwrap();
+        assert_eq!(value.get("id").and_then(Value::as_u64), Some(8));
+        let decoded = decode_metrics_payload(value.get("ok").unwrap()).expect("round trip");
+        assert_eq!(decoded, text);
+    }
+
+    #[test]
+    fn trace_frames_round_trip() {
+        assert_eq!(
+            decode_trace_request(r#"{"id": 2, "kind": "trace", "trace": 17}"#),
+            Some((2, 17))
+        );
+        assert_eq!(
+            decode_trace_request(r#"{"id": 2, "kind": "trace"}"#),
+            None,
+            "a trace frame without a trace id is not recognized"
+        );
+        let events = vec![
+            SpanRecord {
+                trace: 17,
+                seq: 1,
+                at_micros: 10,
+                event: SpanEvent::Admitted {
+                    tenant: "polls".into(),
+                    class: "interactive",
+                    depth: 2,
+                },
+            },
+            SpanRecord {
+                trace: 17,
+                seq: 2,
+                at_micros: 20,
+                event: SpanEvent::WaveJoined {
+                    wave_units: 6,
+                    units: 3,
+                    cached: 1,
+                },
+            },
+            SpanRecord {
+                trace: 17,
+                seq: 3,
+                at_micros: 40,
+                event: SpanEvent::UnitSolved {
+                    unit_hash: 0xDEAD_BEEF,
+                    solver: "mis-amp",
+                    micros: 15,
+                },
+            },
+            SpanRecord {
+                trace: 17,
+                seq: 4,
+                at_micros: 55,
+                event: SpanEvent::Failed {
+                    error_kind: "solver",
+                    micros: 45,
+                },
+            },
+            SpanRecord {
+                trace: 17,
+                seq: 5,
+                at_micros: 60,
+                event: SpanEvent::Delivered { micros: 50 },
+            },
+        ];
+        let frame = encode_trace_response(2, 17, &events);
+        assert!(!frame.contains('\n'), "frames are single lines: {frame}");
+        let value: Value = serde_json::from_str(&frame).unwrap();
+        assert_eq!(value.get("id").and_then(Value::as_u64), Some(2));
+        let decoded = decode_trace_payload(value.get("ok").unwrap()).expect("round trip");
+        assert_eq!(decoded, events, "static labels intern back bit-for-bit");
+        // An empty timeline (untraced or evicted id) round-trips too.
+        let frame = encode_trace_response(3, 99, &[]);
+        let value: Value = serde_json::from_str(&frame).unwrap();
+        assert!(decode_trace_payload(value.get("ok").unwrap())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -21,6 +21,10 @@
 //!   behind one two-class admission layer, wave batching, deadlines with
 //!   cancellation, streamed per-query answers, and a line-delimited JSON
 //!   wire protocol over TCP/Unix sockets;
+//! * [`obs`] — the zero-bit-impact observability layer: lock-free metric
+//!   instruments with Prometheus-style text exposition, and per-submission
+//!   span traces served through the wire protocol's `metrics` and `trace`
+//!   verbs;
 //! * [`datagen`] — generators for the paper's experimental datasets.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
@@ -28,6 +32,7 @@
 
 pub use ppd_core as core;
 pub use ppd_datagen as datagen;
+pub use ppd_obs as obs;
 pub use ppd_patterns as patterns;
 pub use ppd_rim as rim;
 pub use ppd_service as service;
@@ -38,9 +43,10 @@ pub mod prelude {
     pub use ppd_core::{
         count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities,
         BatchAnswer, CacheCapacity, CacheStats, CompareOp, ConjunctiveQuery, DatabaseBuilder,
-        Engine, ErrorBudget, EvalConfig, PpdDatabase, PreferenceRelation, Relation, Session,
-        SolverChoice, Term, TopKStrategy, Update, Value,
+        Engine, EngineObs, ErrorBudget, EvalConfig, PpdDatabase, PreferenceRelation, Relation,
+        Session, SolverChoice, Term, TopKStrategy, Update, Value,
     };
+    pub use ppd_obs::{Histogram, ObsConfig, Registry, SpanEvent, SpanRecord, TraceMode};
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
     pub use ppd_rim::{MallowsModel, Ranking, RimModel};
     pub use ppd_service::{

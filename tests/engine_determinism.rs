@@ -7,8 +7,10 @@
 //! and repeated evaluation through one engine (cache hits) must return the
 //! same bits as the first evaluation.
 
+use ppd::obs::TraceLog;
 use ppd::prelude::*;
 use ppd_datagen::{polls_database, polls_q1_query, PollsConfig};
+use std::sync::{Arc, Mutex};
 
 fn db() -> PpdDatabase {
     polls_database(&PollsConfig {
@@ -255,6 +257,112 @@ fn topk_strategies_agree_on_the_engine_for_every_thread_count() {
         }
         assert!(stats.upper_bounds_computed > 0);
     }
+}
+
+#[test]
+fn observability_mode_never_changes_answer_bits() {
+    // The obs bundle is write-only. For every solver choice, a fully
+    // instrumented engine (live registry + trace ring) and an engine whose
+    // instruments resolve against a disabled registry must both serve the
+    // same bits as the plain constructor — and the instrumented arm must
+    // actually have recorded something, so the equality is not vacuous.
+    let db = db();
+    let q = polls_q1_query();
+    for (name, solver) in solver_choices() {
+        let config = EvalConfig {
+            solver,
+            ..EvalConfig::default()
+        };
+        let reference = Engine::new(config.clone())
+            .session_probabilities(&db, &q)
+            .unwrap();
+
+        let registry = Registry::new(true);
+        let trace = Arc::new(TraceLog::new(TraceMode::All, 4096));
+        let instrumented = Engine::with_obs(
+            config.clone(),
+            EngineObs::new(&registry, &[("tenant", "det")]).with_trace(Arc::clone(&trace)),
+        );
+        assert_eq!(
+            instrumented.session_probabilities(&db, &q).unwrap(),
+            reference,
+            "{name}: full instrumentation changed answer bits"
+        );
+        let text = registry.render();
+        assert!(
+            text.contains("ppd_cache_misses_total{tenant=\"det\"}"),
+            "{name}: the instrumented run recorded no cache activity:\n{text}"
+        );
+        assert!(
+            text.contains("ppd_unit_solve_seconds_count"),
+            "{name}: the instrumented run timed no unit solves:\n{text}"
+        );
+
+        let dark = Engine::with_obs(config.clone(), EngineObs::new(&Registry::new(false), &[]));
+        assert_eq!(
+            dark.session_probabilities(&db, &q).unwrap(),
+            reference,
+            "{name}: a disabled registry changed answer bits"
+        );
+    }
+}
+
+#[test]
+fn trace_sampling_never_changes_streamed_answer_bits() {
+    // The traced streamed path: identical trace ids evaluated with tracing
+    // off, sampled 1-in-2, and on must deliver bit-identical answers, and
+    // the fully traced arm must have recorded per-unit spans.
+    let db = db();
+    let queries = [polls_q1_query(), polls_q1_query()];
+    let traces = [2u64, 3u64];
+    let run = |log: Option<Arc<TraceLog>>| -> Vec<Option<Vec<(usize, f64)>>> {
+        let mut obs = EngineObs::new(&Registry::new(false), &[]);
+        if let Some(log) = log {
+            obs = obs.with_trace(log);
+        }
+        let engine = Engine::with_obs(EvalConfig::exact(), obs);
+        let answers = Mutex::new(vec![None, None]);
+        engine.evaluate_batch_streamed_cancellable_traced(
+            &db,
+            &queries,
+            &traces,
+            |_| false,
+            |qi, result| {
+                answers.lock().unwrap()[qi] =
+                    Some(result.expect("query answers").session_probabilities);
+            },
+        );
+        answers.into_inner().unwrap()
+    };
+
+    let untraced = run(None);
+    assert!(untraced.iter().all(Option::is_some));
+
+    let sampled_log = Arc::new(TraceLog::new(TraceMode::SampleEvery(2), 4096));
+    assert_eq!(
+        run(Some(Arc::clone(&sampled_log))),
+        untraced,
+        "1-in-2 sampling changed streamed answer bits"
+    );
+
+    let full_log = Arc::new(TraceLog::new(TraceMode::All, 4096));
+    assert_eq!(
+        run(Some(Arc::clone(&full_log))),
+        untraced,
+        "full tracing changed streamed answer bits"
+    );
+    for trace in traces {
+        let events = full_log.events(trace);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.event, SpanEvent::UnitSolved { .. })),
+            "trace {trace} recorded no unit-solved spans: {events:?}"
+        );
+    }
+    // The sampled ring saw only the sampled submission (trace 2 of {2, 3}).
+    assert!(!sampled_log.events(2).is_empty());
+    assert!(sampled_log.events(3).is_empty());
 }
 
 #[test]

@@ -14,6 +14,7 @@
 //! Equality below is `assert_eq!` on `f64`s — bitwise, no tolerance.
 
 use ppd::datagen::{polls_database, polls_q1_query, PollsConfig};
+use ppd::obs::parse_exposition;
 use ppd::prelude::*;
 use std::sync::Arc;
 
@@ -253,6 +254,91 @@ fn calibration_state_never_changes_service_answers() {
 }
 
 #[test]
+fn observability_mode_never_changes_served_bits() {
+    // The serving layer's half of the zero-bit-impact contract: the same
+    // workload served with observability off, fully on, and trace-sampled
+    // 1-in-2 must be bit-identical to the direct engine reference — and the
+    // instrumented arms must actually have recorded, so the equality is
+    // not vacuous.
+    let db = database();
+    for eval in [EvalConfig::exact(), EvalConfig::approximate(60)] {
+        let direct = direct_answers(&db, &eval);
+        for obs in [ObsConfig::off(), ObsConfig::full(), ObsConfig::sampled(2)] {
+            let service = Service::new(
+                db.clone(),
+                ServiceConfig::new(eval.clone())
+                    .with_max_batch(workload().len())
+                    .with_max_wait(std::time::Duration::from_millis(50))
+                    .with_obs(obs),
+            );
+            let tickets: Vec<Ticket> = workload()
+                .into_iter()
+                .map(|request| service.submit(request).expect("admitted"))
+                .collect();
+            let traces: Vec<u64> = tickets.iter().map(Ticket::trace_id).collect();
+            let answers: Vec<Answer> = tickets
+                .into_iter()
+                .map(|t| t.wait().expect("query answers"))
+                .collect();
+            assert_eq!(
+                answers, direct,
+                "obs mode {obs:?} diverged from direct engine answers"
+            );
+
+            let text = service.metrics_text();
+            if obs.metrics {
+                let samples = parse_exposition(&text).expect("exposition parses strictly");
+                assert!(!samples.is_empty(), "metrics on but exposition empty");
+                for instrument in [
+                    "ppd_unit_solve_seconds",
+                    "ppd_queue_wait_seconds",
+                    "ppd_cache_misses_total",
+                ] {
+                    assert!(
+                        samples
+                            .iter()
+                            .any(|(series, _)| series.starts_with(instrument)),
+                        "{instrument} missing with obs {obs:?}:\n{text}"
+                    );
+                }
+            } else {
+                assert!(text.is_empty(), "metrics off must render nothing: {text}");
+            }
+
+            // Trace ids are always assigned; timelines exist per the mode.
+            assert!(traces.iter().all(|&t| t != 0));
+            let timelines = traces
+                .iter()
+                .filter(|&&t| !service.trace_events(t).is_empty())
+                .count();
+            match obs.trace {
+                TraceMode::Off => assert_eq!(timelines, 0, "obs off recorded spans"),
+                TraceMode::All => {
+                    assert_eq!(timelines, traces.len(), "full tracing missed submissions");
+                    for &trace in &traces {
+                        let events = service.trace_events(trace);
+                        assert_eq!(
+                            events.last().expect("timeline nonempty").event.name(),
+                            "delivered",
+                            "trace {trace} does not end at delivery: {events:?}"
+                        );
+                    }
+                }
+                TraceMode::SampleEvery(_) => {
+                    assert!(
+                        timelines > 0 && timelines < traces.len(),
+                        "1-in-2 sampling should trace some but not all of \
+                         {} submissions (traced {timelines})",
+                        traces.len()
+                    );
+                }
+            }
+            service.shutdown();
+        }
+    }
+}
+
+#[test]
 fn admission_class_never_changes_answer_bits() {
     let db = database();
     for eval in [EvalConfig::exact(), EvalConfig::approximate(60)] {
@@ -266,6 +352,39 @@ fn admission_class_never_changes_answer_bits() {
             );
         }
     }
+}
+
+/// The observability verbs over one connected client: responses carry the
+/// trace id, `metrics` serves a parseable exposition naming the core
+/// instruments, and `trace` serves the submission's span timeline.
+fn verify_obs_verbs(client: &mut WireClient) {
+    let id = client
+        .send(
+            &Request::Boolean(polls_q1_query()),
+            &SubmitOptions::default(),
+        )
+        .expect("send frame");
+    let (_, _, trace) = client.recv_traced(id).expect("query answers");
+    assert_ne!(trace, 0, "wire responses must carry the trace id");
+
+    let text = client.metrics().expect("metrics verb answers");
+    let samples = parse_exposition(&text).expect("served exposition parses strictly");
+    for instrument in ["ppd_unit_solve_seconds", "ppd_queue_wait_seconds"] {
+        assert!(
+            samples
+                .iter()
+                .any(|(series, _)| series.starts_with(instrument)),
+            "{instrument} missing from the served exposition:\n{text}"
+        );
+    }
+
+    let events = client.trace(trace).expect("trace verb answers");
+    assert!(!events.is_empty(), "traced submission has no timeline");
+    assert_eq!(
+        events.last().expect("timeline nonempty").event.name(),
+        "delivered",
+        "the timeline ends at delivery: {events:?}"
+    );
 }
 
 /// Answers the workload through a wire client, alternating admission
@@ -303,6 +422,7 @@ fn tcp_wire_answers_are_bit_identical_to_direct_engine_calls() {
             direct,
             "TCP wire answers diverged from direct engine answers"
         );
+        verify_obs_verbs(&mut client);
         drop(client);
         server.shutdown();
     }
@@ -400,6 +520,7 @@ fn unix_socket_answers_are_bit_identical_to_direct_engine_calls() {
         direct,
         "Unix-socket answers diverged from direct engine answers"
     );
+    verify_obs_verbs(&mut client);
     drop(client);
     server.shutdown();
     assert!(!path.exists(), "shutdown unlinks the socket path");

@@ -139,6 +139,126 @@ fn service_streams_cheap_answer_while_expensive_query_is_still_running() {
 }
 
 #[test]
+fn trace_timelines_show_streamed_delivery_inside_the_wave() {
+    // The tracing half of the streaming property: the span timelines of two
+    // co-batched queries must show the cheap one-unit query delivered while
+    // its expensive wave-mate was still solving units. Span sequence
+    // numbers are globally monotonic in the ring, so cross-trace ordering
+    // is exact.
+    let db = database();
+    let service = Service::new(
+        db,
+        ServiceConfig::new(EvalConfig::approximate(400).with_threads(1))
+            .with_max_batch(2)
+            .with_max_wait(Duration::from_secs(5))
+            .with_obs(ObsConfig::full()),
+    );
+    let expensive = service
+        .submit(Request::SessionProbabilities(pair_query()))
+        .unwrap();
+    let cheap = service
+        .submit(Request::Boolean(chain_for_one_voter()))
+        .unwrap();
+    let (expensive_trace, cheap_trace) = (expensive.trace_id(), cheap.trace_id());
+    cheap.wait().expect("cheap query answers");
+    expensive.wait().expect("expensive query answers");
+
+    let cheap_events = service.trace_events(cheap_trace);
+    let expensive_events = service.trace_events(expensive_trace);
+    for (label, events) in [("cheap", &cheap_events), ("expensive", &expensive_events)] {
+        assert_eq!(
+            events.first().expect("timeline nonempty").event.name(),
+            "admitted",
+            "{label} timeline must start at admission: {events:?}"
+        );
+        assert_eq!(
+            events.last().expect("timeline nonempty").event.name(),
+            "delivered",
+            "{label} timeline must end at delivery: {events:?}"
+        );
+    }
+    // The wave-joined spans agree the two queries shared one wave, and the
+    // cheap query depended on exactly one unit.
+    let joined = |events: &[SpanRecord]| {
+        events
+            .iter()
+            .find_map(|e| match e.event {
+                SpanEvent::WaveJoined { units, .. } => Some(units),
+                _ => None,
+            })
+            .expect("wave-joined span present")
+    };
+    assert_eq!(joined(&cheap_events), 1, "the cheap query is one unit");
+    assert!(
+        joined(&expensive_events) >= 30,
+        "the expensive query fans out"
+    );
+
+    // The streamed-delivery evidence: the cheap query's `delivered` span
+    // precedes `unit-solved` spans the expensive wave-mate recorded after
+    // it — delivery happened mid-wave, not at the wave boundary.
+    let cheap_delivered = cheap_events.last().expect("timeline nonempty").seq;
+    let solved_after = expensive_events
+        .iter()
+        .filter(|e| matches!(e.event, SpanEvent::UnitSolved { .. }) && e.seq > cheap_delivered)
+        .count();
+    assert!(
+        solved_after > 0,
+        "the expensive query must still have been solving units when the \
+         cheap answer went out (cheap delivered at seq {cheap_delivered})"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn dropped_ticket_trace_ends_in_cancelled() {
+    // Dropping a ticket cancels the request; its span timeline must record
+    // that fate terminally rather than dangling forever.
+    let db = database();
+    let service = Service::new(
+        db,
+        ServiceConfig::new(EvalConfig::approximate(300).with_threads(1))
+            .with_max_batch(1)
+            .with_max_wait(Duration::ZERO)
+            .with_obs(ObsConfig::full()),
+    );
+    // The first query occupies the single-query wave, so the doomed ticket
+    // is still queued when its handle is dropped.
+    let busy = service.submit(Request::Count(pair_query())).unwrap();
+    let doomed = service.submit(Request::Count(pair_query())).unwrap();
+    let trace = doomed.trace_id();
+    drop(doomed);
+    busy.wait().expect("busy query answers");
+    // The lanes are FIFO: once this later submission answers, the
+    // dispatcher has popped (and finished) the cancelled job before it.
+    service
+        .submit(Request::Boolean(chain_for_one_voter()))
+        .unwrap()
+        .wait()
+        .expect("drain query answers");
+
+    let events = service.trace_events(trace);
+    assert!(
+        !events.is_empty(),
+        "the cancelled submission must have a timeline"
+    );
+    assert_eq!(
+        events.last().expect("timeline nonempty").event.name(),
+        "cancelled",
+        "a dropped ticket's trace must end in cancellation: {events:?}"
+    );
+    assert!(
+        events
+            .last()
+            .expect("timeline nonempty")
+            .event
+            .is_terminal(),
+        "cancellation is a terminal span event"
+    );
+    service.shutdown();
+}
+
+#[test]
 fn admission_control_sheds_load_and_recovers() {
     let db = database();
     // One-deep queue, one-query waves, and a workload whose waves take
