@@ -248,7 +248,9 @@ fn part_b(scale: Scale) -> serde_json::Value {
     let m = 6;
     let phi = 0.5;
     let solver = MisAmpBudgeted::new(epsilon, confidence);
-    let worst_case = solver.num_proposals * solver.initial_samples * ((1 << solver.max_rounds) - 1);
+    // `initial_samples` is a round's *total* mixture budget, doubling each
+    // round.
+    let worst_case = solver.initial_samples * ((1 << solver.max_rounds) - 1);
     let model = mallows(m, phi);
     let rim = model.to_rim();
     let lab = cyclic_labeling(m, 4);

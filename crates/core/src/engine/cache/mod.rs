@@ -43,7 +43,9 @@ pub(crate) use sharded::MarginalCache;
 
 use crate::session::Session;
 use ppd_rim::{MallowsModel, RimModel};
+use ppd_solvers::ProposalPool;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which solver algorithm produced a cached marginal. Numbers from
@@ -176,6 +178,12 @@ pub struct CacheStats {
     /// Segment compactions run (dead records rewritten away because the
     /// dead-bytes ratio crossed the threshold).
     pub compactions: u64,
+    /// Proposal pools built for the error-budget sampling path (one union
+    /// decomposition + greedy-modal walk each).
+    pub pools_built: u64,
+    /// Error-budget solves that reused a previously built proposal pool,
+    /// skipping the decomposition and modal walk entirely.
+    pub pool_hits: u64,
 }
 
 impl CacheStats {
@@ -200,7 +208,8 @@ impl std::fmt::Display for CacheStats {
             f,
             "marginals {} hit / {} solved ({:.1}% hit rate), {} evicted ({}B), {} loaded, \
              {} saved; {} models prepared; calibration {} hit / {} miss, {} recorded; \
-             {} invalidated; segments {}B live / {}B dead, {} compactions",
+             {} invalidated; segments {}B live / {}B dead, {} compactions; \
+             pools {} built / {} reused",
             self.marginal_hits,
             self.marginal_misses,
             self.hit_rate() * 100.0,
@@ -215,8 +224,77 @@ impl std::fmt::Display for CacheStats {
             self.units_invalidated,
             self.segment_live_bytes,
             self.segment_dead_bytes,
-            self.compactions
+            self.compactions,
+            self.pools_built,
+            self.pool_hits
         )
+    }
+}
+
+/// A cache of prepared [`ProposalPool`]s for the error-budget sampling
+/// path, keyed like the marginal cache by the work unit's stable content
+/// hash. The pool — the union decomposition plus the greedy-modal walk —
+/// is the expensive, ε- and seed-independent part of preparing the budgeted
+/// estimator, so re-estimating a unit under a different budget (a second
+/// per-tenant budget engine, or a larger ε after invalidation of the
+/// marginal entry alone) skips it entirely.
+///
+/// Safe to share across engines: the key is a *content* hash, so a model or
+/// union change addresses a different entry outright (stale pools can waste
+/// memory, never serve wrong proposals), and pool preparation draws no
+/// randomness, so a warm pool yields bit-identical answers to a cold build —
+/// a contract `warm_pool_reruns_are_bit_identical_to_cold_runs` pins at the
+/// solver layer and `tests/engine_determinism.rs` pins end to end.
+#[derive(Debug, Default)]
+pub struct PoolCache {
+    map: Mutex<HashMap<u64, Arc<Mutex<ProposalPool>>>>,
+    built: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl PoolCache {
+    /// Returns the pool for the given unit content hash, building it via
+    /// `build` on first sight. The build runs outside the map lock (pools
+    /// are expensive; a global lock would serialize the wave's workers), so
+    /// two threads racing on one hash may both build — the first insert
+    /// wins, and both builds are counted.
+    pub(crate) fn get_or_build<E>(
+        &self,
+        hash: u64,
+        build: impl FnOnce() -> Result<ProposalPool, E>,
+    ) -> Result<Arc<Mutex<ProposalPool>>, E> {
+        if let Some(pool) = self.map.lock().expect("pool cache poisoned").get(&hash) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(pool));
+        }
+        let pool = Arc::new(Mutex::new(build()?));
+        self.built.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("pool cache poisoned");
+        Ok(Arc::clone(map.entry(hash).or_insert(pool)))
+    }
+
+    /// Pools built since construction (or the last [`PoolCache::clear`]).
+    pub(crate) fn built(&self) -> u64 {
+        self.built.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served from an already-built pool.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Drops the pools of the given unit content hashes (invalidation
+    /// hygiene — content addressing already prevents stale reuse, this
+    /// frees the memory).
+    pub(crate) fn remove_hashes(&self, hashes: &std::collections::HashSet<u64>) {
+        self.map
+            .lock()
+            .expect("pool cache poisoned")
+            .retain(|hash, _| !hashes.contains(hash));
+    }
+
+    pub(crate) fn clear(&self) {
+        self.map.lock().expect("pool cache poisoned").clear();
     }
 }
 
@@ -330,6 +408,40 @@ mod tests {
         assert!(line.contains("75.0% hit rate"), "{line}");
         assert!(line.contains("2 models prepared"), "{line}");
         assert!(!line.contains('\n'), "one line, not a dump: {line}");
+    }
+
+    #[test]
+    fn pool_cache_counts_builds_and_reuses_by_content_hash() {
+        use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};
+        use ppd_solvers::MisAmpBudgeted;
+        let model = MallowsModel::new(Ranking::identity(4), 0.4).unwrap();
+        let mut lab = Labeling::new();
+        for i in 0..4u32 {
+            lab.add(i, i % 2);
+        }
+        let union = PatternUnion::singleton(Pattern::two_label(
+            NodeSelector::single(1),
+            NodeSelector::single(0),
+        ))
+        .unwrap();
+        let solver = MisAmpBudgeted::new(0.05, 0.9);
+        let cache = PoolCache::default();
+        let a = cache
+            .get_or_build(7, || solver.build_pool(&model, &lab, &union))
+            .unwrap();
+        assert_eq!((cache.built(), cache.hits()), (1, 0));
+        let b = cache
+            .get_or_build(7, || -> Result<ProposalPool, ppd_solvers::SolverError> {
+                panic!("a warm hash must not rebuild its pool")
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.built(), cache.hits()), (1, 1));
+        cache.remove_hashes(&[7u64].into_iter().collect());
+        cache
+            .get_or_build(7, || solver.build_pool(&model, &lab, &union))
+            .unwrap();
+        assert_eq!((cache.built(), cache.hits()), (2, 1));
     }
 
     #[test]

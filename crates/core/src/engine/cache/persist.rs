@@ -99,7 +99,13 @@ pub(crate) const FORMAT_VERSION: u32 = 1;
 /// Revision 3: PR 6 replaced MIS-AMP-lite's multiplicative pruning
 /// compensation (`c_ψ · c_r`, clamped) with the odds-space normalization,
 /// changing every approximate estimate computed with pruning active.
-pub(crate) const SOLVER_REVISION: u32 = 3;
+///
+/// Revision 4: PR 10's mixture estimator re-weighted the MIS combination
+/// (coefficient-weighted balance heuristic over a stratified total budget
+/// instead of equal per-proposal quotas with an unweighted density average),
+/// changing every approximate estimate; the budgeted estimator's doubling
+/// rounds now also grow a *total* mixture budget.
+pub(crate) const SOLVER_REVISION: u32 = 4;
 /// Header size in bytes: magic + format version + solver revision +
 /// record count.
 const HEADER_BYTES: usize = 8 + 4 + 4 + 8;

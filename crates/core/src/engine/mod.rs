@@ -33,7 +33,7 @@ mod obs;
 mod scheduler;
 mod unit;
 
-pub use cache::{CacheCapacity, CacheStats, PreparedModel};
+pub use cache::{CacheCapacity, CacheStats, PoolCache, PreparedModel};
 pub use obs::EngineObs;
 pub use unit::{UnitKey, WorkUnit};
 
@@ -61,15 +61,6 @@ use std::time::Instant;
 /// Generous — calibration entries are ~100 bytes, so the bound caps the
 /// store near 6 MiB while retaining far more timings than any wave needs.
 const CALIBRATION_CAPACITY: usize = 1 << 16;
-
-/// Static-cost threshold of error-budget solver selection: units whose
-/// *static* exact cost is at or under this run the exact DP (cheaper than
-/// any sampling run that could certify an `ε`), the rest run the budgeted
-/// estimator. The threshold deliberately reads the static formula, never
-/// measured timings, so which solver runs — hence the answer's bits — is a
-/// pure function of unit content and configuration, warm or cold
-/// calibration store alike.
-const EXACT_COST_THRESHOLD: f64 = 1e5;
 
 /// A request to solve one session's pattern union under a plan's labeling.
 /// Requests from different plans (hence different labelings) can be mixed in
@@ -176,6 +167,12 @@ pub struct Engine {
     segment_dead_bytes: AtomicU64,
     /// Segment compactions run by [`Engine::save_marginals`].
     compactions: AtomicU64,
+    /// Prepared proposal pools of the error-budget sampling path, keyed by
+    /// unit content hash. Shareable across engines (see
+    /// [`Engine::with_pool_cache`]): a tenant's per-budget engines
+    /// re-estimate the same units under different ε, and the pool — the
+    /// decomposition plus greedy-modal walk — is ε- and seed-independent.
+    pools: Arc<PoolCache>,
     /// Pre-resolved observability handles. Write-only from the pipeline's
     /// point of view: nothing recorded here is ever read back into seeds,
     /// cache keys, scheduling, or solver selection.
@@ -194,6 +191,17 @@ impl Engine {
     /// only ever *records* — an engine with [`EngineObs::disabled`] (the
     /// plain-constructor default) produces bit-identical answers.
     pub fn with_obs(config: EvalConfig, obs: EngineObs) -> Self {
+        Engine::with_pool_cache(config, obs, Arc::new(PoolCache::default()))
+    }
+
+    /// [`Engine::with_obs`] sharing an externally owned [`PoolCache`].
+    /// Serving layers hand every engine of one tenant the same cache so
+    /// re-estimating a unit under a different error budget (a second
+    /// per-budget engine) reuses the first engine's union decompositions
+    /// and greedy-modal walks. Sharing never changes answers: pools are
+    /// keyed by unit content hash and prepared deterministically, so a
+    /// warm pool reproduces a cold build's bits exactly.
+    pub fn with_pool_cache(config: EvalConfig, obs: EngineObs, pools: Arc<PoolCache>) -> Self {
         let marginals = MarginalCache::new(config.cache_shards, config.cache_capacity);
         let calibration = CalibrationStore::new(config.cache_shards, CALIBRATION_CAPACITY);
         Engine {
@@ -208,6 +216,7 @@ impl Engine {
             segment_live_bytes: AtomicU64::new(0),
             segment_dead_bytes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            pools,
             obs,
         }
     }
@@ -235,6 +244,8 @@ impl Engine {
             segment_live_bytes: self.segment_live_bytes.load(Ordering::Relaxed),
             segment_dead_bytes: self.segment_dead_bytes.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            pools_built: self.pools.built(),
+            pool_hits: self.pools.hits(),
         }
     }
 
@@ -278,6 +289,7 @@ impl Engine {
         let model_set: HashSet<u64> = changed_models.iter().copied().collect();
         self.models.remove_hashes(&model_set);
         self.calibration.remove_hashes(&unit_hashes);
+        self.pools.remove_hashes(&unit_hashes);
         let dropped = self.marginals.remove_hashes(&unit_hashes);
         self.pending_tombstones
             .lock()
@@ -410,6 +422,25 @@ impl Engine {
         self.calibration.len()
     }
 
+    /// A machine-specific suggestion for
+    /// [`EvalConfig::exact_cost_threshold`](crate::eval::EvalConfig::exact_cost_threshold),
+    /// derived from this engine's retained calibration timings: the
+    /// geometric-mean wall-clock of budgeted (`mis-amp-budgeted`) solves
+    /// divided by the geometric-mean seconds-per-static-cost-unit of exact
+    /// solves. A unit whose static cost exceeds the suggestion is
+    /// predicted to take longer to solve exactly than the typical budgeted
+    /// solve did on this hardware, so feeding the value back via
+    /// [`EvalConfig::with_exact_cost_threshold`](crate::eval::EvalConfig::with_exact_cost_threshold)
+    /// pins a calibrated crossover for future runs.
+    ///
+    /// Report-only: returns `None` until the store holds at least one
+    /// exact and one budgeted timing, and solver selection never reads
+    /// it — only the explicit config value — so a warming store cannot
+    /// flip answers mid-session.
+    pub fn suggested_exact_cost_threshold(&self) -> Option<f64> {
+        self.calibration.suggested_exact_cost_threshold()
+    }
+
     /// Copies every calibration timing this engine retains into `target`'s
     /// store (latest wins on key conflicts, honouring the bound) and
     /// returns the number of entries donated. Serving layers use this to
@@ -430,6 +461,7 @@ impl Engine {
         self.marginals.clear();
         self.models.clear();
         self.calibration.clear();
+        self.pools.clear();
         self.covered
             .lock()
             .expect("invalidation index poisoned")
@@ -1155,14 +1187,36 @@ impl Engine {
         let prepared = self.models.get_or_insert(unit.session);
         let kind = self.solver_kind(&unit.union, unit.fingerprint, force_exact, probe);
         let seed = UnitKey::seed_from_stable_hash(unit.hash, self.config.seed);
+        // Error-budget units reuse the cached proposal pool (the union
+        // decomposition + greedy-modal walk) when one exists; a warm pool
+        // only skips preparation work, the estimate's bits are identical.
+        let pool = match (unit.fingerprint, &self.config.solver) {
+            (SolverFingerprint::ErrorBudget { .. }, SolverChoice::ErrorBudget(budget))
+                if !force_exact =>
+            {
+                let builder = MisAmpBudgeted::new(budget.epsilon, budget.confidence);
+                Some(self.pools.get_or_build(unit.hash, || {
+                    builder.build_pool(prepared.mallows(), unit.labeling, &unit.union)
+                })?)
+            }
+            _ => None,
+        };
         let started = Instant::now();
-        let p = kind.solve_seeded(
+        let mut pool_guard = pool
+            .as_ref()
+            .map(|pool| pool.lock().expect("proposal pool poisoned"));
+        let detail = kind.solve_seeded_detailed(
             prepared.mallows(),
             || prepared.rim(),
             unit.labeling,
             &unit.union,
             seed,
+            pool_guard.as_deref_mut(),
         )?;
+        drop(pool_guard);
+        let p = detail.probability;
+        self.obs
+            .zero_density_samples(detail.zero_density_samples as u64);
         let elapsed = started.elapsed();
         self.obs
             .record_solve(unit.fingerprint, unit.bucket.class, elapsed);
@@ -1254,7 +1308,7 @@ impl Engine {
                 base_seed: self.config.seed,
             },
             SolverChoice::ErrorBudget(budget) => {
-                if cost::unit_cost(union, m, None) <= EXACT_COST_THRESHOLD {
+                if cost::unit_cost(union, m, None) <= self.config.exact_cost_threshold {
                     SolverFingerprint::ExactAuto
                 } else {
                     SolverFingerprint::ErrorBudget {

@@ -52,6 +52,10 @@ pub struct EngineObs {
     cache_invalidated: Counter,
     /// Estimated heap bytes freed by LRU eviction.
     cache_evicted_bytes: Counter,
+    /// Monte-Carlo samples the sampling solvers drew but discarded because
+    /// the proposal mixture had zero density at the sampled ranking. A
+    /// rising rate means the kept proposals cover their own draws poorly.
+    sampler_zero_density: Counter,
     /// Per-unit solve wall time, split `[solver][union class]`.
     solve_seconds: [[Histogram; CLASS_TAGS.len()]; SOLVER_TAGS.len()],
     /// The shared span ring, when this engine participates in tracing.
@@ -67,6 +71,7 @@ impl EngineObs {
             cache_misses: Counter::noop(),
             cache_invalidated: Counter::noop(),
             cache_evicted_bytes: Counter::noop(),
+            sampler_zero_density: Counter::noop(),
             solve_seconds: std::array::from_fn(|_| std::array::from_fn(|_| Histogram::noop())),
             trace: None,
         }
@@ -111,6 +116,11 @@ impl EngineObs {
                 "Estimated heap bytes freed by marginal-cache eviction",
                 labels,
             ),
+            sampler_zero_density: registry.counter(
+                "ppd_sampler_zero_density_total",
+                "Samples discarded because the proposal mixture had zero density",
+                labels,
+            ),
             solve_seconds,
             trace: None,
         }
@@ -138,6 +148,12 @@ impl EngineObs {
     pub(crate) fn evicted_bytes(&self, bytes: u64) {
         if bytes > 0 {
             self.cache_evicted_bytes.add(bytes);
+        }
+    }
+
+    pub(crate) fn zero_density_samples(&self, samples: u64) {
+        if samples > 0 {
+            self.sampler_zero_density.add(samples);
         }
     }
 
@@ -197,6 +213,11 @@ mod tests {
         assert!(registry.render().contains(
             "ppd_unit_solve_seconds_count{class=\"two-label\",solver=\"exact\",tenant=\"t\"} 1"
         ));
+        a.zero_density_samples(5);
+        b.zero_density_samples(2);
+        assert!(registry
+            .render()
+            .contains("ppd_sampler_zero_density_total{tenant=\"t\"} 7"));
     }
 
     #[test]
@@ -206,6 +227,7 @@ mod tests {
         obs.cache_miss();
         obs.invalidated(3);
         obs.evicted_bytes(100);
+        obs.zero_density_samples(7);
         obs.record_solve(SolverFingerprint::ExactAuto, 2, Duration::from_secs(1));
         assert!(obs.trace().is_none());
     }

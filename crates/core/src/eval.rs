@@ -36,10 +36,11 @@ pub enum SolverChoice {
         samples_per_proposal: usize,
     },
     /// Pick per unit between exact DP and the error-budgeted sampler: units
-    /// whose *static* cost estimate is below a fixed threshold are solved
-    /// exactly (the DP is cheaper than any sampling run that could certify
-    /// `ε`), the rest run the budgeted MIS-AMP estimator, which doubles its
-    /// sample count until the compensated confidence interval closes to
+    /// whose *static* cost estimate is at or below
+    /// [`EvalConfig::exact_cost_threshold`] are solved exactly (the DP is
+    /// cheaper than any sampling run that could certify `ε`), the rest run
+    /// the budgeted MIS-AMP estimator, which doubles its total mixture
+    /// budget until the compensated confidence interval closes to
     /// `±epsilon` — and falls back to exact when it cannot. The selection
     /// thresholds the *static* formula, never measured timings, so which
     /// solver runs — hence the answer's bits — is a pure function of unit
@@ -86,6 +87,17 @@ pub struct EvalConfig {
     /// answers are bit-identical with calibration on or off, warm or cold.
     /// Default: `true`.
     pub calibrate: bool,
+    /// Static-cost threshold of [`SolverChoice::ErrorBudget`]'s per-unit
+    /// solver selection: units whose static exact cost is at or under this
+    /// value run the exact DP, the rest run the budgeted estimator. Part of
+    /// the configuration precisely so that selection — hence the answer's
+    /// bits — stays a pure function of unit content and explicit
+    /// configuration; the engine never reads a measured or suggested value
+    /// here on its own. Deployments wanting a machine-specific setting can
+    /// feed
+    /// [`Engine::suggested_exact_cost_threshold`](crate::engine::Engine::suggested_exact_cost_threshold)
+    /// back into this field between engine generations. Default: `1e5`.
+    pub exact_cost_threshold: f64,
 }
 
 impl Default for EvalConfig {
@@ -98,6 +110,7 @@ impl Default for EvalConfig {
             cache_shards: 16,
             cache_capacity: CacheCapacity::Unbounded,
             calibrate: true,
+            exact_cost_threshold: 1e5,
         }
     }
 }
@@ -159,6 +172,15 @@ impl EvalConfig {
     /// Sets the marginal-cache capacity bound.
     pub fn with_cache_capacity(mut self, capacity: CacheCapacity) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the static-cost threshold of error-budget solver selection.
+    /// Changing it changes which units sample — and therefore their bits —
+    /// so treat it like the seed: fix it per deployment, don't tune it
+    /// per query.
+    pub fn with_exact_cost_threshold(mut self, threshold: f64) -> Self {
+        self.exact_cost_threshold = threshold;
         self
     }
 }

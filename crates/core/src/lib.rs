@@ -52,7 +52,7 @@ pub mod value;
 pub use count::count_sessions;
 pub use database::{DatabaseBuilder, PpdDatabase, Update};
 pub use engine::{
-    BatchAnswer, CacheCapacity, CacheStats, Engine, EngineObs, PreparedModel, UnitKey,
+    BatchAnswer, CacheCapacity, CacheStats, Engine, EngineObs, PoolCache, PreparedModel, UnitKey,
     WaveCostEstimate, WorkUnit,
 };
 pub use eval::{

@@ -167,6 +167,38 @@ impl AmpSampler {
         prob
     }
 
+    /// Evaluates the density of a **mixture** of AMP proposals at `tau`:
+    /// `Σ_i coefficients[i] · q_i(tau)`, accumulated in slice order with one
+    /// shared scratch buffer across all components.
+    ///
+    /// This is the balance-heuristic denominator of the MIS estimators
+    /// (Eq. 6 of the paper) in its general, unequally-weighted form: the
+    /// coefficient of a component is the share of the total sample budget
+    /// drawn from it. Components with a zero coefficient contribute no
+    /// density and are skipped without evaluating their `O(m²)` insertion
+    /// walk. Each evaluated component performs bit-for-bit the arithmetic of
+    /// [`AmpSampler::prob_of_with_scratch`]; the combination order is the
+    /// fixed slice order, so the result is deterministic for a fixed pool.
+    pub fn mix_prob_of(
+        samplers: &[AmpSampler],
+        coefficients: &[f64],
+        tau: &Ranking,
+        scratch: &mut AmpScratch,
+    ) -> f64 {
+        debug_assert_eq!(
+            samplers.len(),
+            coefficients.len(),
+            "one mixture coefficient per proposal"
+        );
+        let mut mix = 0.0;
+        for (sampler, &coefficient) in samplers.iter().zip(coefficients) {
+            if coefficient > 0.0 {
+                mix += coefficient * sampler.prob_of_with_scratch(tau, scratch);
+            }
+        }
+        mix
+    }
+
     /// Feasible insertion range `[lo, hi]` (inclusive, 0-based) for inserting
     /// `item` into the current partial ranking `items` at step `i`
     /// (so the partial ranking currently holds `i` items).
@@ -281,6 +313,55 @@ mod tests {
                     assert!((amp.prob_of(&tau) - q).abs() < 1e-12);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn mix_prob_of_matches_weighted_component_densities() {
+        let sigma = Ranking::identity(5);
+        let samplers = vec![
+            AmpSampler::new(sigma.clone(), 0.4, &PartialOrder::new()).unwrap(),
+            AmpSampler::new(
+                Ranking::new(vec![4, 3, 2, 1, 0]).unwrap(),
+                0.4,
+                &PartialOrder::from_pairs(&[(4, 0)]).unwrap(),
+            )
+            .unwrap(),
+            AmpSampler::new(
+                sigma.clone(),
+                0.4,
+                &PartialOrder::from_pairs(&[(3, 1)]).unwrap(),
+            )
+            .unwrap(),
+        ];
+        let coefficients = [0.5, 0.25, 0.25];
+        let mut scratch = AmpScratch::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let tau = samplers[0].sample(&mut rng);
+            let expected: f64 = samplers
+                .iter()
+                .zip(&coefficients)
+                .map(|(q, &c)| c * q.prob_of(&tau))
+                .sum();
+            let got = AmpSampler::mix_prob_of(&samplers, &coefficients, &tau, &mut scratch);
+            assert_eq!(expected.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn mix_prob_of_skips_zero_coefficient_components() {
+        // A zero-budget component contributes no density, so the mixture over
+        // {q₀: 1.0, q₁: 0.0} equals q₀ alone — bit for bit.
+        let sigma = Ranking::identity(4);
+        let samplers = vec![
+            AmpSampler::new(sigma.clone(), 0.3, &PartialOrder::new()).unwrap(),
+            AmpSampler::new(sigma, 0.3, &PartialOrder::from_pairs(&[(3, 0)]).unwrap()).unwrap(),
+        ];
+        let mut scratch = AmpScratch::default();
+        for tau in Ranking::enumerate_all(&[0, 1, 2, 3]) {
+            let got = AmpSampler::mix_prob_of(&samplers, &[1.0, 0.0], &tau, &mut scratch);
+            assert_eq!(samplers[0].prob_of(&tau).to_bits(), got.to_bits());
         }
     }
 

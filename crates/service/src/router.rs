@@ -13,7 +13,8 @@
 
 use crate::request::ServiceError;
 use ppd_core::{
-    Engine, EngineObs, ErrorBudget, EvalConfig, PpdDatabase, PpdError, SolverChoice, Update,
+    Engine, EngineObs, ErrorBudget, EvalConfig, PoolCache, PpdDatabase, PpdError, SolverChoice,
+    Update,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +50,13 @@ pub(crate) struct Tenant {
     /// tenant spawns, so the base and all budget engines aggregate into one
     /// labelled set of cells. Purely observational.
     obs: EngineObs,
+    /// The tenant's shared proposal-pool cache, handed to the base engine
+    /// and every budget engine: pools are keyed by unit content and are
+    /// budget independent, so a request arriving under a new error budget
+    /// reuses the union decompositions and greedy-modal walks an earlier
+    /// budget already paid for. Sharing never crosses tenants — different
+    /// databases keep separate pool keyspaces like every other cache.
+    pools: Arc<PoolCache>,
     /// Lazily created engines for requests that override the solver with an
     /// [`ErrorBudget`], keyed by `(epsilon.to_bits(), confidence.to_bits())`
     /// so bit-identical budgets share one engine (and its caches) while
@@ -120,7 +128,11 @@ impl Tenant {
         }
         let mut eval = self.eval.clone();
         eval.solver = SolverChoice::ErrorBudget(budget);
-        let engine = Arc::new(Engine::with_obs(eval, self.obs.clone()));
+        let engine = Arc::new(Engine::with_pool_cache(
+            eval,
+            self.obs.clone(),
+            Arc::clone(&self.pools),
+        ));
         engines.insert(
             key,
             BudgetSlot {
@@ -173,12 +185,14 @@ impl Router {
             }
             by_id.insert(id.clone(), tenants.len());
             let obs = engine_obs(&id);
+            let pools = Arc::new(PoolCache::default());
             tenants.push(Tenant {
                 id,
                 db: RwLock::new(db),
-                engine: Engine::with_obs(eval.clone(), obs.clone()),
+                engine: Engine::with_pool_cache(eval.clone(), obs.clone(), Arc::clone(&pools)),
                 eval: eval.clone(),
                 obs,
+                pools,
                 budget_engines: Mutex::new(BTreeMap::new()),
                 use_tick: AtomicU64::new(0),
             });
@@ -263,6 +277,43 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &other), "distinct budgets do not");
         // Base engine + two budget engines.
         assert_eq!(tenant.engine_cache_stats().len(), 3);
+    }
+
+    #[test]
+    fn budget_engines_share_one_proposal_pool_cache_per_tenant() {
+        use ppd_datagen::polls_q1_query;
+        // Zero threshold forces every unit onto the budgeted sampler so
+        // each unique unit needs a proposal pool.
+        let eval = EvalConfig::exact().with_exact_cost_threshold(0.0);
+        let router = Router::new(vec![("a".into(), db(1))], &eval, |_| EngineObs::disabled());
+        let tenant = router.tenant(0);
+        let q = polls_q1_query();
+
+        let loose = tenant.budget_engine(ErrorBudget {
+            epsilon: 0.05,
+            confidence: 0.9,
+        });
+        loose.session_probabilities(&tenant.read_db(), &q).unwrap();
+        let built = loose.cache_stats().pools_built;
+        assert!(built > 0, "budgeted units must build pools");
+
+        // A second engine under a different budget re-estimates the same
+        // units: its marginal cache is cold, but every proposal pool comes
+        // from the tenant's shared cache — zero new decompositions.
+        let tight = tenant.budget_engine(ErrorBudget {
+            epsilon: 0.01,
+            confidence: 0.9,
+        });
+        tight.session_probabilities(&tenant.read_db(), &q).unwrap();
+        let stats = tight.cache_stats();
+        assert_eq!(
+            stats.pools_built, built,
+            "a sibling budget engine must not rebuild pools"
+        );
+        assert_eq!(
+            stats.pool_hits, built,
+            "every budgeted unit must reuse the sibling's pool"
+        );
     }
 
     #[test]

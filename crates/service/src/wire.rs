@@ -1227,6 +1227,8 @@ fn cache_to_json(cache: &CacheStats) -> Value {
         ("segment_live_bytes", Value::from(cache.segment_live_bytes)),
         ("segment_dead_bytes", Value::from(cache.segment_dead_bytes)),
         ("compactions", Value::from(cache.compactions)),
+        ("pools_built", Value::from(cache.pools_built)),
+        ("pool_hits", Value::from(cache.pool_hits)),
     ])
 }
 
@@ -1252,6 +1254,8 @@ fn cache_from_json(value: &Value) -> Result<CacheStats, String> {
         segment_live_bytes: field("segment_live_bytes")?,
         segment_dead_bytes: field("segment_dead_bytes")?,
         compactions: field("compactions")?,
+        pools_built: field("pools_built")?,
+        pool_hits: field("pool_hits")?,
     })
 }
 
@@ -2121,6 +2125,8 @@ mod tests {
                 segment_live_bytes: 1000,
                 segment_dead_bytes: 250,
                 compactions: 2,
+                pools_built: 4,
+                pool_hits: 9,
             },
         };
         let tenants = vec![

@@ -18,7 +18,7 @@
 //! engine's bit-reproducibility contract holds in error-budget mode exactly
 //! as it does for the fixed-budget estimators.
 
-use crate::approx::mis_lite::{compensate, MisAmpLite, SampleMoments};
+use crate::approx::mis_lite::{compensate, MisAmpLite, ProposalPool, SampleMoments};
 use crate::{Result, SolverError};
 use ppd_patterns::{DecompositionLimits, Labeling, PatternUnion};
 use ppd_rim::MallowsModel;
@@ -33,7 +33,11 @@ pub struct MisAmpBudgeted {
     pub confidence: f64,
     /// Number of proposal distributions (fixed across rounds).
     pub num_proposals: usize,
-    /// Samples per proposal in the first round; each round doubles it.
+    /// Total mixture samples in the first round; each round doubles the
+    /// total. The budget is split across the proposal pool by stratified
+    /// allocation, so a round can be smaller than the proposal count —
+    /// easy unions converge on a handful of samples instead of a full
+    /// per-proposal quota.
     pub initial_samples: usize,
     /// Maximum number of doubling rounds before giving up.
     pub max_rounds: usize,
@@ -45,28 +49,51 @@ pub struct MisAmpBudgeted {
 
 impl MisAmpBudgeted {
     /// A configuration targeting the given error budget with the default
-    /// sampling shape (10 proposals, 64 initial samples, 8 doubling rounds —
-    /// a worst case of `10 × 64 × 255` samples before the exact fallback).
+    /// sampling shape (10 proposals, 64 total initial samples, 12 doubling
+    /// rounds — a worst case of `64 × (2¹² − 1) ≈ 262k` samples before the
+    /// exact fallback). The first rounds are an order of magnitude smaller
+    /// than the per-proposal-quota scheme they replaced (which started at
+    /// `64 × 10` samples), so easy instances stop much earlier; the extra
+    /// rounds at the top keep the worst-case certification power.
     pub fn new(epsilon: f64, confidence: f64) -> Self {
         MisAmpBudgeted {
             epsilon,
             confidence,
             num_proposals: 10,
             initial_samples: 64,
-            max_rounds: 8,
+            max_rounds: 12,
             modal_cap: 64,
             limits: DecompositionLimits::default(),
         }
     }
 
-    fn lite_for(&self, samples_per_proposal: usize) -> MisAmpLite {
+    /// The MIS-AMP-lite configuration whose preparation and total-budget
+    /// sampling stage this estimator drives.
+    fn lite(&self) -> MisAmpLite {
         MisAmpLite {
             num_proposals: self.num_proposals,
-            samples_per_proposal,
+            samples_per_proposal: self.initial_samples.max(1),
             compensation: true,
             modal_cap: self.modal_cap,
             limits: self.limits,
         }
+    }
+
+    /// Builds the reusable proposal pool for an instance — the union
+    /// decomposition plus greedy-modal walk that [`MisAmpBudgeted::run`]
+    /// performs internally. Exposed so callers that re-estimate the same
+    /// instance under different budgets (the engine's proposal-pool cache)
+    /// can pay for the decomposition once: this estimator always draws the
+    /// same fixed `num_proposals` from the pool, so re-running from a shared
+    /// pool is bit-identical to a fresh run (the non-decreasing-draws
+    /// contract of [`MisAmpLite::prepare_from_pool`] holds trivially).
+    pub fn build_pool(
+        &self,
+        mallows: &MallowsModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+    ) -> Result<ProposalPool> {
+        self.lite().build_pool(mallows, labeling, union)
     }
 
     /// Runs the doubling loop. `converged = false` in the outcome means the
@@ -81,6 +108,74 @@ impl MisAmpBudgeted {
         union: &PatternUnion,
         rng: &mut dyn RngCore,
     ) -> Result<BudgetedOutcome> {
+        self.validate()?;
+        let mut pool = self.build_pool(mallows, labeling, union)?;
+        self.run_with_pool(mallows, &mut pool, rng)
+    }
+
+    /// [`MisAmpBudgeted::run`] on an already-built proposal pool: skips the
+    /// union decomposition and reuses every greedy modal the pool has
+    /// already generated. The pool must have been built for the same
+    /// `(model, modal_cap, limits)` — [`MisAmpBudgeted::build_pool`] is the
+    /// matching constructor — and as long as every estimator drawing from
+    /// one pool uses the same `num_proposals` (this type never varies its
+    /// draw), results are bit-identical to a cold [`MisAmpBudgeted::run`].
+    pub fn run_with_pool(
+        &self,
+        mallows: &MallowsModel,
+        pool: &mut ProposalPool,
+        rng: &mut dyn RngCore,
+    ) -> Result<BudgetedOutcome> {
+        self.validate()?;
+        let z = normal_quantile(0.5 + self.confidence / 2.0);
+        let lite = self.lite();
+        let prepared = lite.prepare_from_pool(pool)?;
+        if prepared.num_proposals() == 0 {
+            // Unsatisfiable union: the probability is exactly zero, with a
+            // zero-width interval.
+            return Ok(BudgetedOutcome {
+                estimate: 0.0,
+                total_samples: 0,
+                zero_density_samples: 0,
+                rounds: 0,
+                halfwidth: 0.0,
+                converged: true,
+            });
+        }
+        let factor = prepared.compensation_subrankings * prepared.compensation_modals;
+
+        let mut round_budget = self.initial_samples;
+        let mut total_samples = 0;
+        let mut zero_density_samples = 0;
+        let mut rounds = 0;
+        let mut estimate = 0.0;
+        let mut halfwidth = f64::INFINITY;
+        let mut converged = false;
+        while rounds < self.max_rounds.max(1) {
+            rounds += 1;
+            let (round_estimate, moments) =
+                lite.estimate_prepared_total(mallows, &prepared, round_budget, rng);
+            total_samples += moments.samples;
+            zero_density_samples += moments.zero_density;
+            estimate = round_estimate;
+            halfwidth = compensated_halfwidth(&moments, factor, z);
+            if halfwidth <= self.epsilon {
+                converged = true;
+                break;
+            }
+            round_budget *= 2;
+        }
+        Ok(BudgetedOutcome {
+            estimate,
+            total_samples,
+            zero_density_samples,
+            rounds,
+            halfwidth,
+            converged,
+        })
+    }
+
+    fn validate(&self) -> Result<()> {
         if !self.epsilon.is_finite()
             || self.epsilon <= 0.0
             || self.confidence.is_nan()
@@ -97,50 +192,7 @@ impl MisAmpBudgeted {
                 "error-budgeted MIS-AMP needs at least one proposal and one sample".into(),
             ));
         }
-        let z = normal_quantile(0.5 + self.confidence / 2.0);
-        let factor_lite = self.lite_for(self.initial_samples);
-        let mut pool = factor_lite.build_pool(mallows, labeling, union)?;
-        let prepared = factor_lite.prepare_from_pool(&mut pool)?;
-        if prepared.num_proposals() == 0 {
-            // Unsatisfiable union: the probability is exactly zero, with a
-            // zero-width interval.
-            return Ok(BudgetedOutcome {
-                estimate: 0.0,
-                total_samples: 0,
-                rounds: 0,
-                halfwidth: 0.0,
-                converged: true,
-            });
-        }
-        let factor = prepared.compensation_subrankings * prepared.compensation_modals;
-
-        let mut samples_per_proposal = self.initial_samples;
-        let mut total_samples = 0;
-        let mut rounds = 0;
-        let mut estimate = 0.0;
-        let mut halfwidth = f64::INFINITY;
-        let mut converged = false;
-        while rounds < self.max_rounds.max(1) {
-            rounds += 1;
-            let lite = self.lite_for(samples_per_proposal);
-            let (round_estimate, moments) =
-                lite.estimate_prepared_with_moments(mallows, &prepared, rng);
-            total_samples += moments.samples;
-            estimate = round_estimate;
-            halfwidth = compensated_halfwidth(&moments, factor, z);
-            if halfwidth <= self.epsilon {
-                converged = true;
-                break;
-            }
-            samples_per_proposal *= 2;
-        }
-        Ok(BudgetedOutcome {
-            estimate,
-            total_samples,
-            rounds,
-            halfwidth,
-            converged,
-        })
+        Ok(())
     }
 }
 
@@ -151,6 +203,10 @@ pub struct BudgetedOutcome {
     pub estimate: f64,
     /// Total samples drawn across all rounds.
     pub total_samples: usize,
+    /// Samples (across all rounds) on which the proposal mixture had zero
+    /// density — drawn but contributing nothing. A health signal, surfaced
+    /// by the engine as the `ppd_sampler_zero_density_total` counter.
+    pub zero_density_samples: usize,
     /// Number of doubling rounds executed.
     pub rounds: usize,
     /// Confidence-interval halfwidth of the final round.
@@ -165,6 +221,11 @@ pub struct BudgetedOutcome {
 /// odds-space compensation (a monotone map, so the image of an interval is an
 /// interval) and the halfwidth of the image is reported.
 fn compensated_halfwidth(moments: &SampleMoments, factor: f64, z: f64) -> f64 {
+    // Fewer than two samples carry no variance information: the empirical
+    // interval would collapse to a point and certify any ε vacuously.
+    if moments.samples < 2 {
+        return f64::INFINITY;
+    }
     let se = moments.standard_error();
     let mean = moments.mean().clamp(0.0, 1.0);
     let lo = compensate((mean - z * se).clamp(0.0, 1.0), factor);
@@ -305,6 +366,59 @@ mod tests {
         assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
         assert_eq!(a.total_samples, b.total_samples);
         assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn warm_pool_reruns_are_bit_identical_to_cold_runs() {
+        // The engine's proposal-pool cache replays `run_with_pool` on a pool
+        // built by an earlier solve (possibly under a different ε): answers
+        // must match a cold `run` bit for bit, with zero further
+        // decomposition work — the budgeted estimator always draws the same
+        // fixed proposal count, so the pool-reuse contract holds.
+        let model = mallows(6, 0.4);
+        let lab = cyclic_labeling(6, 3);
+        let union = PatternUnion::new(vec![
+            Pattern::two_label(sel(2), sel(0)),
+            Pattern::two_label(sel(1), sel(0)),
+        ])
+        .unwrap();
+        let loose = MisAmpBudgeted::new(0.05, 0.9);
+        let tight = MisAmpBudgeted::new(0.01, 0.95);
+        let mut pool = loose.build_pool(&model, &lab, &union).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let warm_loose = loose.run_with_pool(&model, &mut pool, &mut rng).unwrap();
+        // Re-estimation under a tighter budget reuses the same pool.
+        let mut rng = StdRng::seed_from_u64(22);
+        let warm_tight = tight.run_with_pool(&model, &mut pool, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let cold_loose = loose.run(&model, &lab, &union, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let cold_tight = tight.run(&model, &lab, &union, &mut rng).unwrap();
+        assert_eq!(warm_loose.estimate.to_bits(), cold_loose.estimate.to_bits());
+        assert_eq!(warm_loose.total_samples, cold_loose.total_samples);
+        assert_eq!(warm_tight.estimate.to_bits(), cold_tight.estimate.to_bits());
+        assert_eq!(warm_tight.total_samples, cold_tight.total_samples);
+    }
+
+    #[test]
+    fn easy_instances_converge_below_one_per_proposal_quota() {
+        // The mixture budget doubles as a *total*: an easy union (unique
+        // labels, so the pattern is a single sub-ranking whose AMP proposal
+        // covers it near-perfectly) should certify ε = 0.05 with fewer
+        // samples than even one old-style per-proposal quota round
+        // (num_proposals × initial_samples).
+        let model = mallows(5, 0.5);
+        let lab = cyclic_labeling(5, 5);
+        let union = PatternUnion::singleton(Pattern::two_label(sel(1), sel(0))).unwrap();
+        let solver = MisAmpBudgeted::new(0.05, 0.95);
+        let mut rng = StdRng::seed_from_u64(11);
+        let outcome = solver.run(&model, &lab, &union, &mut rng).unwrap();
+        assert!(outcome.converged);
+        assert!(
+            outcome.total_samples < solver.num_proposals * solver.initial_samples,
+            "budget granularity should beat per-proposal quotas, used {}",
+            outcome.total_samples
+        );
     }
 
     #[test]

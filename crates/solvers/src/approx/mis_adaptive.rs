@@ -2,7 +2,7 @@
 //! distributions until the estimate converges (Section 5.5).
 
 use crate::approx::mis_lite::{MisAmpLite, ProposalPool};
-use crate::traits::ApproxSolver;
+use crate::traits::{ApproxSolver, EstimateStats};
 use crate::{Result, SolverError};
 use ppd_patterns::{DecompositionLimits, Labeling, PatternUnion};
 use ppd_rim::MallowsModel;
@@ -59,6 +59,11 @@ pub struct AdaptiveOutcome {
     pub preparation_time: Duration,
     /// Total time spent drawing and re-weighting samples.
     pub sampling_time: Duration,
+    /// Total samples drawn across all rounds.
+    pub total_samples: usize,
+    /// Samples (across all rounds) on which the proposal mixture had zero
+    /// density — drawn but contributing nothing to any round's estimate.
+    pub zero_density_samples: usize,
     /// Whether the run stopped because consecutive estimates agreed (as
     /// opposed to exhausting `max_rounds`).
     pub converged: bool,
@@ -103,6 +108,8 @@ impl MisAmpAdaptive {
         let mut sampling_time = Duration::ZERO;
         let mut estimate = 0.0;
         let mut rounds = 0;
+        let mut total_samples = 0;
+        let mut zero_density_samples = 0;
         let mut converged = false;
         // The union decomposition and the greedy-modal walk are shared by
         // every round: build the proposal pool once and draw successively
@@ -118,7 +125,11 @@ impl MisAmpAdaptive {
             let prepared = lite.prepare_from_pool(pool.as_mut().expect("pool just built"))?;
             preparation_time += t0.elapsed();
             let t1 = Instant::now();
-            estimate = lite.estimate_prepared(mallows, &prepared, rng);
+            let (round_estimate, moments) =
+                lite.estimate_prepared_with_moments(mallows, &prepared, rng);
+            estimate = round_estimate;
+            total_samples += moments.samples;
+            zero_density_samples += moments.zero_density;
             sampling_time += t1.elapsed();
             if prepared.num_proposals() == 0 {
                 // The union is unsatisfiable; nothing more to refine.
@@ -147,6 +158,8 @@ impl MisAmpAdaptive {
             proposals_used: num_proposals,
             preparation_time,
             sampling_time,
+            total_samples,
+            zero_density_samples,
             converged,
         })
     }
@@ -165,6 +178,24 @@ impl ApproxSolver for MisAmpAdaptive {
         rng: &mut dyn RngCore,
     ) -> Result<f64> {
         self.run(mallows, labeling, union, rng).map(|o| o.estimate)
+    }
+
+    fn estimate_with_stats(
+        &self,
+        mallows: &MallowsModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+        rng: &mut dyn RngCore,
+    ) -> Result<(f64, EstimateStats)> {
+        self.run(mallows, labeling, union, rng).map(|o| {
+            (
+                o.estimate,
+                EstimateStats {
+                    samples: o.total_samples,
+                    zero_density_samples: o.zero_density_samples,
+                },
+            )
+        })
     }
 }
 

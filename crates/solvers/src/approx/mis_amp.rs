@@ -1,6 +1,7 @@
 //! MIS-AMP: multiple importance sampling for a single sub-ranking
 //! (Section 5.4 of the paper).
 
+use crate::approx::mixture::{mixture_coefficients, mixture_weight_moments, stratified_allocation};
 use crate::Result;
 use ppd_rim::{greedy_modals, AmpSampler, MallowsModel, SubRanking};
 use rand::RngCore;
@@ -8,8 +9,13 @@ use rand::RngCore;
 /// Estimates `Pr(τ |= ψ)` for `τ ∼ MAL(σ, φ)` with Multiple Importance
 /// Sampling: the greedy modal search (Algorithm 5) locates the modes of the
 /// posterior conditioned on `ψ`, one AMP proposal distribution is built per
-/// mode, and the samples are combined with the balance heuristic of Veach &
-/// Guibas (Eq. 6 of the paper).
+/// mode, and a total budget of `modes × samples_per_proposal` samples is
+/// drawn from their stratified mixture and combined with the balance
+/// heuristic of Veach & Guibas (Eq. 6 of the paper).
+///
+/// The sampling pass reuses hoisted scratch buffers throughout (no per-call
+/// modal clones, no per-sample allocation); the scratch-free replication in
+/// `mixture_semantics_are_bit_pinned` pins the exact bits.
 pub fn mis_amp_estimate(
     mallows: &MallowsModel,
     psi: &SubRanking,
@@ -18,30 +24,23 @@ pub fn mis_amp_estimate(
     rng: &mut dyn RngCore,
 ) -> Result<f64> {
     let modals = greedy_modals(psi, mallows.sigma(), modal_cap);
+    // The modal rankings are moved into their samplers rather than cloned —
+    // the modal list has no further use here.
     let proposals: Vec<AmpSampler> = modals
-        .iter()
-        .map(|modal| AmpSampler::for_subranking(modal.clone(), mallows.phi(), psi))
+        .into_iter()
+        .map(|modal| AmpSampler::for_subranking(modal, mallows.phi(), psi))
         .collect::<std::result::Result<_, _>>()?;
     let d = proposals.len();
     if d == 0 {
         return Ok(0.0);
     }
-    let n = samples_per_proposal.max(1);
-    let mut total = 0.0;
-    for proposal in &proposals {
-        for _ in 0..n {
-            let (tau, _) = proposal.sample_with_prob(rng);
-            let p = mallows.prob_of(&tau);
-            // Balance-heuristic denominator: the average proposal density.
-            let mix: f64 = proposals.iter().map(|q| q.prob_of(&tau)).sum::<f64>() / d as f64;
-            if mix > 0.0 {
-                total += p / mix;
-            }
-        }
-    }
+    let total = d * samples_per_proposal.max(1);
+    let allocation = stratified_allocation(total, d);
+    let coefficients = mixture_coefficients(&allocation, total);
+    let moments = mixture_weight_moments(mallows, &proposals, &allocation, &coefficients, rng);
     // Importance weights have unbounded variance in the tails, so the raw
     // mean can stray above 1; clamp to the valid probability range.
-    Ok((total / (d * n) as f64).clamp(0.0, 1.0))
+    Ok(moments.mean().clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -85,6 +84,53 @@ mod tests {
             assert!(
                 ((est - exact) / exact).abs() < 0.15,
                 "phi={phi}: exact {exact}, estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_semantics_are_bit_pinned() {
+        // Exact-bits regression pin for the allocation hoisting: replicate
+        // the estimator with the allocating public entry points (fresh
+        // buffers per sample, per-component `prob_of` calls) under the same
+        // mixture weighting, and require identical bits from the production
+        // scratch-reusing pass.
+        let model = MallowsModel::new(Ranking::identity(6), 0.45).unwrap();
+        let psi = SubRanking::new(vec![4, 1, 5]).unwrap();
+        for &(seed, n, cap) in &[(19u64, 120usize, 16usize), (4u64, 250, 32)] {
+            let modals = ppd_rim::greedy_modals(&psi, model.sigma(), cap);
+            let proposals: Vec<AmpSampler> = modals
+                .iter()
+                .map(|modal| AmpSampler::for_subranking(modal.clone(), model.phi(), &psi))
+                .collect::<std::result::Result<_, _>>()
+                .unwrap();
+            let d = proposals.len();
+            assert!(d > 0);
+            let total = d * n;
+            let coefficients = vec![n as f64 / total as f64; d];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sum = 0.0;
+            for proposal in &proposals {
+                for _ in 0..n {
+                    let (tau, _) = proposal.sample_with_prob(&mut rng);
+                    let p = model.prob_of(&tau);
+                    let mix: f64 = proposals
+                        .iter()
+                        .zip(&coefficients)
+                        .map(|(q, &c)| c * q.prob_of(&tau))
+                        .sum();
+                    if mix > 0.0 {
+                        sum += p / mix;
+                    }
+                }
+            }
+            let expected = (sum / total as f64).clamp(0.0, 1.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = mis_amp_estimate(&model, &psi, n, cap, &mut rng).unwrap();
+            assert_eq!(
+                expected.to_bits(),
+                got.to_bits(),
+                "seed {seed}: naive {expected} vs production {got}"
             );
         }
     }

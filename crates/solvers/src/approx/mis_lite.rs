@@ -10,12 +10,12 @@
 //! sub-rankings and `c_r` for the pruned modals — rescale the estimate by the
 //! share of `φ^distance` mass the kept objects represent.
 
-use crate::traits::ApproxSolver;
+use crate::approx::mixture::{mixture_coefficients, mixture_weight_moments, stratified_allocation};
+use crate::traits::{ApproxSolver, EstimateStats};
 use crate::{Result, SolverError};
 use ppd_patterns::{decompose_union, DecompositionLimits, Labeling, PatternError, PatternUnion};
 use ppd_rim::{
-    approximate_distance, greedy_modals, kendall_tau, AmpSampler, AmpScratch, MallowsModel,
-    Ranking, SubRanking,
+    approximate_distance, greedy_modals, kendall_tau, AmpSampler, MallowsModel, Ranking, SubRanking,
 };
 use rand::RngCore;
 
@@ -54,8 +54,9 @@ impl Default for MisAmpLite {
 /// from the sampling time, so the two stages are exposed separately here too.
 #[derive(Debug)]
 pub struct PreparedProposals {
-    /// One `(proposal sampler, conditioning sub-ranking)` pair per kept modal.
-    proposals: Vec<(AmpSampler, SubRanking)>,
+    /// One AMP proposal sampler per kept modal, in pool order (modals
+    /// closest to the Mallows centre first).
+    samplers: Vec<AmpSampler>,
     /// Compensation factor for pruned sub-rankings (`c_ψ ≥ 1`).
     pub compensation_subrankings: f64,
     /// Compensation factor for pruned modals (`c_r ≥ 1`).
@@ -70,7 +71,7 @@ impl PreparedProposals {
     /// An empty preparation representing a union with probability zero.
     fn empty() -> Self {
         PreparedProposals {
-            proposals: Vec::new(),
+            samplers: Vec::new(),
             compensation_subrankings: 1.0,
             compensation_modals: 1.0,
             total_subrankings: 0,
@@ -80,7 +81,16 @@ impl PreparedProposals {
 
     /// Number of proposal distributions actually constructed.
     pub fn num_proposals(&self) -> usize {
-        self.proposals.len()
+        self.samplers.len()
+    }
+
+    /// The kept proposal samplers, in pool order. The sampling stage splits
+    /// its budget across exactly this slice (see
+    /// [`crate::approx::mixture::stratified_allocation`]); exposing it lets
+    /// callers — benches, property tests — evaluate the same mixture the
+    /// estimator weights against.
+    pub fn samplers(&self) -> &[AmpSampler] {
+        &self.samplers
     }
 }
 
@@ -262,13 +272,12 @@ impl MisAmpLite {
             1.0
         };
 
-        let mut proposals = Vec::with_capacity(kept.len());
+        let mut samplers = Vec::with_capacity(kept.len());
         for (modal, psi, _) in kept {
-            let sampler = AmpSampler::for_subranking(modal.clone(), pool.phi, psi)?;
-            proposals.push((sampler, psi.clone()));
+            samplers.push(AmpSampler::for_subranking(modal.clone(), pool.phi, psi)?);
         }
         Ok(PreparedProposals {
-            proposals,
+            samplers,
             compensation_subrankings,
             compensation_modals,
             total_subrankings: pool.scored.len(),
@@ -289,7 +298,8 @@ impl MisAmpLite {
 
     /// Runs the sampling stage on prepared proposals and returns the
     /// (optionally compensated) estimate — a proper probability in `[0, 1]`
-    /// by construction.
+    /// by construction. The total mixture budget is `d · samples_per_proposal`
+    /// (see [`MisAmpLite::estimate_prepared_total`] for an explicit budget).
     ///
     /// The plain MIS average estimates the probability of the **covered
     /// region**: the rankings reachable from the kept proposals. Pruning
@@ -325,44 +335,49 @@ impl MisAmpLite {
         prepared: &PreparedProposals,
         rng: &mut dyn RngCore,
     ) -> (f64, SampleMoments) {
-        let d = prepared.proposals.len();
+        let total = prepared.num_proposals() * self.samples_per_proposal.max(1);
+        self.estimate_prepared_total(mallows, prepared, total, rng)
+    }
+
+    /// The sampling stage with an explicit **total** mixture budget: the
+    /// budget is split across the kept proposals by
+    /// [`stratified_allocation`] (in pool order — the closest modals take the
+    /// remainder), every sample is weighted against the balance-heuristic
+    /// mixture `Σ_i (n_i/N)·q_i` over **all** kept proposals, and the mean
+    /// weight (clamped, then compensated in odds space) is the estimate.
+    /// Samples where the mixture density vanishes contribute zero and are
+    /// counted in [`SampleMoments::zero_density`].
+    ///
+    /// This is the entry point the error-budgeted estimator doubles through:
+    /// growing `total` directly — rather than in per-proposal quota steps of
+    /// `d` — lets its confidence interval close at the smallest sufficient
+    /// budget.
+    pub fn estimate_prepared_total(
+        &self,
+        mallows: &MallowsModel,
+        prepared: &PreparedProposals,
+        total_samples: usize,
+        rng: &mut dyn RngCore,
+    ) -> (f64, SampleMoments) {
+        let d = prepared.num_proposals();
         if d == 0 {
             return (0.0, SampleMoments::default());
         }
-        let n = self.samples_per_proposal.max(1);
-        let mut total = 0.0;
-        let mut total_squares = 0.0;
-        // Scratch hoisted out of the sampling loop: the sampled ranking, the
-        // AMP insertion buffers, and the partial-ranking buffer shared by
-        // every mixture-probability evaluation. The scratch entry points
-        // draw the same variates and do the same arithmetic as the
-        // allocating ones, so the estimate is bit-identical (pinned by
-        // `scratch_reuse_is_bit_identical`).
-        let mut sample_scratch = AmpScratch::default();
-        let mut prob_scratch = AmpScratch::default();
-        let mut tau = Ranking::new(Vec::new()).expect("the empty ranking is valid");
-        for (proposal, _) in &prepared.proposals {
-            for _ in 0..n {
-                proposal.sample_with_prob_into(rng, &mut sample_scratch, &mut tau);
-                let p = mallows.prob_of(&tau);
-                let mix: f64 = prepared
-                    .proposals
-                    .iter()
-                    .map(|(q, _)| q.prob_of_with_scratch(&tau, &mut prob_scratch))
-                    .sum::<f64>()
-                    / d as f64;
-                if mix > 0.0 {
-                    let w = p / mix;
-                    total += w;
-                    total_squares += w * w;
-                }
-            }
-        }
+        let total = total_samples.max(1);
+        let allocation = stratified_allocation(total, d);
+        let coefficients = mixture_coefficients(&allocation, total);
+        let moments = mixture_weight_moments(
+            mallows,
+            prepared.samplers(),
+            &allocation,
+            &coefficients,
+            rng,
+        );
         // The uncompensated MIS average estimates the covered-region
         // probability; finite-sample noise can stray marginally above 1, so
         // clamp before compensating (exactly what the compensation-free
         // estimator always did).
-        let covered = (total / (d * n) as f64).clamp(0.0, 1.0);
+        let covered = moments.mean().clamp(0.0, 1.0);
         let estimate = if self.compensation {
             compensate(
                 covered,
@@ -375,11 +390,6 @@ impl MisAmpLite {
             (0.0..=1.0).contains(&estimate),
             "odds-space compensation must yield a probability, got {estimate}"
         );
-        let moments = SampleMoments {
-            sum: total,
-            sum_squares: total_squares,
-            samples: d * n,
-        };
         (estimate.clamp(0.0, 1.0), moments)
     }
 }
@@ -396,8 +406,13 @@ pub struct SampleMoments {
     pub sum: f64,
     /// Sum of the squared per-sample weights.
     pub sum_squares: f64,
-    /// Total number of samples drawn (`d · n`).
+    /// Total number of samples drawn.
     pub samples: usize,
+    /// Samples on which every kept proposal had zero density: they
+    /// contribute zero weight, so a large count means the kept mixture
+    /// covers its own draws poorly (an estimator-health signal, surfaced as
+    /// a solver stat and an observability counter by the engine).
+    pub zero_density: usize,
 }
 
 impl SampleMoments {
@@ -467,6 +482,29 @@ impl ApproxSolver for MisAmpLite {
         }
         let prepared = self.prepare(mallows, labeling, union)?;
         Ok(self.estimate_prepared(mallows, &prepared, rng))
+    }
+
+    fn estimate_with_stats(
+        &self,
+        mallows: &MallowsModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+        rng: &mut dyn RngCore,
+    ) -> Result<(f64, EstimateStats)> {
+        if self.num_proposals == 0 || self.samples_per_proposal == 0 {
+            return Err(SolverError::InvalidInstance(
+                "MIS-AMP-lite needs at least one proposal and one sample".into(),
+            ));
+        }
+        let prepared = self.prepare(mallows, labeling, union)?;
+        let (estimate, moments) = self.estimate_prepared_with_moments(mallows, &prepared, rng);
+        Ok((
+            estimate,
+            EstimateStats {
+                samples: moments.samples,
+                zero_density_samples: moments.zero_density,
+            },
+        ))
     }
 }
 
@@ -652,11 +690,13 @@ mod tests {
 
     #[test]
     fn scratch_reuse_is_bit_identical() {
-        // Exact-bits regression pin for the buffer-reuse optimization:
-        // re-run the sampling loop with a fresh allocation per sample (the
-        // pre-optimization shape, via the allocating public entry points)
+        // Exact-bits regression pin for the buffer-reuse optimization and
+        // the mixture weighting: re-run the sampling loop with a fresh
+        // allocation per sample (via the allocating public entry points),
+        // weighting each sample against the coefficient-weighted mixture,
         // and require the production loop — which reuses one scratch set
-        // across all samples — to produce the same bits.
+        // across all samples and batches the density evaluation through
+        // `AmpSampler::mix_prob_of` — to produce the same bits.
         let model = mallows(6, 0.35);
         let lab = cyclic_labeling(6, 3);
         let chain = Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
@@ -664,26 +704,31 @@ mod tests {
         for &(seed, n) in &[(2024u64, 150usize), (7u64, 300)] {
             let solver = MisAmpLite::new(4, n);
             let prepared = solver.prepare(&model, &lab, &union).unwrap();
-            let d = prepared.proposals.len();
+            let d = prepared.num_proposals();
             assert!(d > 0);
+            let total_budget = d * n;
+            // Equal stratified allocation (d divides the budget), so every
+            // mixture coefficient is n / (d·n) — computed exactly as the
+            // production path computes it.
+            let coefficients: Vec<f64> = vec![n as f64 / total_budget as f64; d];
             let mut rng = StdRng::seed_from_u64(seed);
             let mut total = 0.0;
-            for (proposal, _) in &prepared.proposals {
+            for sampler in prepared.samplers() {
                 for _ in 0..n {
-                    let (tau, _) = proposal.sample_with_prob(&mut rng);
+                    let (tau, _) = sampler.sample_with_prob(&mut rng);
                     let p = model.prob_of(&tau);
                     let mix: f64 = prepared
-                        .proposals
+                        .samplers()
                         .iter()
-                        .map(|(q, _)| q.prob_of(&tau))
-                        .sum::<f64>()
-                        / d as f64;
+                        .zip(&coefficients)
+                        .map(|(q, &c)| c * q.prob_of(&tau))
+                        .sum();
                     if mix > 0.0 {
                         total += p / mix;
                     }
                 }
             }
-            let covered = (total / (d * n) as f64).clamp(0.0, 1.0);
+            let covered = (total / total_budget as f64).clamp(0.0, 1.0);
             let expected = super::compensate(
                 covered,
                 prepared.compensation_subrankings * prepared.compensation_modals,
@@ -696,6 +741,33 @@ mod tests {
                 "seed {seed}: naive {expected} vs scratch {got}"
             );
         }
+    }
+
+    #[test]
+    fn total_budget_entry_point_allocates_stratified() {
+        // A budget that does not divide evenly must still draw exactly
+        // `total` samples, with the remainder going to the closest modals,
+        // and `d · n` budgets must match the per-proposal entry point bit
+        // for bit.
+        let model = mallows(6, 0.4);
+        let lab = cyclic_labeling(6, 3);
+        let chain = Pattern::new(vec![sel(1), sel(2), sel(0)], vec![(0, 1), (1, 2)]).unwrap();
+        let union = PatternUnion::new(vec![chain, Pattern::two_label(sel(2), sel(1))]).unwrap();
+        let solver = MisAmpLite::new(4, 100);
+        let prepared = solver.prepare(&model, &lab, &union).unwrap();
+        let d = prepared.num_proposals();
+        assert!(d > 1);
+
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let (est_a, mom_a) = solver.estimate_prepared_with_moments(&model, &prepared, &mut rng_a);
+        let (est_b, mom_b) = solver.estimate_prepared_total(&model, &prepared, d * 100, &mut rng_b);
+        assert_eq!(est_a.to_bits(), est_b.to_bits());
+        assert_eq!(mom_a.samples, mom_b.samples);
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, moments) = solver.estimate_prepared_total(&model, &prepared, 101, &mut rng);
+        assert_eq!(moments.samples, 101, "awkward budgets are spent exactly");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The shared mixture-sampling core of the MIS estimators: deterministic
+//! stratified allocation of one total sample budget across the prepared
+//! proposal pool, and the single-pass weighting loop that evaluates the
+//! balance-heuristic mixture density with reused scratch buffers.
+//!
+//! Every MIS estimator in this crate (`mis_amp_estimate`, [`MisAmpLite`],
+//! [`MisAmpBudgeted`], [`MisAmpAdaptive`]) draws its samples through this
+//! module: the budget `N` is split over the `d` kept proposals in **fixed
+//! pool order** (`⌈N/d⌉` for the first `N mod d` proposals — the modals
+//! closest to the centre — and `⌊N/d⌋` for the rest), each sample drawn from
+//! proposal `i` is weighted by `p(τ) / Σ_j (n_j/N)·q_j(τ)` (Veach & Guibas'
+//! balance heuristic, Eq. 6 of the paper, with the mixture coefficients
+//! `n_j/N` rather than the equal-quota `1/d`), and samples on which every
+//! proposal has zero density are counted instead of silently dropped.
+//!
+//! Determinism: the allocation is a pure function of `(N, d)`, proposals are
+//! visited in pool order, and all draws come from the caller's single seeded
+//! RNG stream — so the weight sums, and therefore every estimate built on
+//! them, depend only on the instance, the budget, and the seed.
+//!
+//! [`MisAmpLite`]: crate::MisAmpLite
+//! [`MisAmpBudgeted`]: crate::MisAmpBudgeted
+//! [`MisAmpAdaptive`]: crate::MisAmpAdaptive
+//! [`mis_amp_estimate`]: crate::mis_amp_estimate
+
+use crate::approx::mis_lite::SampleMoments;
+use ppd_rim::{AmpSampler, AmpScratch, MallowsModel, Ranking};
+use rand::RngCore;
+
+/// Splits a total sample budget of `total` across `parts` proposals in fixed
+/// pool order: the first `total mod parts` proposals receive `⌈total/parts⌉`
+/// samples, the rest `⌊total/parts⌋`. The leftmost proposals are the modals
+/// closest to the Mallows centre, so the remainder lands where the posterior
+/// mass is. Returns an empty allocation when `parts == 0`.
+pub fn stratified_allocation(total: usize, parts: usize) -> Vec<usize> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = total / parts;
+    let remainder = total % parts;
+    (0..parts)
+        .map(|i| base + usize::from(i < remainder))
+        .collect()
+}
+
+/// The mixture coefficients `n_i / N` matching a stratified allocation: the
+/// share of the total budget drawn from each proposal, which is exactly the
+/// weight of that proposal's density in the balance-heuristic denominator.
+/// All-zero (empty mixture) when `total == 0`.
+pub fn mixture_coefficients(allocation: &[usize], total: usize) -> Vec<f64> {
+    if total == 0 {
+        return vec![0.0; allocation.len()];
+    }
+    allocation
+        .iter()
+        .map(|&n| n as f64 / total as f64)
+        .collect()
+}
+
+/// Runs one mixture sampling pass: draws `allocation[i]` samples from
+/// `samplers[i]` (in pool order, from one RNG stream), weights each by
+/// `p(τ) / mix(τ)` with `mix(τ) = Σ_j coefficients[j]·q_j(τ)`, and returns
+/// the accumulated weight moments. Samples where the mixture density is zero
+/// contribute nothing to the sums and are counted in
+/// [`SampleMoments::zero_density`].
+///
+/// All per-sample state (the sampled ranking, the AMP insertion buffers for
+/// sampling and for density evaluation) lives in buffers hoisted out of the
+/// loop, so the pass performs no per-sample allocation.
+pub(crate) fn mixture_weight_moments(
+    mallows: &MallowsModel,
+    samplers: &[AmpSampler],
+    allocation: &[usize],
+    coefficients: &[f64],
+    rng: &mut dyn RngCore,
+) -> SampleMoments {
+    debug_assert_eq!(samplers.len(), allocation.len());
+    debug_assert_eq!(samplers.len(), coefficients.len());
+    let mut sum = 0.0;
+    let mut sum_squares = 0.0;
+    let mut zero_density = 0usize;
+    let mut sample_scratch = AmpScratch::default();
+    let mut prob_scratch = AmpScratch::default();
+    let mut tau = Ranking::new(Vec::new()).expect("the empty ranking is valid");
+    for (sampler, &quota) in samplers.iter().zip(allocation) {
+        for _ in 0..quota {
+            sampler.sample_with_prob_into(rng, &mut sample_scratch, &mut tau);
+            let p = mallows.prob_of(&tau);
+            let mix = AmpSampler::mix_prob_of(samplers, coefficients, &tau, &mut prob_scratch);
+            if mix > 0.0 {
+                let w = p / mix;
+                sum += w;
+                sum_squares += w * w;
+            } else {
+                zero_density += 1;
+            }
+        }
+    }
+    SampleMoments {
+        sum,
+        sum_squares,
+        samples: allocation.iter().sum(),
+        zero_density,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::mallows;
+    use ppd_rim::{PartialOrder, SubRanking};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn allocation_is_stratified_in_pool_order() {
+        assert_eq!(stratified_allocation(10, 3), vec![4, 3, 3]);
+        assert_eq!(stratified_allocation(9, 3), vec![3, 3, 3]);
+        assert_eq!(stratified_allocation(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(stratified_allocation(0, 3), vec![0, 0, 0]);
+        assert_eq!(stratified_allocation(5, 0), Vec::<usize>::new());
+        for (total, parts) in [(1usize, 1usize), (7, 3), (64, 10), (1000, 7)] {
+            let allocation = stratified_allocation(total, parts);
+            assert_eq!(allocation.iter().sum::<usize>(), total);
+            assert!(allocation.windows(2).all(|w| w[0] >= w[1]), "front-loaded");
+        }
+    }
+
+    #[test]
+    fn coefficients_sum_to_one_for_positive_budgets() {
+        for (total, parts) in [(1usize, 1usize), (7, 3), (64, 10), (999, 13)] {
+            let allocation = stratified_allocation(total, parts);
+            let coefficients = mixture_coefficients(&allocation, total);
+            let sum: f64 = coefficients.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "N={total} d={parts}: {sum}");
+        }
+        assert_eq!(mixture_coefficients(&[0, 0], 0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn weight_mean_is_unbiased_for_the_covered_region() {
+        // One pass over a two-proposal mixture with an uneven allocation:
+        // the mean weight must estimate the probability mass of the union of
+        // the proposals' supports (here: everything, since one component is
+        // unconstrained), not the equal-quota average.
+        let model = mallows(5, 0.5);
+        let samplers = vec![
+            AmpSampler::new(model.sigma().clone(), model.phi(), &PartialOrder::new()).unwrap(),
+            AmpSampler::for_subranking(
+                model.sigma().clone(),
+                model.phi(),
+                &SubRanking::new(vec![4, 0]).unwrap(),
+            )
+            .unwrap(),
+        ];
+        let allocation = stratified_allocation(5_001, samplers.len());
+        let coefficients = mixture_coefficients(&allocation, 5_001);
+        let mut rng = StdRng::seed_from_u64(77);
+        let moments =
+            mixture_weight_moments(&model, &samplers, &allocation, &coefficients, &mut rng);
+        assert_eq!(moments.samples, 5_001);
+        assert_eq!(moments.zero_density, 0, "the mixture covers every sample");
+        assert!(
+            (moments.mean() - 1.0).abs() < 0.05,
+            "covered region is the full ranking space, got {}",
+            moments.mean()
+        );
+    }
+}

@@ -6,4 +6,5 @@ pub mod is_amp;
 pub mod mis_adaptive;
 pub mod mis_amp;
 pub mod mis_lite;
+pub mod mixture;
 pub mod rejection;

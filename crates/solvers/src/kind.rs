@@ -10,6 +10,7 @@
 //! ambient state such as evaluation order or the calling thread.
 
 use crate::approx::budgeted::MisAmpBudgeted;
+use crate::approx::mis_lite::ProposalPool;
 use crate::select::choose_exact_solver;
 use crate::traits::{ApproxSolver, ExactSolver};
 use crate::Result;
@@ -86,15 +87,46 @@ impl SolverKind {
         union: &PatternUnion,
         seed: u64,
     ) -> Result<f64> {
+        self.solve_seeded_detailed(mallows, rim, labeling, union, seed, None)
+            .map(|detail| detail.probability)
+    }
+
+    /// [`SolverKind::solve_seeded`], additionally reporting sampling-health
+    /// statistics and, for the budgeted arm, optionally reusing a prepared
+    /// [`ProposalPool`].
+    ///
+    /// The probability is bit-identical to [`SolverKind::solve_seeded`]:
+    /// supplying a pool skips the union decomposition and greedy-modal walk,
+    /// neither of which consumes randomness or alters the prepared proposals
+    /// (pool preparation is deterministic in the instance). Non-budgeted arms
+    /// ignore the pool.
+    pub fn solve_seeded_detailed<'m>(
+        &self,
+        mallows: &MallowsModel,
+        rim: impl FnOnce() -> &'m RimModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+        seed: u64,
+        pool: Option<&mut ProposalPool>,
+    ) -> Result<SolveDetail> {
+        let mut detail = SolveDetail::default();
         let p = match self {
             SolverKind::Exact(solver) => solver.solve(rim(), labeling, union)?,
             SolverKind::Approx(solver) => {
                 let mut rng = StdRng::seed_from_u64(seed);
-                solver.estimate(mallows, labeling, union, &mut rng)?
+                let (p, stats) = solver.estimate_with_stats(mallows, labeling, union, &mut rng)?;
+                detail.samples = stats.samples;
+                detail.zero_density_samples = stats.zero_density_samples;
+                p
             }
             SolverKind::Budgeted(solver) => {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let outcome = solver.run(mallows, labeling, union, &mut rng)?;
+                let outcome = match pool {
+                    Some(pool) => solver.run_with_pool(mallows, pool, &mut rng)?,
+                    None => solver.run(mallows, labeling, union, &mut rng)?,
+                };
+                detail.samples = outcome.total_samples;
+                detail.zero_density_samples = outcome.zero_density_samples;
                 if outcome.converged {
                     outcome.estimate
                 } else {
@@ -106,8 +138,22 @@ impl SolverKind {
                 }
             }
         };
-        Ok(p.clamp(0.0, 1.0))
+        detail.probability = p.clamp(0.0, 1.0);
+        Ok(detail)
     }
+}
+
+/// Result of [`SolverKind::solve_seeded_detailed`]: the (clamped) probability
+/// plus the sampling-health statistics of the solve. Exact solves report zero
+/// samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveDetail {
+    /// The computed (or estimated) probability, clamped to `[0, 1]`.
+    pub probability: f64,
+    /// Total Monte-Carlo samples drawn (0 for exact solves).
+    pub samples: usize,
+    /// Samples on which the proposal mixture had zero density.
+    pub zero_density_samples: usize,
 }
 
 impl std::fmt::Debug for SolverKind {

@@ -58,6 +58,7 @@ pub use approx::is_amp::is_amp_estimate;
 pub use approx::mis_adaptive::{AdaptiveOutcome, MisAmpAdaptive};
 pub use approx::mis_amp::mis_amp_estimate;
 pub use approx::mis_lite::{MisAmpLite, PreparedProposals, ProposalPool, SampleMoments};
+pub use approx::mixture::{mixture_coefficients, stratified_allocation};
 pub use approx::rejection::RejectionSampler;
 pub use budget::{Budget, CancelProbe};
 pub use exact::bipartite::BipartiteSolver;
@@ -65,9 +66,9 @@ pub use exact::brute::BruteForceSolver;
 pub use exact::general::GeneralSolver;
 pub use exact::pattern::PatternSolver;
 pub use exact::two_label::TwoLabelSolver;
-pub use kind::SolverKind;
+pub use kind::{SolveDetail, SolverKind};
 pub use select::{choose_exact_solver, choose_exact_solver_with_budget};
-pub use traits::{ApproxSolver, ExactSolver};
+pub use traits::{ApproxSolver, EstimateStats, ExactSolver};
 
 use ppd_patterns::PatternError;
 use ppd_rim::RimError;

@@ -20,6 +20,19 @@ pub trait ExactSolver: Send + Sync {
     fn solve(&self, rim: &RimModel, labeling: &Labeling, union: &PatternUnion) -> Result<f64>;
 }
 
+/// Sampling-health statistics of one approximate solve, reported alongside
+/// the estimate by [`ApproxSolver::estimate_with_stats`]. Purely
+/// observational: nothing here feeds back into the estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EstimateStats {
+    /// Total Monte-Carlo samples drawn.
+    pub samples: usize,
+    /// Samples on which the proposal mixture had zero density — drawn but
+    /// contributing nothing to the estimate. Solvers that cannot track this
+    /// report zero.
+    pub zero_density_samples: usize,
+}
+
 /// An approximate solver for the marginal probability of a pattern union over
 /// a labeled *Mallows* model. (The importance-sampling machinery of Section 5
 /// exploits Mallows structure — distance-based probabilities and the AMP
@@ -40,6 +53,22 @@ pub trait ApproxSolver: Send + Sync {
         union: &PatternUnion,
         rng: &mut dyn RngCore,
     ) -> Result<f64>;
+
+    /// [`ApproxSolver::estimate`], additionally reporting sampling-health
+    /// statistics. The estimate is bit-identical to
+    /// [`ApproxSolver::estimate`] with the same RNG state. The default
+    /// implementation reports empty stats for solvers that do not track
+    /// them.
+    fn estimate_with_stats(
+        &self,
+        mallows: &MallowsModel,
+        labeling: &Labeling,
+        union: &PatternUnion,
+        rng: &mut dyn RngCore,
+    ) -> Result<(f64, EstimateStats)> {
+        self.estimate(mallows, labeling, union, rng)
+            .map(|p| (p, EstimateStats::default()))
+    }
 }
 
 #[cfg(test)]

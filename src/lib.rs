@@ -43,8 +43,8 @@ pub mod prelude {
     pub use ppd_core::{
         count_sessions, evaluate_boolean, most_probable_sessions, session_probabilities,
         BatchAnswer, CacheCapacity, CacheStats, CompareOp, ConjunctiveQuery, DatabaseBuilder,
-        Engine, EngineObs, ErrorBudget, EvalConfig, PpdDatabase, PreferenceRelation, Relation,
-        Session, SolverChoice, Term, TopKStrategy, Update, Value,
+        Engine, EngineObs, ErrorBudget, EvalConfig, PoolCache, PpdDatabase, PreferenceRelation,
+        Relation, Session, SolverChoice, Term, TopKStrategy, Update, Value,
     };
     pub use ppd_obs::{Histogram, ObsConfig, Registry, SpanEvent, SpanRecord, TraceMode};
     pub use ppd_patterns::{Labeling, NodeSelector, Pattern, PatternUnion};

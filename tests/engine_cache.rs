@@ -255,6 +255,76 @@ fn corrupt_snapshots_are_rejected_not_half_loaded() {
 }
 
 #[test]
+fn shared_proposal_pools_skip_rebuilds_and_never_move_bits() {
+    // A small universe keeps three full budgeted evaluations fast; the
+    // pool-reuse contract is per-unit, so scale adds nothing.
+    let db = polls_database(&PollsConfig {
+        num_candidates: 5,
+        num_voters: 6,
+        seed: 11,
+    });
+    let q = polls_q1_query();
+    // Zero threshold forces every unit onto the budgeted sampler, so each
+    // unique unit needs a proposal pool.
+    let budget = |epsilon| {
+        EvalConfig {
+            solver: SolverChoice::ErrorBudget(ErrorBudget {
+                epsilon,
+                confidence: 0.9,
+            }),
+            ..EvalConfig::default()
+        }
+        .with_exact_cost_threshold(0.0)
+    };
+
+    // Cold reference: a fresh engine at the tight budget builds every pool
+    // itself.
+    let cold = Engine::new(budget(0.02));
+    let reference = cold.session_probabilities(&db, &q).unwrap();
+    let cold_stats = cold.cache_stats();
+    assert!(
+        cold_stats.pools_built > 0,
+        "budgeted units must build pools"
+    );
+    assert_eq!(cold_stats.pool_hits, 0);
+
+    // Warm path: a loose-budget engine populates a shared pool cache, then
+    // a tight-budget engine re-estimates the same units. Pools are content
+    // addressed and budget independent, so the second engine must build
+    // nothing — every unit reuses the first engine's decomposition and
+    // greedy-modal walk.
+    let pools = std::sync::Arc::new(PoolCache::default());
+    let loose = Engine::with_pool_cache(
+        budget(0.05),
+        EngineObs::disabled(),
+        std::sync::Arc::clone(&pools),
+    );
+    loose.session_probabilities(&db, &q).unwrap();
+    let built = loose.cache_stats().pools_built;
+    assert_eq!(built, cold_stats.pools_built);
+
+    let tight = Engine::with_pool_cache(
+        budget(0.02),
+        EngineObs::disabled(),
+        std::sync::Arc::clone(&pools),
+    );
+    let warmed = tight.session_probabilities(&db, &q).unwrap();
+    let warm_stats = tight.cache_stats();
+    assert_eq!(
+        warm_stats.pools_built, built,
+        "warm re-estimation must perform zero new union decompositions"
+    );
+    assert_eq!(
+        warm_stats.pool_hits, built,
+        "every budgeted unit must reuse a prepared pool"
+    );
+    assert_eq!(
+        warmed, reference,
+        "a warm pool must reproduce the cold build's bits exactly"
+    );
+}
+
+#[test]
 fn topk_strategies_agree_under_sharded_bounded_caches() {
     let db = db();
     let q = polls_q1_query();

@@ -9,9 +9,11 @@
 use ppd_patterns::{PatternUnion, UnionClass};
 use ppd_solvers::testutil::{cyclic_labeling, mallows, sample_unions};
 use ppd_solvers::{
-    ApproxSolver, BipartiteSolver, BruteForceSolver, ExactSolver, GeneralSolver, MisAmpAdaptive,
-    MisAmpBudgeted, MisAmpLite, PatternSolver, RejectionSampler, TwoLabelSolver,
+    mixture_coefficients, stratified_allocation, ApproxSolver, BipartiteSolver, BruteForceSolver,
+    ExactSolver, GeneralSolver, MisAmpAdaptive, MisAmpBudgeted, MisAmpLite, PatternSolver,
+    RejectionSampler, TwoLabelSolver,
 };
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -208,8 +210,9 @@ fn mis_amp_lite_tracks_exact_answers() {
 fn budgeted_estimator_meets_its_epsilon_on_the_menagerie() {
     let epsilon = 0.05;
     let solver = MisAmpBudgeted::new(epsilon, 0.95);
-    let worst_case_samples =
-        solver.num_proposals * solver.initial_samples * ((1 << solver.max_rounds) - 1);
+    // `initial_samples` is the round's *total* mixture budget (split across
+    // the proposal pool), doubling each round.
+    let worst_case_samples = solver.initial_samples * ((1 << solver.max_rounds) - 1);
     let mut converged_runs = 0;
     let mut fell_back = 0;
     let mut under_budget = 0;
@@ -247,6 +250,88 @@ fn budgeted_estimator_meets_its_epsilon_on_the_menagerie() {
         "no converged run stopped early — the stop rule is not saving work \
          ({converged_runs} converged, {fell_back} fell back)"
     );
+}
+
+/// The mixture estimator under a *tight* total budget (384 samples split
+/// across the proposal pool) still tracks exact answers at high dispersion,
+/// where proposal overlap is heaviest and the balance heuristic's variance
+/// reduction matters most. The tolerances are looser than the big-budget
+/// test's, but a single bad mixture weight would blow far past them.
+#[test]
+fn tight_budget_mixture_tracks_exact_at_high_dispersion() {
+    let (m, phi) = (5, 0.9);
+    let model = mallows(m, phi);
+    let lab = cyclic_labeling(m, 4);
+    let solver = MisAmpLite::new(6, 64);
+    for (ui, union) in sample_unions().iter().enumerate() {
+        let exact = brute(m, phi, union);
+        let mut rng = StdRng::seed_from_u64(0x717B + ui as u64);
+        let est = solver.estimate(&model, &lab, union, &mut rng).unwrap();
+        assert!((0.0..=1.0).contains(&est), "union#{ui} out of [0,1]: {est}");
+        let abs_err = (est - exact).abs();
+        let rel_err = if exact > 0.0 {
+            abs_err / exact
+        } else {
+            abs_err
+        };
+        assert!(
+            abs_err < 0.08 || rel_err < 0.2,
+            "union#{ui}: tight-budget estimate {est} vs exact {exact} \
+             (abs err {abs_err:.4}, rel err {rel_err:.4})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The balance heuristic is a partition of unity: for any ranking a kept
+    /// proposal can draw, the per-proposal weights `c_i·q_i(τ) / mix(τ)` sum
+    /// to exactly 1 — the identity that makes the mixture estimator unbiased
+    /// regardless of how the budget is split across proposals.
+    #[test]
+    fn balance_heuristic_weights_sum_to_one(
+        m in 4usize..=6,
+        phi_step in 1u32..=10,
+        ui in 0usize..64,
+        proposals in 2usize..=8,
+        total in 1usize..=64,
+        seed in 0u64..1_000,
+    ) {
+        let phi = phi_step as f64 / 10.0;
+        let unions = sample_unions();
+        let union = &unions[ui % unions.len()];
+        let model = mallows(m, phi);
+        let lab = cyclic_labeling(m, 4);
+        let prepared = MisAmpLite::new(proposals, 1)
+            .prepare(&model, &lab, union)
+            .expect("menagerie unions are satisfiable");
+        let samplers = prepared.samplers();
+        let allocation = stratified_allocation(total, samplers.len());
+        let coefficients = mixture_coefficients(&allocation, total);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, sampler) in samplers.iter().enumerate() {
+            if allocation[i] == 0 {
+                continue;
+            }
+            let (tau, _) = sampler.sample_with_prob(&mut rng);
+            let mix: f64 = samplers
+                .iter()
+                .zip(&coefficients)
+                .map(|(s, &c)| if c > 0.0 { c * s.prob_of(&tau) } else { 0.0 })
+                .sum();
+            prop_assert!(mix > 0.0, "the drawing proposal gives τ positive density");
+            let weight_sum: f64 = samplers
+                .iter()
+                .zip(&coefficients)
+                .map(|(s, &c)| if c > 0.0 { c * s.prob_of(&tau) / mix } else { 0.0 })
+                .sum();
+            prop_assert!(
+                (weight_sum - 1.0).abs() < 1e-12,
+                "weights must partition unity: got {weight_sum} (proposal {i})"
+            );
+        }
+    }
 }
 
 /// MIS-AMP-adaptive converges to the exact answer on every menagerie union.
